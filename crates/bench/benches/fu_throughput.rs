@@ -1,0 +1,33 @@
+//! E3 as a criterion bench: simulating instruction streams through the
+//! three functional-unit skeletons. The interesting *architecture*
+//! numbers (CPI) come from `exp_cpi`; this bench tracks the wall cost of
+//! producing them and guards against performance regressions in the
+//! simulator.
+
+use bench::cpi::{measure_skeleton, Skeleton};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_skeletons(c: &mut Criterion) {
+    let n = 1000;
+    let mut g = c.benchmark_group("fu_throughput");
+    g.throughput(Throughput::Elements(n as u64));
+    for sk in [
+        Skeleton::Minimal,
+        Skeleton::MinimalForwarding,
+        Skeleton::Fsm(2),
+        Skeleton::Pipelined(3, 8),
+    ] {
+        g.bench_with_input(BenchmarkId::new("stream", sk.label()), &sk, |b, &sk| {
+            b.iter(|| black_box(measure_skeleton(sk, n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_skeletons
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E8/E10 as criterion benches: full host↔link↔coprocessor round trips
+//! across interconnects and configurations.
+
+use bench::links::arith_batch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fu_host::{Driver, LinkModel, System};
+use fu_rtm::CoprocConfig;
+use fu_units::standard_units;
+use std::hint::black_box;
+
+fn bench_links(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system/links");
+    for link in [
+        LinkModel::prototyping(),
+        LinkModel::pcie_like(),
+        LinkModel::tightly_coupled(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("arith_batch", link.name),
+            &link,
+            |b, &link| b.iter(|| black_box(arith_batch(link, 32))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_word_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system/word_size");
+    for bits in [32u32, 128] {
+        g.bench_with_input(BenchmarkId::new("roundtrip", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let cfg = CoprocConfig::default().with_word_bits(bits);
+                let sys =
+                    System::new(cfg, standard_units(bits), LinkModel::tightly_coupled()).unwrap();
+                let mut d = Driver::new(sys, 1_000_000);
+                d.write_reg(1, 123);
+                d.write_reg(2, 456);
+                d.exec_asm("ADD r3, r1, r2, f1").unwrap();
+                black_box(d.read_reg(3).unwrap().as_u64())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_links, bench_word_sizes
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4 as a criterion bench: out-of-order dispatch vs fenced execution
+//! over unit-count sweeps.
+
+use bench::ooo::run_mix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ooo(c: &mut Criterion) {
+    let n = 120;
+    let mut g = c.benchmark_group("ooo_dispatch");
+    for units in [1usize, 2, 4] {
+        let lats = vec![12u32; units];
+        g.bench_with_input(BenchmarkId::new("ooo", units), &lats, |b, lats| {
+            b.iter(|| black_box(run_mix(lats, n, false)))
+        });
+    }
+    g.bench_function("fenced_2units", |b| {
+        b.iter(|| black_box(run_mix(&[12, 12], n, true)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ooo
+}
+criterion_main!(benches);

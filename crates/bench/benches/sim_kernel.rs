@@ -1,0 +1,65 @@
+//! Wall-clock benchmarks of the simulation kernel primitives: how fast
+//! the host machine simulates FPGA cycles. Not a paper figure by itself,
+//! but the denominator of every other measurement (cycles simulated per
+//! second of host time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtl_sim::{Clocked, Fifo, HandshakeSlot};
+use std::hint::black_box;
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel/handshake");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("full_throughput_cycles", |b| {
+        b.iter(|| {
+            let mut slot = HandshakeSlot::new();
+            let mut sum = 0u64;
+            let mut next = 0u64;
+            for _ in 0..10_000 {
+                if let Some(v) = slot.take() {
+                    sum += v;
+                }
+                if slot.can_push() {
+                    slot.push(next);
+                    next += 1;
+                }
+                slot.commit();
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel/fifo");
+    for depth in [4usize, 64] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_with_input(BenchmarkId::new("stream", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut fifo = Fifo::new(depth);
+                let mut sum = 0u64;
+                let mut next = 0u64;
+                for _ in 0..10_000 {
+                    if let Some(v) = fifo.pop() {
+                        sum += v;
+                    }
+                    if fifo.can_push() {
+                        fifo.push(next);
+                        next += 1;
+                    }
+                    fifo.commit();
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_handshake, bench_fifo
+}
+criterion_main!(benches);

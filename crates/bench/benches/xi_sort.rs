@@ -1,0 +1,81 @@
+//! E6/E7 as criterion benches: the simulated χ-sort engine against the
+//! real software baselines (software χ-sort, plain quicksort,
+//! `sort_unstable`) — the wall-clock side of the paper's comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fu_host::baseline::{software_quicksort, software_xi_sort, workload};
+use std::hint::black_box;
+use xi_sort::{XiConfig, XiOp, XiSortCore};
+
+/// Simulate a full hardware sort of `values`; returns total core cycles.
+fn hw_sort(values: &[u32]) -> u64 {
+    let mut core = XiSortCore::new(XiConfig::new(values.len() as u32));
+    core.dispatch(XiOp::Reset, 0);
+    for &v in values {
+        core.dispatch(XiOp::Push, v);
+    }
+    core.dispatch(XiOp::InitBounds, 0);
+    core.run_to_completion(1_000_000);
+    core.dispatch(XiOp::Sort, 0);
+    core.run_to_completion(4_000_000_000);
+    core.op_cycles()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    for n in [64usize, 256] {
+        let values = workload(n as u64, n, 1 << 24);
+        let mut g = c.benchmark_group(format!("xi_sort/n={n}"));
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("hw_sim", n), &values, |b, v| {
+            b.iter(|| black_box(hw_sort(v)))
+        });
+        g.bench_with_input(BenchmarkId::new("sw_xi", n), &values, |b, v| {
+            b.iter(|| black_box(software_xi_sort(v)))
+        });
+        g.bench_with_input(BenchmarkId::new("quicksort", n), &values, |b, v| {
+            b.iter(|| black_box(software_quicksort(v)))
+        });
+        g.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &values, |b, v| {
+            b.iter(|| {
+                let mut w = v.clone();
+                w.sort_unstable();
+                black_box(w)
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let n = 256usize;
+    let values = workload(5, n, 1 << 24);
+    let mut g = c.benchmark_group("xi_select/n=256");
+    g.bench_function("hw_sim_select_median", |b| {
+        b.iter(|| {
+            let mut core = XiSortCore::new(XiConfig::new(n as u32));
+            core.dispatch(XiOp::Reset, 0);
+            for &v in &values {
+                core.dispatch(XiOp::Push, v);
+            }
+            core.dispatch(XiOp::InitBounds, 0);
+            core.run_to_completion(1_000_000);
+            core.dispatch(XiOp::SelectK, (n / 2) as u32);
+            black_box(core.run_to_completion(4_000_000_000))
+        })
+    });
+    g.bench_function("sw_select_nth", |b| {
+        b.iter(|| {
+            let mut w = values.clone();
+            let (_, median, _) = w.select_nth_unstable(n / 2);
+            black_box(*median)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sorts, bench_selection
+}
+criterion_main!(benches);

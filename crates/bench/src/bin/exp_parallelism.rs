@@ -1,0 +1,47 @@
+//! E9 — the circuit-parallelism ratio.
+//!
+//! "Digital circuits contain an extraordinary degree of parallelism. All
+//! the components operate in parallel, although the useful parallelism in
+//! a synchronous circuit is limited by the critical path depth. The ratio
+//! between the number of components and the critical path depth may be
+//! between 10^3 to 10^5."
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_parallelism
+//! ```
+
+use bench::xi::parallelism;
+use bench::Table;
+use fu_rtm::{CoprocConfig, Coprocessor};
+use fu_units::standard_units;
+
+fn main() {
+    println!("E9 — components vs critical-path depth, chi-sort engine\n");
+    let mut t = Table::new(["cells", "components (LE+FF)", "depth (levels)", "ratio"]);
+    for n in [8u32, 32, 128, 512, 2048, 4096, 16384] {
+        let r = parallelism(n);
+        t.row([
+            r.n.to_string(),
+            r.components.to_string(),
+            r.depth.to_string(),
+            format!("{:.0}", r.ratio),
+        ]);
+    }
+    t.print();
+
+    let coproc = Coprocessor::new(CoprocConfig::default(), standard_units(32)).unwrap();
+    let area = coproc.area();
+    let depth = coproc.critical_path().levels;
+    println!(
+        "\nfor scale — the controller + stateless units: {} components over {} levels\n\
+         (ratio {:.0})",
+        area.components(),
+        depth,
+        area.components() as f64 / depth as f64
+    );
+    println!(
+        "\nExpected shape: the ratio grows ~linearly with the cell count (depth\n\
+         grows only logarithmically through the tree) and reaches the paper's\n\
+         10^3..10^5 band at a few thousand cells."
+    );
+}

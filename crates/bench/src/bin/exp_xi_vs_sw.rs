@@ -1,0 +1,85 @@
+//! E7 — end-to-end χ-sort: 50 MHz FPGA vs conventional-CPU software.
+//!
+//! "Circuit parallelism enables χ-sort to execute significantly faster
+//! than can be achieved with software on a conventional process\[or\]."
+//!
+//! The comparison is honest about what wins where: per *operation* the
+//! FPGA is flat in n while software pays Θ(n); end to end, the FPGA's
+//! O(n) refinement rounds of O(1) cycles compete against an O(n log n)
+//! quicksort running at a 50× higher clock, so the interesting output is
+//! the shape — where the algorithmic advantage overtakes the clock
+//! deficit — not a single headline number.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_xi_vs_sw
+//! ```
+
+use bench::xi::end_to_end;
+use bench::Table;
+use fu_host::baseline::{software_xi_select, CpuModel};
+use fu_host::LinkModel;
+use xi_sort::{XiConfig, XiOp, XiSortCore};
+
+fn main() {
+    let cpu = CpuModel::desktop_2010();
+    println!(
+        "E7 — end-to-end sort: FPGA (50 MHz, tightly-coupled link) vs software\n\
+         (CPU model: {} at {} GHz)\n",
+        cpu.name, cpu.ghz
+    );
+    let mut t = Table::new([
+        "n",
+        "FPGA cycles",
+        "FPGA µs",
+        "sw xi-sort visits",
+        "sw xi-sort µs",
+        "FPGA speedup vs sw xi",
+        "quicksort cmps",
+    ]);
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let row = end_to_end(n, LinkModel::tightly_coupled(), cpu);
+        t.row([
+            n.to_string(),
+            row.fpga_cycles.to_string(),
+            format!("{:.1}", row.fpga_us),
+            row.sw_visits.to_string(),
+            format!("{:.1}", row.sw_xi_us),
+            format!("{:.2}x", row.sw_xi_us / row.fpga_us),
+            row.quicksort_cmps.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nselection (k = n/2): FPGA cycles vs software visits");
+    let mut t = Table::new(["n", "FPGA cycles (SelectK)", "sw visits", "sw µs", "FPGA µs"]);
+    for n in [64u32, 256, 1024] {
+        let values = fu_host::baseline::workload(n as u64, n as usize, 1 << 24);
+        let mut core = XiSortCore::new(XiConfig::new(n));
+        core.dispatch(XiOp::Reset, 0);
+        for &v in &values {
+            core.dispatch(XiOp::Push, v);
+        }
+        core.dispatch(XiOp::InitBounds, 0);
+        core.run_to_completion(1_000_000);
+        core.dispatch(XiOp::SelectK, n / 2);
+        core.run_to_completion(2_000_000_000);
+        let fpga_cycles = core.op_cycles();
+        let (_, sw) = software_xi_select(&values, n / 2);
+        t.row([
+            n.to_string(),
+            fpga_cycles.to_string(),
+            sw.visits.to_string(),
+            format!("{:.1}", cpu.visits_to_us(sw.visits)),
+            format!("{:.1}", fpga_cycles as f64 / bench::FPGA_MHZ),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nExpected shape: the FPGA's advantage over the *same algorithm* in\n\
+         software grows with n (fixed-cycle rounds vs Θ(n) passes. The paper's\n\
+         per-operation claim); against an O(n log n) quicksort at GHz clocks\n\
+         the 50 MHz prototype wins on per-operation latency and on selection,\n\
+         which touches only the groups containing rank k."
+    );
+}

@@ -1,0 +1,74 @@
+//! E7 supplement — χ-sort across workload distributions, including the
+//! first-element-pivot quicksort's adversarial case.
+//!
+//! Both the χ-sort engine (leftmost-imprecise pivot) and the baseline
+//! quicksort (first-element pivot) are sensitive to input order; the
+//! interesting comparison is where the shapes diverge: on pre-sorted
+//! input the software quicksort degenerates to Θ(n²) comparisons while
+//! the χ-sort engine still pays O(1) cycles per round.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_xi_workloads
+//! ```
+
+use bench::Table;
+use fu_host::baseline::{software_quicksort, workload};
+use xi_sort::{XiConfig, XiOp, XiSortCore};
+
+fn hw_sort_cycles(values: &[u32]) -> (u64, u64) {
+    let mut core = XiSortCore::new(XiConfig::new(values.len() as u32));
+    core.dispatch(XiOp::Reset, 0);
+    for &v in values {
+        core.dispatch(XiOp::Push, v);
+    }
+    core.dispatch(XiOp::InitBounds, 0);
+    core.run_to_completion(1_000_000);
+    core.dispatch(XiOp::Sort, 0);
+    let rounds = core.run_to_completion(4_000_000_000).unwrap();
+    (core.op_cycles(), rounds as u64)
+}
+
+fn main() {
+    let n = 256usize;
+    println!("E7 supplement — workload sensitivity, n = {n}\n");
+    let random: Vec<u32> = workload(1, n, 1 << 24);
+    let sorted: Vec<u32> = (0..n as u32).collect();
+    let reversed: Vec<u32> = (0..n as u32).rev().collect();
+    let few_unique: Vec<u32> = workload(2, n, 4);
+    let all_equal: Vec<u32> = vec![7; n];
+
+    let mut t = Table::new([
+        "workload",
+        "FPGA sort cycles",
+        "FPGA rounds",
+        "quicksort cmps",
+        "cmps vs random",
+    ]);
+    let qs_random = software_quicksort(&random);
+    for (name, values) in [
+        ("random", &random),
+        ("pre-sorted", &sorted),
+        ("reverse-sorted", &reversed),
+        ("few-unique (4)", &few_unique),
+        ("all-equal", &all_equal),
+    ] {
+        let (cycles, rounds) = hw_sort_cycles(values);
+        let cmps = software_quicksort(values);
+        t.row([
+            name.to_string(),
+            cycles.to_string(),
+            rounds.to_string(),
+            cmps.to_string(),
+            format!("{:.2}x", cmps as f64 / qs_random as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: pre-/reverse-sorted input degenerates the\n\
+         first-pivot quicksort toward Θ(n²) comparisons, while the χ-sort\n\
+         engine's rounds stay Θ(n) with O(1) cycles each (its pivot is just\n\
+         as naive — the parallelism, not pivot cleverness, is what holds its\n\
+         cost shape). Few-unique and all-equal inputs collapse to very few\n\
+         rounds thanks to the scan-based equal-group resolution."
+    );
+}

@@ -1,0 +1,71 @@
+//! E1 — regenerate **Table 3.1**: the encoding of the arithmetic unit's
+//! instructions from the six variety bits, with a semantics column
+//! verified against the live kernel.
+//!
+//! ```text
+//! cargo run -p bench --bin table_3_1
+//! ```
+
+use bench::Table;
+use fu_isa::variety::{ArithOp, ArithVariety};
+use fu_isa::{Flags, Word};
+
+fn bit(v: u8, mask: u8) -> &'static str {
+    if v & mask != 0 {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn main() {
+    println!("Table 3.1 — Encoding of arithmetic instructions");
+    println!("(variety bits: UC=use carry flag, FC=fixed carry, OD=output data,");
+    println!(" FZ=first input zero, SZ=second input zero, CS=complement second input)\n");
+
+    let mut t = Table::new([
+        "instr", "UC", "FC", "OD", "FZ", "SZ", "CS", "variety", "semantics",
+    ]);
+    for op in ArithOp::ALL {
+        let v = op.variety().0;
+        let sem = match op {
+            ArithOp::Add => "d = s1 + s2",
+            ArithOp::Adc => "d = s1 + s2 + C",
+            ArithOp::Sub => "d = s1 - s2",
+            ArithOp::Sbb => "d = s1 - s2 - !C",
+            ArithOp::Inc => "d = s1 + 1",
+            ArithOp::Dec => "d = s1 - 1",
+            ArithOp::Neg => "d = -s2",
+            ArithOp::Cmp => "flags(s1 - s2)",
+            ArithOp::Cmpb => "flags(s1 - s2 - !C)",
+        };
+        t.row([
+            op.mnemonic().to_string(),
+            bit(v, ArithVariety::USE_CARRY).into(),
+            bit(v, ArithVariety::FIXED_CARRY).into(),
+            bit(v, ArithVariety::OUTPUT_DATA).into(),
+            bit(v, ArithVariety::FIRST_ZERO).into(),
+            bit(v, ArithVariety::SECOND_ZERO).into(),
+            bit(v, ArithVariety::COMPLEMENT_SECOND).into(),
+            format!("{v:#04x}"),
+            sem.into(),
+        ]);
+    }
+    t.print();
+
+    // Spot-verify each row against the datapath so the printed table can
+    // never drift from the implementation.
+    println!("\nverification against the adder datapath (s1=100, s2=42, C=1):");
+    let a = Word::from_u64(100, 32);
+    let b = Word::from_u64(42, 32);
+    let mut v = Table::new(["instr", "data result", "flags"]);
+    for op in ArithOp::ALL {
+        let (data, flags) = op.variety().evaluate(&a, &b, Flags::CARRY);
+        v.row([
+            op.mnemonic().to_string(),
+            data.map_or("-".into(), |d| format!("{}", d.as_u64() as i64 as i32)),
+            flags.to_string(),
+        ]);
+    }
+    v.print();
+}

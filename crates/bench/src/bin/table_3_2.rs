@@ -1,0 +1,66 @@
+//! E2 — regenerate **Table 3.2**: the logic unit's instruction encodings.
+//! The unit computes an arbitrary 2-input truth table per variety — the
+//! natural encoding on a LUT fabric — so the table lists the named
+//! operations with their truth-table nibbles, then demonstrates that all
+//! 16 tables are reachable.
+//!
+//! ```text
+//! cargo run -p bench --bin table_3_2
+//! ```
+
+use bench::Table;
+use fu_isa::variety::{LogicOp, LogicVariety};
+use fu_isa::Word;
+
+fn main() {
+    println!("Table 3.2 — Encoding of logic instructions");
+    println!("(truth table bit i = output for inputs a,b with i = 2a + b; OD = output data)\n");
+
+    let mut t = Table::new(["instr", "t3", "t2", "t1", "t0", "OD", "variety", "semantics"]);
+    for op in LogicOp::ALL {
+        let v = op.variety();
+        let tbl = op.table();
+        let sem = match op {
+            LogicOp::And => "d = s1 & s2",
+            LogicOp::Or => "d = s1 | s2",
+            LogicOp::Xor => "d = s1 ^ s2",
+            LogicOp::Nand => "d = ~(s1 & s2)",
+            LogicOp::Nor => "d = ~(s1 | s2)",
+            LogicOp::Xnor => "d = ~(s1 ^ s2)",
+            LogicOp::Not => "d = ~s1",
+            LogicOp::Andn => "d = s1 & ~s2",
+            LogicOp::Copy => "d = s1",
+            LogicOp::Test => "flags(s1 & s2)",
+        };
+        t.row([
+            op.mnemonic().to_string(),
+            ((tbl >> 3) & 1).to_string(),
+            ((tbl >> 2) & 1).to_string(),
+            ((tbl >> 1) & 1).to_string(),
+            (tbl & 1).to_string(),
+            (v.outputs_data() as u8).to_string(),
+            format!("{:#04x}", v.0),
+            sem.into(),
+        ]);
+    }
+    t.print();
+
+    println!("\nall 16 truth tables evaluated on a=0b1100, b=0b1010 (low nibble):");
+    let a = Word::from_u64(0b1100, 32);
+    let b = Word::from_u64(0b1010, 32);
+    let mut v = Table::new(["table", "result", "named as"]);
+    for tbl in 0..16u8 {
+        let variety = LogicVariety::from_table(tbl);
+        let (data, _) = variety.evaluate(&a, &b);
+        let named = LogicOp::ALL
+            .into_iter()
+            .find(|op| op.table() == tbl && *op != LogicOp::Test)
+            .map_or(String::new(), |op| op.mnemonic().to_string());
+        v.row([
+            format!("{tbl:04b}"),
+            format!("{:04b}", data.expect("data enabled").as_u64() & 0xf),
+            named,
+        ]);
+    }
+    v.print();
+}

@@ -1,0 +1,39 @@
+//! Print the χ-sort controller's microcode ROM — the reproduction's
+//! counterpart to the thesis appendix that lists the reference
+//! implementation.
+//!
+//! ```text
+//! cargo run -p bench --bin xi_microcode
+//! ```
+
+use xi_sort::microcode;
+
+fn main() {
+    println!("χ-sort controller microcode ROM\n");
+    println!("scratch registers: L, E, Base, PivotData, PivotLo, PivotHi, Out, K, Tmp");
+    println!("tree ops: TCOUNT (fold count), TLEFT (leftmost selected),");
+    println!("          TGET (OR-retrieve), TSCAN (prefix-count scan assign)\n");
+    for (name, program) in [
+        ("init_bounds", microcode::init_bounds()),
+        ("sort_step", microcode::sort_step()),
+        ("sort_full", microcode::sort_full()),
+        ("select_step", microcode::select_step()),
+        ("select_full", microcode::select_full()),
+        ("read_at", microcode::read_at()),
+        ("count_imprecise", microcode::count_imprecise()),
+    ] {
+        println!("{}", microcode::listing(name, &program));
+    }
+    let total: usize = [
+        microcode::init_bounds().len(),
+        microcode::sort_step().len(),
+        microcode::sort_full().len(),
+        microcode::select_step().len(),
+        microcode::select_full().len(),
+        microcode::read_at().len(),
+        microcode::count_imprecise().len(),
+    ]
+    .iter()
+    .sum();
+    println!("total ROM size: {total} microinstructions");
+}

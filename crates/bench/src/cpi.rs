@@ -1,0 +1,233 @@
+//! CPI measurement for functional-unit skeletons (experiment E3,
+//! ablations A1/A3).
+//!
+//! The thesis claims the case-study units "are able to accept an
+//! instruction every second clock cycle", improvable "to a theoretical
+//! maximum throughput of one instruction every clock cycle by intelligent
+//! forwarding of the write arbiter acknowledgement signals", and that the
+//! pipelined skeleton sustains one per cycle until its FIFOs fill. These
+//! measurements drive an *independent* arithmetic instruction stream
+//! through a full coprocessor (wide frame port, so the link is not the
+//! bottleneck) and report cycles per instruction.
+
+use fu_isa::variety::ArithOp;
+use fu_isa::{funit_codes, HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::{CoprocConfig, Coprocessor, FunctionalUnit};
+use fu_units::{ArithKernel, FsmFu, MinimalFu, PipelinedFu};
+
+/// Skeleton configurations under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Skeleton {
+    /// Minimal configuration, registered idle (paper default).
+    Minimal,
+    /// Minimal configuration with acknowledge forwarding (A1).
+    MinimalForwarding,
+    /// Area-optimised FSM with the given execute-cycle count.
+    Fsm(u32),
+    /// Performance-optimised pipeline: `(stages, fifo_depth)` (A3).
+    Pipelined(u32, usize),
+}
+
+impl Skeleton {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Skeleton::Minimal => "minimal".into(),
+            Skeleton::MinimalForwarding => "minimal+fwd".into(),
+            Skeleton::Fsm(k) => format!("fsm(exec={k})"),
+            Skeleton::Pipelined(s, d) => format!("pipelined(k={s},fifo={d})"),
+        }
+    }
+
+    /// Build the arithmetic unit in this skeleton.
+    pub fn build(&self, word_bits: u32) -> Box<dyn FunctionalUnit> {
+        let kernel = ArithKernel::new(word_bits);
+        match *self {
+            Skeleton::Minimal => Box::new(MinimalFu::new(kernel, false)),
+            Skeleton::MinimalForwarding => Box::new(MinimalFu::new(kernel, true)),
+            Skeleton::Fsm(k) => Box::new(FsmFu::new(kernel, k)),
+            Skeleton::Pipelined(s, d) => Box::new(PipelinedFu::new(kernel, s, d)),
+        }
+    }
+}
+
+/// Result of one CPI run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles from first dispatch opportunity to drain.
+    pub cycles: u64,
+    /// Cycles stalled because the unit was busy.
+    pub fu_busy_stalls: u64,
+    /// Cycles stalled on register locks.
+    pub lock_stalls: u64,
+}
+
+impl CpiResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instructions as f64
+    }
+}
+
+/// An independent ADD stream: rotates destination registers and flag
+/// registers so no data hazards arise — throughput is bounded only by
+/// the unit and the framework.
+pub fn independent_stream(n: usize) -> Vec<HostMsg> {
+    let mut msgs = vec![
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(5, 32),
+        },
+        HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(7, 32),
+        },
+    ];
+    for i in 0..n {
+        msgs.push(HostMsg::Instr(InstrWord::user(UserInstr {
+            func: funit_codes::ARITH,
+            variety: ArithOp::Add.variety().0,
+            dst_flag: (i % 4) as u8 + 1,
+            dst_reg: (i % 8) as u8 + 8,
+            aux_reg: 0,
+            src1: 1,
+            src2: 2,
+            src3: 0,
+        })));
+    }
+    msgs
+}
+
+/// A fully dependent accumulation stream (`r3 += r2` repeatedly): the
+/// interlock-latency worst case.
+pub fn dependent_stream(n: usize) -> Vec<HostMsg> {
+    let mut msgs = vec![
+        HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(1, 32),
+        },
+        HostMsg::WriteReg {
+            reg: 3,
+            value: Word::from_u64(0, 32),
+        },
+    ];
+    for _ in 0..n {
+        msgs.push(HostMsg::Instr(InstrWord::user(UserInstr {
+            func: funit_codes::ARITH,
+            variety: ArithOp::Add.variety().0,
+            dst_flag: 1,
+            dst_reg: 3,
+            aux_reg: 0,
+            src1: 3,
+            src2: 2,
+            src3: 0,
+        })));
+    }
+    msgs
+}
+
+/// Drive `msgs` through a coprocessor with the given unit; returns the
+/// CPI accounting over the `n_instr` user instructions in the stream.
+pub fn measure(unit: Box<dyn FunctionalUnit>, msgs: &[HostMsg], n_instr: u64) -> CpiResult {
+    let cfg = CoprocConfig {
+        data_regs: 32,
+        flag_regs: 8,
+        rx_frames_per_cycle: 8,
+        rx_fifo_depth: 64,
+        ..CoprocConfig::default()
+    };
+    let mut coproc = Coprocessor::new(cfg, vec![unit]).expect("valid config");
+    let mut frames: std::collections::VecDeque<u32> =
+        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+    let mut budget: u64 = 200 * n_instr + 100_000;
+    loop {
+        while let Some(&f) = frames.front() {
+            if coproc.push_frame(f) {
+                frames.pop_front();
+            } else {
+                break;
+            }
+        }
+        coproc.step();
+        if frames.is_empty() && coproc.is_idle() {
+            break;
+        }
+        budget -= 1;
+        assert!(budget > 0, "CPI run never drained");
+    }
+    let stats = coproc.stats();
+    assert_eq!(stats.dispatch.user_dispatched, n_instr, "all instructions retired");
+    CpiResult {
+        instructions: n_instr,
+        cycles: coproc.cycle(),
+        fu_busy_stalls: stats.dispatch.stall_fu_busy,
+        lock_stalls: stats.dispatch.stall_lock,
+    }
+}
+
+/// Convenience: measure a skeleton on the independent stream.
+pub fn measure_skeleton(sk: Skeleton, n: usize) -> CpiResult {
+    measure(sk.build(32), &independent_stream(n), n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_is_half_throughput() {
+        let r = measure_skeleton(Skeleton::Minimal, 2000);
+        assert!(
+            (1.9..2.3).contains(&r.cpi()),
+            "minimal skeleton should accept every 2nd cycle, got CPI {}",
+            r.cpi()
+        );
+        assert!(r.fu_busy_stalls > 800, "stalls should be unit-busy stalls");
+    }
+
+    #[test]
+    fn forwarding_reaches_one_per_cycle() {
+        let r = measure_skeleton(Skeleton::MinimalForwarding, 2000);
+        assert!(
+            (0.95..1.3).contains(&r.cpi()),
+            "ack forwarding should reach ~1 CPI, got {}",
+            r.cpi()
+        );
+    }
+
+    #[test]
+    fn pipelined_reaches_one_per_cycle() {
+        let r = measure_skeleton(Skeleton::Pipelined(3, 8), 2000);
+        assert!(
+            (0.95..1.3).contains(&r.cpi()),
+            "pipelined skeleton should sustain ~1 CPI, got {}",
+            r.cpi()
+        );
+    }
+
+    #[test]
+    fn fsm_is_slowest() {
+        let fsm = measure_skeleton(Skeleton::Fsm(2), 500);
+        let min = measure_skeleton(Skeleton::Minimal, 500);
+        assert!(fsm.cpi() > min.cpi(), "FSM walks more states per instruction");
+    }
+
+    #[test]
+    fn dependent_stream_is_slower_than_independent() {
+        let dep = measure(
+            Skeleton::Pipelined(3, 8).build(32),
+            &dependent_stream(500),
+            500,
+        );
+        let ind = measure_skeleton(Skeleton::Pipelined(3, 8), 500);
+        assert!(
+            dep.cpi() > ind.cpi() + 1.0,
+            "RAW chain must pay the pipeline latency: dep={} ind={}",
+            dep.cpi(),
+            ind.cpi()
+        );
+        assert!(dep.lock_stalls > ind.lock_stalls);
+    }
+}

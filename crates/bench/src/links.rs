@@ -1,0 +1,97 @@
+//! Link-sensitivity measurement (experiment E8).
+//!
+//! "The speed of the system is determined by two factors: the latency of
+//! the communication interface to the host computer, and the clock speed
+//! of the FPGA. … only a very slow connection from the FPGA board to the
+//! processor was available. However, this is not a limitation of the
+//! approach."
+//!
+//! The measurement runs identical workloads over each link preset and
+//! splits total time into link-dominated and compute-dominated parts.
+
+use fu_host::baseline::workload;
+use fu_host::{Driver, LinkModel, System};
+use fu_rtm::CoprocConfig;
+use fu_units::standard_units;
+use xi_sort::{XiConfig, XiSortAdapter};
+
+/// Result of one link run.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRun {
+    /// Total FPGA cycles to complete the workload.
+    pub cycles: u64,
+    /// Frames moved to the device.
+    pub frames_to_dev: u64,
+    /// Frames moved to the host.
+    pub frames_to_host: u64,
+}
+
+/// Workload 1: an arithmetic batch — write 2 operands, run `n` dependent
+/// adds, read the result (one round trip).
+pub fn arith_batch(link: LinkModel, n: usize) -> LinkRun {
+    let sys = System::new(CoprocConfig::default(), standard_units(32), link)
+        .expect("valid config");
+    let mut d = Driver::new(sys, 1_000_000_000);
+    d.write_reg(1, 3);
+    d.write_reg(2, 0);
+    for _ in 0..n {
+        d.exec_asm("ADD r2, r2, r1, f1").expect("assembles");
+    }
+    let v = d.read_reg(2).expect("result").as_u64();
+    assert_eq!(v, 3 * n as u64);
+    let sys = d.into_system();
+    let (to_dev, to_host) = sys.frames_carried();
+    LinkRun {
+        cycles: sys.cycle(),
+        frames_to_dev: to_dev,
+        frames_to_host: to_host,
+    }
+}
+
+/// Workload 2: χ-sort `n` elements end to end (load, sort, read back).
+pub fn xi_batch(link: LinkModel, n: usize) -> LinkRun {
+    let sys = System::new(
+        CoprocConfig::default(),
+        vec![Box::new(XiSortAdapter::new(XiConfig::new(n as u32), 32))],
+        link,
+    )
+    .expect("valid config");
+    let mut d = Driver::new(sys, 4_000_000_000);
+    let values = workload(3, n, 1 << 20);
+    d.xi_load(&values, 1).expect("load");
+    d.xi_sort(2).expect("sort");
+    let got = d.xi_read_sorted(n, 1, 2).expect("readout");
+    let mut expect = values;
+    expect.sort_unstable();
+    assert_eq!(got, expect);
+    let sys = d.into_system();
+    let (to_dev, to_host) = sys.frames_carried();
+    LinkRun {
+        cycles: sys.cycle(),
+        frames_to_dev: to_dev,
+        frames_to_host: to_host,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_ordering_holds_for_arith() {
+        let slow = arith_batch(LinkModel::prototyping(), 20);
+        let mid = arith_batch(LinkModel::pcie_like(), 20);
+        let fast = arith_batch(LinkModel::tightly_coupled(), 20);
+        assert!(slow.cycles > mid.cycles);
+        assert!(mid.cycles > fast.cycles);
+        // The same frames move regardless of the link.
+        assert_eq!(slow.frames_to_dev, fast.frames_to_dev);
+    }
+
+    #[test]
+    fn xi_batch_runs_on_two_links() {
+        let fast = xi_batch(LinkModel::tightly_coupled(), 16);
+        let slow = xi_batch(LinkModel::pcie_like(), 16);
+        assert!(slow.cycles > fast.cycles);
+    }
+}

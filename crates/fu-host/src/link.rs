@@ -1,0 +1,230 @@
+//! Interconnect models.
+//!
+//! A link carries 32-bit frames with a per-frame delivery latency and a
+//! minimum spacing between frames (the inverse bandwidth). Both are in
+//! FPGA clock cycles, so a link is characterised relative to the
+//! coprocessor clock — exactly how the paper discusses the trade-off
+//! ("the speed of the system is determined by two factors: the latency of
+//! the communication interface to the host computer, and the clock speed
+//! of the FPGA").
+
+use std::collections::VecDeque;
+
+/// Link timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Cycles between a frame entering the link and becoming deliverable.
+    pub latency_cycles: u64,
+    /// Minimum cycles between successive frame injections (≥ 1).
+    pub cycles_per_frame: u64,
+    /// Frames the coprocessor port moves per cycle (wired to the
+    /// `rx/tx_frames_per_cycle` configuration).
+    pub port_frames_per_cycle: u8,
+}
+
+impl LinkModel {
+    /// The paper's prototyping-board link: high latency, low bandwidth
+    /// ("only a very slow connection … was available").
+    pub fn prototyping() -> LinkModel {
+        LinkModel {
+            name: "prototyping",
+            latency_cycles: 500,
+            cycles_per_frame: 50,
+            port_frames_per_cycle: 1,
+        }
+    }
+
+    /// A PCIe-class peripheral link: moderate latency, good bandwidth.
+    pub fn pcie_like() -> LinkModel {
+        LinkModel {
+            name: "pcie-like",
+            latency_cycles: 64,
+            cycles_per_frame: 2,
+            port_frames_per_cycle: 2,
+        }
+    }
+
+    /// A tightly-coupled FPGA/CPU fabric ("there are FPGAs that are
+    /// tightly integrated with processors, offering extremely high
+    /// transfer rates").
+    pub fn tightly_coupled() -> LinkModel {
+        LinkModel {
+            name: "tightly-coupled",
+            latency_cycles: 2,
+            cycles_per_frame: 1,
+            port_frames_per_cycle: 4,
+        }
+    }
+
+    /// An ideal link (zero latency, one frame per cycle) for isolating
+    /// on-FPGA behaviour in experiments.
+    pub fn ideal() -> LinkModel {
+        LinkModel {
+            name: "ideal",
+            latency_cycles: 0,
+            cycles_per_frame: 1,
+            port_frames_per_cycle: 8,
+        }
+    }
+
+    /// All presets, slowest first.
+    pub fn presets() -> [LinkModel; 4] {
+        [
+            LinkModel::prototyping(),
+            LinkModel::pcie_like(),
+            LinkModel::tightly_coupled(),
+            LinkModel::ideal(),
+        ]
+    }
+}
+
+/// One direction of a link: frames in flight with delivery timestamps.
+#[derive(Debug, Clone)]
+pub struct Link {
+    model: LinkModel,
+    in_flight: VecDeque<(u64, u32)>,
+    next_injection: u64,
+    frames_carried: u64,
+}
+
+impl Link {
+    /// An empty link with the given timing.
+    pub fn new(model: LinkModel) -> Link {
+        assert!(model.cycles_per_frame >= 1, "bandwidth must be finite");
+        Link {
+            model,
+            in_flight: VecDeque::new(),
+            next_injection: 0,
+            frames_carried: 0,
+        }
+    }
+
+    /// The timing model.
+    pub fn model(&self) -> &LinkModel {
+        &self.model
+    }
+
+    /// Can a frame be injected at cycle `now`? (Bandwidth gate.)
+    pub fn can_send(&self, now: u64) -> bool {
+        now >= self.next_injection
+    }
+
+    /// Inject a frame at cycle `now`.
+    ///
+    /// # Panics
+    /// Panics when the bandwidth gate is closed — callers check
+    /// [`Link::can_send`] first.
+    pub fn send(&mut self, now: u64, frame: u32) {
+        assert!(self.can_send(now), "link send before bandwidth window");
+        self.next_injection = now + self.model.cycles_per_frame;
+        self.in_flight
+            .push_back((now + self.model.latency_cycles, frame));
+        self.frames_carried += 1;
+    }
+
+    /// Take the next frame whose delivery time has arrived.
+    pub fn recv(&mut self, now: u64) -> Option<u32> {
+        if self.in_flight.front().is_some_and(|(t, _)| *t <= now) {
+            self.in_flight.pop_front().map(|(_, f)| f)
+        } else {
+            None
+        }
+    }
+
+    /// Put a frame back at the head (the receiver's FIFO was full; real
+    /// links assert flow control).
+    pub fn unrecv(&mut self, now: u64, frame: u32) {
+        self.in_flight.push_front((now, frame));
+    }
+
+    /// Frames still travelling.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Total frames ever injected.
+    pub fn frames_carried(&self) -> u64 {
+        self.frames_carried
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut l = Link::new(LinkModel {
+            name: "t",
+            latency_cycles: 10,
+            cycles_per_frame: 1,
+            port_frames_per_cycle: 1,
+        });
+        l.send(0, 42);
+        assert_eq!(l.recv(9), None);
+        assert_eq!(l.recv(10), Some(42));
+        assert_eq!(l.recv(11), None, "delivered exactly once");
+    }
+
+    #[test]
+    fn bandwidth_spaces_injections() {
+        let mut l = Link::new(LinkModel {
+            name: "t",
+            latency_cycles: 0,
+            cycles_per_frame: 4,
+            port_frames_per_cycle: 1,
+        });
+        assert!(l.can_send(0));
+        l.send(0, 1);
+        assert!(!l.can_send(1));
+        assert!(!l.can_send(3));
+        assert!(l.can_send(4));
+        l.send(4, 2);
+        assert_eq!(l.frames_carried(), 2);
+    }
+
+    #[test]
+    fn frames_keep_order() {
+        let mut l = Link::new(LinkModel::ideal());
+        l.send(0, 1);
+        l.send(1, 2);
+        l.send(2, 3);
+        assert_eq!(l.recv(5), Some(1));
+        assert_eq!(l.recv(5), Some(2));
+        assert_eq!(l.recv(5), Some(3));
+    }
+
+    #[test]
+    fn unrecv_redelivers_first() {
+        let mut l = Link::new(LinkModel::ideal());
+        l.send(0, 7);
+        l.send(1, 8);
+        let f = l.recv(3).unwrap();
+        l.unrecv(3, f);
+        assert_eq!(l.recv(3), Some(7), "pushed-back frame comes first");
+        assert_eq!(l.recv(3), Some(8));
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let p = LinkModel::presets();
+        for w in p.windows(2) {
+            assert!(
+                w[0].latency_cycles >= w[1].latency_cycles,
+                "{} should be slower than {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before bandwidth window")]
+    fn early_send_panics() {
+        let mut l = Link::new(LinkModel::prototyping());
+        l.send(0, 1);
+        l.send(1, 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! The full-system co-simulation: host queue ↔ link ↔ coprocessor.
+//!
+//! One [`System::step`] advances the whole arrangement by one FPGA clock
+//! cycle: host-bound frames drain from the device, device-bound frames
+//! enter the coprocessor's receive FIFO (with link latency and bandwidth
+//! applied in both directions), and the coprocessor itself is clocked.
+
+use std::collections::VecDeque;
+
+use crate::link::{Link, LinkModel};
+use fu_isa::msg::DevDeframer;
+use fu_isa::{DevMsg, HostMsg};
+use fu_rtm::{Coprocessor, CoprocConfig, FunctionalUnit};
+use rtl_sim::SimError;
+
+/// Host + link + coprocessor.
+pub struct System {
+    coproc: Coprocessor,
+    to_dev: Link,
+    to_host: Link,
+    /// Frames queued on the host, waiting for link bandwidth.
+    host_tx: VecDeque<u32>,
+    /// Responses fully received by the host.
+    responses: VecDeque<DevMsg>,
+    deframer: DevDeframer,
+    cycle: u64,
+    word_bits: u32,
+}
+
+impl System {
+    /// Assemble a system. The link model's port width is applied to the
+    /// coprocessor configuration so the two stay consistent.
+    pub fn new(
+        mut cfg: CoprocConfig,
+        units: Vec<Box<dyn FunctionalUnit>>,
+        link: LinkModel,
+    ) -> Result<System, SimError> {
+        cfg.rx_frames_per_cycle = link.port_frames_per_cycle;
+        cfg.tx_frames_per_cycle = link.port_frames_per_cycle;
+        let word_bits = cfg.word_bits;
+        Ok(System {
+            coproc: Coprocessor::new(cfg, units)?,
+            to_dev: Link::new(link),
+            to_host: Link::new(link),
+            host_tx: VecDeque::new(),
+            responses: VecDeque::new(),
+            deframer: DevDeframer::new(word_bits),
+            cycle: 0,
+            word_bits,
+        })
+    }
+
+    /// The coprocessor (diagnostics and experiment measurements).
+    pub fn coproc(&self) -> &Coprocessor {
+        &self.coproc
+    }
+
+    /// Elapsed FPGA cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Word size of the machine.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Queue a message for transmission.
+    pub fn send(&mut self, msg: &HostMsg) {
+        self.host_tx.extend(msg.to_frames(self.word_bits));
+    }
+
+    /// Take the next fully-received response, if any.
+    pub fn recv(&mut self) -> Option<DevMsg> {
+        self.responses.pop_front()
+    }
+
+    /// Responses waiting to be taken.
+    pub fn pending_responses(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Advance one FPGA clock cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        // Host side: inject queued frames as bandwidth allows.
+        while !self.host_tx.is_empty() && self.to_dev.can_send(now) {
+            let f = self.host_tx.pop_front().expect("checked non-empty");
+            self.to_dev.send(now, f);
+        }
+        // Deliver device-bound frames into the receive FIFO (respecting
+        // the port width via rx_space and real flow control on overflow).
+        for _ in 0..self.to_dev.model().port_frames_per_cycle {
+            let Some(f) = self.to_dev.recv(now) else { break };
+            if !self.coproc.push_frame(f) {
+                self.to_dev.unrecv(now, f);
+                break;
+            }
+        }
+        // Clock the FPGA.
+        self.coproc.step();
+        // Drain transmit frames onto the host-bound link.
+        for _ in 0..self.to_host.model().port_frames_per_cycle {
+            if !self.to_host.can_send(now) {
+                break;
+            }
+            let Some(f) = self.coproc.pop_frame() else { break };
+            self.to_host.send(now, f);
+        }
+        // Host receives.
+        while let Some(f) = self.to_host.recv(now) {
+            if let Some(msg) = self.deframer.push(f).expect("device frames are well-formed") {
+                self.responses.push_back(msg);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Step until `pred` holds, with a cycle budget.
+    ///
+    /// # Errors
+    /// [`SimError::Timeout`] when the budget runs out.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&System) -> bool,
+    ) -> Result<u64, SimError> {
+        let start = self.cycle;
+        while !pred(self) {
+            if self.cycle - start >= max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: max_cycles,
+                    waiting_for: "system condition".into(),
+                });
+            }
+            self.step();
+        }
+        Ok(self.cycle - start)
+    }
+
+    /// Step until the next response arrives and return it.
+    ///
+    /// # Errors
+    /// [`SimError::Timeout`] when the budget runs out first.
+    pub fn recv_blocking(&mut self, max_cycles: u64) -> Result<DevMsg, SimError> {
+        self.run_until(max_cycles, |s| !s.responses.is_empty())?;
+        Ok(self.responses.pop_front().expect("predicate guaranteed"))
+    }
+
+    /// True when no work remains anywhere (host queue, links, FPGA).
+    pub fn is_idle(&self) -> bool {
+        self.host_tx.is_empty()
+            && self.to_dev.in_flight() == 0
+            && self.to_host.in_flight() == 0
+            && self.coproc.is_idle()
+    }
+
+    /// Total frames moved in each direction: `(to device, to host)`.
+    pub fn frames_carried(&self) -> (u64, u64) {
+        (self.to_dev.frames_carried(), self.to_host.frames_carried())
+    }
+
+    /// Convert a cycle count to microseconds at `clock_mhz`.
+    pub fn cycles_to_us(cycles: u64, clock_mhz: f64) -> f64 {
+        cycles as f64 / clock_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_isa::Word;
+    use fu_rtm::testing::LatencyFu;
+
+    fn sys(link: LinkModel) -> System {
+        System::new(
+            CoprocConfig::default(),
+            vec![Box::new(LatencyFu::new("add", 1, 1))],
+            link,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip_over_ideal_link() {
+        let mut s = sys(LinkModel::ideal());
+        s.send(&HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(99, 32),
+        });
+        s.send(&HostMsg::ReadReg { reg: 1, tag: 5 });
+        let resp = s.recv_blocking(10_000).unwrap();
+        assert_eq!(
+            resp,
+            DevMsg::Data {
+                tag: 5,
+                value: Word::from_u64(99, 32)
+            }
+        );
+        s.run_until(1000, |s| s.is_idle()).unwrap();
+    }
+
+    #[test]
+    fn slow_link_costs_more_cycles_for_the_same_work() {
+        let work = |mut s: System| {
+            s.send(&HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(7, 32),
+            });
+            s.send(&HostMsg::ReadReg { reg: 1, tag: 0 });
+            s.recv_blocking(1_000_000).unwrap();
+            s.cycle()
+        };
+        let fast = work(sys(LinkModel::tightly_coupled()));
+        let slow = work(sys(LinkModel::prototyping()));
+        assert!(
+            slow > 5 * fast,
+            "prototyping link should dominate: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn flow_control_survives_a_tiny_rx_fifo() {
+        let cfg = CoprocConfig {
+            rx_fifo_depth: 2,
+            ..CoprocConfig::default()
+        };
+        let mut s = System::new(cfg, vec![], LinkModel::ideal()).unwrap();
+        // Many back-to-back writes against a 2-deep FIFO: flow control
+        // must deliver all of them.
+        for i in 0..20u8 {
+            s.send(&HostMsg::WriteReg {
+                reg: i % 8,
+                value: Word::from_u64(i as u64, 32),
+            });
+        }
+        s.send(&HostMsg::ReadReg { reg: 7, tag: 1 });
+        let resp = s.recv_blocking(100_000).unwrap();
+        assert_eq!(
+            resp,
+            DevMsg::Data {
+                tag: 1,
+                value: Word::from_u64(15, 32)
+            }
+        );
+    }
+
+    #[test]
+    fn sync_over_link() {
+        let mut s = sys(LinkModel::pcie_like());
+        s.send(&HostMsg::Sync { tag: 3 });
+        assert_eq!(s.recv_blocking(10_000).unwrap(), DevMsg::SyncAck { tag: 3 });
+    }
+
+    #[test]
+    fn frames_accounting() {
+        let mut s = sys(LinkModel::ideal());
+        s.send(&HostMsg::Sync { tag: 0 });
+        s.recv_blocking(10_000).unwrap();
+        let (to_dev, to_host) = s.frames_carried();
+        assert_eq!(to_dev, 1);
+        assert_eq!(to_host, 1);
+    }
+
+    #[test]
+    fn cycles_to_us_at_50mhz() {
+        assert_eq!(System::cycles_to_us(500, 50.0), 10.0);
+    }
+}

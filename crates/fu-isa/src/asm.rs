@@ -1,0 +1,686 @@
+//! A small textual assembler and disassembler for RTM programs.
+//!
+//! The RTM has no program counter — the host streams instruction words to
+//! the coprocessor — so an "RTM program" is simply a list of instruction
+//! words the host will transmit. The examples and tests author these in a
+//! tiny assembly dialect rather than raw hex:
+//!
+//! ```text
+//! ; compute (a + b) - c with flags in f1
+//! LOADI r1, 100
+//! LOADI r2, 23
+//! ADD   r3, r1, r2, f1
+//! SUB   r3, r3, r4, f1
+//! FENCE
+//! ```
+//!
+//! Operand conventions per mnemonic (defaults: flag registers `f0`):
+//!
+//! | form | syntax |
+//! |------|--------|
+//! | arithmetic, 2 sources | `ADD rd, rs1, rs2 [, fD [, fS]]` (ADC/SBB/CMPB read carry from `fS`) |
+//! | INC/DEC | `INC rd, rs [, fD]` |
+//! | NEG (operates on the *second* operand, per the thesis) | `NEG rd, rs [, fD]` |
+//! | CMP/CMPB (no data result) | `CMP rs1, rs2 [, fD [, fS]]` |
+//! | logic, 2 sources | `AND rd, rs1, rs2 [, fD]` |
+//! | NOT / LCOPY | `NOT rd, rs [, fD]` |
+//! | TEST | `TEST rs1, rs2 [, fD]` |
+//! | shifts | `SHL rd, rs1, rs2` or `SHL rd, rs1, #imm` |
+//! | widening multiply | `MUL rlo, rhi, rs1, rs2` |
+//! | divide (quotient + remainder) | `DIV rq, rrem, rs1, rs2` |
+//! | floating point | `FADD/FSUB/FMUL rd, rs1, rs2 [, fD]`, `FCMP rs1, rs2 [, fD]` |
+//! | popcount | `POPCNT rd, rs` |
+//! | management | `NOP`, `COPY rd, rs`, `LOADI rd, imm`, `COPYF fd, fs`, `SETF fd, imm`, `FENCE` |
+
+use crate::funit_codes;
+use crate::instr::{InstrWord, RegNum, UserInstr};
+use crate::mgmt::MgmtOp;
+use crate::variety::{ArithOp, LogicOp, ShiftVariety};
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Operand kinds after lexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operand {
+    Data(RegNum),
+    Flag(RegNum),
+    Imm(u32),
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let err = |msg: String| AsmError { line, msg };
+    let parse_num = |s: &str| -> Result<u32, AsmError> {
+        let (digits, radix) = if let Some(hex) = s.strip_prefix("0x").or(s.strip_prefix("0X")) {
+            (hex, 16)
+        } else if let Some(bin) = s.strip_prefix("0b").or(s.strip_prefix("0B")) {
+            (bin, 2)
+        } else {
+            (s, 10)
+        };
+        u32::from_str_radix(digits, radix)
+            .map_err(|_| err(format!("invalid number `{s}`")))
+    };
+    let reg_num = |s: &str, kind: &str| -> Result<RegNum, AsmError> {
+        let n = parse_num(s)?;
+        u8::try_from(n).map_err(|_| err(format!("{kind} register {n} out of range (0..=255)")))
+    };
+    if let Some(rest) = tok.strip_prefix('r').or(tok.strip_prefix('R')) {
+        if rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return Ok(Operand::Data(reg_num(rest, "data")?));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('f').or(tok.strip_prefix('F')) {
+        if rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return Ok(Operand::Flag(reg_num(rest, "flag")?));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('#') {
+        return Ok(Operand::Imm(parse_num(rest)?));
+    }
+    if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Ok(Operand::Imm(parse_num(tok)?));
+    }
+    Err(err(format!("unrecognised operand `{tok}`")))
+}
+
+struct Ops<'a> {
+    ops: Vec<Operand>,
+    idx: usize,
+    line: usize,
+    mnemonic: &'a str,
+}
+
+impl<'a> Ops<'a> {
+    fn err(&self, msg: String) -> AsmError {
+        AsmError {
+            line: self.line,
+            msg: format!("{}: {msg}", self.mnemonic),
+        }
+    }
+
+    fn data(&mut self) -> Result<RegNum, AsmError> {
+        match self.ops.get(self.idx) {
+            Some(Operand::Data(r)) => {
+                self.idx += 1;
+                Ok(*r)
+            }
+            other => Err(self.err(format!(
+                "expected data register at operand {}, found {other:?}",
+                self.idx + 1
+            ))),
+        }
+    }
+
+    fn flag_or(&mut self, default: RegNum) -> Result<RegNum, AsmError> {
+        match self.ops.get(self.idx) {
+            Some(Operand::Flag(r)) => {
+                self.idx += 1;
+                Ok(*r)
+            }
+            None => Ok(default),
+            other => Err(self.err(format!(
+                "expected flag register at operand {}, found {other:?}",
+                self.idx + 1
+            ))),
+        }
+    }
+
+    fn flag(&mut self) -> Result<RegNum, AsmError> {
+        match self.ops.get(self.idx) {
+            Some(Operand::Flag(r)) => {
+                self.idx += 1;
+                Ok(*r)
+            }
+            other => Err(self.err(format!(
+                "expected flag register at operand {}, found {other:?}",
+                self.idx + 1
+            ))),
+        }
+    }
+
+    fn imm(&mut self) -> Result<u32, AsmError> {
+        match self.ops.get(self.idx) {
+            Some(Operand::Imm(v)) => {
+                self.idx += 1;
+                Ok(*v)
+            }
+            other => Err(self.err(format!(
+                "expected immediate at operand {}, found {other:?}",
+                self.idx + 1
+            ))),
+        }
+    }
+
+    fn data_or_imm(&mut self) -> Result<Operand, AsmError> {
+        match self.ops.get(self.idx) {
+            Some(op @ (Operand::Data(_) | Operand::Imm(_))) => {
+                self.idx += 1;
+                Ok(*op)
+            }
+            other => Err(self.err(format!(
+                "expected data register or immediate at operand {}, found {other:?}",
+                self.idx + 1
+            ))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), AsmError> {
+        if self.idx == self.ops.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected extra operands after operand {}", self.idx)))
+        }
+    }
+}
+
+fn user(func: u8, variety: u8) -> UserInstr {
+    UserInstr {
+        func,
+        variety,
+        dst_flag: 0,
+        dst_reg: 0,
+        aux_reg: 0,
+        src1: 0,
+        src2: 0,
+        src3: 0,
+    }
+}
+
+/// Assemble one instruction line (without comments). `line` is used for
+/// error reporting only.
+pub fn assemble_line(text: &str, line: usize) -> Result<Option<InstrWord>, AsmError> {
+    let text = text.split(';').next().unwrap_or("").trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let ops: Result<Vec<Operand>, AsmError> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|t| parse_operand(t, line))
+        .collect();
+    let mut o = Ops {
+        ops: ops?,
+        idx: 0,
+        line,
+        mnemonic,
+    };
+    let upper = mnemonic.to_ascii_uppercase();
+
+    // Management primitives.
+    let mgmt = match upper.as_str() {
+        "NOP" => Some(MgmtOp::Nop),
+        "COPY" => Some(MgmtOp::Copy {
+            dst: o.data()?,
+            src: o.data()?,
+        }),
+        "LOADI" => Some(MgmtOp::LoadImm {
+            dst: o.data()?,
+            imm: o.imm()?,
+        }),
+        "COPYF" => Some(MgmtOp::CopyFlags {
+            dst: o.flag()?,
+            src: o.flag()?,
+        }),
+        "SETF" => Some(MgmtOp::SetFlags {
+            dst: o.flag()?,
+            imm: o.imm()? as u8,
+        }),
+        "FENCE" => Some(MgmtOp::Fence),
+        _ => None,
+    };
+    if let Some(op) = mgmt {
+        o.finish()?;
+        return Ok(Some(op.encode()));
+    }
+
+    // Arithmetic unit.
+    if let Some(op) = ArithOp::from_mnemonic(&upper) {
+        let mut u = user(funit_codes::ARITH, op.variety().0);
+        match op {
+            ArithOp::Add | ArithOp::Adc | ArithOp::Sub | ArithOp::Sbb => {
+                u.dst_reg = o.data()?;
+                u.src1 = o.data()?;
+                u.src2 = o.data()?;
+                u.dst_flag = o.flag_or(0)?;
+                u.aux_reg = o.flag_or(0)?;
+            }
+            ArithOp::Inc | ArithOp::Dec => {
+                u.dst_reg = o.data()?;
+                u.src1 = o.data()?;
+                u.dst_flag = o.flag_or(0)?;
+            }
+            ArithOp::Neg => {
+                u.dst_reg = o.data()?;
+                u.src2 = o.data()?; // NEG works on the second operand
+                u.dst_flag = o.flag_or(0)?;
+            }
+            ArithOp::Cmp | ArithOp::Cmpb => {
+                u.src1 = o.data()?;
+                u.src2 = o.data()?;
+                u.dst_flag = o.flag_or(0)?;
+                u.aux_reg = o.flag_or(0)?;
+            }
+        }
+        o.finish()?;
+        return Ok(Some(InstrWord::user(u)));
+    }
+
+    // Logic unit.
+    if let Some(op) = LogicOp::from_mnemonic(&upper) {
+        let mut u = user(funit_codes::LOGIC, op.variety().0);
+        match op {
+            LogicOp::Not | LogicOp::Copy => {
+                u.dst_reg = o.data()?;
+                u.src1 = o.data()?;
+            }
+            LogicOp::Test => {
+                u.src1 = o.data()?;
+                u.src2 = o.data()?;
+            }
+            _ => {
+                u.dst_reg = o.data()?;
+                u.src1 = o.data()?;
+                u.src2 = o.data()?;
+            }
+        }
+        u.dst_flag = o.flag_or(0)?;
+        o.finish()?;
+        return Ok(Some(InstrWord::user(u)));
+    }
+
+    // Shift unit.
+    let shift = match upper.as_str() {
+        "SHL" => Some(ShiftVariety::SHL),
+        "SHR" => Some(ShiftVariety::SHR),
+        "SAR" => Some(ShiftVariety::SAR),
+        "ROL" => Some(ShiftVariety::ROL),
+        _ => None,
+    };
+    if let Some(kind) = shift {
+        let mut u = user(funit_codes::SHIFT, kind.0);
+        u.dst_reg = o.data()?;
+        u.src1 = o.data()?;
+        match o.data_or_imm()? {
+            Operand::Data(r) => u.src2 = r,
+            Operand::Imm(v) => {
+                if v > 255 {
+                    return Err(o.err(format!("shift amount {v} exceeds 8 bits")));
+                }
+                u.variety |= ShiftVariety::IMM_AMOUNT;
+                u.src3 = v as u8;
+            }
+            Operand::Flag(_) => unreachable!("data_or_imm filters flags"),
+        }
+        u.dst_flag = o.flag_or(0)?;
+        o.finish()?;
+        return Ok(Some(InstrWord::user(u)));
+    }
+
+    // Floating-point unit.
+    let fpu_variety = match upper.as_str() {
+        "FADD" => Some(0u8),
+        "FSUB" => Some(1),
+        "FMUL" => Some(2),
+        "FCMP" => Some(3),
+        _ => None,
+    };
+    if let Some(variety) = fpu_variety {
+        let mut u = user(funit_codes::FPU, variety);
+        if variety == 3 {
+            // FCMP rs1, rs2 [, fD] — flags only.
+            u.src1 = o.data()?;
+            u.src2 = o.data()?;
+        } else {
+            u.dst_reg = o.data()?;
+            u.src1 = o.data()?;
+            u.src2 = o.data()?;
+        }
+        u.dst_flag = o.flag_or(0)?;
+        o.finish()?;
+        return Ok(Some(InstrWord::user(u)));
+    }
+
+    match upper.as_str() {
+        "MUL" => {
+            let mut u = user(funit_codes::MUL, 0);
+            u.dst_reg = o.data()?; // low half
+            u.aux_reg = o.data()?; // high half (second destination)
+            u.src1 = o.data()?;
+            u.src2 = o.data()?;
+            u.dst_flag = o.flag_or(0)?;
+            o.finish()?;
+            Ok(Some(InstrWord::user(u)))
+        }
+        "DIV" => {
+            // DIV rq, rrem, rs1, rs2 — quotient and remainder.
+            let mut u = user(funit_codes::DIV, 0);
+            u.dst_reg = o.data()?; // quotient
+            u.aux_reg = o.data()?; // remainder (second destination)
+            u.src1 = o.data()?;
+            u.src2 = o.data()?;
+            u.dst_flag = o.flag_or(0)?;
+            o.finish()?;
+            Ok(Some(InstrWord::user(u)))
+        }
+        "POPCNT" => {
+            let mut u = user(funit_codes::POPCOUNT, 0);
+            u.dst_reg = o.data()?;
+            u.src1 = o.data()?;
+            u.dst_flag = o.flag_or(0)?;
+            o.finish()?;
+            Ok(Some(InstrWord::user(u)))
+        }
+        _ => Err(AsmError {
+            line,
+            msg: format!("unknown mnemonic `{mnemonic}`"),
+        }),
+    }
+}
+
+/// Assemble a multi-line program. Blank lines and `;` comments are
+/// ignored.
+///
+/// ```
+/// use fu_isa::asm::{assemble, disassemble};
+///
+/// let program = assemble(
+///     "LOADI r1, 100      ; management primitive
+///      ADD r3, r1, r2, f1 ; arithmetic unit, flags to f1
+///      FENCE",
+/// ).unwrap();
+/// assert_eq!(program.len(), 3);
+/// assert!(!program[0].is_user());
+/// assert!(program[1].is_user());
+/// assert_eq!(disassemble(program[2]), "FENCE");
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<InstrWord>, AsmError> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(w) = assemble_line(line, i + 1)? {
+            out.push(w);
+        }
+    }
+    Ok(out)
+}
+
+/// Disassemble one instruction word back to text (best effort: unknown
+/// encodings render as raw `.word` directives).
+pub fn disassemble(w: InstrWord) -> String {
+    if !w.is_user() {
+        return match MgmtOp::decode(w) {
+            Ok(MgmtOp::Nop) => "NOP".into(),
+            Ok(MgmtOp::Copy { dst, src }) => format!("COPY r{dst}, r{src}"),
+            Ok(MgmtOp::LoadImm { dst, imm }) => format!("LOADI r{dst}, {imm:#x}"),
+            Ok(MgmtOp::CopyFlags { dst, src }) => format!("COPYF f{dst}, f{src}"),
+            Ok(MgmtOp::SetFlags { dst, imm }) => format!("SETF f{dst}, {imm:#x}"),
+            Ok(MgmtOp::Fence) => "FENCE".into(),
+            Err(_) => format!(".word {:#018x}", w.0),
+        };
+    }
+    let u = w.as_user();
+    match u.func {
+        funit_codes::ARITH => {
+            if let Some(op) = ArithOp::from_variety(crate::variety::ArithVariety(u.variety)) {
+                let m = op.mnemonic();
+                return match op {
+                    ArithOp::Add | ArithOp::Adc | ArithOp::Sub | ArithOp::Sbb => format!(
+                        "{m} r{}, r{}, r{}, f{}, f{}",
+                        u.dst_reg, u.src1, u.src2, u.dst_flag, u.aux_reg
+                    ),
+                    ArithOp::Inc | ArithOp::Dec => {
+                        format!("{m} r{}, r{}, f{}", u.dst_reg, u.src1, u.dst_flag)
+                    }
+                    ArithOp::Neg => format!("{m} r{}, r{}, f{}", u.dst_reg, u.src2, u.dst_flag),
+                    ArithOp::Cmp | ArithOp::Cmpb => format!(
+                        "{m} r{}, r{}, f{}, f{}",
+                        u.src1, u.src2, u.dst_flag, u.aux_reg
+                    ),
+                };
+            }
+            format!(".word {:#018x}", w.0)
+        }
+        funit_codes::LOGIC => {
+            let v = crate::variety::LogicVariety(u.variety);
+            let named = LogicOp::ALL.into_iter().find(|op| op.variety() == v);
+            match named {
+                Some(op @ (LogicOp::Not | LogicOp::Copy)) => format!(
+                    "{} r{}, r{}, f{}",
+                    op.mnemonic(),
+                    u.dst_reg,
+                    u.src1,
+                    u.dst_flag
+                ),
+                Some(LogicOp::Test) => {
+                    format!("TEST r{}, r{}, f{}", u.src1, u.src2, u.dst_flag)
+                }
+                Some(op) => format!(
+                    "{} r{}, r{}, r{}, f{}",
+                    op.mnemonic(),
+                    u.dst_reg,
+                    u.src1,
+                    u.src2,
+                    u.dst_flag
+                ),
+                None => format!(".word {:#018x}", w.0),
+            }
+        }
+        funit_codes::SHIFT => {
+            let m = match u.variety & 0b11 {
+                0b00 => "SHL",
+                0b01 => "SHR",
+                0b10 => "SAR",
+                _ => "ROL",
+            };
+            if u.variety & ShiftVariety::IMM_AMOUNT != 0 {
+                format!("{m} r{}, r{}, #{}, f{}", u.dst_reg, u.src1, u.src3, u.dst_flag)
+            } else {
+                format!("{m} r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag)
+            }
+        }
+        funit_codes::MUL => format!(
+            "MUL r{}, r{}, r{}, r{}, f{}",
+            u.dst_reg, u.aux_reg, u.src1, u.src2, u.dst_flag
+        ),
+        funit_codes::DIV => format!(
+            "DIV r{}, r{}, r{}, r{}, f{}",
+            u.dst_reg, u.aux_reg, u.src1, u.src2, u.dst_flag
+        ),
+        funit_codes::FPU => match u.variety {
+            0 => format!("FADD r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag),
+            1 => format!("FSUB r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag),
+            2 => format!("FMUL r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag),
+            3 => format!("FCMP r{}, r{}, f{}", u.src1, u.src2, u.dst_flag),
+            _ => format!(".word {:#018x}", w.0),
+        },
+        funit_codes::POPCOUNT => {
+            format!("POPCNT r{}, r{}, f{}", u.dst_reg, u.src1, u.dst_flag)
+        }
+        _ => format!(".word {:#018x}", w.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let prog = assemble("; header\n\n  ; indented comment\nNOP ; trailing\n").unwrap();
+        assert_eq!(prog.len(), 1);
+        assert_eq!(prog[0], MgmtOp::Nop.encode());
+    }
+
+    #[test]
+    fn arithmetic_forms() {
+        let w = assemble_line("ADD r3, r1, r2, f1", 1).unwrap().unwrap();
+        let u = w.as_user();
+        assert_eq!(u.func, funit_codes::ARITH);
+        assert_eq!(u.variety, ArithOp::Add.variety().0);
+        assert_eq!((u.dst_reg, u.src1, u.src2, u.dst_flag), (3, 1, 2, 1));
+
+        let w = assemble_line("adc r3, r1, r2, f1, f2", 1).unwrap().unwrap();
+        let u = w.as_user();
+        assert_eq!(u.aux_reg, 2, "ADC's carry source flag register");
+
+        let w = assemble_line("NEG r5, r6", 1).unwrap().unwrap();
+        let u = w.as_user();
+        assert_eq!(u.src2, 6, "NEG takes the second operand slot");
+        assert_eq!(u.src1, 0);
+
+        let w = assemble_line("CMP r1, r2, f3", 1).unwrap().unwrap();
+        let u = w.as_user();
+        assert_eq!(u.dst_reg, 0, "CMP writes no data register");
+        assert_eq!(u.dst_flag, 3);
+    }
+
+    #[test]
+    fn default_flag_register_is_f0() {
+        let u = assemble_line("ADD r1, r2, r3", 1).unwrap().unwrap().as_user();
+        assert_eq!(u.dst_flag, 0);
+        assert_eq!(u.aux_reg, 0);
+    }
+
+    #[test]
+    fn logic_and_shift_forms() {
+        let u = assemble_line("XOR r1, r2, r3", 1).unwrap().unwrap().as_user();
+        assert_eq!(u.func, funit_codes::LOGIC);
+        assert_eq!(u.variety, LogicOp::Xor.variety().0);
+
+        let u = assemble_line("NOT r1, r2", 1).unwrap().unwrap().as_user();
+        assert_eq!(u.variety, LogicOp::Not.variety().0);
+
+        let u = assemble_line("SHL r1, r2, #5", 1).unwrap().unwrap().as_user();
+        assert_eq!(u.func, funit_codes::SHIFT);
+        assert!(u.variety & ShiftVariety::IMM_AMOUNT != 0);
+        assert_eq!(u.src3, 5);
+
+        let u = assemble_line("SAR r1, r2, r3", 1).unwrap().unwrap().as_user();
+        assert_eq!(u.variety & 0b11, ShiftVariety::SAR.0);
+        assert_eq!(u.src2, 3);
+    }
+
+    #[test]
+    fn mul_and_popcnt_forms() {
+        let u = assemble_line("MUL r1, r2, r3, r4", 1).unwrap().unwrap().as_user();
+        assert_eq!((u.dst_reg, u.aux_reg, u.src1, u.src2), (1, 2, 3, 4));
+        let u = assemble_line("POPCNT r9, r8", 1).unwrap().unwrap().as_user();
+        assert_eq!((u.dst_reg, u.src1), (9, 8));
+    }
+
+    #[test]
+    fn mgmt_forms() {
+        assert_eq!(
+            assemble_line("LOADI r7, 0x1234", 1).unwrap().unwrap(),
+            MgmtOp::LoadImm { dst: 7, imm: 0x1234 }.encode()
+        );
+        assert_eq!(
+            assemble_line("SETF f2, 0b101", 1).unwrap().unwrap(),
+            MgmtOp::SetFlags { dst: 2, imm: 0b101 }.encode()
+        );
+        assert_eq!(
+            assemble_line("COPY r1, r2", 1).unwrap().unwrap(),
+            MgmtOp::Copy { dst: 1, src: 2 }.encode()
+        );
+        assert_eq!(
+            assemble_line("FENCE", 1).unwrap().unwrap(),
+            MgmtOp::Fence.encode()
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("NOP\nFROB r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("FROB"));
+
+        let err = assemble_line("ADD r1, f2, r3", 7).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.msg.contains("expected data register"));
+
+        let err = assemble_line("ADD r1, r2, r3, r4", 1).unwrap_err();
+        assert!(err.msg.contains("expected flag register"));
+
+        let err = assemble_line("NOP r1", 1).unwrap_err();
+        assert!(err.msg.contains("extra operands"));
+
+        let err = assemble_line("LOADI r1, 99999999999", 1).unwrap_err();
+        assert!(err.msg.contains("invalid number"));
+
+        let err = assemble_line("COPY r1, r300", 1).unwrap_err();
+        assert!(err.msg.contains("out of range"));
+
+        let err = assemble_line("SHL r1, r2, #300", 1).unwrap_err();
+        assert!(err.msg.contains("exceeds 8 bits"));
+    }
+
+    #[test]
+    fn disassemble_roundtrips_through_assembler() {
+        let source = "\
+ADD r3, r1, r2, f1, f0
+ADC r3, r1, r2, f1, f2
+SUB r4, r3, r2, f0, f0
+INC r5, r5, f0
+NEG r6, r7, f2
+CMP r1, r2, f3, f0
+CMPB r1, r2, f3, f4
+AND r1, r2, r3, f0
+NOT r4, r5, f0
+TEST r1, r2, f7
+SHL r1, r2, #31, f0
+ROL r1, r2, r3, f0
+MUL r1, r2, r3, r4, f0
+DIV r5, r6, r7, r8, f1
+FADD r1, r2, r3, f1
+FSUB r1, r2, r3, f1
+FMUL r1, r2, r3, f2
+FCMP r2, r3, f3
+POPCNT r9, r8, f0
+COPY r1, r2
+LOADI r7, 0xff
+COPYF f1, f2
+SETF f3, 0x15
+FENCE
+NOP";
+        let words = assemble(source).unwrap();
+        assert_eq!(words.len(), 25);
+        for w in words {
+            let text = disassemble(w);
+            let again = assemble_line(&text, 1).unwrap().unwrap();
+            assert_eq!(again, w, "disassembly `{text}` did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn unknown_words_render_as_directives() {
+        let w = InstrWord::user(UserInstr {
+            func: 0x7f,
+            variety: 0,
+            dst_flag: 0,
+            dst_reg: 0,
+            aux_reg: 0,
+            src1: 0,
+            src2: 0,
+            src3: 0,
+        });
+        assert!(disassemble(w).starts_with(".word"));
+        let w = InstrWord::mgmt(0x70, 0, 0, 0);
+        assert!(disassemble(w).starts_with(".word"));
+    }
+}

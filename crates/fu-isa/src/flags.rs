@@ -1,0 +1,167 @@
+//! Flag vectors — entries of the secondary flag register file.
+//!
+//! "There is a secondary register file holding vectors of flags, which are
+//! often useful for controlling the functional units." The arithmetic unit
+//! of the case study produces a carry (for multi-word operation), and the
+//! thesis mentions an error flag signalling "an exceptional condition, e.g.
+//! a division by zero. If this flag is set, the contents of the destination
+//! registers (if any) are undefined by specification."
+
+use std::fmt;
+
+/// An 8-bit flag vector.
+///
+/// Bit assignments (this reproduction's convention, documented rather than
+/// given in the excerpt):
+///
+/// | bit | name  | meaning                                   |
+/// |-----|-------|-------------------------------------------|
+/// | 0   | C     | carry out / no-borrow                     |
+/// | 1   | Z     | result was all-zero                       |
+/// | 2   | N     | result's most significant bit             |
+/// | 3   | V     | signed overflow                           |
+/// | 4   | E     | error — destination contents undefined    |
+/// | 5-7 | user  | free for functional-unit specific use     |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags(pub u8);
+
+impl Flags {
+    /// Carry / no-borrow.
+    pub const CARRY: Flags = Flags(1 << 0);
+    /// Zero result.
+    pub const ZERO: Flags = Flags(1 << 1);
+    /// Negative (MSB of result).
+    pub const NEG: Flags = Flags(1 << 2);
+    /// Signed overflow.
+    pub const OVERFLOW: Flags = Flags(1 << 3);
+    /// Exceptional condition; destination registers undefined.
+    pub const ERROR: Flags = Flags(1 << 4);
+    /// No flags set.
+    pub const NONE: Flags = Flags(0);
+
+    /// Build a vector from individual indications.
+    pub fn from_parts(carry: bool, zero: bool, neg: bool, overflow: bool) -> Flags {
+        let mut f = Flags::NONE;
+        f.set(Flags::CARRY, carry);
+        f.set(Flags::ZERO, zero);
+        f.set(Flags::NEG, neg);
+        f.set(Flags::OVERFLOW, overflow);
+        f
+    }
+
+    /// True when every bit of `mask` is set.
+    pub fn has(&self, mask: Flags) -> bool {
+        self.0 & mask.0 == mask.0
+    }
+
+    /// Set or clear the bits of `mask`.
+    pub fn set(&mut self, mask: Flags, value: bool) {
+        if value {
+            self.0 |= mask.0;
+        } else {
+            self.0 &= !mask.0;
+        }
+    }
+
+    /// The carry bit, as consumed by ADC/SBB/CMPB via the "use carry flag"
+    /// variety bit.
+    pub fn carry(&self) -> bool {
+        self.has(Flags::CARRY)
+    }
+
+    /// The zero bit.
+    pub fn zero(&self) -> bool {
+        self.has(Flags::ZERO)
+    }
+
+    /// The negative bit.
+    pub fn neg(&self) -> bool {
+        self.has(Flags::NEG)
+    }
+
+    /// The overflow bit.
+    pub fn overflow(&self) -> bool {
+        self.has(Flags::OVERFLOW)
+    }
+
+    /// The error bit.
+    pub fn error(&self) -> bool {
+        self.has(Flags::ERROR)
+    }
+}
+
+impl std::ops::BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitAnd for Flags {
+    type Output = Flags;
+    fn bitand(self, rhs: Flags) -> Flags {
+        Flags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Flags::CARRY, 'C'),
+            (Flags::ZERO, 'Z'),
+            (Flags::NEG, 'N'),
+            (Flags::OVERFLOW, 'V'),
+            (Flags::ERROR, 'E'),
+        ];
+        for (mask, ch) in names {
+            write!(f, "{}", if self.has(mask) { ch } else { '-' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_sets_expected_bits() {
+        let f = Flags::from_parts(true, false, true, false);
+        assert!(f.carry() && f.neg());
+        assert!(!f.zero() && !f.overflow() && !f.error());
+        assert_eq!(f.to_string(), "C-N--");
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut f = Flags::NONE;
+        f.set(Flags::ERROR, true);
+        assert!(f.error());
+        f.set(Flags::ERROR, false);
+        assert_eq!(f, Flags::NONE);
+    }
+
+    #[test]
+    fn bit_operators() {
+        let f = Flags::CARRY | Flags::ZERO;
+        assert_eq!(f.0, 0b11);
+        assert_eq!((f & Flags::ZERO), Flags::ZERO);
+        assert!(f.has(Flags::CARRY));
+        assert!(!f.has(Flags::CARRY | Flags::NEG), "has() requires all bits");
+    }
+
+    #[test]
+    fn display_shows_all_set() {
+        let f = Flags::CARRY | Flags::ZERO | Flags::NEG | Flags::OVERFLOW | Flags::ERROR;
+        assert_eq!(f.to_string(), "CZNVE");
+        assert_eq!(Flags::NONE.to_string(), "-----");
+    }
+
+    #[test]
+    fn user_bits_survive() {
+        let mut f = Flags(0b1110_0000);
+        assert!(!f.carry());
+        f.set(Flags::CARRY, true);
+        assert_eq!(f.0, 0b1110_0001);
+    }
+}

@@ -1,0 +1,302 @@
+//! The 64-bit RTM instruction word.
+//!
+//! Reconstructed from Figure 7 / Table 3.1 of the paper ("the instructions
+//! follow the formats allowed by the RTM controller, and are similar to
+//! arithmetic instructions on a typical RISC processor. Each instruction
+//! specifies the operation, the operand registers, and the result
+//! registers"), with this field layout:
+//!
+//! ```text
+//!  63  62........56  55......48  47......40  39......32  31......24  23......16  15.......8  7........0
+//! USER  function      variety     dest flag   dest reg    aux reg     source      source      source
+//! flag  code (7b)     code (8b)   register    #1          (see below) reg #1      reg #2      reg #3
+//! ```
+//!
+//! * `USER = 1`: the instruction is dispatched to the functional unit
+//!   selected by the function code (the thesis assigns the arithmetic unit
+//!   function code 16). The variety code is forwarded verbatim to the unit
+//!   (`variety_code[7..0]` in the minimal-unit schematic).
+//! * `USER = 0`: a management primitive executed directly in the RTM's
+//!   main pipeline (see [`crate::mgmt`]); bits 31..0 then double as a
+//!   32-bit immediate for `LOADI`.
+//! * The *aux register* field is the **source flag register** for units
+//!   that consume flags (ADC/SBB/CMPB read their carry-in from it) and the
+//!   **second destination register** for units producing two results
+//!   (e.g. the widening multiplier) — the RTM supports "up to three
+//!   operands … and up to two results".
+
+use std::fmt;
+
+/// A register number in the main or flag register file (the framework's
+/// generics allow at most 256 of each, hence 8-bit fields).
+pub type RegNum = u8;
+
+/// A 7-bit function code selecting a functional unit (user instructions)
+/// or a management opcode (management instructions).
+pub type FuncCode = u8;
+
+/// The raw 64-bit instruction word as transmitted to the coprocessor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstrWord(pub u64);
+
+/// Field view of a *user* instruction (USER flag set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserInstr {
+    /// Functional-unit selector.
+    pub func: FuncCode,
+    /// Operation modifier forwarded to the unit.
+    pub variety: u8,
+    /// Flag register receiving the unit's output flags.
+    pub dst_flag: RegNum,
+    /// Main register receiving the unit's (first) data result.
+    pub dst_reg: RegNum,
+    /// Source flag register *or* second destination register (unit
+    /// dependent; see module docs).
+    pub aux_reg: RegNum,
+    /// First data operand.
+    pub src1: RegNum,
+    /// Second data operand.
+    pub src2: RegNum,
+    /// Third data operand.
+    pub src3: RegNum,
+}
+
+impl InstrWord {
+    const USER_BIT: u64 = 1 << 63;
+
+    /// Pack a user instruction.
+    ///
+    /// # Panics
+    /// Panics when the function code exceeds 7 bits.
+    pub fn user(u: UserInstr) -> InstrWord {
+        assert!(u.func < 0x80, "function code is a 7-bit field");
+        InstrWord(
+            Self::USER_BIT
+                | (u.func as u64) << 56
+                | (u.variety as u64) << 48
+                | (u.dst_flag as u64) << 40
+                | (u.dst_reg as u64) << 32
+                | (u.aux_reg as u64) << 24
+                | (u.src1 as u64) << 16
+                | (u.src2 as u64) << 8
+                | u.src3 as u64,
+        )
+    }
+
+    /// Pack a management instruction: opcode in the function-code field,
+    /// register operands as for user instructions, `imm` in bits 31..0
+    /// (overlapping the source fields — a management op uses one or the
+    /// other, exactly like the VHDL decoder's overlapping slices).
+    pub fn mgmt(op: FuncCode, dst_flag: RegNum, dst_reg: RegNum, imm: u32) -> InstrWord {
+        assert!(op < 0x80, "opcode is a 7-bit field");
+        InstrWord(
+            (op as u64) << 56 | (dst_flag as u64) << 40 | (dst_reg as u64) << 32 | imm as u64,
+        )
+    }
+
+    /// True for user (functional-unit) instructions.
+    pub fn is_user(&self) -> bool {
+        self.0 & Self::USER_BIT != 0
+    }
+
+    /// The 7-bit function code / management opcode.
+    pub fn func(&self) -> FuncCode {
+        ((self.0 >> 56) & 0x7f) as u8
+    }
+
+    /// The 8-bit variety code.
+    pub fn variety(&self) -> u8 {
+        (self.0 >> 48) as u8
+    }
+
+    /// Destination flag register field.
+    pub fn dst_flag(&self) -> RegNum {
+        (self.0 >> 40) as u8
+    }
+
+    /// Destination register #1 field.
+    pub fn dst_reg(&self) -> RegNum {
+        (self.0 >> 32) as u8
+    }
+
+    /// Aux register field (source flag register / destination #2).
+    pub fn aux_reg(&self) -> RegNum {
+        (self.0 >> 24) as u8
+    }
+
+    /// Source register #1 field.
+    pub fn src1(&self) -> RegNum {
+        (self.0 >> 16) as u8
+    }
+
+    /// Source register #2 field.
+    pub fn src2(&self) -> RegNum {
+        (self.0 >> 8) as u8
+    }
+
+    /// Source register #3 field.
+    pub fn src3(&self) -> RegNum {
+        self.0 as u8
+    }
+
+    /// The 32-bit immediate of a management instruction.
+    pub fn imm(&self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Unpack the user-instruction field view.
+    ///
+    /// # Panics
+    /// Panics on a management instruction; callers dispatch on
+    /// [`InstrWord::is_user`] first, as the decoder stage does.
+    pub fn as_user(&self) -> UserInstr {
+        assert!(self.is_user(), "as_user on a management instruction");
+        UserInstr {
+            func: self.func(),
+            variety: self.variety(),
+            dst_flag: self.dst_flag(),
+            dst_reg: self.dst_reg(),
+            aux_reg: self.aux_reg(),
+            src1: self.src1(),
+            src2: self.src2(),
+            src3: self.src3(),
+        }
+    }
+}
+
+// `Debug` shows the raw word plus the decoded field view, which makes
+// pipeline traces self-describing.
+impl fmt::Debug for InstrWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_user() {
+            write!(
+                f,
+                "Instr[{:#018x} user fu={} var={:#04x} df={} d={} aux={} s=({},{},{})]",
+                self.0,
+                self.func(),
+                self.variety(),
+                self.dst_flag(),
+                self.dst_reg(),
+                self.aux_reg(),
+                self.src1(),
+                self.src2(),
+                self.src3()
+            )
+        } else {
+            write!(
+                f,
+                "Instr[{:#018x} mgmt op={} df={} d={} imm={:#x}]",
+                self.0,
+                self.func(),
+                self.dst_flag(),
+                self.dst_reg(),
+                self.imm()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> UserInstr {
+        UserInstr {
+            func: 16,
+            variety: 0b0010_1000,
+            dst_flag: 3,
+            dst_reg: 7,
+            aux_reg: 2,
+            src1: 11,
+            src2: 12,
+            src3: 0,
+        }
+    }
+
+    #[test]
+    fn user_roundtrip() {
+        let u = sample();
+        let w = InstrWord::user(u);
+        assert!(w.is_user());
+        assert_eq!(w.as_user(), u);
+    }
+
+    #[test]
+    fn field_positions_match_layout() {
+        let w = InstrWord::user(sample());
+        // USER bit 63, func 16 at bits 62..56, variety at 55..48, …
+        assert_eq!(w.0 >> 63, 1);
+        assert_eq!((w.0 >> 56) & 0x7f, 16);
+        assert_eq!((w.0 >> 48) & 0xff, 0b0010_1000);
+        assert_eq!((w.0 >> 40) & 0xff, 3);
+        assert_eq!((w.0 >> 32) & 0xff, 7);
+        assert_eq!((w.0 >> 24) & 0xff, 2);
+        assert_eq!((w.0 >> 16) & 0xff, 11);
+        assert_eq!((w.0 >> 8) & 0xff, 12);
+        assert_eq!(w.0 & 0xff, 0);
+    }
+
+    #[test]
+    fn mgmt_roundtrip() {
+        let w = InstrWord::mgmt(2, 0, 9, 0xdead_beef);
+        assert!(!w.is_user());
+        assert_eq!(w.func(), 2);
+        assert_eq!(w.dst_reg(), 9);
+        assert_eq!(w.imm(), 0xdead_beef);
+    }
+
+    #[test]
+    fn mgmt_imm_overlaps_source_fields() {
+        let w = InstrWord::mgmt(1, 0, 0, 0x00_0b_0c_00);
+        assert_eq!(w.src1(), 11, "imm bits 23..16 read back as src1");
+        assert_eq!(w.src2(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "7-bit")]
+    fn func_code_range_checked() {
+        InstrWord::user(UserInstr { func: 0x80, ..sample() });
+    }
+
+    #[test]
+    #[should_panic(expected = "as_user on a management")]
+    fn as_user_rejects_mgmt() {
+        InstrWord::mgmt(0, 0, 0, 0).as_user();
+    }
+
+    #[test]
+    fn debug_format_is_self_describing() {
+        let s = format!("{:?}", InstrWord::user(sample()));
+        assert!(s.contains("user") && s.contains("fu=16"));
+        let s = format!("{:?}", InstrWord::mgmt(2, 0, 9, 0x10));
+        assert!(s.contains("mgmt") && s.contains("imm=0x10"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_user_fields_roundtrip(
+            func in 0u8..0x80, variety: u8, dst_flag: u8, dst_reg: u8,
+            aux_reg: u8, src1: u8, src2: u8, src3: u8,
+        ) {
+            let u = UserInstr { func, variety, dst_flag, dst_reg, aux_reg, src1, src2, src3 };
+            prop_assert_eq!(InstrWord::user(u).as_user(), u);
+        }
+
+        #[test]
+        fn prop_mgmt_fields_roundtrip(op in 0u8..0x80, df: u8, d: u8, imm: u32) {
+            let w = InstrWord::mgmt(op, df, d, imm);
+            prop_assert!(!w.is_user());
+            prop_assert_eq!(w.func(), op);
+            prop_assert_eq!(w.dst_flag(), df);
+            prop_assert_eq!(w.dst_reg(), d);
+            prop_assert_eq!(w.imm(), imm);
+        }
+
+        #[test]
+        fn prop_user_and_mgmt_words_are_disjoint(func in 0u8..0x80, imm: u32) {
+            let m = InstrWord::mgmt(func, 0, 0, imm);
+            prop_assert!(!m.is_user());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! `fu-isa` — the instruction-set architecture of the coprocessor framework.
+//!
+//! This crate reconstructs, from Koltes & O'Donnell (IPDPS 2010) and the
+//! companion thesis, everything that travels between the host CPU, the
+//! Register Transfer Machine (RTM) and the functional units:
+//!
+//! * [`word::Word`] — register-file data values. The paper's main register
+//!   file has a word size "configurable in multiples of 32 bits"; `Word`
+//!   carries up to four 32-bit limbs (32/64/96/128-bit configurations).
+//! * [`flags::Flags`] — entries of the secondary *flag register file*
+//!   ("vectors of flags, which are often useful for controlling the
+//!   functional units").
+//! * [`instr`] — the 64-bit instruction word with its field layout
+//!   reconstructed from Figure 7 / Table 3.1: user instructions are
+//!   dispatched to functional units, management primitives execute in the
+//!   RTM's own pipeline.
+//! * [`variety`] — the *variety code* (`variety_code[7..0]` in the
+//!   minimal-functional-unit schematic): per-unit operation modifiers. For
+//!   the arithmetic unit these are the six bits of Table 3.1 (use carry
+//!   flag, fixed carry, output data, first input zero, second input zero,
+//!   complement second input) from which ADD/ADC/SUB/SBB/INC/DEC/NEG/CMP/
+//!   CMPB are all derived; for the logic unit a 4-bit truth table.
+//! * [`mgmt`] — RTM management primitives ("general management primitives,
+//!   e.g. copying data from one register to another, are provided by the
+//!   framework and executed directly in the main pipeline").
+//! * [`msg`] — host↔coprocessor messages and their 32-bit wire framing
+//!   (the message buffer and message serialiser operate on these).
+//! * [`asm`] — a small textual assembler/disassembler for RTM programs,
+//!   used by the examples and by tests as an independent path into the
+//!   encoder.
+
+pub mod asm;
+pub mod flags;
+pub mod instr;
+pub mod mgmt;
+pub mod msg;
+pub mod variety;
+pub mod word;
+
+pub use flags::Flags;
+pub use instr::{FuncCode, InstrWord, RegNum, UserInstr};
+pub use mgmt::MgmtOp;
+pub use msg::{DevMsg, HostMsg, Tag};
+pub use variety::{ArithOp, ArithVariety, LogicOp, LogicVariety, ShiftVariety};
+pub use word::Word;
+
+/// Function codes assigned to the functional units of this reproduction.
+/// The thesis gives the arithmetic unit "function code 16"; the remaining
+/// assignments are ours (the code space is a framework configuration
+/// parameter, part of the functional-unit table).
+pub mod funit_codes {
+    /// Arithmetic unit (Table 3.1) — code given in the thesis.
+    pub const ARITH: u8 = 16;
+    /// Logic unit (Table 3.2).
+    pub const LOGIC: u8 = 17;
+    /// Shift/rotate unit (extension FU used in examples).
+    pub const SHIFT: u8 = 18;
+    /// Pipelined multiplier (performance-optimised skeleton example).
+    pub const MUL: u8 = 19;
+    /// Population-count unit (user-defined FU example).
+    pub const POPCOUNT: u8 = 20;
+    /// Integer divider (multi-cycle FSM-skeleton example; raises the
+    /// error flag on division by zero).
+    pub const DIV: u8 = 21;
+    /// CRC-32 update unit.
+    pub const CRC: u8 = 22;
+    /// Single-precision floating-point unit (the paper's §I example).
+    pub const FPU: u8 = 23;
+    /// χ-sort stateful functional unit.
+    pub const XI_SORT: u8 = 32;
+}

@@ -1,0 +1,191 @@
+//! Management primitives executed directly in the RTM's main pipeline.
+//!
+//! "General management primitives, e.g. copying data from one register to
+//! another, are provided by the framework and executed directly in the
+//! main pipeline. User instructions are dispatched to functional units."
+//!
+//! Management instructions share the [`crate::instr::InstrWord`] layout
+//! with the USER flag clear; the function-code field carries one of the
+//! opcodes below.
+
+use crate::instr::{FuncCode, InstrWord, RegNum};
+
+/// Decoded management operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MgmtOp {
+    /// Do nothing (pipeline bubble; also the encoding of an all-zero word,
+    /// so an idle link cannot be mistaken for work).
+    Nop,
+    /// Copy a main register: `dst ← src`.
+    Copy { dst: RegNum, src: RegNum },
+    /// Load a 32-bit immediate, zero-extended to the word size.
+    LoadImm { dst: RegNum, imm: u32 },
+    /// Copy a flag register: `dst ← src`.
+    CopyFlags { dst: RegNum, src: RegNum },
+    /// Set a flag register to an immediate 8-bit vector.
+    SetFlags { dst: RegNum, imm: u8 },
+    /// Barrier: stalls until every functional unit is idle and every
+    /// register lock has been released. Lets a host program observe a
+    /// consistent machine state without knowing unit latencies.
+    Fence,
+}
+
+/// Opcode values (the function-code field of a management instruction).
+pub mod opcodes {
+    /// No operation.
+    pub const NOP: u8 = 0;
+    /// Register copy.
+    pub const COPY: u8 = 1;
+    /// Load immediate.
+    pub const LOADI: u8 = 2;
+    /// Flag register copy.
+    pub const COPYF: u8 = 3;
+    /// Flag register set.
+    pub const SETF: u8 = 4;
+    /// Completion barrier.
+    pub const FENCE: u8 = 5;
+}
+
+/// Error for undecodable instruction words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The opcode that was not recognised.
+    pub opcode: FuncCode,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown management opcode {}", self.opcode)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl MgmtOp {
+    /// Encode into an instruction word.
+    pub fn encode(&self) -> InstrWord {
+        match *self {
+            MgmtOp::Nop => InstrWord::mgmt(opcodes::NOP, 0, 0, 0),
+            MgmtOp::Copy { dst, src } => {
+                InstrWord::mgmt(opcodes::COPY, 0, dst, (src as u32) << 16)
+            }
+            MgmtOp::LoadImm { dst, imm } => InstrWord::mgmt(opcodes::LOADI, 0, dst, imm),
+            MgmtOp::CopyFlags { dst, src } => {
+                InstrWord::mgmt(opcodes::COPYF, dst, 0, (src as u32) << 16)
+            }
+            MgmtOp::SetFlags { dst, imm } => InstrWord::mgmt(opcodes::SETF, dst, 0, imm as u32),
+            MgmtOp::Fence => InstrWord::mgmt(opcodes::FENCE, 0, 0, 0),
+        }
+    }
+
+    /// Decode from an instruction word (which must have the USER flag
+    /// clear).
+    ///
+    /// # Panics
+    /// Panics on user instructions; the decoder stage dispatches on
+    /// [`InstrWord::is_user`] before calling this.
+    pub fn decode(w: InstrWord) -> Result<MgmtOp, DecodeError> {
+        assert!(!w.is_user(), "MgmtOp::decode on a user instruction");
+        Ok(match w.func() {
+            opcodes::NOP => MgmtOp::Nop,
+            opcodes::COPY => MgmtOp::Copy {
+                dst: w.dst_reg(),
+                src: w.src1(),
+            },
+            opcodes::LOADI => MgmtOp::LoadImm {
+                dst: w.dst_reg(),
+                imm: w.imm(),
+            },
+            opcodes::COPYF => MgmtOp::CopyFlags {
+                dst: w.dst_flag(),
+                src: w.src1(),
+            },
+            opcodes::SETF => MgmtOp::SetFlags {
+                dst: w.dst_flag(),
+                imm: w.imm() as u8,
+            },
+            opcodes::FENCE => MgmtOp::Fence,
+            opcode => return Err(DecodeError { opcode }),
+        })
+    }
+
+    /// Registers this op reads: `(main_regs, flag_regs)`.
+    pub fn reads(&self) -> (Vec<RegNum>, Vec<RegNum>) {
+        match *self {
+            MgmtOp::Copy { src, .. } => (vec![src], vec![]),
+            MgmtOp::CopyFlags { src, .. } => (vec![], vec![src]),
+            _ => (vec![], vec![]),
+        }
+    }
+
+    /// Registers this op writes: `(main_regs, flag_regs)`.
+    pub fn writes(&self) -> (Vec<RegNum>, Vec<RegNum>) {
+        match *self {
+            MgmtOp::Copy { dst, .. } | MgmtOp::LoadImm { dst, .. } => (vec![dst], vec![]),
+            MgmtOp::CopyFlags { dst, .. } | MgmtOp::SetFlags { dst, .. } => (vec![], vec![dst]),
+            _ => (vec![], vec![]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_zero_word_is_nop() {
+        assert_eq!(MgmtOp::decode(InstrWord(0)), Ok(MgmtOp::Nop));
+        assert_eq!(MgmtOp::Nop.encode().0, 0);
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let w = InstrWord::mgmt(0x55, 0, 0, 0);
+        let err = MgmtOp::decode(w).unwrap_err();
+        assert_eq!(err.opcode, 0x55);
+        assert!(err.to_string().contains("85"));
+    }
+
+    #[test]
+    #[should_panic(expected = "user instruction")]
+    fn decode_rejects_user_words() {
+        let w = InstrWord::user(crate::instr::UserInstr {
+            func: 16,
+            variety: 0,
+            dst_flag: 0,
+            dst_reg: 0,
+            aux_reg: 0,
+            src1: 0,
+            src2: 0,
+            src3: 0,
+        });
+        let _ = MgmtOp::decode(w);
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let op = MgmtOp::Copy { dst: 3, src: 5 };
+        assert_eq!(op.reads(), (vec![5], vec![]));
+        assert_eq!(op.writes(), (vec![3], vec![]));
+        let op = MgmtOp::SetFlags { dst: 2, imm: 0xff };
+        assert_eq!(op.reads(), (vec![], vec![]));
+        assert_eq!(op.writes(), (vec![], vec![2]));
+        assert_eq!(MgmtOp::Fence.writes(), (vec![], vec![]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(op_sel in 0u8..6, a: u8, b: u8, imm: u32) {
+            let op = match op_sel {
+                0 => MgmtOp::Nop,
+                1 => MgmtOp::Copy { dst: a, src: b },
+                2 => MgmtOp::LoadImm { dst: a, imm },
+                3 => MgmtOp::CopyFlags { dst: a, src: b },
+                4 => MgmtOp::SetFlags { dst: a, imm: imm as u8 },
+                _ => MgmtOp::Fence,
+            };
+            prop_assert_eq!(MgmtOp::decode(op.encode()), Ok(op));
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Host ↔ coprocessor messages and their 32-bit wire framing.
+//!
+//! "To perform an accelerated operation, the host sends one or more packets
+//! of data to the controller on the FPGA. The controller then coordinates
+//! the execution of the operations and returns the final results to the
+//! processor." The RTM's first pipeline stage is a *message buffer* that
+//! "receives data from the FPGA input port connected to the host processor
+//! and converts it to a form usable by the decoder"; symmetrically a
+//! *message encoder* multiplexes "several types of message that can be sent
+//! from the RTM to the host, including data records and flag vectors" and a
+//! *message serialiser* converts them "to the form required by the
+//! communication port".
+//!
+//! This module defines the message types and one concrete wire protocol
+//! over 32-bit frames (a header frame followed by payload frames). The
+//! framing layer is exactly what a different transceiver would replace;
+//! everything above it is framework-fixed.
+
+use crate::flags::Flags;
+use crate::instr::{InstrWord, RegNum};
+use crate::word::Word;
+
+/// Sequence tag correlating host requests with device responses. The RTM
+/// releases responses in tag order so that "the stream of results returned
+/// to the processor will be consistent with the stream of instructions
+/// that were issued".
+pub type Tag = u16;
+
+/// Messages travelling host → coprocessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostMsg {
+    /// Write a data register.
+    WriteReg {
+        /// Destination register.
+        reg: RegNum,
+        /// Value (must match the configured word size).
+        value: Word,
+    },
+    /// Write a flag register.
+    WriteFlags {
+        /// Destination flag register.
+        reg: RegNum,
+        /// Flag vector.
+        flags: Flags,
+    },
+    /// Execute an instruction (user or management).
+    Instr(InstrWord),
+    /// Read a data register; answered by [`DevMsg::Data`] with `tag`.
+    ReadReg {
+        /// Source register.
+        reg: RegNum,
+        /// Correlation tag.
+        tag: Tag,
+    },
+    /// Read a flag register; answered by [`DevMsg::Flags`] with `tag`.
+    ReadFlags {
+        /// Source flag register.
+        reg: RegNum,
+        /// Correlation tag.
+        tag: Tag,
+    },
+    /// Barrier + acknowledgement: answered by [`DevMsg::SyncAck`] once all
+    /// earlier messages have fully completed.
+    Sync {
+        /// Correlation tag.
+        tag: Tag,
+    },
+}
+
+/// Messages travelling coprocessor → host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevMsg {
+    /// A data record (response to [`HostMsg::ReadReg`]).
+    Data {
+        /// Correlation tag of the read.
+        tag: Tag,
+        /// Register contents.
+        value: Word,
+    },
+    /// A flag vector (response to [`HostMsg::ReadFlags`]).
+    Flags {
+        /// Correlation tag of the read.
+        tag: Tag,
+        /// Flag register contents.
+        flags: Flags,
+    },
+    /// Barrier acknowledgement.
+    SyncAck {
+        /// Correlation tag of the sync.
+        tag: Tag,
+    },
+    /// The coprocessor rejected a message (unknown opcode, unknown
+    /// functional unit, out-of-range register).
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Additional information (e.g. the offending opcode).
+        info: u32,
+    },
+}
+
+/// Error classes reported by [`DevMsg::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Management opcode not recognised by the decoder.
+    BadOpcode = 1,
+    /// User instruction names a function code with no attached unit.
+    NoSuchUnit = 2,
+    /// Register number outside the configured file size.
+    BadRegister = 3,
+    /// Malformed frame stream.
+    BadFrame = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadOpcode,
+            2 => ErrorCode::NoSuchUnit,
+            3 => ErrorCode::BadRegister,
+            4 => ErrorCode::BadFrame,
+            _ => return None,
+        })
+    }
+}
+
+// Wire type codes (header bits 31..24).
+mod wire {
+    pub const WRITE_REG: u8 = 0x01;
+    pub const WRITE_FLAGS: u8 = 0x02;
+    pub const INSTR: u8 = 0x03;
+    pub const READ_REG: u8 = 0x04;
+    pub const READ_FLAGS: u8 = 0x05;
+    pub const SYNC: u8 = 0x06;
+    pub const DATA: u8 = 0x81;
+    pub const FLAGS: u8 = 0x82;
+    pub const SYNC_ACK: u8 = 0x86;
+    pub const ERROR: u8 = 0x8f;
+}
+
+fn header(ty: u8, reg: u8, low: u16) -> u32 {
+    (ty as u32) << 24 | (reg as u32) << 16 | low as u32
+}
+
+impl HostMsg {
+    /// Serialise to 32-bit frames. `word_bits` is the coprocessor's
+    /// configured word size ([`HostMsg::WriteReg`] payload length depends
+    /// on it).
+    ///
+    /// # Panics
+    /// Panics when a `WriteReg` value's width disagrees with `word_bits` —
+    /// the driver must transcode before transmission.
+    pub fn to_frames(&self, word_bits: u32) -> Vec<u32> {
+        match self {
+            HostMsg::WriteReg { reg, value } => {
+                assert_eq!(value.bits(), word_bits, "WriteReg width mismatch");
+                let mut f = vec![header(wire::WRITE_REG, *reg, 0)];
+                f.extend_from_slice(value.limbs());
+                f
+            }
+            HostMsg::WriteFlags { reg, flags } => {
+                vec![header(wire::WRITE_FLAGS, *reg, flags.0 as u16)]
+            }
+            HostMsg::Instr(w) => vec![
+                header(wire::INSTR, 0, 0),
+                (w.0 >> 32) as u32,
+                w.0 as u32,
+            ],
+            HostMsg::ReadReg { reg, tag } => vec![header(wire::READ_REG, *reg, *tag)],
+            HostMsg::ReadFlags { reg, tag } => vec![header(wire::READ_FLAGS, *reg, *tag)],
+            HostMsg::Sync { tag } => vec![header(wire::SYNC, 0, *tag)],
+        }
+    }
+
+    /// Number of frames this message occupies on the wire.
+    pub fn frame_len(&self, word_bits: u32) -> usize {
+        match self {
+            HostMsg::WriteReg { .. } => 1 + (word_bits / 32) as usize,
+            HostMsg::Instr(_) => 3,
+            _ => 1,
+        }
+    }
+}
+
+impl DevMsg {
+    /// Serialise to 32-bit frames.
+    pub fn to_frames(&self, word_bits: u32) -> Vec<u32> {
+        match self {
+            DevMsg::Data { tag, value } => {
+                assert_eq!(value.bits(), word_bits, "Data width mismatch");
+                let mut f = vec![header(wire::DATA, 0, *tag)];
+                f.extend_from_slice(value.limbs());
+                f
+            }
+            DevMsg::Flags { tag, flags } => {
+                vec![header(wire::FLAGS, flags.0, *tag)]
+            }
+            DevMsg::SyncAck { tag } => vec![header(wire::SYNC_ACK, 0, *tag)],
+            DevMsg::Error { code, info } => {
+                vec![header(wire::ERROR, *code as u8, 0), *info]
+            }
+        }
+    }
+}
+
+/// Streaming deserialiser for host → coprocessor frames (the stateful part
+/// of the RTM's message-buffer stage).
+#[derive(Debug, Clone)]
+pub struct HostDeframer {
+    word_bits: u32,
+    pending: Vec<u32>,
+    need: usize,
+}
+
+/// Framing error: the stream contained an unknown type code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// The header frame that could not be interpreted.
+    pub header: u32,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown frame header {:#010x}", self.header)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl HostDeframer {
+    /// A deframer for a coprocessor configured with `word_bits`-wide
+    /// registers.
+    pub fn new(word_bits: u32) -> Self {
+        HostDeframer {
+            word_bits,
+            pending: Vec::new(),
+            need: 0,
+        }
+    }
+
+    /// True while a message is partially received.
+    pub fn mid_message(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Feed one frame; returns a complete message when one finishes.
+    pub fn push(&mut self, frame: u32) -> Result<Option<HostMsg>, FrameError> {
+        if self.pending.is_empty() {
+            let ty = (frame >> 24) as u8;
+            self.need = match ty {
+                wire::WRITE_REG => 1 + (self.word_bits / 32) as usize,
+                wire::INSTR => 3,
+                wire::WRITE_FLAGS | wire::READ_REG | wire::READ_FLAGS | wire::SYNC => 1,
+                _ => return Err(FrameError { header: frame }),
+            };
+        }
+        self.pending.push(frame);
+        if self.pending.len() < self.need {
+            return Ok(None);
+        }
+        let frames = std::mem::take(&mut self.pending);
+        let h = frames[0];
+        let ty = (h >> 24) as u8;
+        let reg = (h >> 16) as u8;
+        let low = h as u16;
+        Ok(Some(match ty {
+            wire::WRITE_REG => HostMsg::WriteReg {
+                reg,
+                value: Word::from_limbs(&frames[1..]),
+            },
+            wire::WRITE_FLAGS => HostMsg::WriteFlags {
+                reg,
+                flags: Flags(low as u8),
+            },
+            wire::INSTR => HostMsg::Instr(InstrWord((frames[1] as u64) << 32 | frames[2] as u64)),
+            wire::READ_REG => HostMsg::ReadReg { reg, tag: low },
+            wire::READ_FLAGS => HostMsg::ReadFlags { reg, tag: low },
+            wire::SYNC => HostMsg::Sync { tag: low },
+            _ => unreachable!("type checked at header time"),
+        }))
+    }
+}
+
+/// Streaming deserialiser for coprocessor → host frames (lives in the host
+/// driver).
+#[derive(Debug, Clone)]
+pub struct DevDeframer {
+    word_bits: u32,
+    pending: Vec<u32>,
+    need: usize,
+}
+
+impl DevDeframer {
+    /// A deframer for a coprocessor configured with `word_bits`-wide
+    /// registers.
+    pub fn new(word_bits: u32) -> Self {
+        DevDeframer {
+            word_bits,
+            pending: Vec::new(),
+            need: 0,
+        }
+    }
+
+    /// Feed one frame; returns a complete message when one finishes.
+    pub fn push(&mut self, frame: u32) -> Result<Option<DevMsg>, FrameError> {
+        if self.pending.is_empty() {
+            let ty = (frame >> 24) as u8;
+            self.need = match ty {
+                wire::DATA => 1 + (self.word_bits / 32) as usize,
+                wire::ERROR => 2,
+                wire::FLAGS | wire::SYNC_ACK => 1,
+                _ => return Err(FrameError { header: frame }),
+            };
+        }
+        self.pending.push(frame);
+        if self.pending.len() < self.need {
+            return Ok(None);
+        }
+        let frames = std::mem::take(&mut self.pending);
+        let h = frames[0];
+        let ty = (h >> 24) as u8;
+        let mid = (h >> 16) as u8;
+        let low = h as u16;
+        Ok(Some(match ty {
+            wire::DATA => DevMsg::Data {
+                tag: low,
+                value: Word::from_limbs(&frames[1..]),
+            },
+            wire::FLAGS => DevMsg::Flags {
+                tag: low,
+                flags: Flags(mid),
+            },
+            wire::SYNC_ACK => DevMsg::SyncAck { tag: low },
+            wire::ERROR => DevMsg::Error {
+                code: ErrorCode::from_u8(mid).ok_or(FrameError { header: h })?,
+                info: frames[1],
+            },
+            _ => unreachable!("type checked at header time"),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_host(m: HostMsg, word_bits: u32) {
+        let frames = m.to_frames(word_bits);
+        assert_eq!(frames.len(), m.frame_len(word_bits));
+        let mut d = HostDeframer::new(word_bits);
+        let mut out = None;
+        for (i, f) in frames.iter().enumerate() {
+            let r = d.push(*f).expect("frame accepted");
+            if i + 1 < frames.len() {
+                assert!(r.is_none(), "message completed early");
+                assert!(d.mid_message());
+            } else {
+                out = r;
+            }
+        }
+        assert_eq!(out, Some(m));
+        assert!(!d.mid_message());
+    }
+
+    #[test]
+    fn host_messages_roundtrip_32() {
+        roundtrip_host(
+            HostMsg::WriteReg {
+                reg: 5,
+                value: Word::from_u64(0xdead_beef, 32),
+            },
+            32,
+        );
+        roundtrip_host(HostMsg::WriteFlags { reg: 2, flags: Flags(0x1f) }, 32);
+        roundtrip_host(HostMsg::Instr(InstrWord(0x8010_2030_4050_6070)), 32);
+        roundtrip_host(HostMsg::ReadReg { reg: 7, tag: 0xabc }, 32);
+        roundtrip_host(HostMsg::ReadFlags { reg: 1, tag: 3 }, 32);
+        roundtrip_host(HostMsg::Sync { tag: 0xffff }, 32);
+    }
+
+    #[test]
+    fn host_write_roundtrips_at_wide_words() {
+        for bits in [64, 96, 128] {
+            roundtrip_host(
+                HostMsg::WriteReg {
+                    reg: 0,
+                    value: Word::from_u128(0x0123_4567_89ab_cdef_1122_3344, bits),
+                },
+                bits,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn write_reg_width_checked() {
+        HostMsg::WriteReg {
+            reg: 0,
+            value: Word::from_u64(1, 64),
+        }
+        .to_frames(32);
+    }
+
+    #[test]
+    fn dev_messages_roundtrip() {
+        let msgs = vec![
+            DevMsg::Data {
+                tag: 9,
+                value: Word::from_u64(0x1234_5678, 32),
+            },
+            DevMsg::Flags { tag: 1, flags: Flags(0b10101) },
+            DevMsg::SyncAck { tag: 0 },
+            DevMsg::Error {
+                code: ErrorCode::NoSuchUnit,
+                info: 42,
+            },
+        ];
+        for m in msgs {
+            let frames = m.to_frames(32);
+            let mut d = DevDeframer::new(32);
+            let mut out = None;
+            for f in &frames {
+                out = d.push(*f).unwrap();
+            }
+            assert_eq!(out, Some(m));
+        }
+    }
+
+    #[test]
+    fn unknown_header_is_rejected() {
+        let mut d = HostDeframer::new(32);
+        let err = d.push(0xff00_0000).unwrap_err();
+        assert_eq!(err.header, 0xff00_0000);
+        assert!(err.to_string().contains("0xff000000"));
+        let mut d = DevDeframer::new(32);
+        assert!(d.push(0x7700_0000).is_err());
+    }
+
+    #[test]
+    fn interleaved_messages_parse_in_sequence() {
+        // A realistic stream: write two registers, an instruction, a read.
+        let word_bits = 64;
+        let stream: Vec<HostMsg> = vec![
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(10, 64),
+            },
+            HostMsg::WriteReg {
+                reg: 2,
+                value: Word::from_u64(20, 64),
+            },
+            HostMsg::Instr(InstrWord(0x8010_0000_0000_0000)),
+            HostMsg::ReadReg { reg: 3, tag: 1 },
+        ];
+        let mut frames = Vec::new();
+        for m in &stream {
+            frames.extend(m.to_frames(word_bits));
+        }
+        let mut d = HostDeframer::new(word_bits);
+        let mut parsed = Vec::new();
+        for f in frames {
+            if let Some(m) = d.push(f).unwrap() {
+                parsed.push(m);
+            }
+        }
+        assert_eq!(parsed, stream);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_host_roundtrip_any(sel in 0u8..6, reg: u8, tag: u16, v: u64, raw: u64) {
+            let m = match sel {
+                0 => HostMsg::WriteReg { reg, value: Word::from_u64(v, 64) },
+                1 => HostMsg::WriteFlags { reg, flags: Flags(v as u8) },
+                2 => HostMsg::Instr(InstrWord(raw)),
+                3 => HostMsg::ReadReg { reg, tag },
+                4 => HostMsg::ReadFlags { reg, tag },
+                _ => HostMsg::Sync { tag },
+            };
+            let mut d = HostDeframer::new(64);
+            let mut out = None;
+            for f in m.to_frames(64) {
+                out = d.push(f).unwrap();
+            }
+            prop_assert_eq!(out, Some(m));
+        }
+
+        #[test]
+        fn prop_dev_roundtrip_any(sel in 0u8..4, tag: u16, v: u128, info: u32) {
+            let m = match sel {
+                0 => DevMsg::Data { tag, value: Word::from_u128(v, 96) },
+                1 => DevMsg::Flags { tag, flags: Flags(v as u8) },
+                2 => DevMsg::SyncAck { tag },
+                _ => DevMsg::Error { code: ErrorCode::BadFrame, info },
+            };
+            let mut d = DevDeframer::new(96);
+            let mut out = None;
+            for f in m.to_frames(96) {
+                out = d.push(f).unwrap();
+            }
+            prop_assert_eq!(out, Some(m));
+        }
+    }
+}

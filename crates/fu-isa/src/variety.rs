@@ -1,0 +1,555 @@
+//! Variety codes: per-functional-unit operation modifiers.
+//!
+//! The framework forwards an 8-bit *variety code* to the functional unit
+//! with every dispatch (`variety_code[7..0]` in the minimal-unit
+//! schematic). For the arithmetic unit, Table 3.1 of the thesis derives
+//! the entire ADD/ADC/SUB/SBB/INC/DEC/NEG/CMP/CMPB family from six
+//! modifier bits feeding one adder:
+//!
+//! > Use carry flag · Fixed carry · Output data · First input zero ·
+//! > Second input zero · Complement second input
+//!
+//! with the semantics
+//!
+//! ```text
+//! a' = first-input-zero  ? 0  : src1
+//! b0 = second-input-zero ? 0  : src2
+//! b' = complement-second ? ~b0 : b0
+//! ci = use-carry-flag ? flags[src_flag].C : fixed-carry
+//! (result, carry, overflow) = a' + b' + ci
+//! ```
+//!
+//! "All operations with the exception of the negation instruction are
+//! applied to the first and second source operand … The negation
+//! instruction is applied to the second operand only, for reasons of logic
+//! compactness" — hence NEG = `0 + ~src2 + 1`.
+//!
+//! For the logic unit (Table 3.2) we encode the operation as a 2-input
+//! truth table in the low four bits — precisely how a 4-input LUT fabric
+//! implements an arbitrary bitwise function — plus the same
+//! output-data bit.
+
+use crate::flags::Flags;
+use crate::word::Word;
+
+/// Bit assignments of the arithmetic unit's variety code (Table 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArithVariety(pub u8);
+
+impl ArithVariety {
+    /// Carry-in comes from the source flag register.
+    pub const USE_CARRY: u8 = 1 << 5;
+    /// Carry-in value when `USE_CARRY` is clear.
+    pub const FIXED_CARRY: u8 = 1 << 4;
+    /// The data result is written to the destination register (clear for
+    /// CMP/CMPB, which only produce flags).
+    pub const OUTPUT_DATA: u8 = 1 << 3;
+    /// Force the first operand to zero.
+    pub const FIRST_ZERO: u8 = 1 << 2;
+    /// Force the second operand to zero.
+    pub const SECOND_ZERO: u8 = 1 << 1;
+    /// Complement the (possibly zeroed) second operand.
+    pub const COMPLEMENT_SECOND: u8 = 1 << 0;
+
+    /// Does the operation read the source flag register?
+    pub fn uses_carry_flag(&self) -> bool {
+        self.0 & Self::USE_CARRY != 0
+    }
+
+    /// Does the operation write a data result?
+    pub fn outputs_data(&self) -> bool {
+        self.0 & Self::OUTPUT_DATA != 0
+    }
+
+    /// Evaluate the adder datapath on full-width words.
+    ///
+    /// Returns `(data_result, flags)`; the data result is `None` when the
+    /// variety suppresses output (compare instructions).
+    pub fn evaluate(&self, src1: &Word, src2: &Word, flags_in: Flags) -> (Option<Word>, Flags) {
+        let bits = src1.bits();
+        let a = if self.0 & Self::FIRST_ZERO != 0 {
+            Word::zero(bits)
+        } else {
+            *src1
+        };
+        let b0 = if self.0 & Self::SECOND_ZERO != 0 {
+            Word::zero(bits)
+        } else {
+            *src2
+        };
+        let b = if self.0 & Self::COMPLEMENT_SECOND != 0 {
+            b0.not()
+        } else {
+            b0
+        };
+        let ci = if self.uses_carry_flag() {
+            flags_in.carry()
+        } else {
+            self.0 & Self::FIXED_CARRY != 0
+        };
+        let (sum, carry, overflow) = a.adc(&b, ci);
+        let flags = Flags::from_parts(carry, sum.is_zero(), sum.msb(), overflow);
+        let data = self.outputs_data().then_some(sum);
+        (data, flags)
+    }
+}
+
+/// The nine named arithmetic instructions of Table 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `d = s1 + s2`
+    Add,
+    /// `d = s1 + s2 + C`
+    Adc,
+    /// `d = s1 - s2`
+    Sub,
+    /// `d = s1 - s2 - !C` (borrow chained through the carry flag)
+    Sbb,
+    /// `d = s1 + 1`
+    Inc,
+    /// `d = s1 - 1`
+    Dec,
+    /// `d = -s2` (second operand only, per the thesis)
+    Neg,
+    /// flags of `s1 - s2`, no data output
+    Cmp,
+    /// flags of `s1 - s2 - !C`, no data output
+    Cmpb,
+}
+
+impl ArithOp {
+    /// All nine operations, in Table 3.1 order.
+    pub const ALL: [ArithOp; 9] = [
+        ArithOp::Add,
+        ArithOp::Adc,
+        ArithOp::Sub,
+        ArithOp::Sbb,
+        ArithOp::Inc,
+        ArithOp::Dec,
+        ArithOp::Neg,
+        ArithOp::Cmp,
+        ArithOp::Cmpb,
+    ];
+
+    /// The variety encoding of this operation (one row of Table 3.1).
+    pub fn variety(&self) -> ArithVariety {
+        use ArithOp::*;
+        let v = match self {
+            Add => ArithVariety::OUTPUT_DATA,
+            Adc => ArithVariety::OUTPUT_DATA | ArithVariety::USE_CARRY,
+            Sub => {
+                ArithVariety::OUTPUT_DATA
+                    | ArithVariety::COMPLEMENT_SECOND
+                    | ArithVariety::FIXED_CARRY
+            }
+            Sbb => {
+                ArithVariety::OUTPUT_DATA | ArithVariety::COMPLEMENT_SECOND | ArithVariety::USE_CARRY
+            }
+            Inc => ArithVariety::OUTPUT_DATA | ArithVariety::SECOND_ZERO | ArithVariety::FIXED_CARRY,
+            Dec => {
+                ArithVariety::OUTPUT_DATA
+                    | ArithVariety::SECOND_ZERO
+                    | ArithVariety::COMPLEMENT_SECOND
+            }
+            Neg => {
+                ArithVariety::OUTPUT_DATA
+                    | ArithVariety::FIRST_ZERO
+                    | ArithVariety::COMPLEMENT_SECOND
+                    | ArithVariety::FIXED_CARRY
+            }
+            Cmp => ArithVariety::COMPLEMENT_SECOND | ArithVariety::FIXED_CARRY,
+            Cmpb => ArithVariety::COMPLEMENT_SECOND | ArithVariety::USE_CARRY,
+        };
+        ArithVariety(v)
+    }
+
+    /// Identify a variety as one of the named operations, if it is one.
+    pub fn from_variety(v: ArithVariety) -> Option<ArithOp> {
+        ArithOp::ALL.into_iter().find(|op| op.variety() == v)
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "ADD",
+            ArithOp::Adc => "ADC",
+            ArithOp::Sub => "SUB",
+            ArithOp::Sbb => "SBB",
+            ArithOp::Inc => "INC",
+            ArithOp::Dec => "DEC",
+            ArithOp::Neg => "NEG",
+            ArithOp::Cmp => "CMP",
+            ArithOp::Cmpb => "CMPB",
+        }
+    }
+
+    /// Parse a mnemonic (case-insensitive).
+    pub fn from_mnemonic(s: &str) -> Option<ArithOp> {
+        ArithOp::ALL
+            .into_iter()
+            .find(|op| op.mnemonic().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Variety code of the logic unit (Table 3.2): a 2-input truth table in
+/// bits 3..0 (bit index `2*a + b` gives the output for inputs `(a, b)`),
+/// plus the output-data bit at the arithmetic unit's position so compare-
+/// style "test" operations are expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogicVariety(pub u8);
+
+impl LogicVariety {
+    /// Truth-table mask.
+    pub const TABLE: u8 = 0x0f;
+    /// Write the data result (same bit position as the arithmetic unit).
+    pub const OUTPUT_DATA: u8 = 1 << 4;
+
+    /// Build from a truth table with data output enabled.
+    pub fn from_table(table: u8) -> LogicVariety {
+        LogicVariety((table & Self::TABLE) | Self::OUTPUT_DATA)
+    }
+
+    /// Does the operation write a data result?
+    pub fn outputs_data(&self) -> bool {
+        self.0 & Self::OUTPUT_DATA != 0
+    }
+
+    /// Apply the truth table bitwise across two words.
+    pub fn evaluate(&self, src1: &Word, src2: &Word) -> (Option<Word>, Flags) {
+        let t = self.0 & Self::TABLE;
+        let out = src1.zip(src2, |a, b| {
+            let mut r = 0u32;
+            // Each output bit selects a truth-table entry by (a_i, b_i).
+            // Expressed with masks rather than a bit loop, exactly as a
+            // LUT fabric computes it:
+            if t & 0b0001 != 0 {
+                r |= !a & !b;
+            }
+            if t & 0b0010 != 0 {
+                r |= !a & b;
+            }
+            if t & 0b0100 != 0 {
+                r |= a & !b;
+            }
+            if t & 0b1000 != 0 {
+                r |= a & b;
+            }
+            r
+        });
+        let flags = Flags::from_parts(false, out.is_zero(), out.msb(), false);
+        let data = self.outputs_data().then_some(out);
+        (data, flags)
+    }
+}
+
+/// Named logic operations (the reconstruction of Table 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// `d = s1 & s2`
+    And,
+    /// `d = s1 | s2`
+    Or,
+    /// `d = s1 ^ s2`
+    Xor,
+    /// `d = ~(s1 & s2)`
+    Nand,
+    /// `d = ~(s1 | s2)`
+    Nor,
+    /// `d = ~(s1 ^ s2)`
+    Xnor,
+    /// `d = ~s1` (unary: applied to the first operand)
+    Not,
+    /// `d = s1 & ~s2` (bit clear)
+    Andn,
+    /// `d = s1` (move through the logic unit)
+    Copy,
+    /// flags of `s1 & s2`, no data output
+    Test,
+}
+
+impl LogicOp {
+    /// All named logic operations.
+    pub const ALL: [LogicOp; 10] = [
+        LogicOp::And,
+        LogicOp::Or,
+        LogicOp::Xor,
+        LogicOp::Nand,
+        LogicOp::Nor,
+        LogicOp::Xnor,
+        LogicOp::Not,
+        LogicOp::Andn,
+        LogicOp::Copy,
+        LogicOp::Test,
+    ];
+
+    /// Truth table of the operation (output bit for input `(a, b)` at
+    /// index `2a + b`).
+    pub fn table(&self) -> u8 {
+        match self {
+            LogicOp::And => 0b1000,
+            LogicOp::Or => 0b1110,
+            LogicOp::Xor => 0b0110,
+            LogicOp::Nand => 0b0111,
+            LogicOp::Nor => 0b0001,
+            LogicOp::Xnor => 0b1001,
+            LogicOp::Not => 0b0011,  // ~a, independent of b
+            LogicOp::Andn => 0b0100, // a & ~b
+            LogicOp::Copy => 0b1100, // a
+            LogicOp::Test => 0b1000, // flags of AND
+        }
+    }
+
+    /// Variety encoding of this operation.
+    pub fn variety(&self) -> LogicVariety {
+        let v = LogicVariety::from_table(self.table());
+        if matches!(self, LogicOp::Test) {
+            LogicVariety(v.0 & !LogicVariety::OUTPUT_DATA)
+        } else {
+            v
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LogicOp::And => "AND",
+            LogicOp::Or => "OR",
+            LogicOp::Xor => "XOR",
+            LogicOp::Nand => "NAND",
+            LogicOp::Nor => "NOR",
+            LogicOp::Xnor => "XNOR",
+            LogicOp::Not => "NOT",
+            LogicOp::Andn => "ANDN",
+            LogicOp::Copy => "LCOPY",
+            LogicOp::Test => "TEST",
+        }
+    }
+
+    /// Parse a mnemonic (case-insensitive).
+    pub fn from_mnemonic(s: &str) -> Option<LogicOp> {
+        LogicOp::ALL
+            .into_iter()
+            .find(|op| op.mnemonic().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Variety code of the shift unit (an extension FU used by the examples):
+/// bits 1..0 select the kind, bit 2 selects the amount source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShiftVariety(pub u8);
+
+impl ShiftVariety {
+    /// Logical shift left.
+    pub const SHL: ShiftVariety = ShiftVariety(0b00);
+    /// Logical shift right.
+    pub const SHR: ShiftVariety = ShiftVariety(0b01);
+    /// Arithmetic shift right.
+    pub const SAR: ShiftVariety = ShiftVariety(0b10);
+    /// Rotate left.
+    pub const ROL: ShiftVariety = ShiftVariety(0b11);
+    /// When set, the amount is the low bits of `src3`'s register number
+    /// (an immediate baked into the instruction); otherwise the amount is
+    /// `src2`'s value.
+    pub const IMM_AMOUNT: u8 = 1 << 2;
+
+    /// Apply the shift.
+    pub fn evaluate(&self, value: &Word, amount: u32) -> (Word, Flags) {
+        let out = match ShiftVariety(self.0 & 0b11) {
+            ShiftVariety::SHL => value.shl(amount),
+            ShiftVariety::SHR => value.shr(amount),
+            ShiftVariety::SAR => value.sar(amount),
+            _ => value.rol(amount),
+        };
+        let flags = Flags::from_parts(false, out.is_zero(), out.msb(), false);
+        (out, flags)
+    }
+
+    /// Does the amount come from the instruction's `src3` field?
+    pub fn imm_amount(&self) -> bool {
+        self.0 & Self::IMM_AMOUNT != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn w(v: u64) -> Word {
+        Word::from_u64(v, 32)
+    }
+
+    #[test]
+    fn table_3_1_varieties_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in ArithOp::ALL {
+            assert!(seen.insert(op.variety()), "{op:?} duplicates a variety");
+        }
+    }
+
+    #[test]
+    fn table_3_1_semantics() {
+        let f0 = Flags::NONE;
+        let fc = Flags::CARRY;
+        let cases: Vec<(ArithOp, u64, u64, Flags, Option<u64>)> = vec![
+            (ArithOp::Add, 5, 3, f0, Some(8)),
+            (ArithOp::Adc, 5, 3, fc, Some(9)),
+            (ArithOp::Adc, 5, 3, f0, Some(8)),
+            (ArithOp::Sub, 5, 3, f0, Some(2)),
+            (ArithOp::Sbb, 5, 3, fc, Some(2)),   // C=1: no pending borrow
+            (ArithOp::Sbb, 5, 3, f0, Some(1)),   // C=0: borrow one more
+            (ArithOp::Inc, 41, 999, f0, Some(42)), // second operand ignored
+            (ArithOp::Dec, 43, 999, f0, Some(42)),
+            (ArithOp::Neg, 999, 5, f0, Some(5u64.wrapping_neg() as u32 as u64)),
+            (ArithOp::Cmp, 5, 3, f0, None),
+            (ArithOp::Cmpb, 5, 3, fc, None),
+        ];
+        for (op, a, b, fin, expect) in cases {
+            let (data, _) = op.variety().evaluate(&w(a), &w(b), fin);
+            assert_eq!(data.map(|d| d.as_u64()), expect, "{op:?} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn cmp_flags_encode_ordering() {
+        // CMP computes s1 - s2: C set (no borrow) iff s1 >= s2, Z iff equal.
+        let (_, f) = ArithOp::Cmp.variety().evaluate(&w(7), &w(7), Flags::NONE);
+        assert!(f.zero() && f.carry());
+        let (_, f) = ArithOp::Cmp.variety().evaluate(&w(3), &w(7), Flags::NONE);
+        assert!(!f.zero() && !f.carry());
+        let (_, f) = ArithOp::Cmp.variety().evaluate(&w(9), &w(7), Flags::NONE);
+        assert!(!f.zero() && f.carry());
+    }
+
+    #[test]
+    fn only_carry_ops_read_flags() {
+        for op in ArithOp::ALL {
+            let uses = op.variety().uses_carry_flag();
+            let expect = matches!(op, ArithOp::Adc | ArithOp::Sbb | ArithOp::Cmpb);
+            assert_eq!(uses, expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn only_compares_suppress_data() {
+        for op in ArithOp::ALL {
+            let outputs = op.variety().outputs_data();
+            let expect = !matches!(op, ArithOp::Cmp | ArithOp::Cmpb);
+            assert_eq!(outputs, expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn variety_roundtrips_to_op() {
+        for op in ArithOp::ALL {
+            assert_eq!(ArithOp::from_variety(op.variety()), Some(op));
+        }
+        assert_eq!(ArithOp::from_variety(ArithVariety(0xff)), None);
+    }
+
+    #[test]
+    fn mnemonics_roundtrip() {
+        for op in ArithOp::ALL {
+            assert_eq!(ArithOp::from_mnemonic(op.mnemonic()), Some(op));
+            assert_eq!(ArithOp::from_mnemonic(&op.mnemonic().to_lowercase()), Some(op));
+        }
+        for op in LogicOp::ALL {
+            assert_eq!(LogicOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(ArithOp::from_mnemonic("FROB"), None);
+    }
+
+    #[test]
+    fn logic_tables_match_operators() {
+        let a = w(0b1100);
+        let b = w(0b1010);
+        let eval = |op: LogicOp| op.variety().evaluate(&a, &b).0.map(|d| d.as_u64() & 0xf);
+        assert_eq!(eval(LogicOp::And), Some(0b1000));
+        assert_eq!(eval(LogicOp::Or), Some(0b1110));
+        assert_eq!(eval(LogicOp::Xor), Some(0b0110));
+        assert_eq!(eval(LogicOp::Copy), Some(0b1100));
+        assert_eq!(eval(LogicOp::Andn), Some(0b0100));
+        assert_eq!(eval(LogicOp::Test), None);
+        // Complemented forms span the full word, not just the low nibble.
+        let (d, _) = LogicOp::Nor.variety().evaluate(&a, &b);
+        assert_eq!(d.unwrap().as_u64(), !(0b1100u64 | 0b1010) & 0xffff_ffff);
+    }
+
+    #[test]
+    fn logic_zero_flag() {
+        let (_, f) = LogicOp::And.variety().evaluate(&w(0b01), &w(0b10));
+        assert!(f.zero());
+        let (_, f) = LogicOp::Test.variety().evaluate(&w(0b11), &w(0b10));
+        assert!(!f.zero());
+    }
+
+    #[test]
+    fn shift_varieties() {
+        let v = w(0x8000_0001);
+        assert_eq!(ShiftVariety::SHL.evaluate(&v, 4).0.as_u64(), 0x10);
+        assert_eq!(ShiftVariety::SHR.evaluate(&v, 4).0.as_u64(), 0x0800_0000);
+        assert_eq!(ShiftVariety::SAR.evaluate(&v, 4).0.as_u64(), 0xf800_0000);
+        assert_eq!(ShiftVariety::ROL.evaluate(&v, 4).0.as_u64(), 0x0000_0018);
+        assert!(ShiftVariety(ShiftVariety::SHL.0 | ShiftVariety::IMM_AMOUNT).imm_amount());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_inverse(a: u32, b: u32) {
+            let (sum, _) = ArithOp::Add.variety().evaluate(&w(a as u64), &w(b as u64), Flags::NONE);
+            let (diff, _) = ArithOp::Sub
+                .variety()
+                .evaluate(&sum.unwrap(), &w(b as u64), Flags::NONE);
+            prop_assert_eq!(diff.unwrap().as_u64(), a as u64);
+        }
+
+        #[test]
+        fn prop_neg_is_two_complement(b: u32) {
+            let (d, _) = ArithOp::Neg.variety().evaluate(&w(777), &w(b as u64), Flags::NONE);
+            prop_assert_eq!(d.unwrap().as_u64(), (b as u32).wrapping_neg() as u64);
+        }
+
+        #[test]
+        fn prop_multiword_add_via_adc(a: u64, b: u64) {
+            // 64-bit addition on a 32-bit configuration: ADD low halves,
+            // ADC high halves — the multi-word idiom Table 3.1 supports
+            // "through an externally provided carry bit".
+            let (lo, f_lo) = ArithOp::Add
+                .variety()
+                .evaluate(&w(a & 0xffff_ffff), &w(b & 0xffff_ffff), Flags::NONE);
+            let (hi, f_hi) = ArithOp::Adc
+                .variety()
+                .evaluate(&w(a >> 32), &w(b >> 32), f_lo);
+            let got = (hi.unwrap().as_u64() << 32) | lo.unwrap().as_u64();
+            prop_assert_eq!(got, a.wrapping_add(b));
+            prop_assert_eq!(f_hi.carry(), a.checked_add(b).is_none());
+        }
+
+        #[test]
+        fn prop_multiword_sub_via_sbb(a: u64, b: u64) {
+            let (lo, f_lo) = ArithOp::Sub
+                .variety()
+                .evaluate(&w(a & 0xffff_ffff), &w(b & 0xffff_ffff), Flags::NONE);
+            let (hi, f_hi) = ArithOp::Sbb
+                .variety()
+                .evaluate(&w(a >> 32), &w(b >> 32), f_lo);
+            let got = (hi.unwrap().as_u64() << 32) | lo.unwrap().as_u64();
+            prop_assert_eq!(got, a.wrapping_sub(b));
+            prop_assert_eq!(f_hi.carry(), a >= b);
+        }
+
+        #[test]
+        fn prop_logic_truth_tables_exhaustive(a: u32, b: u32, t in 0u8..16) {
+            let v = LogicVariety::from_table(t);
+            let (d, _) = v.evaluate(&w(a as u64), &w(b as u64));
+            let d = d.unwrap().as_u64() as u32;
+            // Independently recompute bit by bit.
+            for bit in 0..32 {
+                let ai = (a >> bit) & 1;
+                let bi = (b >> bit) & 1;
+                let expect = (t >> (2 * ai + bi)) & 1;
+                prop_assert_eq!(((d >> bit) & 1) as u8, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,980 @@
+//! The top-level coprocessor: Figure 2/3 of the paper, assembled.
+//!
+//! [`Coprocessor`] owns the whole on-FPGA design — interface FIFOs,
+//! message buffer, decoder, dispatcher, execution stage, write arbiter,
+//! message encoder/serialiser, both register files, the lock manager, the
+//! functional unit table and the attached functional units — and clocks it
+//! one cycle per [`Coprocessor::step`].
+//!
+//! Within a cycle the stages are evaluated **sink to source** so that the
+//! local handshakes achieve full throughput (a pipeline register freed in
+//! cycle *t* accepts new data in cycle *t*), exactly the behaviour of the
+//! combinational ready chains in the VHDL original:
+//!
+//! ```text
+//! serializer → encoder → write arbiter → execution → dispatcher → decoder → message buffer
+//! ```
+//!
+//! after which every registered element commits simultaneously (the clock
+//! edge).
+
+use crate::arbiter::WriteArbiter;
+use crate::config::CoprocConfig;
+use crate::decoder::{DecodedOp, Decoder};
+use crate::dispatcher::{DispatchStats, Dispatcher};
+use crate::encoder::{MessageEncoder, SequencedResponse};
+use crate::execute::{ExecOp, Execution};
+use crate::flagfile::FlagFile;
+use crate::futable::FuTable;
+use crate::lock::LockManager;
+use crate::msgbuf::{MessageBuffer, MsgBufOut};
+use crate::protocol::FunctionalUnit;
+use crate::regfile::RegFile;
+use crate::serializer::MessageSerializer;
+use fu_isa::{DevMsg, Flags, Word};
+use rtl_sim::area::log2_ceil;
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, SimError, TraceBuffer};
+
+/// Aggregated machine statistics (see the per-stage counters for
+/// definitions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoprocStats {
+    /// Clock cycles since reset.
+    pub cycles: u64,
+    /// Frames consumed from the receive FIFO.
+    pub frames_in: u64,
+    /// Host messages assembled by the message buffer.
+    pub msgs_in: u64,
+    /// Messages decoded (including errors).
+    pub decoded: u64,
+    /// Decode errors converted to in-band error responses.
+    pub decode_errors: u64,
+    /// Dispatcher throughput and stall breakdown.
+    pub dispatch: DispatchStats,
+    /// Functional-unit completions retired by the write arbiter.
+    pub fu_completions: u64,
+    /// Data-register writes performed by the write arbiter.
+    pub arb_data_writes: u64,
+    /// Flag-register writes performed by the write arbiter.
+    pub arb_flag_writes: u64,
+    /// Cycles in which a ready completion was denied a write port.
+    pub arb_contention: u64,
+    /// Data-register writes through the execution stage's high-priority
+    /// port.
+    pub exec_data_writes: u64,
+    /// Flag-register writes through the high-priority port.
+    pub exec_flag_writes: u64,
+    /// Responses forwarded to the host.
+    pub responses: u64,
+    /// Frames emitted into the transmit FIFO.
+    pub frames_out: u64,
+}
+
+/// One-cycle snapshot of the machine's observable signals (see
+/// [`Coprocessor::probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoprocProbe {
+    /// Receive-FIFO occupancy.
+    pub rx_level: u32,
+    /// Message-buffer output register holds a message.
+    pub msg_valid: bool,
+    /// Decoder output register holds an operation.
+    pub decoded_valid: bool,
+    /// Execution input register holds a micro-operation.
+    pub exec_valid: bool,
+    /// Response register holds a response.
+    pub resp_valid: bool,
+    /// Serialiser input register holds a message.
+    pub dev_valid: bool,
+    /// Transmit-FIFO occupancy.
+    pub tx_level: u32,
+    /// Instructions dispatched but not retired (scoreboard).
+    pub in_flight: u32,
+    /// Functional units currently holding work.
+    pub fus_busy: u32,
+}
+
+/// The assembled coprocessor.
+pub struct Coprocessor {
+    cfg: CoprocConfig,
+    // pipeline stages
+    msgbuf: MessageBuffer,
+    decoder: Decoder,
+    dispatcher: Dispatcher,
+    execution: Execution,
+    arbiter: WriteArbiter,
+    encoder: MessageEncoder,
+    serializer: MessageSerializer,
+    // architectural state
+    regfile: RegFile,
+    flagfile: FlagFile,
+    lock: LockManager,
+    futable: FuTable,
+    fus: Vec<Box<dyn FunctionalUnit>>,
+    // inter-stage registers
+    rx_fifo: Fifo<u32>,
+    msg_slot: HandshakeSlot<MsgBufOut>,
+    decoded_slot: HandshakeSlot<DecodedOp>,
+    exec_slot: HandshakeSlot<ExecOp>,
+    resp_slot: HandshakeSlot<SequencedResponse>,
+    dev_slot: HandshakeSlot<DevMsg>,
+    tx_fifo: Fifo<u32>,
+    // bookkeeping
+    cycle: u64,
+    trace: TraceBuffer,
+}
+
+impl Coprocessor {
+    /// Assemble a coprocessor from a configuration and a set of
+    /// functional units.
+    ///
+    /// # Errors
+    /// Fails when the configuration violates a generic constraint or two
+    /// units claim the same function code.
+    pub fn new(cfg: CoprocConfig, fus: Vec<Box<dyn FunctionalUnit>>) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let futable = FuTable::build(&fus)?;
+        Ok(Coprocessor {
+            msgbuf: MessageBuffer::new(cfg.word_bits, cfg.rx_frames_per_cycle),
+            decoder: Decoder::new(cfg.data_regs, cfg.flag_regs, cfg.word_bits),
+            dispatcher: Dispatcher::new(cfg.word_bits),
+            execution: Execution::new(),
+            arbiter: WriteArbiter::new(cfg.write_ports),
+            encoder: MessageEncoder::new(),
+            serializer: MessageSerializer::new(cfg.word_bits, cfg.tx_frames_per_cycle),
+            regfile: RegFile::new(cfg.data_regs, cfg.word_bits),
+            flagfile: FlagFile::new(cfg.flag_regs),
+            lock: LockManager::new(cfg.data_regs, cfg.flag_regs),
+            futable,
+            fus,
+            rx_fifo: Fifo::new(cfg.rx_fifo_depth),
+            msg_slot: HandshakeSlot::new(),
+            decoded_slot: HandshakeSlot::new(),
+            exec_slot: HandshakeSlot::new(),
+            resp_slot: HandshakeSlot::new(),
+            dev_slot: HandshakeSlot::new(),
+            tx_fifo: Fifo::new(cfg.tx_fifo_depth),
+            cycle: 0,
+            trace: if cfg.trace_depth > 0 {
+                TraceBuffer::new(cfg.trace_depth)
+            } else {
+                TraceBuffer::disabled()
+            },
+            cfg,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoprocConfig {
+        &self.cfg
+    }
+
+    /// Cycles elapsed since reset.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Can the receive FIFO accept another frame this cycle?
+    pub fn rx_ready(&self) -> bool {
+        self.rx_fifo.can_push()
+    }
+
+    /// Free space in the receive FIFO this cycle.
+    pub fn rx_space(&self) -> usize {
+        self.rx_fifo.space()
+    }
+
+    /// Deliver one frame from the link (receiver → receive FIFO).
+    /// Returns `false` (frame not accepted) when the FIFO is full — the
+    /// link must retry, as real flow control would.
+    pub fn push_frame(&mut self, frame: u32) -> bool {
+        if self.rx_fifo.can_push() {
+            self.rx_fifo.push(frame);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove one frame from the transmit FIFO (transmitter → link).
+    pub fn pop_frame(&mut self) -> Option<u32> {
+        self.tx_fifo.pop()
+    }
+
+    /// Advance the design by one clock cycle.
+    pub fn step(&mut self) {
+        // ---- evaluate, sink to source ----
+        self.serializer.eval(&mut self.dev_slot, &mut self.tx_fifo);
+        self.encoder.eval(&mut self.resp_slot, &mut self.dev_slot);
+        self.arbiter
+            .eval(&mut self.fus, &mut self.regfile, &mut self.flagfile, &mut self.lock);
+        self.execution.eval(
+            &mut self.exec_slot,
+            &mut self.resp_slot,
+            &mut self.regfile,
+            &mut self.flagfile,
+            &mut self.lock,
+        );
+        let before_user = self.dispatcher.stats.user_dispatched;
+        self.dispatcher.eval(
+            &mut self.decoded_slot,
+            &mut self.exec_slot,
+            &mut self.fus,
+            &mut self.lock,
+            &mut self.regfile,
+            &mut self.flagfile,
+        );
+        if self.trace.is_enabled() && self.dispatcher.stats.user_dispatched != before_user {
+            let cycle = self.cycle;
+            self.trace
+                .record(cycle, "dispatch", || "user instruction dispatched".into());
+        }
+        self.decoder
+            .eval(&mut self.msg_slot, &mut self.decoded_slot, &self.futable);
+        self.msgbuf.eval(&mut self.rx_fifo, &mut self.msg_slot);
+
+        // ---- clock edge ----
+        self.rx_fifo.commit();
+        self.msg_slot.commit();
+        self.decoded_slot.commit();
+        self.exec_slot.commit();
+        self.resp_slot.commit();
+        self.dev_slot.commit();
+        self.tx_fifo.commit();
+        self.regfile.commit();
+        self.flagfile.commit();
+        for fu in &mut self.fus {
+            fu.commit();
+        }
+        self.cycle += 1;
+    }
+
+    /// True when no work is anywhere in the machine (including unread
+    /// transmit frames).
+    pub fn is_idle(&self) -> bool {
+        self.rx_fifo.is_idle()
+            && !self.msgbuf.mid_message()
+            && self.msg_slot.is_idle()
+            && self.decoded_slot.is_idle()
+            && self.exec_slot.is_idle()
+            && self.resp_slot.is_idle()
+            && self.dev_slot.is_idle()
+            && self.serializer.is_idle()
+            && self.tx_fifo.is_idle()
+            && self.lock.quiescent()
+            && self.execution.is_idle()
+            && self.arbiter.is_idle()
+            && self.fus.iter().all(|f| f.is_idle())
+    }
+
+    /// Step until idle, with a cycle budget.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Timeout`] when the budget is exhausted — the
+    /// usual symptom of a deadlocked handshake or an unserviced read.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        let start = self.cycle;
+        while !self.is_idle() {
+            if self.cycle - start >= max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: max_cycles,
+                    waiting_for: "coprocessor idle".into(),
+                });
+            }
+            self.step();
+        }
+        Ok(self.cycle - start)
+    }
+
+    /// Convenience harness: feed a message batch through the frame port,
+    /// run to idle, and return the responses — the loop every host-less
+    /// test and experiment would otherwise re-implement. Respects frame
+    /// flow control; does not model link timing (use `fu-host` for that).
+    ///
+    /// # Errors
+    /// [`SimError::Timeout`] when `max_cycles` elapse before the machine
+    /// drains.
+    pub fn run_messages(
+        &mut self,
+        msgs: &[fu_isa::HostMsg],
+        max_cycles: u64,
+    ) -> Result<Vec<DevMsg>, SimError> {
+        let word_bits = self.cfg.word_bits;
+        let mut frames: std::collections::VecDeque<u32> =
+            msgs.iter().flat_map(|m| m.to_frames(word_bits)).collect();
+        let mut deframer = fu_isa::msg::DevDeframer::new(word_bits);
+        let mut out = Vec::new();
+        let start = self.cycle;
+        loop {
+            while let Some(&f) = frames.front() {
+                if self.push_frame(f) {
+                    frames.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.step();
+            while let Some(f) = self.pop_frame() {
+                if let Some(m) = deframer
+                    .push(f)
+                    .expect("the serialiser emits well-formed frames")
+                {
+                    out.push(m);
+                }
+            }
+            if frames.is_empty() && self.is_idle() {
+                return Ok(out);
+            }
+            if self.cycle - start >= max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: max_cycles,
+                    waiting_for: "message batch to drain".into(),
+                });
+            }
+        }
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> CoprocStats {
+        let (frames_in, msgs_in) = self.msgbuf.counters();
+        let (decoded, decode_errors) = self.decoder.counters();
+        let (fu_completions, arb_data_writes, arb_flag_writes, arb_contention) =
+            self.arbiter.counters();
+        let (exec_data_writes, exec_flag_writes, _resp, _stall) = self.execution.counters();
+        let (d, f, s, e) = self.encoder.counters();
+        let (_msgs, frames_out) = self.serializer.counters();
+        CoprocStats {
+            cycles: self.cycle,
+            frames_in,
+            msgs_in,
+            decoded,
+            decode_errors,
+            dispatch: self.dispatcher.stats,
+            fu_completions,
+            arb_data_writes,
+            arb_flag_writes,
+            arb_contention,
+            exec_data_writes,
+            exec_flag_writes,
+            responses: d + f + s + e,
+            frames_out,
+        }
+    }
+
+    /// Snapshot of the machine's observable signals this cycle — the
+    /// probe points a waveform viewer would attach to (see the
+    /// `waveform_trace` example for VCD export).
+    pub fn probe(&self) -> CoprocProbe {
+        CoprocProbe {
+            rx_level: self.rx_fifo.len() as u32,
+            msg_valid: self.msg_slot.has_data(),
+            decoded_valid: self.decoded_slot.has_data(),
+            exec_valid: self.exec_slot.has_data(),
+            resp_valid: self.resp_slot.has_data(),
+            dev_valid: self.dev_slot.has_data(),
+            tx_level: self.tx_fifo.len() as u32,
+            in_flight: self.lock.in_flight() as u32,
+            fus_busy: self.fus.iter().filter(|f| !f.is_idle()).count() as u32,
+        }
+    }
+
+    /// Diagnostic read of a data register (not a simulated port).
+    pub fn peek_reg(&self, r: u8) -> Word {
+        self.regfile.peek(r)
+    }
+
+    /// Diagnostic read of a flag register.
+    pub fn peek_flags(&self, r: u8) -> Flags {
+        self.flagfile.peek(r)
+    }
+
+    /// The functional unit table.
+    pub fn futable(&self) -> &FuTable {
+        &self.futable
+    }
+
+    /// Attached units (for diagnostics/experiments).
+    pub fn units(&self) -> &[Box<dyn FunctionalUnit>] {
+        &self.fus
+    }
+
+    /// The retained trace, if tracing was enabled.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Total area estimate: framework plus attached units.
+    pub fn area(&self) -> AreaEstimate {
+        self.framework_area() + self.fus.iter().map(|f| f.area()).sum()
+    }
+
+    /// Area of the framework alone (the reusable part).
+    pub fn framework_area(&self) -> AreaEstimate {
+        let w = self.cfg.word_bits as u64;
+        let nfu = self.fus.len().max(1) as u64;
+        self.regfile.area()
+            + self.flagfile.area()
+            + AreaEstimate::fifo(32, self.cfg.rx_fifo_depth as u64)
+            + AreaEstimate::fifo(32, self.cfg.tx_fifo_depth as u64)
+            // message buffer / serialiser shift structures
+            + AreaEstimate::register(2 * w + 64)
+            // decoder LUTs + pipeline registers
+            + AreaEstimate {
+                les: 150,
+                ffs: 80 + w,
+                bram_bits: 0,
+            }
+            // dispatcher: operand muxes and lock checks
+            + AreaEstimate::mux2(3 * w)
+            + AreaEstimate::register(3 * w + 32)
+            // lock manager: one bit per register plus decode
+            + AreaEstimate {
+                les: (self.cfg.data_regs + self.cfg.flag_regs) as u64 / 2,
+                ffs: (self.cfg.data_regs + self.cfg.flag_regs) as u64,
+                bram_bits: 0,
+            }
+            // write arbiter: grant tree and result muxes
+            + AreaEstimate::mux2(nfu * w)
+            + AreaEstimate {
+                les: 8 * nfu,
+                ffs: 16,
+                bram_bits: 0,
+            }
+    }
+
+    /// Worst combinational depth per stage (the design's clock-period
+    /// profile; E5).
+    pub fn stage_critical_paths(&self) -> Vec<(&'static str, CriticalPath)> {
+        let regs = self.cfg.data_regs.max(self.cfg.flag_regs) as u64;
+        let nfu = self.fus.len().max(1) as u64;
+        let mut v = vec![
+            ("message buffer", CriticalPath::of(4)),
+            ("decoder", CriticalPath::of(5)),
+            (
+                "dispatcher",
+                // register-file read mux + lock lookup + handshake
+                CriticalPath::of(log2_ceil(regs) + 3),
+            ),
+            ("execution", CriticalPath::of(3)),
+            (
+                "write arbiter",
+                CriticalPath::tree(nfu, 2).then(CriticalPath::of(2)),
+            ),
+            ("message encoder", CriticalPath::of(3)),
+            ("message serialiser", CriticalPath::of(3)),
+        ];
+        for fu in &self.fus {
+            v.push((fu.name(), fu.critical_path()));
+        }
+        v
+    }
+
+    /// The design's overall critical path (worst stage).
+    pub fn critical_path(&self) -> CriticalPath {
+        self.stage_critical_paths()
+            .into_iter()
+            .map(|(_, p)| p)
+            .fold(CriticalPath::of(0), CriticalPath::max)
+    }
+
+    /// Synchronous reset of the entire design.
+    pub fn reset(&mut self) {
+        self.msgbuf.reset();
+        self.decoder.reset();
+        self.dispatcher.reset();
+        self.execution.reset();
+        self.arbiter.reset();
+        self.encoder.reset();
+        self.serializer.reset();
+        self.regfile.reset();
+        self.flagfile.reset();
+        self.lock.reset();
+        self.rx_fifo.reset();
+        self.msg_slot.reset();
+        self.decoded_slot.reset();
+        self.exec_slot.reset();
+        self.resp_slot.reset();
+        self.dev_slot.reset();
+        self.tx_fifo.reset();
+        for fu in &mut self.fus {
+            fu.reset();
+        }
+        self.trace.clear();
+        self.cycle = 0;
+    }
+}
+
+impl std::fmt::Debug for Coprocessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coprocessor")
+            .field("cycle", &self.cycle)
+            .field("config", &self.cfg)
+            .field("units", &self.fus.len())
+            .field("idle", &self.is_idle())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::LatencyFu;
+    use fu_isa::msg::DevDeframer;
+    use fu_isa::{HostMsg, InstrWord, MgmtOp, UserInstr};
+
+    fn machine(units: Vec<Box<dyn FunctionalUnit>>) -> Coprocessor {
+        let cfg = CoprocConfig {
+            data_regs: 16,
+            flag_regs: 4,
+            rx_frames_per_cycle: 4,
+            tx_frames_per_cycle: 4,
+            ..CoprocConfig::default()
+        };
+        Coprocessor::new(cfg, units).unwrap()
+    }
+
+    /// Feed a message stream, run to idle, return the responses.
+    fn run(coproc: &mut Coprocessor, msgs: Vec<HostMsg>) -> Vec<DevMsg> {
+        let word_bits = coproc.config().word_bits;
+        let mut frames: std::collections::VecDeque<u32> =
+            msgs.iter().flat_map(|m| m.to_frames(word_bits)).collect();
+        let mut deframer = DevDeframer::new(word_bits);
+        let mut out = Vec::new();
+        let mut budget = 100_000;
+        loop {
+            while let Some(&f) = frames.front() {
+                if coproc.push_frame(f) {
+                    frames.pop_front();
+                } else {
+                    break;
+                }
+            }
+            coproc.step();
+            while let Some(f) = coproc.pop_frame() {
+                if let Some(m) = deframer.push(f).unwrap() {
+                    out.push(m);
+                }
+            }
+            if frames.is_empty() && coproc.is_idle() {
+                break;
+            }
+            budget -= 1;
+            assert!(budget > 0, "machine failed to drain");
+        }
+        out
+    }
+
+    fn add_instr(dst: u8, s1: u8, s2: u8) -> HostMsg {
+        // LatencyFu ignores its variety; any value works.
+        HostMsg::Instr(InstrWord::user(UserInstr {
+            func: 1,
+            variety: 0,
+            dst_flag: 1,
+            dst_reg: dst,
+            aux_reg: 0,
+            src1: s1,
+            src2: s2,
+            src3: 0,
+        }))
+    }
+
+    #[test]
+    fn write_read_roundtrip_without_units() {
+        let mut m = machine(vec![]);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg {
+                    reg: 3,
+                    value: Word::from_u64(42, 32),
+                },
+                HostMsg::ReadReg { reg: 3, tag: 7 },
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![DevMsg::Data {
+                tag: 7,
+                value: Word::from_u64(42, 32)
+            }]
+        );
+    }
+
+    #[test]
+    fn user_instruction_computes_through_unit() {
+        let mut m = machine(vec![Box::new(LatencyFu::new("add", 1, 2))]);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(30, 32),
+                },
+                HostMsg::WriteReg {
+                    reg: 2,
+                    value: Word::from_u64(12, 32),
+                },
+                add_instr(3, 1, 2),
+                HostMsg::ReadReg { reg: 3, tag: 1 },
+                HostMsg::ReadFlags { reg: 1, tag: 2 },
+            ],
+        );
+        assert_eq!(
+            out[0],
+            DevMsg::Data {
+                tag: 1,
+                value: Word::from_u64(42, 32)
+            }
+        );
+        // 30 + 12: no carry, not zero, not negative.
+        assert_eq!(
+            out[1],
+            DevMsg::Flags {
+                tag: 2,
+                flags: Flags::NONE
+            }
+        );
+        let stats = m.stats();
+        assert_eq!(stats.dispatch.user_dispatched, 1);
+        assert_eq!(stats.fu_completions, 1);
+    }
+
+    #[test]
+    fn read_after_use_waits_for_completion() {
+        // The ReadReg must stall on the lock until the 20-cycle unit
+        // completes — the host never sees a stale value.
+        let mut m = machine(vec![Box::new(LatencyFu::new("slow", 1, 20))]);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(5, 32),
+                },
+                add_instr(2, 1, 1),
+                HostMsg::ReadReg { reg: 2, tag: 9 },
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![DevMsg::Data {
+                tag: 9,
+                value: Word::from_u64(10, 32)
+            }]
+        );
+        assert!(m.stats().dispatch.stall_lock > 0, "the read must have stalled");
+    }
+
+    #[test]
+    fn sync_acks_after_quiescence() {
+        let mut m = machine(vec![Box::new(LatencyFu::new("slow", 1, 10))]);
+        let out = run(
+            &mut m,
+            vec![add_instr(2, 1, 1), HostMsg::Sync { tag: 4 }],
+        );
+        assert_eq!(out, vec![DevMsg::SyncAck { tag: 4 }]);
+        assert!(m.stats().dispatch.stall_fence > 0);
+    }
+
+    #[test]
+    fn errors_are_reported_in_stream_order() {
+        let mut m = machine(vec![Box::new(LatencyFu::new("u", 1, 1))]);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::ReadReg { reg: 0, tag: 1 },
+                // unknown unit
+                HostMsg::Instr(InstrWord::user(UserInstr {
+                    func: 77,
+                    variety: 0,
+                    dst_flag: 0,
+                    dst_reg: 0,
+                    aux_reg: 0,
+                    src1: 0,
+                    src2: 0,
+                    src3: 0,
+                })),
+                HostMsg::ReadReg { reg: 0, tag: 2 },
+            ],
+        );
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0], DevMsg::Data { tag: 1, .. }));
+        assert!(matches!(
+            out[1],
+            DevMsg::Error {
+                code: fu_isa::msg::ErrorCode::NoSuchUnit,
+                info: 77
+            }
+        ));
+        assert!(matches!(out[2], DevMsg::Data { tag: 2, .. }));
+    }
+
+    #[test]
+    fn mgmt_copy_and_fence() {
+        let mut m = machine(vec![]);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::Instr(MgmtOp::LoadImm { dst: 1, imm: 0xbeef }.encode()),
+                HostMsg::Instr(MgmtOp::Copy { dst: 2, src: 1 }.encode()),
+                HostMsg::Instr(MgmtOp::Fence.encode()),
+                HostMsg::ReadReg { reg: 2, tag: 0 },
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![DevMsg::Data {
+                tag: 0,
+                value: Word::from_u64(0xbeef, 32)
+            }]
+        );
+    }
+
+    #[test]
+    fn copy_chain_respects_data_hazards() {
+        // r1 <- 7; r2 <- r1; r3 <- r2; read r3. Each copy depends on the
+        // previous one's write; the interlocks must serialise correctly.
+        let mut m = machine(vec![]);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::Instr(MgmtOp::LoadImm { dst: 1, imm: 7 }.encode()),
+                HostMsg::Instr(MgmtOp::Copy { dst: 2, src: 1 }.encode()),
+                HostMsg::Instr(MgmtOp::Copy { dst: 3, src: 2 }.encode()),
+                HostMsg::ReadReg { reg: 3, tag: 0 },
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![DevMsg::Data {
+                tag: 0,
+                value: Word::from_u64(7, 32)
+            }]
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_preserves_architectural_state() {
+        // Unit 1 is slow, unit 2 fast; issue slow-then-fast with distinct
+        // destinations. The fast result is written first internally, but
+        // both reads observe correct values.
+        let mut m = machine(vec![
+            Box::new(LatencyFu::new("slow", 1, 30)),
+            Box::new(LatencyFu::new("fast", 2, 1)),
+        ]);
+        let fast_instr = HostMsg::Instr(InstrWord::user(UserInstr {
+            func: 2,
+            variety: 0,
+            dst_flag: 2,
+            dst_reg: 4,
+            aux_reg: 0,
+            src1: 1,
+            src2: 1,
+            src3: 0,
+        }));
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(3, 32),
+                },
+                add_instr(3, 1, 1), // slow: r3 = 6
+                fast_instr,         // fast: r4 = 6
+                HostMsg::ReadReg { reg: 4, tag: 1 },
+                HostMsg::ReadReg { reg: 3, tag: 2 },
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![
+                DevMsg::Data {
+                    tag: 1,
+                    value: Word::from_u64(6, 32)
+                },
+                DevMsg::Data {
+                    tag: 2,
+                    value: Word::from_u64(6, 32)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn waw_interlock_orders_same_destination() {
+        // Two instructions target r3: slow first, fast second. Without the
+        // WAW interlock the fast unit would write first and the slow write
+        // would clobber it; the lock manager must serialise them.
+        let mut m = machine(vec![
+            Box::new(LatencyFu::new("slow", 1, 25)),
+            Box::new(LatencyFu::new("fast", 2, 1)),
+        ]);
+        let fast_to_r3 = HostMsg::Instr(InstrWord::user(UserInstr {
+            func: 2,
+            variety: 0,
+            dst_flag: 2,
+            dst_reg: 3,
+            aux_reg: 0,
+            src1: 2,
+            src2: 2,
+            src3: 0,
+        }));
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(10, 32),
+                },
+                HostMsg::WriteReg {
+                    reg: 2,
+                    value: Word::from_u64(50, 32),
+                },
+                add_instr(3, 1, 1), // slow: r3 = 20
+                fast_to_r3,         // fast: r3 = 100 — must come second
+                HostMsg::ReadReg { reg: 3, tag: 0 },
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![DevMsg::Data {
+                tag: 0,
+                value: Word::from_u64(100, 32)
+            }]
+        );
+    }
+
+    #[test]
+    fn bad_register_is_reported() {
+        let mut m = machine(vec![]);
+        let out = run(&mut m, vec![HostMsg::ReadReg { reg: 200, tag: 0 }]);
+        assert_eq!(
+            out,
+            vec![DevMsg::Error {
+                code: fu_isa::msg::ErrorCode::BadRegister,
+                info: 200
+            }]
+        );
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut m = machine(vec![Box::new(LatencyFu::new("u", 1, 3))]);
+        let _ = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(9, 32),
+                },
+                add_instr(2, 1, 1),
+                HostMsg::Sync { tag: 0 },
+            ],
+        );
+        m.reset();
+        assert!(m.is_idle());
+        assert_eq!(m.cycle(), 0);
+        assert!(m.peek_reg(1).is_zero());
+        assert_eq!(m.stats(), CoprocStats::default());
+    }
+
+    #[test]
+    fn probe_reflects_pipeline_activity() {
+        let mut m = machine(vec![Box::new(LatencyFu::new("slow", 1, 30))]);
+        let idle = m.probe();
+        assert_eq!(idle.rx_level, 0);
+        assert_eq!(idle.in_flight, 0);
+        assert_eq!(idle.fus_busy, 0);
+        // Inject work and observe the scoreboard and unit occupancy.
+        let msgs = vec![
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(2, 32),
+            },
+            add_instr(2, 1, 1),
+        ];
+        for msg in &msgs {
+            for f in msg.to_frames(32) {
+                assert!(m.push_frame(f));
+            }
+        }
+        let mut saw_busy = false;
+        for _ in 0..10 {
+            m.step();
+            let p = m.probe();
+            if p.in_flight > 0 && p.fus_busy > 0 {
+                saw_busy = true;
+            }
+        }
+        assert!(saw_busy, "the probe must expose in-flight work");
+        m.run_until_idle(1000).unwrap();
+        let done = m.probe();
+        assert_eq!(done.in_flight, 0);
+        assert_eq!(done.fus_busy, 0);
+    }
+
+    #[test]
+    fn trace_records_dispatches_when_enabled() {
+        let cfg = CoprocConfig {
+            rx_frames_per_cycle: 8,
+            trace_depth: 64,
+            ..CoprocConfig::default()
+        };
+        let mut m = Coprocessor::new(cfg, vec![Box::new(LatencyFu::new("u", 1, 1))]).unwrap();
+        let msgs = vec![
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(1, 32),
+            },
+            add_instr(2, 1, 1),
+            add_instr(3, 1, 1),
+        ];
+        let _ = m.run_messages(&msgs, 10_000).unwrap();
+        let dispatches = m
+            .trace()
+            .events()
+            .filter(|e| e.module == "dispatch")
+            .count();
+        assert_eq!(dispatches, 2, "one trace event per user dispatch");
+        // Disabled tracing records nothing.
+        let mut quiet = machine(vec![Box::new(LatencyFu::new("u", 1, 1))]);
+        let _ = quiet
+            .run_messages(&[add_instr(2, 1, 1)], 10_000)
+            .unwrap();
+        assert_eq!(quiet.trace().events().count(), 0);
+    }
+
+    #[test]
+    fn area_and_critical_path_reports() {
+        let m = machine(vec![Box::new(LatencyFu::new("u", 1, 1))]);
+        let area = m.area();
+        assert!(area.les > 0 && area.ffs > 0);
+        assert!(area.components() > m.framework_area().components());
+        let paths = m.stage_critical_paths();
+        assert!(paths.iter().any(|(n, _)| *n == "dispatcher"));
+        assert!(m.critical_path().levels >= 5);
+        // The pipelined controller should permit tens of MHz, the band the
+        // paper's Cyclone prototype reports.
+        assert!(m.critical_path().fmax_mhz() > 30.0);
+    }
+
+    #[test]
+    fn wide_word_machine_roundtrips() {
+        let cfg = CoprocConfig {
+            word_bits: 128,
+            rx_frames_per_cycle: 8,
+            tx_frames_per_cycle: 8,
+            ..CoprocConfig::default()
+        };
+        let mut m = Coprocessor::new(cfg, vec![]).unwrap();
+        let v = Word::from_u128(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff, 128);
+        let out = run(
+            &mut m,
+            vec![
+                HostMsg::WriteReg { reg: 1, value: v },
+                HostMsg::ReadReg { reg: 1, tag: 5 },
+            ],
+        );
+        assert_eq!(out, vec![DevMsg::Data { tag: 5, value: v }]);
+    }
+}

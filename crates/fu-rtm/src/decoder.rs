@@ -1,0 +1,426 @@
+//! The decoder stage.
+//!
+//! "The current instruction is decoded into a vector of signals that
+//! control the execution stage." The decoder validates messages against
+//! the configuration (register ranges) and the functional unit table
+//! (known function codes), producing either a [`DecodedOp`] control vector
+//! or an in-band error that will be reported to the host *in stream
+//! order* — an error travels down the pipeline like any other operation,
+//! so the host can correlate it with its request stream.
+
+use crate::futable::FuTable;
+use crate::msgbuf::MsgBufOut;
+use fu_isa::msg::ErrorCode;
+use fu_isa::{Flags, HostMsg, MgmtOp, RegNum, Tag, UserInstr, Word};
+use rtl_sim::{HandshakeSlot, SatCounter};
+
+/// The decoder's control vector — one per host message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedOp {
+    /// Dispatch a user instruction to the unit at `fu_index`.
+    User {
+        /// Decoded instruction fields.
+        instr: UserInstr,
+        /// Index of the target unit in the coprocessor's unit vector.
+        fu_index: usize,
+    },
+    /// Execute a management primitive in the main pipeline.
+    Mgmt(MgmtOp),
+    /// Architectural register write requested by the host.
+    WriteReg {
+        /// Destination register.
+        reg: RegNum,
+        /// Value to write.
+        value: Word,
+    },
+    /// Architectural flag write requested by the host.
+    WriteFlags {
+        /// Destination flag register.
+        reg: RegNum,
+        /// Flags to write.
+        flags: Flags,
+    },
+    /// Read a data register and respond with the given tag.
+    ReadReg {
+        /// Source register.
+        reg: RegNum,
+        /// Correlation tag.
+        tag: Tag,
+    },
+    /// Read a flag register and respond with the given tag.
+    ReadFlags {
+        /// Source flag register.
+        reg: RegNum,
+        /// Correlation tag.
+        tag: Tag,
+    },
+    /// Barrier with acknowledgement.
+    Sync {
+        /// Correlation tag.
+        tag: Tag,
+    },
+    /// Report an error to the host (in stream order).
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Additional information.
+        info: u32,
+    },
+}
+
+/// The decoder stage.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    data_regs: u16,
+    flag_regs: u16,
+    word_bits: u32,
+    decoded: SatCounter,
+    errors: SatCounter,
+}
+
+impl Decoder {
+    /// A decoder validating against the given configuration limits.
+    pub fn new(data_regs: u16, flag_regs: u16, word_bits: u32) -> Decoder {
+        Decoder {
+            data_regs,
+            flag_regs,
+            word_bits,
+            decoded: SatCounter::default(),
+            errors: SatCounter::default(),
+        }
+    }
+
+    fn data_ok(&self, r: RegNum) -> bool {
+        (r as u16) < self.data_regs
+    }
+
+    fn flag_ok(&self, r: RegNum) -> bool {
+        (r as u16) < self.flag_regs
+    }
+
+    fn decode(&mut self, msg: HostMsg, futable: &FuTable) -> DecodedOp {
+        let bad_reg = |r: RegNum| DecodedOp::Error {
+            code: ErrorCode::BadRegister,
+            info: r as u32,
+        };
+        match msg {
+            HostMsg::WriteReg { reg, value } => {
+                if !self.data_ok(reg) {
+                    return bad_reg(reg);
+                }
+                debug_assert_eq!(value.bits(), self.word_bits);
+                DecodedOp::WriteReg { reg, value }
+            }
+            HostMsg::WriteFlags { reg, flags } => {
+                if !self.flag_ok(reg) {
+                    return bad_reg(reg);
+                }
+                DecodedOp::WriteFlags { reg, flags }
+            }
+            HostMsg::ReadReg { reg, tag } => {
+                if !self.data_ok(reg) {
+                    return bad_reg(reg);
+                }
+                DecodedOp::ReadReg { reg, tag }
+            }
+            HostMsg::ReadFlags { reg, tag } => {
+                if !self.flag_ok(reg) {
+                    return bad_reg(reg);
+                }
+                DecodedOp::ReadFlags { reg, tag }
+            }
+            HostMsg::Sync { tag } => DecodedOp::Sync { tag },
+            HostMsg::Instr(w) if w.is_user() => {
+                let instr = w.as_user();
+                let Some(entry) = futable.lookup(instr.func) else {
+                    return DecodedOp::Error {
+                        code: ErrorCode::NoSuchUnit,
+                        info: instr.func as u32,
+                    };
+                };
+                // All data-register fields must be in range (unused fields
+                // encode as 0, which is always in range); the aux field is
+                // checked against the file its role selects.
+                for r in [instr.dst_reg, instr.src1, instr.src2, instr.src3] {
+                    if !self.data_ok(r) {
+                        return bad_reg(r);
+                    }
+                }
+                if !self.flag_ok(instr.dst_flag) {
+                    return bad_reg(instr.dst_flag);
+                }
+                let aux_ok = match entry.aux_role {
+                    crate::protocol::AuxRole::Unused => true,
+                    crate::protocol::AuxRole::FlagSource => self.flag_ok(instr.aux_reg),
+                    crate::protocol::AuxRole::SecondDest => self.data_ok(instr.aux_reg),
+                };
+                if !aux_ok {
+                    return bad_reg(instr.aux_reg);
+                }
+                DecodedOp::User {
+                    instr,
+                    fu_index: entry.index,
+                }
+            }
+            HostMsg::Instr(w) => match MgmtOp::decode(w) {
+                Err(e) => DecodedOp::Error {
+                    code: ErrorCode::BadOpcode,
+                    info: e.opcode as u32,
+                },
+                Ok(op) => {
+                    let (rd, fd) = op.reads();
+                    let (wd, wf) = op.writes();
+                    for r in rd.iter().chain(&wd) {
+                        if !self.data_ok(*r) {
+                            return bad_reg(*r);
+                        }
+                    }
+                    for r in fd.iter().chain(&wf) {
+                        if !self.flag_ok(*r) {
+                            return bad_reg(*r);
+                        }
+                    }
+                    DecodedOp::Mgmt(op)
+                }
+            },
+        }
+    }
+
+    /// One evaluate phase: decode at most one message.
+    pub fn eval(
+        &mut self,
+        input: &mut HandshakeSlot<MsgBufOut>,
+        output: &mut HandshakeSlot<DecodedOp>,
+        futable: &FuTable,
+    ) {
+        if !output.can_push() {
+            return;
+        }
+        let Some(item) = input.take() else { return };
+        let op = match item {
+            Ok(msg) => self.decode(msg, futable),
+            Err(e) => DecodedOp::Error {
+                code: ErrorCode::BadFrame,
+                info: e.header,
+            },
+        };
+        if matches!(op, DecodedOp::Error { .. }) {
+            self.errors.bump();
+        }
+        self.decoded.bump();
+        output.push(op);
+    }
+
+    /// `(messages decoded, errors produced)` since reset.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.decoded.get(), self.errors.get())
+    }
+
+    /// Return to the power-on state.
+    pub fn reset(&mut self) {
+        self.decoded = SatCounter::default();
+        self.errors = SatCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+    use fu_isa::InstrWord;
+    use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+    struct Dummy(u8, AuxRole);
+
+    impl Clocked for Dummy {
+        fn commit(&mut self) {}
+        fn reset(&mut self) {}
+    }
+
+    impl FunctionalUnit for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn func_code(&self) -> u8 {
+            self.0
+        }
+        fn aux_role(&self) -> AuxRole {
+            self.1
+        }
+        fn can_dispatch(&self) -> bool {
+            true
+        }
+        fn dispatch(&mut self, _p: DispatchPacket) {}
+        fn peek_output(&self) -> Option<&FuOutput> {
+            None
+        }
+        fn ack_output(&mut self) -> FuOutput {
+            unreachable!()
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn area(&self) -> AreaEstimate {
+            AreaEstimate::ZERO
+        }
+        fn critical_path(&self) -> CriticalPath {
+            CriticalPath::of(0)
+        }
+    }
+
+    fn table() -> FuTable {
+        let units: Vec<Box<dyn FunctionalUnit>> = vec![
+            Box::new(Dummy(16, AuxRole::FlagSource)),
+            Box::new(Dummy(19, AuxRole::SecondDest)),
+        ];
+        FuTable::build(&units).unwrap()
+    }
+
+    fn decode_one(msg: HostMsg) -> DecodedOp {
+        let mut d = Decoder::new(16, 4, 32);
+        let t = table();
+        let mut input = HandshakeSlot::new();
+        let mut output = HandshakeSlot::new();
+        input.push(Ok(msg));
+        input.commit();
+        d.eval(&mut input, &mut output, &t);
+        output.commit();
+        output.take().expect("decoded op")
+    }
+
+    fn user_word(func: u8, dst: u8, aux: u8, src1: u8) -> HostMsg {
+        HostMsg::Instr(InstrWord::user(UserInstr {
+            func,
+            variety: 0,
+            dst_flag: 0,
+            dst_reg: dst,
+            aux_reg: aux,
+            src1,
+            src2: 0,
+            src3: 0,
+        }))
+    }
+
+    #[test]
+    fn user_instruction_resolves_unit_index() {
+        let op = decode_one(user_word(19, 1, 2, 3));
+        assert_eq!(
+            op,
+            DecodedOp::User {
+                instr: UserInstr {
+                    func: 19,
+                    variety: 0,
+                    dst_flag: 0,
+                    dst_reg: 1,
+                    aux_reg: 2,
+                    src1: 3,
+                    src2: 0,
+                    src3: 0
+                },
+                fu_index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_unit_is_reported() {
+        let op = decode_one(user_word(99, 0, 0, 0));
+        assert_eq!(
+            op,
+            DecodedOp::Error {
+                code: ErrorCode::NoSuchUnit,
+                info: 99
+            }
+        );
+    }
+
+    #[test]
+    fn register_ranges_enforced() {
+        // data regs: 16, flag regs: 4.
+        assert!(matches!(
+            decode_one(user_word(16, 16, 0, 0)),
+            DecodedOp::Error { code: ErrorCode::BadRegister, info: 16 }
+        ));
+        assert!(matches!(
+            decode_one(user_word(16, 0, 0, 200)),
+            DecodedOp::Error { code: ErrorCode::BadRegister, .. }
+        ));
+        // aux as flag source: limit 4.
+        assert!(matches!(
+            decode_one(user_word(16, 0, 4, 0)),
+            DecodedOp::Error { code: ErrorCode::BadRegister, info: 4 }
+        ));
+        // aux as second destination: limit 16, so 4 is fine.
+        assert!(matches!(
+            decode_one(user_word(19, 0, 4, 0)),
+            DecodedOp::User { .. }
+        ));
+        assert!(matches!(
+            decode_one(HostMsg::ReadReg { reg: 16, tag: 0 }),
+            DecodedOp::Error { code: ErrorCode::BadRegister, .. }
+        ));
+        assert!(matches!(
+            decode_one(HostMsg::WriteFlags { reg: 9, flags: Flags::NONE }),
+            DecodedOp::Error { code: ErrorCode::BadRegister, .. }
+        ));
+    }
+
+    #[test]
+    fn mgmt_ops_decode_and_validate() {
+        assert_eq!(
+            decode_one(HostMsg::Instr(MgmtOp::Copy { dst: 3, src: 5 }.encode())),
+            DecodedOp::Mgmt(MgmtOp::Copy { dst: 3, src: 5 })
+        );
+        assert!(matches!(
+            decode_one(HostMsg::Instr(MgmtOp::Copy { dst: 30, src: 5 }.encode())),
+            DecodedOp::Error { code: ErrorCode::BadRegister, info: 30 }
+        ));
+        assert!(matches!(
+            decode_one(HostMsg::Instr(InstrWord::mgmt(0x44, 0, 0, 0))),
+            DecodedOp::Error { code: ErrorCode::BadOpcode, info: 0x44 }
+        ));
+    }
+
+    #[test]
+    fn frame_errors_pass_through() {
+        let mut d = Decoder::new(16, 4, 32);
+        let t = table();
+        let mut input = HandshakeSlot::new();
+        let mut output = HandshakeSlot::new();
+        input.push(Err(fu_isa::msg::FrameError { header: 0xbad0_0000 }));
+        input.commit();
+        d.eval(&mut input, &mut output, &t);
+        output.commit();
+        assert_eq!(
+            output.take(),
+            Some(DecodedOp::Error {
+                code: ErrorCode::BadFrame,
+                info: 0xbad0_0000
+            })
+        );
+        assert_eq!(d.counters(), (1, 1));
+    }
+
+    #[test]
+    fn stalls_without_consuming() {
+        let mut d = Decoder::new(16, 4, 32);
+        let t = table();
+        let mut input = HandshakeSlot::new();
+        let mut output = HandshakeSlot::new();
+        output.push(DecodedOp::Sync { tag: 0 }); // occupy downstream
+        output.commit();
+        input.push(Ok(HostMsg::Sync { tag: 1 }));
+        input.commit();
+        d.eval(&mut input, &mut output, &t);
+        assert!(input.has_data(), "input must not be consumed while stalled");
+    }
+
+    #[test]
+    fn reads_and_sync_pass_through() {
+        assert_eq!(
+            decode_one(HostMsg::ReadFlags { reg: 2, tag: 5 }),
+            DecodedOp::ReadFlags { reg: 2, tag: 5 }
+        );
+        assert_eq!(decode_one(HostMsg::Sync { tag: 9 }), DecodedOp::Sync { tag: 9 });
+    }
+}

@@ -1,0 +1,352 @@
+//! The dispatcher stage.
+//!
+//! "Reads from the register file take place in the dispatcher stage, and
+//! instructions that initiate a functional unit operation transmit data to
+//! the functional unit through a register in this stage."
+//!
+//! The dispatcher is where the framework's concurrency policy lives:
+//!
+//! * operands are read here (so WAR hazards cannot occur);
+//! * the lock manager is consulted for RAW hazards on sources and WAW
+//!   hazards on destinations; a conflicting instruction **stalls locally**
+//!   without blocking the stages behind it from filling;
+//! * destination registers are locked and the instruction is handed to its
+//!   functional unit, after which it may complete out of order;
+//! * management primitives and host reads are resolved to
+//!   [`crate::execute::ExecOp`] micro-operations that stay in the in-order
+//!   pipeline — which is precisely why the response stream keeps issue
+//!   order;
+//! * `FENCE`/`SYNC` hold the dispatcher until the machine is quiescent.
+
+use crate::decoder::DecodedOp;
+use crate::encoder::SequencedResponse;
+use crate::execute::ExecOp;
+use crate::flagfile::FlagFile;
+use crate::lock::LockManager;
+use crate::protocol::{AuxRole, DispatchPacket, FunctionalUnit, LockTicket};
+use crate::regfile::RegFile;
+use fu_isa::msg::ErrorCode;
+use fu_isa::{DevMsg, Flags, MgmtOp, UserInstr, Word};
+use rtl_sim::HandshakeSlot;
+
+/// Stall-cause and throughput counters for the dispatcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// User instructions dispatched to functional units.
+    pub user_dispatched: u64,
+    /// Management micro-operations forwarded to the execution stage.
+    pub mgmt_forwarded: u64,
+    /// Responses generated (reads, syncs, errors).
+    pub responses: u64,
+    /// Cycles stalled on a register lock (RAW/WAW hazard).
+    pub stall_lock: u64,
+    /// Cycles stalled because the target unit was busy.
+    pub stall_fu_busy: u64,
+    /// Cycles stalled because the execution stage was full.
+    pub stall_exec_full: u64,
+    /// Cycles stalled waiting for quiescence (FENCE/SYNC).
+    pub stall_fence: u64,
+}
+
+/// The dispatcher stage.
+#[derive(Debug, Clone, Default)]
+pub struct Dispatcher {
+    next_seq: u64,
+    next_resp_seq: u64,
+    /// Public statistics.
+    pub stats: DispatchStats,
+    word_bits: u32,
+}
+
+impl Dispatcher {
+    /// A dispatcher for a machine with `word_bits`-wide registers.
+    pub fn new(word_bits: u32) -> Dispatcher {
+        Dispatcher {
+            word_bits,
+            ..Dispatcher::default()
+        }
+    }
+
+    fn respond(
+        &mut self,
+        exec_out: &mut HandshakeSlot<ExecOp>,
+        msg: DevMsg,
+    ) {
+        let seq = self.next_resp_seq;
+        self.next_resp_seq += 1;
+        self.stats.responses += 1;
+        exec_out.push(ExecOp::Respond(SequencedResponse { seq, msg }));
+    }
+
+    /// True when every unit is idle and no instruction is in flight —
+    /// the FENCE/SYNC condition.
+    fn quiescent(lock: &LockManager, fus: &[Box<dyn FunctionalUnit>]) -> bool {
+        lock.quiescent() && fus.iter().all(|f| f.is_idle())
+    }
+
+    /// One evaluate phase: handle at most one decoded operation.
+    #[allow(clippy::too_many_arguments)] // the stage's port list, as in hardware
+    pub fn eval(
+        &mut self,
+        input: &mut HandshakeSlot<DecodedOp>,
+        exec_out: &mut HandshakeSlot<ExecOp>,
+        fus: &mut [Box<dyn FunctionalUnit>],
+        lock: &mut LockManager,
+        regfile: &mut RegFile,
+        flagfile: &mut FlagFile,
+    ) {
+        let Some(op) = input.peek() else { return };
+        match op.clone() {
+            DecodedOp::User { instr, fu_index } => {
+                self.try_dispatch_user(instr, fu_index, input, exec_out, fus, lock, regfile, flagfile);
+            }
+            DecodedOp::Mgmt(MgmtOp::Nop) => {
+                input.take();
+            }
+            DecodedOp::Mgmt(MgmtOp::Copy { dst, src }) => {
+                self.try_exec_write(input, exec_out, lock, regfile, dst, Some(src), None);
+            }
+            DecodedOp::Mgmt(MgmtOp::LoadImm { dst, imm }) => {
+                let value = Word::from_u64(imm as u64, self.word_bits);
+                self.try_exec_write(input, exec_out, lock, regfile, dst, None, Some(value));
+            }
+            DecodedOp::WriteReg { reg, value } => {
+                self.try_exec_write(input, exec_out, lock, regfile, reg, None, Some(value));
+            }
+            DecodedOp::Mgmt(MgmtOp::CopyFlags { dst, src }) => {
+                self.try_exec_write_flags(input, exec_out, lock, flagfile, dst, Some(src), None);
+            }
+            DecodedOp::Mgmt(MgmtOp::SetFlags { dst, imm }) => {
+                self.try_exec_write_flags(input, exec_out, lock, flagfile, dst, None, Some(Flags(imm)));
+            }
+            DecodedOp::WriteFlags { reg, flags } => {
+                self.try_exec_write_flags(input, exec_out, lock, flagfile, reg, None, Some(flags));
+            }
+            DecodedOp::Mgmt(MgmtOp::Fence) => {
+                if Self::quiescent(lock, fus) {
+                    input.take();
+                    self.stats.mgmt_forwarded += 1;
+                } else {
+                    self.stats.stall_fence += 1;
+                }
+            }
+            DecodedOp::ReadReg { reg, tag } => {
+                if !exec_out.can_push() {
+                    self.stats.stall_exec_full += 1;
+                } else if lock.data_locked(reg) {
+                    self.stats.stall_lock += 1;
+                    lock.note_stall();
+                } else {
+                    let value = regfile.read(reg);
+                    self.respond(exec_out, DevMsg::Data { tag, value });
+                    input.take();
+                }
+            }
+            DecodedOp::ReadFlags { reg, tag } => {
+                if !exec_out.can_push() {
+                    self.stats.stall_exec_full += 1;
+                } else if lock.flag_locked(reg) {
+                    self.stats.stall_lock += 1;
+                    lock.note_stall();
+                } else {
+                    let flags = flagfile.read(reg);
+                    self.respond(exec_out, DevMsg::Flags { tag, flags });
+                    input.take();
+                }
+            }
+            DecodedOp::Sync { tag } => {
+                if !exec_out.can_push() {
+                    self.stats.stall_exec_full += 1;
+                } else if !Self::quiescent(lock, fus) {
+                    self.stats.stall_fence += 1;
+                } else {
+                    self.respond(exec_out, DevMsg::SyncAck { tag });
+                    input.take();
+                }
+            }
+            DecodedOp::Error { code, info } => {
+                if exec_out.can_push() {
+                    self.respond(exec_out, DevMsg::Error { code, info });
+                    input.take();
+                } else {
+                    self.stats.stall_exec_full += 1;
+                }
+            }
+        }
+    }
+
+    /// Dispatch path for user instructions.
+    #[allow(clippy::too_many_arguments)]
+    fn try_dispatch_user(
+        &mut self,
+        instr: UserInstr,
+        fu_index: usize,
+        input: &mut HandshakeSlot<DecodedOp>,
+        exec_out: &mut HandshakeSlot<ExecOp>,
+        fus: &mut [Box<dyn FunctionalUnit>],
+        lock: &mut LockManager,
+        regfile: &mut RegFile,
+        flagfile: &mut FlagFile,
+    ) {
+        let unit = &fus[fu_index];
+        let v = instr.variety;
+        let aux_role = unit.aux_role();
+        let reads = unit.variety_reads_srcs(v);
+        let reads_flags = aux_role == AuxRole::FlagSource && unit.variety_reads_flags(v);
+        let writes_data = unit.variety_writes_data(v);
+        let writes_flags = unit.variety_writes_flags(v);
+
+        let dst2 = (aux_role == AuxRole::SecondDest && writes_data).then_some(instr.aux_reg);
+        if let Some(d2) = dst2 {
+            if d2 == instr.dst_reg {
+                // One register cannot take both results; report instead of
+                // wedging the lock manager.
+                if exec_out.can_push() {
+                    self.respond(
+                        exec_out,
+                        DevMsg::Error {
+                            code: ErrorCode::BadRegister,
+                            info: d2 as u32,
+                        },
+                    );
+                    input.take();
+                } else {
+                    self.stats.stall_exec_full += 1;
+                }
+                return;
+            }
+        }
+        let ticket = LockTicket::new(
+            writes_data.then_some(instr.dst_reg),
+            dst2,
+            writes_flags.then_some(instr.dst_flag),
+        );
+
+        // RAW hazards on sources actually read.
+        let srcs = [instr.src1, instr.src2, instr.src3];
+        let raw_blocked = srcs
+            .iter()
+            .zip(reads)
+            .any(|(r, used)| used && lock.data_locked(*r))
+            || (reads_flags && lock.flag_locked(instr.aux_reg));
+        if raw_blocked || !lock.can_acquire(&ticket) {
+            self.stats.stall_lock += 1;
+            lock.note_stall();
+            return;
+        }
+        if !fus[fu_index].can_dispatch() {
+            self.stats.stall_fu_busy += 1;
+            return;
+        }
+
+        let zero = Word::zero(self.word_bits);
+        let ops = [
+            if reads[0] { regfile.read(instr.src1) } else { zero },
+            if reads[1] { regfile.read(instr.src2) } else { zero },
+            if reads[2] { regfile.read(instr.src3) } else { zero },
+        ];
+        let flags_in = if reads_flags {
+            flagfile.read(instr.aux_reg)
+        } else {
+            Flags::NONE
+        };
+        lock.acquire(&ticket);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        fus[fu_index].dispatch(DispatchPacket {
+            variety: v,
+            ops,
+            flags_in,
+            dst_reg: instr.dst_reg,
+            dst2_reg: dst2,
+            dst_flag: instr.dst_flag,
+            imm8: instr.src3,
+            ticket,
+            seq,
+        });
+        self.stats.user_dispatched += 1;
+        input.take();
+    }
+
+    /// Shared path for data-register writes resolved in the pipeline
+    /// (COPY, LOADI, host WriteReg).
+    #[allow(clippy::too_many_arguments)]
+    fn try_exec_write(
+        &mut self,
+        input: &mut HandshakeSlot<DecodedOp>,
+        exec_out: &mut HandshakeSlot<ExecOp>,
+        lock: &mut LockManager,
+        regfile: &mut RegFile,
+        dst: u8,
+        src: Option<u8>,
+        imm: Option<Word>,
+    ) {
+        if !exec_out.can_push() {
+            self.stats.stall_exec_full += 1;
+            return;
+        }
+        let ticket = LockTicket::new(Some(dst), None, None);
+        if src.is_some_and(|s| lock.data_locked(s)) || !lock.can_acquire(&ticket) {
+            self.stats.stall_lock += 1;
+            lock.note_stall();
+            return;
+        }
+        let value = match (src, imm) {
+            (Some(s), None) => regfile.read(s),
+            (None, Some(v)) => v,
+            _ => unreachable!("exactly one of src/imm"),
+        };
+        lock.acquire(&ticket);
+        exec_out.push(ExecOp::WriteData {
+            reg: dst,
+            value,
+            ticket,
+        });
+        self.stats.mgmt_forwarded += 1;
+        input.take();
+    }
+
+    /// Shared path for flag-register writes (COPYF, SETF, host
+    /// WriteFlags).
+    #[allow(clippy::too_many_arguments)]
+    fn try_exec_write_flags(
+        &mut self,
+        input: &mut HandshakeSlot<DecodedOp>,
+        exec_out: &mut HandshakeSlot<ExecOp>,
+        lock: &mut LockManager,
+        flagfile: &mut FlagFile,
+        dst: u8,
+        src: Option<u8>,
+        imm: Option<Flags>,
+    ) {
+        if !exec_out.can_push() {
+            self.stats.stall_exec_full += 1;
+            return;
+        }
+        let ticket = LockTicket::new(None, None, Some(dst));
+        if src.is_some_and(|s| lock.flag_locked(s)) || !lock.can_acquire(&ticket) {
+            self.stats.stall_lock += 1;
+            lock.note_stall();
+            return;
+        }
+        let flags = match (src, imm) {
+            (Some(s), None) => flagfile.read(s),
+            (None, Some(f)) => f,
+            _ => unreachable!("exactly one of src/imm"),
+        };
+        lock.acquire(&ticket);
+        exec_out.push(ExecOp::WriteFlags {
+            reg: dst,
+            flags,
+            ticket,
+        });
+        self.stats.mgmt_forwarded += 1;
+        input.take();
+    }
+
+    /// Return to the power-on state.
+    pub fn reset(&mut self) {
+        let word_bits = self.word_bits;
+        *self = Dispatcher::new(word_bits);
+    }
+}

@@ -1,0 +1,232 @@
+//! The execution stage.
+//!
+//! "Instructions that operate on the state of the RTM are executed" here:
+//! management primitives (register/flag copies, immediates, host writes)
+//! and response generation for host reads, syncs and errors. The stage
+//! owns the *high-priority write port* shown entering the write arbiter in
+//! Figure 4 — its writes never contend with functional-unit completions
+//! because the lock manager guarantees the register sets are disjoint.
+//!
+//! Like the write arbiter, lock releases are registered (one cycle after
+//! the write is staged) so a dependent instruction dispatched in the
+//! release cycle reads the committed value.
+
+use crate::encoder::SequencedResponse;
+use crate::flagfile::FlagFile;
+use crate::lock::LockManager;
+use crate::protocol::LockTicket;
+use crate::regfile::RegFile;
+use fu_isa::{Flags, RegNum, Word};
+use rtl_sim::{HandshakeSlot, SatCounter};
+
+/// Micro-operations entering the execution stage from the dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOp {
+    /// Write a data register through the high-priority port.
+    WriteData {
+        /// Destination register.
+        reg: RegNum,
+        /// Value (already resolved by the dispatcher's operand read).
+        value: Word,
+        /// Lock to release once written.
+        ticket: LockTicket,
+    },
+    /// Write a flag register through the high-priority port.
+    WriteFlags {
+        /// Destination flag register.
+        reg: RegNum,
+        /// Flag vector.
+        flags: Flags,
+        /// Lock to release once written.
+        ticket: LockTicket,
+    },
+    /// Forward a response towards the message encoder.
+    Respond(SequencedResponse),
+}
+
+/// The execution stage.
+#[derive(Debug, Clone, Default)]
+pub struct Execution {
+    pending_release: Vec<LockTicket>,
+    data_writes: SatCounter,
+    flag_writes: SatCounter,
+    responses: SatCounter,
+    stall_cycles: SatCounter,
+}
+
+impl Execution {
+    /// A fresh execution stage.
+    pub fn new() -> Execution {
+        Execution::default()
+    }
+
+    /// One evaluate phase: release last cycle's locks, then execute at
+    /// most one micro-operation.
+    pub fn eval(
+        &mut self,
+        input: &mut HandshakeSlot<ExecOp>,
+        resp_out: &mut HandshakeSlot<SequencedResponse>,
+        regfile: &mut RegFile,
+        flagfile: &mut FlagFile,
+        lock: &mut LockManager,
+    ) {
+        for t in self.pending_release.drain(..) {
+            lock.release(&t);
+        }
+        let Some(op) = input.peek() else { return };
+        match op {
+            ExecOp::Respond(_) => {
+                if !resp_out.can_push() {
+                    self.stall_cycles.bump();
+                    return; // stall against a full encoder
+                }
+                let Some(ExecOp::Respond(r)) = input.take() else {
+                    unreachable!("peeked Respond")
+                };
+                self.responses.bump();
+                resp_out.push(r);
+            }
+            ExecOp::WriteData { .. } => {
+                let Some(ExecOp::WriteData { reg, value, ticket }) = input.take() else {
+                    unreachable!("peeked WriteData")
+                };
+                regfile.write(reg, value);
+                self.data_writes.bump();
+                self.pending_release.push(ticket);
+            }
+            ExecOp::WriteFlags { .. } => {
+                let Some(ExecOp::WriteFlags { reg, flags, ticket }) = input.take() else {
+                    unreachable!("peeked WriteFlags")
+                };
+                flagfile.write(reg, flags);
+                self.flag_writes.bump();
+                self.pending_release.push(ticket);
+            }
+        }
+    }
+
+    /// True when no lock release is still pending.
+    pub fn is_idle(&self) -> bool {
+        self.pending_release.is_empty()
+    }
+
+    /// `(data writes, flag writes, responses, stall cycles)` since reset.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.data_writes.get(),
+            self.flag_writes.get(),
+            self.responses.get(),
+            self.stall_cycles.get(),
+        )
+    }
+
+    /// Return to the power-on state.
+    pub fn reset(&mut self) {
+        *self = Execution::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_isa::DevMsg;
+    use rtl_sim::Clocked;
+
+    fn setup() -> (Execution, HandshakeSlot<ExecOp>, HandshakeSlot<SequencedResponse>, RegFile, FlagFile, LockManager) {
+        (
+            Execution::new(),
+            HandshakeSlot::new(),
+            HandshakeSlot::new(),
+            RegFile::new(8, 32),
+            FlagFile::new(4),
+            LockManager::new(8, 4),
+        )
+    }
+
+    #[test]
+    fn write_data_and_registered_release() {
+        let (mut ex, mut input, mut resp, mut rf, mut ff, mut lm) = setup();
+        let ticket = LockTicket::new(Some(5), None, None);
+        lm.acquire(&ticket);
+        input.push(ExecOp::WriteData {
+            reg: 5,
+            value: Word::from_u64(123, 32),
+            ticket,
+        });
+        input.commit();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        assert!(lm.data_locked(5), "release must wait one cycle");
+        assert!(!ex.is_idle());
+        rf.commit();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        assert!(lm.quiescent());
+        assert!(ex.is_idle());
+        assert_eq!(rf.peek(5).as_u64(), 123);
+    }
+
+    #[test]
+    fn write_flags() {
+        let (mut ex, mut input, mut resp, mut rf, mut ff, mut lm) = setup();
+        let ticket = LockTicket::new(None, None, Some(2));
+        lm.acquire(&ticket);
+        input.push(ExecOp::WriteFlags {
+            reg: 2,
+            flags: Flags::ERROR,
+            ticket,
+        });
+        input.commit();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ff.commit();
+        assert_eq!(ff.peek(2), Flags::ERROR);
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    fn respond_stalls_on_full_encoder() {
+        let (mut ex, mut input, mut resp, mut rf, mut ff, mut lm) = setup();
+        resp.push(SequencedResponse {
+            seq: 0,
+            msg: DevMsg::SyncAck { tag: 0 },
+        });
+        resp.commit();
+        input.push(ExecOp::Respond(SequencedResponse {
+            seq: 1,
+            msg: DevMsg::SyncAck { tag: 1 },
+        }));
+        input.commit();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        assert!(input.has_data(), "stalled response must stay queued");
+        assert_eq!(ex.counters().3, 1);
+        resp.take();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        assert!(!input.has_data());
+        resp.commit();
+        assert_eq!(
+            resp.take().unwrap().msg,
+            DevMsg::SyncAck { tag: 1 }
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (mut ex, mut input, mut resp, mut rf, mut ff, mut lm) = setup();
+        let t1 = LockTicket::new(Some(1), None, None);
+        lm.acquire(&t1);
+        input.push(ExecOp::WriteData {
+            reg: 1,
+            value: Word::from_u64(1, 32),
+            ticket: t1,
+        });
+        input.commit();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        rf.commit();
+        input.push(ExecOp::Respond(SequencedResponse {
+            seq: 0,
+            msg: DevMsg::SyncAck { tag: 0 },
+        }));
+        input.commit();
+        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        assert_eq!(ex.counters(), (1, 0, 1, 0));
+    }
+}

@@ -1,0 +1,147 @@
+//! The secondary flag register file.
+//!
+//! "There is a secondary register file holding vectors of flags, which are
+//! often useful for controlling the functional units." Same port
+//! discipline as [`crate::regfile::RegFile`], but over 8-bit
+//! [`fu_isa::Flags`] vectors.
+
+use fu_isa::Flags;
+use rtl_sim::{AreaEstimate, Clocked, SatCounter};
+
+/// A file of `n` flag vectors.
+#[derive(Debug, Clone)]
+pub struct FlagFile {
+    regs: Vec<Flags>,
+    staged: Vec<(u8, Flags)>,
+    reads: SatCounter,
+    writes: SatCounter,
+}
+
+impl FlagFile {
+    /// A zero-initialised flag file.
+    pub fn new(n: u16) -> FlagFile {
+        assert!((1..=256).contains(&n), "flag register count must be in 1..=256");
+        FlagFile {
+            regs: vec![Flags::NONE; n as usize],
+            staged: Vec::with_capacity(4),
+            reads: SatCounter::default(),
+            writes: SatCounter::default(),
+        }
+    }
+
+    /// Number of flag registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when empty (construction enforces at least one).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// True when `r` names an existing flag register.
+    pub fn in_range(&self, r: u8) -> bool {
+        (r as usize) < self.regs.len()
+    }
+
+    /// Combinational read port.
+    pub fn read(&mut self, r: u8) -> Flags {
+        self.reads.bump();
+        self.regs[r as usize]
+    }
+
+    /// Read without counting.
+    pub fn peek(&self, r: u8) -> Flags {
+        self.regs[r as usize]
+    }
+
+    /// Registered write port.
+    ///
+    /// # Panics
+    /// Panics on out-of-range registers or a double write in one cycle.
+    pub fn write(&mut self, r: u8, v: Flags) {
+        assert!(self.in_range(r), "flag register {r} out of range");
+        assert!(
+            !self.staged.iter().any(|(sr, _)| *sr == r),
+            "double write to f{r} in one cycle"
+        );
+        self.writes.bump();
+        self.staged.push((r, v));
+    }
+
+    /// `(reads, writes)` since reset.
+    pub fn port_counts(&self) -> (u64, u64) {
+        (self.reads.get(), self.writes.get())
+    }
+
+    /// Area estimate.
+    pub fn area(&self) -> AreaEstimate {
+        AreaEstimate::regfile(self.regs.len() as u64, 8, 2, 2)
+    }
+}
+
+impl Clocked for FlagFile {
+    fn commit(&mut self) {
+        for (r, v) in self.staged.drain(..) {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn reset(&mut self) {
+        for r in &mut self.regs {
+            *r = Flags::NONE;
+        }
+        self.staged.clear();
+        self.reads = SatCounter::default();
+        self.writes = SatCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_write() {
+        let mut ff = FlagFile::new(4);
+        ff.write(1, Flags::CARRY);
+        assert_eq!(ff.read(1), Flags::NONE);
+        ff.commit();
+        assert_eq!(ff.read(1), Flags::CARRY);
+    }
+
+    #[test]
+    #[should_panic(expected = "double write")]
+    fn double_write_panics() {
+        let mut ff = FlagFile::new(4);
+        ff.write(1, Flags::CARRY);
+        ff.write(1, Flags::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut ff = FlagFile::new(4);
+        ff.write(4, Flags::NONE);
+    }
+
+    #[test]
+    fn reset_and_counters() {
+        let mut ff = FlagFile::new(2);
+        ff.write(0, Flags::ERROR);
+        ff.commit();
+        let _ = ff.read(0);
+        assert_eq!(ff.port_counts(), (1, 1));
+        ff.reset();
+        assert_eq!(ff.peek(0), Flags::NONE);
+        assert_eq!(ff.port_counts(), (0, 0));
+    }
+
+    #[test]
+    fn single_flag_register_config() {
+        let ff = FlagFile::new(1);
+        assert!(ff.in_range(0));
+        assert!(!ff.in_range(1));
+        assert_eq!(ff.len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The lock manager and register usage table.
+//!
+//! Figure 4 of the paper shows a *Lock Manager* and a *Register Usage
+//! Table* beside the register files. Together they are the scoreboard that
+//! lets user instructions complete **out of order** while keeping the
+//! machine's architectural state consistent:
+//!
+//! * at dispatch, the destination registers of an instruction are locked
+//!   (a [`crate::protocol::LockTicket`]);
+//! * an instruction whose *sources or destinations* are locked stalls in
+//!   the dispatcher (RAW and WAW hazards; WAR cannot occur because
+//!   operands are read at dispatch);
+//! * when the write arbiter acknowledges the instruction's completion the
+//!   ticket is released.
+//!
+//! The table also counts in-flight user instructions so FENCE/SYNC can
+//! wait for quiescence.
+
+use crate::protocol::LockTicket;
+use rtl_sim::SatCounter;
+
+/// Scoreboard over the two register files.
+#[derive(Debug, Clone)]
+pub struct LockManager {
+    data: Vec<bool>,
+    flags: Vec<bool>,
+    in_flight: usize,
+    acquires: SatCounter,
+    stall_checks: SatCounter,
+}
+
+impl LockManager {
+    /// A lock manager covering `data_regs` main and `flag_regs` flag
+    /// registers.
+    pub fn new(data_regs: u16, flag_regs: u16) -> LockManager {
+        LockManager {
+            data: vec![false; data_regs as usize],
+            flags: vec![false; flag_regs as usize],
+            in_flight: 0,
+            acquires: SatCounter::default(),
+            stall_checks: SatCounter::default(),
+        }
+    }
+
+    /// Is a main register locked?
+    pub fn data_locked(&self, r: u8) -> bool {
+        self.data[r as usize]
+    }
+
+    /// Is a flag register locked?
+    pub fn flag_locked(&self, r: u8) -> bool {
+        self.flags[r as usize]
+    }
+
+    /// Would the ticket's registers all be acquirable (i.e. no WAW hazard)?
+    pub fn can_acquire(&self, t: &LockTicket) -> bool {
+        t.data
+            .iter()
+            .flatten()
+            .all(|&r| !self.data[r as usize])
+            && t.flag.is_none_or(|r| !self.flags[r as usize])
+    }
+
+    /// Acquire all registers of the ticket and count one in-flight
+    /// instruction.
+    ///
+    /// # Panics
+    /// Panics when any register is already locked (callers check
+    /// [`LockManager::can_acquire`] first) or when the ticket names the
+    /// same data register twice (an instruction may not target one
+    /// register with both results).
+    pub fn acquire(&mut self, t: &LockTicket) {
+        if let [Some(a), Some(b)] = t.data {
+            assert_ne!(a, b, "ticket locks data register r{a} twice");
+        }
+        for &r in t.data.iter().flatten() {
+            assert!(!self.data[r as usize], "data register r{r} already locked");
+            self.data[r as usize] = true;
+        }
+        if let Some(r) = t.flag {
+            assert!(!self.flags[r as usize], "flag register f{r} already locked");
+            self.flags[r as usize] = true;
+        }
+        self.in_flight += 1;
+        self.acquires.bump();
+    }
+
+    /// Release all registers of the ticket and retire one in-flight
+    /// instruction.
+    ///
+    /// # Panics
+    /// Panics when a register was not locked (a double release is a
+    /// framework bug).
+    pub fn release(&mut self, t: &LockTicket) {
+        for &r in t.data.iter().flatten() {
+            assert!(self.data[r as usize], "release of unlocked data register r{r}");
+            self.data[r as usize] = false;
+        }
+        if let Some(r) = t.flag {
+            assert!(self.flags[r as usize], "release of unlocked flag register f{r}");
+            self.flags[r as usize] = false;
+        }
+        assert!(self.in_flight > 0, "release with no instruction in flight");
+        self.in_flight -= 1;
+    }
+
+    /// Record that the dispatcher consulted the table and had to stall.
+    pub fn note_stall(&mut self) {
+        self.stall_checks.bump();
+    }
+
+    /// Number of instructions dispatched but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// True when nothing is locked and nothing is in flight (the FENCE
+    /// condition).
+    pub fn quiescent(&self) -> bool {
+        self.in_flight == 0
+    }
+
+    /// `(acquires, stalls)` since reset.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.acquires.get(), self.stall_checks.get())
+    }
+
+    /// Return to the power-on state.
+    pub fn reset(&mut self) {
+        self.data.iter_mut().for_each(|b| *b = false);
+        self.flags.iter_mut().for_each(|b| *b = false);
+        self.in_flight = 0;
+        self.acquires = SatCounter::default();
+        self.stall_checks = SatCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(d1: Option<u8>, d2: Option<u8>, f: Option<u8>) -> LockTicket {
+        LockTicket::new(d1, d2, f)
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut lm = LockManager::new(8, 4);
+        let ticket = t(Some(3), None, Some(1));
+        assert!(lm.can_acquire(&ticket));
+        lm.acquire(&ticket);
+        assert!(lm.data_locked(3));
+        assert!(lm.flag_locked(1));
+        assert!(!lm.quiescent());
+        assert_eq!(lm.in_flight(), 1);
+        lm.release(&ticket);
+        assert!(!lm.data_locked(3));
+        assert!(!lm.flag_locked(1));
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    fn waw_hazard_detected() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(3), None, None));
+        assert!(!lm.can_acquire(&t(Some(3), None, None)), "same data dest");
+        assert!(lm.can_acquire(&t(Some(4), None, None)), "different dest ok");
+        lm.acquire(&t(None, None, Some(0)));
+        assert!(!lm.can_acquire(&t(Some(5), None, Some(0))), "same flag dest");
+    }
+
+    #[test]
+    fn second_destination_participates() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(1), Some(2), None));
+        assert!(lm.data_locked(1) && lm.data_locked(2));
+        assert!(!lm.can_acquire(&t(Some(2), None, None)));
+        lm.release(&t(Some(1), Some(2), None));
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_destination_rejected() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(1), Some(1), None));
+    }
+
+    #[test]
+    #[should_panic(expected = "already locked")]
+    fn double_acquire_panics() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(1), None, None));
+        lm.acquire(&t(Some(1), None, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unlocked")]
+    fn double_release_panics() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(1), None, None));
+        lm.release(&t(Some(1), None, None));
+        lm.release(&t(Some(1), None, None));
+    }
+
+    #[test]
+    fn empty_ticket_counts_in_flight() {
+        // Even an instruction with no destinations (e.g. a unit used only
+        // for its side effects) participates in the FENCE condition.
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&LockTicket::default());
+        assert!(!lm.quiescent());
+        lm.release(&LockTicket::default());
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    fn counters_and_reset() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(1), None, None));
+        lm.note_stall();
+        lm.note_stall();
+        assert_eq!(lm.counters(), (1, 2));
+        lm.reset();
+        assert!(lm.quiescent());
+        assert!(!lm.data_locked(1));
+        assert_eq!(lm.counters(), (0, 0));
+    }
+}

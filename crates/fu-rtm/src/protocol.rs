@@ -1,0 +1,223 @@
+//! The functional-unit protocol: the fixed contract between the framework
+//! and user-designed hardware.
+//!
+//! "Each functional unit is designed to interact with the central interface
+//! using a standard signal protocol, which is defined by the framework."
+//! The signals of the minimal-unit schematic (Figure 5) map to this trait
+//! as follows:
+//!
+//! | VHDL signal            | Rust equivalent                                |
+//! |------------------------|------------------------------------------------|
+//! | `dispatch` + operand buses | [`FunctionalUnit::dispatch`] with a [`DispatchPacket`] |
+//! | `idle` (towards dispatcher) | [`FunctionalUnit::can_dispatch`]          |
+//! | `data_ready`, `data_output`, `data_output_reg` | [`FunctionalUnit::peek_output`] returning a [`FuOutput`] |
+//! | `data_acknowledge` (from write arbiter) | [`FunctionalUnit::ack_output`] |
+//! | `clock`                | [`rtl_sim::Clocked::commit`]                   |
+//! | `reset`                | [`rtl_sim::Clocked::reset`]                    |
+//!
+//! A unit is free in its internal structure ("the designer has complete
+//! freedom in the internal structure of a functional unit") — the three
+//! published skeletons live in the `fu-units` crate.
+
+use fu_isa::{Flags, RegNum, Word};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// What the instruction's *aux register* field means for a given unit
+/// (see `fu_isa::instr` for the field layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuxRole {
+    /// The unit ignores the field.
+    Unused,
+    /// The field names the *source flag register*; the dispatcher reads it
+    /// and forwards the flags in [`DispatchPacket::flags_in`] (ADC/SBB/
+    /// CMPB consume the carry this way).
+    FlagSource,
+    /// The field names a *second destination register* ("up to two results
+    /// may be loaded into the register file") — e.g. the widening
+    /// multiplier's high half.
+    SecondDest,
+}
+
+/// Registers locked on behalf of one in-flight instruction.
+///
+/// The dispatcher acquires the ticket from the lock manager at dispatch
+/// time; it travels with the instruction through the functional unit and
+/// returns to the write arbiter in the [`FuOutput`], which releases it —
+/// regardless of which results the unit actually produced (a compare
+/// writes no data register but still unlocks its destinations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockTicket {
+    /// Locked main registers (destination #1, destination #2).
+    pub data: [Option<RegNum>; 2],
+    /// Locked flag register (destination flag register).
+    pub flag: Option<RegNum>,
+}
+
+impl LockTicket {
+    /// Ticket locking one data register and one flag register.
+    pub fn new(data: Option<RegNum>, data2: Option<RegNum>, flag: Option<RegNum>) -> LockTicket {
+        LockTicket {
+            data: [data, data2],
+            flag,
+        }
+    }
+
+    /// True when the ticket locks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.data.iter().all(Option::is_none) && self.flag.is_none()
+    }
+}
+
+/// Operands and control forwarded to a unit by the dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchPacket {
+    /// The 8-bit variety code from the instruction word.
+    pub variety: u8,
+    /// Up to three operand values read from the register file ("the RTM
+    /// instructions may have up to three operands").
+    pub ops: [Word; 3],
+    /// Input flag vector (from the source flag register when the unit's
+    /// [`AuxRole`] is `FlagSource`, otherwise all clear).
+    pub flags_in: Flags,
+    /// Destination register for the (first) data result.
+    pub dst_reg: RegNum,
+    /// Destination register for the second data result, when the unit
+    /// produces one.
+    pub dst2_reg: Option<RegNum>,
+    /// Destination flag register.
+    pub dst_flag: RegNum,
+    /// The raw `src3` field of the instruction word, forwarded as an
+    /// 8-bit immediate for units that use it that way (e.g. shift
+    /// amounts) instead of as a register number.
+    pub imm8: u8,
+    /// Locks held for this instruction (returned via [`FuOutput`]).
+    pub ticket: LockTicket,
+    /// Dispatch sequence number (diagnostics and ordering checks).
+    pub seq: u64,
+}
+
+/// A completed instruction, pending acknowledgement by the write arbiter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuOutput {
+    /// Data result for the first destination register, if produced
+    /// (compare varieties produce none).
+    pub data: Option<(RegNum, Word)>,
+    /// Second data result, if produced.
+    pub data2: Option<(RegNum, Word)>,
+    /// Output flag vector for the destination flag register, if produced.
+    pub flags: Option<(RegNum, Flags)>,
+    /// The locks to release on acknowledgement.
+    pub ticket: LockTicket,
+    /// Sequence number copied from the dispatch packet.
+    pub seq: u64,
+}
+
+/// The framework-side view of a functional unit.
+///
+/// Call discipline within one evaluate phase (the coprocessor evaluates
+/// sink-to-source):
+///
+/// 1. the write arbiter calls [`FunctionalUnit::peek_output`] /
+///    [`FunctionalUnit::ack_output`];
+/// 2. the dispatcher calls [`FunctionalUnit::can_dispatch`] /
+///    [`FunctionalUnit::dispatch`];
+/// 3. at the clock edge, `commit` advances the unit's internal pipeline.
+///
+/// Because acknowledgements are evaluated *before* dispatches, a unit may
+/// combinationally forward the acknowledgement into its `can_dispatch`
+/// ("this combinational forward mechanism … allows the functional unit to
+/// theoretically accept a new instruction every clock cycle"), at the cost
+/// of a longer combinational path — exactly the trade-off the thesis
+/// describes.
+pub trait FunctionalUnit: Clocked {
+    /// Display name for traces and reports.
+    fn name(&self) -> &'static str;
+
+    /// The function code this unit answers to (entry in the functional
+    /// unit table).
+    fn func_code(&self) -> u8;
+
+    /// How this unit interprets the instruction's aux field.
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    /// `idle` towards the dispatcher: can the unit accept a dispatch this
+    /// cycle?
+    fn can_dispatch(&self) -> bool;
+
+    /// Deliver one instruction.
+    ///
+    /// # Panics
+    /// Implementations panic when `can_dispatch` is false; dispatching to
+    /// a busy unit is a framework bug.
+    fn dispatch(&mut self, pkt: DispatchPacket);
+
+    /// Completed output pending acknowledgement, if any (`data_ready`).
+    fn peek_output(&self) -> Option<&FuOutput>;
+
+    /// Acknowledge and remove the pending output (`data_acknowledge`).
+    ///
+    /// # Panics
+    /// Implementations panic when no output is pending.
+    fn ack_output(&mut self) -> FuOutput;
+
+    /// True when the unit holds no work at all (used by FENCE/SYNC and by
+    /// drain checks).
+    fn is_idle(&self) -> bool;
+
+    // ----- decode lookup tables -------------------------------------
+    // "Lookup tables are implicitly synthesised into Decoder" (Fig. 4):
+    // per-variety facts the dispatcher needs to form lock tickets and
+    // operand reads. Defaults describe a unit that always reads two
+    // operands and writes one data result plus flags.
+
+    /// Does this variety produce a data result? (CMP/CMPB do not.)
+    fn variety_writes_data(&self, _variety: u8) -> bool {
+        true
+    }
+
+    /// Does this variety produce an output flag vector?
+    fn variety_writes_flags(&self, _variety: u8) -> bool {
+        true
+    }
+
+    /// Does this variety consume the source flag register? Only
+    /// meaningful when [`FunctionalUnit::aux_role`] is
+    /// [`AuxRole::FlagSource`].
+    fn variety_reads_flags(&self, _variety: u8) -> bool {
+        matches!(self.aux_role(), AuxRole::FlagSource)
+    }
+
+    /// Which of the three source-register fields this variety actually
+    /// reads (unread fields must not create false RAW dependencies).
+    fn variety_reads_srcs(&self, _variety: u8) -> [bool; 3] {
+        [true, true, false]
+    }
+
+    /// Resource estimate for area reports.
+    fn area(&self) -> AreaEstimate;
+
+    /// Combinational depth estimate for clock-period reports.
+    fn critical_path(&self) -> CriticalPath;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_emptiness() {
+        assert!(LockTicket::default().is_empty());
+        assert!(!LockTicket::new(Some(3), None, None).is_empty());
+        assert!(!LockTicket::new(None, None, Some(0)).is_empty());
+        assert!(!LockTicket::new(None, Some(1), None).is_empty());
+    }
+
+    #[test]
+    fn ticket_layout() {
+        let t = LockTicket::new(Some(1), Some(2), Some(3));
+        assert_eq!(t.data, [Some(1), Some(2)]);
+        assert_eq!(t.flag, Some(3));
+    }
+}

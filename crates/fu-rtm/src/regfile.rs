@@ -1,0 +1,206 @@
+//! The main register file.
+//!
+//! "The main register file holds data, and its word size is configurable in
+//! multiples of 32 bits. … up to three operands to be fetched from the
+//! register file, and up to two results may be loaded into the register
+//! file."
+//!
+//! Reads are combinational (the dispatcher reads operands within its
+//! stage); writes are registered and become visible at the next clock
+//! edge. Multiple writes per cycle are legal as long as they target
+//! distinct registers — the lock manager guarantees the write arbiter and
+//! the execution stage never collide on the same register.
+
+use fu_isa::Word;
+use rtl_sim::{AreaEstimate, Clocked, SatCounter};
+
+/// A register file of `n` words of `word_bits` each.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    regs: Vec<Word>,
+    staged: Vec<(u8, Word)>,
+    word_bits: u32,
+    reads: SatCounter,
+    writes: SatCounter,
+}
+
+impl RegFile {
+    /// A zero-initialised register file.
+    pub fn new(n: u16, word_bits: u32) -> RegFile {
+        assert!((2..=256).contains(&n), "register count must be in 2..=256");
+        RegFile {
+            regs: vec![Word::zero(word_bits); n as usize],
+            staged: Vec::with_capacity(4),
+            word_bits,
+            reads: SatCounter::default(),
+            writes: SatCounter::default(),
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when the file has no registers (never: construction enforces
+    /// at least two, but the method completes the container contract).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Configured word size in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// True when `r` names an existing register.
+    pub fn in_range(&self, r: u8) -> bool {
+        (r as usize) < self.regs.len()
+    }
+
+    /// Combinational read port.
+    ///
+    /// # Panics
+    /// Panics on out-of-range registers — the decoder validates register
+    /// numbers before they reach a read port.
+    pub fn read(&mut self, r: u8) -> Word {
+        self.reads.bump();
+        self.regs[r as usize]
+    }
+
+    /// Read without counting (diagnostics, test assertions).
+    pub fn peek(&self, r: u8) -> Word {
+        self.regs[r as usize]
+    }
+
+    /// Registered write port: the value is visible from the next cycle.
+    ///
+    /// # Panics
+    /// Panics on out-of-range registers, width mismatches, or two writes
+    /// to the same register in one cycle (the lock manager must prevent
+    /// the latter; hitting it is a framework bug).
+    pub fn write(&mut self, r: u8, v: Word) {
+        assert!(self.in_range(r), "register {r} out of range");
+        assert_eq!(v.bits(), self.word_bits, "register write width mismatch");
+        assert!(
+            !self.staged.iter().any(|(sr, _)| *sr == r),
+            "double write to r{r} in one cycle"
+        );
+        self.writes.bump();
+        self.staged.push((r, v));
+    }
+
+    /// `(reads, writes)` since reset.
+    pub fn port_counts(&self) -> (u64, u64) {
+        (self.reads.get(), self.writes.get())
+    }
+
+    /// Area estimate: a register-based file with 3 read and 2+1 write
+    /// ports, as the paper's operand/result counts require.
+    pub fn area(&self) -> AreaEstimate {
+        AreaEstimate::regfile(self.regs.len() as u64, self.word_bits as u64, 3, 3)
+    }
+}
+
+impl Clocked for RegFile {
+    fn commit(&mut self) {
+        for (r, v) in self.staged.drain(..) {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn reset(&mut self) {
+        for r in &mut self.regs {
+            *r = Word::zero(self.word_bits);
+        }
+        self.staged.clear();
+        self.reads = SatCounter::default();
+        self.writes = SatCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_is_registered() {
+        let mut rf = RegFile::new(8, 32);
+        rf.write(3, Word::from_u64(77, 32));
+        assert!(rf.read(3).is_zero(), "write must not be visible this cycle");
+        rf.commit();
+        assert_eq!(rf.read(3).as_u64(), 77);
+    }
+
+    #[test]
+    fn distinct_registers_may_write_same_cycle() {
+        let mut rf = RegFile::new(8, 32);
+        rf.write(1, Word::from_u64(1, 32));
+        rf.write(2, Word::from_u64(2, 32));
+        rf.write(3, Word::from_u64(3, 32));
+        rf.commit();
+        assert_eq!(rf.peek(1).as_u64(), 1);
+        assert_eq!(rf.peek(2).as_u64(), 2);
+        assert_eq!(rf.peek(3).as_u64(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "double write")]
+    fn same_register_double_write_panics() {
+        let mut rf = RegFile::new(8, 32);
+        rf.write(1, Word::from_u64(1, 32));
+        rf.write(1, Word::from_u64(2, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut rf = RegFile::new(8, 32);
+        rf.write(1, Word::from_u64(1, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut rf = RegFile::new(8, 32);
+        rf.write(8, Word::from_u64(1, 32));
+    }
+
+    #[test]
+    fn range_check() {
+        let rf = RegFile::new(8, 32);
+        assert!(rf.in_range(7));
+        assert!(!rf.in_range(8));
+    }
+
+    #[test]
+    fn counters_and_reset() {
+        let mut rf = RegFile::new(4, 64);
+        rf.write(0, Word::from_u64(5, 64));
+        rf.commit();
+        let _ = rf.read(0);
+        let _ = rf.read(1);
+        assert_eq!(rf.port_counts(), (2, 1));
+        rf.reset();
+        assert_eq!(rf.port_counts(), (0, 0));
+        assert!(rf.peek(0).is_zero());
+    }
+
+    #[test]
+    fn wide_word_configuration() {
+        let mut rf = RegFile::new(4, 128);
+        let v = Word::from_u128(u128::MAX - 5, 128);
+        rf.write(2, v);
+        rf.commit();
+        assert_eq!(rf.peek(2), v);
+        assert_eq!(rf.word_bits(), 128);
+    }
+
+    #[test]
+    fn area_scales_with_size() {
+        let small = RegFile::new(8, 32).area();
+        let big = RegFile::new(64, 32).area();
+        assert!(big.ffs > small.ffs);
+        assert_eq!(small.ffs, 8 * 32);
+    }
+}

@@ -1,0 +1,180 @@
+//! The message serialiser — last stage of the RTM pipeline.
+//!
+//! "The signal vector is converted to the form required by the
+//! communication port to the host, and is transmitted on the port."
+//!
+//! The serialiser shifts one message at a time out as 32-bit frames, up to
+//! `frames_per_cycle` per cycle (the output port width), into the transmit
+//! FIFO that feeds the transceiver. A multi-frame response therefore
+//! occupies the port for several cycles — the cost the paper's slow
+//! prototyping link makes painfully visible.
+
+use std::collections::VecDeque;
+
+use fu_isa::DevMsg;
+use rtl_sim::{Fifo, HandshakeSlot, SatCounter};
+
+/// The message-serialiser stage.
+#[derive(Debug, Clone)]
+pub struct MessageSerializer {
+    shift: VecDeque<u32>,
+    word_bits: u32,
+    frames_per_cycle: u8,
+    frames_out: SatCounter,
+    msgs_in: SatCounter,
+}
+
+impl MessageSerializer {
+    /// A serialiser for `word_bits`-wide data emitting up to
+    /// `frames_per_cycle` frames per cycle.
+    pub fn new(word_bits: u32, frames_per_cycle: u8) -> MessageSerializer {
+        assert!(frames_per_cycle >= 1, "output port must carry at least one frame/cycle");
+        MessageSerializer {
+            shift: VecDeque::new(),
+            word_bits,
+            frames_per_cycle,
+            frames_out: SatCounter::default(),
+            msgs_in: SatCounter::default(),
+        }
+    }
+
+    /// One evaluate phase: load the shift register when empty, then emit
+    /// frames into `tx`.
+    pub fn eval(&mut self, input: &mut HandshakeSlot<DevMsg>, tx: &mut Fifo<u32>) {
+        if self.shift.is_empty() {
+            if let Some(msg) = input.take() {
+                self.msgs_in.bump();
+                self.shift.extend(msg.to_frames(self.word_bits));
+            }
+        }
+        for _ in 0..self.frames_per_cycle {
+            if self.shift.is_empty() || !tx.can_push() {
+                break;
+            }
+            tx.push(self.shift.pop_front().expect("checked non-empty"));
+            self.frames_out.bump();
+        }
+    }
+
+    /// True when no message is partially transmitted.
+    pub fn is_idle(&self) -> bool {
+        self.shift.is_empty()
+    }
+
+    /// `(messages accepted, frames emitted)` since reset.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.msgs_in.get(), self.frames_out.get())
+    }
+
+    /// Return to the power-on state.
+    pub fn reset(&mut self) {
+        self.shift.clear();
+        self.frames_out = SatCounter::default();
+        self.msgs_in = SatCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_isa::msg::DevDeframer;
+    use fu_isa::Word;
+    use rtl_sim::Clocked;
+
+    fn cycle(s: &mut MessageSerializer, input: &mut HandshakeSlot<DevMsg>, tx: &mut Fifo<u32>) {
+        s.eval(input, tx);
+        input.commit();
+        tx.commit();
+    }
+
+    #[test]
+    fn single_frame_message() {
+        let mut s = MessageSerializer::new(32, 1);
+        let mut input = HandshakeSlot::new();
+        let mut tx = Fifo::new(8);
+        input.push(DevMsg::SyncAck { tag: 3 });
+        input.commit();
+        cycle(&mut s, &mut input, &mut tx);
+        assert_eq!(tx.len(), 1);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn multi_frame_message_spans_cycles_and_roundtrips() {
+        let mut s = MessageSerializer::new(128, 1);
+        let mut input = HandshakeSlot::new();
+        let mut tx = Fifo::new(16);
+        let msg = DevMsg::Data {
+            tag: 7,
+            value: Word::from_u128(0x0102_0304_0506_0708_090a_0b0c, 128),
+        };
+        input.push(msg.clone());
+        input.commit();
+        // 1 header + 4 limbs = 5 frames at 1/cycle.
+        for _ in 0..5 {
+            cycle(&mut s, &mut input, &mut tx);
+        }
+        assert!(s.is_idle());
+        let mut d = DevDeframer::new(128);
+        let mut got = None;
+        for f in tx.drain_all() {
+            got = d.push(f).unwrap();
+        }
+        assert_eq!(got, Some(msg));
+        assert_eq!(s.counters(), (1, 5));
+    }
+
+    #[test]
+    fn wide_port_emits_burst() {
+        let mut s = MessageSerializer::new(64, 4);
+        let mut input = HandshakeSlot::new();
+        let mut tx = Fifo::new(8);
+        input.push(DevMsg::Data {
+            tag: 1,
+            value: Word::from_u64(5, 64),
+        });
+        input.commit();
+        cycle(&mut s, &mut input, &mut tx);
+        assert_eq!(tx.len(), 3, "3-frame message fits one cycle on a 4-wide port");
+    }
+
+    #[test]
+    fn backpressure_from_full_tx_fifo() {
+        let mut s = MessageSerializer::new(32, 1);
+        let mut input = HandshakeSlot::new();
+        let mut tx = Fifo::new(1);
+        input.push(DevMsg::Data {
+            tag: 1,
+            value: Word::from_u64(5, 32),
+        });
+        input.commit();
+        cycle(&mut s, &mut input, &mut tx); // header emitted, FIFO now full
+        assert!(!s.is_idle());
+        cycle(&mut s, &mut input, &mut tx); // stalled: nothing drained
+        assert_eq!(tx.len(), 1);
+        tx.pop();
+        cycle(&mut s, &mut input, &mut tx); // resumes
+        assert_eq!(tx.len(), 1);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn does_not_take_next_message_mid_transmission() {
+        let mut s = MessageSerializer::new(64, 1);
+        let mut input = HandshakeSlot::new();
+        let mut tx = Fifo::new(16);
+        input.push(DevMsg::Data {
+            tag: 1,
+            value: Word::from_u64(5, 64),
+        });
+        input.commit();
+        cycle(&mut s, &mut input, &mut tx); // loads 3 frames, emits 1
+        input.push(DevMsg::SyncAck { tag: 2 });
+        input.commit();
+        cycle(&mut s, &mut input, &mut tx);
+        assert!(input.has_data(), "second message must wait in the slot");
+        cycle(&mut s, &mut input, &mut tx);
+        cycle(&mut s, &mut input, &mut tx); // now idle -> takes SyncAck
+        assert!(!input.has_data());
+    }
+}

@@ -1,0 +1,201 @@
+//! Test and experiment support: a configurable fixed-latency functional
+//! unit.
+//!
+//! [`LatencyFu`] computes `dst = src1 + src2` (wrapping) after a fixed
+//! number of cycles, holding one instruction at a time. It exists so that
+//! framework tests and the out-of-order experiment (E4) can build units of
+//! *known* timing without pulling in the real unit library — mixing a
+//! 1-cycle and a 32-cycle `LatencyFu` makes completion reordering
+//! deterministic and observable.
+
+use crate::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use fu_isa::Flags;
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// A single-occupancy unit with a fixed compute latency.
+#[derive(Debug)]
+pub struct LatencyFu {
+    name: &'static str,
+    func_code: u8,
+    latency: u32,
+    busy: Option<(u32, DispatchPacket)>,
+    out: Option<FuOutput>,
+}
+
+impl LatencyFu {
+    /// A unit answering to `func_code` that completes `latency` cycles
+    /// after dispatch (`latency >= 1`).
+    pub fn new(name: &'static str, func_code: u8, latency: u32) -> LatencyFu {
+        assert!(latency >= 1, "latency must be at least one cycle");
+        LatencyFu {
+            name,
+            func_code,
+            latency,
+            busy: None,
+            out: None,
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    fn compute(pkt: &DispatchPacket) -> FuOutput {
+        let (sum, carry, ovf) = pkt.ops[0].adc(&pkt.ops[1], false);
+        FuOutput {
+            data: Some((pkt.dst_reg, sum)),
+            data2: None,
+            flags: Some((
+                pkt.dst_flag,
+                Flags::from_parts(carry, sum.is_zero(), sum.msb(), ovf),
+            )),
+            ticket: pkt.ticket,
+            seq: pkt.seq,
+        }
+    }
+}
+
+impl Clocked for LatencyFu {
+    fn commit(&mut self) {
+        if let Some((remaining, _)) = &mut self.busy {
+            if *remaining > 0 {
+                *remaining -= 1;
+            }
+            if *remaining == 0 && self.out.is_none() {
+                let (_, pkt) = self.busy.take().expect("checked busy");
+                self.out = Some(Self::compute(&pkt));
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.busy = None;
+        self.out = None;
+    }
+}
+
+impl FunctionalUnit for LatencyFu {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn func_code(&self) -> u8 {
+        self.func_code
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy LatencyFu");
+        self.busy = Some((self.latency, pkt));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.out.take().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn area(&self) -> AreaEstimate {
+        AreaEstimate::adder(32) + AreaEstimate::register(64)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::adder(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LockTicket;
+    use fu_isa::Word;
+
+    fn pkt(a: u64, b: u64, dst: u8) -> DispatchPacket {
+        DispatchPacket {
+            variety: 0,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: dst,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::new(Some(dst), None, Some(0)),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn completes_after_exact_latency() {
+        let mut fu = LatencyFu::new("slow", 1, 3);
+        fu.dispatch(pkt(2, 3, 4));
+        assert!(!fu.can_dispatch());
+        for cycle in 1..=3 {
+            assert!(fu.peek_output().is_none(), "early output at cycle {cycle}");
+            fu.commit();
+        }
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 5);
+        assert_eq!(out.data.unwrap().0, 4);
+        assert!(fu.is_idle());
+    }
+
+    #[test]
+    fn holds_output_until_acknowledged() {
+        let mut fu = LatencyFu::new("u", 1, 1);
+        fu.dispatch(pkt(1, 1, 0));
+        fu.commit();
+        assert!(fu.peek_output().is_some());
+        assert!(!fu.can_dispatch(), "single-occupancy: busy until acked");
+        fu.commit();
+        fu.commit();
+        assert!(fu.peek_output().is_some(), "output persists across cycles");
+        fu.ack_output();
+        assert!(fu.can_dispatch());
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch to busy")]
+    fn double_dispatch_panics() {
+        let mut fu = LatencyFu::new("u", 1, 2);
+        fu.dispatch(pkt(1, 1, 0));
+        fu.dispatch(pkt(2, 2, 1));
+    }
+
+    #[test]
+    fn reset_clears_work() {
+        let mut fu = LatencyFu::new("u", 1, 2);
+        fu.dispatch(pkt(1, 1, 0));
+        fu.commit();
+        fu.reset();
+        assert!(fu.is_idle());
+        assert!(fu.peek_output().is_none());
+    }
+
+    #[test]
+    fn flags_reflect_result() {
+        let mut fu = LatencyFu::new("u", 1, 1);
+        fu.dispatch(pkt(0xffff_ffff, 1, 0));
+        fu.commit();
+        let out = fu.ack_output();
+        let (_, f) = out.flags.unwrap();
+        assert!(f.carry() && f.zero());
+    }
+}

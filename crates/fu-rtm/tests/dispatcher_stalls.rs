@@ -1,0 +1,236 @@
+//! Stage-level tests of the dispatcher's stall accounting: every stall
+//! cause the paper's design implies (register locks, busy units, a full
+//! execution stage, fences) must be observable and correctly attributed,
+//! because the experiments use these counters as evidence.
+
+use fu_isa::msg::DevDeframer;
+use fu_isa::{DevMsg, HostMsg, InstrWord, MgmtOp, UserInstr, Word};
+use fu_rtm::testing::LatencyFu;
+use fu_rtm::{CoprocConfig, Coprocessor};
+
+fn machine(latency: u32) -> Coprocessor {
+    Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            rx_fifo_depth: 64,
+            ..CoprocConfig::default()
+        },
+        vec![Box::new(LatencyFu::new("u", 1, latency))],
+    )
+    .unwrap()
+}
+
+fn run(coproc: &mut Coprocessor, msgs: &[HostMsg]) -> Vec<DevMsg> {
+    let mut frames: std::collections::VecDeque<u32> =
+        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+    let mut deframer = DevDeframer::new(32);
+    let mut out = Vec::new();
+    let mut budget = 1_000_000u64;
+    loop {
+        while let Some(&f) = frames.front() {
+            if coproc.push_frame(f) {
+                frames.pop_front();
+            } else {
+                break;
+            }
+        }
+        coproc.step();
+        while let Some(f) = coproc.pop_frame() {
+            if let Some(m) = deframer.push(f).unwrap() {
+                out.push(m);
+            }
+        }
+        if frames.is_empty() && coproc.is_idle() {
+            return out;
+        }
+        budget -= 1;
+        assert!(budget > 0, "machine wedged");
+    }
+}
+
+fn add(dst: u8, s1: u8, s2: u8, flag: u8) -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func: 1,
+        variety: 0,
+        dst_flag: flag,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    }))
+}
+
+#[test]
+fn raw_hazard_attributed_to_lock_stalls() {
+    let mut m = machine(20);
+    run(
+        &mut m,
+        &[
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(1, 32),
+            },
+            add(2, 1, 1, 1), // 20-cycle producer of r2
+            add(3, 2, 2, 2), // consumer: must wait on r2's lock
+        ],
+    );
+    let s = m.stats();
+    assert!(
+        s.dispatch.stall_lock >= 15,
+        "the consumer should stall ~20 cycles on the lock, saw {}",
+        s.dispatch.stall_lock
+    );
+    assert_eq!(m.peek_reg(3).as_u64(), 4);
+}
+
+#[test]
+fn busy_unit_attributed_to_fu_stalls() {
+    // Two *independent* instructions to one single-occupancy unit: the
+    // second stalls on the unit, not on any lock.
+    let mut m = machine(20);
+    run(
+        &mut m,
+        &[
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(1, 32),
+            },
+            add(2, 1, 1, 1),
+            add(3, 1, 1, 2), // independent registers and flags
+        ],
+    );
+    let s = m.stats();
+    assert!(
+        s.dispatch.stall_fu_busy >= 15,
+        "expected unit-busy stalls, saw {}",
+        s.dispatch.stall_fu_busy
+    );
+    assert!(
+        s.dispatch.stall_lock <= 2,
+        "independent instructions may only catch the brief RAW window \
+         behind the host's register write, saw {}",
+        s.dispatch.stall_lock
+    );
+}
+
+#[test]
+fn waw_on_flags_attributed_to_lock_stalls() {
+    // Same destination *flag* register with independent data registers:
+    // the flag-file WAW interlock is the only dependency.
+    let mut m = machine(20);
+    run(
+        &mut m,
+        &[
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(1, 32),
+            },
+            add(2, 1, 1, 1),
+            add(3, 1, 1, 1), // same f1
+        ],
+    );
+    let s = m.stats();
+    assert!(s.dispatch.stall_lock + s.dispatch.stall_fu_busy >= 15);
+    assert!(
+        s.dispatch.stall_lock > 0,
+        "the flag WAW must contribute lock stalls"
+    );
+}
+
+#[test]
+fn fence_attributed_to_fence_stalls() {
+    let mut m = machine(25);
+    run(
+        &mut m,
+        &[
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(1, 32),
+            },
+            add(2, 1, 1, 1),
+            HostMsg::Instr(MgmtOp::Fence.encode()),
+        ],
+    );
+    let s = m.stats();
+    assert!(
+        s.dispatch.stall_fence >= 20,
+        "the fence should wait out the unit, saw {}",
+        s.dispatch.stall_fence
+    );
+}
+
+#[test]
+fn exec_backpressure_attributed_to_exec_stalls() {
+    // A tx FIFO of depth 1 that is never drained clogs serialiser →
+    // encoder → execution; subsequent responses stall at the dispatcher
+    // with the exec-full cause.
+    let mut coproc = Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            rx_fifo_depth: 64,
+            tx_fifo_depth: 1,
+            ..CoprocConfig::default()
+        },
+        vec![],
+    )
+    .unwrap();
+    let msgs: Vec<HostMsg> = (0..6u16)
+        .map(|t| HostMsg::ReadReg { reg: 0, tag: t })
+        .collect();
+    let mut frames: std::collections::VecDeque<u32> =
+        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+    // Never pop tx frames; just run a while.
+    for _ in 0..200 {
+        while let Some(&f) = frames.front() {
+            if coproc.push_frame(f) {
+                frames.pop_front();
+            } else {
+                break;
+            }
+        }
+        coproc.step();
+    }
+    let s = coproc.stats();
+    assert!(
+        s.dispatch.stall_exec_full > 50,
+        "undrained responses must back-pressure the dispatcher, saw {}",
+        s.dispatch.stall_exec_full
+    );
+    // Nothing was lost: drain now and count the responses.
+    let mut deframer = DevDeframer::new(32);
+    let mut got = 0;
+    for _ in 0..2000 {
+        coproc.step();
+        while let Some(f) = coproc.pop_frame() {
+            if deframer.push(f).unwrap().is_some() {
+                got += 1;
+            }
+        }
+        if got == 6 {
+            break;
+        }
+    }
+    assert_eq!(got, 6);
+}
+
+#[test]
+fn counters_are_disjoint_on_a_clean_run() {
+    let mut m = machine(1);
+    run(
+        &mut m,
+        &[
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(7, 32),
+            },
+            add(2, 1, 1, 1),
+            HostMsg::ReadReg { reg: 2, tag: 0 },
+        ],
+    );
+    let s = m.stats();
+    assert_eq!(s.dispatch.user_dispatched, 1);
+    assert_eq!(s.dispatch.stall_fu_busy, 0);
+    assert_eq!(s.dispatch.stall_fence, 0);
+    assert_eq!(s.decode_errors, 0);
+}

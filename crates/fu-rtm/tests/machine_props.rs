@@ -1,0 +1,132 @@
+//! Machine-level property tests: random management programs against a
+//! shadow model, with randomised frame-port widths and FIFO depths —
+//! the coprocessor's architectural state must be configuration-blind.
+
+use fu_isa::msg::DevDeframer;
+use fu_isa::{DevMsg, HostMsg, MgmtOp, Word};
+use fu_rtm::testing::LatencyFu;
+use fu_rtm::{CoprocConfig, Coprocessor, FunctionalUnit};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Write(u8, u32),
+    Copy(u8, u8),
+    LoadImm(u8, u32),
+    SetFlags(u8, u8),
+    Read(u8),
+    ReadFlags(u8),
+    Fence,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..8, any::<u32>()).prop_map(|(r, v)| Step::Write(r, v)),
+        (0u8..8, 0u8..8).prop_map(|(d, s)| Step::Copy(d, s)),
+        (0u8..8, any::<u32>()).prop_map(|(r, v)| Step::LoadImm(r, v)),
+        (0u8..4, any::<u8>()).prop_map(|(r, v)| Step::SetFlags(r, v)),
+        (0u8..8).prop_map(Step::Read),
+        (0u8..4).prop_map(Step::ReadFlags),
+        Just(Step::Fence),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn mgmt_programs_match_shadow_model(
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+        rx_width in 1u8..6,
+        rx_depth in 1usize..8,
+        tx_depth in 1usize..8,
+    ) {
+        let cfg = CoprocConfig {
+            data_regs: 8,
+            flag_regs: 4,
+            rx_frames_per_cycle: rx_width,
+            tx_frames_per_cycle: rx_width,
+            rx_fifo_depth: rx_depth,
+            tx_fifo_depth: tx_depth,
+            ..CoprocConfig::default()
+        };
+        let units: Vec<Box<dyn FunctionalUnit>> =
+            vec![Box::new(LatencyFu::new("u", 1, 3))];
+        let mut coproc = Coprocessor::new(cfg, units).unwrap();
+
+        let mut shadow_regs = [0u32; 8];
+        let mut shadow_flags = [0u8; 4];
+        let mut msgs: Vec<HostMsg> = Vec::new();
+        let mut expected: Vec<DevMsg> = Vec::new();
+        let mut tag = 0u16;
+        for s in &steps {
+            match *s {
+                Step::Write(r, v) => {
+                    shadow_regs[r as usize] = v;
+                    msgs.push(HostMsg::WriteReg { reg: r, value: Word::from_u64(v as u64, 32) });
+                }
+                Step::Copy(d, src) => {
+                    shadow_regs[d as usize] = shadow_regs[src as usize];
+                    msgs.push(HostMsg::Instr(MgmtOp::Copy { dst: d, src }.encode()));
+                }
+                Step::LoadImm(r, v) => {
+                    shadow_regs[r as usize] = v;
+                    msgs.push(HostMsg::Instr(MgmtOp::LoadImm { dst: r, imm: v }.encode()));
+                }
+                Step::SetFlags(r, v) => {
+                    shadow_flags[r as usize] = v;
+                    msgs.push(HostMsg::Instr(MgmtOp::SetFlags { dst: r, imm: v }.encode()));
+                }
+                Step::Read(r) => {
+                    msgs.push(HostMsg::ReadReg { reg: r, tag });
+                    expected.push(DevMsg::Data {
+                        tag,
+                        value: Word::from_u64(shadow_regs[r as usize] as u64, 32),
+                    });
+                    tag += 1;
+                }
+                Step::ReadFlags(r) => {
+                    msgs.push(HostMsg::ReadFlags { reg: r, tag });
+                    expected.push(DevMsg::Flags {
+                        tag,
+                        flags: fu_isa::Flags(shadow_flags[r as usize]),
+                    });
+                    tag += 1;
+                }
+                Step::Fence => msgs.push(HostMsg::Instr(MgmtOp::Fence.encode())),
+            }
+        }
+        msgs.push(HostMsg::Sync { tag: 0xffff });
+        expected.push(DevMsg::SyncAck { tag: 0xffff });
+
+        let mut frames: std::collections::VecDeque<u32> =
+            msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+        let mut deframer = DevDeframer::new(32);
+        let mut got = Vec::new();
+        let mut budget = 500_000u64;
+        while got.len() < expected.len() {
+            while let Some(&f) = frames.front() {
+                if coproc.push_frame(f) {
+                    frames.pop_front();
+                } else {
+                    break;
+                }
+            }
+            coproc.step();
+            while let Some(f) = coproc.pop_frame() {
+                if let Some(m) = deframer.push(f).unwrap() {
+                    got.push(m);
+                }
+            }
+            budget -= 1;
+            prop_assert!(budget > 0, "machine wedged");
+        }
+        prop_assert_eq!(got, expected);
+        // Architectural state must match the shadow exactly.
+        for r in 0..8u8 {
+            prop_assert_eq!(coproc.peek_reg(r).as_u64(), shadow_regs[r as usize] as u64);
+        }
+        for f in 0..4u8 {
+            prop_assert_eq!(coproc.peek_flags(f).0, shadow_flags[f as usize]);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The arithmetic unit of the stateless case study (thesis Table 3.1).
+//!
+//! "The arithmetic unit is able to do binary as well as two's complement
+//! additions, subtractions as well as comparisons. Multi-word operation is
+//! supported through an externally provided carry bit read from the input
+//! carry flag."
+//!
+//! The datapath is one adder; the six variety bits (see
+//! [`fu_isa::variety::ArithVariety`]) select input zeroing/complementing
+//! and the carry source, yielding the full ADD/ADC/SUB/SBB/INC/DEC/NEG/
+//! CMP/CMPB family. The thesis's reference implementation "perform\[s\] the
+//! operation in a single clock cycle" and is "able to accept an
+//! instruction every second clock cycle" — i.e. a [`crate::MinimalFu`]
+//! wrapper, which is what [`ArithKernel`] is designed for.
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::variety::ArithVariety;
+use fu_isa::{funit_codes, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket};
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// The Table 3.1 arithmetic kernel.
+#[derive(Debug, Clone)]
+pub struct ArithKernel {
+    word_bits: u32,
+}
+
+impl ArithKernel {
+    /// An arithmetic kernel for `word_bits`-wide registers.
+    pub fn new(word_bits: u32) -> ArithKernel {
+        let _ = Word::zero(word_bits); // validates the width
+        ArithKernel { word_bits }
+    }
+}
+
+impl Kernel for ArithKernel {
+    fn name(&self) -> &'static str {
+        "arith"
+    }
+
+    fn func_code(&self) -> u8 {
+        funit_codes::ARITH
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::FlagSource
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let v = ArithVariety(pkt.variety);
+        let (data, flags) = v.evaluate(&pkt.ops[0], &pkt.ops[1], pkt.flags_in);
+        KernelOutput {
+            data,
+            data2: None,
+            flags: Some(flags),
+        }
+    }
+
+    fn writes_data(&self, variety: u8) -> bool {
+        ArithVariety(variety).outputs_data()
+    }
+
+    fn reads_flags(&self, variety: u8) -> bool {
+        ArithVariety(variety).uses_carry_flag()
+    }
+
+    fn reads_srcs(&self, variety: u8) -> [bool; 3] {
+        [
+            variety & ArithVariety::FIRST_ZERO == 0,
+            variety & ArithVariety::SECOND_ZERO == 0,
+            false,
+        ]
+    }
+
+    fn area(&self) -> AreaEstimate {
+        let w = self.word_bits as u64;
+        // adder + operand zero/complement muxes + flag logic
+        AreaEstimate::adder(w) + AreaEstimate::mux2(2 * w) + AreaEstimate::comparator(w)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::of(1).then(CriticalPath::adder(self.word_bits as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal::MinimalFu;
+    use fu_isa::variety::ArithOp;
+    use fu_isa::Flags;
+    use fu_rtm::protocol::{FunctionalUnit, LockTicket};
+    use proptest::prelude::*;
+    use rtl_sim::Clocked;
+
+    fn pkt(op: ArithOp, a: u64, b: u64, flags_in: Flags) -> DispatchPacket {
+        DispatchPacket {
+            variety: op.variety().0,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn metadata_mirrors_table_3_1() {
+        let k = ArithKernel::new(32);
+        for op in ArithOp::ALL {
+            let v = op.variety().0;
+            assert_eq!(
+                k.writes_data(v),
+                !matches!(op, ArithOp::Cmp | ArithOp::Cmpb),
+                "{op:?} data"
+            );
+            assert_eq!(
+                k.reads_flags(v),
+                matches!(op, ArithOp::Adc | ArithOp::Sbb | ArithOp::Cmpb),
+                "{op:?} flags"
+            );
+            assert!(k.writes_flags(v), "{op:?} always writes flags");
+        }
+        // INC reads only the first source, NEG only the second.
+        assert_eq!(k.reads_srcs(ArithOp::Inc.variety().0), [true, false, false]);
+        assert_eq!(k.reads_srcs(ArithOp::Neg.variety().0), [false, true, false]);
+        assert_eq!(k.reads_srcs(ArithOp::Add.variety().0), [true, true, false]);
+    }
+
+    #[test]
+    fn through_minimal_skeleton() {
+        let mut fu = MinimalFu::new(ArithKernel::new(32), false);
+        fu.dispatch(pkt(ArithOp::Sub, 100, 58, Flags::NONE));
+        fu.commit();
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 42);
+        let (_, f) = out.flags.unwrap();
+        assert!(f.carry(), "no borrow");
+        assert!(!f.zero());
+    }
+
+    #[test]
+    fn cmp_produces_flags_only() {
+        let mut fu = MinimalFu::new(ArithKernel::new(32), false);
+        fu.dispatch(pkt(ArithOp::Cmp, 7, 7, Flags::NONE));
+        fu.commit();
+        let out = fu.ack_output();
+        assert!(out.data.is_none());
+        assert!(out.flags.unwrap().1.zero());
+    }
+
+    #[test]
+    fn wide_word_instantiation() {
+        let k = ArithKernel::new(128);
+        let p = DispatchPacket {
+            variety: ArithOp::Add.variety().0,
+            ops: [
+                Word::from_u128(u128::MAX, 128),
+                Word::from_u128(1, 128),
+                Word::zero(128),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 0,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        };
+        let out = k.compute(&p);
+        assert!(out.data.unwrap().is_zero());
+        assert!(out.flags.unwrap().carry());
+    }
+
+    #[test]
+    fn area_scales_with_word_size() {
+        assert!(ArithKernel::new(128).area().les > ArithKernel::new(32).area().les);
+        assert!(ArithKernel::new(128).critical_path() > ArithKernel::new(32).critical_path());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kernel_matches_reference_semantics(
+            op_idx in 0usize..9, a: u32, b: u32, carry: bool,
+        ) {
+            let op = ArithOp::ALL[op_idx];
+            let flags_in = if carry { Flags::CARRY } else { Flags::NONE };
+            let k = ArithKernel::new(32);
+            let out = k.compute(&pkt(op, a as u64, b as u64, flags_in));
+            // Independent reference model over u64 arithmetic.
+            let c_in = match op {
+                ArithOp::Adc | ArithOp::Sbb | ArithOp::Cmpb => carry,
+                ArithOp::Sub | ArithOp::Inc | ArithOp::Neg | ArithOp::Cmp => true,
+                _ => false,
+            };
+            let x = match op {
+                ArithOp::Neg => 0u64,
+                _ => a as u64,
+            };
+            let y = match op {
+                ArithOp::Inc | ArithOp::Dec => 0u32,
+                _ => b,
+            };
+            let y = match op {
+                ArithOp::Sub | ArithOp::Sbb | ArithOp::Neg | ArithOp::Dec
+                | ArithOp::Cmp | ArithOp::Cmpb => !y,
+                _ => y,
+            } as u64;
+            let full = x + y + c_in as u64;
+            let expect = full as u32;
+            match op {
+                ArithOp::Cmp | ArithOp::Cmpb => prop_assert!(out.data.is_none()),
+                _ => prop_assert_eq!(out.data.unwrap().as_u64(), expect as u64),
+            }
+            let f = out.flags.unwrap();
+            prop_assert_eq!(f.carry(), full >> 32 != 0);
+            prop_assert_eq!(f.zero(), expect == 0);
+            prop_assert_eq!(f.neg(), expect >> 31 == 1);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Running a functional unit in a slower clock domain.
+//!
+//! "The designer might even choose to run parts of a functional unit
+//! inside another clock domain or to communicate with off-chip components
+//! from within a function unit." (thesis §2.3.4)
+//!
+//! [`ClockDomainFu`] wraps any [`FunctionalUnit`] and clocks it once every
+//! `divider` system cycles — the standard trick for a deep combinational
+//! core that cannot meet the controller's clock: run it at clock/k
+//! instead of pipelining it. The wrapper models the synchronisers a real
+//! clock crossing needs: dispatches are captured in the fast domain and
+//! presented to the unit at its next slow edge; outputs are registered
+//! back into the fast domain one fast cycle after the slow edge that
+//! produced them. (Metastability windows are not modelled — the
+//! simulation is deterministic — but the latency of the crossing is.)
+
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// A unit clocked at `1/divider` of the system clock.
+#[derive(Debug)]
+pub struct ClockDomainFu<U: FunctionalUnit> {
+    inner: U,
+    divider: u32,
+    phase: u32,
+    /// Dispatch captured in the fast domain, awaiting the slow edge.
+    pending_in: Option<DispatchPacket>,
+    /// Output resynchronised into the fast domain.
+    pending_out: Option<FuOutput>,
+}
+
+impl<U: FunctionalUnit> ClockDomainFu<U> {
+    /// Wrap `inner`, clocking it every `divider` system cycles
+    /// (`divider >= 1`; 1 is a transparent wrapper).
+    pub fn new(inner: U, divider: u32) -> ClockDomainFu<U> {
+        assert!(divider >= 1, "clock divider must be at least 1");
+        ClockDomainFu {
+            inner,
+            divider,
+            phase: 0,
+            pending_in: None,
+            pending_out: None,
+        }
+    }
+
+    /// The clock divider.
+    pub fn divider(&self) -> u32 {
+        self.divider
+    }
+
+    /// The wrapped unit.
+    pub fn inner(&self) -> &U {
+        &self.inner
+    }
+}
+
+impl<U: FunctionalUnit> Clocked for ClockDomainFu<U> {
+    fn commit(&mut self) {
+        self.phase += 1;
+        if self.phase >= self.divider {
+            self.phase = 0;
+            // Slow-domain edge: deliver the synchronised dispatch, clock
+            // the unit, capture any completed output.
+            if let Some(pkt) = self.pending_in.take() {
+                debug_assert!(self.inner.can_dispatch(), "admission checked at dispatch");
+                self.inner.dispatch(pkt);
+            }
+            self.inner.commit();
+            if self.pending_out.is_none() && self.inner.peek_output().is_some() {
+                self.pending_out = Some(self.inner.ack_output());
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.phase = 0;
+        self.pending_in = None;
+        self.pending_out = None;
+    }
+}
+
+impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn func_code(&self) -> u8 {
+        self.inner.func_code()
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        self.inner.aux_role()
+    }
+
+    fn can_dispatch(&self) -> bool {
+        // One dispatch may wait at the crossing; the inner unit must be
+        // able to take it at the next slow edge.
+        self.pending_in.is_none() && self.inner.can_dispatch()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy clock-domain wrapper");
+        self.pending_in = Some(pkt);
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.pending_out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.pending_out.take().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending_in.is_none() && self.pending_out.is_none() && self.inner.is_idle()
+    }
+
+    fn variety_writes_data(&self, v: u8) -> bool {
+        self.inner.variety_writes_data(v)
+    }
+
+    fn variety_writes_flags(&self, v: u8) -> bool {
+        self.inner.variety_writes_flags(v)
+    }
+
+    fn variety_reads_flags(&self, v: u8) -> bool {
+        self.inner.variety_reads_flags(v)
+    }
+
+    fn variety_reads_srcs(&self, v: u8) -> [bool; 3] {
+        self.inner.variety_reads_srcs(v)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // Inner unit + two synchroniser register banks.
+        self.inner.area() + AreaEstimate::register(2 * (32 + 16))
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // The whole point: the inner path is cut by the divider from the
+        // system clock's perspective (it has `divider` cycles to settle);
+        // only the synchronisers load the fast domain.
+        let effective = self.inner.critical_path().levels.div_ceil(self.divider as u64);
+        CriticalPath::of(effective.max(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{pkt, IdKernel};
+    use crate::minimal::MinimalFu;
+
+    fn wrapped(divider: u32) -> ClockDomainFu<MinimalFu<IdKernel>> {
+        ClockDomainFu::new(MinimalFu::new(IdKernel { bits: 32 }, false), divider)
+    }
+
+    fn cycles_to_output(fu: &mut ClockDomainFu<MinimalFu<IdKernel>>) -> u32 {
+        let mut cycles = 0;
+        while fu.peek_output().is_none() {
+            fu.commit();
+            cycles += 1;
+            assert!(cycles < 1000, "output overdue");
+        }
+        cycles
+    }
+
+    #[test]
+    fn divider_one_is_transparent() {
+        let mut fu = wrapped(1);
+        fu.dispatch(pkt(0, 5, 0, 32));
+        let c = cycles_to_output(&mut fu);
+        assert!(c <= 2, "divider 1 adds at most the crossing register, took {c}");
+        assert_eq!(fu.ack_output().data.unwrap().1.as_u64(), 5);
+    }
+
+    #[test]
+    fn latency_scales_with_divider() {
+        let mut fast = wrapped(1);
+        fast.dispatch(pkt(0, 1, 0, 32));
+        let c1 = cycles_to_output(&mut fast);
+        let mut slow = wrapped(4);
+        slow.dispatch(pkt(0, 1, 0, 32));
+        let c4 = cycles_to_output(&mut slow);
+        assert!(
+            c4 >= 3 * c1.max(1),
+            "divider 4 should roughly quadruple latency: {c1} -> {c4}"
+        );
+        assert_eq!(slow.ack_output().data.unwrap().1.as_u64(), 1);
+    }
+
+    #[test]
+    fn results_are_identical_across_domains() {
+        for divider in [1u32, 2, 3, 7] {
+            let mut fu = wrapped(divider);
+            fu.dispatch(pkt(0, 42, 0, 32));
+            cycles_to_output(&mut fu);
+            let out = fu.ack_output();
+            assert_eq!(out.data.unwrap().1.as_u64(), 42, "divider {divider}");
+            assert!(fu.is_idle());
+        }
+    }
+
+    #[test]
+    fn crossing_holds_one_dispatch() {
+        let mut fu = wrapped(8);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        assert!(
+            !fu.can_dispatch(),
+            "the synchroniser slot is single-entry until the slow edge"
+        );
+        fu.commit();
+        assert!(!fu.can_dispatch(), "inner unit busy now");
+    }
+
+    #[test]
+    fn critical_path_shrinks_with_divider() {
+        let one = wrapped(1).critical_path();
+        let four = wrapped(4).critical_path();
+        assert!(four <= one);
+    }
+
+    #[test]
+    fn reset_clears_crossing_state() {
+        let mut fu = wrapped(4);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.commit();
+        fu.reset();
+        assert!(fu.is_idle());
+        assert!(fu.can_dispatch());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_divider_rejected() {
+        wrapped(0);
+    }
+}

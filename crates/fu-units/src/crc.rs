@@ -1,0 +1,221 @@
+//! A CRC-32 update unit — the classic "long sequence of ordinary
+//! instructions" accelerator.
+//!
+//! The paper's selection criteria for functional units: operations that
+//! "require a relatively long sequence of ordinary instructions to
+//! perform; they can be performed much more quickly using circuit
+//! techniques; they are executed frequently." A table-less CRC-32 is
+//! 8 instructions *per bit* in software but one XOR cone per bit in
+//! hardware — the textbook fit.
+//!
+//! The kernel is *stateless*: it computes one CRC-32 (IEEE, reflected,
+//! polynomial `0xEDB88320`) update of the running value in `src2` with
+//! the 4 data bytes in `src1`. The running CRC lives in an ordinary data
+//! register, so long messages chain through the register file with the
+//! framework's own interlocks — no unit-local state needed, which is
+//! exactly the stateless-unit discipline of §IV-A.
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::{Flags, Word};
+use fu_rtm::protocol::DispatchPacket;
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Variety bit: finalise (XOR with `0xFFFF_FFFF`) after updating.
+pub const CRC_FINALIZE: u8 = 1 << 0;
+/// Variety bit: initialise the running value to `0xFFFF_FFFF` first
+/// (start of message), ignoring `src2`.
+pub const CRC_INIT: u8 = 1 << 1;
+
+/// Default function code for the CRC unit.
+pub const CRC_FUNC_CODE: u8 = 22;
+
+/// Update a reflected CRC-32 with one byte.
+pub fn crc32_byte(crc: u32, byte: u8) -> u32 {
+    let mut crc = crc ^ byte as u32;
+    for _ in 0..8 {
+        crc = if crc & 1 == 1 {
+            (crc >> 1) ^ 0xEDB8_8320
+        } else {
+            crc >> 1
+        };
+    }
+    crc
+}
+
+/// Update a reflected CRC-32 with four little-endian bytes.
+pub fn crc32_word(crc: u32, word: u32) -> u32 {
+    word.to_le_bytes().iter().fold(crc, |c, &b| crc32_byte(c, b))
+}
+
+/// Reference CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    !data.iter().fold(0xffff_ffff, |c, &b| crc32_byte(c, b))
+}
+
+/// The CRC-32 update kernel.
+#[derive(Debug, Clone)]
+pub struct CrcKernel {
+    word_bits: u32,
+}
+
+impl CrcKernel {
+    /// A CRC kernel for `word_bits`-wide registers (the CRC itself is
+    /// always the low 32 bits).
+    pub fn new(word_bits: u32) -> CrcKernel {
+        let _ = Word::zero(word_bits);
+        CrcKernel { word_bits }
+    }
+}
+
+impl Kernel for CrcKernel {
+    fn name(&self) -> &'static str {
+        "crc32"
+    }
+
+    fn func_code(&self) -> u8 {
+        CRC_FUNC_CODE
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let data = pkt.ops[0].as_u64() as u32;
+        let running = if pkt.variety & CRC_INIT != 0 {
+            0xffff_ffff
+        } else {
+            pkt.ops[1].as_u64() as u32
+        };
+        let mut crc = crc32_word(running, data);
+        if pkt.variety & CRC_FINALIZE != 0 {
+            crc = !crc;
+        }
+        let out = Word::from_u64(crc as u64, self.word_bits);
+        KernelOutput {
+            data: Some(out),
+            data2: None,
+            flags: Some(Flags::from_parts(false, crc == 0, false, false)),
+        }
+    }
+
+    fn reads_srcs(&self, variety: u8) -> [bool; 3] {
+        [true, variety & CRC_INIT == 0, false]
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // 32 bits of XOR cone over the byte-unrolled polynomial network.
+        AreaEstimate {
+            les: 32 * 8,
+            ffs: 0,
+            bram_bits: 0,
+        }
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // Four byte stages of XOR trees.
+        CriticalPath::of(4 * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal::MinimalFu;
+    use fu_rtm::protocol::{FunctionalUnit, LockTicket};
+    use proptest::prelude::*;
+    use rtl_sim::Clocked;
+
+    fn pkt(variety: u8, data: u64, running: u64) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(data, 32),
+                Word::from_u64(running, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn reference_matches_known_vector() {
+        // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn chained_updates_match_reference() {
+        // "12345678" as two little-endian words, finalised on the last.
+        let k = CrcKernel::new(32);
+        let w1 = u32::from_le_bytes(*b"1234");
+        let w2 = u32::from_le_bytes(*b"5678");
+        let step1 = k
+            .compute(&pkt(CRC_INIT, w1 as u64, 0))
+            .data
+            .unwrap()
+            .as_u64();
+        let step2 = k
+            .compute(&pkt(CRC_FINALIZE, w2 as u64, step1))
+            .data
+            .unwrap()
+            .as_u64();
+        assert_eq!(step2 as u32, crc32(b"12345678"));
+    }
+
+    #[test]
+    fn through_minimal_skeleton() {
+        let mut fu = MinimalFu::new(CrcKernel::new(32), false);
+        fu.dispatch(pkt(CRC_INIT | CRC_FINALIZE, u32::from_le_bytes(*b"abcd") as u64, 0));
+        fu.commit();
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64() as u32, crc32(b"abcd"));
+    }
+
+    #[test]
+    fn init_variety_ignores_running_input() {
+        let k = CrcKernel::new(32);
+        let a = k.compute(&pkt(CRC_INIT, 7, 0)).data.unwrap();
+        let b = k.compute(&pkt(CRC_INIT, 7, 0xdead_beef)).data.unwrap();
+        assert_eq!(a, b);
+        assert_eq!(k.reads_srcs(CRC_INIT), [true, false, false]);
+        assert_eq!(k.reads_srcs(0), [true, true, false]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_word_update_equals_four_byte_updates(crc: u32, word: u32) {
+            let by_word = crc32_word(crc, word);
+            let by_bytes = word
+                .to_le_bytes()
+                .iter()
+                .fold(crc, |c, &b| crc32_byte(c, b));
+            prop_assert_eq!(by_word, by_bytes);
+        }
+
+        #[test]
+        fn prop_kernel_chain_matches_reference(words in proptest::collection::vec(any::<u32>(), 1..16)) {
+            let k = CrcKernel::new(32);
+            let mut running = 0u64;
+            for (i, &w) in words.iter().enumerate() {
+                let mut variety = 0;
+                if i == 0 {
+                    variety |= CRC_INIT;
+                }
+                if i == words.len() - 1 {
+                    variety |= CRC_FINALIZE;
+                }
+                running = k.compute(&pkt(variety, w as u64, running)).data.unwrap().as_u64();
+            }
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            prop_assert_eq!(running as u32, crc32(&bytes));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! An integer divider — the unit behind the thesis's error-flag example.
+//!
+//! "…an exceptional condition, e.g. a division by zero. If this flag is
+//! set, the contents of the destination registers (if any) are undefined
+//! by specification."
+//!
+//! Division is the textbook multi-cycle operation (restoring division
+//! retires one quotient bit per cycle), so the divider is the natural
+//! tenant of the **FSM skeleton**: wrap [`DivKernel`] in
+//! [`crate::FsmFu`] with `word_bits` execute cycles. The kernel produces
+//! the quotient in the first destination and the remainder in the second
+//! (`aux` as [`AuxRole::SecondDest`]); a zero divisor raises the error
+//! flag and leaves the destinations undefined — the reproduction writes
+//! all-ones, and the specification forbids relying on it.
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::{Flags, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket};
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Variety bit: suppress the remainder (quotient-only form).
+pub const DIV_NO_REMAINDER: u8 = 1 << 0;
+
+/// Function code of the divider (not in the thesis's table; chosen in the
+/// free space and recorded in the functional-unit table).
+pub const DIV_FUNC_CODE: u8 = 21;
+
+/// The restoring-division kernel.
+#[derive(Debug, Clone)]
+pub struct DivKernel {
+    word_bits: u32,
+}
+
+impl DivKernel {
+    /// A divider kernel for `word_bits`-wide registers.
+    pub fn new(word_bits: u32) -> DivKernel {
+        let _ = Word::zero(word_bits);
+        DivKernel { word_bits }
+    }
+
+    /// The recommended FSM wrapper: one execute cycle per quotient bit.
+    pub fn recommended_unit(word_bits: u32) -> crate::FsmFu<DivKernel> {
+        crate::FsmFu::new(DivKernel::new(word_bits), word_bits)
+    }
+}
+
+impl Kernel for DivKernel {
+    fn name(&self) -> &'static str {
+        "div"
+    }
+
+    fn func_code(&self) -> u8 {
+        DIV_FUNC_CODE
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::SecondDest
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let dividend = pkt.ops[0].as_u128();
+        let divisor = pkt.ops[1].as_u128();
+        let no_rem = pkt.variety & DIV_NO_REMAINDER != 0;
+        if divisor == 0 {
+            // Destinations undefined by specification; error flag set.
+            let undefined = Word::from_u128(u128::MAX, self.word_bits);
+            let mut flags = Flags::NONE;
+            flags.set(Flags::ERROR, true);
+            return KernelOutput {
+                data: Some(undefined),
+                data2: (!no_rem).then_some(undefined),
+                flags: Some(flags),
+            };
+        }
+        let q = Word::from_u128(dividend / divisor, self.word_bits);
+        let r = Word::from_u128(dividend % divisor, self.word_bits);
+        let flags = Flags::from_parts(false, q.is_zero(), q.msb(), false);
+        KernelOutput {
+            data: Some(q),
+            data2: (!no_rem).then_some(r),
+            flags: Some(flags),
+        }
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // One subtract/restore datapath plus quotient/remainder registers.
+        let w = self.word_bits as u64;
+        AreaEstimate::adder(w) + AreaEstimate::mux2(w) + AreaEstimate::register(3 * w)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // Per-cycle: one conditional subtract.
+        CriticalPath::adder(self.word_bits as u64).then(CriticalPath::of(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::FsmFu;
+    use fu_rtm::protocol::{FunctionalUnit, LockTicket};
+    use proptest::prelude::*;
+    use rtl_sim::Clocked;
+
+    fn pkt(a: u64, b: u64, variety: u8) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: Some(2),
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn quotient_and_remainder() {
+        let k = DivKernel::new(32);
+        let out = k.compute(&pkt(100, 7, 0));
+        assert_eq!(out.data.unwrap().as_u64(), 14);
+        assert_eq!(out.data2.unwrap().as_u64(), 2);
+        assert!(!out.flags.unwrap().error());
+    }
+
+    #[test]
+    fn division_by_zero_sets_error_flag() {
+        let k = DivKernel::new(32);
+        let out = k.compute(&pkt(5, 0, 0));
+        assert!(out.flags.unwrap().error());
+        // Destinations exist but are undefined by specification.
+        assert!(out.data.is_some());
+    }
+
+    #[test]
+    fn quotient_only_variety() {
+        let k = DivKernel::new(32);
+        let out = k.compute(&pkt(100, 7, DIV_NO_REMAINDER));
+        assert!(out.data2.is_none());
+    }
+
+    #[test]
+    fn multi_cycle_through_fsm_skeleton() {
+        let mut fu = DivKernel::recommended_unit(32);
+        fu.dispatch(pkt(1000, 3, 0));
+        // 32 execute cycles + send states; no early output.
+        for _ in 0..32 {
+            assert!(fu.peek_output().is_none());
+            fu.commit();
+        }
+        let mut budget = 8;
+        while fu.peek_output().is_none() {
+            fu.commit();
+            budget -= 1;
+            assert!(budget > 0, "output overdue");
+        }
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 333);
+        assert_eq!(out.data2.unwrap().1.as_u64(), 1);
+    }
+
+    #[test]
+    fn wide_word_division() {
+        let k = DivKernel::new(128);
+        let p = DispatchPacket {
+            variety: 0,
+            ops: [
+                Word::from_u128(u128::MAX - 1, 128),
+                Word::from_u128(3, 128),
+                Word::zero(128),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: Some(2),
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        };
+        let out = k.compute(&p);
+        assert_eq!(out.data.unwrap().as_u128(), (u128::MAX - 1) / 3);
+        assert_eq!(out.data2.unwrap().as_u128(), (u128::MAX - 1) % 3);
+    }
+
+    #[test]
+    fn fsm_wrapper_propagates_error_metadata() {
+        let fu = FsmFu::new(DivKernel::new(32), 32);
+        assert_eq!(fu.aux_role(), AuxRole::SecondDest);
+        assert_eq!(fu.func_code(), DIV_FUNC_CODE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_native_division(a: u32, b in 1u32..) {
+            let k = DivKernel::new(32);
+            let out = k.compute(&pkt(a as u64, b as u64, 0));
+            prop_assert_eq!(out.data.unwrap().as_u64(), (a / b) as u64);
+            prop_assert_eq!(out.data2.unwrap().as_u64(), (a % b) as u64);
+            prop_assert!(!out.flags.unwrap().error());
+        }
+
+        #[test]
+        fn prop_identity_reconstruction(a: u32, b in 1u32..) {
+            let k = DivKernel::new(32);
+            let out = k.compute(&pkt(a as u64, b as u64, 0));
+            let q = out.data.unwrap().as_u64();
+            let r = out.data2.unwrap().as_u64();
+            prop_assert_eq!(q * b as u64 + r, a as u64);
+            prop_assert!(r < b as u64);
+        }
+    }
+}

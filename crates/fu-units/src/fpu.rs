@@ -1,0 +1,537 @@
+//! A single-precision floating-point unit — the paper's opening example.
+//!
+//! "One way to run such programs faster is … hardware accelerators. One
+//! example of this is to provide floating point operations in hardware,
+//! rather than performing them in software." (§I)
+//!
+//! [`FpuKernel`] implements IEEE-754 binary32 add, subtract, multiply and
+//! compare **in pure integer logic** — unpack, align, add/normalise,
+//! round-to-nearest-even — exactly the datapath an FPGA implementation
+//! synthesises, not a call into the host's FPU. Like many real FPGA
+//! floating-point cores, the unit **flushes subnormals to zero** (FTZ) on
+//! both inputs and outputs; everything else (±0, ±∞, NaN propagation,
+//! rounding) is bit-exact against IEEE-754, which the property tests
+//! check word-for-word against the host's hardware float unit.
+//!
+//! Deep mantissa datapaths want pipelining: wrap the kernel in
+//! [`crate::PipelinedFu`] (see [`FpuKernel::recommended_unit`]).
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::{Flags, Word};
+use fu_rtm::protocol::DispatchPacket;
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Variety codes of the FPU.
+pub mod ops {
+    /// `d = a + b`
+    pub const FADD: u8 = 0;
+    /// `d = a - b`
+    pub const FSUB: u8 = 1;
+    /// `d = a * b`
+    pub const FMUL: u8 = 2;
+    /// flags of the comparison `a ? b` (C = a<b, Z = a==b, E = unordered)
+    pub const FCMP: u8 = 3;
+}
+
+/// Default function code for the FPU.
+pub const FPU_FUNC_CODE: u8 = 23;
+
+const EXP_BITS: u32 = 8;
+const MANT_BITS: u32 = 23;
+const EXP_MASK: u32 = (1 << EXP_BITS) - 1;
+const MANT_MASK: u32 = (1 << MANT_BITS) - 1;
+const BIAS: i32 = 127;
+const QNAN: u32 = 0x7fc0_0000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fp {
+    Zero(bool),          // sign
+    Inf(bool),           // sign
+    Nan,
+    Num { sign: bool, exp: i32, mant: u32 }, // mant has the implicit bit set (bit 23)
+}
+
+fn unpack(bits: u32) -> Fp {
+    let sign = bits >> 31 == 1;
+    let exp = (bits >> MANT_BITS) & EXP_MASK;
+    let mant = bits & MANT_MASK;
+    match (exp, mant) {
+        (0, _) => Fp::Zero(sign), // subnormals flush to zero (FTZ)
+        (EXP_MASK, 0) => Fp::Inf(sign),
+        (EXP_MASK, _) => Fp::Nan,
+        _ => Fp::Num {
+            sign,
+            exp: exp as i32 - BIAS,
+            mant: mant | (1 << MANT_BITS),
+        },
+    }
+}
+
+fn pack_zero(sign: bool) -> u32 {
+    (sign as u32) << 31
+}
+
+fn pack_inf(sign: bool) -> u32 {
+    ((sign as u32) << 31) | (EXP_MASK << MANT_BITS)
+}
+
+/// Round-to-nearest-even and pack. `mant` carries the value left-aligned
+/// with 3 extra bits (guard, round, sticky) below the target LSB:
+/// bit 26 = implicit one position, bits 2..0 = G/R/S.
+fn round_and_pack(sign: bool, mut exp: i32, mut mant: u32) -> u32 {
+    debug_assert!(mant >> 26 <= 1, "mantissa misaligned: {mant:#x}");
+    // Round to nearest, ties to even, on the low 3 bits.
+    let lsb = (mant >> 3) & 1;
+    let grs = mant & 0b111;
+    mant >>= 3;
+    if grs > 0b100 || (grs == 0b100 && lsb == 1) {
+        mant += 1;
+        if mant >> (MANT_BITS + 1) == 1 {
+            // Rounding overflowed into a new bit: renormalise.
+            mant >>= 1;
+            exp += 1;
+        }
+    }
+    if mant == 0 {
+        return pack_zero(sign);
+    }
+    debug_assert!(mant >> MANT_BITS == 1, "unnormalised after round");
+    let biased = exp + BIAS;
+    if biased >= EXP_MASK as i32 {
+        return pack_inf(sign); // overflow
+    }
+    if biased <= 0 {
+        return pack_zero(sign); // underflow: FTZ
+    }
+    ((sign as u32) << 31) | ((biased as u32) << MANT_BITS) | (mant & MANT_MASK)
+}
+
+/// Shift right collecting a sticky bit.
+fn shift_right_sticky(v: u32, by: u32) -> u32 {
+    if by == 0 {
+        v
+    } else if by >= 32 {
+        (v != 0) as u32
+    } else {
+        let dropped = v & ((1 << by) - 1);
+        (v >> by) | (dropped != 0) as u32
+    }
+}
+
+/// IEEE-754 binary32 addition (FTZ, round-to-nearest-even).
+pub fn fadd(a_bits: u32, b_bits: u32) -> u32 {
+    match (unpack(a_bits), unpack(b_bits)) {
+        (Fp::Nan, _) | (_, Fp::Nan) => QNAN,
+        (Fp::Inf(sa), Fp::Inf(sb)) => {
+            if sa == sb {
+                pack_inf(sa)
+            } else {
+                QNAN // ∞ − ∞
+            }
+        }
+        (Fp::Inf(s), _) => pack_inf(s),
+        (_, Fp::Inf(s)) => pack_inf(s),
+        (Fp::Zero(sa), Fp::Zero(sb)) => pack_zero(sa && sb), // +0 unless both −0
+        (Fp::Zero(_), _) => {
+            // b is a normal number; return it (with its subnormal inputs
+            // already flushed by unpack).
+            b_bits
+        }
+        (_, Fp::Zero(_)) => a_bits,
+        (
+            Fp::Num {
+                sign: sa,
+                exp: ea,
+                mant: ma,
+            },
+            Fp::Num {
+                sign: sb,
+                exp: eb,
+                mant: mb,
+            },
+        ) => {
+            // Align: operate with 3 GRS bits below the mantissa.
+            let (sx, ex, mx, sy, my, diff) = if (ea, ma) >= (eb, mb) {
+                (sa, ea, ma << 3, sb, mb << 3, (ea - eb) as u32)
+            } else {
+                (sb, eb, mb << 3, sa, ma << 3, (eb - ea) as u32)
+            };
+            let my = shift_right_sticky(my, diff);
+            if sx == sy {
+                // Magnitude add; may carry into bit 27.
+                let mut sum = mx + my;
+                let mut exp = ex;
+                if sum >> 27 == 1 {
+                    sum = (sum >> 1) | (sum & 1); // keep sticky
+                    exp += 1;
+                }
+                round_and_pack(sx, exp, sum)
+            } else {
+                // Magnitude subtract; mx >= my by construction.
+                let mut dif = mx - my;
+                if dif == 0 {
+                    return pack_zero(false); // exact cancellation → +0
+                }
+                let mut exp = ex;
+                // Normalise: shift left until bit 26 is the leading one.
+                let lead = 31 - dif.leading_zeros();
+                if lead > 26 {
+                    unreachable!("difference cannot exceed the operands");
+                }
+                let shift = 26 - lead;
+                dif <<= shift;
+                exp -= shift as i32;
+                round_and_pack(sx, exp, dif)
+            }
+        }
+    }
+}
+
+/// IEEE-754 binary32 subtraction.
+pub fn fsub(a_bits: u32, b_bits: u32) -> u32 {
+    fadd(a_bits, b_bits ^ 0x8000_0000)
+}
+
+/// IEEE-754 binary32 multiplication (FTZ, round-to-nearest-even).
+pub fn fmul(a_bits: u32, b_bits: u32) -> u32 {
+    let sign = (a_bits ^ b_bits) >> 31 == 1;
+    match (unpack(a_bits), unpack(b_bits)) {
+        (Fp::Nan, _) | (_, Fp::Nan) => QNAN,
+        (Fp::Inf(_), Fp::Zero(_)) | (Fp::Zero(_), Fp::Inf(_)) => QNAN, // ∞ × 0
+        (Fp::Inf(_), _) | (_, Fp::Inf(_)) => pack_inf(sign),
+        (Fp::Zero(_), _) | (_, Fp::Zero(_)) => pack_zero(sign),
+        (
+            Fp::Num {
+                exp: ea, mant: ma, ..
+            },
+            Fp::Num {
+                exp: eb, mant: mb, ..
+            },
+        ) => {
+            // 24×24 → 48-bit product; leading one at bit 47 or 46.
+            let prod = ma as u64 * mb as u64;
+            let mut exp = ea + eb;
+            // Reduce to 27 bits (1 + 23 + GRS) with sticky collection.
+            let (top, shift) = if prod >> 47 == 1 {
+                exp += 1;
+                (prod >> 21, 21u32)
+            } else {
+                (prod >> 20, 20u32)
+            };
+            let sticky = (prod & ((1u64 << shift) - 1) != 0) as u64;
+            round_and_pack(sign, exp, (top | sticky) as u32)
+        }
+    }
+}
+
+/// Comparison result flags: `(less, equal, unordered)`.
+pub fn fcmp(a_bits: u32, b_bits: u32) -> (bool, bool, bool) {
+    let (a, b) = (unpack(a_bits), unpack(b_bits));
+    if matches!(a, Fp::Nan) || matches!(b, Fp::Nan) {
+        return (false, false, true);
+    }
+    // Totally ordered via sign-magnitude → two's complement trick, after
+    // FTZ canonicalisation (so −0 == +0 and subnormals == 0).
+    let key = |f: Fp, bits: u32| -> i64 {
+        let canon = match f {
+            Fp::Zero(_) => 0u32,
+            _ => bits,
+        };
+        let v = canon as i64;
+        if canon >> 31 == 1 {
+            -(v & 0x7fff_ffff)
+        } else {
+            v
+        }
+    };
+    let ka = key(a, a_bits);
+    let kb = key(b, b_bits);
+    (ka < kb, ka == kb, false)
+}
+
+/// The FPU kernel.
+#[derive(Debug, Clone)]
+pub struct FpuKernel {
+    word_bits: u32,
+}
+
+impl FpuKernel {
+    /// An FPU for `word_bits`-wide registers (values in the low 32 bits).
+    pub fn new(word_bits: u32) -> FpuKernel {
+        let _ = Word::zero(word_bits);
+        FpuKernel { word_bits }
+    }
+
+    /// The recommended wrapper: a 4-stage pipeline (unpack/align,
+    /// add-multiply, normalise, round), as a synthesised core would use.
+    pub fn recommended_unit(word_bits: u32) -> crate::PipelinedFu<FpuKernel> {
+        crate::PipelinedFu::new(FpuKernel::new(word_bits), 4, 8)
+    }
+}
+
+impl Kernel for FpuKernel {
+    fn name(&self) -> &'static str {
+        "fpu"
+    }
+
+    fn func_code(&self) -> u8 {
+        FPU_FUNC_CODE
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let a = pkt.ops[0].as_u64() as u32;
+        let b = pkt.ops[1].as_u64() as u32;
+        match pkt.variety {
+            ops::FCMP => {
+                let (lt, eq, unordered) = fcmp(a, b);
+                let mut flags = Flags::from_parts(lt, eq, lt, false);
+                flags.set(Flags::ERROR, unordered);
+                KernelOutput {
+                    data: None,
+                    data2: None,
+                    flags: Some(flags),
+                }
+            }
+            v => {
+                let r = match v {
+                    ops::FADD => fadd(a, b),
+                    ops::FSUB => fsub(a, b),
+                    ops::FMUL => fmul(a, b),
+                    _ => QNAN,
+                };
+                let is_nan = (r >> MANT_BITS) & EXP_MASK == EXP_MASK && r & MANT_MASK != 0;
+                let mut flags = Flags::from_parts(false, r & 0x7fff_ffff == 0, r >> 31 == 1, false);
+                flags.set(Flags::ERROR, is_nan);
+                KernelOutput {
+                    data: Some(Word::from_u64(r as u64, self.word_bits)),
+                    data2: None,
+                    flags: Some(flags),
+                }
+            }
+        }
+    }
+
+    fn writes_data(&self, variety: u8) -> bool {
+        variety != ops::FCMP
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // Aligner barrel shifter + 27-bit adder + 24×24 multiplier array
+        // + normaliser + rounding.
+        AreaEstimate::mux2(27 * 5)
+            + AreaEstimate::adder(27)
+            + AreaEstimate {
+                les: 24 * 24 / 4,
+                ffs: 0,
+                bram_bits: 0,
+            }
+            + AreaEstimate::mux2(27 * 5)
+            + AreaEstimate::adder(24)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // Unpipelined: aligner + adder/multiplier tree + normaliser.
+        CriticalPath::of(5)
+            .then(CriticalPath::tree(24, 2))
+            .then(CriticalPath::adder(27))
+            .then(CriticalPath::of(5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Host-FPU reference with FTZ applied to inputs and outputs.
+    fn host_ftz(op: impl Fn(f32, f32) -> f32, a: u32, b: u32) -> u32 {
+        let flush = |v: f32| if v.is_subnormal() { 0.0f32.copysign(v) } else { v };
+        let r = flush(op(flush(f32::from_bits(a)), flush(f32::from_bits(b))));
+        r.to_bits()
+    }
+
+    fn assert_matches(op_name: &str, ours: u32, host: u32, a: u32, b: u32) {
+        let ours_f = f32::from_bits(ours);
+        let host_f = f32::from_bits(host);
+        if host_f.is_nan() {
+            assert!(ours_f.is_nan(), "{op_name}({a:#x},{b:#x}): expected NaN, got {ours:#x}");
+        } else {
+            assert_eq!(
+                ours, host,
+                "{op_name}({a:#x},{b:#x}): ours {ours_f} ({ours:#x}) vs host {host_f} ({host:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn add_simple_values() {
+        for (a, b) in [
+            (1.0f32, 2.0f32),
+            (0.1, 0.2),
+            (1e10, -1e10),
+            (1.5e-38, 2.5e-38),
+            (3.0, -1.999999),
+            (1e30, 1e-30),
+            (-0.0, 0.0),
+            (123456.78, 0.0001),
+        ] {
+            assert_matches(
+                "fadd",
+                fadd(a.to_bits(), b.to_bits()),
+                host_ftz(|x, y| x + y, a.to_bits(), b.to_bits()),
+                a.to_bits(),
+                b.to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn mul_simple_values() {
+        for (a, b) in [
+            (1.0f32, 2.0f32),
+            (0.1, 0.2),
+            (1e20, 1e20),   // overflow -> inf
+            (1e-30, 1e-30), // underflow -> 0 (FTZ)
+            (-3.5, 2.0),
+            (1.000_000_1, 0.999_999_9),
+        ] {
+            assert_matches(
+                "fmul",
+                fmul(a.to_bits(), b.to_bits()),
+                host_ftz(|x, y| x * y, a.to_bits(), b.to_bits()),
+                a.to_bits(),
+                b.to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let inf = f32::INFINITY.to_bits();
+        let ninf = f32::NEG_INFINITY.to_bits();
+        let nan = f32::NAN.to_bits();
+        let zero = 0.0f32.to_bits();
+        let nzero = (-0.0f32).to_bits();
+        let one = 1.0f32.to_bits();
+        // ∞ − ∞ and ∞ × 0 are NaN.
+        assert!(f32::from_bits(fadd(inf, ninf)).is_nan());
+        assert!(f32::from_bits(fmul(inf, zero)).is_nan());
+        // NaN propagates.
+        assert!(f32::from_bits(fadd(nan, one)).is_nan());
+        assert!(f32::from_bits(fmul(one, nan)).is_nan());
+        // ∞ arithmetic.
+        assert_eq!(fadd(inf, one), inf);
+        assert_eq!(fmul(ninf, one), ninf);
+        // Signed zeros.
+        assert_eq!(fadd(nzero, nzero), nzero);
+        assert_eq!(fadd(nzero, zero), zero);
+        assert_eq!(fmul(nzero, one), nzero);
+        // x + (−x) = +0.
+        assert_eq!(fadd(one, 1.0f32.to_bits() ^ 0x8000_0000), zero);
+    }
+
+    #[test]
+    fn subnormals_flush_to_zero() {
+        let sub = f32::from_bits(0x0000_0001); // smallest subnormal
+        assert!(sub.is_subnormal());
+        // Subnormal input treated as zero.
+        assert_eq!(fadd(sub.to_bits(), 1.0f32.to_bits()), 1.0f32.to_bits());
+        // Subnormal result flushed to (signed) zero.
+        let tiny = 1.2e-38f32; // normal, near the bottom
+        let r = fmul(tiny.to_bits(), 0.5f32.to_bits());
+        assert_eq!(r & 0x7fff_ffff, 0, "expected ±0, got {:#x}", r);
+    }
+
+    #[test]
+    fn compare_semantics() {
+        let cases = [
+            (1.0f32, 2.0f32, (true, false, false)),
+            (2.0, 1.0, (false, false, false)),
+            (5.5, 5.5, (false, true, false)),
+            (-1.0, 1.0, (true, false, false)),
+            (-2.0, -3.0, (false, false, false)),
+            (0.0, -0.0, (false, true, false)),
+            (f32::NEG_INFINITY, f32::MAX, (true, false, false)),
+            (f32::NAN, 1.0, (false, false, true)),
+        ];
+        for (a, b, expect) in cases {
+            assert_eq!(fcmp(a.to_bits(), b.to_bits()), expect, "{a} ? {b}");
+        }
+    }
+
+    #[test]
+    fn kernel_routes_operations() {
+        use crate::kernel::testutil::pkt;
+        let k = FpuKernel::new(32);
+        let mut p = pkt(ops::FADD, 1.5f32.to_bits() as u64, 2.25f32.to_bits() as u64, 32);
+        let out = k.compute(&p);
+        assert_eq!(out.data.unwrap().as_u64() as u32, 3.75f32.to_bits());
+        p.variety = ops::FSUB;
+        let out = k.compute(&p);
+        assert_eq!(out.data.unwrap().as_u64() as u32, (-0.75f32).to_bits());
+        p.variety = ops::FCMP;
+        let out = k.compute(&p);
+        assert!(out.data.is_none());
+        let f = out.flags.unwrap();
+        assert!(f.carry(), "1.5 < 2.25 sets the less-than (carry) flag");
+        assert!(!k.writes_data(ops::FCMP));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2048))]
+
+        #[test]
+        fn prop_fadd_bit_exact_vs_host(a: u32, b: u32) {
+            let ours = fadd(a, b);
+            let host = host_ftz(|x, y| x + y, a, b);
+            let (of, hf) = (f32::from_bits(ours), f32::from_bits(host));
+            if hf.is_nan() {
+                prop_assert!(of.is_nan());
+            } else {
+                prop_assert_eq!(ours, host,
+                    "fadd({:#x},{:#x}) = {:#x}, host {:#x}", a, b, ours, host);
+            }
+        }
+
+        #[test]
+        fn prop_fmul_bit_exact_vs_host(a: u32, b: u32) {
+            let ours = fmul(a, b);
+            let host = host_ftz(|x, y| x * y, a, b);
+            let (of, hf) = (f32::from_bits(ours), f32::from_bits(host));
+            if hf.is_nan() {
+                prop_assert!(of.is_nan());
+            } else {
+                prop_assert_eq!(ours, host,
+                    "fmul({:#x},{:#x}) = {:#x}, host {:#x}", a, b, ours, host);
+            }
+        }
+
+        #[test]
+        fn prop_fcmp_matches_partial_cmp(a: u32, b: u32) {
+            let flush = |v: f32| if v.is_subnormal() { 0.0f32.copysign(v) } else { v };
+            let (fa, fb) = (flush(f32::from_bits(a)), flush(f32::from_bits(b)));
+            let (lt, eq, unordered) = fcmp(a, b);
+            match fa.partial_cmp(&fb) {
+                None => prop_assert!(unordered),
+                Some(std::cmp::Ordering::Less) => prop_assert!(lt && !eq && !unordered),
+                Some(std::cmp::Ordering::Equal) => prop_assert!(!lt && eq && !unordered),
+                Some(std::cmp::Ordering::Greater) => prop_assert!(!lt && !eq && !unordered),
+            }
+        }
+
+        #[test]
+        fn prop_addition_commutes(a: u32, b: u32) {
+            let x = fadd(a, b);
+            let y = fadd(b, a);
+            if f32::from_bits(x).is_nan() {
+                prop_assert!(f32::from_bits(y).is_nan());
+            } else {
+                prop_assert_eq!(x, y);
+            }
+        }
+    }
+}

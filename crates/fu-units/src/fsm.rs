@@ -1,0 +1,289 @@
+//! The area-optimised FSM skeleton (thesis Figure 2.18).
+//!
+//! For kernels that need several cycles but where a full pipeline would
+//! waste area, the thesis gives a finite-state-machine skeleton with
+//! states *Idle → Execute → Send-Data/Send-Flags → Idle* ("if the reset
+//! signal is asserted the FSM moves to state Idle regardless of its
+//! current state").
+//!
+//! [`FsmFu`] reproduces that shape: a configurable number of execute
+//! cycles, followed by one send state per produced result element (data,
+//! second data, flags are delivered to the write arbiter together, but
+//! each extra element costs one additional cycle of the FSM walking its
+//! send states before `data_ready` is asserted — the serialisation the
+//! figure's Send-Data-1/2/Flags chain implies).
+
+use crate::kernel::{make_output, Kernel};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// FSM states (exposed for tests and traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmState {
+    /// Waiting for a dispatch.
+    Idle,
+    /// Kernel computing; the counter holds remaining cycles.
+    Execute(u32),
+    /// Walking the send chain; the counter holds remaining send states.
+    Send(u32),
+    /// `data_ready` asserted, waiting for the write arbiter.
+    Output,
+}
+
+/// FSM-skeleton wrapper around a combinational kernel.
+#[derive(Debug)]
+pub struct FsmFu<K: Kernel> {
+    kernel: K,
+    exec_cycles: u32,
+    state: FsmState,
+    next_state: Option<FsmState>,
+    result: Option<FuOutput>,
+}
+
+impl<K: Kernel> FsmFu<K> {
+    /// Wrap `kernel` with an `exec_cycles`-cycle execute phase
+    /// (`exec_cycles >= 1`).
+    pub fn new(kernel: K, exec_cycles: u32) -> FsmFu<K> {
+        assert!(exec_cycles >= 1, "execute phase needs at least one cycle");
+        FsmFu {
+            kernel,
+            exec_cycles,
+            state: FsmState::Idle,
+            next_state: None,
+            result: None,
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    fn send_states(out: &FuOutput) -> u32 {
+        // One send state per result element beyond the first.
+        let elements =
+            out.data.is_some() as u32 + out.data2.is_some() as u32 + out.flags.is_some() as u32;
+        elements.saturating_sub(1)
+    }
+}
+
+impl<K: Kernel> Clocked for FsmFu<K> {
+    fn commit(&mut self) {
+        if let Some(s) = self.next_state.take() {
+            self.state = s;
+            return;
+        }
+        self.state = match self.state {
+            FsmState::Idle => FsmState::Idle,
+            FsmState::Execute(1) => {
+                let sends = Self::send_states(self.result.as_ref().expect("result computed"));
+                if sends == 0 {
+                    FsmState::Output
+                } else {
+                    FsmState::Send(sends)
+                }
+            }
+            FsmState::Execute(n) => FsmState::Execute(n - 1),
+            FsmState::Send(1) => FsmState::Output,
+            FsmState::Send(n) => FsmState::Send(n - 1),
+            FsmState::Output => FsmState::Output,
+        };
+    }
+
+    fn reset(&mut self) {
+        // "If the reset signal is asserted the FSM moves to state Idle
+        // regardless of its current state."
+        self.state = FsmState::Idle;
+        self.next_state = None;
+        self.result = None;
+    }
+}
+
+impl<K: Kernel> FunctionalUnit for FsmFu<K> {
+    fn name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn func_code(&self) -> u8 {
+        self.kernel.func_code()
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        self.kernel.aux_role()
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.state == FsmState::Idle && self.next_state.is_none()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy FSM unit");
+        // The kernel result is computed up front in the simulation; the
+        // FSM only models *when* it becomes visible.
+        let result = self.kernel.compute(&pkt);
+        self.result = Some(make_output(&pkt, result));
+        self.next_state = Some(FsmState::Execute(self.exec_cycles));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        (self.state == FsmState::Output)
+            .then_some(self.result.as_ref())
+            .flatten()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        assert_eq!(self.state, FsmState::Output, "ack outside Output state");
+        self.next_state = Some(FsmState::Idle);
+        self.result.take().expect("result present in Output state")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.state == FsmState::Idle && self.next_state.is_none() && self.result.is_none()
+    }
+
+    fn variety_writes_data(&self, v: u8) -> bool {
+        self.kernel.writes_data(v)
+    }
+
+    fn variety_writes_flags(&self, v: u8) -> bool {
+        self.kernel.writes_flags(v)
+    }
+
+    fn variety_reads_flags(&self, v: u8) -> bool {
+        self.kernel.reads_flags(v)
+    }
+
+    fn variety_reads_srcs(&self, v: u8) -> [bool; 3] {
+        self.kernel.reads_srcs(v)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // Kernel + state register + result buffer; the FSM trades control
+        // area against the pipelined skeleton's FIFOs.
+        self.kernel.area()
+            + AreaEstimate::register(self.kernel.word_bits() as u64 + 8 + 3)
+            + AreaEstimate {
+                les: 12,
+                ffs: 0,
+                bram_bits: 0,
+            }
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // The kernel may be spread across execute cycles; the per-cycle
+        // depth is the kernel depth divided by the execute count (at
+        // least the FSM logic itself).
+        let per_cycle = self.kernel.critical_path().levels.div_ceil(self.exec_cycles as u64);
+        CriticalPath::of(per_cycle.max(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{pkt, IdKernel};
+
+    fn unit(exec: u32) -> FsmFu<IdKernel> {
+        FsmFu::new(IdKernel { bits: 32 }, exec)
+    }
+
+    #[test]
+    fn walks_idle_execute_output_idle() {
+        let mut fu = unit(2);
+        assert_eq!(fu.state(), FsmState::Idle);
+        fu.dispatch(pkt(0, 9, 0, 32));
+        fu.commit();
+        assert_eq!(fu.state(), FsmState::Execute(2));
+        fu.commit();
+        assert_eq!(fu.state(), FsmState::Execute(1));
+        fu.commit();
+        // IdKernel produces data + flags = 2 elements -> one send state.
+        assert_eq!(fu.state(), FsmState::Send(1));
+        assert!(fu.peek_output().is_none());
+        fu.commit();
+        assert_eq!(fu.state(), FsmState::Output);
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 9);
+        fu.commit();
+        assert_eq!(fu.state(), FsmState::Idle);
+        assert!(fu.is_idle());
+    }
+
+    #[test]
+    fn output_waits_for_acknowledge() {
+        let mut fu = unit(1);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.commit(); // Execute(1)
+        fu.commit(); // Send(1)
+        fu.commit(); // Output
+        assert_eq!(fu.state(), FsmState::Output);
+        for _ in 0..3 {
+            fu.commit();
+            assert_eq!(fu.state(), FsmState::Output, "holds until acked");
+        }
+        fu.ack_output();
+        fu.commit();
+        assert!(fu.is_idle());
+    }
+
+    #[test]
+    fn busy_during_execution() {
+        let mut fu = unit(3);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        assert!(!fu.can_dispatch());
+        for _ in 0..3 {
+            fu.commit();
+            assert!(!fu.can_dispatch());
+        }
+    }
+
+    #[test]
+    fn reset_from_any_state_returns_to_idle() {
+        let mut fu = unit(2);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.commit();
+        fu.commit();
+        fu.reset();
+        assert_eq!(fu.state(), FsmState::Idle);
+        assert!(fu.is_idle());
+        assert!(fu.can_dispatch());
+    }
+
+    #[test]
+    #[should_panic(expected = "ack outside Output")]
+    fn ack_outside_output_panics() {
+        let mut fu = unit(1);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.ack_output();
+    }
+
+    #[test]
+    fn longer_execute_lowers_per_cycle_depth() {
+        // Spreading a deep kernel across more cycles shortens the
+        // per-cycle critical path (the area/speed dial the FSM offers).
+        struct DeepKernel;
+        impl Kernel for DeepKernel {
+            fn name(&self) -> &'static str {
+                "deep"
+            }
+            fn func_code(&self) -> u8 {
+                9
+            }
+            fn word_bits(&self) -> u32 {
+                32
+            }
+            fn compute(&self, _p: &DispatchPacket) -> crate::kernel::KernelOutput {
+                crate::kernel::KernelOutput::default()
+            }
+            fn area(&self) -> AreaEstimate {
+                AreaEstimate::ZERO
+            }
+            fn critical_path(&self) -> CriticalPath {
+                CriticalPath::of(12)
+            }
+        }
+        let shallow = FsmFu::new(DeepKernel, 1).critical_path();
+        let deep = FsmFu::new(DeepKernel, 4).critical_path();
+        assert!(deep < shallow);
+    }
+}

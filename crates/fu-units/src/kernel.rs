@@ -1,0 +1,185 @@
+//! The combinational kernel abstraction shared by the construction
+//! skeletons.
+//!
+//! A [`Kernel`] is the "black box circuit" of Figure 5 — the pure
+//! combinational function a unit computes — together with the static
+//! decode facts the framework needs (which varieties write data or flags,
+//! which operands are read). Skeletons wrap a kernel with timing and
+//! protocol behaviour; the same kernel can be instantiated minimal, FSM or
+//! pipelined, which is exactly the reuse story the thesis tells.
+
+use fu_isa::{Flags, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput};
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Results of one kernel evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelOutput {
+    /// Data result for the first destination register.
+    pub data: Option<Word>,
+    /// Data result for the second destination register (units whose
+    /// [`AuxRole`] is [`AuxRole::SecondDest`]).
+    pub data2: Option<Word>,
+    /// Output flag vector.
+    pub flags: Option<Flags>,
+}
+
+/// A combinational compute kernel.
+pub trait Kernel {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Function code the wrapping unit answers to.
+    fn func_code(&self) -> u8;
+
+    /// Interpretation of the instruction's aux field.
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    /// Register word size this kernel is instantiated for.
+    fn word_bits(&self) -> u32;
+
+    /// Evaluate the combinational function.
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput;
+
+    /// Does this variety produce a data result?
+    fn writes_data(&self, _variety: u8) -> bool {
+        true
+    }
+
+    /// Does this variety produce flags?
+    fn writes_flags(&self, _variety: u8) -> bool {
+        true
+    }
+
+    /// Does this variety consume the source flag register?
+    fn reads_flags(&self, _variety: u8) -> bool {
+        false
+    }
+
+    /// Which source-register fields this variety reads.
+    fn reads_srcs(&self, _variety: u8) -> [bool; 3] {
+        [true, true, false]
+    }
+
+    /// Area of the combinational logic.
+    fn area(&self) -> AreaEstimate;
+
+    /// Depth of the combinational logic.
+    fn critical_path(&self) -> CriticalPath;
+}
+
+/// Assemble a [`FuOutput`] from a kernel result and the originating
+/// packet (shared by all skeletons).
+pub fn make_output(pkt: &DispatchPacket, out: KernelOutput) -> FuOutput {
+    FuOutput {
+        data: out.data.map(|v| (pkt.dst_reg, v)),
+        data2: out
+            .data2
+            .and_then(|v| pkt.dst2_reg.map(|r| (r, v))),
+        flags: out.flags.map(|f| (pkt.dst_flag, f)),
+        ticket: pkt.ticket,
+        seq: pkt.seq,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for skeleton and kernel tests.
+    use super::*;
+    use fu_rtm::protocol::LockTicket;
+
+    /// A dispatch packet with the given operands and plain destinations.
+    pub fn pkt(variety: u8, a: u64, b: u64, bits: u32) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(a, bits),
+                Word::from_u64(b, bits),
+                Word::zero(bits),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: Some(2),
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::new(Some(1), None, Some(0)),
+            seq: 0,
+        }
+    }
+
+    /// A trivial identity kernel for skeleton tests: `dst = src1`, zero
+    /// flag only.
+    pub struct IdKernel {
+        pub bits: u32,
+    }
+
+    impl Kernel for IdKernel {
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+        fn func_code(&self) -> u8 {
+            7
+        }
+        fn word_bits(&self) -> u32 {
+            self.bits
+        }
+        fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+            KernelOutput {
+                data: Some(pkt.ops[0]),
+                data2: None,
+                flags: Some(Flags::from_parts(false, pkt.ops[0].is_zero(), false, false)),
+            }
+        }
+        fn reads_srcs(&self, _v: u8) -> [bool; 3] {
+            [true, false, false]
+        }
+        fn area(&self) -> AreaEstimate {
+            AreaEstimate::ZERO
+        }
+        fn critical_path(&self) -> CriticalPath {
+            CriticalPath::of(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn make_output_routes_destinations() {
+        let p = pkt(0, 5, 0, 32);
+        let out = make_output(
+            &p,
+            KernelOutput {
+                data: Some(Word::from_u64(9, 32)),
+                data2: Some(Word::from_u64(8, 32)),
+                flags: Some(Flags::CARRY),
+            },
+        );
+        assert_eq!(out.data, Some((1, Word::from_u64(9, 32))));
+        assert_eq!(out.data2, Some((2, Word::from_u64(8, 32))));
+        assert_eq!(out.flags, Some((0, Flags::CARRY)));
+        assert_eq!(out.ticket, p.ticket);
+    }
+
+    #[test]
+    fn make_output_drops_data2_without_second_dest() {
+        let mut p = pkt(0, 5, 0, 32);
+        p.dst2_reg = None;
+        let out = make_output(
+            &p,
+            KernelOutput {
+                data: None,
+                data2: Some(Word::from_u64(8, 32)),
+                flags: None,
+            },
+        );
+        assert_eq!(out.data, None);
+        assert_eq!(out.data2, None);
+        assert_eq!(out.flags, None);
+    }
+}

@@ -1,0 +1,79 @@
+//! `fu-units` — the functional-unit library.
+//!
+//! The paper leaves the internal structure of a functional unit to the
+//! designer but documents "several frequently recurring patterns when
+//! creating functional units" (thesis §2.3.4). This crate implements the
+//! three published construction skeletons, generic over a combinational
+//! [`kernel::Kernel`]:
+//!
+//! * [`minimal::MinimalFu`] — the *minimal configuration* (Figure 5 /
+//!   thesis Figure 2.16): combinational logic followed by output
+//!   registers. Accepts an instruction every second cycle, or every cycle
+//!   when acknowledge forwarding is enabled ("this combinational forward
+//!   mechanism … allows the functional unit to theoretically accept a new
+//!   instruction every clock cycle", at the cost of critical-path length).
+//! * [`fsm::FsmFu`] — the *area-optimised* skeleton (thesis Figure 2.18):
+//!   an Idle/Execute/Send finite state machine for multi-cycle kernels.
+//! * [`pipelined::PipelinedFu`] — the *performance-optimised* skeleton
+//!   (thesis §2.3.4): a k-stage pipeline in front of result FIFOs; the
+//!   unit "becomes only busy towards the dispatcher if the FIFO buffers
+//!   contained in the functional unit are full".
+//!
+//! On top of the skeletons, the crate provides the case-study units:
+//!
+//! * [`arith::ArithKernel`] — the arithmetic unit of Table 3.1
+//!   (ADD/ADC/SUB/SBB/INC/DEC/NEG/CMP/CMPB via six variety bits);
+//! * [`logic::LogicKernel`] — the logic unit of Table 3.2 (truth-table
+//!   varieties);
+//! * [`shift::ShiftKernel`] — a shift/rotate unit;
+//! * [`mul::MulKernel`] — a widening multiplier that exercises the
+//!   two-result path and the pipelined skeleton;
+//! * [`popcount::PopcountKernel`] — a deliberately small "user-defined"
+//!   unit used by the examples to demonstrate the framework's portability
+//!   story.
+
+pub mod arith;
+pub mod clockdomain;
+pub mod crc;
+pub mod div;
+pub mod fpu;
+pub mod fsm;
+pub mod kernel;
+pub mod logic;
+pub mod minimal;
+pub mod mul;
+pub mod pipelined;
+pub mod popcount;
+pub mod shift;
+pub mod stateful;
+
+pub use arith::ArithKernel;
+pub use clockdomain::ClockDomainFu;
+pub use crc::CrcKernel;
+pub use fpu::FpuKernel;
+pub use div::DivKernel;
+pub use fsm::FsmFu;
+pub use kernel::{Kernel, KernelOutput};
+pub use logic::LogicKernel;
+pub use minimal::MinimalFu;
+pub use mul::MulKernel;
+pub use pipelined::PipelinedFu;
+pub use popcount::PopcountKernel;
+pub use shift::ShiftKernel;
+pub use stateful::{CamFu, HistogramFu, PrngFu};
+
+use fu_rtm::FunctionalUnit;
+
+/// The standard stateless-unit complement used by the examples and
+/// benches: arithmetic + logic + shift (minimal skeletons), multiplier
+/// (pipelined) and popcount.
+pub fn standard_units(word_bits: u32) -> Vec<Box<dyn FunctionalUnit>> {
+    vec![
+        Box::new(MinimalFu::new(ArithKernel::new(word_bits), false)),
+        Box::new(MinimalFu::new(LogicKernel::new(word_bits), false)),
+        Box::new(MinimalFu::new(ShiftKernel::new(word_bits), false)),
+        Box::new(PipelinedFu::new(MulKernel::new(word_bits), 3, 8)),
+        Box::new(MinimalFu::new(PopcountKernel::new(word_bits), false)),
+        Box::new(DivKernel::recommended_unit(word_bits)),
+    ]
+}

@@ -1,0 +1,178 @@
+//! The logic unit of the stateless case study (thesis Table 3.2).
+//!
+//! "The logic unit is able to do a variety of basic bitwise logic
+//! operations. All operations are applied to the first and second source
+//! operand in the case of two input operands and to the first operand in
+//! the case \[of\] one input operand."
+//!
+//! The variety code carries a 2-input truth table (see
+//! [`fu_isa::variety::LogicVariety`]) — the natural encoding for a LUT
+//! fabric, where *any* of the 16 bitwise functions costs the same silicon.
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::variety::LogicVariety;
+use fu_isa::{funit_codes, Word};
+use fu_rtm::protocol::DispatchPacket;
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// The Table 3.2 logic kernel.
+#[derive(Debug, Clone)]
+pub struct LogicKernel {
+    word_bits: u32,
+}
+
+impl LogicKernel {
+    /// A logic kernel for `word_bits`-wide registers.
+    pub fn new(word_bits: u32) -> LogicKernel {
+        let _ = Word::zero(word_bits);
+        LogicKernel { word_bits }
+    }
+}
+
+impl Kernel for LogicKernel {
+    fn name(&self) -> &'static str {
+        "logic"
+    }
+
+    fn func_code(&self) -> u8 {
+        funit_codes::LOGIC
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let v = LogicVariety(pkt.variety);
+        let (data, flags) = v.evaluate(&pkt.ops[0], &pkt.ops[1]);
+        KernelOutput {
+            data,
+            data2: None,
+            flags: Some(flags),
+        }
+    }
+
+    fn writes_data(&self, variety: u8) -> bool {
+        LogicVariety(variety).outputs_data()
+    }
+
+    fn reads_srcs(&self, variety: u8) -> [bool; 3] {
+        let t = variety & LogicVariety::TABLE;
+        // The first operand matters when the table differs between a=0
+        // and a=1 rows; likewise for the second operand's columns.
+        let reads_a = (t & 0b0011) != ((t >> 2) & 0b0011);
+        let reads_b = (t & 0b0101) != ((t >> 1) & 0b0101);
+        [reads_a, reads_b, false]
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // One 4-LUT per output bit: the truth table *is* the LUT content.
+        AreaEstimate {
+            les: self.word_bits as u64,
+            ffs: 0,
+            bram_bits: 0,
+        }
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::of(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal::MinimalFu;
+    use fu_isa::variety::LogicOp;
+    use fu_isa::Flags;
+    use fu_rtm::protocol::{FunctionalUnit, LockTicket};
+    use proptest::prelude::*;
+    use rtl_sim::Clocked;
+
+    fn pkt(variety: u8, a: u64, b: u64) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn named_ops_compute_expected_values() {
+        let k = LogicKernel::new(32);
+        let a = 0xf0f0_1234u64;
+        let b = 0x0ff0_4321u64;
+        let eval = |op: LogicOp| {
+            k.compute(&pkt(op.variety().0, a, b))
+                .data
+                .map(|d| d.as_u64())
+        };
+        assert_eq!(eval(LogicOp::And), Some(a & b));
+        assert_eq!(eval(LogicOp::Or), Some(a | b));
+        assert_eq!(eval(LogicOp::Xor), Some(a ^ b));
+        assert_eq!(eval(LogicOp::Nand), Some(!(a & b) & 0xffff_ffff));
+        assert_eq!(eval(LogicOp::Nor), Some(!(a | b) & 0xffff_ffff));
+        assert_eq!(eval(LogicOp::Xnor), Some(!(a ^ b) & 0xffff_ffff));
+        assert_eq!(eval(LogicOp::Not), Some(!a & 0xffff_ffff));
+        assert_eq!(eval(LogicOp::Andn), Some(a & !b));
+        assert_eq!(eval(LogicOp::Copy), Some(a));
+        assert_eq!(eval(LogicOp::Test), None);
+    }
+
+    #[test]
+    fn operand_dependence_derived_from_table() {
+        let k = LogicKernel::new(32);
+        assert_eq!(k.reads_srcs(LogicOp::And.variety().0), [true, true, false]);
+        assert_eq!(k.reads_srcs(LogicOp::Not.variety().0), [true, false, false]);
+        assert_eq!(k.reads_srcs(LogicOp::Copy.variety().0), [true, false, false]);
+        // Constant-0 and constant-1 tables read nothing.
+        assert_eq!(k.reads_srcs(0b0000), [false, false, false]);
+        assert_eq!(k.reads_srcs(0b1111), [false, false, false]);
+    }
+
+    #[test]
+    fn test_op_writes_flags_only() {
+        let mut fu = MinimalFu::new(LogicKernel::new(32), false);
+        fu.dispatch(pkt(LogicOp::Test.variety().0, 0b1100, 0b0011));
+        fu.commit();
+        let out = fu.ack_output();
+        assert!(out.data.is_none());
+        assert!(out.flags.unwrap().1.zero(), "1100 & 0011 == 0");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_table_is_a_pure_bitwise_function(t in 0u8..16, a: u32, b: u32) {
+            let k = LogicKernel::new(32);
+            let v = LogicVariety::from_table(t).0;
+            let out = k.compute(&pkt(v, a as u64, b as u64)).data.unwrap().as_u64() as u32;
+            for bit in 0..32 {
+                let ai = (a >> bit) & 1;
+                let bi = (b >> bit) & 1;
+                prop_assert_eq!((out >> bit) & 1, ((t >> (2 * ai + bi)) & 1) as u32);
+            }
+        }
+
+        #[test]
+        fn prop_unread_operands_do_not_matter(t in 0u8..16, a: u32, b1: u32, b2: u32) {
+            let k = LogicKernel::new(32);
+            let v = LogicVariety::from_table(t).0;
+            let [_, reads_b, _] = k.reads_srcs(v);
+            if !reads_b {
+                let o1 = k.compute(&pkt(v, a as u64, b1 as u64));
+                let o2 = k.compute(&pkt(v, a as u64, b2 as u64));
+                prop_assert_eq!(o1, o2, "declared-unread operand changed the result");
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The minimal functional-unit configuration (Figure 5 / thesis
+//! Figure 2.16).
+//!
+//! "Essentially the minimal configuration of a functional unit … consists
+//! of some combinational logic transforming a single input value to a
+//! single output value … followed by an array of registers which is able
+//! to buffer the resulting value of an operation until the connected write
+//! arbiter acknowledges the write operation."
+//!
+//! Timing, with acknowledge forwarding **off** (the thesis's recommended
+//! default): dispatch in cycle *t*, `data_ready` in *t+1*, acknowledge in
+//! *t+1*, idle again in *t+2* — "able to accept an instruction every
+//! second clock cycle". With forwarding **on**, the acknowledgement is
+//! combinationally folded into `idle`, so a new dispatch can land in the
+//! acknowledge cycle — one instruction per cycle, but "combinational
+//! signals running through the functional units can significantly lengthen
+//! the critical path of the entire coprocessor", which the unit's
+//! [`FunctionalUnit::critical_path`] reflects. This trade-off is ablation
+//! A1 of the reproduction.
+
+use crate::kernel::{make_output, Kernel};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// Minimal-skeleton wrapper around a combinational kernel.
+#[derive(Debug)]
+pub struct MinimalFu<K: Kernel> {
+    kernel: K,
+    forward_ack: bool,
+    /// Result computed this cycle, registered at the edge.
+    staged: Option<FuOutput>,
+    /// Registered result, visible to the write arbiter.
+    out: Option<FuOutput>,
+    /// Set when the arbiter acknowledged during this evaluate phase.
+    acked_this_cycle: bool,
+}
+
+impl<K: Kernel> MinimalFu<K> {
+    /// Wrap `kernel`; `forward_ack` enables the combinational
+    /// acknowledge-forwarding option.
+    pub fn new(kernel: K, forward_ack: bool) -> MinimalFu<K> {
+        MinimalFu {
+            kernel,
+            forward_ack,
+            staged: None,
+            out: None,
+            acked_this_cycle: false,
+        }
+    }
+
+    /// Is acknowledge forwarding enabled?
+    pub fn forwards_ack(&self) -> bool {
+        self.forward_ack
+    }
+
+    /// The wrapped kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+}
+
+impl<K: Kernel> Clocked for MinimalFu<K> {
+    fn commit(&mut self) {
+        if let Some(v) = self.staged.take() {
+            debug_assert!(self.out.is_none(), "result register overwritten");
+            self.out = Some(v);
+        }
+        self.acked_this_cycle = false;
+    }
+
+    fn reset(&mut self) {
+        self.staged = None;
+        self.out = None;
+        self.acked_this_cycle = false;
+    }
+}
+
+impl<K: Kernel> FunctionalUnit for MinimalFu<K> {
+    fn name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn func_code(&self) -> u8 {
+        self.kernel.func_code()
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        self.kernel.aux_role()
+    }
+
+    fn can_dispatch(&self) -> bool {
+        // Idle when no output is pending. Without forwarding, the idle
+        // signal is registered: a unit acknowledged in this cycle only
+        // reports idle from the next cycle (hence one instruction every
+        // second cycle under continuous acknowledgement); with
+        // forwarding the acknowledge is folded in combinationally.
+        self.staged.is_none()
+            && self.out.is_none()
+            && (self.forward_ack || !self.acked_this_cycle)
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy minimal unit");
+        let result = self.kernel.compute(&pkt);
+        self.staged = Some(make_output(&pkt, result));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.acked_this_cycle = true;
+        self.out.take().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.staged.is_none() && self.out.is_none()
+    }
+
+    fn variety_writes_data(&self, v: u8) -> bool {
+        self.kernel.writes_data(v)
+    }
+
+    fn variety_writes_flags(&self, v: u8) -> bool {
+        self.kernel.writes_flags(v)
+    }
+
+    fn variety_reads_flags(&self, v: u8) -> bool {
+        self.kernel.reads_flags(v)
+    }
+
+    fn variety_reads_srcs(&self, v: u8) -> [bool; 3] {
+        self.kernel.reads_srcs(v)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // Kernel logic + result registers (data, destination number,
+        // ready flag), as in Figure 2.16.
+        self.kernel.area() + AreaEstimate::register(self.kernel.word_bits() as u64 + 8 + 1)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        let base = self.kernel.critical_path();
+        if self.forward_ack {
+            // The acknowledge wire threads through the unit's idle logic
+            // back into the dispatcher — a longer combinational path.
+            base.then(CriticalPath::of(2))
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{pkt, IdKernel};
+
+    fn unit(forward: bool) -> MinimalFu<IdKernel> {
+        MinimalFu::new(IdKernel { bits: 32 }, forward)
+    }
+
+    #[test]
+    fn result_registered_one_cycle_after_dispatch() {
+        let mut fu = unit(false);
+        fu.dispatch(pkt(0, 42, 0, 32));
+        assert!(fu.peek_output().is_none(), "output must be registered");
+        fu.commit();
+        let out = fu.peek_output().unwrap();
+        assert_eq!(out.data.unwrap().1.as_u64(), 42);
+    }
+
+    #[test]
+    fn without_forwarding_accepts_every_second_cycle() {
+        // Simulate the arbiter acknowledging as soon as output appears.
+        let mut fu = unit(false);
+        let mut dispatched = 0u32;
+        for _ in 0..10 {
+            // arbiter phase
+            if fu.peek_output().is_some() {
+                fu.ack_output();
+            }
+            // dispatcher phase
+            if fu.can_dispatch() {
+                fu.dispatch(pkt(0, 1, 0, 32));
+                dispatched += 1;
+            }
+            fu.commit();
+        }
+        assert_eq!(dispatched, 5, "one instruction every second cycle");
+    }
+
+    #[test]
+    fn with_forwarding_accepts_every_cycle() {
+        let mut fu = unit(true);
+        let mut dispatched = 0u32;
+        for _ in 0..10 {
+            if fu.peek_output().is_some() {
+                fu.ack_output();
+            }
+            if fu.can_dispatch() {
+                fu.dispatch(pkt(0, 1, 0, 32));
+                dispatched += 1;
+            }
+            fu.commit();
+        }
+        assert_eq!(dispatched, 10, "forwarding sustains one per cycle");
+    }
+
+    #[test]
+    fn unacknowledged_output_blocks_dispatch() {
+        let mut fu = unit(true);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.commit();
+        // No ack: even with forwarding the unit is busy.
+        assert!(!fu.can_dispatch());
+        fu.commit();
+        assert!(!fu.can_dispatch());
+        assert!(fu.peek_output().is_some(), "result held until acknowledged");
+    }
+
+    #[test]
+    fn forwarding_lengthens_critical_path() {
+        assert!(unit(true).critical_path() > unit(false).critical_path());
+    }
+
+    #[test]
+    fn reset_drops_everything() {
+        let mut fu = unit(false);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.commit();
+        fu.reset();
+        assert!(fu.is_idle());
+        assert!(fu.can_dispatch());
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch to busy")]
+    fn double_dispatch_panics() {
+        let mut fu = unit(false);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.dispatch(pkt(0, 2, 0, 32));
+    }
+}

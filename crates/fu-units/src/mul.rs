@@ -1,0 +1,201 @@
+//! A widening multiplier (extension FU exercising the two-result path).
+//!
+//! The framework allows "up to two results … loaded into the register
+//! file"; a widening multiply is the canonical consumer: the product of
+//! two w-bit words is 2w bits, delivered as a low half (destination
+//! register #1) and a high half (the aux field as second destination).
+//! Multiplier arrays are deep, so this kernel is meant for the
+//! [`crate::PipelinedFu`] skeleton.
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::{funit_codes, Flags, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket};
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Variety bit: only the low half is produced (single-destination form).
+pub const MUL_LOW_ONLY: u8 = 1 << 0;
+
+/// The widening-multiplier kernel.
+#[derive(Debug, Clone)]
+pub struct MulKernel {
+    word_bits: u32,
+}
+
+impl MulKernel {
+    /// A multiplier kernel for `word_bits`-wide registers.
+    pub fn new(word_bits: u32) -> MulKernel {
+        let _ = Word::zero(word_bits);
+        MulKernel { word_bits }
+    }
+
+    fn widening_mul(&self, a: &Word, b: &Word) -> (Word, Word) {
+        // Schoolbook limb multiplication, exact for up to 128×128 bits.
+        let n = a.n_limbs();
+        let mut acc = vec![0u64; 2 * n + 1];
+        for (i, &x) in a.limbs().iter().enumerate() {
+            for (j, &y) in b.limbs().iter().enumerate() {
+                let p = x as u64 * y as u64;
+                let k = i + j;
+                let lo = acc[k] + (p & 0xffff_ffff);
+                acc[k] = lo & 0xffff_ffff;
+                let hi = acc[k + 1] + (p >> 32) + (lo >> 32);
+                acc[k + 1] = hi & 0xffff_ffff;
+                acc[k + 2] += hi >> 32;
+            }
+        }
+        let limbs: Vec<u32> = acc.iter().map(|&l| l as u32).collect();
+        let lo = Word::from_limbs(&limbs[..n]);
+        let hi = Word::from_limbs(&limbs[n..2 * n]);
+        (lo, hi)
+    }
+}
+
+impl Kernel for MulKernel {
+    fn name(&self) -> &'static str {
+        "mul"
+    }
+
+    fn func_code(&self) -> u8 {
+        funit_codes::MUL
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::SecondDest
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let (lo, hi) = self.widening_mul(&pkt.ops[0], &pkt.ops[1]);
+        let low_only = pkt.variety & MUL_LOW_ONLY != 0;
+        let flags = Flags::from_parts(
+            // Carry doubles as "high half non-zero" (the product did not
+            // fit one word), the conventional unsigned-overflow signal.
+            !hi.is_zero(),
+            lo.is_zero() && hi.is_zero(),
+            lo.msb(),
+            !hi.is_zero(),
+        );
+        KernelOutput {
+            data: Some(lo),
+            data2: (!low_only).then_some(hi),
+            flags: Some(flags),
+        }
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // A w×w array multiplier ≈ w partial-product rows.
+        let w = self.word_bits as u64;
+        AreaEstimate {
+            les: w * w / 4,
+            ffs: 0,
+            bram_bits: 0,
+        } + AreaEstimate::adder(2 * w)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // Partial-product reduction tree depth.
+        CriticalPath::tree(self.word_bits as u64, 2).then(CriticalPath::adder(
+            2 * self.word_bits as u64,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipelined::PipelinedFu;
+    use fu_rtm::protocol::{FunctionalUnit, LockTicket};
+    use proptest::prelude::*;
+    use rtl_sim::Clocked;
+
+    fn pkt(a: u64, b: u64, variety: u8) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: Some(2),
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn small_product() {
+        let k = MulKernel::new(32);
+        let out = k.compute(&pkt(6, 7, 0));
+        assert_eq!(out.data.unwrap().as_u64(), 42);
+        assert!(out.data2.unwrap().is_zero());
+        assert!(!out.flags.unwrap().carry());
+    }
+
+    #[test]
+    fn wide_product_splits_halves() {
+        let k = MulKernel::new(32);
+        let out = k.compute(&pkt(0xffff_ffff, 0xffff_ffff, 0));
+        let expect = 0xffff_ffffu64 * 0xffff_ffff;
+        assert_eq!(out.data.unwrap().as_u64(), expect & 0xffff_ffff);
+        assert_eq!(out.data2.unwrap().as_u64(), expect >> 32);
+        assert!(out.flags.unwrap().carry(), "product overflowed one word");
+    }
+
+    #[test]
+    fn low_only_variety_suppresses_second_result() {
+        let k = MulKernel::new(32);
+        let out = k.compute(&pkt(1 << 20, 1 << 20, MUL_LOW_ONLY));
+        assert!(out.data2.is_none());
+    }
+
+    #[test]
+    fn through_pipelined_skeleton() {
+        let mut fu = PipelinedFu::new(MulKernel::new(32), 3, 8);
+        assert_eq!(fu.aux_role(), AuxRole::SecondDest);
+        fu.dispatch(pkt(1000, 2000, 0));
+        for _ in 0..3 {
+            fu.commit();
+        }
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap(), (1, Word::from_u64(2_000_000, 32)));
+        assert_eq!(out.data2.unwrap(), (2, Word::from_u64(0, 32)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_u64_multiplication(a: u32, b: u32) {
+            let k = MulKernel::new(32);
+            let out = k.compute(&pkt(a as u64, b as u64, 0));
+            let expect = a as u64 * b as u64;
+            prop_assert_eq!(out.data.unwrap().as_u64(), expect & 0xffff_ffff);
+            prop_assert_eq!(out.data2.unwrap().as_u64(), expect >> 32);
+        }
+
+        #[test]
+        fn prop_matches_u128_multiplication(a: u64, b: u64) {
+            let k = MulKernel::new(64);
+            let p = DispatchPacket {
+                variety: 0,
+                ops: [Word::from_u64(a, 64), Word::from_u64(b, 64), Word::zero(64)],
+                flags_in: Flags::NONE,
+                dst_reg: 1,
+                dst2_reg: Some(2),
+                dst_flag: 0,
+                imm8: 0,
+                ticket: LockTicket::default(),
+                seq: 0,
+            };
+            let out = k.compute(&p);
+            let expect = a as u128 * b as u128;
+            prop_assert_eq!(out.data.unwrap().as_u128(), expect & 0xffff_ffff_ffff_ffff);
+            prop_assert_eq!(out.data2.unwrap().as_u128(), expect >> 64);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The performance-optimised pipelined skeleton (thesis §2.3.4 /
+//! Figure 2.19).
+//!
+//! "For maximum performance and throughput, the functionally effective
+//! logic contained in the functional unit is implemented in a pipeline
+//! which is able to receive a new instruction either every clock cycle or
+//! at least every kth clock cycle. … the functional unit becomes only busy
+//! towards the dispatcher if the FIFO buffers contained in the functional
+//! unit are full. … It is recommended to configure the FIFO buffers to be
+//! able to hold more data elements than there are pipeline stages in the
+//! functional unit pipeline."
+//!
+//! [`PipelinedFu`] models exactly this: a `stages`-deep pipeline whose
+//! completions drain into a result FIFO of `fifo_depth` entries.
+//! Occupancy (pipeline + FIFO) is bounded by the FIFO depth — the
+//! conservative admission rule the thesis derives from the observation
+//! that "the number of elements stored in any one of the FIFO buffers will
+//! never exceed the number of elements stored in the FIFO buffers
+//! buffering register numbers for data output".
+
+use std::collections::VecDeque;
+
+use crate::kernel::{make_output, Kernel};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// Pipelined-skeleton wrapper around a combinational kernel.
+#[derive(Debug)]
+pub struct PipelinedFu<K: Kernel> {
+    kernel: K,
+    stages: u32,
+    fifo_depth: usize,
+    /// In-flight instructions: (cycles until completion, computed output).
+    pipe: VecDeque<(u32, FuOutput)>,
+    /// Completed results awaiting the write arbiter.
+    fifo: VecDeque<FuOutput>,
+    /// Dispatch accepted this evaluate phase (enters the pipe at commit).
+    staged: Option<FuOutput>,
+    high_water: usize,
+}
+
+impl<K: Kernel> PipelinedFu<K> {
+    /// Wrap `kernel` in a `stages`-deep pipeline backed by a
+    /// `fifo_depth`-entry result FIFO.
+    ///
+    /// # Panics
+    /// Panics when `stages == 0`, `fifo_depth == 0`, or the FIFO is not
+    /// deeper than the pipeline (the thesis's sizing recommendation is
+    /// enforced: a shallower FIFO deadlocks the admission rule).
+    pub fn new(kernel: K, stages: u32, fifo_depth: usize) -> PipelinedFu<K> {
+        assert!(stages >= 1, "pipeline needs at least one stage");
+        assert!(
+            fifo_depth > stages as usize,
+            "FIFO depth ({fifo_depth}) must exceed pipeline stages ({stages})"
+        );
+        PipelinedFu {
+            kernel,
+            stages,
+            fifo_depth,
+            pipe: VecDeque::new(),
+            fifo: VecDeque::new(),
+            staged: None,
+            high_water: 0,
+        }
+    }
+
+    /// Pipeline depth.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Result-FIFO capacity.
+    pub fn fifo_depth(&self) -> usize {
+        self.fifo_depth
+    }
+
+    /// Peak combined occupancy observed (for the A3 sizing ablation).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    fn occupancy(&self) -> usize {
+        self.pipe.len() + self.fifo.len() + self.staged.is_some() as usize
+    }
+}
+
+impl<K: Kernel> Clocked for PipelinedFu<K> {
+    fn commit(&mut self) {
+        // Advance the pipeline; the commit that admits an instruction is
+        // its first stage latch, so an instruction dispatched in cycle t
+        // is visible to the arbiter in cycle t + stages.
+        for entry in &mut self.pipe {
+            entry.0 -= 1;
+        }
+        if let Some(out) = self.staged.take() {
+            self.pipe.push_back((self.stages - 1, out));
+        }
+        while self.pipe.front().is_some_and(|(c, _)| *c == 0) {
+            let (_, out) = self.pipe.pop_front().expect("checked front");
+            self.fifo.push_back(out);
+        }
+        self.high_water = self.high_water.max(self.occupancy());
+        debug_assert!(self.fifo.len() <= self.fifo_depth);
+    }
+
+    fn reset(&mut self) {
+        self.pipe.clear();
+        self.fifo.clear();
+        self.staged = None;
+        self.high_water = 0;
+    }
+}
+
+impl<K: Kernel> FunctionalUnit for PipelinedFu<K> {
+    fn name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn func_code(&self) -> u8 {
+        self.kernel.func_code()
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        self.kernel.aux_role()
+    }
+
+    fn can_dispatch(&self) -> bool {
+        // Busy towards the dispatcher only when the FIFOs are full (in
+        // the conservative occupancy sense above).
+        self.staged.is_none() && self.occupancy() < self.fifo_depth
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to full pipelined unit");
+        let result = self.kernel.compute(&pkt);
+        self.staged = Some(make_output(&pkt, result));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.fifo.front()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.fifo.pop_front().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    fn variety_writes_data(&self, v: u8) -> bool {
+        self.kernel.writes_data(v)
+    }
+
+    fn variety_writes_flags(&self, v: u8) -> bool {
+        self.kernel.writes_flags(v)
+    }
+
+    fn variety_reads_flags(&self, v: u8) -> bool {
+        self.kernel.reads_flags(v)
+    }
+
+    fn variety_reads_srcs(&self, v: u8) -> [bool; 3] {
+        self.kernel.reads_srcs(v)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // Kernel spread over pipeline registers plus the result FIFOs —
+        // "uses a lot of FPGA resources and especially on-chip SRAM
+        // blocks consumed by the FIFO buffers".
+        let w = self.kernel.word_bits() as u64;
+        self.kernel.area()
+            + AreaEstimate::register(self.stages as u64 * (w + 16))
+            + AreaEstimate::fifo(w + 8, self.fifo_depth as u64)
+            + AreaEstimate::fifo(8 + 8, self.fifo_depth as u64)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // The kernel is cut into `stages` pieces.
+        let per_stage = self.kernel.critical_path().levels.div_ceil(self.stages as u64);
+        CriticalPath::of(per_stage.max(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{pkt, IdKernel};
+
+    fn unit(stages: u32, depth: usize) -> PipelinedFu<IdKernel> {
+        PipelinedFu::new(IdKernel { bits: 32 }, stages, depth)
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed pipeline stages")]
+    fn shallow_fifo_rejected() {
+        unit(4, 4);
+    }
+
+    #[test]
+    fn sustains_one_dispatch_per_cycle_with_draining_arbiter() {
+        let mut fu = unit(3, 8);
+        let mut dispatched = 0u32;
+        let mut completed = 0u32;
+        for _ in 0..50 {
+            if fu.peek_output().is_some() {
+                fu.ack_output();
+                completed += 1;
+            }
+            if fu.can_dispatch() {
+                fu.dispatch(pkt(0, dispatched as u64, 0, 32));
+                dispatched += 1;
+            }
+            fu.commit();
+        }
+        assert_eq!(dispatched, 50, "full throughput while the arbiter drains");
+        assert!(completed >= 45, "completions track dispatches minus latency");
+    }
+
+    #[test]
+    fn results_emerge_in_order_after_latency() {
+        let mut fu = unit(3, 8);
+        fu.dispatch(pkt(0, 100, 0, 32));
+        fu.commit();
+        fu.dispatch(pkt(0, 200, 0, 32));
+        fu.commit();
+        assert!(fu.peek_output().is_none(), "latency 3: nothing after 2 cycles");
+        fu.commit();
+        assert_eq!(fu.peek_output().unwrap().data.unwrap().1.as_u64(), 100);
+        fu.ack_output();
+        fu.commit();
+        assert_eq!(fu.peek_output().unwrap().data.unwrap().1.as_u64(), 200);
+    }
+
+    #[test]
+    fn fills_and_stalls_when_arbiter_never_acks() {
+        let mut fu = unit(2, 5);
+        let mut dispatched = 0;
+        for _ in 0..20 {
+            if fu.can_dispatch() {
+                fu.dispatch(pkt(0, 1, 0, 32));
+                dispatched += 1;
+            }
+            fu.commit();
+        }
+        assert_eq!(dispatched, 5, "occupancy bounded by FIFO depth");
+        assert_eq!(fu.high_water(), 5);
+        assert!(!fu.can_dispatch());
+        // Draining one result opens one slot.
+        fu.ack_output();
+        assert!(fu.can_dispatch());
+    }
+
+    #[test]
+    fn pipeline_keeps_filling_while_fifo_backs_up() {
+        // The pipeline itself "does not need to stall its operation in
+        // case of full FIFO buffers" — only admission stops.
+        let mut fu = unit(3, 6);
+        for i in 0..6 {
+            assert!(fu.can_dispatch(), "slot {i} admitted");
+            fu.dispatch(pkt(0, i, 0, 32));
+            fu.commit();
+        }
+        // Never acked: after enough cycles all six sit in the FIFO.
+        for _ in 0..5 {
+            fu.commit();
+        }
+        let mut got = Vec::new();
+        while fu.peek_output().is_some() {
+            got.push(fu.ack_output().data.unwrap().1.as_u64());
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deeper_pipeline_shortens_per_stage_path() {
+        struct DeepKernel;
+        impl Kernel for DeepKernel {
+            fn name(&self) -> &'static str {
+                "deep"
+            }
+            fn func_code(&self) -> u8 {
+                9
+            }
+            fn word_bits(&self) -> u32 {
+                32
+            }
+            fn compute(&self, _p: &DispatchPacket) -> crate::kernel::KernelOutput {
+                crate::kernel::KernelOutput::default()
+            }
+            fn area(&self) -> AreaEstimate {
+                AreaEstimate::ZERO
+            }
+            fn critical_path(&self) -> CriticalPath {
+                CriticalPath::of(16)
+            }
+        }
+        let one = PipelinedFu::new(DeepKernel, 1, 4).critical_path();
+        let four = PipelinedFu::new(DeepKernel, 4, 8).critical_path();
+        assert!(four < one);
+    }
+
+    #[test]
+    fn reset_restores_empty() {
+        let mut fu = unit(2, 4);
+        fu.dispatch(pkt(0, 1, 0, 32));
+        fu.commit();
+        fu.commit();
+        fu.commit();
+        fu.reset();
+        assert!(fu.is_idle());
+        assert_eq!(fu.high_water(), 0);
+    }
+}

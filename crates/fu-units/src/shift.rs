@@ -1,0 +1,164 @@
+//! A shift/rotate unit (extension FU).
+//!
+//! Not part of the thesis case study, but a textbook candidate for a
+//! framework functional unit: a full barrel shifter is cheap in LUTs and
+//! expensive in instructions. The variety selects SHL/SHR/SAR/ROL and
+//! whether the amount comes from the second operand or from the
+//! instruction's `src3` field as an immediate (see
+//! [`fu_isa::variety::ShiftVariety`]).
+
+use crate::kernel::{Kernel, KernelOutput};
+use fu_isa::variety::ShiftVariety;
+use fu_isa::{funit_codes, Word};
+use fu_rtm::protocol::DispatchPacket;
+use rtl_sim::area::log2_ceil;
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// The barrel-shifter kernel.
+#[derive(Debug, Clone)]
+pub struct ShiftKernel {
+    word_bits: u32,
+}
+
+impl ShiftKernel {
+    /// A shift kernel for `word_bits`-wide registers.
+    pub fn new(word_bits: u32) -> ShiftKernel {
+        let _ = Word::zero(word_bits);
+        ShiftKernel { word_bits }
+    }
+}
+
+impl Kernel for ShiftKernel {
+    fn name(&self) -> &'static str {
+        "shift"
+    }
+
+    fn func_code(&self) -> u8 {
+        funit_codes::SHIFT
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let v = ShiftVariety(pkt.variety);
+        let amount = if v.imm_amount() {
+            pkt.imm8 as u32
+        } else {
+            // Hardware uses only the low bits of the amount operand.
+            pkt.ops[1].as_u64() as u32 & 0xff
+        };
+        let (data, flags) = v.evaluate(&pkt.ops[0], amount);
+        KernelOutput {
+            data: Some(data),
+            data2: None,
+            flags: Some(flags),
+        }
+    }
+
+    fn reads_srcs(&self, variety: u8) -> [bool; 3] {
+        [true, !ShiftVariety(variety).imm_amount(), false]
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // A barrel shifter: log2(w) mux stages of w bits each.
+        let w = self.word_bits as u64;
+        let stages = log2_ceil(w);
+        AreaEstimate::mux2(w * stages)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::of(log2_ceil(self.word_bits as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_isa::Flags;
+    use fu_rtm::protocol::LockTicket;
+    use proptest::prelude::*;
+
+    fn pkt(variety: u8, a: u64, b: u64, imm8: u8) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn register_amount() {
+        let k = ShiftKernel::new(32);
+        let out = k.compute(&pkt(ShiftVariety::SHL.0, 1, 8, 0));
+        assert_eq!(out.data.unwrap().as_u64(), 256);
+    }
+
+    #[test]
+    fn immediate_amount_ignores_operand() {
+        let k = ShiftKernel::new(32);
+        let v = ShiftVariety::SHR.0 | ShiftVariety::IMM_AMOUNT;
+        let out = k.compute(&pkt(v, 0x100, 999, 4));
+        assert_eq!(out.data.unwrap().as_u64(), 0x10);
+        assert_eq!(k.reads_srcs(v), [true, false, false]);
+        assert_eq!(k.reads_srcs(ShiftVariety::SHR.0), [true, true, false]);
+    }
+
+    #[test]
+    fn arithmetic_shift_sign_extends() {
+        let k = ShiftKernel::new(32);
+        let out = k.compute(&pkt(ShiftVariety::SAR.0, 0x8000_0000, 31, 0));
+        assert_eq!(out.data.unwrap().as_u64(), 0xffff_ffff);
+        assert!(out.flags.unwrap().neg());
+    }
+
+    #[test]
+    fn zero_result_sets_zero_flag() {
+        let k = ShiftKernel::new(32);
+        let out = k.compute(&pkt(ShiftVariety::SHL.0, 1, 32, 0));
+        assert!(out.data.unwrap().is_zero());
+        assert!(out.flags.unwrap().zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotate_composes(a: u32, s1 in 0u32..32, s2 in 0u32..32) {
+            let k = ShiftKernel::new(32);
+            let once = k
+                .compute(&pkt(ShiftVariety::ROL.0, a as u64, ((s1 + s2) % 32) as u64, 0))
+                .data
+                .unwrap();
+            let first = k
+                .compute(&pkt(ShiftVariety::ROL.0, a as u64, s1 as u64, 0))
+                .data
+                .unwrap();
+            let twice = k
+                .compute(&pkt(ShiftVariety::ROL.0, first.as_u64(), s2 as u64, 0))
+                .data
+                .unwrap();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn prop_shifts_match_native(a: u32, s in 0u32..32) {
+            let k = ShiftKernel::new(32);
+            let shl = k.compute(&pkt(ShiftVariety::SHL.0, a as u64, s as u64, 0)).data.unwrap();
+            prop_assert_eq!(shl.as_u64(), (a << s) as u64);
+            let shr = k.compute(&pkt(ShiftVariety::SHR.0, a as u64, s as u64, 0)).data.unwrap();
+            prop_assert_eq!(shr.as_u64(), (a >> s) as u64);
+            let sar = k.compute(&pkt(ShiftVariety::SAR.0, a as u64, s as u64, 0)).data.unwrap();
+            prop_assert_eq!(sar.as_u64(), ((a as i32) >> s) as u32 as u64);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! An associative memory (CAM) — the paper's third stateful-unit example.
+//!
+//! A content-addressable memory holds `(key, value)` entries and answers
+//! "which entry holds key k?" by comparing **every entry in parallel in a
+//! single cycle** — the canonical circuit-parallelism structure (one
+//! comparator per entry, an OR/priority tree to combine). Lookup cost is
+//! O(1) cycles regardless of capacity, against a CPU's O(n) scan or
+//! O(log n) probe chain.
+//!
+//! Varieties: [`CAM_WRITE`] (insert or update; error when full),
+//! [`CAM_SEARCH`] (value out; carry flag = hit), [`CAM_INVALIDATE`]
+//! (delete by key; zero flag = was absent), [`CAM_CLEAR`] (one entry per
+//! cycle, a BRAM-valid sweep), [`CAM_COUNT`] (live-entry count from the
+//! maintained population counter).
+
+use fu_isa::{Flags, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::area::log2_ceil;
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// Insert or update `key = ops[0], value = ops[1]`; error flag when full.
+pub const CAM_WRITE: u8 = 0;
+/// Search `key = ops[0]`; returns the value, carry flag = hit.
+pub const CAM_SEARCH: u8 = 1;
+/// Remove `key = ops[0]`; zero flag set when the key was absent.
+pub const CAM_INVALIDATE: u8 = 2;
+/// Invalidate every entry (multi-cycle sweep).
+pub const CAM_CLEAR: u8 = 3;
+/// Return the number of live entries.
+pub const CAM_COUNT: u8 = 4;
+
+/// Default function code for the CAM unit.
+pub const CAM_FUNC_CODE: u8 = 26;
+
+#[derive(Debug, Clone, Copy)]
+enum Work {
+    Clear { next: usize },
+    Finish { result: Option<u32>, flags: Flags },
+}
+
+/// The associative-memory functional unit.
+#[derive(Debug)]
+pub struct CamFu {
+    entries: Vec<Option<(u32, u32)>>,
+    live: u32,
+    busy: Option<(Work, DispatchPacket)>,
+    out: Option<FuOutput>,
+    word_bits: u32,
+}
+
+impl CamFu {
+    /// A CAM with `capacity` entries on a `word_bits`-wide framework.
+    pub fn new(capacity: usize, word_bits: u32) -> CamFu {
+        assert!(capacity >= 1, "CAM needs at least one entry");
+        CamFu {
+            entries: vec![None; capacity],
+            live: 0,
+            busy: None,
+            out: None,
+            word_bits,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Live entries.
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// Parallel match: index of the entry holding `key` (the priority
+    /// encoder behind the comparator bank).
+    fn find(&self, key: u32) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.is_some_and(|(k, _)| k == key))
+    }
+
+    fn first_free(&self) -> Option<usize> {
+        self.entries.iter().position(Option::is_none)
+    }
+}
+
+impl Clocked for CamFu {
+    fn commit(&mut self) {
+        let Some((work, pkt)) = self.busy.take() else {
+            return;
+        };
+        match work {
+            Work::Clear { next } => {
+                if self.entries[next].take().is_some() {
+                    self.live -= 1;
+                }
+                if next + 1 == self.entries.len() {
+                    self.busy = Some((
+                        Work::Finish {
+                            result: None,
+                            flags: Flags::NONE,
+                        },
+                        pkt,
+                    ));
+                } else {
+                    self.busy = Some((Work::Clear { next: next + 1 }, pkt));
+                }
+            }
+            Work::Finish { result, flags } => {
+                let data = result
+                    .filter(|_| self.variety_writes_data(pkt.variety))
+                    .map(|v| (pkt.dst_reg, Word::from_u64(v as u64, self.word_bits)));
+                self.out = Some(FuOutput {
+                    data,
+                    data2: None,
+                    flags: Some((pkt.dst_flag, flags)),
+                    ticket: pkt.ticket,
+                    seq: pkt.seq,
+                });
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.live = 0;
+        self.busy = None;
+        self.out = None;
+    }
+}
+
+impl FunctionalUnit for CamFu {
+    fn name(&self) -> &'static str {
+        "cam"
+    }
+
+    fn func_code(&self) -> u8 {
+        CAM_FUNC_CODE
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy CAM unit");
+        let key = pkt.ops[0].as_u64() as u32;
+        let value = pkt.ops[1].as_u64() as u32;
+        let work = match pkt.variety {
+            CAM_WRITE => match self.find(key).or_else(|| self.first_free()) {
+                Some(slot) => {
+                    if self.entries[slot].is_none() {
+                        self.live += 1;
+                    }
+                    self.entries[slot] = Some((key, value));
+                    Work::Finish {
+                        result: None,
+                        flags: Flags::NONE,
+                    }
+                }
+                None => {
+                    let mut flags = Flags::NONE;
+                    flags.set(Flags::ERROR, true);
+                    Work::Finish {
+                        result: None,
+                        flags,
+                    }
+                }
+            },
+            CAM_SEARCH => match self.find(key) {
+                Some(slot) => {
+                    let (_, v) = self.entries[slot].expect("matched entry");
+                    Work::Finish {
+                        result: Some(v),
+                        flags: Flags::from_parts(true, v == 0, false, false),
+                    }
+                }
+                None => Work::Finish {
+                    result: Some(0),
+                    flags: Flags::from_parts(false, true, false, false),
+                },
+            },
+            CAM_INVALIDATE => match self.find(key) {
+                Some(slot) => {
+                    self.entries[slot] = None;
+                    self.live -= 1;
+                    Work::Finish {
+                        result: None,
+                        flags: Flags::from_parts(false, false, false, false),
+                    }
+                }
+                None => Work::Finish {
+                    result: None,
+                    flags: Flags::from_parts(false, true, false, false),
+                },
+            },
+            CAM_CLEAR => Work::Clear { next: 0 },
+            CAM_COUNT => Work::Finish {
+                result: Some(self.live),
+                flags: Flags::from_parts(false, self.live == 0, false, false),
+            },
+            _ => {
+                let mut flags = Flags::NONE;
+                flags.set(Flags::ERROR, true);
+                Work::Finish {
+                    result: None,
+                    flags,
+                }
+            }
+        };
+        self.busy = Some((work, pkt));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.out.take().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn variety_writes_data(&self, variety: u8) -> bool {
+        matches!(variety, CAM_SEARCH | CAM_COUNT)
+    }
+
+    fn variety_reads_srcs(&self, variety: u8) -> [bool; 3] {
+        match variety {
+            CAM_WRITE => [true, true, false],
+            CAM_SEARCH | CAM_INVALIDATE => [true, false, false],
+            _ => [false, false, false],
+        }
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // The defining cost: a comparator + key/value registers per
+        // entry, plus the priority/OR combine tree.
+        let n = self.entries.len() as u64;
+        AreaEstimate {
+            les: n * (AreaEstimate::comparator(32).les + 2),
+            ffs: n * (32 + 32 + 1),
+            bram_bits: 0,
+        } + AreaEstimate::mux2(32 * log2_ceil(n.max(2)))
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        // Key comparators in parallel (an AND-reduce over the key bits),
+        // then the combine tree over the entries.
+        CriticalPath::tree(32, 4).then(CriticalPath::tree(self.entries.len() as u64, 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_rtm::protocol::LockTicket;
+
+    fn pkt(variety: u8, key: u64, value: u64) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(key, 32),
+                Word::from_u64(value, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    fn run(fu: &mut CamFu, variety: u8, key: u64, value: u64) -> (Option<u64>, Flags, u32) {
+        fu.dispatch(pkt(variety, key, value));
+        let mut cycles = 0;
+        while fu.peek_output().is_none() {
+            fu.commit();
+            cycles += 1;
+            assert!(cycles < 100_000);
+        }
+        let out = fu.ack_output();
+        (out.data.map(|(_, v)| v.as_u64()), out.flags.unwrap().1, cycles)
+    }
+
+    #[test]
+    fn write_search_roundtrip() {
+        let mut fu = CamFu::new(8, 32);
+        run(&mut fu, CAM_WRITE, 0xaaaa, 111, );
+        run(&mut fu, CAM_WRITE, 0xbbbb, 222);
+        let (v, f, cycles) = run(&mut fu, CAM_SEARCH, 0xaaaa, 0);
+        assert_eq!(v, Some(111));
+        assert!(f.carry(), "hit flag");
+        assert_eq!(cycles, 1, "a CAM search is single-cycle regardless of size");
+        let (v, f, _) = run(&mut fu, CAM_SEARCH, 0xcccc, 0);
+        assert_eq!(v, Some(0));
+        assert!(!f.carry() && f.zero(), "miss");
+    }
+
+    #[test]
+    fn search_cost_is_independent_of_capacity() {
+        let mut small = CamFu::new(2, 32);
+        let mut big = CamFu::new(1024, 32);
+        run(&mut small, CAM_WRITE, 1, 1, );
+        run(&mut big, CAM_WRITE, 1, 1);
+        let (_, _, c_small) = run(&mut small, CAM_SEARCH, 1, 0);
+        let (_, _, c_big) = run(&mut big, CAM_SEARCH, 1, 0);
+        assert_eq!(c_small, c_big, "parallel comparators: O(1) cycles");
+        // The cost shows up as area, not time.
+        assert!(big.area().components() > 100 * small.area().components());
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut fu = CamFu::new(4, 32);
+        run(&mut fu, CAM_WRITE, 5, 10);
+        run(&mut fu, CAM_WRITE, 5, 20);
+        assert_eq!(fu.live(), 1, "update must not allocate a second entry");
+        let (v, _, _) = run(&mut fu, CAM_SEARCH, 5, 0);
+        assert_eq!(v, Some(20));
+    }
+
+    #[test]
+    fn full_cam_reports_error() {
+        let mut fu = CamFu::new(2, 32);
+        run(&mut fu, CAM_WRITE, 1, 1);
+        run(&mut fu, CAM_WRITE, 2, 2);
+        let (_, f, _) = run(&mut fu, CAM_WRITE, 3, 3);
+        assert!(f.error());
+        assert_eq!(fu.live(), 2);
+        // Updating an existing key still works when full.
+        let (_, f, _) = run(&mut fu, CAM_WRITE, 1, 99);
+        assert!(!f.error());
+    }
+
+    #[test]
+    fn invalidate_and_count() {
+        let mut fu = CamFu::new(4, 32);
+        run(&mut fu, CAM_WRITE, 1, 10);
+        run(&mut fu, CAM_WRITE, 2, 20);
+        let (v, _, _) = run(&mut fu, CAM_COUNT, 0, 0);
+        assert_eq!(v, Some(2));
+        let (_, f, _) = run(&mut fu, CAM_INVALIDATE, 1, 0);
+        assert!(!f.zero(), "found and removed");
+        let (_, f, _) = run(&mut fu, CAM_INVALIDATE, 1, 0);
+        assert!(f.zero(), "second removal misses");
+        let (v, _, _) = run(&mut fu, CAM_COUNT, 0, 0);
+        assert_eq!(v, Some(1));
+        // The freed slot is reusable.
+        run(&mut fu, CAM_WRITE, 7, 70);
+        let (v, _, _) = run(&mut fu, CAM_SEARCH, 7, 0);
+        assert_eq!(v, Some(70));
+    }
+
+    #[test]
+    fn clear_sweeps_per_entry() {
+        let mut fu = CamFu::new(16, 32);
+        for k in 0..10u64 {
+            run(&mut fu, CAM_WRITE, k, k);
+        }
+        let (_, _, cycles) = run(&mut fu, CAM_CLEAR, 0, 0);
+        assert!(cycles >= 16, "clear sweeps the valid bits, took {cycles}");
+        let (v, _, _) = run(&mut fu, CAM_COUNT, 0, 0);
+        assert_eq!(v, Some(0));
+    }
+
+    #[test]
+    fn unknown_variety_errors() {
+        let mut fu = CamFu::new(2, 32);
+        let (_, f, _) = run(&mut fu, 0x70, 0, 0);
+        assert!(f.error());
+    }
+}

@@ -1,0 +1,340 @@
+//! A histogram calculator — the paper's first stateful-unit example.
+//!
+//! The unit owns `n_bins` counters in on-chip block RAM. Accumulation is
+//! single-cycle (read-modify-write on one BRAM port); `CLEAR` and `TOTAL`
+//! sweep the memory at one bin per cycle, which is how real hardware
+//! clears or folds a BRAM — the multi-cycle behaviour is part of the
+//! model, not a simulation artefact.
+//!
+//! Varieties: [`HIST_CLEAR`], [`HIST_ACCUM`] (bin `ops[0] & mask` +=
+//! `ops[1]`), [`HIST_READ`] (returns bin `ops[0] & mask`), [`HIST_TOTAL`]
+//! (returns the sum over all bins).
+
+use fu_isa::{Flags, RegNum, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// Clear all bins (multi-cycle: one bin per cycle).
+pub const HIST_CLEAR: u8 = 0;
+/// `bins[ops[0] & mask] += ops[1]` (single cycle, saturating).
+pub const HIST_ACCUM: u8 = 1;
+/// Return `bins[ops[0] & mask]`.
+pub const HIST_READ: u8 = 2;
+/// Return the sum over all bins (multi-cycle sweep).
+pub const HIST_TOTAL: u8 = 3;
+
+/// Default function code for the histogram unit.
+pub const HIST_FUNC_CODE: u8 = 24;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Work {
+    Clear { next: usize },
+    Total { next: usize, acc: u64 },
+    Finish { result: Option<u32>, error: bool },
+}
+
+/// The histogram functional unit.
+#[derive(Debug)]
+pub struct HistogramFu {
+    func_code: u8,
+    bins: Vec<u32>,
+    busy: Option<(Work, DispatchPacket)>,
+    out: Option<FuOutput>,
+    word_bits: u32,
+}
+
+impl HistogramFu {
+    /// A histogram with `n_bins` bins (power of two) on a
+    /// `word_bits`-wide framework.
+    pub fn new(n_bins: usize, word_bits: u32) -> HistogramFu {
+        assert!(
+            n_bins.is_power_of_two() && n_bins >= 2,
+            "bin count must be a power of two >= 2"
+        );
+        HistogramFu {
+            func_code: HIST_FUNC_CODE,
+            bins: vec![0; n_bins],
+            busy: None,
+            out: None,
+            word_bits,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Direct view of the bins (tests/diagnostics).
+    pub fn bins(&self) -> &[u32] {
+        &self.bins
+    }
+
+    fn mask(&self) -> u32 {
+        self.bins.len() as u32 - 1
+    }
+
+    fn finish(&mut self, pkt: &DispatchPacket, result: Option<u32>, error: bool) {
+        let returns_data = self.variety_writes_data(pkt.variety);
+        let data: Option<(RegNum, Word)> = match (returns_data, result) {
+            (true, Some(v)) => Some((pkt.dst_reg, Word::from_u64(v as u64, self.word_bits))),
+            (true, None) => Some((pkt.dst_reg, Word::zero(self.word_bits))),
+            _ => None,
+        };
+        let mut flags = Flags::from_parts(false, result == Some(0), false, false);
+        flags.set(Flags::ERROR, error);
+        self.out = Some(FuOutput {
+            data,
+            data2: None,
+            flags: Some((pkt.dst_flag, flags)),
+            ticket: pkt.ticket,
+            seq: pkt.seq,
+        });
+    }
+}
+
+impl Clocked for HistogramFu {
+    fn commit(&mut self) {
+        let Some((work, pkt)) = self.busy.take() else {
+            return;
+        };
+        let next = match work {
+            Work::Clear { next } => {
+                self.bins[next] = 0;
+                if next + 1 == self.bins.len() {
+                    Work::Finish {
+                        result: None,
+                        error: false,
+                    }
+                } else {
+                    Work::Clear { next: next + 1 }
+                }
+            }
+            Work::Total { next, acc } => {
+                let acc = acc + self.bins[next] as u64;
+                if next + 1 == self.bins.len() {
+                    Work::Finish {
+                        // A sum wider than the counter saturates, flagged
+                        // through the error bit below.
+                        result: Some(acc.min(u32::MAX as u64) as u32),
+                        error: acc > u32::MAX as u64,
+                    }
+                } else {
+                    Work::Total {
+                        next: next + 1,
+                        acc,
+                    }
+                }
+            }
+            Work::Finish { result, error } => {
+                self.finish(&pkt, result, error);
+                return;
+            }
+        };
+        if let Work::Finish { result, error } = next {
+            // Single-transition finishes (e.g. last bin) still take the
+            // output-register cycle.
+            self.busy = Some((Work::Finish { result, error }, pkt));
+        } else {
+            self.busy = Some((next, pkt));
+        }
+    }
+
+    fn reset(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.busy = None;
+        self.out = None;
+    }
+}
+
+impl FunctionalUnit for HistogramFu {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn func_code(&self) -> u8 {
+        self.func_code
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy histogram unit");
+        let work = match pkt.variety {
+            HIST_CLEAR => Work::Clear { next: 0 },
+            HIST_ACCUM => {
+                let bin = (pkt.ops[0].as_u64() as u32 & self.mask()) as usize;
+                let add = pkt.ops[1].as_u64() as u32;
+                let (sum, sat) = self.bins[bin].overflowing_add(add);
+                self.bins[bin] = if sat { u32::MAX } else { sum };
+                Work::Finish {
+                    result: None,
+                    error: sat,
+                }
+            }
+            HIST_READ => {
+                let bin = (pkt.ops[0].as_u64() as u32 & self.mask()) as usize;
+                Work::Finish {
+                    result: Some(self.bins[bin]),
+                    error: false,
+                }
+            }
+            HIST_TOTAL => Work::Total { next: 0, acc: 0 },
+            _ => Work::Finish {
+                result: None,
+                error: true, // unknown variety
+            },
+        };
+        self.busy = Some((work, pkt));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.out.take().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn variety_writes_data(&self, variety: u8) -> bool {
+        matches!(variety, HIST_READ | HIST_TOTAL)
+    }
+
+    fn variety_reads_srcs(&self, variety: u8) -> [bool; 3] {
+        match variety {
+            HIST_ACCUM => [true, true, false],
+            HIST_READ => [true, false, false],
+            _ => [false, false, false],
+        }
+    }
+
+    fn area(&self) -> AreaEstimate {
+        AreaEstimate::fifo(32, self.bins.len() as u64) // BRAM-resident bins
+            + AreaEstimate::adder(32)
+            + AreaEstimate::register(64 + 8)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::adder(32).then(CriticalPath::of(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_rtm::protocol::LockTicket;
+
+    fn pkt(variety: u8, a: u64, b: u64) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [
+                Word::from_u64(a, 32),
+                Word::from_u64(b, 32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    fn run(fu: &mut HistogramFu, variety: u8, a: u64, b: u64) -> (Option<u64>, Flags, u32) {
+        fu.dispatch(pkt(variety, a, b));
+        let mut cycles = 0;
+        while fu.peek_output().is_none() {
+            fu.commit();
+            cycles += 1;
+            assert!(cycles < 10_000, "operation never completed");
+        }
+        let out = fu.ack_output();
+        (out.data.map(|(_, v)| v.as_u64()), out.flags.unwrap().1, cycles)
+    }
+
+    #[test]
+    fn accumulate_and_read() {
+        let mut fu = HistogramFu::new(16, 32);
+        run(&mut fu, HIST_ACCUM, 3, 1);
+        run(&mut fu, HIST_ACCUM, 3, 4);
+        run(&mut fu, HIST_ACCUM, 5, 10);
+        let (v, f, _) = run(&mut fu, HIST_READ, 3, 0);
+        assert_eq!(v, Some(5));
+        assert!(!f.zero());
+        let (v, f, _) = run(&mut fu, HIST_READ, 7, 0);
+        assert_eq!(v, Some(0));
+        assert!(f.zero());
+    }
+
+    #[test]
+    fn bin_index_wraps_by_mask() {
+        let mut fu = HistogramFu::new(8, 32);
+        run(&mut fu, HIST_ACCUM, 9, 2); // 9 & 7 == 1
+        let (v, _, _) = run(&mut fu, HIST_READ, 1, 0);
+        assert_eq!(v, Some(2));
+    }
+
+    #[test]
+    fn total_sweeps_all_bins() {
+        let mut fu = HistogramFu::new(8, 32);
+        for i in 0..8u64 {
+            run(&mut fu, HIST_ACCUM, i, i + 1);
+        }
+        let (v, _, cycles) = run(&mut fu, HIST_TOTAL, 0, 0);
+        assert_eq!(v, Some((1..=8).sum::<u64>()));
+        assert!(cycles >= 8, "a total is a bin-per-cycle sweep, took {cycles}");
+    }
+
+    #[test]
+    fn clear_is_a_sweep_too() {
+        let mut fu = HistogramFu::new(16, 32);
+        run(&mut fu, HIST_ACCUM, 0, 100);
+        let (_, _, cycles) = run(&mut fu, HIST_CLEAR, 0, 0);
+        assert!(cycles >= 16);
+        assert!(fu.bins().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn accumulate_saturates_with_error() {
+        let mut fu = HistogramFu::new(2, 32);
+        run(&mut fu, HIST_ACCUM, 0, u32::MAX as u64);
+        let (_, f, _) = run(&mut fu, HIST_ACCUM, 0, 5);
+        assert!(f.error(), "saturation reported");
+        let (v, _, _) = run(&mut fu, HIST_READ, 0, 0);
+        assert_eq!(v, Some(u32::MAX as u64));
+    }
+
+    #[test]
+    fn unknown_variety_errors() {
+        let mut fu = HistogramFu::new(2, 32);
+        let (_, f, _) = run(&mut fu, 0x7f, 0, 0);
+        assert!(f.error());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut fu = HistogramFu::new(4, 32);
+        run(&mut fu, HIST_ACCUM, 1, 7);
+        fu.reset();
+        assert!(fu.is_idle());
+        assert!(fu.bins().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        HistogramFu::new(12, 32);
+    }
+}

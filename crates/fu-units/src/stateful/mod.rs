@@ -1,0 +1,30 @@
+//! Stateful functional units.
+//!
+//! "A stateful unit has a local persistent memory. Operations performed
+//! by the unit may depend on data in the memory, may modify it, and may
+//! return part of it to the controller. Examples of stateful functional
+//! units are **histogram calculators, pseudorandom number generators, and
+//! associative memories**." — paper §IV-B
+//!
+//! This module implements exactly those three examples (the χ-sort engine,
+//! the paper's large worked case study, lives in the `xi-sort` crate):
+//!
+//! * [`histogram::HistogramFu`] — BRAM-backed bin counters with
+//!   single-cycle accumulate and hardware-realistic multi-cycle
+//!   clear/total sweeps;
+//! * [`prng::PrngFu`] — a 32-bit maximal-length Galois LFSR;
+//! * [`cam::CamFu`] — an associative memory (content-addressable store)
+//!   with single-cycle parallel search.
+//!
+//! Each implements [`fu_rtm::FunctionalUnit`] directly (stateful units
+//! own their protocol behaviour; the combinational-kernel skeletons do
+//! not apply), buffering one result for the write arbiter exactly like
+//! the thesis's functional-unit adapter.
+
+pub mod cam;
+pub mod histogram;
+pub mod prng;
+
+pub use cam::CamFu;
+pub use histogram::HistogramFu;
+pub use prng::PrngFu;

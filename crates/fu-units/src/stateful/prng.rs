@@ -1,0 +1,288 @@
+//! A pseudorandom number generator — the paper's second stateful-unit
+//! example.
+//!
+//! The classic FPGA PRNG is a linear-feedback shift register: one XOR
+//! mask and a shift per cycle. [`PrngFu`] implements a 32-bit
+//! maximal-length **Galois LFSR** (period 2³²−1) with three varieties:
+//! [`PRNG_SEED`], [`PRNG_NEXT`] (one step, returns the new state) and
+//! [`PRNG_SKIP`] (advance `ops[0]` steps at one step per cycle — the
+//! honest hardware cost of discarding outputs).
+
+use fu_isa::{Flags, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// Load the state from `ops[0]` (a zero seed is coerced to 1: the LFSR's
+/// zero state is absorbing and excluded from the sequence).
+pub const PRNG_SEED: u8 = 0;
+/// Step once and return the new state.
+pub const PRNG_NEXT: u8 = 1;
+/// Step `ops[0]` times (one per cycle), returning the final state.
+pub const PRNG_SKIP: u8 = 2;
+
+/// Default function code for the PRNG unit.
+pub const PRNG_FUNC_CODE: u8 = 25;
+
+/// Feedback mask of a maximal-length 32-bit Galois LFSR in right-shift
+/// form (a standard published tap set; period 2³²−1).
+pub const LFSR_MASK: u32 = 0xB4BC_D35C;
+
+/// One Galois-LFSR step (right shift; XOR the taps when the low bit is
+/// set — one layer of XOR gates in hardware).
+pub fn lfsr_step(state: u32) -> u32 {
+    let shifted = state >> 1;
+    if state & 1 == 1 {
+        shifted ^ LFSR_MASK
+    } else {
+        shifted
+    }
+}
+
+/// The PRNG functional unit.
+#[derive(Debug)]
+pub struct PrngFu {
+    state: u32,
+    busy: Option<(u32, DispatchPacket)>, // remaining steps
+    out: Option<FuOutput>,
+    word_bits: u32,
+}
+
+impl PrngFu {
+    /// A PRNG seeded with 1 on a `word_bits`-wide framework.
+    pub fn new(word_bits: u32) -> PrngFu {
+        PrngFu {
+            state: 1,
+            busy: None,
+            out: None,
+            word_bits,
+        }
+    }
+
+    /// Current LFSR state (diagnostics).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    fn finish(&mut self, pkt: &DispatchPacket, result: Option<u32>) {
+        let data = result
+            .filter(|_| self.variety_writes_data(pkt.variety))
+            .map(|v| (pkt.dst_reg, Word::from_u64(v as u64, self.word_bits)));
+        let flags = Flags::from_parts(false, result == Some(0), false, false);
+        self.out = Some(FuOutput {
+            data,
+            data2: None,
+            flags: Some((pkt.dst_flag, flags)),
+            ticket: pkt.ticket,
+            seq: pkt.seq,
+        });
+    }
+}
+
+impl Clocked for PrngFu {
+    fn commit(&mut self) {
+        let Some((remaining, pkt)) = self.busy.take() else {
+            return;
+        };
+        if remaining == 0 {
+            let result = match pkt.variety {
+                PRNG_SEED => None,
+                _ => Some(self.state),
+            };
+            self.finish(&pkt, result);
+            return;
+        }
+        self.state = lfsr_step(self.state);
+        self.busy = Some((remaining - 1, pkt));
+    }
+
+    fn reset(&mut self) {
+        self.state = 1;
+        self.busy = None;
+        self.out = None;
+    }
+}
+
+impl FunctionalUnit for PrngFu {
+    fn name(&self) -> &'static str {
+        "prng"
+    }
+
+    fn func_code(&self) -> u8 {
+        PRNG_FUNC_CODE
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy PRNG unit");
+        let steps = match pkt.variety {
+            PRNG_SEED => {
+                let seed = pkt.ops[0].as_u64() as u32;
+                self.state = if seed == 0 { 1 } else { seed };
+                0
+            }
+            PRNG_NEXT => 1,
+            PRNG_SKIP => (pkt.ops[0].as_u64() as u32).max(1),
+            _ => 0,
+        };
+        self.busy = Some((steps, pkt));
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.out.take().expect("ack with no pending output")
+    }
+
+    fn is_idle(&self) -> bool {
+        self.busy.is_none() && self.out.is_none()
+    }
+
+    fn variety_writes_data(&self, variety: u8) -> bool {
+        variety != PRNG_SEED
+    }
+
+    fn variety_reads_srcs(&self, variety: u8) -> [bool; 3] {
+        match variety {
+            PRNG_SEED | PRNG_SKIP => [true, false, false],
+            _ => [false, false, false],
+        }
+    }
+
+    fn area(&self) -> AreaEstimate {
+        // 32 FFs + a handful of XOR taps: famously tiny.
+        AreaEstimate {
+            les: 6,
+            ffs: 32 + 8,
+            bram_bits: 0,
+        }
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::of(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_rtm::protocol::LockTicket;
+
+    fn pkt(variety: u8, a: u64) -> DispatchPacket {
+        DispatchPacket {
+            variety,
+            ops: [Word::from_u64(a, 32), Word::zero(32), Word::zero(32)],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::default(),
+            seq: 0,
+        }
+    }
+
+    fn run(fu: &mut PrngFu, variety: u8, a: u64) -> (Option<u64>, u32) {
+        fu.dispatch(pkt(variety, a));
+        let mut cycles = 0;
+        while fu.peek_output().is_none() {
+            fu.commit();
+            cycles += 1;
+            assert!(cycles < 10_000_000);
+        }
+        let out = fu.ack_output();
+        (out.data.map(|(_, v)| v.as_u64()), cycles)
+    }
+
+    #[test]
+    fn deterministic_sequence_from_seed() {
+        let mut a = PrngFu::new(32);
+        let mut b = PrngFu::new(32);
+        run(&mut a, PRNG_SEED, 0xdead_beef);
+        run(&mut b, PRNG_SEED, 0xdead_beef);
+        for _ in 0..64 {
+            assert_eq!(run(&mut a, PRNG_NEXT, 0).0, run(&mut b, PRNG_NEXT, 0).0);
+        }
+    }
+
+    #[test]
+    fn never_reaches_zero_and_no_short_cycle() {
+        let mut fu = PrngFu::new(32);
+        run(&mut fu, PRNG_SEED, 1);
+        let first = run(&mut fu, PRNG_NEXT, 0).0.unwrap();
+        let mut seen_first_again = 0;
+        for _ in 0..10_000 {
+            let v = run(&mut fu, PRNG_NEXT, 0).0.unwrap();
+            assert_ne!(v, 0, "LFSR must never reach the absorbing zero state");
+            if v == first {
+                seen_first_again += 1;
+            }
+        }
+        assert_eq!(seen_first_again, 0, "period must exceed 10k for a 2^32-1 LFSR");
+    }
+
+    #[test]
+    fn skip_costs_one_cycle_per_step() {
+        let mut fu = PrngFu::new(32);
+        run(&mut fu, PRNG_SEED, 7);
+        let (_, c100) = run(&mut fu, PRNG_SKIP, 100);
+        assert!(c100 >= 100, "skip(100) must take >= 100 cycles, took {c100}");
+        // skip(n) == n × next.
+        let mut a = PrngFu::new(32);
+        run(&mut a, PRNG_SEED, 7);
+        let (skipped, _) = run(&mut a, PRNG_SKIP, 10);
+        let mut b = PrngFu::new(32);
+        run(&mut b, PRNG_SEED, 7);
+        let mut last = 0;
+        for _ in 0..10 {
+            last = run(&mut b, PRNG_NEXT, 0).0.unwrap();
+        }
+        assert_eq!(skipped, Some(last));
+    }
+
+    #[test]
+    fn zero_seed_coerced() {
+        let mut fu = PrngFu::new(32);
+        run(&mut fu, PRNG_SEED, 0);
+        assert_eq!(fu.state(), 1);
+        assert!(run(&mut fu, PRNG_NEXT, 0).0.unwrap() != 0);
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        // Cheap sanity: over 4096 outputs, each bit position should be
+        // set roughly half the time.
+        let mut fu = PrngFu::new(32);
+        run(&mut fu, PRNG_SEED, 12345);
+        let mut ones = [0u32; 32];
+        let n = 4096;
+        for _ in 0..n {
+            let v = run(&mut fu, PRNG_NEXT, 0).0.unwrap() as u32;
+            for (i, cnt) in ones.iter_mut().enumerate() {
+                *cnt += (v >> i) & 1;
+            }
+        }
+        for (i, &c) in ones.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (0.40..0.60).contains(&frac),
+                "bit {i} set {frac:.3} of the time"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_produces_no_data_write() {
+        let fu = PrngFu::new(32);
+        assert!(!fu.variety_writes_data(PRNG_SEED));
+        assert!(fu.variety_writes_data(PRNG_NEXT));
+    }
+}

@@ -1,0 +1,273 @@
+//! Coarse area and critical-path model.
+//!
+//! The paper's implementation targets an Altera Cyclone (EP1C-class)
+//! device; its introduction argues that "the ratio between the number of
+//! components and the critical path depth may be between 10^3 to 10^5",
+//! and Section III that pipelining keeps the controller's critical path
+//! short so the RTM "should allow the fastest clock speed that the FPGA
+//! allows".
+//!
+//! To let experiments report those quantities, every simulated module
+//! exposes an [`AreaEstimate`] (logic elements, flip-flops, block-RAM
+//! bits) and a [`CriticalPath`] (4-input-LUT levels of its worst
+//! combinational path). The estimates use standard rules of thumb for
+//! 4-LUT architectures:
+//!
+//! * an n-bit ripple/carry-select adder ≈ n LEs, depth ≈ n/4 levels with
+//!   dedicated carry chains (Cyclone has hardware carry chains, so depth
+//!   counts as `1 + n/16` levels for timing purposes);
+//! * an n-bit 2:1 mux ≈ n/2 LEs (two mux bits per 4-LUT), 1 level;
+//! * an n-bit comparator ≈ n/2 LEs, depth like an adder;
+//! * a k-input reduction tree over n inputs has `ceil(log_k n)` levels.
+//!
+//! These are *estimates for shape*, not synthesis results: every claim in
+//! the experiments depends on ratios and growth rates, never on absolute
+//! LE counts.
+
+/// FPGA resource estimate for one module (additive across submodules).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AreaEstimate {
+    /// 4-input logic elements (LUT+FF pairs counted as logic).
+    pub les: u64,
+    /// Flip-flops (registers).
+    pub ffs: u64,
+    /// Block-RAM bits (M4K blocks on Cyclone).
+    pub bram_bits: u64,
+}
+
+impl AreaEstimate {
+    /// The empty estimate.
+    pub const ZERO: AreaEstimate = AreaEstimate {
+        les: 0,
+        ffs: 0,
+        bram_bits: 0,
+    };
+
+    /// Component count in the paper's sense: every logic element and
+    /// register is a component operating in parallel.
+    pub fn components(&self) -> u64 {
+        self.les + self.ffs
+    }
+
+    /// An n-bit register bank.
+    pub fn register(bits: u64) -> AreaEstimate {
+        AreaEstimate {
+            les: 0,
+            ffs: bits,
+            bram_bits: 0,
+        }
+    }
+
+    /// An n-bit adder/subtractor on a carry-chain fabric.
+    pub fn adder(bits: u64) -> AreaEstimate {
+        AreaEstimate {
+            les: bits,
+            ffs: 0,
+            bram_bits: 0,
+        }
+    }
+
+    /// An n-bit equality/magnitude comparator.
+    pub fn comparator(bits: u64) -> AreaEstimate {
+        AreaEstimate {
+            les: bits.div_ceil(2).max(1),
+            ffs: 0,
+            bram_bits: 0,
+        }
+    }
+
+    /// An n-bit 2:1 multiplexer.
+    pub fn mux2(bits: u64) -> AreaEstimate {
+        AreaEstimate {
+            les: bits.div_ceil(2).max(1),
+            ffs: 0,
+            bram_bits: 0,
+        }
+    }
+
+    /// An n-bit wide, d-deep FIFO implemented in block RAM.
+    pub fn fifo(bits_wide: u64, depth: u64) -> AreaEstimate {
+        AreaEstimate {
+            les: 8 + 2 * log2_ceil(depth.max(2)), // pointers + full/empty logic
+            ffs: 2 * log2_ceil(depth.max(2)) + 2,
+            bram_bits: bits_wide * depth,
+        }
+    }
+
+    /// A w-wide, n-deep RAM/register file (registers below 64 words on
+    /// Cyclone-class devices; the paper's register file is synthesised
+    /// from registers so that three reads and two writes per cycle are
+    /// possible).
+    pub fn regfile(words: u64, bits: u64, read_ports: u64, write_ports: u64) -> AreaEstimate {
+        AreaEstimate {
+            // read muxes per port + write decoders
+            les: read_ports * words * bits.div_ceil(2) / 2 + write_ports * words,
+            ffs: words * bits,
+            bram_bits: 0,
+        }
+    }
+}
+
+impl std::ops::Add for AreaEstimate {
+    type Output = AreaEstimate;
+    fn add(self, rhs: AreaEstimate) -> AreaEstimate {
+        AreaEstimate {
+            les: self.les + rhs.les,
+            ffs: self.ffs + rhs.ffs,
+            bram_bits: self.bram_bits + rhs.bram_bits,
+        }
+    }
+}
+
+impl std::ops::AddAssign for AreaEstimate {
+    fn add_assign(&mut self, rhs: AreaEstimate) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for AreaEstimate {
+    fn sum<I: Iterator<Item = AreaEstimate>>(iter: I) -> AreaEstimate {
+        iter.fold(AreaEstimate::ZERO, |a, b| a + b)
+    }
+}
+
+/// Worst-case combinational depth of a module, in 4-LUT levels.
+///
+/// The clock period a module permits is proportional to its depth; the
+/// module with the largest depth bounds the whole design's clock, which is
+/// why the paper pipelines the RTM ("the generic controller is designed to
+/// minimise the clock period").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CriticalPath {
+    /// LUT levels on the worst register-to-register path.
+    pub levels: u64,
+}
+
+impl CriticalPath {
+    /// A path of `levels` LUT levels.
+    pub fn of(levels: u64) -> CriticalPath {
+        CriticalPath { levels }
+    }
+
+    /// Depth of an n-bit carry-chain adder (hardware chains make carry
+    /// almost free; one level of LUT plus chain segments).
+    pub fn adder(bits: u64) -> CriticalPath {
+        CriticalPath {
+            levels: 1 + bits / 16,
+        }
+    }
+
+    /// Depth of a balanced reduction tree with `fanin`-input operators
+    /// over `inputs` leaves.
+    pub fn tree(inputs: u64, fanin: u64) -> CriticalPath {
+        assert!(fanin >= 2, "reduction tree fan-in must be at least 2");
+        let mut levels = 0;
+        let mut n = inputs.max(1);
+        while n > 1 {
+            n = n.div_ceil(fanin);
+            levels += 1;
+        }
+        CriticalPath { levels }
+    }
+
+    /// Sequential composition: both blocks traversed in one cycle.
+    pub fn then(self, next: CriticalPath) -> CriticalPath {
+        CriticalPath {
+            levels: self.levels + next.levels,
+        }
+    }
+
+    /// Parallel composition: the worse of two parallel paths.
+    pub fn max(self, other: CriticalPath) -> CriticalPath {
+        CriticalPath {
+            levels: self.levels.max(other.levels),
+        }
+    }
+
+    /// Estimated max clock in MHz on a Cyclone-class device, assuming
+    /// ~1.1 ns per LUT level + 2 ns of clocking overhead. Used only to
+    /// convert depth reports into the paper's "approximately 50 MHz"
+    /// vocabulary.
+    pub fn fmax_mhz(&self) -> f64 {
+        1000.0 / (2.0 + 1.1 * self.levels.max(1) as f64)
+    }
+}
+
+/// `ceil(log2(n))` for `n >= 1`.
+pub fn log2_ceil(n: u64) -> u64 {
+    assert!(n >= 1);
+    64 - (n - 1).leading_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_basics() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn area_addition_is_componentwise() {
+        let a = AreaEstimate::adder(32) + AreaEstimate::register(32);
+        assert_eq!(a.les, 32);
+        assert_eq!(a.ffs, 32);
+        assert_eq!(a.components(), 64);
+    }
+
+    #[test]
+    fn area_sum_over_iterator() {
+        let total: AreaEstimate = (0..4).map(|_| AreaEstimate::mux2(32)).sum();
+        assert_eq!(total.les, 4 * 16);
+    }
+
+    #[test]
+    fn fifo_area_uses_bram() {
+        let a = AreaEstimate::fifo(64, 16);
+        assert_eq!(a.bram_bits, 1024);
+        assert!(a.les > 0 && a.ffs > 0);
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        assert_eq!(CriticalPath::tree(1, 2).levels, 0);
+        assert_eq!(CriticalPath::tree(2, 2).levels, 1);
+        assert_eq!(CriticalPath::tree(8, 2).levels, 3);
+        assert_eq!(CriticalPath::tree(9, 2).levels, 4);
+        assert_eq!(CriticalPath::tree(64, 4).levels, 3);
+    }
+
+    #[test]
+    fn composition_rules() {
+        let p = CriticalPath::of(2).then(CriticalPath::of(3));
+        assert_eq!(p.levels, 5);
+        let q = CriticalPath::of(7).max(CriticalPath::of(4));
+        assert_eq!(q.levels, 7);
+    }
+
+    #[test]
+    fn fmax_decreases_with_depth() {
+        let fast = CriticalPath::of(3).fmax_mhz();
+        let slow = CriticalPath::of(12).fmax_mhz();
+        assert!(fast > slow);
+        // A handful of levels should land in the tens-of-MHz band the
+        // paper's Cyclone prototype reports (~50 MHz).
+        let proto = CriticalPath::of(15).fmax_mhz();
+        assert!((30.0..80.0).contains(&proto), "fmax {proto} MHz out of band");
+    }
+
+    #[test]
+    fn regfile_area_scales_with_ports() {
+        let one = AreaEstimate::regfile(16, 32, 1, 1);
+        let three = AreaEstimate::regfile(16, 32, 3, 2);
+        assert!(three.les > one.les);
+        assert_eq!(one.ffs, 16 * 32);
+    }
+}

@@ -1,0 +1,84 @@
+//! The two-phase clocking discipline shared by every simulated component.
+//!
+//! A synchronous circuit computes all next-state values from the *current*
+//! state (evaluate phase) and then latches them simultaneously at the clock
+//! edge (commit phase). Splitting the two phases is what makes the
+//! simulation order-independent for registered signals; for *combinational*
+//! paths (handshake `take`/`push` within one cycle) the evaluation order of
+//! stages encodes the direction in which ready/valid information flows, and
+//! designs document that order explicitly.
+
+use std::fmt;
+
+/// A component driven by the (single) system clock.
+///
+/// Implementations must only mutate state that is *invisible* to other
+/// components during the evaluate phase; externally visible state changes
+/// happen in [`Clocked::commit`]. The building blocks in this crate
+/// ([`crate::HandshakeSlot`], [`crate::Fifo`], [`crate::Reg`]) already obey
+/// the discipline, so a composite component that only mutates through them
+/// is automatically well-behaved.
+pub trait Clocked {
+    /// Latch next-state values (clock edge).
+    fn commit(&mut self);
+
+    /// Return to the power-on state (synchronous reset, as in the paper's
+    /// functional-unit skeletons where `reset` forces the FSM to `Idle`).
+    fn reset(&mut self);
+}
+
+/// Errors raised by the simulation kernel when a design violates a
+/// protocol invariant (double-push into an occupied slot, FIFO overflow,
+/// and similar). These are bugs in the simulated design, not recoverable
+/// runtime conditions, so most building blocks panic in debug builds; the
+/// error type exists for the checked (`try_*`) entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `push` on a slot or FIFO that cannot accept data this cycle.
+    Overflow(&'static str),
+    /// `take`/`pop` on an empty slot or FIFO.
+    Underflow(&'static str),
+    /// A configuration parameter was out of the range the hardware
+    /// generics would accept.
+    Config(String),
+    /// The simulation ran past a cycle budget without reaching the
+    /// expected condition (usually a deadlocked handshake).
+    Timeout { cycles: u64, waiting_for: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Overflow(what) => write!(f, "overflow: push into full {what}"),
+            SimError::Underflow(what) => write!(f, "underflow: take from empty {what}"),
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Timeout {
+                cycles,
+                waiting_for,
+            } => write!(f, "timeout after {cycles} cycles waiting for {waiting_for}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_error_display_is_informative() {
+        let e = SimError::Overflow("decoder slot");
+        assert!(e.to_string().contains("decoder slot"));
+        let e = SimError::Timeout {
+            cycles: 99,
+            waiting_for: "write arbiter ack".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("99") && s.contains("write arbiter ack"));
+        let e = SimError::Config("word size must be a multiple of 32".into());
+        assert!(e.to_string().contains("multiple of 32"));
+        let e = SimError::Underflow("fifo");
+        assert!(e.to_string().contains("empty fifo"));
+    }
+}

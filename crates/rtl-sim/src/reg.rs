@@ -1,0 +1,129 @@
+//! Plain registers and counters with two-phase semantics.
+
+use crate::component::Clocked;
+
+/// A D-type register: reads return the value latched at the previous clock
+/// edge; writes become visible at the next edge. Equivalent to the
+//  `RegisterNE` blocks of the paper's schematics (register with enable —
+/// calling [`Reg::set_next`] is asserting the enable for this cycle).
+#[derive(Debug, Clone)]
+pub struct Reg<T: Clone> {
+    cur: T,
+    next: Option<T>,
+    reset_val: T,
+}
+
+impl<T: Clone> Reg<T> {
+    /// A register that resets to `reset_val`.
+    pub fn new(reset_val: T) -> Self {
+        Reg {
+            cur: reset_val.clone(),
+            next: None,
+            reset_val,
+        }
+    }
+
+    /// Current (registered) value.
+    pub fn get(&self) -> &T {
+        &self.cur
+    }
+
+    /// Schedule `v` to be latched at the next clock edge. A later
+    /// `set_next` in the same cycle wins, mirroring last-assignment-wins in
+    /// a VHDL clocked process.
+    pub fn set_next(&mut self, v: T) {
+        self.next = Some(v);
+    }
+
+    /// True if a new value is staged for the next edge.
+    pub fn pending(&self) -> bool {
+        self.next.is_some()
+    }
+}
+
+impl<T: Clone> Clocked for Reg<T> {
+    fn commit(&mut self) {
+        if let Some(v) = self.next.take() {
+            self.cur = v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cur = self.reset_val.clone();
+        self.next = None;
+    }
+}
+
+/// A saturating event counter for statistics (never wraps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatCounter(pub u64);
+
+impl SatCounter {
+    /// Increment by one, saturating at `u64::MAX`.
+    pub fn bump(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increment by `n`, saturating.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_latches_at_commit() {
+        let mut r = Reg::new(0u32);
+        r.set_next(5);
+        assert_eq!(*r.get(), 0, "write must not be combinationally visible");
+        assert!(r.pending());
+        r.commit();
+        assert_eq!(*r.get(), 5);
+        assert!(!r.pending());
+    }
+
+    #[test]
+    fn last_write_wins_within_cycle() {
+        let mut r = Reg::new(0u32);
+        r.set_next(1);
+        r.set_next(2);
+        r.commit();
+        assert_eq!(*r.get(), 2);
+    }
+
+    #[test]
+    fn commit_without_write_holds_value() {
+        let mut r = Reg::new(9u8);
+        r.commit();
+        assert_eq!(*r.get(), 9);
+    }
+
+    #[test]
+    fn reset_returns_to_reset_value_and_drops_pending() {
+        let mut r = Reg::new(3u8);
+        r.set_next(7);
+        r.commit();
+        r.set_next(8);
+        r.reset();
+        assert_eq!(*r.get(), 3);
+        r.commit();
+        assert_eq!(*r.get(), 3, "pending write must be discarded by reset");
+    }
+
+    #[test]
+    fn sat_counter_saturates() {
+        let mut c = SatCounter(u64::MAX - 1);
+        c.bump();
+        c.bump();
+        c.add(100);
+        assert_eq!(c.get(), u64::MAX);
+    }
+}

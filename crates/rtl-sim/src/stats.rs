@@ -1,0 +1,72 @@
+//! Occupancy and flow statistics collected by the pipeline primitives.
+
+/// Counters maintained by [`crate::HandshakeSlot`] and [`crate::Fifo`].
+///
+/// `stall_cycles` is only meaningful when the owning design calls
+/// `note_stall` (slots cannot themselves observe that a producer *wanted*
+/// to push).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Items handed to the slot.
+    pub pushes: u64,
+    /// Items removed from the slot.
+    pub takes: u64,
+    /// Clock edges seen since reset.
+    pub cycles: u64,
+    /// Clock edges at which the slot held data.
+    pub occupied_cycles: u64,
+    /// Cycles at which a producer reported being blocked.
+    pub stall_cycles: u64,
+}
+
+impl SlotStats {
+    /// Fraction of cycles the slot held data, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupied_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Items per cycle actually delivered downstream.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.takes as f64 / self.cycles as f64
+        }
+    }
+
+    /// Items currently in flight (pushed but not yet taken).
+    pub fn in_flight(&self) -> u64 {
+        self.pushes - self.takes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_cycles() {
+        let s = SlotStats::default();
+        assert_eq!(s.occupancy(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = SlotStats {
+            pushes: 10,
+            takes: 8,
+            cycles: 16,
+            occupied_cycles: 8,
+            stall_cycles: 2,
+        };
+        assert_eq!(s.occupancy(), 0.5);
+        assert_eq!(s.throughput(), 0.5);
+        assert_eq!(s.in_flight(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Event tracing and a minimal VCD (value change dump) writer.
+//!
+//! Debugging an elastic pipeline is an exercise in watching handshakes; the
+//! original framework was debugged with waveform viewers, so the
+//! reproduction keeps an equivalent facility. [`TraceBuffer`] is a bounded
+//! in-memory event log any component can append to; [`VcdWriter`] emits a
+//! standard `.vcd` file that external waveform viewers (GTKWave et al.) can
+//! open.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// Originating module (static so tracing stays allocation-light).
+    pub module: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// When full, the oldest events are discarded: the interesting part of a
+/// failed simulation is almost always its tail.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A trace buffer retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: capacity > 0,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled buffer: every `record` is a no-op. Benchmarks use this so
+    /// tracing costs nothing on the hot path.
+    pub fn disabled() -> Self {
+        TraceBuffer::new(0)
+    }
+
+    /// True when events are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event (drops the oldest when at capacity). `detail` is
+    /// built lazily so disabled tracing does not format strings.
+    pub fn record(&mut self, cycle: u64, module: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            cycle,
+            module,
+            detail: detail(),
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events discarded due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained events as one line per event.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(s, "[{:>8}] {:<12} {}", e.cycle, e.module, e.detail);
+        }
+        s
+    }
+
+    /// Discard all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+/// A minimal VCD writer supporting scalar and vector signals.
+///
+/// Usage: declare signals before the first [`VcdWriter::change`], then feed
+/// `(cycle, signal, value)` updates; [`VcdWriter::finish`] returns the
+/// complete file contents. Values are deduplicated per signal as VCD
+/// requires only changes to be dumped.
+#[derive(Debug)]
+pub struct VcdWriter {
+    header: String,
+    body: String,
+    ids: HashMap<String, (String, u32)>, // name -> (id code, width)
+    last: HashMap<String, u64>,
+    next_id: u32,
+    declared: bool,
+    cur_time: Option<u64>,
+}
+
+impl VcdWriter {
+    /// Start a VCD document with a `timescale` of 1 ns per cycle.
+    pub fn new(top_module: &str) -> Self {
+        let mut header = String::new();
+        let _ = writeln!(header, "$date reproduction run $end");
+        let _ = writeln!(header, "$version rtl-sim 0.1 $end");
+        let _ = writeln!(header, "$timescale 1ns $end");
+        let _ = writeln!(header, "$scope module {top_module} $end");
+        VcdWriter {
+            header,
+            body: String::new(),
+            ids: HashMap::new(),
+            last: HashMap::new(),
+            next_id: 0,
+            declared: false,
+            cur_time: None,
+        }
+    }
+
+    fn id_code(mut n: u32) -> String {
+        // VCD identifier codes: printable ASCII 33..=126, base-94.
+        let mut s = String::new();
+        loop {
+            s.push((33 + (n % 94)) as u8 as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Declare a signal of `width` bits. Must precede the first `change`.
+    ///
+    /// # Panics
+    /// Panics if called after value changes have been emitted, or when
+    /// `width` is 0 or exceeds 64.
+    pub fn declare(&mut self, name: &str, width: u32) {
+        assert!(!self.declared, "declare() after first change()");
+        assert!((1..=64).contains(&width), "signal width must be 1..=64");
+        let code = Self::id_code(self.next_id);
+        self.next_id += 1;
+        let kind = if width == 1 { "wire" } else { "reg" };
+        let _ = writeln!(self.header, "$var {kind} {width} {code} {name} $end");
+        self.ids.insert(name.to_string(), (code, width));
+    }
+
+    /// Record a value change at `cycle`. Unknown signals panic (declare
+    /// first); unchanged values are skipped.
+    pub fn change(&mut self, cycle: u64, name: &str, value: u64) {
+        if !self.declared {
+            let _ = writeln!(self.header, "$upscope $end");
+            let _ = writeln!(self.header, "$enddefinitions $end");
+            self.declared = true;
+        }
+        let (code, width) = self
+            .ids
+            .get(name)
+            .unwrap_or_else(|| panic!("undeclared VCD signal {name}"))
+            .clone();
+        if self.last.get(name) == Some(&value) {
+            return;
+        }
+        if self.cur_time != Some(cycle) {
+            let _ = writeln!(self.body, "#{cycle}");
+            self.cur_time = Some(cycle);
+        }
+        if width == 1 {
+            let _ = writeln!(self.body, "{}{}", value & 1, code);
+        } else {
+            let _ = writeln!(self.body, "b{:b} {}", value, code);
+        }
+        self.last.insert(name.to_string(), value);
+    }
+
+    /// Complete the document and return its text.
+    pub fn finish(mut self) -> String {
+        if !self.declared {
+            let _ = writeln!(self.header, "$upscope $end");
+            let _ = writeln!(self.header, "$enddefinitions $end");
+        }
+        self.header.push_str(&self.body);
+        self.header
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_buffer_retains_tail() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.record(i, "dispatch", || format!("op {i}"));
+        }
+        let kept: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(t.dropped(), 2);
+        assert!(t.dump().contains("op 4"));
+        t.clear();
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        assert!(!t.is_enabled());
+        t.record(1, "x", || panic!("detail closure must not run when disabled"));
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn vcd_structure_is_valid() {
+        let mut v = VcdWriter::new("coproc");
+        v.declare("clk", 1);
+        v.declare("instr", 64);
+        v.change(0, "clk", 0);
+        v.change(0, "instr", 0xdead);
+        v.change(1, "clk", 1);
+        v.change(2, "clk", 1); // unchanged -> skipped
+        let text = v.finish();
+        assert!(text.contains("$enddefinitions"));
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains("$var reg 64"));
+        assert!(text.contains("#0"));
+        assert!(text.contains("#1"));
+        assert!(!text.contains("#2"), "unchanged values must not emit time marks");
+        assert!(text.contains("b1101111010101101"));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn vcd_unknown_signal_panics() {
+        let mut v = VcdWriter::new("t");
+        v.change(0, "nope", 1);
+    }
+
+    #[test]
+    fn vcd_id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..500 {
+            let code = VcdWriter::id_code(n);
+            assert!(code.bytes().all(|b| (33..=126).contains(&b)));
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    fn vcd_empty_document_still_closes_header() {
+        let v = VcdWriter::new("empty");
+        let text = v.finish();
+        assert!(text.contains("$enddefinitions"));
+    }
+}

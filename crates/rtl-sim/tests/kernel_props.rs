@@ -1,0 +1,112 @@
+//! Property tests for the simulation-kernel primitives: the handshake
+//! and FIFO invariants the whole reproduction rests on, under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use rtl_sim::{Clocked, Fifo, HandshakeSlot, StallFuzzer};
+
+proptest! {
+    /// A HandshakeSlot never loses, duplicates or reorders items under
+    /// any pattern of producer/consumer activity.
+    #[test]
+    fn handshake_slot_is_a_faithful_channel(
+        seed: u64,
+        p_produce in 0.1f64..1.0,
+        p_consume in 0.1f64..1.0,
+        cycles in 10usize..400,
+    ) {
+        let mut produce = StallFuzzer::new(seed, 1.0 - p_produce);
+        let mut consume = StallFuzzer::new(seed ^ 0x9e37, 1.0 - p_consume);
+        let mut slot = HandshakeSlot::new();
+        let mut next = 0u64;
+        let mut got = Vec::new();
+        for _ in 0..cycles {
+            // sink first (full-throughput convention)
+            if !consume.stall() {
+                if let Some(v) = slot.take() {
+                    got.push(v);
+                }
+            }
+            if !produce.stall() && slot.can_push() {
+                slot.push(next);
+                next += 1;
+            }
+            slot.commit();
+        }
+        // Drain.
+        while let Some(v) = slot.take() {
+            got.push(v);
+            slot.commit();
+        }
+        let n_got = got.len() as u64;
+        prop_assert_eq!(got, (0..n_got).collect::<Vec<_>>());
+        prop_assert!(n_got <= next);
+        prop_assert!(next - n_got <= 1, "at most one item may remain staged");
+    }
+
+    /// A FIFO of any depth behaves as a perfect queue under arbitrary
+    /// push/pop interleavings.
+    #[test]
+    fn fifo_is_a_faithful_queue(
+        seed: u64,
+        depth in 1usize..16,
+        cycles in 10usize..400,
+        p_produce in 0.1f64..1.0,
+        p_consume in 0.1f64..1.0,
+    ) {
+        let mut produce = StallFuzzer::new(seed, 1.0 - p_produce);
+        let mut consume = StallFuzzer::new(seed ^ 0x1234, 1.0 - p_consume);
+        let mut fifo = Fifo::new(depth);
+        let mut next = 0u64;
+        let mut got = Vec::new();
+        for _ in 0..cycles {
+            if !consume.stall() {
+                if let Some(v) = fifo.pop() {
+                    got.push(v);
+                }
+            }
+            if !produce.stall() && fifo.can_push() {
+                fifo.push(next);
+                next += 1;
+            }
+            fifo.commit();
+            prop_assert!(fifo.len() <= depth, "occupancy bound violated");
+        }
+        while let Some(v) = fifo.pop() {
+            got.push(v);
+            fifo.commit();
+        }
+        let n_got = got.len() as u64;
+        prop_assert_eq!(got, (0..n_got).collect::<Vec<_>>());
+        prop_assert_eq!(n_got, next, "a drained FIFO returns everything");
+        prop_assert!(fifo.high_water() <= depth);
+    }
+
+    /// Burst pushes never exceed capacity and preserve order.
+    #[test]
+    fn fifo_burst_discipline(depth in 1usize..12, bursts in 1usize..40, seed: u64) {
+        let mut rng = StallFuzzer::new(seed, 0.0);
+        let mut fifo = Fifo::new(depth);
+        let mut next = 0u64;
+        let mut got = Vec::new();
+        for _ in 0..bursts {
+            let burst = rng.below(depth as u64 + 2);
+            for _ in 0..burst {
+                if fifo.can_push() {
+                    fifo.push(next);
+                    next += 1;
+                }
+            }
+            fifo.commit();
+            let drain = rng.below(depth as u64 + 2);
+            for _ in 0..drain {
+                if let Some(v) = fifo.pop() {
+                    got.push(v);
+                }
+            }
+            fifo.commit();
+        }
+        got.extend(fifo.drain_all());
+        prop_assert_eq!(got, (0..next).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,315 @@
+//! The functional-unit adapter (thesis Figure 3.13/3.14).
+//!
+//! "The functional unit connected to the coprocessor components is
+//! realised using a functional unit adapter component. This adapter module
+//! connects the actual ξ-Sort core to the dispatcher and the write arbiter
+//! … The idea behind the design is to separate the ξ-Sort controller logic
+//! from the interface logic required by the framework. … the adapter
+//! buffers the output of the ξ-Sort core since it may be required to wait
+//! for the write arbiter to acknowledge output data written to the
+//! register file. … Currently, the adapter uses 32-bit data records and
+//! transcodes data as needed."
+//!
+//! [`XiSortAdapter`] implements [`fu_rtm::FunctionalUnit`]: the variety
+//! code selects the [`XiOp`], `src1` carries the operand (data word or
+//! index k), and the result — when the operation produces one — lands in
+//! the destination register, transcoded from the core's 32-bit records to
+//! the framework's word size. Load overflow raises the error flag
+//! ("if this flag is set, the contents of the destination registers are
+//! undefined by specification").
+
+use crate::controller::{XiConfig, XiOp, XiSortCore};
+use fu_isa::{funit_codes, Flags, Word};
+use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// Adapter FSM states (Figure 3.14 simplified to its observable shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdapterState {
+    /// Ready for a dispatch.
+    Idle,
+    /// Core running the operation.
+    Busy,
+    /// Result buffered, waiting for the write arbiter.
+    Output,
+}
+
+/// The χ-sort functional unit.
+#[derive(Debug)]
+pub struct XiSortAdapter {
+    core: XiSortCore,
+    word_bits: u32,
+    state: AdapterState,
+    pending: Option<DispatchPacket>,
+    out: Option<FuOutput>,
+}
+
+impl XiSortAdapter {
+    /// Wrap a core for a framework with `word_bits`-wide registers.
+    pub fn new(cfg: XiConfig, word_bits: u32) -> XiSortAdapter {
+        XiSortAdapter {
+            core: XiSortCore::new(cfg),
+            word_bits,
+            state: AdapterState::Idle,
+            pending: None,
+            out: None,
+        }
+    }
+
+    /// The wrapped core (diagnostics, experiment measurements).
+    pub fn core(&self) -> &XiSortCore {
+        &self.core
+    }
+
+    fn finish(&mut self) {
+        let pkt = self.pending.take().expect("packet held while busy");
+        let op = XiOp::from_variety(pkt.variety).expect("validated at dispatch");
+        let result = self.core.take_result();
+        let error = self.core.overflow();
+        let data = if op.returns_data() {
+            // Transcode the core's 32-bit record to the register word.
+            result.map(|v| (pkt.dst_reg, Word::from_u64(v as u64, self.word_bits)))
+        } else {
+            None
+        };
+        let mut flags = Flags::from_parts(
+            false,
+            result == Some(0),
+            false,
+            false,
+        );
+        flags.set(Flags::ERROR, error);
+        self.out = Some(FuOutput {
+            data,
+            data2: None,
+            flags: Some((pkt.dst_flag, flags)),
+            ticket: pkt.ticket,
+            seq: pkt.seq,
+        });
+        self.state = AdapterState::Output;
+    }
+}
+
+impl Clocked for XiSortAdapter {
+    fn commit(&mut self) {
+        if self.state == AdapterState::Busy {
+            if self.core.is_running() {
+                self.core.step();
+            }
+            if !self.core.is_running() {
+                // The controller returned to Idle (Reset/Push complete in
+                // the dispatch cycle itself); buffer the result for the
+                // write arbiter.
+                self.finish();
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.core = XiSortCore::new(*self.core.config());
+        self.state = AdapterState::Idle;
+        self.pending = None;
+        self.out = None;
+    }
+}
+
+impl FunctionalUnit for XiSortAdapter {
+    fn name(&self) -> &'static str {
+        "xi-sort"
+    }
+
+    fn func_code(&self) -> u8 {
+        funit_codes::XI_SORT
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.state == AdapterState::Idle
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        assert!(self.can_dispatch(), "dispatch to busy χ-sort adapter");
+        let Some(op) = XiOp::from_variety(pkt.variety) else {
+            // Unknown variety: complete immediately with the error flag.
+            let mut flags = Flags::NONE;
+            flags.set(Flags::ERROR, true);
+            self.out = Some(FuOutput {
+                data: None,
+                data2: None,
+                flags: Some((pkt.dst_flag, flags)),
+                ticket: pkt.ticket,
+                seq: pkt.seq,
+            });
+            self.state = AdapterState::Output;
+            return;
+        };
+        // Transcode the operand down to the core's 32-bit records.
+        let operand = pkt.ops[0].resize(32).as_u64() as u32;
+        self.core.dispatch(op, operand);
+        self.pending = Some(pkt);
+        self.state = AdapterState::Busy;
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.out.as_ref()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        let out = self.out.take().expect("ack with no pending output");
+        self.state = AdapterState::Idle;
+        out
+    }
+
+    fn is_idle(&self) -> bool {
+        self.state == AdapterState::Idle && self.out.is_none()
+    }
+
+    fn variety_writes_data(&self, variety: u8) -> bool {
+        XiOp::from_variety(variety).is_some_and(|op| op.returns_data())
+    }
+
+    fn variety_reads_srcs(&self, _variety: u8) -> [bool; 3] {
+        [true, false, false]
+    }
+
+    fn area(&self) -> AreaEstimate {
+        self.core.area()
+            + AreaEstimate::register(self.word_bits as u64 + 8 + 2)
+            + AreaEstimate {
+                les: 24,
+                ffs: 2,
+                bram_bits: 0,
+            }
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        self.core.critical_path().max(CriticalPath::of(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fu_rtm::protocol::LockTicket;
+
+    fn pkt(op: XiOp, operand: u32) -> DispatchPacket {
+        DispatchPacket {
+            variety: op.variety(),
+            ops: [
+                Word::from_u64(operand as u64, 32),
+                Word::zero(32),
+                Word::zero(32),
+            ],
+            flags_in: Flags::NONE,
+            dst_reg: 1,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::new(Some(1), None, Some(0)),
+            seq: 0,
+        }
+    }
+
+    fn run_op(fu: &mut XiSortAdapter, op: XiOp, operand: u32) -> (Option<u64>, Flags) {
+        assert!(fu.can_dispatch(), "adapter busy before {op:?}");
+        fu.dispatch(pkt(op, operand));
+        let mut budget = 5_000_000;
+        while fu.peek_output().is_none() {
+            fu.commit();
+            budget -= 1;
+            assert!(budget > 0, "{op:?} never completed");
+        }
+        let out = fu.ack_output();
+        (out.data.map(|(_, v)| v.as_u64()), out.flags.unwrap().1)
+    }
+
+    #[test]
+    fn sort_through_the_adapter() {
+        let mut fu = XiSortAdapter::new(XiConfig::new(8), 32);
+        run_op(&mut fu, XiOp::Reset, 0);
+        for v in [50u32, 20, 40, 10, 30] {
+            run_op(&mut fu, XiOp::Push, v);
+        }
+        run_op(&mut fu, XiOp::InitBounds, 0);
+        run_op(&mut fu, XiOp::Sort, 0);
+        let sorted: Vec<u64> = (0..5)
+            .map(|k| run_op(&mut fu, XiOp::ReadAt, k).0.unwrap())
+            .collect();
+        assert_eq!(sorted, vec![10, 20, 30, 40, 50]);
+        assert!(fu.is_idle());
+    }
+
+    #[test]
+    fn selection_through_the_adapter() {
+        let mut fu = XiSortAdapter::new(XiConfig::new(8), 64);
+        run_op(&mut fu, XiOp::Reset, 0);
+        for v in [9u32, 1, 8, 2, 7, 3] {
+            run_op(&mut fu, XiOp::Push, v);
+        }
+        run_op(&mut fu, XiOp::InitBounds, 0);
+        let (median, flags) = run_op(&mut fu, XiOp::SelectK, 2);
+        assert_eq!(median, Some(3));
+        assert!(!flags.error());
+    }
+
+    #[test]
+    fn overflow_raises_error_flag() {
+        let mut fu = XiSortAdapter::new(XiConfig::new(2), 32);
+        run_op(&mut fu, XiOp::Push, 1);
+        run_op(&mut fu, XiOp::Push, 2);
+        let (_, f) = run_op(&mut fu, XiOp::Push, 3);
+        assert!(f.error(), "third push into a 2-cell array must error");
+    }
+
+    #[test]
+    fn unknown_variety_errors_immediately() {
+        let mut fu = XiSortAdapter::new(XiConfig::new(2), 32);
+        let mut p = pkt(XiOp::Reset, 0);
+        p.variety = 0x7f;
+        fu.dispatch(p);
+        let out = fu.ack_output();
+        assert!(out.flags.unwrap().1.error());
+        assert!(out.data.is_none());
+    }
+
+    #[test]
+    fn busy_while_program_runs() {
+        let mut fu = XiSortAdapter::new(XiConfig::new(8), 32);
+        run_op(&mut fu, XiOp::Reset, 0);
+        for v in [3u32, 1, 2] {
+            run_op(&mut fu, XiOp::Push, v);
+        }
+        run_op(&mut fu, XiOp::InitBounds, 0);
+        fu.dispatch(pkt(XiOp::Sort, 0));
+        assert!(!fu.can_dispatch());
+        assert!(!fu.is_idle());
+        fu.commit();
+        assert!(!fu.can_dispatch(), "still busy after one cycle");
+    }
+
+    #[test]
+    fn push_reports_no_data_write() {
+        let fu = XiSortAdapter::new(XiConfig::new(2), 32);
+        assert!(!fu.variety_writes_data(XiOp::Push.variety()));
+        assert!(!fu.variety_writes_data(XiOp::Reset.variety()));
+        assert!(fu.variety_writes_data(XiOp::Sort.variety()));
+        assert!(fu.variety_writes_data(XiOp::ReadAt.variety()));
+    }
+
+    #[test]
+    fn transcodes_wide_words() {
+        // A 128-bit framework word is truncated to the 32-bit record on
+        // the way in and zero-extended on the way out.
+        let mut fu = XiSortAdapter::new(XiConfig::new(4), 128);
+        run_op(&mut fu, XiOp::Reset, 0);
+        run_op(&mut fu, XiOp::Push, 7);
+        run_op(&mut fu, XiOp::Push, 5);
+        run_op(&mut fu, XiOp::InitBounds, 0);
+        run_op(&mut fu, XiOp::Sort, 0);
+        let (v, _) = run_op(&mut fu, XiOp::ReadAt, 1);
+        assert_eq!(v, Some(7));
+    }
+}

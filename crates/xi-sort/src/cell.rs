@@ -1,0 +1,227 @@
+//! The SIMD cell (paper Figure 9 / thesis Figure 3.12).
+//!
+//! "A cell corresponds to a word of memory, but it contains a small amount
+//! of computational hardware as well as storage. … The cell circuit
+//! contains a small amount of storage, enough to hold one data element and
+//! its index interval. The cell also contains a simple arithmetic circuit
+//! that can perform comparisons and additions."
+//!
+//! Registers (from the schematic): `reg_data`, `reg_lower_bound`,
+//! `reg_upper_bound`, `reg_selected`, `reg_saved_state`. Command inputs:
+//! `cmd_load`, `cmd_save`, `cmd_restore`, `cmd_select_all`,
+//! `cmd_select_imprecise`, `cmd_match_data_{lt,eq,gt}`,
+//! `cmd_match_{lower,upper}_bound[_i]`, `cmd_set_{lower,upper}_bound`,
+//! `cmd_set_bounds`, plus broadcast data/bound inputs.
+//!
+//! Every cell executes the same command in the same cycle — "the entire
+//! set of cells comprises an extremely fine grain data parallel
+//! architecture". The `_i` bound matches are reconstructed as inequality
+//! matches (see the crate docs).
+
+use crate::interval::IndexInterval;
+
+/// One broadcast command, applied to every cell in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellCmd {
+    /// Shift-load: cell 0 takes `data` with interval `bounds`; every other
+    /// cell takes its left neighbour's state (handled by the array).
+    Load,
+    /// `saved_state ← selected`.
+    Save,
+    /// `selected ← saved_state`.
+    Restore,
+    /// `selected ← true`.
+    SelectAll,
+    /// `selected ← (lo ≠ hi)` — the imprecise-interval flag.
+    SelectImprecise,
+    /// `selected ← selected ∧ (data < broadcast)`.
+    MatchDataLt,
+    /// `selected ← selected ∧ (data = broadcast)`.
+    MatchDataEq,
+    /// `selected ← selected ∧ (data > broadcast)`.
+    MatchDataGt,
+    /// `selected ← selected ∧ (lo = broadcast)`.
+    MatchLowerBound,
+    /// `selected ← selected ∧ (hi = broadcast)`.
+    MatchUpperBound,
+    /// `selected ← selected ∧ (lo ≤ broadcast)` (inequality form).
+    MatchLowerBoundLe,
+    /// `selected ← selected ∧ (hi ≥ broadcast)` (inequality form).
+    MatchUpperBoundGe,
+    /// Selected cells: `lo ← broadcast_lo`.
+    SetLowerBound,
+    /// Selected cells: `hi ← broadcast_hi`.
+    SetUpperBound,
+    /// Selected cells: `lo ← broadcast_lo; hi ← broadcast_hi`.
+    SetBounds,
+    /// Selected cells: `lo ← hi ← broadcast_lo + prefix`, where `prefix`
+    /// is the tree's prefix count of selection flags strictly to the
+    /// cell's left (the scan-based duplicate resolution).
+    AssignScanPosition,
+}
+
+/// Broadcast operands accompanying a [`CellCmd`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Broadcast {
+    /// Data comparand (`input_data` in the schematic).
+    pub data: u32,
+    /// Lower-bound operand (`load_lower_bound`).
+    pub lo: u32,
+    /// Upper-bound operand (`load_upper_bound`).
+    pub hi: u32,
+}
+
+/// One SIMD cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdCell {
+    /// The stored data element.
+    pub data: u32,
+    /// Its index interval.
+    pub interval: IndexInterval,
+    /// The selection flag.
+    pub selected: bool,
+    /// The saved selection state.
+    pub saved: bool,
+}
+
+impl SimdCell {
+    /// A cell holding `data` with the given interval, deselected.
+    pub fn new(data: u32, interval: IndexInterval) -> SimdCell {
+        SimdCell {
+            data,
+            interval,
+            selected: false,
+            saved: false,
+        }
+    }
+
+    /// Apply one command. `prefix` is this cell's scan input (prefix
+    /// count of selection flags to its left), used only by
+    /// [`CellCmd::AssignScanPosition`]; [`CellCmd::Load`] is handled by
+    /// the array's shift chain, not here.
+    pub fn apply(&mut self, cmd: CellCmd, b: Broadcast, prefix: u32) {
+        match cmd {
+            CellCmd::Load => unreachable!("Load is applied by the cell array's shift chain"),
+            CellCmd::Save => self.saved = self.selected,
+            CellCmd::Restore => self.selected = self.saved,
+            CellCmd::SelectAll => self.selected = true,
+            CellCmd::SelectImprecise => self.selected = !self.interval.is_precise(),
+            CellCmd::MatchDataLt => self.selected &= self.data < b.data,
+            CellCmd::MatchDataEq => self.selected &= self.data == b.data,
+            CellCmd::MatchDataGt => self.selected &= self.data > b.data,
+            CellCmd::MatchLowerBound => self.selected &= self.interval.lo == b.lo,
+            CellCmd::MatchUpperBound => self.selected &= self.interval.hi == b.hi,
+            CellCmd::MatchLowerBoundLe => self.selected &= self.interval.lo <= b.lo,
+            CellCmd::MatchUpperBoundGe => self.selected &= self.interval.hi >= b.hi,
+            CellCmd::SetLowerBound => {
+                if self.selected {
+                    self.interval = IndexInterval::new(b.lo, self.interval.hi);
+                }
+            }
+            CellCmd::SetUpperBound => {
+                if self.selected {
+                    self.interval = IndexInterval::new(self.interval.lo, b.hi);
+                }
+            }
+            CellCmd::SetBounds => {
+                if self.selected {
+                    self.interval = IndexInterval::new(b.lo, b.hi);
+                }
+            }
+            CellCmd::AssignScanPosition => {
+                if self.selected {
+                    self.interval = IndexInterval::precise(b.lo + prefix);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(data: u32, lo: u32, hi: u32) -> SimdCell {
+        SimdCell::new(data, IndexInterval::new(lo, hi))
+    }
+
+    fn b(data: u32, lo: u32, hi: u32) -> Broadcast {
+        Broadcast { data, lo, hi }
+    }
+
+    #[test]
+    fn select_and_match_chain() {
+        let mut c = cell(10, 0, 7);
+        c.apply(CellCmd::SelectAll, b(0, 0, 0), 0);
+        assert!(c.selected);
+        c.apply(CellCmd::MatchDataLt, b(20, 0, 0), 0);
+        assert!(c.selected, "10 < 20");
+        c.apply(CellCmd::MatchDataGt, b(10, 0, 0), 0);
+        assert!(!c.selected, "10 > 10 is false — match chains AND");
+        // Once deselected, further matches cannot reselect.
+        c.apply(CellCmd::MatchDataEq, b(10, 0, 0), 0);
+        assert!(!c.selected);
+    }
+
+    #[test]
+    fn select_imprecise_reads_interval() {
+        let mut c = cell(5, 3, 3);
+        c.apply(CellCmd::SelectImprecise, b(0, 0, 0), 0);
+        assert!(!c.selected, "precise interval");
+        let mut c = cell(5, 3, 4);
+        c.apply(CellCmd::SelectImprecise, b(0, 0, 0), 0);
+        assert!(c.selected);
+    }
+
+    #[test]
+    fn bound_matches_equality_and_inequality() {
+        let mut c = cell(1, 2, 6);
+        c.apply(CellCmd::SelectAll, b(0, 0, 0), 0);
+        c.apply(CellCmd::MatchLowerBound, b(0, 2, 0), 0);
+        assert!(c.selected);
+        c.apply(CellCmd::MatchUpperBound, b(0, 0, 6), 0);
+        assert!(c.selected);
+        c.apply(CellCmd::MatchLowerBoundLe, b(0, 4, 0), 0);
+        assert!(c.selected, "2 <= 4");
+        c.apply(CellCmd::MatchUpperBoundGe, b(0, 0, 4), 0);
+        assert!(c.selected, "6 >= 4");
+        c.apply(CellCmd::MatchUpperBoundGe, b(0, 0, 7), 0);
+        assert!(!c.selected, "6 >= 7 fails");
+    }
+
+    #[test]
+    fn set_bounds_only_affect_selected() {
+        let mut c = cell(1, 0, 7);
+        c.apply(CellCmd::SetBounds, b(0, 2, 3), 0);
+        assert_eq!(c.interval, IndexInterval::new(0, 7), "deselected cell unchanged");
+        c.apply(CellCmd::SelectAll, b(0, 0, 0), 0);
+        c.apply(CellCmd::SetLowerBound, b(0, 1, 0), 0);
+        c.apply(CellCmd::SetUpperBound, b(0, 0, 5), 0);
+        assert_eq!(c.interval, IndexInterval::new(1, 5));
+        c.apply(CellCmd::SetBounds, b(0, 2, 2), 0);
+        assert!(c.interval.is_precise());
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut c = cell(1, 0, 3);
+        c.apply(CellCmd::SelectAll, b(0, 0, 0), 0);
+        c.apply(CellCmd::Save, b(0, 0, 0), 0);
+        c.apply(CellCmd::MatchDataEq, b(99, 0, 0), 0);
+        assert!(!c.selected);
+        c.apply(CellCmd::Restore, b(0, 0, 0), 0);
+        assert!(c.selected, "saved state restored");
+    }
+
+    #[test]
+    fn scan_position_assignment() {
+        let mut c = cell(1, 4, 9);
+        c.apply(CellCmd::SelectAll, b(0, 0, 0), 0);
+        c.apply(CellCmd::AssignScanPosition, b(0, 4, 0), 2);
+        assert_eq!(c.interval, IndexInterval::precise(6), "base 4 + prefix 2");
+        // Deselected cells ignore the scan.
+        let mut d = cell(1, 4, 9);
+        d.apply(CellCmd::AssignScanPosition, b(0, 4, 0), 2);
+        assert_eq!(d.interval, IndexInterval::new(4, 9));
+    }
+}

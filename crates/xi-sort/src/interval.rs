@@ -1,0 +1,99 @@
+//! Index intervals — the χ-sort array representation.
+//!
+//! "With the index-interval representation, an approximate index can be
+//! specified. An element with index interval ⟨p, q⟩ belongs in the array
+//! at some index i such that p ≤ i ≤ q."
+
+/// An index interval `⟨lo, hi⟩` with `lo ≤ hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexInterval {
+    /// Lower bound (inclusive).
+    pub lo: u32,
+    /// Upper bound (inclusive).
+    pub hi: u32,
+}
+
+impl IndexInterval {
+    /// The interval `⟨lo, hi⟩`.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` — an empty interval cannot describe an
+    /// element's position.
+    pub fn new(lo: u32, hi: u32) -> IndexInterval {
+        assert!(lo <= hi, "index interval ⟨{lo}, {hi}⟩ is empty");
+        IndexInterval { lo, hi }
+    }
+
+    /// The fully-unknown interval for an `n`-element array: `⟨0, n-1⟩`.
+    pub fn unknown(n: u32) -> IndexInterval {
+        assert!(n > 0, "empty arrays have no intervals");
+        IndexInterval { lo: 0, hi: n - 1 }
+    }
+
+    /// A precise interval `⟨i, i⟩`.
+    pub fn precise(i: u32) -> IndexInterval {
+        IndexInterval { lo: i, hi: i }
+    }
+
+    /// Is the element's final position known exactly?
+    pub fn is_precise(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Does this interval contain index `i`?
+    pub fn contains(&self, i: u32) -> bool {
+        self.lo <= i && i <= self.hi
+    }
+
+    /// Number of candidate positions.
+    pub fn width(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+}
+
+impl std::fmt::Display for IndexInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_predicates() {
+        let i = IndexInterval::new(2, 5);
+        assert!(!i.is_precise());
+        assert!(i.contains(2) && i.contains(5) && i.contains(3));
+        assert!(!i.contains(1) && !i.contains(6));
+        assert_eq!(i.width(), 4);
+        assert_eq!(i.to_string(), "⟨2, 5⟩");
+    }
+
+    #[test]
+    fn unknown_covers_everything() {
+        let u = IndexInterval::unknown(8);
+        assert_eq!(u, IndexInterval::new(0, 7));
+        assert!((0..8).all(|i| u.contains(i)));
+    }
+
+    #[test]
+    fn precise_interval() {
+        let p = IndexInterval::precise(3);
+        assert!(p.is_precise());
+        assert_eq!(p.width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn inverted_interval_rejected() {
+        IndexInterval::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty arrays")]
+    fn zero_length_array_rejected() {
+        IndexInterval::unknown(0);
+    }
+}

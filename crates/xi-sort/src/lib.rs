@@ -1,0 +1,57 @@
+//! `xi-sort` — the stateful functional-unit case study: the χ-sort
+//! data-parallel engine.
+//!
+//! The paper's second case study (§IV-B) implements the χ-sort suite
+//! [O'Donnell 1988], "which performs selection and sorting using an array
+//! represented with index intervals":
+//!
+//! > "An element with index interval ⟨p, q⟩ belongs in the array at some
+//! > index i such that p ≤ i ≤ q. An initial array represents the complete
+//! > lack of knowledge of where the elements belong by assigning each
+//! > element an index interval ⟨0, n−1⟩."
+//!
+//! Each array element lives in a [`cell::SimdCell`] — "a small amount of
+//! storage, enough to hold one data element and its index interval", plus
+//! "a simple arithmetic circuit that can perform comparisons" — under a
+//! logarithmic-depth [`tree::TreeNetwork`] whose interior nodes "provide
+//! communications and support parallel folds and scans on associative
+//! operators". A two-state controller (Idle/Run, thesis Figure 3.10)
+//! executes [`microcode`] programs against the array; a functional-unit
+//! [`adapter`] connects the core to the `fu-rtm` framework, transcoding
+//! 32-bit data records exactly as the thesis describes.
+//!
+//! The performance claim this crate reproduces (experiments E6/E7): "Each
+//! operation takes a fixed number of clock cycles with the FPGA; with a
+//! CPU each operation requires an iteration that takes time proportional
+//! to the number of data elements." [`reference::SoftwareXiSort`] is the
+//! instrumented CPU-side implementation of the same algorithm used for
+//! that comparison, and [`mod@reference`] also holds plain quicksort baselines.
+//!
+//! # Algorithm notes (reconstruction details)
+//!
+//! The excerpt specifies pivot choice ("the leftmost element of the
+//! sequence whose interval is imprecise") and the cell/tree capabilities,
+//! but not the handling of duplicate keys. We resolve the
+//! equal-to-pivot group positionally using the tree's *scan* capability
+//! (prefix count of selection flags), which the paper explicitly grants
+//! the interior nodes; each equal element receives a distinct final
+//! index, making every interval eventually precise. The
+//! `match_*_bound_i` commands of the cell schematic are reconstructed as
+//! *inequality* matches (`lo ≤ broadcast`, `hi ≥ broadcast`), which is
+//! exactly what selection (restricting refinement to groups containing
+//! index k) requires.
+
+pub mod adapter;
+pub mod cell;
+pub mod controller;
+pub mod interval;
+pub mod microcode;
+pub mod reference;
+pub mod tree;
+
+pub use adapter::XiSortAdapter;
+pub use cell::{CellCmd, SimdCell};
+pub use controller::{XiConfig, XiOp, XiSortCore};
+pub use interval::IndexInterval;
+pub use reference::SoftwareXiSort;
+pub use tree::TreeNetwork;

@@ -1,0 +1,326 @@
+//! Software reference implementations — the CPU side of experiments
+//! E6/E7.
+//!
+//! "In sequential algorithms the data structures can be modified only one
+//! element at a time as the processor executes load and store
+//! instructions. … with a CPU each operation requires an iteration that
+//! takes time proportional to the number of data elements."
+//!
+//! [`SoftwareXiSort`] executes *the same* index-interval algorithm as the
+//! hardware core, one element at a time, and counts **element visits**
+//! (each pass over the array touches every element, exactly the iteration
+//! the paper describes). The visit counter is the CPU-side cost metric
+//! for the per-operation comparison; wall-clock baselines (`quicksort`,
+//! `std::sort_unstable`) for end-to-end comparisons live here as well.
+
+use crate::interval::IndexInterval;
+
+/// The instrumented software χ-sort.
+#[derive(Debug, Clone)]
+pub struct SoftwareXiSort {
+    data: Vec<u32>,
+    intervals: Vec<IndexInterval>,
+    /// Total element visits performed (the Θ(n)-per-operation cost).
+    pub visits: u64,
+}
+
+impl SoftwareXiSort {
+    /// Load `values` with fully-unknown intervals.
+    pub fn new(values: &[u32]) -> SoftwareXiSort {
+        assert!(!values.is_empty(), "empty input");
+        SoftwareXiSort {
+            data: values.to_vec(),
+            intervals: vec![IndexInterval::unknown(values.len() as u32); values.len()],
+            visits: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false (construction rejects empty inputs).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The intervals (diagnostics).
+    pub fn intervals(&self) -> &[IndexInterval] {
+        &self.intervals
+    }
+
+    /// Leftmost element with an imprecise interval, optionally restricted
+    /// to intervals containing `k`. One pass: Θ(n) visits.
+    pub fn find_pivot(&mut self, containing: Option<u32>) -> Option<usize> {
+        for (i, iv) in self.intervals.iter().enumerate() {
+            self.visits += 1;
+            if !iv.is_precise() && containing.is_none_or(|k| iv.contains(k)) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Count imprecise intervals. One pass.
+    pub fn count_imprecise(&mut self) -> u32 {
+        let mut n = 0;
+        for iv in &self.intervals {
+            self.visits += 1;
+            if !iv.is_precise() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// One refinement round on the group of `pivot_idx` — the software
+    /// mirror of the hardware partition step: several Θ(n) passes.
+    pub fn partition_step(&mut self, pivot_idx: usize) {
+        let pivot = self.data[pivot_idx];
+        let group = self.intervals[pivot_idx];
+        assert!(!group.is_precise(), "pivot group already resolved");
+        // Pass 1: count below / equal within the group.
+        let (mut l, mut e) = (0u32, 0u32);
+        for i in 0..self.data.len() {
+            self.visits += 1;
+            if self.intervals[i] == group {
+                if self.data[i] < pivot {
+                    l += 1;
+                } else if self.data[i] == pivot {
+                    e += 1;
+                }
+            }
+        }
+        // Pass 2: assign refined intervals (equal elements positionally,
+        // matching the hardware's scan).
+        let base = group.lo + l;
+        let mut eq_rank = 0u32;
+        for i in 0..self.data.len() {
+            self.visits += 1;
+            if self.intervals[i] == group {
+                self.intervals[i] = if self.data[i] < pivot {
+                    IndexInterval::new(group.lo, group.lo + l - 1)
+                } else if self.data[i] == pivot {
+                    let iv = IndexInterval::precise(base + eq_rank);
+                    eq_rank += 1;
+                    iv
+                } else {
+                    IndexInterval::new(base + e, group.hi)
+                };
+            }
+        }
+    }
+
+    /// Sort to completion; returns the number of refinement rounds.
+    pub fn sort(&mut self) -> u32 {
+        let mut rounds = 0;
+        while let Some(p) = self.find_pivot(None) {
+            self.partition_step(p);
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Select the k-th smallest element (refining only groups containing
+    /// `k`); returns `(value, rounds)`.
+    pub fn select_k(&mut self, k: u32) -> (u32, u32) {
+        assert!((k as usize) < self.data.len(), "k out of range");
+        let mut rounds = 0;
+        while let Some(p) = self.find_pivot(Some(k)) {
+            self.partition_step(p);
+            rounds += 1;
+        }
+        (self.read_at(k), rounds)
+    }
+
+    /// Read the element whose final position is `k` (requires precision).
+    pub fn read_at(&mut self, k: u32) -> u32 {
+        for i in 0..self.data.len() {
+            self.visits += 1;
+            if self.intervals[i] == IndexInterval::precise(k) {
+                return self.data[i];
+            }
+        }
+        panic!("position {k} is not precise yet");
+    }
+
+    /// Extract the fully-sorted array (requires a completed sort).
+    pub fn into_sorted(mut self) -> Vec<u32> {
+        let mut out = vec![0u32; self.data.len()];
+        for i in 0..self.data.len() {
+            let iv = self.intervals[i];
+            assert!(iv.is_precise(), "sort incomplete at element {i}");
+            out[iv.lo as usize] = self.data[i];
+        }
+        self.visits += self.data.len() as u64;
+        out
+    }
+}
+
+/// Plain recursive quicksort (median-free, first-element pivot), the
+/// conventional-CPU baseline of E7. Returns the comparison count.
+pub fn quicksort(values: &mut [u32]) -> u64 {
+    fn go(v: &mut [u32], cmps: &mut u64) {
+        if v.len() <= 1 {
+            return;
+        }
+        let pivot = v[0];
+        let mut lt = 0;
+        let mut gt = v.len();
+        let mut i = 1;
+        // Three-way partition around the first element.
+        while i < gt {
+            *cmps += 1;
+            if v[i] < pivot {
+                v.swap(i, lt);
+                lt += 1;
+                i += 1;
+            } else if v[i] > pivot {
+                gt -= 1;
+                v.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        let (lo, rest) = v.split_at_mut(lt);
+        let hi_start = gt - lt;
+        go(lo, cmps);
+        go(&mut rest[hi_start..], cmps);
+    }
+    let mut cmps = 0;
+    go(values, &mut cmps);
+    cmps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{XiConfig, XiOp, XiSortCore};
+    use proptest::prelude::*;
+
+    #[test]
+    fn software_sort_sorts() {
+        let mut s = SoftwareXiSort::new(&[5, 2, 9, 1, 7, 7, 3]);
+        let rounds = s.sort();
+        assert!(rounds >= 1);
+        assert_eq!(s.into_sorted(), vec![1, 2, 3, 5, 7, 7, 9]);
+    }
+
+    #[test]
+    fn selection_matches_sorted_order() {
+        let values = [42, 17, 99, 3, 65];
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        for (k, &expect) in sorted.iter().enumerate() {
+            let mut s = SoftwareXiSort::new(&values);
+            let (v, _) = s.select_k(k as u32);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn selection_visits_fewer_than_sort() {
+        let values: Vec<u32> = (0..256).map(|i| (i * 97 + 13) % 1009).collect();
+        let mut sorter = SoftwareXiSort::new(&values);
+        sorter.sort();
+        let mut selector = SoftwareXiSort::new(&values);
+        selector.select_k(128);
+        assert!(
+            selector.visits < sorter.visits / 2,
+            "selection should do much less work ({} vs {})",
+            selector.visits,
+            sorter.visits
+        );
+    }
+
+    #[test]
+    fn per_operation_cost_is_linear_in_n() {
+        // The claim E6 quantifies: one software partition step costs
+        // Θ(n) visits.
+        let mut small = SoftwareXiSort::new(&(0..64).rev().collect::<Vec<u32>>());
+        let p = small.find_pivot(None).unwrap();
+        small.visits = 0;
+        small.partition_step(p);
+        let v64 = small.visits;
+        let mut big = SoftwareXiSort::new(&(0..1024).rev().collect::<Vec<u32>>());
+        let p = big.find_pivot(None).unwrap();
+        big.visits = 0;
+        big.partition_step(p);
+        let v1024 = big.visits;
+        assert_eq!(v64, 2 * 64, "two passes over 64 elements");
+        assert_eq!(v1024, 2 * 1024);
+    }
+
+    #[test]
+    fn quicksort_baseline_sorts_and_counts() {
+        let mut v = vec![3u32, 1, 4, 1, 5, 9, 2, 6];
+        let cmps = quicksort(&mut v);
+        assert_eq!(v, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+        assert!(cmps > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not precise")]
+    fn read_before_resolution_panics() {
+        let mut s = SoftwareXiSort::new(&[2, 1]);
+        s.read_at(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_software_matches_std_sort(values in proptest::collection::vec(0u32..1000, 1..80)) {
+            let mut s = SoftwareXiSort::new(&values);
+            s.sort();
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(s.into_sorted(), expect);
+        }
+
+        #[test]
+        fn prop_quicksort_matches_std(values in proptest::collection::vec(any::<u32>(), 0..100)) {
+            let mut qs = values.clone();
+            quicksort(&mut qs);
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(qs, expect);
+        }
+
+        #[test]
+        fn prop_hardware_and_software_agree(values in proptest::collection::vec(0u32..500, 1..24)) {
+            // The hardware core and the software reference implement the
+            // same algorithm: identical sorted output and identical
+            // refinement-round counts.
+            // Feed the software the *reversed* input: the hardware's
+            // shift-load chain reverses the array, and the leftmost-
+            // imprecise pivot policy is order-sensitive, so this makes
+            // the two runs pivot-for-pivot identical.
+            let reversed: Vec<u32> = values.iter().rev().copied().collect();
+            let mut sw = SoftwareXiSort::new(&reversed);
+            let sw_rounds = sw.sort();
+
+            let mut hw = XiSortCore::new(XiConfig::new(values.len() as u32));
+            hw.dispatch(XiOp::Reset, 0);
+            for &v in &values {
+                hw.dispatch(XiOp::Push, v);
+            }
+            hw.dispatch(XiOp::InitBounds, 0);
+            hw.run_to_completion(10_000);
+            hw.dispatch(XiOp::Sort, 0);
+            let hw_rounds = hw.run_to_completion(50_000_000).unwrap();
+
+            let hw_sorted: Vec<u32> = (0..values.len())
+                .map(|k| {
+                    hw.dispatch(XiOp::ReadAt, k as u32);
+                    hw.run_to_completion(10_000).unwrap()
+                })
+                .collect();
+            prop_assert_eq!(hw_sorted, sw.into_sorted());
+            // Pivot-for-pivot identical runs use identical round counts.
+            prop_assert_eq!(
+                hw_rounds, sw_rounds,
+                "round counts diverged: sw={} hw={}", sw_rounds, hw_rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The tree network over the SIMD cells (paper Figure 8 / thesis
+//! Figure 3.9).
+//!
+//! "A logarithmic height tree is used to compute the count of SIMD cells
+//! whose selection flag register is set and to select a pivot element
+//! having an imprecise interval. Both operations are associative and can
+//! therefore be realised with logarithmic delay in hardware. … Besides
+//! this the tree is able to retrieve a single data value from the array of
+//! SIMD cells assuming that only a single selection flag is set."
+//!
+//! The interior nodes "do not have persistent state, but they do contain
+//! simple combinational logic functions that implement parallel scans and
+//! folds". [`TreeNetwork`] models the folds (count, leftmost-selected,
+//! OR-retrieve) and the scan (prefix count) over a cell slice, and exposes
+//! the cost model: combinational trees answer within the issuing cycle;
+//! registered trees (ablation A4) add `⌈log2 n⌉` cycles of latency per
+//! operation but keep the per-level depth to one node.
+
+use crate::cell::SimdCell;
+use rtl_sim::area::log2_ceil;
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Result of a leftmost-selected query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leftmost {
+    /// Physical index of the leftmost selected cell.
+    pub index: u32,
+    /// Its data value.
+    pub data: u32,
+    /// Its interval lower bound.
+    pub lo: u32,
+    /// Its interval upper bound.
+    pub hi: u32,
+}
+
+/// The fold/scan network. The struct itself holds only the configuration
+/// (the nodes are stateless); folds take the cell slice.
+#[derive(Debug, Clone)]
+pub struct TreeNetwork {
+    n_leaves: u32,
+    registered: bool,
+}
+
+impl TreeNetwork {
+    /// A tree over `n_leaves` cells; `registered` selects pipelined
+    /// levels (extra latency, shorter combinational path — A4).
+    pub fn new(n_leaves: u32, registered: bool) -> TreeNetwork {
+        assert!(n_leaves >= 1, "tree needs at least one leaf");
+        TreeNetwork {
+            n_leaves,
+            registered,
+        }
+    }
+
+    /// Number of leaf ports.
+    pub fn n_leaves(&self) -> u32 {
+        self.n_leaves
+    }
+
+    /// Tree height in levels.
+    pub fn height(&self) -> u32 {
+        log2_ceil(self.n_leaves as u64) as u32
+    }
+
+    /// Cycles a fold or scan occupies beyond the issuing microinstruction:
+    /// zero when combinational, `height` when the levels are registered.
+    pub fn op_latency(&self) -> u32 {
+        if self.registered {
+            self.height()
+        } else {
+            0
+        }
+    }
+
+    /// Fold: number of selected cells.
+    pub fn count_selected(&self, cells: &[SimdCell]) -> u32 {
+        self.check(cells);
+        cells.iter().filter(|c| c.selected).count() as u32
+    }
+
+    /// Fold: the leftmost selected cell, if any ("selecting a pivot
+    /// element is simply done by selecting the leftmost element of the
+    /// sequence whose interval is imprecise" — the controller arranges the
+    /// selection flags, the tree picks the leftmost).
+    pub fn leftmost_selected(&self, cells: &[SimdCell]) -> Option<Leftmost> {
+        self.check(cells);
+        cells
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.selected)
+            .map(|(i, c)| Leftmost {
+                index: i as u32,
+                data: c.data,
+                lo: c.interval.lo,
+                hi: c.interval.hi,
+            })
+    }
+
+    /// Fold: retrieve the data value of the single selected cell (an OR
+    /// tree in hardware — with several cells selected the result is their
+    /// bitwise OR, which is exactly what the schematic's OR network would
+    /// produce, so we model that faithfully rather than panic).
+    pub fn retrieve(&self, cells: &[SimdCell]) -> u32 {
+        self.check(cells);
+        cells
+            .iter()
+            .filter(|c| c.selected)
+            .fold(0, |acc, c| acc | c.data)
+    }
+
+    /// Scan: for every cell, the number of selected cells strictly to its
+    /// left (exclusive prefix count of the selection flags).
+    pub fn prefix_count(&self, cells: &[SimdCell]) -> Vec<u32> {
+        self.check(cells);
+        let mut acc = 0u32;
+        cells
+            .iter()
+            .map(|c| {
+                let p = acc;
+                acc += c.selected as u32;
+                p
+            })
+            .collect()
+    }
+
+    fn check(&self, cells: &[SimdCell]) {
+        assert_eq!(
+            cells.len() as u32,
+            self.n_leaves,
+            "cell array size does not match the tree's leaf count"
+        );
+    }
+
+    /// Area of the interior nodes: `n-1` nodes, each holding a count
+    /// adder, leftmost mux and OR stage (plus level registers when
+    /// pipelined).
+    pub fn area(&self) -> AreaEstimate {
+        let nodes = (self.n_leaves.saturating_sub(1)) as u64;
+        let per_node = AreaEstimate::adder(log2_ceil(self.n_leaves.max(2) as u64) + 1)
+            + AreaEstimate::mux2(32 + 2 * 16)
+            + AreaEstimate {
+                les: 32, // OR stage for retrieval
+                ffs: if self.registered { 32 + 16 } else { 0 },
+                bram_bits: 0,
+            };
+        AreaEstimate {
+            les: per_node.les * nodes,
+            ffs: per_node.ffs * nodes,
+            bram_bits: 0,
+        }
+    }
+
+    /// Per-cycle combinational depth of the tree paths.
+    pub fn critical_path(&self) -> CriticalPath {
+        if self.registered {
+            // One node level per cycle.
+            CriticalPath::of(3)
+        } else {
+            CriticalPath::tree(self.n_leaves as u64, 2).then(CriticalPath::of(2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IndexInterval;
+
+    fn cells(data: &[u32], selected: &[bool]) -> Vec<SimdCell> {
+        data.iter()
+            .zip(selected)
+            .map(|(&d, &s)| {
+                let mut c = SimdCell::new(d, IndexInterval::unknown(data.len() as u32));
+                c.selected = s;
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn count_and_leftmost() {
+        let t = TreeNetwork::new(4, false);
+        let cs = cells(&[9, 8, 7, 6], &[false, true, false, true]);
+        assert_eq!(t.count_selected(&cs), 2);
+        let l = t.leftmost_selected(&cs).unwrap();
+        assert_eq!((l.index, l.data), (1, 8));
+        let none = cells(&[1, 2, 3, 4], &[false; 4]);
+        assert!(t.leftmost_selected(&none).is_none());
+        assert_eq!(t.count_selected(&none), 0);
+    }
+
+    #[test]
+    fn retrieve_single_and_or_semantics() {
+        let t = TreeNetwork::new(3, false);
+        let cs = cells(&[0b001, 0b010, 0b100], &[false, true, false]);
+        assert_eq!(t.retrieve(&cs), 0b010);
+        let multi = cells(&[0b001, 0b010, 0b100], &[true, false, true]);
+        assert_eq!(t.retrieve(&multi), 0b101, "OR tree semantics");
+        assert_eq!(t.retrieve(&cells(&[5, 6, 7], &[false; 3])), 0);
+    }
+
+    #[test]
+    fn prefix_count_is_exclusive() {
+        let t = TreeNetwork::new(5, false);
+        let cs = cells(&[0; 5], &[true, false, true, true, false]);
+        assert_eq!(t.prefix_count(&cs), vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn latency_model() {
+        assert_eq!(TreeNetwork::new(64, false).op_latency(), 0);
+        assert_eq!(TreeNetwork::new(64, true).op_latency(), 6);
+        assert_eq!(TreeNetwork::new(1, true).op_latency(), 0);
+        assert_eq!(TreeNetwork::new(1000, true).op_latency(), 10);
+    }
+
+    #[test]
+    fn registered_tree_has_flat_depth_and_growing_area() {
+        let comb_small = TreeNetwork::new(8, false).critical_path();
+        let comb_big = TreeNetwork::new(1024, false).critical_path();
+        assert!(comb_big > comb_small, "combinational depth grows with n");
+        let reg_small = TreeNetwork::new(8, true).critical_path();
+        let reg_big = TreeNetwork::new(1024, true).critical_path();
+        assert_eq!(reg_small, reg_big, "registered depth is per-level, flat in n");
+        assert!(TreeNetwork::new(1024, false).area().components()
+            > TreeNetwork::new(8, false).area().components());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn size_mismatch_panics() {
+        let t = TreeNetwork::new(4, false);
+        t.count_selected(&cells(&[1, 2], &[false, false]));
+    }
+}

@@ -1,0 +1,152 @@
+//! χ-sort invariant property tests.
+//!
+//! The index-interval representation carries strong invariants the paper
+//! relies on implicitly; these tests state them explicitly and check them
+//! after *arbitrary* operation sequences:
+//!
+//! 1. the multiset of loaded data values never changes (cells only ever
+//!    rewrite their interval registers);
+//! 2. every loaded cell's interval stays within `⟨0, m-1⟩`;
+//! 3. refinement only ever *shrinks* intervals (monotone information);
+//! 4. cells sharing an interval form a contiguous value group: any two
+//!    cells with disjoint intervals are correctly ordered relative to
+//!    each other (`hi_a < lo_b ⇒ data_a ≤ data_b`);
+//! 5. after convergence, reading positions 0..m yields the sorted input.
+
+use proptest::prelude::*;
+use xi_sort::{XiConfig, XiOp, XiSortCore};
+
+fn load(core: &mut XiSortCore, values: &[u32]) {
+    core.dispatch(XiOp::Reset, 0);
+    for &v in values {
+        core.dispatch(XiOp::Push, v);
+    }
+    core.dispatch(XiOp::InitBounds, 0);
+    core.run_to_completion(1_000_000);
+}
+
+fn op(core: &mut XiSortCore, o: XiOp, operand: u32) -> u32 {
+    core.dispatch(o, operand);
+    core.run_to_completion(1_000_000_000).unwrap_or(0)
+}
+
+/// Check invariants 1–4 against the original input.
+fn check_invariants(core: &XiSortCore, original: &[u32]) {
+    let m = original.len();
+    let cells = &core.cells()[..m];
+    // 1. data multiset preserved.
+    let mut got: Vec<u32> = cells.iter().map(|c| c.data).collect();
+    let mut expect = original.to_vec();
+    got.sort_unstable();
+    expect.sort_unstable();
+    assert_eq!(got, expect, "data multiset changed");
+    // 2. intervals in range.
+    for (i, c) in cells.iter().enumerate() {
+        assert!(
+            (c.interval.hi as usize) < m,
+            "cell {i} interval {} escapes the array",
+            c.interval
+        );
+    }
+    // 4. disjoint intervals imply value ordering.
+    for a in cells {
+        for b in cells {
+            if a.interval.hi < b.interval.lo {
+                assert!(
+                    a.data <= b.data,
+                    "interval order {} < {} contradicts data {} > {}",
+                    a.interval,
+                    b.interval,
+                    a.data,
+                    b.data
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_after_every_refinement_round(
+        values in proptest::collection::vec(0u32..10_000, 1..48),
+    ) {
+        let m = values.len();
+        let mut core = XiSortCore::new(XiConfig::new(m as u32));
+        load(&mut core, &values);
+        check_invariants(&core, &values);
+        // 3. monotone shrinking, checked round by round.
+        let mut widths: Vec<u32> = core.cells()[..m].iter().map(|c| c.interval.width()).collect();
+        let mut budget = 4 * m + 8;
+        loop {
+            let remaining = op(&mut core, XiOp::SortStep, 0);
+            check_invariants(&core, &values);
+            let new_widths: Vec<u32> =
+                core.cells()[..m].iter().map(|c| c.interval.width()).collect();
+            for (i, (old, new)) in widths.iter().zip(&new_widths).enumerate() {
+                prop_assert!(new <= old, "cell {i} interval widened: {old} -> {new}");
+            }
+            widths = new_widths;
+            if remaining == 0 {
+                break;
+            }
+            budget -= 1;
+            prop_assert!(budget > 0, "sort failed to converge");
+        }
+        // 5. converged: readout is the sorted input.
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        for (k, &e) in expect.iter().enumerate() {
+            prop_assert_eq!(op(&mut core, XiOp::ReadAt, k as u32), e);
+        }
+    }
+
+    #[test]
+    fn selection_preserves_invariants_and_converges(
+        values in proptest::collection::vec(0u32..1000, 1..40),
+        k_seed: u32,
+    ) {
+        let m = values.len();
+        let k = k_seed % m as u32;
+        let mut core = XiSortCore::new(XiConfig::new(m as u32));
+        load(&mut core, &values);
+        let got = op(&mut core, XiOp::SelectK, k);
+        check_invariants(&core, &values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(got, sorted[k as usize]);
+    }
+
+    #[test]
+    fn interleaved_queries_never_corrupt_state(
+        values in proptest::collection::vec(0u32..500, 2..32),
+        steps in proptest::collection::vec(0u8..3, 1..20),
+    ) {
+        let m = values.len();
+        let mut core = XiSortCore::new(XiConfig::new(m as u32));
+        load(&mut core, &values);
+        for s in steps {
+            match s {
+                0 => {
+                    op(&mut core, XiOp::SortStep, 0);
+                }
+                1 => {
+                    let c = op(&mut core, XiOp::CountImprecise, 0);
+                    prop_assert!(c as usize <= m);
+                }
+                _ => {
+                    op(&mut core, XiOp::SelectStep, (m as u32) / 2);
+                }
+            }
+            check_invariants(&core, &values);
+        }
+        // Finishing the sort from any intermediate state must work.
+        op(&mut core, XiOp::Sort, 0);
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        for (k, &e) in expect.iter().enumerate() {
+            prop_assert_eq!(op(&mut core, XiOp::ReadAt, k as u32), e);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Defining a *custom* functional unit — the framework's portability
+//! story.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p bench --example custom_fu
+//! ```
+//!
+//! "The main task for the programmer is to design the functional units.
+//! They must interact with the controller according to the framework's
+//! protocol, but apart from that requirement, the designer has complete
+//! freedom in the internal structure of a functional unit."
+//!
+//! Here the programmer brings a saturating multiply-accumulate
+//! (`d = min(a*b + c, MAX)`) — the kind of DSP inner-loop operation the
+//! paper's introduction motivates. Only the combinational kernel is
+//! written by hand; the published *minimal* skeleton supplies all the
+//! protocol behaviour, and the unit then runs on an unmodified framework.
+
+use fu_host::{Driver, LinkModel, System};
+use fu_isa::{Flags, InstrWord, UserInstr, Word};
+use fu_rtm::protocol::DispatchPacket;
+use fu_rtm::CoprocConfig;
+use fu_units::{Kernel, KernelOutput, MinimalFu};
+use rtl_sim::{AreaEstimate, CriticalPath};
+
+/// Saturating multiply-accumulate over one register word.
+struct SatMacKernel;
+
+impl Kernel for SatMacKernel {
+    fn name(&self) -> &'static str {
+        "sat-mac"
+    }
+
+    fn func_code(&self) -> u8 {
+        0x40 // a free slot in the function-code space
+    }
+
+    fn word_bits(&self) -> u32 {
+        32
+    }
+
+    fn compute(&self, pkt: &DispatchPacket) -> KernelOutput {
+        let a = pkt.ops[0].as_u64();
+        let b = pkt.ops[1].as_u64();
+        let c = pkt.ops[2].as_u64();
+        let full = a * b + c;
+        let saturated = full.min(u32::MAX as u64) as u32;
+        KernelOutput {
+            data: Some(Word::from_u64(saturated as u64, 32)),
+            data2: None,
+            flags: Some(Flags::from_parts(
+                full > u32::MAX as u64, // carry = saturated
+                saturated == 0,
+                saturated >> 31 == 1,
+                full > u32::MAX as u64,
+            )),
+        }
+    }
+
+    fn reads_srcs(&self, _variety: u8) -> [bool; 3] {
+        [true, true, true] // all three operand ports, as the RTM allows
+    }
+
+    fn area(&self) -> AreaEstimate {
+        AreaEstimate {
+            les: 32 * 32 / 4,
+            ffs: 0,
+            bram_bits: 0,
+        } + AreaEstimate::adder(64)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::tree(32, 2).then(CriticalPath::adder(64))
+    }
+}
+
+fn mac_instr(dst: u8, a: u8, b: u8, c: u8) -> InstrWord {
+    InstrWord::user(UserInstr {
+        func: 0x40,
+        variety: 0,
+        dst_flag: 1,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: a,
+        src2: b,
+        src3: c,
+    })
+}
+
+fn main() {
+    // Attach the custom unit next to the standard complement.
+    let mut units = fu_units::standard_units(32);
+    units.push(Box::new(MinimalFu::new(SatMacKernel, false)));
+
+    let system = System::new(CoprocConfig::default(), units, LinkModel::tightly_coupled())
+        .expect("valid configuration");
+    let mut dev = Driver::new(system, 1_000_000);
+
+    // d = a*b + c, saturating.
+    dev.write_reg(1, 100_000);
+    dev.write_reg(2, 30_000);
+    dev.write_reg(3, 1_234);
+    dev.exec(mac_instr(4, 1, 2, 3));
+    let v = dev.read_reg(4).expect("mac result").as_u64();
+    let f = dev.read_flags(1).expect("flags");
+    println!("100000 * 30000 + 1234  = {v} (flags {f})");
+    assert_eq!(v, 100_000 * 30_000 + 1_234);
+    assert!(!f.carry());
+
+    // Saturating case.
+    dev.write_reg(1, u32::MAX as u64);
+    dev.write_reg(2, u32::MAX as u64);
+    dev.exec(mac_instr(5, 1, 2, 3));
+    let v = dev.read_reg(5).expect("mac result").as_u64();
+    let f = dev.read_flags(1).expect("flags");
+    println!("MAX * MAX + 1234 (sat) = {v} (flags {f})");
+    assert_eq!(v, u32::MAX as u64);
+    assert!(f.carry(), "saturation reported through the carry flag");
+
+    // The standard units still work beside it.
+    dev.exec_asm("ADD r6, r1, r2, f2").expect("assembles");
+    println!("ADD beside it          = {}", dev.read_reg(6).unwrap().as_u64());
+    println!("total FPGA cycles      = {}", dev.cycles());
+}

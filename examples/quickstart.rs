@@ -1,0 +1,59 @@
+//! Quickstart: assemble a coprocessor, issue an instruction, read the
+//! result.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p bench --example quickstart
+//! ```
+//!
+//! This is the paper's Figure 1 in miniature: the "main program" (this
+//! file) runs on the host, communicates over a link with the generic
+//! interface (the RTM), which controls the functional units.
+
+use fu_host::{Driver, LinkModel, System};
+use fu_rtm::CoprocConfig;
+use fu_units::standard_units;
+
+fn main() {
+    // 1. Configure the framework — these are the VHDL generics: word
+    //    size, register counts, port widths.
+    let config = CoprocConfig::default(); // 32-bit words, 32 registers
+
+    // 2. Attach functional units (arithmetic, logic, shift, multiplier,
+    //    popcount) and pick an interconnect model.
+    let system = System::new(config, standard_units(32), LinkModel::pcie_like())
+        .expect("valid configuration");
+
+    // 3. The driver gives the host program a coprocessor-style API.
+    let mut dev = Driver::new(system, 1_000_000);
+
+    // 4. Move operands into the register file, run instructions, read
+    //    results back — "similarly to the way it would use any
+    //    conventional coprocessor".
+    dev.write_reg(1, 1200);
+    dev.write_reg(2, 34);
+    dev.exec_program(
+        "ADD r3, r1, r2, f1   ; r3 = r1 + r2, flags to f1
+         MUL r4, r5, r1, r2   ; r4/r5 = low/high of r1 * r2
+         POPCNT r6, r3        ; r6 = ones in r3",
+    )
+    .expect("assembles");
+
+    let sum = dev.read_reg(3).expect("sum").as_u64();
+    let prod_lo = dev.read_reg(4).expect("prod").as_u64();
+    let ones = dev.read_reg(6).expect("popcount").as_u64();
+    let flags = dev.read_flags(1).expect("flags");
+
+    println!("1200 + 34      = {sum}    (flags {flags})");
+    println!("1200 * 34      = {prod_lo}");
+    println!("popcount(1234) = {ones}");
+    println!(
+        "completed in {} FPGA cycles ({:.2} µs at 50 MHz)",
+        dev.cycles(),
+        System::cycles_to_us(dev.cycles(), 50.0)
+    );
+
+    assert_eq!(sum, 1234);
+    assert_eq!(prod_lo, 40_800);
+    assert_eq!(ones, 1234u64.count_ones() as u64);
+}

@@ -1,0 +1,69 @@
+//! Selection with χ-sort: find order statistics without sorting.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p bench --example selection_median
+//! ```
+//!
+//! χ-sort "performs selection and sorting using an array represented with
+//! index intervals". Selection only refines groups whose interval still
+//! contains the wanted rank, so most of the array is never touched — the
+//! work saving this example demonstrates against a full sort.
+
+use fu_host::baseline::workload;
+use fu_host::{Driver, LinkModel, System};
+use fu_rtm::CoprocConfig;
+use xi_sort::{XiConfig, XiOp, XiSortAdapter};
+
+fn xi_driver(n_cells: u32) -> Driver {
+    let system = System::new(
+        CoprocConfig::default(),
+        vec![Box::new(XiSortAdapter::new(XiConfig::new(n_cells), 32))],
+        LinkModel::tightly_coupled(),
+    )
+    .expect("valid configuration");
+    Driver::new(system, 500_000_000)
+}
+
+fn main() {
+    let n = 101;
+    let values = workload(2024, n, 10_000);
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+
+    // Median, quartiles, extremes — each a single coprocessor call.
+    println!("order statistics over {n} elements:");
+    for (name, k) in [
+        ("min     ", 0usize),
+        ("p25     ", n / 4),
+        ("median  ", n / 2),
+        ("p75     ", 3 * n / 4),
+        ("max     ", n - 1),
+    ] {
+        let mut dev = xi_driver(128);
+        dev.xi_load(&values, 1).expect("load");
+        let before = dev.cycles();
+        let v = dev.xi_select(k as u32, 1, 2).expect("select");
+        let cycles = dev.cycles() - before;
+        // How much of the array did the selection leave unresolved?
+        dev.write_reg(1, 0);
+        dev.xi_op(XiOp::CountImprecise, 1, 2);
+        let unresolved = dev.read_reg(2).expect("count").as_u64();
+        assert_eq!(v, sorted[k], "{name}");
+        println!(
+            "  {name} = {v:>6}   ({cycles:>6} cycles, {unresolved:>3} intervals left imprecise)"
+        );
+    }
+
+    // Versus a full sort on the same hardware.
+    let mut dev = xi_driver(128);
+    dev.xi_load(&values, 1).expect("load");
+    let before = dev.cycles();
+    dev.xi_sort(2).expect("sort");
+    let sort_cycles = dev.cycles() - before;
+    println!("\n  full sort            ({sort_cycles:>6} cycles, every interval precise)");
+    println!(
+        "\nSelection resolves only the groups on the path to rank k — the\n\
+         remaining intervals stay imprecise and cost nothing."
+    );
+}

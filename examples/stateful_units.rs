@@ -1,0 +1,108 @@
+//! The paper's three stateful-unit examples, working together.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p bench --example stateful_units
+//! ```
+//!
+//! "Examples of stateful functional units are histogram calculators,
+//! pseudorandom number generators, and associative memories." This demo
+//! attaches all three beside the arithmetic unit and builds a small
+//! pipeline entirely out of coprocessor instructions: draw random values
+//! from the PRNG unit, bucket them in the histogram unit, and memoise
+//! per-bucket metadata in the CAM — the host only orchestrates.
+
+use fu_host::{Driver, LinkModel, System};
+use fu_isa::{InstrWord, UserInstr};
+use fu_rtm::{CoprocConfig, FunctionalUnit};
+use fu_units::stateful::{cam, histogram, prng, CamFu, HistogramFu, PrngFu};
+use fu_units::{ArithKernel, MinimalFu};
+
+fn unit_instr(func: u8, variety: u8, dst: u8, s1: u8, s2: u8) -> InstrWord {
+    InstrWord::user(UserInstr {
+        func,
+        variety,
+        dst_flag: 1,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    })
+}
+
+fn main() {
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(MinimalFu::new(ArithKernel::new(32), false)),
+        Box::new(HistogramFu::new(16, 32)),
+        Box::new(PrngFu::new(32)),
+        Box::new(CamFu::new(16, 32)),
+    ];
+    let system = System::new(CoprocConfig::default(), units, LinkModel::tightly_coupled())
+        .expect("valid configuration");
+    let mut dev = Driver::new(system, 10_000_000);
+
+    // Seed the PRNG and clear the histogram — all device-side state.
+    dev.write_reg(1, 0xC0FFEE);
+    dev.exec(unit_instr(prng::PRNG_FUNC_CODE, prng::PRNG_SEED, 0, 1, 0));
+    dev.exec(unit_instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_CLEAR,
+        0,
+        0,
+        0,
+    ));
+
+    // Draw 64 random values; bucket each by its low 4 bits. The PRNG
+    // writes r2; the histogram accumulates bin r2 with weight r3=1.
+    // Register interlocks order every step automatically.
+    dev.write_reg(3, 1);
+    for _ in 0..64 {
+        dev.exec(unit_instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 2, 0, 0));
+        dev.exec(unit_instr(
+            histogram::HIST_FUNC_CODE,
+            histogram::HIST_ACCUM,
+            0,
+            2,
+            3,
+        ));
+    }
+    dev.sync().expect("sync");
+
+    // Read the histogram back and memoise the fullest bucket in the CAM.
+    println!("histogram of 64 LFSR draws (16 bins over the low 4 bits):");
+    let mut best = (0u64, 0u64);
+    let mut total = 0u64;
+    for bin in 0..16u64 {
+        dev.write_reg(4, bin);
+        dev.exec(unit_instr(
+            histogram::HIST_FUNC_CODE,
+            histogram::HIST_READ,
+            5,
+            4,
+            0,
+        ));
+        let count = dev.read_reg(5).expect("bin").as_u64();
+        total += count;
+        if count > best.1 {
+            best = (bin, count);
+        }
+        println!("  bin {bin:>2}: {}", "#".repeat(count as usize));
+    }
+    assert_eq!(total, 64, "every draw lands in exactly one bin");
+
+    // CAM: key = bucket index, value = its count.
+    dev.write_reg(6, best.0);
+    dev.write_reg(7, best.1);
+    dev.exec(unit_instr(cam::CAM_FUNC_CODE, cam::CAM_WRITE, 0, 6, 7));
+    dev.exec(unit_instr(cam::CAM_FUNC_CODE, cam::CAM_SEARCH, 8, 6, 0));
+    let memo = dev.read_reg(8).expect("cam hit").as_u64();
+    let hit = dev.read_flags(1).expect("flags").carry();
+    println!(
+        "\nfullest bucket: bin {} with {} draws (memoised in the CAM: {memo}, hit={hit})",
+        best.0, best.1
+    );
+    assert!(hit);
+    assert_eq!(memo, best.1);
+    println!("total FPGA cycles: {}", dev.cycles());
+}

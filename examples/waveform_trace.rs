@@ -1,0 +1,115 @@
+//! Exporting a waveform of the pipeline — how the original framework was
+//! debugged.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p bench --example waveform_trace
+//! ```
+//!
+//! The VHDL framework was developed against waveform viewers; this
+//! reproduction keeps the same workflow: [`fu_rtm::Coprocessor::probe`]
+//! exposes the observable pipeline signals each cycle, and
+//! [`rtl_sim::VcdWriter`] turns them into a standard `.vcd` file any
+//! waveform viewer (GTKWave etc.) opens. The example traces a short
+//! burst of instructions and writes `target/coproc_trace.vcd`.
+
+use fu_isa::{HostMsg, InstrWord, MgmtOp, UserInstr, Word};
+use fu_rtm::{CoprocConfig, Coprocessor};
+use fu_units::standard_units;
+use rtl_sim::VcdWriter;
+
+fn main() {
+    let mut coproc = Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 2,
+            ..CoprocConfig::default()
+        },
+        standard_units(32),
+    )
+    .expect("valid configuration");
+
+    // A small burst: two writes, four instructions, a read-back.
+    let msgs = [
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(7, 32),
+        },
+        HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(5, 32),
+        },
+        HostMsg::Instr(InstrWord::user(UserInstr {
+            func: fu_isa::funit_codes::ARITH,
+            variety: fu_isa::ArithOp::Add.variety().0,
+            dst_flag: 1,
+            dst_reg: 3,
+            aux_reg: 0,
+            src1: 1,
+            src2: 2,
+            src3: 0,
+        })),
+        HostMsg::Instr(InstrWord::user(UserInstr {
+            func: fu_isa::funit_codes::MUL,
+            variety: 0,
+            dst_flag: 2,
+            dst_reg: 4,
+            aux_reg: 5,
+            src1: 1,
+            src2: 2,
+            src3: 0,
+        })),
+        HostMsg::Instr(MgmtOp::Fence.encode()),
+        HostMsg::ReadReg { reg: 3, tag: 1 },
+    ];
+    let mut frames: std::collections::VecDeque<u32> =
+        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+
+    let mut vcd = VcdWriter::new("coprocessor");
+    for (name, width) in [
+        ("rx_level", 8),
+        ("msg_valid", 1),
+        ("decoded_valid", 1),
+        ("exec_valid", 1),
+        ("resp_valid", 1),
+        ("tx_level", 8),
+        ("in_flight", 8),
+        ("fus_busy", 8),
+    ] {
+        vcd.declare(name, width);
+    }
+
+    let mut cycles = 0u64;
+    while !(frames.is_empty() && coproc.is_idle()) && cycles < 2000 {
+        while let Some(&f) = frames.front() {
+            if coproc.push_frame(f) {
+                frames.pop_front();
+            } else {
+                break;
+            }
+        }
+        coproc.step();
+        while coproc.pop_frame().is_some() {}
+        let p = coproc.probe();
+        vcd.change(cycles, "rx_level", p.rx_level as u64);
+        vcd.change(cycles, "msg_valid", p.msg_valid as u64);
+        vcd.change(cycles, "decoded_valid", p.decoded_valid as u64);
+        vcd.change(cycles, "exec_valid", p.exec_valid as u64);
+        vcd.change(cycles, "resp_valid", p.resp_valid as u64);
+        vcd.change(cycles, "tx_level", p.tx_level as u64);
+        vcd.change(cycles, "in_flight", p.in_flight as u64);
+        vcd.change(cycles, "fus_busy", p.fus_busy as u64);
+        cycles += 1;
+    }
+
+    let text = vcd.finish();
+    let path = std::path::Path::new("target").join("coproc_trace.vcd");
+    std::fs::create_dir_all("target").expect("target dir");
+    std::fs::write(&path, &text).expect("write VCD");
+    println!("traced {cycles} cycles -> {} ({} bytes)", path.display(), text.len());
+    println!("open it with any VCD waveform viewer, e.g. `gtkwave {}`", path.display());
+    println!("\nfirst lines:");
+    for line in text.lines().take(16) {
+        println!("  {line}");
+    }
+    assert_eq!(coproc.peek_reg(3).as_u64(), 12);
+}

@@ -1,0 +1,137 @@
+//! Backpressure fuzzing of the whole machine: the paper's local-handshake
+//! design must tolerate *any* pattern of stalls without losing,
+//! duplicating or reordering work. The host randomly withholds frame
+//! delivery and randomly refuses to drain the transmit FIFO; tiny FIFOs
+//! make the backpressure propagate all the way up the pipeline.
+
+use fu_isa::msg::DevDeframer;
+use fu_isa::{DevMsg, HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::{CoprocConfig, Coprocessor};
+use fu_units::standard_units;
+use rtl_sim::StallFuzzer;
+
+/// Run a compute-and-readback workload under random host stalls.
+fn fuzz_run(seed: u64, stall_p: f64, n_ops: u32) {
+    let cfg = CoprocConfig {
+        rx_fifo_depth: 2,
+        tx_fifo_depth: 2,
+        rx_frames_per_cycle: 1,
+        tx_frames_per_cycle: 1,
+        ..CoprocConfig::default()
+    };
+    let mut coproc = Coprocessor::new(cfg, standard_units(32)).unwrap();
+    let mut rx_fuzz = StallFuzzer::new(seed, stall_p);
+    let mut tx_fuzz = StallFuzzer::new(seed ^ 0xabcdef, stall_p);
+    let mut workload = StallFuzzer::new(seed ^ 0x55, 0.0);
+
+    // Build the message stream and the expected responses.
+    let mut msgs: Vec<HostMsg> = Vec::new();
+    let mut expected: Vec<DevMsg> = Vec::new();
+    let mut a = 1u64;
+    let mut b = 2u64;
+    msgs.push(HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(a, 32),
+    });
+    msgs.push(HostMsg::WriteReg {
+        reg: 2,
+        value: Word::from_u64(b, 32),
+    });
+    for i in 0..n_ops {
+        // Alternate ADD and XOR over r1/r2 into r3, read it back.
+        let (func, variety, expect) = if workload.below(2) == 0 {
+            (
+                fu_isa::funit_codes::ARITH,
+                fu_isa::ArithOp::Add.variety().0,
+                (a + b) & 0xffff_ffff,
+            )
+        } else {
+            (
+                fu_isa::funit_codes::LOGIC,
+                fu_isa::LogicOp::Xor.variety().0,
+                a ^ b,
+            )
+        };
+        msgs.push(HostMsg::Instr(InstrWord::user(UserInstr {
+            func,
+            variety,
+            dst_flag: 1,
+            dst_reg: 3,
+            aux_reg: 0,
+            src1: 1,
+            src2: 2,
+            src3: 0,
+        })));
+        msgs.push(HostMsg::ReadReg { reg: 3, tag: i as u16 });
+        expected.push(DevMsg::Data {
+            tag: i as u16,
+            value: Word::from_u64(expect, 32),
+        });
+        // Rotate operands through writes.
+        a = expect;
+        msgs.push(HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(a, 32),
+        });
+        b = (b * 7 + 3) & 0xffff_ffff;
+        msgs.push(HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(b, 32),
+        });
+    }
+
+    let mut frames: std::collections::VecDeque<u32> =
+        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+    let mut deframer = DevDeframer::new(32);
+    let mut got: Vec<DevMsg> = Vec::new();
+    let mut budget: u64 = 4_000_000;
+    while got.len() < expected.len() {
+        // Host sometimes refuses to feed…
+        if !rx_fuzz.stall() {
+            while let Some(&f) = frames.front() {
+                if coproc.push_frame(f) {
+                    frames.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        coproc.step();
+        // …and sometimes refuses to drain.
+        if !tx_fuzz.stall() {
+            while let Some(f) = coproc.pop_frame() {
+                if let Some(m) = deframer.push(f).unwrap() {
+                    got.push(m);
+                }
+            }
+        }
+        budget -= 1;
+        assert!(budget > 0, "fuzz run wedged (seed {seed}, p {stall_p})");
+    }
+    assert_eq!(got, expected, "response stream corrupted (seed {seed})");
+}
+
+#[test]
+fn light_backpressure() {
+    for seed in 0..4 {
+        fuzz_run(seed, 0.2, 40);
+    }
+}
+
+#[test]
+fn heavy_backpressure() {
+    for seed in 10..13 {
+        fuzz_run(seed, 0.8, 25);
+    }
+}
+
+#[test]
+fn pathological_backpressure() {
+    // 97% stall probability: the machine crawls but must stay correct.
+    fuzz_run(42, 0.97, 8);
+}
+
+#[test]
+fn no_backpressure_baseline() {
+    fuzz_run(7, 0.0, 60);
+}

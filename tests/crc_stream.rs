@@ -1,0 +1,140 @@
+//! CRC-32 streaming through the full machine: the running value chains
+//! through an ordinary data register, so the framework's interlocks — not
+//! unit-local state — carry the dependency from word to word. Uses the
+//! `Coprocessor::run_messages` harness directly (no link model).
+
+use fu_isa::{HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::{CoprocConfig, Coprocessor, FunctionalUnit};
+use fu_units::crc::{self, CrcKernel};
+use fu_units::{MinimalFu, PipelinedFu};
+
+fn crc_instr(variety: u8, dst: u8, data_reg: u8, running_reg: u8) -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func: crc::CRC_FUNC_CODE,
+        variety,
+        dst_flag: 1,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: data_reg,
+        src2: running_reg,
+        src3: 0,
+    }))
+}
+
+fn stream_crc(unit: Box<dyn FunctionalUnit>, message: &[u8]) -> u32 {
+    assert!(message.len().is_multiple_of(4));
+    let mut coproc = Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            rx_fifo_depth: 64,
+            ..CoprocConfig::default()
+        },
+        vec![unit],
+    )
+    .unwrap();
+    let words: Vec<u32> = message
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let mut msgs = Vec::new();
+    // The running CRC lives in r2; each step loads the next data word
+    // into r1 and updates r2 in place (RAW + WAW interlocks on r2).
+    for (i, &w) in words.iter().enumerate() {
+        msgs.push(HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(w as u64, 32),
+        });
+        let mut variety = 0;
+        if i == 0 {
+            variety |= crc::CRC_INIT;
+        }
+        if i == words.len() - 1 {
+            variety |= crc::CRC_FINALIZE;
+        }
+        msgs.push(crc_instr(variety, 2, 1, 2));
+    }
+    msgs.push(HostMsg::ReadReg { reg: 2, tag: 0 });
+    let out = coproc.run_messages(&msgs, 1_000_000).unwrap();
+    match &out[..] {
+        [fu_isa::DevMsg::Data { value, .. }] => value.as_u64() as u32,
+        other => panic!("unexpected responses: {other:?}"),
+    }
+}
+
+#[test]
+fn streamed_crc_matches_reference_minimal_unit() {
+    let message = b"The quick brown fox jumps over the lazy dog!....";
+    let got = stream_crc(
+        Box::new(MinimalFu::new(CrcKernel::new(32), false)),
+        message,
+    );
+    assert_eq!(got, crc::crc32(message));
+}
+
+#[test]
+fn streamed_crc_matches_reference_pipelined_unit() {
+    // Through the pipelined skeleton the chain *must* serialise on the
+    // register interlocks (each update reads the previous result); the
+    // answer stays exact.
+    let message = b"0123456789abcdef0123456789abcdef";
+    let got = stream_crc(
+        Box::new(PipelinedFu::new(CrcKernel::new(32), 3, 8)),
+        message,
+    );
+    assert_eq!(got, crc::crc32(message));
+}
+
+#[test]
+fn known_check_value_through_hardware() {
+    // crc32("123456789...") padded to a word multiple; verify the
+    // canonical vector on the unpadded prefix by doing it in software
+    // too (the test's real assertion is hw == sw on identical input).
+    let message = b"123456789abc";
+    let got = stream_crc(
+        Box::new(MinimalFu::new(CrcKernel::new(32), true)),
+        message,
+    );
+    assert_eq!(got, crc::crc32(message));
+}
+
+#[test]
+fn long_message_throughput_counts() {
+    let message: Vec<u8> = (0..4096u32).map(|i| (i * 31 + 7) as u8).collect();
+    let mut coproc = Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            rx_fifo_depth: 64,
+            ..CoprocConfig::default()
+        },
+        vec![Box::new(MinimalFu::new(CrcKernel::new(32), false))],
+    )
+    .unwrap();
+    let words: Vec<u32> = message
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let mut msgs = Vec::new();
+    for (i, &w) in words.iter().enumerate() {
+        msgs.push(HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(w as u64, 32),
+        });
+        let mut variety = 0;
+        if i == 0 {
+            variety |= crc::CRC_INIT;
+        }
+        if i == words.len() - 1 {
+            variety |= crc::CRC_FINALIZE;
+        }
+        msgs.push(crc_instr(variety, 2, 1, 2));
+    }
+    msgs.push(HostMsg::ReadReg { reg: 2, tag: 0 });
+    let out = coproc.run_messages(&msgs, 10_000_000).unwrap();
+    assert_eq!(out.len(), 1);
+    let stats = coproc.stats();
+    assert_eq!(stats.dispatch.user_dispatched, words.len() as u64);
+    // The dependent chain runs at a handful of cycles per word — far from
+    // the ~32 single-bit software steps the paper's motivation cites.
+    let cpw = coproc.cycle() as f64 / words.len() as f64;
+    assert!(cpw < 8.0, "cycles per word too high: {cpw}");
+}

@@ -1,0 +1,162 @@
+//! Floating-point unit through the full machine: the paper's §I example
+//! ("provide floating point operations in hardware") as a working
+//! coprocessor workload — an f32 dot product chained through the
+//! register file on the 4-stage pipelined FPU.
+
+use fu_isa::{HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::{CoprocConfig, Coprocessor, FunctionalUnit};
+use fu_units::fpu::{self, ops, FpuKernel};
+use fu_units::MinimalFu;
+
+fn fpu_instr_f(variety: u8, dst: u8, s1: u8, s2: u8, flag: u8) -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func: fpu::FPU_FUNC_CODE,
+        variety,
+        dst_flag: flag,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    }))
+}
+
+fn fpu_instr(variety: u8, dst: u8, s1: u8, s2: u8) -> HostMsg {
+    fpu_instr_f(variety, dst, s1, s2, 1)
+}
+
+fn machine(unit: Box<dyn FunctionalUnit>) -> Coprocessor {
+    Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            rx_fifo_depth: 64,
+            ..CoprocConfig::default()
+        },
+        vec![unit],
+    )
+    .unwrap()
+}
+
+fn flush(v: f32) -> f32 {
+    if v.is_subnormal() {
+        0.0f32.copysign(v)
+    } else {
+        v
+    }
+}
+
+#[test]
+fn dot_product_matches_host_fpu() {
+    let xs = [1.5f32, -2.25, 3.125, 0.5, -0.875, 10.0, 1e-3, 7.75];
+    let ys = [0.25f32, 4.0, -1.5, 2.0, 8.0, -0.125, 1e3, 0.5];
+    // Reference on the host FPU with the same operation order.
+    let mut expect = 0.0f32;
+    for (x, y) in xs.iter().zip(&ys) {
+        expect = flush(expect + flush(x * y));
+    }
+
+    let mut m = machine(Box::new(FpuKernel::recommended_unit(32)));
+    let mut msgs = vec![HostMsg::WriteReg {
+        reg: 3, // accumulator = 0.0
+        value: Word::from_u64(0, 32),
+    }];
+    for (x, y) in xs.iter().zip(&ys) {
+        msgs.push(HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(x.to_bits() as u64, 32),
+        });
+        msgs.push(HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(y.to_bits() as u64, 32),
+        });
+        msgs.push(fpu_instr(ops::FMUL, 4, 1, 2)); // r4 = x * y
+        msgs.push(fpu_instr(ops::FADD, 3, 3, 4)); // acc += r4
+    }
+    msgs.push(HostMsg::ReadReg { reg: 3, tag: 0 });
+    let out = m.run_messages(&msgs, 1_000_000).unwrap();
+    let got = match &out[..] {
+        [fu_isa::DevMsg::Data { value, .. }] => f32::from_bits(value.as_u64() as u32),
+        other => panic!("unexpected responses {other:?}"),
+    };
+    assert_eq!(got.to_bits(), expect.to_bits(), "got {got}, expected {expect}");
+}
+
+#[test]
+fn fcmp_drives_flags() {
+    let mut m = machine(Box::new(MinimalFu::new(FpuKernel::new(32), false)));
+    let msgs = vec![
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64((-1.5f32).to_bits() as u64, 32),
+        },
+        HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(2.5f32.to_bits() as u64, 32),
+        },
+        fpu_instr(ops::FCMP, 0, 1, 2),
+        HostMsg::ReadFlags { reg: 1, tag: 0 },
+    ];
+    let out = m.run_messages(&msgs, 100_000).unwrap();
+    match &out[..] {
+        [fu_isa::DevMsg::Flags { flags, .. }] => {
+            assert!(flags.carry(), "-1.5 < 2.5");
+            assert!(!flags.zero());
+            assert!(!flags.error(), "ordered comparison");
+        }
+        other => panic!("unexpected responses {other:?}"),
+    }
+}
+
+#[test]
+fn nan_raises_error_flag() {
+    let mut m = machine(Box::new(MinimalFu::new(FpuKernel::new(32), false)));
+    let msgs = vec![
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(f32::INFINITY.to_bits() as u64, 32),
+        },
+        HostMsg::WriteReg {
+            reg: 2,
+            value: Word::from_u64(f32::NEG_INFINITY.to_bits() as u64, 32),
+        },
+        fpu_instr(ops::FADD, 3, 1, 2), // inf - inf = NaN
+        HostMsg::ReadFlags { reg: 1, tag: 0 },
+        HostMsg::ReadReg { reg: 3, tag: 1 },
+    ];
+    let out = m.run_messages(&msgs, 100_000).unwrap();
+    match &out[..] {
+        [fu_isa::DevMsg::Flags { flags, .. }, fu_isa::DevMsg::Data { value, .. }] => {
+            assert!(flags.error(), "NaN result raises the error flag");
+            assert!(f32::from_bits(value.as_u64() as u32).is_nan());
+        }
+        other => panic!("unexpected responses {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_fpu_overlaps_independent_work() {
+    // Eight independent multiplies through the 4-stage pipeline should
+    // finish far faster than 8 × latency.
+    let mut m = machine(Box::new(FpuKernel::recommended_unit(32)));
+    let mut msgs = Vec::new();
+    for i in 0..8u8 {
+        msgs.push(HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64((i as f32 + 1.0).to_bits() as u64, 32),
+        });
+        // Distinct destinations *and* rotating flag registers: no WAW.
+        msgs.push(fpu_instr_f(ops::FMUL, 8 + i, 1, 1, 1 + i % 4));
+    }
+    msgs.push(HostMsg::Sync { tag: 0 });
+    let out = m.run_messages(&msgs, 100_000).unwrap();
+    assert_eq!(out.len(), 1);
+    for i in 0..8u8 {
+        let sq = (i as f32 + 1.0) * (i as f32 + 1.0);
+        assert_eq!(
+            m.peek_reg(8 + i).as_u64() as u32,
+            sq.to_bits(),
+            "square of {}",
+            i + 1
+        );
+    }
+}

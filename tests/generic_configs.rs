@@ -1,0 +1,120 @@
+//! Framework genericity (experiment E10): the same functional units and
+//! the same host program run unmodified across framework configurations —
+//! word size, register counts, port widths, link models — which is the
+//! paper's central portability claim ("the interface is generic, making
+//! it reusable across projects").
+
+use fu_host::{Driver, LinkModel, System};
+use fu_rtm::CoprocConfig;
+use fu_units::standard_units;
+use xi_sort::{XiConfig, XiSortAdapter};
+
+/// The fixed host program every configuration must satisfy.
+fn exercise(mut d: Driver) {
+    // Arithmetic through the adder.
+    d.write_reg(1, 1000);
+    d.write_reg(2, 58);
+    d.exec_asm("SUB r3, r1, r2, f1").unwrap();
+    assert_eq!(d.read_reg(3).unwrap().as_u64(), 942);
+    // Logic.
+    d.exec_asm("XOR r4, r1, r2").unwrap();
+    assert_eq!(d.read_reg(4).unwrap().as_u64(), 1000 ^ 58);
+    // Shift with immediate.
+    d.exec_asm("SHL r5, r2, #4").unwrap();
+    assert_eq!(d.read_reg(5).unwrap().as_u64(), 58 << 4);
+    // Widening multiply (two destinations).
+    d.exec_asm("MUL r6, r7, r1, r2").unwrap();
+    assert_eq!(d.read_reg(6).unwrap().as_u64(), 58_000);
+    assert_eq!(d.read_reg(7).unwrap().as_u64(), 0);
+    // Popcount (the "user" unit).
+    d.exec_asm("POPCNT r8, r1").unwrap();
+    assert_eq!(d.read_reg(8).unwrap().as_u64(), 1000u64.count_ones() as u64);
+    // Multi-cycle divide with quotient + remainder.
+    d.exec_asm("DIV r9, r10, r1, r2").unwrap();
+    assert_eq!(d.read_reg(9).unwrap().as_u64(), 1000 / 58);
+    assert_eq!(d.read_reg(10).unwrap().as_u64(), 1000 % 58);
+    d.sync().unwrap();
+}
+
+#[test]
+fn same_units_same_program_every_word_size() {
+    for bits in [32u32, 64, 96, 128] {
+        let cfg = CoprocConfig::default().with_word_bits(bits);
+        let sys = System::new(cfg, standard_units(bits), LinkModel::tightly_coupled()).unwrap();
+        exercise(Driver::new(sys, 5_000_000));
+    }
+}
+
+#[test]
+fn register_file_sizes_are_generics() {
+    for (data_regs, flag_regs) in [(12u16, 3u16), (32, 8), (256, 256)] {
+        let cfg = CoprocConfig::default()
+            .with_data_regs(data_regs)
+            .with_flag_regs(flag_regs);
+        let sys = System::new(cfg, standard_units(32), LinkModel::tightly_coupled()).unwrap();
+        exercise(Driver::new(sys, 5_000_000));
+    }
+}
+
+#[test]
+fn every_link_preset_runs_the_program() {
+    for link in LinkModel::presets() {
+        let sys = System::new(CoprocConfig::default(), standard_units(32), link).unwrap();
+        exercise(Driver::new(sys, 50_000_000));
+    }
+}
+
+#[test]
+fn stateless_and_stateful_units_coexist() {
+    // The full complement plus the χ-sort engine on one FPGA.
+    let mut units = standard_units(32);
+    units.push(Box::new(XiSortAdapter::new(XiConfig::new(32), 32)));
+    let sys = System::new(CoprocConfig::default(), units, LinkModel::tightly_coupled()).unwrap();
+    let mut d = Driver::new(sys, 50_000_000);
+    // Interleave arithmetic with a χ-sort run.
+    d.write_reg(1, 5);
+    d.exec_asm("ADD r2, r1, r1, f1").unwrap();
+    d.xi_load(&[30, 10, 20], 3).unwrap();
+    d.exec_asm("INC r2, r2, f1").unwrap();
+    d.xi_sort(4).unwrap();
+    assert_eq!(d.read_reg(2).unwrap().as_u64(), 11);
+    assert_eq!(d.xi_read_sorted(3, 3, 4).unwrap(), vec![10, 20, 30]);
+}
+
+#[test]
+fn wide_words_through_xi_adapter_transcode() {
+    // The χ-sort adapter "uses 32-bit data records and transcodes data as
+    // needed" — here against a 128-bit register file.
+    let cfg = CoprocConfig::default().with_word_bits(128);
+    let sys = System::new(
+        cfg,
+        vec![Box::new(XiSortAdapter::new(XiConfig::new(16), 128))],
+        LinkModel::tightly_coupled(),
+    )
+    .unwrap();
+    let mut d = Driver::new(sys, 50_000_000);
+    d.xi_load(&[7, 3, 5], 1).unwrap();
+    d.xi_sort(2).unwrap();
+    assert_eq!(d.xi_read_sorted(3, 1, 2).unwrap(), vec![3, 5, 7]);
+}
+
+#[test]
+fn area_reports_scale_with_configuration() {
+    let small = fu_rtm::Coprocessor::new(
+        CoprocConfig::default(),
+        standard_units(32),
+    )
+    .unwrap();
+    let big = fu_rtm::Coprocessor::new(
+        CoprocConfig::default().with_word_bits(128).with_data_regs(128),
+        standard_units(128),
+    )
+    .unwrap();
+    assert!(big.area().components() > 2 * small.area().components());
+    // The framework area is a modest fraction; the units dominate as the
+    // paper intends ("requiring as small a portion of the FPGA as
+    // possible").
+    let fw = small.framework_area().components();
+    let total = small.area().components();
+    assert!(fw < total, "units contribute area on top of the framework");
+}

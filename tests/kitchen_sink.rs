@@ -1,0 +1,171 @@
+//! The kitchen-sink test: every unit in the repository on one FPGA —
+//! arithmetic, logic, shift, multiplier, divider, popcount, CRC-32, FPU,
+//! histogram, PRNG, CAM and the χ-sort engine — driven by one host
+//! program with interleaved dependencies. This is the paper's Figure 1
+//! at full scale: "the interface framework allows several functional
+//! units to be incorporated on the FPGA, and these units may have
+//! different designs."
+
+use fu_host::{Driver, LinkModel, System};
+use fu_isa::{InstrWord, UserInstr};
+use fu_rtm::{CoprocConfig, FunctionalUnit};
+use fu_units::fpu::{self, FpuKernel};
+use fu_units::stateful::{cam, histogram, prng, CamFu, HistogramFu, PrngFu};
+use fu_units::{crc, CrcKernel, MinimalFu};
+use xi_sort::{XiConfig, XiSortAdapter};
+
+fn instr(func: u8, variety: u8, dst: u8, s1: u8, s2: u8, flag: u8) -> InstrWord {
+    InstrWord::user(UserInstr {
+        func,
+        variety,
+        dst_flag: flag,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    })
+}
+
+fn everything_machine() -> Driver {
+    let mut units: Vec<Box<dyn FunctionalUnit>> = fu_units::standard_units(32);
+    units.push(Box::new(MinimalFu::new(CrcKernel::new(32), false)));
+    units.push(Box::new(FpuKernel::recommended_unit(32)));
+    units.push(Box::new(HistogramFu::new(16, 32)));
+    units.push(Box::new(PrngFu::new(32)));
+    units.push(Box::new(CamFu::new(16, 32)));
+    units.push(Box::new(XiSortAdapter::new(XiConfig::new(32), 32)));
+    let cfg = CoprocConfig {
+        data_regs: 32,
+        flag_regs: 8,
+        ..CoprocConfig::default()
+    };
+    let sys = System::new(cfg, units, LinkModel::tightly_coupled()).unwrap();
+    Driver::new(sys, 100_000_000)
+}
+
+#[test]
+fn twelve_units_coexist() {
+    let d = everything_machine();
+    let coproc = d.system().coproc();
+    assert_eq!(coproc.futable().len(), 12);
+    // Every unit is addressable and the table is collision-free by
+    // construction; the area report covers the whole complement.
+    let area = coproc.area();
+    assert!(area.components() > 10_000, "a full FPGA's worth of units");
+}
+
+#[test]
+fn interleaved_cross_unit_program() {
+    let mut d = everything_machine();
+
+    // Stage 1: integer pipeline — (1000 - 58) * 3, quotient by 7.
+    d.write_reg(1, 1000);
+    d.write_reg(2, 58);
+    d.write_reg(3, 3);
+    d.write_reg(4, 7);
+    d.exec_program(
+        "SUB r5, r1, r2, f1
+         MUL r6, r7, r5, r3
+         DIV r8, r9, r6, r4",
+    )
+    .unwrap();
+
+    // Stage 2 (interleaved): χ-sort three values while the PRNG streams
+    // into the histogram.
+    d.xi_load(&[300, 100, 200], 10).unwrap();
+    d.write_reg(12, 0xABCD);
+    d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_SEED, 0, 12, 0, 2));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_CLEAR,
+        0,
+        0,
+        0,
+        2,
+    ));
+    d.write_reg(13, 1);
+    for _ in 0..10 {
+        d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 14, 0, 0, 2));
+        d.exec(instr(
+            histogram::HIST_FUNC_CODE,
+            histogram::HIST_ACCUM,
+            0,
+            14,
+            13,
+            2,
+        ));
+    }
+    d.xi_sort(11).unwrap();
+
+    // Stage 3: float work on the integer results — f32(quotient) via a
+    // host-side conversion, then FPU math.
+    let quotient = d.read_reg(8).unwrap().as_u64();
+    assert_eq!(quotient, (1000 - 58) * 3 / 7);
+    let remainder = d.read_reg(9).unwrap().as_u64();
+    assert_eq!(remainder, (1000 - 58) * 3 % 7);
+    d.write_reg(15, (quotient as f32).to_bits() as u64);
+    d.write_reg(16, 0.5f32.to_bits() as u64);
+    d.exec(instr(fpu::FPU_FUNC_CODE, fpu::ops::FMUL, 17, 15, 16, 3));
+    let half = f32::from_bits(d.read_reg(17).unwrap().as_u64() as u32);
+    assert_eq!(half, quotient as f32 * 0.5);
+
+    // Stage 4: CRC the sorted χ-sort output and memoise it in the CAM.
+    let sorted = d.xi_read_sorted(3, 10, 11).unwrap();
+    assert_eq!(sorted, vec![100, 200, 300]);
+    let mut variety = crc::CRC_INIT;
+    for (i, &v) in sorted.iter().enumerate() {
+        if i == sorted.len() - 1 {
+            variety |= crc::CRC_FINALIZE;
+        }
+        d.write_reg(18, v as u64);
+        d.exec(instr(crc::CRC_FUNC_CODE, variety, 19, 18, 19, 4));
+        variety = 0;
+    }
+    let hw_crc = d.read_reg(19).unwrap().as_u64() as u32;
+    let bytes: Vec<u8> = sorted.iter().flat_map(|v| v.to_le_bytes()).collect();
+    assert_eq!(hw_crc, crc::crc32(&bytes), "CRC of the sorted stream");
+
+    d.write_reg(20, 0x5051);
+    d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_WRITE, 0, 20, 19, 5));
+    d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_SEARCH, 21, 20, 0, 5));
+    assert_eq!(d.read_reg(21).unwrap().as_u64() as u32, hw_crc);
+    assert!(d.read_flags(5).unwrap().carry(), "CAM hit");
+
+    // Histogram total: all ten PRNG draws landed.
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_TOTAL,
+        22,
+        0,
+        0,
+        2,
+    ));
+    assert_eq!(d.read_reg(22).unwrap().as_u64(), 10);
+
+    d.sync().unwrap();
+    let stats = d.system().coproc().stats();
+    assert_eq!(stats.decode_errors, 0, "no errors across the whole program");
+    assert!(stats.dispatch.user_dispatched >= 30);
+}
+
+#[test]
+fn popcount_and_logic_close_the_loop() {
+    // One more cross-unit loop: XOR two PRNG draws, popcount the result,
+    // and branch the host on the flags.
+    let mut d = everything_machine();
+    d.write_reg(1, 424242);
+    d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_SEED, 0, 1, 0, 1));
+    d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 2, 0, 0, 1));
+    d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 3, 0, 0, 1));
+    d.exec_program(
+        "XOR r4, r2, r3, f2
+         POPCNT r5, r4, f3",
+    )
+    .unwrap();
+    let a = d.read_reg(2).unwrap().as_u64() as u32;
+    let b = d.read_reg(3).unwrap().as_u64() as u32;
+    let pc = d.read_reg(5).unwrap().as_u64();
+    assert_eq!(pc, (a ^ b).count_ones() as u64);
+    assert_eq!(d.read_flags(3).unwrap().zero(), a == b);
+}

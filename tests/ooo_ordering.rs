@@ -1,0 +1,233 @@
+//! Out-of-order execution tests (paper §II):
+//!
+//! > "Within the FPGA, the instructions may be executed out of order, but
+//! > the stream of results returned to the processor will be consistent
+//! > with the stream of instructions that were issued."
+//!
+//! A slow and a fast `LatencyFu` make internal completion reordering
+//! deterministic; these tests verify (a) that reordering really happens,
+//! (b) that architectural state and the response stream never betray it,
+//! and (c) that it buys throughput over a serialising barrier.
+
+use fu_host::{LinkModel, System};
+use fu_isa::{DevMsg, HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::testing::LatencyFu;
+use fu_rtm::{CoprocConfig, Coprocessor, FunctionalUnit};
+
+fn add_on(func: u8, dst: u8, s1: u8, s2: u8, flag: u8) -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func,
+        variety: 0,
+        dst_flag: flag,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    }))
+}
+
+fn two_unit_system(slow_latency: u32) -> System {
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(LatencyFu::new("slow", 1, slow_latency)),
+        Box::new(LatencyFu::new("fast", 2, 1)),
+    ];
+    System::new(CoprocConfig::default(), units, LinkModel::ideal()).unwrap()
+}
+
+#[test]
+fn completions_reorder_but_responses_do_not() {
+    let mut sys = two_unit_system(40);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(5, 32),
+    });
+    // slow: r2 = 10 (flag f1); fast: r3 = 10 (flag f2); issued slow first.
+    sys.send(&add_on(1, 2, 1, 1, 1));
+    sys.send(&add_on(2, 3, 1, 1, 2));
+    // Read r3 first, then r2 — both responses must arrive in *request*
+    // order even though r2's producer finishes long after r3's.
+    sys.send(&HostMsg::ReadReg { reg: 3, tag: 0 });
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 1 });
+    let first = sys.recv_blocking(100_000).unwrap();
+    let second = sys.recv_blocking(100_000).unwrap();
+    assert_eq!(
+        first,
+        DevMsg::Data {
+            tag: 0,
+            value: Word::from_u64(10, 32)
+        }
+    );
+    assert_eq!(
+        second,
+        DevMsg::Data {
+            tag: 1,
+            value: Word::from_u64(10, 32)
+        }
+    );
+}
+
+/// Issue `n` alternating slow/fast instructions with and without
+/// serialising FENCEs; the unfenced run exploits out-of-order completion.
+/// Drives the coprocessor's frame port directly (wide port, no link
+/// bottleneck) so the comparison isolates the machine's behaviour.
+fn run_mix(serialise: bool, n: u32) -> u64 {
+    // Two units of equal latency: out-of-order dispatch overlaps them
+    // fully, while fences serialise every instruction.
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(LatencyFu::new("slow", 1, 8)),
+        Box::new(LatencyFu::new("fast", 2, 8)),
+    ];
+    let mut coproc = Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            rx_fifo_depth: 64,
+            ..CoprocConfig::default()
+        },
+        units,
+    )
+    .unwrap();
+    let mut msgs = vec![HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(3, 32),
+    }];
+    for i in 0..n {
+        let (func, dst, flag) = if i % 2 == 0 {
+            (1u8, 2u8, 1u8) // slow unit -> r2
+        } else {
+            (2u8, 3u8, 2u8) // fast unit -> r3
+        };
+        msgs.push(add_on(func, dst, 1, 1, flag));
+        if serialise {
+            msgs.push(HostMsg::Instr(fu_isa::MgmtOp::Fence.encode()));
+        }
+    }
+    let mut frames: std::collections::VecDeque<u32> =
+        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
+    let mut budget = 10_000_000u64;
+    loop {
+        while let Some(&f) = frames.front() {
+            if coproc.push_frame(f) {
+                frames.pop_front();
+            } else {
+                break;
+            }
+        }
+        coproc.step();
+        if frames.is_empty() && coproc.is_idle() {
+            break;
+        }
+        budget -= 1;
+        assert!(budget > 0, "mix never drained");
+    }
+    coproc.cycle()
+}
+
+#[test]
+fn out_of_order_beats_fenced_execution() {
+    let n = 64;
+    let ooo = run_mix(false, n);
+    let fenced = run_mix(true, n);
+    assert!(
+        fenced as f64 > ooo as f64 * 1.4,
+        "overlapping two equal-latency units should clearly beat fenced \
+         execution: ooo={ooo}, fenced={fenced}"
+    );
+}
+
+#[test]
+fn fast_instructions_complete_while_slow_in_flight() {
+    // Direct evidence of reordering: the fast unit's completion is
+    // retired by the arbiter while the slow unit still works.
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(LatencyFu::new("slow", 1, 50)),
+        Box::new(LatencyFu::new("fast", 2, 1)),
+    ];
+    let mut coproc = Coprocessor::new(
+        CoprocConfig {
+            rx_frames_per_cycle: 8,
+            ..CoprocConfig::default()
+        },
+        units,
+    )
+    .unwrap();
+    let msgs = vec![
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(2, 32),
+        },
+        add_on(1, 2, 1, 1, 1), // slow
+        add_on(2, 3, 1, 1, 2), // fast
+    ];
+    for m in &msgs {
+        for f in m.to_frames(32) {
+            assert!(coproc.push_frame(f));
+        }
+    }
+    let mut fast_done_at = None;
+    let mut slow_done_at = None;
+    for _ in 0..200 {
+        coproc.step();
+        let s = coproc.stats();
+        if s.fu_completions >= 1 && fast_done_at.is_none() {
+            fast_done_at = Some(coproc.cycle());
+        }
+        if s.fu_completions == 2 && slow_done_at.is_none() {
+            slow_done_at = Some(coproc.cycle());
+        }
+    }
+    let (fast, slow) = (fast_done_at.unwrap(), slow_done_at.unwrap());
+    assert!(
+        slow >= fast + 40,
+        "slow ({slow}) must retire long after fast ({fast}) despite issuing first"
+    );
+    assert_eq!(coproc.peek_reg(2).as_u64(), 4);
+    assert_eq!(coproc.peek_reg(3).as_u64(), 4);
+}
+
+#[test]
+fn dependent_instruction_waits_for_slow_producer() {
+    // fast unit consumes the slow unit's result: the RAW interlock must
+    // hold it back, and the final value must reflect the full chain.
+    let mut sys = two_unit_system(30);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(7, 32),
+    });
+    sys.send(&add_on(1, 2, 1, 1, 1)); // slow: r2 = 14
+    sys.send(&add_on(2, 3, 2, 2, 2)); // fast, depends on r2: r3 = 28
+    sys.send(&HostMsg::ReadReg { reg: 3, tag: 0 });
+    let resp = sys.recv_blocking(100_000).unwrap();
+    assert_eq!(
+        resp,
+        DevMsg::Data {
+            tag: 0,
+            value: Word::from_u64(28, 32)
+        }
+    );
+    assert!(sys.coproc().stats().dispatch.stall_lock >= 25);
+}
+
+#[test]
+fn waw_to_same_register_is_ordered() {
+    let mut sys = two_unit_system(35);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(1, 32),
+    });
+    sys.send(&HostMsg::WriteReg {
+        reg: 4,
+        value: Word::from_u64(100, 32),
+    });
+    sys.send(&add_on(1, 5, 1, 1, 1)); // slow: r5 = 2
+    sys.send(&add_on(2, 5, 4, 4, 2)); // fast: r5 = 200, must land second
+    sys.send(&HostMsg::ReadReg { reg: 5, tag: 0 });
+    let resp = sys.recv_blocking(100_000).unwrap();
+    assert_eq!(
+        resp,
+        DevMsg::Data {
+            tag: 0,
+            value: Word::from_u64(200, 32)
+        }
+    );
+}

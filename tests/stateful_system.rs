@@ -1,0 +1,155 @@
+//! Full-system tests for the paper's stateful-unit examples (histogram,
+//! PRNG, CAM) and the clock-domain wrapper: cross-unit interlock
+//! ordering, persistence across instruction streams, and error paths.
+
+use fu_host::{Driver, LinkModel, System};
+use fu_isa::{funit_codes, InstrWord, UserInstr};
+use fu_rtm::{CoprocConfig, FunctionalUnit};
+use fu_units::stateful::{cam, histogram, prng, CamFu, HistogramFu, PrngFu};
+use fu_units::{ArithKernel, ClockDomainFu, MinimalFu};
+
+fn instr(func: u8, variety: u8, dst: u8, s1: u8, s2: u8) -> InstrWord {
+    InstrWord::user(UserInstr {
+        func,
+        variety,
+        dst_flag: 1,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    })
+}
+
+fn full_driver() -> Driver {
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(MinimalFu::new(ArithKernel::new(32), false)),
+        Box::new(HistogramFu::new(8, 32)),
+        Box::new(PrngFu::new(32)),
+        Box::new(CamFu::new(8, 32)),
+    ];
+    let sys = System::new(CoprocConfig::default(), units, LinkModel::tightly_coupled()).unwrap();
+    Driver::new(sys, 10_000_000)
+}
+
+#[test]
+fn prng_feeds_histogram_through_interlocks() {
+    // PRNG writes r2; histogram reads r2 — the RAW interlock must order
+    // each pair even though both are multi-cycle stateful units.
+    let mut d = full_driver();
+    d.write_reg(1, 42);
+    d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_SEED, 0, 1, 0));
+    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_CLEAR, 0, 0, 0));
+    d.write_reg(3, 1);
+    for _ in 0..32 {
+        d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 2, 0, 0));
+        d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_ACCUM, 0, 2, 3));
+    }
+    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_TOTAL, 4, 0, 0));
+    let total = d.read_reg(4).unwrap().as_u64();
+    assert_eq!(total, 32, "every draw must land in exactly one bin");
+}
+
+#[test]
+fn prng_sequence_matches_reference_model() {
+    let mut d = full_driver();
+    d.write_reg(1, 0xdead);
+    d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_SEED, 0, 1, 0));
+    let mut expect = 0xdeadu32;
+    for _ in 0..8 {
+        expect = fu_units::stateful::prng::lfsr_step(expect);
+        d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 2, 0, 0));
+        assert_eq!(d.read_reg(2).unwrap().as_u64(), expect as u64);
+    }
+}
+
+#[test]
+fn cam_state_persists_across_streams() {
+    let mut d = full_driver();
+    d.write_reg(1, 0xfeed);
+    d.write_reg(2, 1234);
+    d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_WRITE, 0, 1, 2));
+    d.sync().unwrap();
+    // A completely separate burst of unrelated work…
+    d.exec_asm("ADD r5, r1, r2, f2").unwrap();
+    assert_eq!(d.read_reg(5).unwrap().as_u64(), 0xfeed + 1234);
+    // …then the CAM still answers.
+    d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_SEARCH, 6, 1, 0));
+    assert_eq!(d.read_reg(6).unwrap().as_u64(), 1234);
+    assert!(d.read_flags(1).unwrap().carry(), "hit");
+}
+
+#[test]
+fn cam_full_error_reaches_host_flags() {
+    let mut d = full_driver();
+    for k in 0..9u64 {
+        d.write_reg(1, k + 100);
+        d.write_reg(2, k);
+        d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_WRITE, 0, 1, 2));
+    }
+    d.sync().unwrap();
+    // 9th write into an 8-entry CAM: error flag set in f1.
+    assert!(d.read_flags(1).unwrap().error());
+}
+
+#[test]
+fn histogram_read_waits_for_accumulate() {
+    // HIST_READ after HIST_ACCUM to the same unit: unit-busy interlock
+    // (not register locks) must order them.
+    let mut d = full_driver();
+    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_CLEAR, 0, 0, 0));
+    d.write_reg(1, 3);
+    d.write_reg(2, 7);
+    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_ACCUM, 0, 1, 2));
+    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_READ, 4, 1, 0));
+    assert_eq!(d.read_reg(4).unwrap().as_u64(), 7);
+}
+
+#[test]
+fn clock_domain_unit_in_full_system() {
+    // The arithmetic unit at clock/4 behind the crossing wrapper: slower
+    // but architecturally identical.
+    let make = |divider: u32| -> Driver {
+        let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(ClockDomainFu::new(
+            MinimalFu::new(ArithKernel::new(32), false),
+            divider,
+        ))];
+        let sys =
+            System::new(CoprocConfig::default(), units, LinkModel::tightly_coupled()).unwrap();
+        Driver::new(sys, 10_000_000)
+    };
+    let run = |mut d: Driver| -> (u64, u64) {
+        d.write_reg(1, 30);
+        d.write_reg(2, 12);
+        for i in 0..10u8 {
+            d.exec(instr(funit_codes::ARITH, fu_isa::ArithOp::Add.variety().0, 3 + (i % 4), 1, 2));
+        }
+        d.sync().unwrap();
+        let v = d.read_reg(3).unwrap().as_u64();
+        (v, d.cycles())
+    };
+    let (v1, c1) = run(make(1));
+    let (v4, c4) = run(make(4));
+    assert_eq!(v1, 42);
+    assert_eq!(v4, 42, "slow domain computes identical results");
+    assert!(c4 > c1, "clock/4 unit costs more system cycles ({c1} -> {c4})");
+}
+
+#[test]
+fn stateful_units_reset_with_the_machine() {
+    let mut d = full_driver();
+    d.write_reg(1, 5);
+    d.write_reg(2, 50);
+    d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_WRITE, 0, 1, 2));
+    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_ACCUM, 0, 1, 2));
+    d.sync().unwrap();
+    // Machine-level reset clears unit-local persistent state too.
+    let mut sys = d.into_system();
+    sys.run_until(1000, |s| s.is_idle()).unwrap();
+    // (Coprocessor::reset is exercised in fu-rtm's own tests; here we
+    // assert the stateful units expose reset through the trait.)
+    use rtl_sim::Clocked;
+    let mut cam = CamFu::new(4, 32);
+    cam.reset();
+    assert_eq!(cam.live(), 0);
+}
