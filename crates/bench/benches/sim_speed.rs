@@ -1,0 +1,152 @@
+//! Wall-clock speed of the simulation kernel itself: the activity-gated
+//! scheduler with idle fast-forward (the default) against exhaustive
+//! per-cycle evaluation. Simulated results are bit-identical in both
+//! modes (asserted here and property-tested in `ff_equivalence`); only
+//! host wall-clock time differs.
+//!
+//! Besides the criterion samples, this harness writes
+//! `BENCH_sim_speed.json` at the workspace root with simulated
+//! cycles/second per scenario and mode.
+
+use bench::links::{arith_batch_mode, LinkRun};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fu_host::{LinkModel, MultiHostSystem};
+use fu_isa::{DevMsg, HostMsg, Word};
+use fu_rtm::testing::LatencyFu;
+use fu_rtm::{ActivityMode, CoprocConfig, FunctionalUnit};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// E8's slow-link arithmetic batch: 64 dependent adds over the
+/// prototyping link (500-cycle latency, 50 cycles/frame) — dominated by
+/// idle link waits.
+fn e8_slow_link(mode: ActivityMode) -> LinkRun {
+    arith_batch_mode(LinkModel::prototyping(), 64, mode)
+}
+
+/// An idle-heavy multi-host trace: four hosts doing synchronous
+/// write+read round trips over the prototyping link, each waiting out
+/// the full link latency before issuing the next request.
+fn multihost_idle(mode: ActivityMode) -> (u64, u64) {
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(LatencyFu::new("add", 1, 1))];
+    let mut s = MultiHostSystem::new(CoprocConfig::default(), units, LinkModel::prototyping(), 4)
+        .expect("valid configuration");
+    s.set_activity_mode(mode);
+    for round in 0..8u64 {
+        for host in 0..4usize {
+            let reg = host as u8 + 1;
+            let tag = s.brand_tag(host, round as u16);
+            s.send(
+                host,
+                &HostMsg::WriteReg {
+                    reg,
+                    value: Word::from_u64(round, 32),
+                },
+            );
+            s.send(host, &HostMsg::ReadReg { reg, tag });
+        }
+        for host in 0..4usize {
+            let resp = s.recv_blocking(host, 10_000_000).expect("round trip");
+            assert!(matches!(resp, DevMsg::Data { .. }));
+        }
+    }
+    (s.cycle(), s.sim_stats().cycles_skipped)
+}
+
+/// Best-of-N wall time of `f`, with one warmup run. Returns the minimum
+/// duration and the last result.
+fn time_best<T>(reps: u32, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut out = f();
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed());
+    }
+    (best, out)
+}
+
+fn rate(cycles: u64, wall: Duration) -> f64 {
+    cycles as f64 / wall.as_secs_f64()
+}
+
+/// Measure both modes of one scenario and emit a JSON fragment.
+fn scenario_json(name: &str, cycles: u64, skipped: u64, gated: Duration, exh: Duration) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"link\": \"prototyping\", ",
+            "\"simulated_cycles\": {}, \"skipped_cycles\": {}, ",
+            "\"exhaustive\": {{\"wall_ns\": {}, \"cycles_per_sec\": {:.0}}}, ",
+            "\"gated\": {{\"wall_ns\": {}, \"cycles_per_sec\": {:.0}}}, ",
+            "\"speedup\": {:.2}}}"
+        ),
+        name,
+        cycles,
+        skipped,
+        exh.as_nanos(),
+        rate(cycles, exh),
+        gated.as_nanos(),
+        rate(cycles, gated),
+        exh.as_secs_f64() / gated.as_secs_f64(),
+    )
+}
+
+fn write_report() {
+    let (t_e8_gated, r_gated) = time_best(5, || e8_slow_link(ActivityMode::Gated));
+    let (t_e8_exh, r_exh) = time_best(5, || e8_slow_link(ActivityMode::Exhaustive));
+    assert_eq!(r_gated.cycles, r_exh.cycles, "modes diverged on E8");
+
+    let (t_mh_gated, (mh_cycles, mh_skipped)) =
+        time_best(5, || multihost_idle(ActivityMode::Gated));
+    let (t_mh_exh, (mh_cycles_exh, _)) = time_best(5, || multihost_idle(ActivityMode::Exhaustive));
+    assert_eq!(mh_cycles, mh_cycles_exh, "modes diverged on multihost");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_speed\",\n  \"scenarios\": [\n{},\n{}\n  ]\n}}\n",
+        scenario_json(
+            "e8_slow_link_arith",
+            r_gated.cycles,
+            r_gated.sim.cycles_skipped,
+            t_e8_gated,
+            t_e8_exh
+        ),
+        scenario_json(
+            "multihost_idle",
+            mh_cycles,
+            mh_skipped,
+            t_mh_gated,
+            t_mh_exh
+        ),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_speed.json");
+    std::fs::write(path, &json).expect("write BENCH_sim_speed.json");
+    eprintln!(
+        "sim_speed: e8 {:.2}x, multihost {:.2}x (report: BENCH_sim_speed.json)",
+        t_e8_exh.as_secs_f64() / t_e8_gated.as_secs_f64(),
+        t_mh_exh.as_secs_f64() / t_mh_gated.as_secs_f64(),
+    );
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_speed");
+    for (label, mode) in [
+        ("gated", ActivityMode::Gated),
+        ("exhaustive", ActivityMode::Exhaustive),
+    ] {
+        g.bench_with_input(BenchmarkId::new("e8_slow_link", label), &mode, |b, &m| {
+            b.iter(|| black_box(e8_slow_link(m)))
+        });
+        g.bench_with_input(BenchmarkId::new("multihost_idle", label), &mode, |b, &m| {
+            b.iter(|| black_box(multihost_idle(m)))
+        });
+    }
+    g.finish();
+    write_report();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modes
+}
+criterion_main!(benches);

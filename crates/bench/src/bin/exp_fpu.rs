@@ -54,16 +54,12 @@ fn run(unit: Box<dyn FunctionalUnit>, n: u32, dependent: bool) -> u64 {
         if dependent {
             msgs.push(fpu_instr(ops::FADD, 3, 3, 2, 1)); // acc += 0.5
         } else {
-            msgs.push(fpu_instr(
-                ops::FADD,
-                8 + (i % 8) as u8,
-                1,
-                2,
-                (i % 8) as u8,
-            ));
+            msgs.push(fpu_instr(ops::FADD, 8 + (i % 8) as u8, 1, 2, (i % 8) as u8));
         }
     }
-    let out = coproc.run_messages(&msgs, 200 * n as u64 + 100_000).unwrap();
+    let out = coproc
+        .run_messages(&msgs, 200 * n as u64 + 100_000)
+        .unwrap();
     assert!(out.is_empty());
     coproc.cycle()
 }
@@ -74,8 +70,12 @@ fn main() {
     let mut t = Table::new(["skeleton", "stream", "CPI", "MFLOP/s @50MHz"]);
     type UnitMaker = fn() -> Box<dyn FunctionalUnit>;
     let configs: Vec<(&str, UnitMaker)> = vec![
-        ("minimal", || Box::new(MinimalFu::new(FpuKernel::new(32), false))),
-        ("minimal+fwd", || Box::new(MinimalFu::new(FpuKernel::new(32), true))),
+        ("minimal", || {
+            Box::new(MinimalFu::new(FpuKernel::new(32), false))
+        }),
+        ("minimal+fwd", || {
+            Box::new(MinimalFu::new(FpuKernel::new(32), true))
+        }),
         ("pipelined(k=4)", || {
             Box::new(PipelinedFu::new(FpuKernel::new(32), 4, 8))
         }),
@@ -86,7 +86,12 @@ fn main() {
             let cpi = cycles as f64 / n as f64;
             t.row([
                 name.to_string(),
-                if dependent { "dependent" } else { "independent" }.to_string(),
+                if dependent {
+                    "dependent"
+                } else {
+                    "independent"
+                }
+                .to_string(),
                 format!("{cpi:.2}"),
                 format!("{:.1}", bench::FPGA_MHZ / cpi),
             ]);

@@ -59,8 +59,7 @@ fn main() {
                 let area = Coprocessor::new(cfg.clone(), standard_units(word_bits))
                     .expect("valid config")
                     .area();
-                let sys = System::new(cfg, standard_units(word_bits), link)
-                    .expect("valid config");
+                let sys = System::new(cfg, standard_units(word_bits), link).expect("valid config");
                 let mut dev = Driver::new(sys, 100_000_000);
                 let cycles = program(&mut dev);
                 t.row([

@@ -27,6 +27,7 @@ fn main() {
     ]);
     for link in LinkModel::presets() {
         let r = arith_batch(link, 64);
+        eprintln!("[{}] {}", link.name, r.sim);
         t.row([
             link.name.to_string(),
             link.latency_cycles.to_string(),
@@ -42,6 +43,7 @@ fn main() {
     let mut t = Table::new(["link", "total cycles", "µs @50MHz", "frames dev/host"]);
     for link in LinkModel::presets() {
         let r = xi_batch(link, 64);
+        eprintln!("[{}] {}", link.name, r.sim);
         t.row([
             link.name.to_string(),
             r.cycles.to_string(),

@@ -56,6 +56,8 @@ fn run(n_hosts: usize, per_host: u64, link: LinkModel) -> u64 {
         budget -= 1;
         assert!(budget > 0, "multihost run never drained");
     }
+    // Scheduler diagnostics go to stderr; the stdout tables stay clean.
+    eprintln!("[{} hosts={n_hosts}] {}", link.name, s.sim_stats());
     s.cycle()
 }
 
@@ -80,10 +82,7 @@ fn main() {
                 cycles.to_string(),
                 trips.to_string(),
                 format!("{:.1}", cycles as f64 / trips as f64),
-                format!(
-                    "{:.2}x",
-                    (base as f64 * n as f64) / cycles as f64
-                ),
+                format!("{:.2}x", (base as f64 * n as f64) / cycles as f64),
             ]);
         }
         t.print();

@@ -16,7 +16,12 @@ fn main() {
     let n = 240;
     println!("E4 — overlap across functional units ({n} instructions)\n");
 
-    let mut t = Table::new(["unit latencies", "cycles (OoO)", "cycles (fenced, A2)", "speedup"]);
+    let mut t = Table::new([
+        "unit latencies",
+        "cycles (OoO)",
+        "cycles (fenced, A2)",
+        "speedup",
+    ]);
     for lats in [
         vec![12u32],
         vec![12, 12],

@@ -20,11 +20,7 @@ use fu_units::stateful::{cam, histogram, prng, CamFu, HistogramFu, PrngFu};
 fn pkt(variety: u8, a: u64, b: u64) -> DispatchPacket {
     DispatchPacket {
         variety,
-        ops: [
-            Word::from_u64(a, 32),
-            Word::from_u64(b, 32),
-            Word::zero(32),
-        ],
+        ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
         flags_in: Flags::NONE,
         dst_reg: 1,
         dst2_reg: None,
@@ -53,7 +49,14 @@ fn main() {
     println!("X1 — stateful-unit operation costs (cycles to data_ready)\n");
 
     println!("histogram (BRAM bins):");
-    let mut t = Table::new(["bins", "accumulate", "read", "clear", "total", "area (components)"]);
+    let mut t = Table::new([
+        "bins",
+        "accumulate",
+        "read",
+        "clear",
+        "total",
+        "area (components)",
+    ]);
     for bins in [8usize, 64, 512] {
         let mut fu = HistogramFu::new(bins, 32);
         let acc = cycles_of(&mut fu, histogram::HIST_ACCUM, 1, 1);
@@ -72,7 +75,14 @@ fn main() {
     t.print();
 
     println!("\nassociative memory (parallel compare):");
-    let mut t = Table::new(["entries", "write", "search", "invalidate", "clear", "area (components)"]);
+    let mut t = Table::new([
+        "entries",
+        "write",
+        "search",
+        "invalidate",
+        "clear",
+        "area (components)",
+    ]);
     for entries in [4usize, 64, 1024] {
         let mut fu = CamFu::new(entries, 32);
         let write = cycles_of(&mut fu, cam::CAM_WRITE, 7, 70);
@@ -93,9 +103,18 @@ fn main() {
     println!("\npseudorandom number generator (32-bit Galois LFSR):");
     let mut t = Table::new(["operation", "cycles"]);
     let mut fu = PrngFu::new(32);
-    t.row(["seed".to_string(), cycles_of(&mut fu, prng::PRNG_SEED, 99, 0).to_string()]);
-    t.row(["next".to_string(), cycles_of(&mut fu, prng::PRNG_NEXT, 0, 0).to_string()]);
-    t.row(["skip(100)".to_string(), cycles_of(&mut fu, prng::PRNG_SKIP, 100, 0).to_string()]);
+    t.row([
+        "seed".to_string(),
+        cycles_of(&mut fu, prng::PRNG_SEED, 99, 0).to_string(),
+    ]);
+    t.row([
+        "next".to_string(),
+        cycles_of(&mut fu, prng::PRNG_NEXT, 0, 0).to_string(),
+    ]);
+    t.row([
+        "skip(100)".to_string(),
+        cycles_of(&mut fu, prng::PRNG_SKIP, 100, 0).to_string(),
+    ]);
     t.print();
 
     println!(

@@ -51,7 +51,13 @@ fn main() {
     t.print();
 
     println!("\nselection (k = n/2): FPGA cycles vs software visits");
-    let mut t = Table::new(["n", "FPGA cycles (SelectK)", "sw visits", "sw µs", "FPGA µs"]);
+    let mut t = Table::new([
+        "n",
+        "FPGA cycles (SelectK)",
+        "sw visits",
+        "sw µs",
+        "FPGA µs",
+    ]);
     for n in [64u32, 256, 1024] {
         let values = fu_host::baseline::workload(n as u64, n as usize, 1 << 24);
         let mut core = XiSortCore::new(XiConfig::new(n));

@@ -32,7 +32,10 @@ fn main() {
         let ours = fadd(a, b);
         let host = flush(fa + fb).to_bits();
         if f32::from_bits(host).is_nan() {
-            assert!(f32::from_bits(ours).is_nan(), "fadd({a:#x},{b:#x}) expected NaN");
+            assert!(
+                f32::from_bits(ours).is_nan(),
+                "fadd({a:#x},{b:#x}) expected NaN"
+            );
         } else {
             assert_eq!(ours, host, "fadd({a:#x},{b:#x}) at iteration {i}");
         }
@@ -40,7 +43,10 @@ fn main() {
         let ours = fmul(a, b);
         let host = flush(fa * fb).to_bits();
         if f32::from_bits(host).is_nan() {
-            assert!(f32::from_bits(ours).is_nan(), "fmul({a:#x},{b:#x}) expected NaN");
+            assert!(
+                f32::from_bits(ours).is_nan(),
+                "fmul({a:#x},{b:#x}) expected NaN"
+            );
         } else {
             assert_eq!(ours, host, "fmul({a:#x},{b:#x}) at iteration {i}");
         }

@@ -24,7 +24,15 @@ fn main() {
     println!(" FZ=first input zero, SZ=second input zero, CS=complement second input)\n");
 
     let mut t = Table::new([
-        "instr", "UC", "FC", "OD", "FZ", "SZ", "CS", "variety", "semantics",
+        "instr",
+        "UC",
+        "FC",
+        "OD",
+        "FZ",
+        "SZ",
+        "CS",
+        "variety",
+        "semantics",
     ]);
     for op in ArithOp::ALL {
         let v = op.variety().0;

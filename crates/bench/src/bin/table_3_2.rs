@@ -16,7 +16,16 @@ fn main() {
     println!("Table 3.2 — Encoding of logic instructions");
     println!("(truth table bit i = output for inputs a,b with i = 2a + b; OD = output data)\n");
 
-    let mut t = Table::new(["instr", "t3", "t2", "t1", "t0", "OD", "variety", "semantics"]);
+    let mut t = Table::new([
+        "instr",
+        "t3",
+        "t2",
+        "t1",
+        "t0",
+        "OD",
+        "variety",
+        "semantics",
+    ]);
     for op in LogicOp::ALL {
         let v = op.variety();
         let tbl = op.table();

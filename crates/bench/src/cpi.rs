@@ -158,7 +158,10 @@ pub fn measure(unit: Box<dyn FunctionalUnit>, msgs: &[HostMsg], n_instr: u64) ->
         assert!(budget > 0, "CPI run never drained");
     }
     let stats = coproc.stats();
-    assert_eq!(stats.dispatch.user_dispatched, n_instr, "all instructions retired");
+    assert_eq!(
+        stats.dispatch.user_dispatched, n_instr,
+        "all instructions retired"
+    );
     CpiResult {
         instructions: n_instr,
         cycles: coproc.cycle(),
@@ -211,7 +214,10 @@ mod tests {
     fn fsm_is_slowest() {
         let fsm = measure_skeleton(Skeleton::Fsm(2), 500);
         let min = measure_skeleton(Skeleton::Minimal, 500);
-        assert!(fsm.cpi() > min.cpi(), "FSM walks more states per instruction");
+        assert!(
+            fsm.cpi() > min.cpi(),
+            "FSM walks more states per instruction"
+        );
     }
 
     #[test]

@@ -11,12 +11,13 @@
 
 use fu_host::baseline::workload;
 use fu_host::{Driver, LinkModel, System};
-use fu_rtm::CoprocConfig;
+use fu_rtm::{ActivityMode, CoprocConfig};
 use fu_units::standard_units;
+use rtl_sim::SimStats;
 use xi_sort::{XiConfig, XiSortAdapter};
 
 /// Result of one link run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LinkRun {
     /// Total FPGA cycles to complete the workload.
     pub cycles: u64,
@@ -24,13 +25,22 @@ pub struct LinkRun {
     pub frames_to_dev: u64,
     /// Frames moved to the host.
     pub frames_to_host: u64,
+    /// Scheduler statistics (fast-forward ratio, stage evaluations).
+    pub sim: SimStats,
 }
 
 /// Workload 1: an arithmetic batch — write 2 operands, run `n` dependent
 /// adds, read the result (one round trip).
 pub fn arith_batch(link: LinkModel, n: usize) -> LinkRun {
-    let sys = System::new(CoprocConfig::default(), standard_units(32), link)
-        .expect("valid config");
+    arith_batch_mode(link, n, ActivityMode::Gated)
+}
+
+/// [`arith_batch`] with an explicit scheduling mode (the wall-clock
+/// benchmark compares the two; results are identical by construction).
+pub fn arith_batch_mode(link: LinkModel, n: usize, mode: ActivityMode) -> LinkRun {
+    let mut sys =
+        System::new(CoprocConfig::default(), standard_units(32), link).expect("valid config");
+    sys.set_activity_mode(mode);
     let mut d = Driver::new(sys, 1_000_000_000);
     d.write_reg(1, 3);
     d.write_reg(2, 0);
@@ -45,17 +55,24 @@ pub fn arith_batch(link: LinkModel, n: usize) -> LinkRun {
         cycles: sys.cycle(),
         frames_to_dev: to_dev,
         frames_to_host: to_host,
+        sim: sys.sim_stats(),
     }
 }
 
 /// Workload 2: χ-sort `n` elements end to end (load, sort, read back).
 pub fn xi_batch(link: LinkModel, n: usize) -> LinkRun {
-    let sys = System::new(
+    xi_batch_mode(link, n, ActivityMode::Gated)
+}
+
+/// [`xi_batch`] with an explicit scheduling mode.
+pub fn xi_batch_mode(link: LinkModel, n: usize, mode: ActivityMode) -> LinkRun {
+    let mut sys = System::new(
         CoprocConfig::default(),
         vec![Box::new(XiSortAdapter::new(XiConfig::new(n as u32), 32))],
         link,
     )
     .expect("valid config");
+    sys.set_activity_mode(mode);
     let mut d = Driver::new(sys, 4_000_000_000);
     let values = workload(3, n, 1 << 20);
     d.xi_load(&values, 1).expect("load");
@@ -70,6 +87,7 @@ pub fn xi_batch(link: LinkModel, n: usize) -> LinkRun {
         cycles: sys.cycle(),
         frames_to_dev: to_dev,
         frames_to_host: to_host,
+        sim: sys.sim_stats(),
     }
 }
 
@@ -86,6 +104,29 @@ mod tests {
         assert!(mid.cycles > fast.cycles);
         // The same frames move regardless of the link.
         assert_eq!(slow.frames_to_dev, fast.frames_to_dev);
+    }
+
+    #[test]
+    fn scheduling_mode_does_not_change_results() {
+        for link in [LinkModel::prototyping(), LinkModel::pcie_like()] {
+            let g = arith_batch_mode(link, 16, ActivityMode::Gated);
+            let e = arith_batch_mode(link, 16, ActivityMode::Exhaustive);
+            assert_eq!(g.cycles, e.cycles, "{}", link.name);
+            assert_eq!(g.frames_to_dev, e.frames_to_dev);
+            assert_eq!(g.frames_to_host, e.frames_to_host);
+            assert_eq!(e.sim.cycles_skipped, 0, "exhaustive must not skip");
+        }
+    }
+
+    #[test]
+    fn slow_link_run_is_mostly_fast_forwarded() {
+        let r = arith_batch_mode(LinkModel::prototyping(), 16, ActivityMode::Gated);
+        assert!(
+            r.sim.cycles_skipped > r.sim.cycles_simulated / 3,
+            "expected >33% skipped, got {} of {}",
+            r.sim.cycles_skipped,
+            r.sim.cycles_simulated
+        );
     }
 
     #[test]

@@ -117,7 +117,9 @@ pub fn software_multiword_add(a: &[u32], b: &[u32]) -> (Vec<u32>, u64) {
 /// experiments (seeded, so paper-table rows are reproducible).
 pub fn workload(seed: u64, n: usize, bound: u32) -> Vec<u32> {
     let mut fz = rtl_sim::StallFuzzer::new(seed, 0.0);
-    (0..n).map(|_| fz.below(bound.max(1) as u64) as u32).collect()
+    (0..n)
+        .map(|_| fz.below(bound.max(1) as u64) as u32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,7 +133,10 @@ mod tests {
         let t2 = cpu.visits_to_us(2000);
         assert!((t2 / t1 - 2.0).abs() < 1e-9);
         assert!(cpu.visits_to_us(0) == 0.0);
-        assert!(CpuModel::embedded().visits_to_us(1000) > t1, "slower CPU, more time");
+        assert!(
+            CpuModel::embedded().visits_to_us(1000) > t1,
+            "slower CPU, more time"
+        );
     }
 
     #[test]

@@ -447,7 +447,7 @@ mod tests {
     }
 
     #[test]
-    fn xi_select_median(){
+    fn xi_select_median() {
         let mut d = driver_with_xi(16);
         let values = [9u32, 2, 7, 4, 5, 6, 3, 8, 1];
         d.xi_load(&values, 1).unwrap();

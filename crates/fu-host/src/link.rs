@@ -144,6 +144,21 @@ impl Link {
         self.in_flight.len()
     }
 
+    /// Cycle at which the head in-flight frame becomes deliverable, if
+    /// any frame is travelling. Delivery times are deterministic, so an
+    /// idle-system scheduler can jump straight to this cycle. A frame
+    /// re-queued by [`Link::unrecv`] carries its re-queue time, which may
+    /// be in the past relative to `now` — callers clamp.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.in_flight.front().map(|(t, _)| *t)
+    }
+
+    /// Earliest cycle at which the bandwidth gate reopens. Only a future
+    /// event if the sender actually has a frame queued.
+    pub fn next_send_cycle(&self) -> u64 {
+        self.next_injection
+    }
+
     /// Total frames ever injected.
     pub fn frames_carried(&self) -> u64 {
         self.frames_carried

@@ -20,9 +20,9 @@ use std::collections::VecDeque;
 use crate::link::{Link, LinkModel};
 use fu_isa::msg::{DevDeframer, HostDeframer};
 use fu_isa::{DevMsg, HostMsg, Tag};
-use fu_rtm::{Coprocessor, CoprocConfig, FunctionalUnit};
+use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit};
 use rtl_sim::area::log2_ceil;
-use rtl_sim::SimError;
+use rtl_sim::{SimError, SimStats};
 
 struct HostPort {
     to_dev: Link,
@@ -127,7 +127,10 @@ impl MultiHostSystem {
     /// every tagged request).
     pub fn brand_tag(&self, host: usize, local: Tag) -> Tag {
         let shift = 16 - self.host_bits;
-        assert!(local < (1 << shift), "local tag overflows the per-host space");
+        assert!(
+            local < (1 << shift),
+            "local tag overflows the per-host space"
+        );
         ((host as Tag) << shift) | local
     }
 
@@ -153,7 +156,17 @@ impl MultiHostSystem {
                 "tag {t:#x} is not branded for host {host}"
             );
         }
-        self.ports[host].tx.extend(msg.to_frames(self.word_bits));
+        self.ports[host].tx.extend(msg.frames(self.word_bits));
+    }
+
+    /// Select the coprocessor's scheduling mode (see [`ActivityMode`]).
+    pub fn set_activity_mode(&mut self, mode: ActivityMode) {
+        self.coproc.set_activity_mode(mode);
+    }
+
+    /// Scheduler statistics for the shared coprocessor.
+    pub fn sim_stats(&self) -> SimStats {
+        self.coproc.sim_stats()
     }
 
     /// Take the next response for `host`.
@@ -185,7 +198,9 @@ impl MultiHostSystem {
             for i in 0..n {
                 let idx = (self.rr + i) % n;
                 if let Some(msg) = self.ports[idx].inject.pop_front() {
-                    self.injecting = msg.to_frames(self.word_bits).into();
+                    // `injecting` is empty here; extend reuses its buffer
+                    // instead of allocating a fresh Vec per message.
+                    self.injecting.extend(msg.frames(self.word_bits));
                     self.rr = (idx + 1) % n;
                     break;
                 }
@@ -206,18 +221,14 @@ impl MultiHostSystem {
         while let Some(f) = self.coproc.pop_frame() {
             // A shared deframer at the device edge rebuilds the message
             // so it can be routed whole.
-            if let Some(msg) = self
-                .route
-                .push(f)
-                .expect("device frames well-formed")
-            {
+            if let Some(msg) = self.route.push(f).expect("device frames well-formed") {
                 let host = match &msg {
                     DevMsg::Data { tag, .. }
                     | DevMsg::Flags { tag, .. }
                     | DevMsg::SyncAck { tag } => self.tag_host(*tag),
                     DevMsg::Error { .. } => 0, // management CPU
                 };
-                for frame in msg.to_frames(self.word_bits) {
+                for frame in msg.frames(self.word_bits) {
                     // Device-side per-host serialisation is modelled as
                     // instantaneous; the per-host link applies its own
                     // latency/bandwidth below.
@@ -246,15 +257,58 @@ impl MultiHostSystem {
     pub fn recv_blocking(&mut self, host: usize, max_cycles: u64) -> Result<DevMsg, SimError> {
         let start = self.cycle;
         while self.ports[host].responses.is_empty() {
-            if self.cycle - start >= max_cycles {
+            let elapsed = self.cycle - start;
+            if elapsed >= max_cycles {
                 return Err(SimError::Timeout {
                     cycles: max_cycles,
                     waiting_for: format!("response for host {host}"),
                 });
             }
-            self.step();
+            if self.idle_skip(max_cycles - elapsed) == 0 {
+                self.step();
+            }
         }
         Ok(self.ports[host].responses.pop_front().expect("non-empty"))
+    }
+
+    /// Jump over cycles in which nothing can happen (see
+    /// [`crate::System`] — same idea, with per-port event sources).
+    /// Returns the number of cycles skipped (0 means: step normally).
+    fn idle_skip(&mut self, budget: u64) -> u64 {
+        if self.coproc.activity_mode() != ActivityMode::Gated
+            || !self.coproc.is_idle()
+            || !self.injecting.is_empty()
+            || self.ports.iter().any(|p| !p.inject.is_empty())
+        {
+            return 0;
+        }
+        let now = self.cycle;
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
+        for p in &self.ports {
+            if !p.tx.is_empty() {
+                consider(p.to_dev.next_send_cycle());
+            }
+            if let Some(t) = p.to_dev.next_event_cycle() {
+                consider(t);
+            }
+            if !p.pending_out.is_empty() {
+                consider(p.to_host.next_send_cycle());
+            }
+            if let Some(t) = p.to_host.next_event_cycle() {
+                consider(t);
+            }
+        }
+        let skip = match next {
+            Some(t) if t <= now => 0,
+            Some(t) => (t - now).min(budget),
+            None => budget,
+        };
+        if skip > 0 {
+            self.coproc.fast_forward(skip);
+            self.cycle += skip;
+        }
+        skip
     }
 
     /// True when no work remains anywhere.

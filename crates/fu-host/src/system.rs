@@ -10,8 +10,8 @@ use std::collections::VecDeque;
 use crate::link::{Link, LinkModel};
 use fu_isa::msg::DevDeframer;
 use fu_isa::{DevMsg, HostMsg};
-use fu_rtm::{Coprocessor, CoprocConfig, FunctionalUnit};
-use rtl_sim::SimError;
+use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit};
+use rtl_sim::{SimError, SimStats};
 
 /// Host + link + coprocessor.
 pub struct System {
@@ -67,7 +67,17 @@ impl System {
 
     /// Queue a message for transmission.
     pub fn send(&mut self, msg: &HostMsg) {
-        self.host_tx.extend(msg.to_frames(self.word_bits));
+        self.host_tx.extend(msg.frames(self.word_bits));
+    }
+
+    /// Select the coprocessor's scheduling mode (see [`ActivityMode`]).
+    pub fn set_activity_mode(&mut self, mode: ActivityMode) {
+        self.coproc.set_activity_mode(mode);
+    }
+
+    /// Scheduler statistics for the embedded coprocessor.
+    pub fn sim_stats(&self) -> SimStats {
+        self.coproc.sim_stats()
     }
 
     /// Take the next fully-received response, if any.
@@ -91,7 +101,9 @@ impl System {
         // Deliver device-bound frames into the receive FIFO (respecting
         // the port width via rx_space and real flow control on overflow).
         for _ in 0..self.to_dev.model().port_frames_per_cycle {
-            let Some(f) = self.to_dev.recv(now) else { break };
+            let Some(f) = self.to_dev.recv(now) else {
+                break;
+            };
             if !self.coproc.push_frame(f) {
                 self.to_dev.unrecv(now, f);
                 break;
@@ -104,12 +116,18 @@ impl System {
             if !self.to_host.can_send(now) {
                 break;
             }
-            let Some(f) = self.coproc.pop_frame() else { break };
+            let Some(f) = self.coproc.pop_frame() else {
+                break;
+            };
             self.to_host.send(now, f);
         }
         // Host receives.
         while let Some(f) = self.to_host.recv(now) {
-            if let Some(msg) = self.deframer.push(f).expect("device frames are well-formed") {
+            if let Some(msg) = self
+                .deframer
+                .push(f)
+                .expect("device frames are well-formed")
+            {
                 self.responses.push_back(msg);
             }
         }
@@ -117,6 +135,15 @@ impl System {
     }
 
     /// Step until `pred` holds, with a cycle budget.
+    ///
+    /// In [`ActivityMode::Gated`] (the default), stretches where the
+    /// coprocessor is idle and the only pending events are in-flight link
+    /// frames are fast-forwarded: the cycle counter jumps straight to the
+    /// next deterministic link event instead of stepping per cycle. The
+    /// predicate is then evaluated once per event instead of once per
+    /// cycle, which is equivalent as long as `pred` is a function of the
+    /// observable message-level state (responses, idleness) — nothing it
+    /// can see changes during a skipped stretch.
     ///
     /// # Errors
     /// [`SimError::Timeout`] when the budget runs out.
@@ -127,15 +154,56 @@ impl System {
     ) -> Result<u64, SimError> {
         let start = self.cycle;
         while !pred(self) {
-            if self.cycle - start >= max_cycles {
+            let elapsed = self.cycle - start;
+            if elapsed >= max_cycles {
                 return Err(SimError::Timeout {
                     cycles: max_cycles,
                     waiting_for: "system condition".into(),
                 });
             }
-            self.step();
+            if self.idle_skip(max_cycles - elapsed) == 0 {
+                self.step();
+            }
         }
         Ok(self.cycle - start)
+    }
+
+    /// Jump over cycles in which nothing can happen. Returns the number
+    /// of cycles skipped (0 means: step normally).
+    ///
+    /// Safe only when the coprocessor is completely idle — then the sole
+    /// sources of future activity are deterministic link events: the head
+    /// in-flight frame on either link, or (when the host queue is
+    /// non-empty) the reopening of the outbound bandwidth gate.
+    fn idle_skip(&mut self, budget: u64) -> u64 {
+        if self.coproc.activity_mode() != ActivityMode::Gated || !self.coproc.is_idle() {
+            return 0;
+        }
+        let now = self.cycle;
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
+        if !self.host_tx.is_empty() {
+            consider(self.to_dev.next_send_cycle());
+        }
+        if let Some(t) = self.to_dev.next_event_cycle() {
+            consider(t);
+        }
+        if let Some(t) = self.to_host.next_event_cycle() {
+            consider(t);
+        }
+        let skip = match next {
+            // The next event is due now (or overdue): step normally.
+            Some(t) if t <= now => 0,
+            Some(t) => (t - now).min(budget),
+            // No events at all — the system is drained; burn the whole
+            // budget so timeout behaviour matches per-cycle stepping.
+            None => budget,
+        };
+        if skip > 0 {
+            self.coproc.fast_forward(skip);
+            self.cycle += skip;
+        }
+        skip
     }
 
     /// Step until the next response arrives and return it.

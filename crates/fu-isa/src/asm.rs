@@ -72,8 +72,7 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
         } else {
             (s, 10)
         };
-        u32::from_str_radix(digits, radix)
-            .map_err(|_| err(format!("invalid number `{s}`")))
+        u32::from_str_radix(digits, radix).map_err(|_| err(format!("invalid number `{s}`")))
     };
     let reg_num = |s: &str, kind: &str| -> Result<RegNum, AsmError> {
         let n = parse_num(s)?;
@@ -183,7 +182,10 @@ impl<'a> Ops<'a> {
         if self.idx == self.ops.len() {
             Ok(())
         } else {
-            Err(self.err(format!("unexpected extra operands after operand {}", self.idx)))
+            Err(self.err(format!(
+                "unexpected extra operands after operand {}",
+                self.idx
+            )))
         }
     }
 }
@@ -489,9 +491,15 @@ pub fn disassemble(w: InstrWord) -> String {
                 _ => "ROL",
             };
             if u.variety & ShiftVariety::IMM_AMOUNT != 0 {
-                format!("{m} r{}, r{}, #{}, f{}", u.dst_reg, u.src1, u.src3, u.dst_flag)
+                format!(
+                    "{m} r{}, r{}, #{}, f{}",
+                    u.dst_reg, u.src1, u.src3, u.dst_flag
+                )
             } else {
-                format!("{m} r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag)
+                format!(
+                    "{m} r{}, r{}, r{}, f{}",
+                    u.dst_reg, u.src1, u.src2, u.dst_flag
+                )
             }
         }
         funit_codes::MUL => format!(
@@ -503,9 +511,18 @@ pub fn disassemble(w: InstrWord) -> String {
             u.dst_reg, u.aux_reg, u.src1, u.src2, u.dst_flag
         ),
         funit_codes::FPU => match u.variety {
-            0 => format!("FADD r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag),
-            1 => format!("FSUB r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag),
-            2 => format!("FMUL r{}, r{}, r{}, f{}", u.dst_reg, u.src1, u.src2, u.dst_flag),
+            0 => format!(
+                "FADD r{}, r{}, r{}, f{}",
+                u.dst_reg, u.src1, u.src2, u.dst_flag
+            ),
+            1 => format!(
+                "FSUB r{}, r{}, r{}, f{}",
+                u.dst_reg, u.src1, u.src2, u.dst_flag
+            ),
+            2 => format!(
+                "FMUL r{}, r{}, r{}, f{}",
+                u.dst_reg, u.src1, u.src2, u.dst_flag
+            ),
             3 => format!("FCMP r{}, r{}, f{}", u.src1, u.src2, u.dst_flag),
             _ => format!(".word {:#018x}", w.0),
         },
@@ -552,35 +569,53 @@ mod tests {
 
     #[test]
     fn default_flag_register_is_f0() {
-        let u = assemble_line("ADD r1, r2, r3", 1).unwrap().unwrap().as_user();
+        let u = assemble_line("ADD r1, r2, r3", 1)
+            .unwrap()
+            .unwrap()
+            .as_user();
         assert_eq!(u.dst_flag, 0);
         assert_eq!(u.aux_reg, 0);
     }
 
     #[test]
     fn logic_and_shift_forms() {
-        let u = assemble_line("XOR r1, r2, r3", 1).unwrap().unwrap().as_user();
+        let u = assemble_line("XOR r1, r2, r3", 1)
+            .unwrap()
+            .unwrap()
+            .as_user();
         assert_eq!(u.func, funit_codes::LOGIC);
         assert_eq!(u.variety, LogicOp::Xor.variety().0);
 
         let u = assemble_line("NOT r1, r2", 1).unwrap().unwrap().as_user();
         assert_eq!(u.variety, LogicOp::Not.variety().0);
 
-        let u = assemble_line("SHL r1, r2, #5", 1).unwrap().unwrap().as_user();
+        let u = assemble_line("SHL r1, r2, #5", 1)
+            .unwrap()
+            .unwrap()
+            .as_user();
         assert_eq!(u.func, funit_codes::SHIFT);
         assert!(u.variety & ShiftVariety::IMM_AMOUNT != 0);
         assert_eq!(u.src3, 5);
 
-        let u = assemble_line("SAR r1, r2, r3", 1).unwrap().unwrap().as_user();
+        let u = assemble_line("SAR r1, r2, r3", 1)
+            .unwrap()
+            .unwrap()
+            .as_user();
         assert_eq!(u.variety & 0b11, ShiftVariety::SAR.0);
         assert_eq!(u.src2, 3);
     }
 
     #[test]
     fn mul_and_popcnt_forms() {
-        let u = assemble_line("MUL r1, r2, r3, r4", 1).unwrap().unwrap().as_user();
+        let u = assemble_line("MUL r1, r2, r3, r4", 1)
+            .unwrap()
+            .unwrap()
+            .as_user();
         assert_eq!((u.dst_reg, u.aux_reg, u.src1, u.src2), (1, 2, 3, 4));
-        let u = assemble_line("POPCNT r9, r8", 1).unwrap().unwrap().as_user();
+        let u = assemble_line("POPCNT r9, r8", 1)
+            .unwrap()
+            .unwrap()
+            .as_user();
         assert_eq!((u.dst_reg, u.src1), (9, 8));
     }
 
@@ -588,7 +623,11 @@ mod tests {
     fn mgmt_forms() {
         assert_eq!(
             assemble_line("LOADI r7, 0x1234", 1).unwrap().unwrap(),
-            MgmtOp::LoadImm { dst: 7, imm: 0x1234 }.encode()
+            MgmtOp::LoadImm {
+                dst: 7,
+                imm: 0x1234
+            }
+            .encode()
         );
         assert_eq!(
             assemble_line("SETF f2, 0b101", 1).unwrap().unwrap(),

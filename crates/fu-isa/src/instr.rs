@@ -89,9 +89,7 @@ impl InstrWord {
     /// other, exactly like the VHDL decoder's overlapping slices).
     pub fn mgmt(op: FuncCode, dst_flag: RegNum, dst_reg: RegNum, imm: u32) -> InstrWord {
         assert!(op < 0x80, "opcode is a 7-bit field");
-        InstrWord(
-            (op as u64) << 56 | (dst_flag as u64) << 40 | (dst_reg as u64) << 32 | imm as u64,
-        )
+        InstrWord((op as u64) << 56 | (dst_flag as u64) << 40 | (dst_reg as u64) << 32 | imm as u64)
     }
 
     /// True for user (functional-unit) instructions.
@@ -256,7 +254,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "7-bit")]
     fn func_code_range_checked() {
-        InstrWord::user(UserInstr { func: 0x80, ..sample() });
+        InstrWord::user(UserInstr {
+            func: 0x80,
+            ..sample()
+        });
     }
 
     #[test]

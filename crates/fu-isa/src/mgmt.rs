@@ -66,9 +66,7 @@ impl MgmtOp {
     pub fn encode(&self) -> InstrWord {
         match *self {
             MgmtOp::Nop => InstrWord::mgmt(opcodes::NOP, 0, 0, 0),
-            MgmtOp::Copy { dst, src } => {
-                InstrWord::mgmt(opcodes::COPY, 0, dst, (src as u32) << 16)
-            }
+            MgmtOp::Copy { dst, src } => InstrWord::mgmt(opcodes::COPY, 0, dst, (src as u32) << 16),
             MgmtOp::LoadImm { dst, imm } => InstrWord::mgmt(opcodes::LOADI, 0, dst, imm),
             MgmtOp::CopyFlags { dst, src } => {
                 InstrWord::mgmt(opcodes::COPYF, dst, 0, (src as u32) << 16)

@@ -143,6 +143,66 @@ fn header(ty: u8, reg: u8, low: u16) -> u32 {
     (ty as u32) << 24 | (reg as u32) << 16 | low as u32
 }
 
+/// Allocation-free iterator over a message's wire frames.
+///
+/// The longest message on either direction of the wire is one header frame
+/// plus [`crate::word::MAX_LIMBS`] payload limbs, so the frames fit in a
+/// small inline buffer; serialising a message in a per-cycle hot loop
+/// (link injection, the RTM serialiser) costs no heap traffic.
+#[derive(Debug, Clone)]
+pub struct Frames {
+    buf: [u32; Frames::MAX],
+    len: u8,
+    pos: u8,
+}
+
+impl Frames {
+    /// Upper bound on frames per message (header + maximum payload limbs).
+    pub const MAX: usize = 1 + crate::word::MAX_LIMBS;
+
+    fn new(head: u32) -> Frames {
+        let mut f = Frames {
+            buf: [0; Frames::MAX],
+            len: 0,
+            pos: 0,
+        };
+        f.push(head);
+        f
+    }
+
+    fn push(&mut self, frame: u32) {
+        self.buf[self.len as usize] = frame;
+        self.len += 1;
+    }
+
+    fn extend(&mut self, frames: &[u32]) {
+        for &f in frames {
+            self.push(f);
+        }
+    }
+}
+
+impl Iterator for Frames {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.pos < self.len {
+            let f = self.buf[self.pos as usize];
+            self.pos += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.len - self.pos) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Frames {}
+
 impl HostMsg {
     /// Serialise to 32-bit frames. `word_bits` is the coprocessor's
     /// configured word size ([`HostMsg::WriteReg`] payload length depends
@@ -152,24 +212,31 @@ impl HostMsg {
     /// Panics when a `WriteReg` value's width disagrees with `word_bits` —
     /// the driver must transcode before transmission.
     pub fn to_frames(&self, word_bits: u32) -> Vec<u32> {
+        self.frames(word_bits).collect()
+    }
+
+    /// Serialise to 32-bit frames without allocating; see
+    /// [`HostMsg::to_frames`] for semantics and panics.
+    pub fn frames(&self, word_bits: u32) -> Frames {
         match self {
             HostMsg::WriteReg { reg, value } => {
                 assert_eq!(value.bits(), word_bits, "WriteReg width mismatch");
-                let mut f = vec![header(wire::WRITE_REG, *reg, 0)];
-                f.extend_from_slice(value.limbs());
+                let mut f = Frames::new(header(wire::WRITE_REG, *reg, 0));
+                f.extend(value.limbs());
                 f
             }
             HostMsg::WriteFlags { reg, flags } => {
-                vec![header(wire::WRITE_FLAGS, *reg, flags.0 as u16)]
+                Frames::new(header(wire::WRITE_FLAGS, *reg, flags.0 as u16))
             }
-            HostMsg::Instr(w) => vec![
-                header(wire::INSTR, 0, 0),
-                (w.0 >> 32) as u32,
-                w.0 as u32,
-            ],
-            HostMsg::ReadReg { reg, tag } => vec![header(wire::READ_REG, *reg, *tag)],
-            HostMsg::ReadFlags { reg, tag } => vec![header(wire::READ_FLAGS, *reg, *tag)],
-            HostMsg::Sync { tag } => vec![header(wire::SYNC, 0, *tag)],
+            HostMsg::Instr(w) => {
+                let mut f = Frames::new(header(wire::INSTR, 0, 0));
+                f.push((w.0 >> 32) as u32);
+                f.push(w.0 as u32);
+                f
+            }
+            HostMsg::ReadReg { reg, tag } => Frames::new(header(wire::READ_REG, *reg, *tag)),
+            HostMsg::ReadFlags { reg, tag } => Frames::new(header(wire::READ_FLAGS, *reg, *tag)),
+            HostMsg::Sync { tag } => Frames::new(header(wire::SYNC, 0, *tag)),
         }
     }
 
@@ -186,19 +253,25 @@ impl HostMsg {
 impl DevMsg {
     /// Serialise to 32-bit frames.
     pub fn to_frames(&self, word_bits: u32) -> Vec<u32> {
+        self.frames(word_bits).collect()
+    }
+
+    /// Serialise to 32-bit frames without allocating; see
+    /// [`DevMsg::to_frames`] for semantics and panics.
+    pub fn frames(&self, word_bits: u32) -> Frames {
         match self {
             DevMsg::Data { tag, value } => {
                 assert_eq!(value.bits(), word_bits, "Data width mismatch");
-                let mut f = vec![header(wire::DATA, 0, *tag)];
-                f.extend_from_slice(value.limbs());
+                let mut f = Frames::new(header(wire::DATA, 0, *tag));
+                f.extend(value.limbs());
                 f
             }
-            DevMsg::Flags { tag, flags } => {
-                vec![header(wire::FLAGS, flags.0, *tag)]
-            }
-            DevMsg::SyncAck { tag } => vec![header(wire::SYNC_ACK, 0, *tag)],
+            DevMsg::Flags { tag, flags } => Frames::new(header(wire::FLAGS, flags.0, *tag)),
+            DevMsg::SyncAck { tag } => Frames::new(header(wire::SYNC_ACK, 0, *tag)),
             DevMsg::Error { code, info } => {
-                vec![header(wire::ERROR, *code as u8, 0), *info]
+                let mut f = Frames::new(header(wire::ERROR, *code as u8, 0));
+                f.push(*info);
+                f
             }
         }
     }
@@ -373,7 +446,13 @@ mod tests {
             },
             32,
         );
-        roundtrip_host(HostMsg::WriteFlags { reg: 2, flags: Flags(0x1f) }, 32);
+        roundtrip_host(
+            HostMsg::WriteFlags {
+                reg: 2,
+                flags: Flags(0x1f),
+            },
+            32,
+        );
         roundtrip_host(HostMsg::Instr(InstrWord(0x8010_2030_4050_6070)), 32);
         roundtrip_host(HostMsg::ReadReg { reg: 7, tag: 0xabc }, 32);
         roundtrip_host(HostMsg::ReadFlags { reg: 1, tag: 3 }, 32);
@@ -410,7 +489,10 @@ mod tests {
                 tag: 9,
                 value: Word::from_u64(0x1234_5678, 32),
             },
-            DevMsg::Flags { tag: 1, flags: Flags(0b10101) },
+            DevMsg::Flags {
+                tag: 1,
+                flags: Flags(0b10101),
+            },
             DevMsg::SyncAck { tag: 0 },
             DevMsg::Error {
                 code: ErrorCode::NoSuchUnit,

@@ -143,9 +143,13 @@ impl ArithOp {
                     | ArithVariety::FIXED_CARRY
             }
             Sbb => {
-                ArithVariety::OUTPUT_DATA | ArithVariety::COMPLEMENT_SECOND | ArithVariety::USE_CARRY
+                ArithVariety::OUTPUT_DATA
+                    | ArithVariety::COMPLEMENT_SECOND
+                    | ArithVariety::USE_CARRY
             }
-            Inc => ArithVariety::OUTPUT_DATA | ArithVariety::SECOND_ZERO | ArithVariety::FIXED_CARRY,
+            Inc => {
+                ArithVariety::OUTPUT_DATA | ArithVariety::SECOND_ZERO | ArithVariety::FIXED_CARRY
+            }
             Dec => {
                 ArithVariety::OUTPUT_DATA
                     | ArithVariety::SECOND_ZERO
@@ -396,11 +400,17 @@ mod tests {
             (ArithOp::Adc, 5, 3, fc, Some(9)),
             (ArithOp::Adc, 5, 3, f0, Some(8)),
             (ArithOp::Sub, 5, 3, f0, Some(2)),
-            (ArithOp::Sbb, 5, 3, fc, Some(2)),   // C=1: no pending borrow
-            (ArithOp::Sbb, 5, 3, f0, Some(1)),   // C=0: borrow one more
+            (ArithOp::Sbb, 5, 3, fc, Some(2)), // C=1: no pending borrow
+            (ArithOp::Sbb, 5, 3, f0, Some(1)), // C=0: borrow one more
             (ArithOp::Inc, 41, 999, f0, Some(42)), // second operand ignored
             (ArithOp::Dec, 43, 999, f0, Some(42)),
-            (ArithOp::Neg, 999, 5, f0, Some(5u64.wrapping_neg() as u32 as u64)),
+            (
+                ArithOp::Neg,
+                999,
+                5,
+                f0,
+                Some(5u64.wrapping_neg() as u32 as u64),
+            ),
             (ArithOp::Cmp, 5, 3, f0, None),
             (ArithOp::Cmpb, 5, 3, fc, None),
         ];
@@ -451,7 +461,10 @@ mod tests {
     fn mnemonics_roundtrip() {
         for op in ArithOp::ALL {
             assert_eq!(ArithOp::from_mnemonic(op.mnemonic()), Some(op));
-            assert_eq!(ArithOp::from_mnemonic(&op.mnemonic().to_lowercase()), Some(op));
+            assert_eq!(
+                ArithOp::from_mnemonic(&op.mnemonic().to_lowercase()),
+                Some(op)
+            );
         }
         for op in LogicOp::ALL {
             assert_eq!(LogicOp::from_mnemonic(op.mnemonic()), Some(op));

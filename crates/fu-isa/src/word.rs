@@ -207,7 +207,11 @@ impl Word {
         if sh >= bits {
             return Word::from_u128(fill, bits);
         }
-        let mask = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        let mask = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
         let shifted = (self.as_u128() >> sh) | (fill << (bits - sh));
         Word::from_u128(shifted & mask, bits)
     }
@@ -219,7 +223,11 @@ impl Word {
         if sh == 0 {
             return *self;
         }
-        let mask = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        let mask = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
         let v = self.as_u128();
         Word::from_u128(((v << sh) | (v >> (bits - sh))) & mask, bits)
     }
@@ -353,7 +361,10 @@ mod tests {
         assert!(Word::zero(64).is_zero());
         assert!(!Word::from_u64(1, 64).is_zero());
         assert!(Word::from_u64(0x8000_0000, 32).msb());
-        assert!(!Word::from_u64(0x8000_0000, 64).msb(), "msb is of the full width");
+        assert!(
+            !Word::from_u64(0x8000_0000, 64).msb(),
+            "msb is of the full width"
+        );
     }
 
     #[test]

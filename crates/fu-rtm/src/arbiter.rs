@@ -52,12 +52,19 @@ impl WriteArbiter {
 
     /// One evaluate phase: release last cycle's locks, then grant
     /// acknowledgements round-robin while port budget remains.
+    ///
+    /// `active`, when given, marks the units that may hold work; units
+    /// outside the mask are skipped without touching them. Skipping is
+    /// behaviour-identical to scanning, because an inactive unit is idle
+    /// and an idle unit has no output to grant — the mask only saves the
+    /// virtual `peek_output` calls on a large, mostly-idle unit roster.
     pub fn eval(
         &mut self,
         fus: &mut [Box<dyn FunctionalUnit>],
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
         lock: &mut LockManager,
+        active: Option<&[bool]>,
     ) {
         for t in self.pending_release.drain(..) {
             lock.release(&t);
@@ -72,6 +79,13 @@ impl WriteArbiter {
         let mut next_ptr = self.rr_ptr;
         for i in 0..n {
             let idx = (self.rr_ptr + i) % n;
+            if active.is_some_and(|a| !a[idx]) {
+                debug_assert!(
+                    fus[idx].peek_output().is_none(),
+                    "inactive unit held output"
+                );
+                continue;
+            }
             let Some(out) = fus[idx].peek_output() else {
                 continue;
             };
@@ -216,15 +230,21 @@ mod tests {
         let mut fus = vec![Scripted::boxed(vec![out(3, 99, Some(1))])];
         let mut arb = WriteArbiter::new(2);
 
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
-        assert!(lm.data_locked(3), "release must be registered, not combinational");
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        assert!(
+            lm.data_locked(3),
+            "release must be registered, not combinational"
+        );
         rf.commit();
         ff.commit();
         assert_eq!(rf.peek(3).as_u64(), 99);
         assert_eq!(ff.peek(1), Flags::CARRY);
 
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
-        assert!(!lm.data_locked(3), "lock drops the cycle after the write commits");
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        assert!(
+            !lm.data_locked(3),
+            "lock drops the cycle after the write commits"
+        );
         assert!(lm.quiescent());
         assert_eq!(arb.counters().0, 1);
     }
@@ -246,7 +266,7 @@ mod tests {
         // After three single-grant cycles, round-robin must have served
         // each unit exactly once (one completion left per unit).
         for _ in 0..3 {
-            arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+            arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
             rf.commit();
         }
         for f in &fus {
@@ -256,7 +276,7 @@ mod tests {
             );
         }
         for _ in 0..3 {
-            arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+            arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
             rf.commit();
         }
         assert_eq!(arb.counters().0, 6, "all completions eventually drain");
@@ -273,10 +293,10 @@ mod tests {
             })
             .collect();
         let mut arb = WriteArbiter::new(2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         assert_eq!(arb.counters().0, 2, "only two grants fit the port budget");
         assert_eq!(arb.counters().3, 1, "contention recorded");
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         assert_eq!(arb.counters().0, 4);
     }
 
@@ -297,11 +317,11 @@ mod tests {
             Scripted::boxed(vec![out(3, 3, None)]),
         ];
         let mut arb = WriteArbiter::new(2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         // The dual-result completion uses both ports; the second unit waits.
         assert_eq!(arb.counters().0, 1);
         assert_eq!(arb.counters().1, 2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         assert_eq!(arb.counters().0, 2);
         rf.commit();
         assert_eq!(rf.peek(1).as_u64(), 1);
@@ -324,9 +344,9 @@ mod tests {
         lm.acquire(&cmp.ticket);
         let mut fus = vec![Scripted::boxed(vec![cmp])];
         let mut arb = WriteArbiter::new(2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         ff.commit();
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         assert!(lm.quiescent());
         assert_eq!(ff.peek(2), Flags::ZERO);
         assert_eq!(arb.counters(), (1, 0, 1, 0));
@@ -337,7 +357,7 @@ mod tests {
         let (mut rf, mut ff, mut lm) = setup(8);
         let mut arb = WriteArbiter::new(2);
         let mut fus: Vec<Box<dyn FunctionalUnit>> = vec![];
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm);
+        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
         assert!(arb.is_idle());
     }
 }

@@ -64,10 +64,16 @@ impl CoprocConfig {
             ));
         }
         if !(2..=256).contains(&self.data_regs) {
-            return err(format!("data_regs must be in 2..=256, got {}", self.data_regs));
+            return err(format!(
+                "data_regs must be in 2..=256, got {}",
+                self.data_regs
+            ));
         }
         if !(1..=256).contains(&self.flag_regs) {
-            return err(format!("flag_regs must be in 1..=256, got {}", self.flag_regs));
+            return err(format!(
+                "flag_regs must be in 1..=256, got {}",
+                self.flag_regs
+            ));
         }
         if self.write_ports == 0 {
             return err("write_ports must be at least 1".into());
@@ -125,7 +131,10 @@ mod tests {
     #[test]
     fn all_supported_word_sizes_validate() {
         for bits in [32, 64, 96, 128] {
-            assert!(CoprocConfig::default().with_word_bits(bits).validate().is_ok());
+            assert!(CoprocConfig::default()
+                .with_word_bits(bits)
+                .validate()
+                .is_ok());
         }
     }
 
@@ -153,9 +162,15 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_parameter() {
-        let e = CoprocConfig::default().with_word_bits(48).validate().unwrap_err();
+        let e = CoprocConfig::default()
+            .with_word_bits(48)
+            .validate()
+            .unwrap_err();
         assert!(e.to_string().contains("word_bits"));
-        let e = CoprocConfig::default().with_data_regs(0).validate().unwrap_err();
+        let e = CoprocConfig::default()
+            .with_data_regs(0)
+            .validate()
+            .unwrap_err();
         assert!(e.to_string().contains("data_regs"));
     }
 }

@@ -33,7 +33,39 @@ use crate::regfile::RegFile;
 use crate::serializer::MessageSerializer;
 use fu_isa::{DevMsg, Flags, Word};
 use rtl_sim::area::log2_ceil;
-use rtl_sim::{AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, SimError, TraceBuffer};
+use rtl_sim::{
+    AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, SimError, SimStats, TraceBuffer,
+};
+
+/// How the scheduler treats provably idle structure.
+///
+/// Both modes produce **bit-identical architectural behaviour** — the same
+/// simulated cycle counts, the same response streams, the same statistics.
+/// `Gated` only changes which host work the simulator performs to get
+/// there: stages whose inputs are empty are not evaluated, idle functional
+/// units are not clocked, and whole idle spans can be fast-forwarded.
+/// `Exhaustive` is the original evaluate-everything-every-cycle loop, kept
+/// as the reference the equivalence tests compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActivityMode {
+    /// Skip evaluation of provably inactive structure (the default).
+    #[default]
+    Gated,
+    /// Evaluate every stage and clock every unit every cycle.
+    Exhaustive,
+}
+
+/// Per-stage evaluate counters (how often each evaluate function ran).
+#[derive(Debug, Clone, Copy, Default)]
+struct StageEvals {
+    msgbuf: u64,
+    decoder: u64,
+    dispatcher: u64,
+    execution: u64,
+    arbiter: u64,
+    encoder: u64,
+    serializer: u64,
+}
 
 /// Aggregated machine statistics (see the per-stage counters for
 /// definitions).
@@ -122,6 +154,17 @@ pub struct Coprocessor {
     // bookkeeping
     cycle: u64,
     trace: TraceBuffer,
+    // activity-aware scheduling
+    activity: ActivityMode,
+    /// Units that may hold work. Maintained in both modes so `is_idle`
+    /// is O(1); only `Gated` uses it to skip evaluation.
+    fu_active: Vec<bool>,
+    n_active_fus: usize,
+    /// Units whose `commit` must run even while idle
+    /// ([`FunctionalUnit::needs_clock_when_idle`]).
+    fu_always_clock: Vec<bool>,
+    skipped_cycles: u64,
+    stage_evals: StageEvals,
 }
 
 impl Coprocessor {
@@ -146,7 +189,6 @@ impl Coprocessor {
             flagfile: FlagFile::new(cfg.flag_regs),
             lock: LockManager::new(cfg.data_regs, cfg.flag_regs),
             futable,
-            fus,
             rx_fifo: Fifo::new(cfg.rx_fifo_depth),
             msg_slot: HandshakeSlot::new(),
             decoded_slot: HandshakeSlot::new(),
@@ -160,6 +202,13 @@ impl Coprocessor {
             } else {
                 TraceBuffer::disabled()
             },
+            activity: ActivityMode::default(),
+            fu_active: vec![false; fus.len()],
+            n_active_fus: 0,
+            fu_always_clock: fus.iter().map(|f| f.needs_clock_when_idle()).collect(),
+            skipped_cycles: 0,
+            stage_evals: StageEvals::default(),
+            fus,
             cfg,
         })
     }
@@ -202,36 +251,79 @@ impl Coprocessor {
     }
 
     /// Advance the design by one clock cycle.
+    ///
+    /// In [`ActivityMode::Gated`] a stage's evaluate only runs when its
+    /// inputs could make it do something: every skipped evaluate is one
+    /// whose body would have been a guaranteed no-op (each stage's first
+    /// action on an empty input is to return). Idle functional units are
+    /// neither scanned by the arbiter nor clocked at the edge, except
+    /// units that demand a free-running clock. Architectural behaviour is
+    /// identical in both modes, cycle for cycle.
     pub fn step(&mut self) {
+        let gated = self.activity == ActivityMode::Gated;
+
         // ---- evaluate, sink to source ----
-        self.serializer.eval(&mut self.dev_slot, &mut self.tx_fifo);
-        self.encoder.eval(&mut self.resp_slot, &mut self.dev_slot);
-        self.arbiter
-            .eval(&mut self.fus, &mut self.regfile, &mut self.flagfile, &mut self.lock);
-        self.execution.eval(
-            &mut self.exec_slot,
-            &mut self.resp_slot,
-            &mut self.regfile,
-            &mut self.flagfile,
-            &mut self.lock,
-        );
-        let before_user = self.dispatcher.stats.user_dispatched;
-        self.dispatcher.eval(
-            &mut self.decoded_slot,
-            &mut self.exec_slot,
-            &mut self.fus,
-            &mut self.lock,
-            &mut self.regfile,
-            &mut self.flagfile,
-        );
-        if self.trace.is_enabled() && self.dispatcher.stats.user_dispatched != before_user {
-            let cycle = self.cycle;
-            self.trace
-                .record(cycle, "dispatch", || "user instruction dispatched".into());
+        if !gated || self.dev_slot.has_data() || !self.serializer.is_idle() {
+            self.stage_evals.serializer += 1;
+            self.serializer.eval(&mut self.dev_slot, &mut self.tx_fifo);
         }
-        self.decoder
-            .eval(&mut self.msg_slot, &mut self.decoded_slot, &self.futable);
-        self.msgbuf.eval(&mut self.rx_fifo, &mut self.msg_slot);
+        if !gated || self.resp_slot.has_data() {
+            self.stage_evals.encoder += 1;
+            self.encoder.eval(&mut self.resp_slot, &mut self.dev_slot);
+        }
+        if !gated || self.n_active_fus > 0 || !self.arbiter.is_idle() {
+            self.stage_evals.arbiter += 1;
+            let mask = gated.then_some(self.fu_active.as_slice());
+            self.arbiter.eval(
+                &mut self.fus,
+                &mut self.regfile,
+                &mut self.flagfile,
+                &mut self.lock,
+                mask,
+            );
+        }
+        if !gated || self.exec_slot.has_data() || !self.execution.is_idle() {
+            self.stage_evals.execution += 1;
+            self.execution.eval(
+                &mut self.exec_slot,
+                &mut self.resp_slot,
+                &mut self.regfile,
+                &mut self.flagfile,
+                &mut self.lock,
+            );
+        }
+        if !gated || self.decoded_slot.has_data() {
+            self.stage_evals.dispatcher += 1;
+            let before_user = self.dispatcher.stats.user_dispatched;
+            let dispatched = self.dispatcher.eval(
+                &mut self.decoded_slot,
+                &mut self.exec_slot,
+                &mut self.fus,
+                &mut self.lock,
+                &mut self.regfile,
+                &mut self.flagfile,
+            );
+            if let Some(idx) = dispatched {
+                if !self.fu_active[idx] {
+                    self.fu_active[idx] = true;
+                    self.n_active_fus += 1;
+                }
+            }
+            if self.trace.is_enabled() && self.dispatcher.stats.user_dispatched != before_user {
+                let cycle = self.cycle;
+                self.trace
+                    .record(cycle, "dispatch", || "user instruction dispatched".into());
+            }
+        }
+        if !gated || self.msg_slot.has_data() {
+            self.stage_evals.decoder += 1;
+            self.decoder
+                .eval(&mut self.msg_slot, &mut self.decoded_slot, &self.futable);
+        }
+        if !gated || !self.rx_fifo.is_empty() {
+            self.stage_evals.msgbuf += 1;
+            self.msgbuf.eval(&mut self.rx_fifo, &mut self.msg_slot);
+        }
 
         // ---- clock edge ----
         self.rx_fifo.commit();
@@ -243,10 +335,90 @@ impl Coprocessor {
         self.tx_fifo.commit();
         self.regfile.commit();
         self.flagfile.commit();
-        for fu in &mut self.fus {
-            fu.commit();
+        for (i, fu) in self.fus.iter_mut().enumerate() {
+            if !gated || self.fu_active[i] || self.fu_always_clock[i] {
+                fu.commit();
+            }
+        }
+        // Retire units that drained this cycle from the active set.
+        if self.n_active_fus > 0 {
+            for i in 0..self.fus.len() {
+                if self.fu_active[i] && self.fus[i].is_idle() {
+                    self.fu_active[i] = false;
+                    self.n_active_fus -= 1;
+                }
+            }
         }
         self.cycle += 1;
+    }
+
+    /// Advance up to `n` cycles, stopping early when the machine drains.
+    /// Returns the number of cycles actually stepped. Never skips cycles;
+    /// pair with [`Coprocessor::fast_forward`] for that.
+    pub fn step_n(&mut self, n: u64) -> u64 {
+        let mut stepped = 0;
+        while stepped < n && !self.is_idle() {
+            self.step();
+            stepped += 1;
+        }
+        stepped
+    }
+
+    /// Jump the clock forward `cycles` without evaluating anything.
+    ///
+    /// Only legal while [`Coprocessor::is_idle`] holds: an idle machine's
+    /// step is the identity on all state except the cycle counters and
+    /// the storage elements' lifetime `cycles` statistic, both of which
+    /// this method advances directly. Units that keep state across idle
+    /// cycles catch up via [`FunctionalUnit::advance_idle`].
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(self.is_idle(), "fast_forward on a busy machine");
+        if cycles == 0 {
+            return;
+        }
+        self.rx_fifo.note_idle_cycles(cycles);
+        self.msg_slot.note_idle_cycles(cycles);
+        self.decoded_slot.note_idle_cycles(cycles);
+        self.exec_slot.note_idle_cycles(cycles);
+        self.resp_slot.note_idle_cycles(cycles);
+        self.dev_slot.note_idle_cycles(cycles);
+        self.tx_fifo.note_idle_cycles(cycles);
+        for fu in &mut self.fus {
+            fu.advance_idle(cycles);
+        }
+        self.cycle += cycles;
+        self.skipped_cycles += cycles;
+    }
+
+    /// The current scheduling mode.
+    pub fn activity_mode(&self) -> ActivityMode {
+        self.activity
+    }
+
+    /// Select the scheduling mode. Safe at any time — both modes maintain
+    /// the same bookkeeping and produce identical behaviour.
+    pub fn set_activity_mode(&mut self, mode: ActivityMode) {
+        self.activity = mode;
+    }
+
+    /// Scheduler statistics: how much work the simulator did to produce
+    /// the simulated cycles so far.
+    pub fn sim_stats(&self) -> SimStats {
+        let e = &self.stage_evals;
+        SimStats {
+            cycles_simulated: self.cycle,
+            cycles_stepped: self.cycle - self.skipped_cycles,
+            cycles_skipped: self.skipped_cycles,
+            stage_evals: vec![
+                ("msgbuf", e.msgbuf),
+                ("decoder", e.decoder),
+                ("dispatcher", e.dispatcher),
+                ("execution", e.execution),
+                ("arbiter", e.arbiter),
+                ("encoder", e.encoder),
+                ("serializer", e.serializer),
+            ],
+        }
     }
 
     /// True when no work is anywhere in the machine (including unread
@@ -264,7 +436,19 @@ impl Coprocessor {
             && self.lock.quiescent()
             && self.execution.is_idle()
             && self.arbiter.is_idle()
-            && self.fus.iter().all(|f| f.is_idle())
+            && self.no_fu_activity()
+    }
+
+    /// O(1) stand-in for scanning every unit: the active set is exact
+    /// after each step (units are registered at dispatch and retired in
+    /// the post-commit sweep), so an empty set means every unit is idle.
+    fn no_fu_activity(&self) -> bool {
+        debug_assert_eq!(
+            self.n_active_fus == 0,
+            self.fus.iter().all(|f| f.is_idle()),
+            "active-unit bookkeeping diverged from unit state"
+        );
+        self.n_active_fus == 0
     }
 
     /// Step until idle, with a cycle budget.
@@ -274,16 +458,21 @@ impl Coprocessor {
     /// usual symptom of a deadlocked handshake or an unserviced read.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<u64, SimError> {
         let start = self.cycle;
-        while !self.is_idle() {
-            if self.cycle - start >= max_cycles {
+        loop {
+            if self.is_idle() {
+                return Ok(self.cycle - start);
+            }
+            let elapsed = self.cycle - start;
+            if elapsed >= max_cycles {
                 return Err(SimError::Timeout {
                     cycles: max_cycles,
                     waiting_for: "coprocessor idle".into(),
                 });
             }
-            self.step();
+            // Batched stepping: step_n stops exactly at the first idle
+            // cycle, so the drain cycle count matches per-cycle stepping.
+            self.step_n((max_cycles - elapsed).min(64));
         }
-        Ok(self.cycle - start)
     }
 
     /// Convenience harness: feed a message batch through the frame port,
@@ -300,8 +489,10 @@ impl Coprocessor {
         max_cycles: u64,
     ) -> Result<Vec<DevMsg>, SimError> {
         let word_bits = self.cfg.word_bits;
+        // One queue allocation for the whole batch; `frames()` serialises
+        // each message without a per-message Vec.
         let mut frames: std::collections::VecDeque<u32> =
-            msgs.iter().flat_map(|m| m.to_frames(word_bits)).collect();
+            msgs.iter().flat_map(|m| m.frames(word_bits)).collect();
         let mut deframer = fu_isa::msg::DevDeframer::new(word_bits);
         let mut out = Vec::new();
         let start = self.cycle;
@@ -501,6 +692,10 @@ impl Coprocessor {
         }
         self.trace.clear();
         self.cycle = 0;
+        self.fu_active.fill(false);
+        self.n_active_fus = 0;
+        self.skipped_cycles = 0;
+        self.stage_evals = StageEvals::default();
     }
 }
 
@@ -662,16 +857,16 @@ mod tests {
                 value: Word::from_u64(10, 32)
             }]
         );
-        assert!(m.stats().dispatch.stall_lock > 0, "the read must have stalled");
+        assert!(
+            m.stats().dispatch.stall_lock > 0,
+            "the read must have stalled"
+        );
     }
 
     #[test]
     fn sync_acks_after_quiescence() {
         let mut m = machine(vec![Box::new(LatencyFu::new("slow", 1, 10))]);
-        let out = run(
-            &mut m,
-            vec![add_instr(2, 1, 1), HostMsg::Sync { tag: 4 }],
-        );
+        let out = run(&mut m, vec![add_instr(2, 1, 1), HostMsg::Sync { tag: 4 }]);
         assert_eq!(out, vec![DevMsg::SyncAck { tag: 4 }]);
         assert!(m.stats().dispatch.stall_fence > 0);
     }
@@ -715,7 +910,13 @@ mod tests {
         let out = run(
             &mut m,
             vec![
-                HostMsg::Instr(MgmtOp::LoadImm { dst: 1, imm: 0xbeef }.encode()),
+                HostMsg::Instr(
+                    MgmtOp::LoadImm {
+                        dst: 1,
+                        imm: 0xbeef,
+                    }
+                    .encode(),
+                ),
                 HostMsg::Instr(MgmtOp::Copy { dst: 2, src: 1 }.encode()),
                 HostMsg::Instr(MgmtOp::Fence.encode()),
                 HostMsg::ReadReg { reg: 2, tag: 0 },
@@ -938,9 +1139,7 @@ mod tests {
         assert_eq!(dispatches, 2, "one trace event per user dispatch");
         // Disabled tracing records nothing.
         let mut quiet = machine(vec![Box::new(LatencyFu::new("u", 1, 1))]);
-        let _ = quiet
-            .run_messages(&[add_instr(2, 1, 1)], 10_000)
-            .unwrap();
+        let _ = quiet.run_messages(&[add_instr(2, 1, 1)], 10_000).unwrap();
         assert_eq!(quiet.trace().events().count(), 0);
     }
 

@@ -339,16 +339,25 @@ mod tests {
         // data regs: 16, flag regs: 4.
         assert!(matches!(
             decode_one(user_word(16, 16, 0, 0)),
-            DecodedOp::Error { code: ErrorCode::BadRegister, info: 16 }
+            DecodedOp::Error {
+                code: ErrorCode::BadRegister,
+                info: 16
+            }
         ));
         assert!(matches!(
             decode_one(user_word(16, 0, 0, 200)),
-            DecodedOp::Error { code: ErrorCode::BadRegister, .. }
+            DecodedOp::Error {
+                code: ErrorCode::BadRegister,
+                ..
+            }
         ));
         // aux as flag source: limit 4.
         assert!(matches!(
             decode_one(user_word(16, 0, 4, 0)),
-            DecodedOp::Error { code: ErrorCode::BadRegister, info: 4 }
+            DecodedOp::Error {
+                code: ErrorCode::BadRegister,
+                info: 4
+            }
         ));
         // aux as second destination: limit 16, so 4 is fine.
         assert!(matches!(
@@ -357,11 +366,20 @@ mod tests {
         ));
         assert!(matches!(
             decode_one(HostMsg::ReadReg { reg: 16, tag: 0 }),
-            DecodedOp::Error { code: ErrorCode::BadRegister, .. }
+            DecodedOp::Error {
+                code: ErrorCode::BadRegister,
+                ..
+            }
         ));
         assert!(matches!(
-            decode_one(HostMsg::WriteFlags { reg: 9, flags: Flags::NONE }),
-            DecodedOp::Error { code: ErrorCode::BadRegister, .. }
+            decode_one(HostMsg::WriteFlags {
+                reg: 9,
+                flags: Flags::NONE
+            }),
+            DecodedOp::Error {
+                code: ErrorCode::BadRegister,
+                ..
+            }
         ));
     }
 
@@ -373,11 +391,17 @@ mod tests {
         );
         assert!(matches!(
             decode_one(HostMsg::Instr(MgmtOp::Copy { dst: 30, src: 5 }.encode())),
-            DecodedOp::Error { code: ErrorCode::BadRegister, info: 30 }
+            DecodedOp::Error {
+                code: ErrorCode::BadRegister,
+                info: 30
+            }
         ));
         assert!(matches!(
             decode_one(HostMsg::Instr(InstrWord::mgmt(0x44, 0, 0, 0))),
-            DecodedOp::Error { code: ErrorCode::BadOpcode, info: 0x44 }
+            DecodedOp::Error {
+                code: ErrorCode::BadOpcode,
+                info: 0x44
+            }
         ));
     }
 
@@ -387,7 +411,9 @@ mod tests {
         let t = table();
         let mut input = HandshakeSlot::new();
         let mut output = HandshakeSlot::new();
-        input.push(Err(fu_isa::msg::FrameError { header: 0xbad0_0000 }));
+        input.push(Err(fu_isa::msg::FrameError {
+            header: 0xbad0_0000,
+        }));
         input.commit();
         d.eval(&mut input, &mut output, &t);
         output.commit();
@@ -421,6 +447,9 @@ mod tests {
             decode_one(HostMsg::ReadFlags { reg: 2, tag: 5 }),
             DecodedOp::ReadFlags { reg: 2, tag: 5 }
         );
-        assert_eq!(decode_one(HostMsg::Sync { tag: 9 }), DecodedOp::Sync { tag: 9 });
+        assert_eq!(
+            decode_one(HostMsg::Sync { tag: 9 }),
+            DecodedOp::Sync { tag: 9 }
+        );
     }
 }

@@ -67,11 +67,7 @@ impl Dispatcher {
         }
     }
 
-    fn respond(
-        &mut self,
-        exec_out: &mut HandshakeSlot<ExecOp>,
-        msg: DevMsg,
-    ) {
+    fn respond(&mut self, exec_out: &mut HandshakeSlot<ExecOp>, msg: DevMsg) {
         let seq = self.next_resp_seq;
         self.next_resp_seq += 1;
         self.stats.responses += 1;
@@ -84,7 +80,9 @@ impl Dispatcher {
         lock.quiescent() && fus.iter().all(|f| f.is_idle())
     }
 
-    /// One evaluate phase: handle at most one decoded operation.
+    /// One evaluate phase: handle at most one decoded operation. Returns
+    /// the index of the functional unit that received a user dispatch, if
+    /// one did — the coprocessor's activity tracker marks that unit busy.
     #[allow(clippy::too_many_arguments)] // the stage's port list, as in hardware
     pub fn eval(
         &mut self,
@@ -94,11 +92,13 @@ impl Dispatcher {
         lock: &mut LockManager,
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
-    ) {
-        let Some(op) = input.peek() else { return };
+    ) -> Option<usize> {
+        let op = input.peek()?;
         match op.clone() {
             DecodedOp::User { instr, fu_index } => {
-                self.try_dispatch_user(instr, fu_index, input, exec_out, fus, lock, regfile, flagfile);
+                return self.try_dispatch_user(
+                    instr, fu_index, input, exec_out, fus, lock, regfile, flagfile,
+                );
             }
             DecodedOp::Mgmt(MgmtOp::Nop) => {
                 input.take();
@@ -117,7 +117,15 @@ impl Dispatcher {
                 self.try_exec_write_flags(input, exec_out, lock, flagfile, dst, Some(src), None);
             }
             DecodedOp::Mgmt(MgmtOp::SetFlags { dst, imm }) => {
-                self.try_exec_write_flags(input, exec_out, lock, flagfile, dst, None, Some(Flags(imm)));
+                self.try_exec_write_flags(
+                    input,
+                    exec_out,
+                    lock,
+                    flagfile,
+                    dst,
+                    None,
+                    Some(Flags(imm)),
+                );
             }
             DecodedOp::WriteFlags { reg, flags } => {
                 self.try_exec_write_flags(input, exec_out, lock, flagfile, reg, None, Some(flags));
@@ -173,9 +181,11 @@ impl Dispatcher {
                 }
             }
         }
+        None
     }
 
-    /// Dispatch path for user instructions.
+    /// Dispatch path for user instructions. Returns the target unit's
+    /// index when the dispatch went through.
     #[allow(clippy::too_many_arguments)]
     fn try_dispatch_user(
         &mut self,
@@ -187,7 +197,7 @@ impl Dispatcher {
         lock: &mut LockManager,
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
-    ) {
+    ) -> Option<usize> {
         let unit = &fus[fu_index];
         let v = instr.variety;
         let aux_role = unit.aux_role();
@@ -213,7 +223,7 @@ impl Dispatcher {
                 } else {
                     self.stats.stall_exec_full += 1;
                 }
-                return;
+                return None;
             }
         }
         let ticket = LockTicket::new(
@@ -232,18 +242,30 @@ impl Dispatcher {
         if raw_blocked || !lock.can_acquire(&ticket) {
             self.stats.stall_lock += 1;
             lock.note_stall();
-            return;
+            return None;
         }
         if !fus[fu_index].can_dispatch() {
             self.stats.stall_fu_busy += 1;
-            return;
+            return None;
         }
 
         let zero = Word::zero(self.word_bits);
         let ops = [
-            if reads[0] { regfile.read(instr.src1) } else { zero },
-            if reads[1] { regfile.read(instr.src2) } else { zero },
-            if reads[2] { regfile.read(instr.src3) } else { zero },
+            if reads[0] {
+                regfile.read(instr.src1)
+            } else {
+                zero
+            },
+            if reads[1] {
+                regfile.read(instr.src2)
+            } else {
+                zero
+            },
+            if reads[2] {
+                regfile.read(instr.src3)
+            } else {
+                zero
+            },
         ];
         let flags_in = if reads_flags {
             flagfile.read(instr.aux_reg)
@@ -266,6 +288,7 @@ impl Dispatcher {
         });
         self.stats.user_dispatched += 1;
         input.take();
+        Some(fu_index)
     }
 
     /// Shared path for data-register writes resolved in the pipeline

@@ -132,7 +132,14 @@ mod tests {
     use fu_isa::DevMsg;
     use rtl_sim::Clocked;
 
-    fn setup() -> (Execution, HandshakeSlot<ExecOp>, HandshakeSlot<SequencedResponse>, RegFile, FlagFile, LockManager) {
+    fn setup() -> (
+        Execution,
+        HandshakeSlot<ExecOp>,
+        HandshakeSlot<SequencedResponse>,
+        RegFile,
+        FlagFile,
+        LockManager,
+    ) {
         (
             Execution::new(),
             HandshakeSlot::new(),
@@ -202,10 +209,7 @@ mod tests {
         ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
         assert!(!input.has_data());
         resp.commit();
-        assert_eq!(
-            resp.take().unwrap().msg,
-            DevMsg::SyncAck { tag: 1 }
-        );
+        assert_eq!(resp.take().unwrap().msg, DevMsg::SyncAck { tag: 1 });
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct FlagFile {
 impl FlagFile {
     /// A zero-initialised flag file.
     pub fn new(n: u16) -> FlagFile {
-        assert!((1..=256).contains(&n), "flag register count must be in 1..=256");
+        assert!(
+            (1..=256).contains(&n),
+            "flag register count must be in 1..=256"
+        );
         FlagFile {
             regs: vec![Flags::NONE; n as usize],
             staged: Vec::with_capacity(4),

@@ -50,5 +50,5 @@ pub mod serializer;
 pub mod testing;
 
 pub use config::CoprocConfig;
-pub use coprocessor::{Coprocessor, CoprocStats};
+pub use coprocessor::{ActivityMode, CoprocStats, Coprocessor};
 pub use protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit, LockTicket};

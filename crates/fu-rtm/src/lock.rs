@@ -54,10 +54,7 @@ impl LockManager {
 
     /// Would the ticket's registers all be acquirable (i.e. no WAW hazard)?
     pub fn can_acquire(&self, t: &LockTicket) -> bool {
-        t.data
-            .iter()
-            .flatten()
-            .all(|&r| !self.data[r as usize])
+        t.data.iter().flatten().all(|&r| !self.data[r as usize])
             && t.flag.is_none_or(|r| !self.flags[r as usize])
     }
 
@@ -93,11 +90,17 @@ impl LockManager {
     /// framework bug).
     pub fn release(&mut self, t: &LockTicket) {
         for &r in t.data.iter().flatten() {
-            assert!(self.data[r as usize], "release of unlocked data register r{r}");
+            assert!(
+                self.data[r as usize],
+                "release of unlocked data register r{r}"
+            );
             self.data[r as usize] = false;
         }
         if let Some(r) = t.flag {
-            assert!(self.flags[r as usize], "release of unlocked flag register f{r}");
+            assert!(
+                self.flags[r as usize],
+                "release of unlocked flag register f{r}"
+            );
             self.flags[r as usize] = false;
         }
         assert!(self.in_flight > 0, "release with no instruction in flight");
@@ -166,7 +169,10 @@ mod tests {
         assert!(!lm.can_acquire(&t(Some(3), None, None)), "same data dest");
         assert!(lm.can_acquire(&t(Some(4), None, None)), "different dest ok");
         lm.acquire(&t(None, None, Some(0)));
-        assert!(!lm.can_acquire(&t(Some(5), None, Some(0))), "same flag dest");
+        assert!(
+            !lm.can_acquire(&t(Some(5), None, Some(0))),
+            "same flag dest"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl MessageBuffer {
     /// A message buffer for `word_bits`-wide registers consuming up to
     /// `frames_per_cycle` frames per cycle.
     pub fn new(word_bits: u32, frames_per_cycle: u8) -> MessageBuffer {
-        assert!(frames_per_cycle >= 1, "input port must carry at least one frame/cycle");
+        assert!(
+            frames_per_cycle >= 1,
+            "input port must carry at least one frame/cycle"
+        );
         MessageBuffer {
             deframer: HostDeframer::new(word_bits),
             frames_per_cycle,
@@ -191,7 +194,10 @@ mod tests {
         assert!(matches!(out.take(), Some(Err(e)) if e.header == 0xdead_0000));
         run_cycle(&mut mb, &mut rx, &mut out);
         run_cycle(&mut mb, &mut rx, &mut out);
-        assert!(matches!(out.take(), Some(Ok(HostMsg::WriteReg { reg: 1, .. }))));
+        assert!(matches!(
+            out.take(),
+            Some(Ok(HostMsg::WriteReg { reg: 1, .. }))
+        ));
     }
 
     #[test]

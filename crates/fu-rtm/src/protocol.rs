@@ -166,6 +166,25 @@ pub trait FunctionalUnit: Clocked {
     /// drain checks).
     fn is_idle(&self) -> bool;
 
+    // ----- activity-aware scheduling --------------------------------
+    // The coprocessor's gated stepping mode clocks only busy units, and
+    // its fast-forward path skips whole idle spans. Units whose state
+    // evolves even while idle (e.g. a free-running clock-domain divider
+    // phase) opt out of the optimisation via these two hooks.
+
+    /// True when the unit's `commit` must run every cycle even while the
+    /// unit is idle. The default (`false`) is correct for any unit whose
+    /// idle `commit` is a no-op on observable state.
+    fn needs_clock_when_idle(&self) -> bool {
+        false
+    }
+
+    /// Account for `cycles` fast-forwarded cycles during which the unit
+    /// was idle. Must be observably equivalent to calling `commit` that
+    /// many times while idle; the default no-op is correct exactly when
+    /// an idle `commit` changes nothing.
+    fn advance_idle(&mut self, _cycles: u64) {}
+
     // ----- decode lookup tables -------------------------------------
     // "Lookup tables are implicitly synthesised into Decoder" (Fig. 4):
     // per-variety facts the dispatcher needs to form lock tickets and

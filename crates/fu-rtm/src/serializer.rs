@@ -28,7 +28,10 @@ impl MessageSerializer {
     /// A serialiser for `word_bits`-wide data emitting up to
     /// `frames_per_cycle` frames per cycle.
     pub fn new(word_bits: u32, frames_per_cycle: u8) -> MessageSerializer {
-        assert!(frames_per_cycle >= 1, "output port must carry at least one frame/cycle");
+        assert!(
+            frames_per_cycle >= 1,
+            "output port must carry at least one frame/cycle"
+        );
         MessageSerializer {
             shift: VecDeque::new(),
             word_bits,
@@ -44,7 +47,7 @@ impl MessageSerializer {
         if self.shift.is_empty() {
             if let Some(msg) = input.take() {
                 self.msgs_in.bump();
-                self.shift.extend(msg.to_frames(self.word_bits));
+                self.shift.extend(msg.frames(self.word_bits));
             }
         }
         for _ in 0..self.frames_per_cycle {
@@ -135,7 +138,11 @@ mod tests {
         });
         input.commit();
         cycle(&mut s, &mut input, &mut tx);
-        assert_eq!(tx.len(), 3, "3-frame message fits one cycle on a 4-wide port");
+        assert_eq!(
+            tx.len(),
+            3,
+            "3-frame message fits one cycle on a 4-wide port"
+        );
     }
 
     #[test]

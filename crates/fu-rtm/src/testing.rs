@@ -127,11 +127,7 @@ mod tests {
     fn pkt(a: u64, b: u64, dst: u8) -> DispatchPacket {
         DispatchPacket {
             variety: 0,
-            ops: [
-                Word::from_u64(a, 32),
-                Word::from_u64(b, 32),
-                Word::zero(32),
-            ],
+            ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
             flags_in: Flags::NONE,
             dst_reg: dst,
             dst2_reg: None,

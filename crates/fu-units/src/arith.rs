@@ -100,11 +100,7 @@ mod tests {
     fn pkt(op: ArithOp, a: u64, b: u64, flags_in: Flags) -> DispatchPacket {
         DispatchPacket {
             variety: op.variety().0,
-            ops: [
-                Word::from_u64(a, 32),
-                Word::from_u64(b, 32),
-                Word::zero(32),
-            ],
+            ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
             flags_in,
             dst_reg: 1,
             dst2_reg: None,

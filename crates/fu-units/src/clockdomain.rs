@@ -116,6 +116,22 @@ impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
         self.pending_in.is_none() && self.pending_out.is_none() && self.inner.is_idle()
     }
 
+    fn needs_clock_when_idle(&self) -> bool {
+        // The divider phase advances every fast cycle, idle or not; an
+        // activity-gated scheduler must keep clocking the wrapper so the
+        // slow-domain edges stay aligned with the system clock.
+        true
+    }
+
+    fn advance_idle(&mut self, cycles: u64) {
+        // `cycles` idle fast-cycle commits advance the phase counter and
+        // fire a slow edge at every wrap; while idle those edges only
+        // clock the (idle) inner unit.
+        let total = self.phase as u64 + cycles;
+        self.inner.advance_idle(total / self.divider as u64);
+        self.phase = (total % self.divider as u64) as u32;
+    }
+
     fn variety_writes_data(&self, v: u8) -> bool {
         self.inner.variety_writes_data(v)
     }
@@ -141,7 +157,11 @@ impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
         // The whole point: the inner path is cut by the divider from the
         // system clock's perspective (it has `divider` cycles to settle);
         // only the synchronisers load the fast domain.
-        let effective = self.inner.critical_path().levels.div_ceil(self.divider as u64);
+        let effective = self
+            .inner
+            .critical_path()
+            .levels
+            .div_ceil(self.divider as u64);
         CriticalPath::of(effective.max(2))
     }
 }
@@ -171,7 +191,10 @@ mod tests {
         let mut fu = wrapped(1);
         fu.dispatch(pkt(0, 5, 0, 32));
         let c = cycles_to_output(&mut fu);
-        assert!(c <= 2, "divider 1 adds at most the crossing register, took {c}");
+        assert!(
+            c <= 2,
+            "divider 1 adds at most the crossing register, took {c}"
+        );
         assert_eq!(fu.ack_output().data.unwrap().1.as_u64(), 5);
     }
 

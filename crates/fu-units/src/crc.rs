@@ -44,7 +44,9 @@ pub fn crc32_byte(crc: u32, byte: u8) -> u32 {
 
 /// Update a reflected CRC-32 with four little-endian bytes.
 pub fn crc32_word(crc: u32, word: u32) -> u32 {
-    word.to_le_bytes().iter().fold(crc, |c, &b| crc32_byte(c, b))
+    word.to_le_bytes()
+        .iter()
+        .fold(crc, |c, &b| crc32_byte(c, b))
 }
 
 /// Reference CRC-32 (IEEE) of a byte slice.
@@ -173,7 +175,11 @@ mod tests {
     #[test]
     fn through_minimal_skeleton() {
         let mut fu = MinimalFu::new(CrcKernel::new(32), false);
-        fu.dispatch(pkt(CRC_INIT | CRC_FINALIZE, u32::from_le_bytes(*b"abcd") as u64, 0));
+        fu.dispatch(pkt(
+            CRC_INIT | CRC_FINALIZE,
+            u32::from_le_bytes(*b"abcd") as u64,
+            0,
+        ));
         fu.commit();
         let out = fu.ack_output();
         assert_eq!(out.data.unwrap().1.as_u64() as u32, crc32(b"abcd"));

@@ -45,8 +45,8 @@ const QNAN: u32 = 0x7fc0_0000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Fp {
-    Zero(bool),          // sign
-    Inf(bool),           // sign
+    Zero(bool), // sign
+    Inf(bool),  // sign
     Nan,
     Num { sign: bool, exp: i32, mant: u32 }, // mant has the implicit bit set (bit 23)
 }
@@ -349,7 +349,13 @@ mod tests {
 
     /// Host-FPU reference with FTZ applied to inputs and outputs.
     fn host_ftz(op: impl Fn(f32, f32) -> f32, a: u32, b: u32) -> u32 {
-        let flush = |v: f32| if v.is_subnormal() { 0.0f32.copysign(v) } else { v };
+        let flush = |v: f32| {
+            if v.is_subnormal() {
+                0.0f32.copysign(v)
+            } else {
+                v
+            }
+        };
         let r = flush(op(flush(f32::from_bits(a)), flush(f32::from_bits(b))));
         r.to_bits()
     }
@@ -358,7 +364,10 @@ mod tests {
         let ours_f = f32::from_bits(ours);
         let host_f = f32::from_bits(host);
         if host_f.is_nan() {
-            assert!(ours_f.is_nan(), "{op_name}({a:#x},{b:#x}): expected NaN, got {ours:#x}");
+            assert!(
+                ours_f.is_nan(),
+                "{op_name}({a:#x},{b:#x}): expected NaN, got {ours:#x}"
+            );
         } else {
             assert_eq!(
                 ours, host,
@@ -467,7 +476,12 @@ mod tests {
     fn kernel_routes_operations() {
         use crate::kernel::testutil::pkt;
         let k = FpuKernel::new(32);
-        let mut p = pkt(ops::FADD, 1.5f32.to_bits() as u64, 2.25f32.to_bits() as u64, 32);
+        let mut p = pkt(
+            ops::FADD,
+            1.5f32.to_bits() as u64,
+            2.25f32.to_bits() as u64,
+            32,
+        );
         let out = k.compute(&p);
         assert_eq!(out.data.unwrap().as_u64() as u32, 3.75f32.to_bits());
         p.variety = ops::FSUB;

@@ -173,7 +173,11 @@ impl<K: Kernel> FunctionalUnit for FsmFu<K> {
         // The kernel may be spread across execute cycles; the per-cycle
         // depth is the kernel depth divided by the execute count (at
         // least the FSM logic itself).
-        let per_cycle = self.kernel.critical_path().levels.div_ceil(self.exec_cycles as u64);
+        let per_cycle = self
+            .kernel
+            .critical_path()
+            .levels
+            .div_ceil(self.exec_cycles as u64);
         CriticalPath::of(per_cycle.max(2))
     }
 }

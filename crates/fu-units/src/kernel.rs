@@ -75,9 +75,7 @@ pub trait Kernel {
 pub fn make_output(pkt: &DispatchPacket, out: KernelOutput) -> FuOutput {
     FuOutput {
         data: out.data.map(|v| (pkt.dst_reg, v)),
-        data2: out
-            .data2
-            .and_then(|v| pkt.dst2_reg.map(|r| (r, v))),
+        data2: out.data2.and_then(|v| pkt.dst2_reg.map(|r| (r, v))),
         flags: out.flags.map(|f| (pkt.dst_flag, f)),
         ticket: pkt.ticket,
         seq: pkt.seq,

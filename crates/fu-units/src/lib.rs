@@ -50,8 +50,8 @@ pub mod stateful;
 pub use arith::ArithKernel;
 pub use clockdomain::ClockDomainFu;
 pub use crc::CrcKernel;
-pub use fpu::FpuKernel;
 pub use div::DivKernel;
+pub use fpu::FpuKernel;
 pub use fsm::FsmFu;
 pub use kernel::{Kernel, KernelOutput};
 pub use logic::LogicKernel;

@@ -92,11 +92,7 @@ mod tests {
     fn pkt(variety: u8, a: u64, b: u64) -> DispatchPacket {
         DispatchPacket {
             variety,
-            ops: [
-                Word::from_u64(a, 32),
-                Word::from_u64(b, 32),
-                Word::zero(32),
-            ],
+            ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
             flags_in: Flags::NONE,
             dst_reg: 1,
             dst2_reg: None,
@@ -134,7 +130,10 @@ mod tests {
         let k = LogicKernel::new(32);
         assert_eq!(k.reads_srcs(LogicOp::And.variety().0), [true, true, false]);
         assert_eq!(k.reads_srcs(LogicOp::Not.variety().0), [true, false, false]);
-        assert_eq!(k.reads_srcs(LogicOp::Copy.variety().0), [true, false, false]);
+        assert_eq!(
+            k.reads_srcs(LogicOp::Copy.variety().0),
+            [true, false, false]
+        );
         // Constant-0 and constant-1 tables read nothing.
         assert_eq!(k.reads_srcs(0b0000), [false, false, false]);
         assert_eq!(k.reads_srcs(0b1111), [false, false, false]);

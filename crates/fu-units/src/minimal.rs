@@ -94,9 +94,7 @@ impl<K: Kernel> FunctionalUnit for MinimalFu<K> {
         // reports idle from the next cycle (hence one instruction every
         // second cycle under continuous acknowledgement); with
         // forwarding the acknowledge is folded in combinationally.
-        self.staged.is_none()
-            && self.out.is_none()
-            && (self.forward_ack || !self.acked_this_cycle)
+        self.staged.is_none() && self.out.is_none() && (self.forward_ack || !self.acked_this_cycle)
     }
 
     fn dispatch(&mut self, pkt: DispatchPacket) {

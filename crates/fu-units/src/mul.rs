@@ -97,9 +97,8 @@ impl Kernel for MulKernel {
 
     fn critical_path(&self) -> CriticalPath {
         // Partial-product reduction tree depth.
-        CriticalPath::tree(self.word_bits as u64, 2).then(CriticalPath::adder(
-            2 * self.word_bits as u64,
-        ))
+        CriticalPath::tree(self.word_bits as u64, 2)
+            .then(CriticalPath::adder(2 * self.word_bits as u64))
     }
 }
 
@@ -114,11 +113,7 @@ mod tests {
     fn pkt(a: u64, b: u64, variety: u8) -> DispatchPacket {
         DispatchPacket {
             variety,
-            ops: [
-                Word::from_u64(a, 32),
-                Word::from_u64(b, 32),
-                Word::zero(32),
-            ],
+            ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
             flags_in: Flags::NONE,
             dst_reg: 1,
             dst2_reg: Some(2),

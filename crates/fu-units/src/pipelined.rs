@@ -177,7 +177,11 @@ impl<K: Kernel> FunctionalUnit for PipelinedFu<K> {
 
     fn critical_path(&self) -> CriticalPath {
         // The kernel is cut into `stages` pieces.
-        let per_stage = self.kernel.critical_path().levels.div_ceil(self.stages as u64);
+        let per_stage = self
+            .kernel
+            .critical_path()
+            .levels
+            .div_ceil(self.stages as u64);
         CriticalPath::of(per_stage.max(2))
     }
 }
@@ -214,7 +218,10 @@ mod tests {
             fu.commit();
         }
         assert_eq!(dispatched, 50, "full throughput while the arbiter drains");
-        assert!(completed >= 45, "completions track dispatches minus latency");
+        assert!(
+            completed >= 45,
+            "completions track dispatches minus latency"
+        );
     }
 
     #[test]
@@ -224,7 +231,10 @@ mod tests {
         fu.commit();
         fu.dispatch(pkt(0, 200, 0, 32));
         fu.commit();
-        assert!(fu.peek_output().is_none(), "latency 3: nothing after 2 cycles");
+        assert!(
+            fu.peek_output().is_none(),
+            "latency 3: nothing after 2 cycles"
+        );
         fu.commit();
         assert_eq!(fu.peek_output().unwrap().data.unwrap().1.as_u64(), 100);
         fu.ack_output();

@@ -77,11 +77,7 @@ mod tests {
     fn pkt(v: u128, bits: u32) -> DispatchPacket {
         DispatchPacket {
             variety: 0,
-            ops: [
-                Word::from_u128(v, bits),
-                Word::zero(bits),
-                Word::zero(bits),
-            ],
+            ops: [Word::from_u128(v, bits), Word::zero(bits), Word::zero(bits)],
             flags_in: Flags::NONE,
             dst_reg: 1,
             dst2_reg: None,

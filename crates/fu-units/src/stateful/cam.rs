@@ -289,13 +289,17 @@ mod tests {
             assert!(cycles < 100_000);
         }
         let out = fu.ack_output();
-        (out.data.map(|(_, v)| v.as_u64()), out.flags.unwrap().1, cycles)
+        (
+            out.data.map(|(_, v)| v.as_u64()),
+            out.flags.unwrap().1,
+            cycles,
+        )
     }
 
     #[test]
     fn write_search_roundtrip() {
         let mut fu = CamFu::new(8, 32);
-        run(&mut fu, CAM_WRITE, 0xaaaa, 111, );
+        run(&mut fu, CAM_WRITE, 0xaaaa, 111);
         run(&mut fu, CAM_WRITE, 0xbbbb, 222);
         let (v, f, cycles) = run(&mut fu, CAM_SEARCH, 0xaaaa, 0);
         assert_eq!(v, Some(111));
@@ -310,7 +314,7 @@ mod tests {
     fn search_cost_is_independent_of_capacity() {
         let mut small = CamFu::new(2, 32);
         let mut big = CamFu::new(1024, 32);
-        run(&mut small, CAM_WRITE, 1, 1, );
+        run(&mut small, CAM_WRITE, 1, 1);
         run(&mut big, CAM_WRITE, 1, 1);
         let (_, _, c_small) = run(&mut small, CAM_SEARCH, 1, 0);
         let (_, _, c_big) = run(&mut big, CAM_SEARCH, 1, 0);

@@ -237,11 +237,7 @@ mod tests {
     fn pkt(variety: u8, a: u64, b: u64) -> DispatchPacket {
         DispatchPacket {
             variety,
-            ops: [
-                Word::from_u64(a, 32),
-                Word::from_u64(b, 32),
-                Word::zero(32),
-            ],
+            ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
             flags_in: Flags::NONE,
             dst_reg: 1,
             dst2_reg: None,
@@ -261,7 +257,11 @@ mod tests {
             assert!(cycles < 10_000, "operation never completed");
         }
         let out = fu.ack_output();
-        (out.data.map(|(_, v)| v.as_u64()), out.flags.unwrap().1, cycles)
+        (
+            out.data.map(|(_, v)| v.as_u64()),
+            out.flags.unwrap().1,
+            cycles,
+        )
     }
 
     #[test]
@@ -294,7 +294,10 @@ mod tests {
         }
         let (v, _, cycles) = run(&mut fu, HIST_TOTAL, 0, 0);
         assert_eq!(v, Some((1..=8).sum::<u64>()));
-        assert!(cycles >= 8, "a total is a bin-per-cycle sweep, took {cycles}");
+        assert!(
+            cycles >= 8,
+            "a total is a bin-per-cycle sweep, took {cycles}"
+        );
     }
 
     #[test]

@@ -226,7 +226,10 @@ mod tests {
                 seen_first_again += 1;
             }
         }
-        assert_eq!(seen_first_again, 0, "period must exceed 10k for a 2^32-1 LFSR");
+        assert_eq!(
+            seen_first_again, 0,
+            "period must exceed 10k for a 2^32-1 LFSR"
+        );
     }
 
     #[test]
@@ -234,7 +237,10 @@ mod tests {
         let mut fu = PrngFu::new(32);
         run(&mut fu, PRNG_SEED, 7);
         let (_, c100) = run(&mut fu, PRNG_SKIP, 100);
-        assert!(c100 >= 100, "skip(100) must take >= 100 cycles, took {c100}");
+        assert!(
+            c100 >= 100,
+            "skip(100) must take >= 100 cycles, took {c100}"
+        );
         // skip(n) == n × next.
         let mut a = PrngFu::new(32);
         run(&mut a, PRNG_SEED, 7);

@@ -1,0 +1,222 @@
+//! A minimal, dependency-free subset of the [`proptest`] API, vendored so
+//! the workspace builds and tests without network access to crates.io.
+//!
+//! Supported surface (what this repository's tests use):
+//!
+//! * `proptest! { ... }` blocks with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   parameters written either as `name in strategy` or `name: Type`;
+//! * integer range strategies (`0u8..6`, `1u32..`, `0..=n`), `any::<T>()`,
+//!   `Just`, tuple strategies, `.prop_map`, `prop_oneof!`, and
+//!   `proptest::collection::vec`;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Generation is a deterministic splitmix64 stream seeded per test
+//! function, so failures are reproducible run to run. There is **no
+//! shrinking**: a failing case panics with the generated inputs visible in
+//! the assertion message only. Swap the workspace dependency back to the
+//! registry crate to regain shrinking.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Deterministic generator state (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream seeded from a test-specific value.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[0, bound)` over the full 128-bit space.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0, "empty range");
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+}
+
+/// Seed derivation for one test function: FNV-1a over the name.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h.wrapping_add(case.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// The test-block macro. Expands each contained function into a plain
+/// `#[test]` that evaluates its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng = $crate::TestRng::new($crate::seed_for(stringify!($name), __case));
+                $crate::__proptest_bind!(__rng, ($($params)*), $body);
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, (), $body:block) => {
+        { $body }
+    };
+    ($rng:ident, ($var:ident in $strat:expr $(, $($rest:tt)*)?), $body:block) => {
+        {
+            let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+            $crate::__proptest_bind!($rng, ($($($rest)*)?), $body)
+        }
+    };
+    ($rng:ident, ($var:ident : $ty:ty $(, $($rest:tt)*)?), $body:block) => {
+        {
+            let $var = $crate::strategy::Strategy::generate(&$crate::strategy::any::<$ty>(), &mut $rng);
+            $crate::__proptest_bind!($rng, ($($($rest)*)?), $body)
+        }
+    };
+}
+
+/// In-test assertion; panics (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// In-test equality assertion; panics (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// In-test inequality assertion; panics (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose uniformly among the listed strategies (all must yield the same
+/// value type). Weighted variants of the real macro are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Step {
+        Write(u8, u32),
+        Read(u8),
+        Fence,
+    }
+
+    fn step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            (0u8..4, any::<u32>()).prop_map(|(r, v)| Step::Write(r, v)),
+            (0u8..4).prop_map(Step::Read),
+            Just(Step::Fence),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..7, y in 1u32.., z: u16) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!(y >= 1);
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u32..100, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| *x < 100));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(steps in crate::collection::vec(step(), 1..20)) {
+            prop_assert!(!steps.is_empty());
+            for s in steps {
+                if let Step::Write(r, _) | Step::Read(r) = s {
+                    prop_assert!(r < 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let make = || {
+            let mut rng = crate::TestRng::new(crate::seed_for("determinism", 7));
+            (0..8)
+                .map(|_| (0u32..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,266 @@
+//! Value-generation strategies: the composable core of the shim.
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for producing values of `Self::Value` from a [`TestRng`].
+///
+/// Unlike the registry crate there is no value tree — `generate` yields a
+/// plain value and failing cases are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Bidirectional map between an integer type and an order-preserving
+/// `u128` encoding, so every range strategy shares one sampling routine.
+pub trait IntValue: Copy {
+    const DOMAIN_MAX: u128;
+    fn to_offset(self) -> u128;
+    fn from_offset(off: u128) -> Self;
+}
+
+macro_rules! int_value_unsigned {
+    ($($t:ty),*) => {$(
+        impl IntValue for $t {
+            const DOMAIN_MAX: u128 = <$t>::MAX as u128;
+            fn to_offset(self) -> u128 {
+                self as u128
+            }
+            fn from_offset(off: u128) -> $t {
+                off as $t
+            }
+        }
+    )*};
+}
+
+int_value_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! int_value_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl IntValue for $t {
+            const DOMAIN_MAX: u128 = <$u>::MAX as u128;
+            fn to_offset(self) -> u128 {
+                // Shift so the encoding is order-preserving and non-negative.
+                ((self as $u) ^ (1 << (<$u>::BITS - 1))) as u128
+            }
+            fn from_offset(off: u128) -> $t {
+                ((off as $u) ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+int_value_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+impl<T: IntValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start.to_offset();
+        let hi = self.end.to_offset();
+        assert!(lo < hi, "empty range strategy");
+        T::from_offset(lo + rng.below_u128(hi - lo))
+    }
+}
+
+impl<T: IntValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start().to_offset();
+        let hi = self.end().to_offset();
+        assert!(lo <= hi, "empty range strategy");
+        if lo == 0 && hi == T::DOMAIN_MAX {
+            return T::from_offset(u128::arbitrary(rng) % (T::DOMAIN_MAX + 1).max(1));
+        }
+        T::from_offset(lo + rng.below_u128(hi - lo + 1))
+    }
+}
+
+impl<T: IntValue> Strategy for RangeFrom<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start.to_offset();
+        let span = T::DOMAIN_MAX - lo + 1;
+        T::from_offset(lo + rng.below_u128(span))
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Object-safe generation, used to erase heterogeneous strategies so
+/// `prop_oneof!` can hold them in one `Vec`.
+pub trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Erase a strategy for storage in a [`Union`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn DynStrategy<S::Value>> {
+    Box::new(s)
+}
+
+/// Uniform choice among alternatives; the expansion of `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].gen_dyn(rng)
+    }
+}
+
+impl<T, S> Strategy for Box<S>
+where
+    S: Strategy<Value = T> + ?Sized,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}

@@ -1,0 +1,21 @@
+//! Test-runner configuration (`ProptestConfig`).
+
+/// How many cases each `proptest!` function runs. Other knobs of the
+/// registry crate (fork, timeout, failure persistence) do not exist here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test function.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -260,7 +260,10 @@ mod tests {
         // A handful of levels should land in the tens-of-MHz band the
         // paper's Cyclone prototype reports (~50 MHz).
         let proto = CriticalPath::of(15).fmax_mhz();
-        assert!((30.0..80.0).contains(&proto), "fmax {proto} MHz out of band");
+        assert!(
+            (30.0..80.0).contains(&proto),
+            "fmax {proto} MHz out of band"
+        );
     }
 
     #[test]

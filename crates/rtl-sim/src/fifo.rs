@@ -99,7 +99,10 @@ impl<T> Fifo<T> {
     /// # Panics
     /// Panics when the FIFO is full — see [`Fifo::can_push`].
     pub fn push(&mut self, v: T) {
-        assert!(self.can_push(), "Fifo::push while full (missing can_push check)");
+        assert!(
+            self.can_push(),
+            "Fifo::push while full (missing can_push check)"
+        );
         self.stats.pushes += 1;
         self.staged.push_back(v);
     }
@@ -113,6 +116,17 @@ impl<T> Fifo<T> {
     /// ablation A3).
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Account for `n` fast-forwarded idle cycles without running commits.
+    ///
+    /// Equivalent to calling [`Clocked::commit`] `n` times while the FIFO
+    /// is idle: only `stats.cycles` advances (an idle FIFO accrues no
+    /// occupancy and its high-water mark cannot move). Callers must only
+    /// invoke this while [`Fifo::is_idle`] holds.
+    pub fn note_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "note_idle_cycles on a non-idle Fifo");
+        self.stats.cycles += n;
     }
 
     /// Drain every element (current and staged) into a vector, in order.
@@ -176,7 +190,10 @@ mod tests {
         f.commit();
         assert!(!f.can_push());
         f.pop();
-        assert!(f.can_push(), "fall-through pop frees space within the cycle");
+        assert!(
+            f.can_push(),
+            "fall-through pop frees space within the cycle"
+        );
         f.push(3);
         f.commit();
         assert_eq!(f.drain_all(), vec![2, 3]);

@@ -130,6 +130,20 @@ impl<T> HandshakeSlot<T> {
     pub fn note_stall(&mut self) {
         self.stats.stall_cycles += 1;
     }
+
+    /// Account for `n` fast-forwarded idle cycles without running commits.
+    ///
+    /// Equivalent to calling [`Clocked::commit`] `n` times while the slot
+    /// is idle: only `stats.cycles` advances (an empty slot accrues no
+    /// occupancy). Callers must only invoke this while
+    /// [`HandshakeSlot::is_idle`] holds.
+    pub fn note_idle_cycles(&mut self, n: u64) {
+        debug_assert!(
+            self.is_idle(),
+            "note_idle_cycles on a non-idle HandshakeSlot"
+        );
+        self.stats.cycles += n;
+    }
 }
 
 impl<T> Clocked for HandshakeSlot<T> {
@@ -170,8 +184,14 @@ mod tests {
     fn push_becomes_visible_after_commit() {
         let mut s = HandshakeSlot::new();
         s.push(7u32);
-        assert!(!s.has_data(), "pushed value must not be combinationally visible");
-        assert!(!s.is_idle(), "a staged value still counts as work in flight");
+        assert!(
+            !s.has_data(),
+            "pushed value must not be combinationally visible"
+        );
+        assert!(
+            !s.is_idle(),
+            "a staged value still counts as work in flight"
+        );
         s.commit();
         assert_eq!(s.peek(), Some(&7));
         assert_eq!(s.take(), Some(7));

@@ -49,5 +49,5 @@ pub use fifo::Fifo;
 pub use handshake::HandshakeSlot;
 pub use reg::{Reg, SatCounter};
 pub use stall::StallFuzzer;
-pub use stats::SlotStats;
+pub use stats::{SimStats, SlotStats};
 pub use trace::{TraceBuffer, TraceEvent, VcdWriter};

@@ -103,7 +103,10 @@ mod tests {
         let mut a = StallFuzzer::new(1, 0.5);
         let mut b = StallFuzzer::new(2, 0.5);
         let same = (0..256).filter(|_| a.stall() == b.stall()).count();
-        assert!(same < 256, "distinct seeds must not produce identical streams");
+        assert!(
+            same < 256,
+            "distinct seeds must not produce identical streams"
+        );
     }
 
     #[test]
@@ -124,6 +127,9 @@ mod tests {
     fn zero_seed_is_usable() {
         let mut f = StallFuzzer::new(0, 0.5);
         let v: Vec<u64> = (0..8).map(|_| f.next_u64()).collect();
-        assert!(v.iter().any(|&x| x != 0), "seed 0 must not collapse to zeros");
+        assert!(
+            v.iter().any(|&x| x != 0),
+            "seed 0 must not collapse to zeros"
+        );
     }
 }

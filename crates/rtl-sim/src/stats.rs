@@ -1,4 +1,9 @@
-//! Occupancy and flow statistics collected by the pipeline primitives.
+//! Occupancy and flow statistics collected by the pipeline primitives,
+//! plus scheduler-level counters ([`SimStats`]) reported by designs that
+//! support activity-gated stepping and idle fast-forward.
+
+use std::fmt;
+use std::time::Duration;
 
 /// Counters maintained by [`crate::HandshakeSlot`] and [`crate::Fifo`].
 ///
@@ -44,9 +49,96 @@ impl SlotStats {
     }
 }
 
+/// Scheduler-level counters for an activity-aware simulation.
+///
+/// `cycles_simulated` is the authoritative simulated-time clock:
+/// `cycles_stepped` of those ran through the full evaluate/commit loop and
+/// `cycles_skipped` were fast-forwarded while the design was provably
+/// idle. The two partitions always sum to `cycles_simulated`, and all
+/// architecturally visible state is identical whether a span of cycles
+/// was stepped or skipped.
+///
+/// `stage_evals` counts how often each named pipeline stage's evaluate
+/// function actually ran; with activity gating enabled these fall well
+/// below `cycles_stepped` on sparse workloads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total simulated cycles (stepped + skipped).
+    pub cycles_simulated: u64,
+    /// Cycles run through the full evaluate/commit loop.
+    pub cycles_stepped: u64,
+    /// Cycles fast-forwarded without evaluating any stage.
+    pub cycles_skipped: u64,
+    /// Per-stage evaluate counts, in pipeline order.
+    pub stage_evals: Vec<(&'static str, u64)>,
+}
+
+impl SimStats {
+    /// Fraction of simulated cycles that were fast-forwarded, in `[0, 1]`.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.cycles_simulated == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / self.cycles_simulated as f64
+        }
+    }
+
+    /// Simulated cycles per host-wall-clock second over `elapsed`.
+    pub fn cycles_per_second(&self, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.cycles_simulated as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sim: {} cycles ({} stepped, {} skipped, {:.1}% fast-forwarded)",
+            self.cycles_simulated,
+            self.cycles_stepped,
+            self.cycles_skipped,
+            self.skip_fraction() * 100.0
+        )?;
+        if !self.stage_evals.is_empty() {
+            write!(f, "; stage evals:")?;
+            for (name, n) in &self.stage_evals {
+                write!(f, " {name}={n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_stats_ratios() {
+        let s = SimStats {
+            cycles_simulated: 1000,
+            cycles_stepped: 250,
+            cycles_skipped: 750,
+            stage_evals: vec![("decode", 40)],
+        };
+        assert_eq!(s.skip_fraction(), 0.75);
+        assert_eq!(s.cycles_per_second(Duration::from_secs(2)), 500.0);
+        let text = s.to_string();
+        assert!(text.contains("75.0% fast-forwarded"), "{text}");
+        assert!(text.contains("decode=40"), "{text}");
+    }
+
+    #[test]
+    fn sim_stats_zero_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.skip_fraction(), 0.0);
+        assert_eq!(s.cycles_per_second(Duration::ZERO), 0.0);
+    }
 
     #[test]
     fn ratios_handle_zero_cycles() {

@@ -223,7 +223,9 @@ mod tests {
     fn disabled_buffer_records_nothing() {
         let mut t = TraceBuffer::disabled();
         assert!(!t.is_enabled());
-        t.record(1, "x", || panic!("detail closure must not run when disabled"));
+        t.record(1, "x", || {
+            panic!("detail closure must not run when disabled")
+        });
         assert_eq!(t.events().count(), 0);
     }
 
@@ -242,7 +244,10 @@ mod tests {
         assert!(text.contains("$var reg 64"));
         assert!(text.contains("#0"));
         assert!(text.contains("#1"));
-        assert!(!text.contains("#2"), "unchanged values must not emit time marks");
+        assert!(
+            !text.contains("#2"),
+            "unchanged values must not emit time marks"
+        );
         assert!(text.contains("b1101111010101101"));
     }
 

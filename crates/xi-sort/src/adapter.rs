@@ -72,12 +72,7 @@ impl XiSortAdapter {
         } else {
             None
         };
-        let mut flags = Flags::from_parts(
-            false,
-            result == Some(0),
-            false,
-            false,
-        );
+        let mut flags = Flags::from_parts(false, result == Some(0), false, false);
         flags.set(Flags::ERROR, error);
         self.out = Some(FuOutput {
             data,

@@ -193,7 +193,11 @@ mod tests {
     fn set_bounds_only_affect_selected() {
         let mut c = cell(1, 0, 7);
         c.apply(CellCmd::SetBounds, b(0, 2, 3), 0);
-        assert_eq!(c.interval, IndexInterval::new(0, 7), "deselected cell unchanged");
+        assert_eq!(
+            c.interval,
+            IndexInterval::new(0, 7),
+            "deselected cell unchanged"
+        );
         c.apply(CellCmd::SelectAll, b(0, 0, 0), 0);
         c.apply(CellCmd::SetLowerBound, b(0, 1, 0), 0);
         c.apply(CellCmd::SetUpperBound, b(0, 0, 5), 0);

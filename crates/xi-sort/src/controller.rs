@@ -362,8 +362,7 @@ impl XiSortCore {
                     self.scratch[a as usize].wrapping_add(self.scratch[b as usize]);
             }
             MicroInstr::AddConst(dst, a, k) => {
-                self.scratch[dst as usize] =
-                    self.scratch[a as usize].wrapping_add(k as u32);
+                self.scratch[dst as usize] = self.scratch[a as usize].wrapping_add(k as u32);
             }
             MicroInstr::Set(dst, v) => {
                 self.scratch[dst as usize] = v;
@@ -389,14 +388,43 @@ impl XiSortCore {
         };
     }
 
+    /// Advance up to `max` cycles, stopping early at `Idle`; returns the
+    /// cycles consumed. Wait states of registered-tree operations are
+    /// collapsed in bulk — the counters end up exactly as if [`step`]
+    /// had been called once per cycle.
+    ///
+    /// [`step`]: XiSortCore::step
+    pub fn step_n(&mut self, max: u64) -> u64 {
+        let mut done = 0;
+        while done < max {
+            let CoreState::Run { pc, wait } = self.state.clone() else {
+                break;
+            };
+            if wait > 0 {
+                // A waiting cycle only decrements `wait` and counts a
+                // cycle, so a whole stretch can be retired at once.
+                let k = (wait as u64).min(max - done);
+                self.op_cycle_counter += k;
+                self.state = CoreState::Run {
+                    pc,
+                    wait: wait - k as u32,
+                };
+                done += k;
+            } else {
+                self.step();
+                done += 1;
+            }
+        }
+        done
+    }
+
     /// Run until the controller returns to `Idle`; returns the result.
     /// Test/driver convenience — each iteration is one clock cycle.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Option<u32> {
         let mut budget = max_cycles;
         while !matches!(self.state, CoreState::Idle) {
             assert!(budget > 0, "χ-sort program exceeded {max_cycles} cycles");
-            self.step();
-            budget -= 1;
+            budget -= self.step_n(budget);
         }
         self.take_result()
     }
@@ -491,7 +519,10 @@ mod tests {
         }
         for c in &cells[3..] {
             assert!(c.interval.is_precise());
-            assert!(c.interval.lo >= 3, "inert cells sit beyond the loaded prefix");
+            assert!(
+                c.interval.lo >= 3,
+                "inert cells sit beyond the loaded prefix"
+            );
         }
         assert_eq!(op(&mut core, XiOp::CountImprecise, 0), 3);
     }
@@ -535,7 +566,10 @@ mod tests {
         let values = [4, 4, 4, 4];
         let mut core = loaded_core(&values);
         let rounds = op(&mut core, XiOp::Sort, 0);
-        assert_eq!(rounds, 1, "a single scan-assign resolves an all-equal array");
+        assert_eq!(
+            rounds, 1,
+            "a single scan-assign resolves an all-equal array"
+        );
         assert_eq!(read_all(&mut core, 4), vec![4, 4, 4, 4]);
     }
 
@@ -596,7 +630,10 @@ mod tests {
         let mut big = loaded_core(&(0..1024).rev().collect::<Vec<u32>>());
         op(&mut big, XiOp::SortStep, 0);
         let c_big = big.op_cycles();
-        assert_eq!(c_small, c_big, "fixed cycles per operation, independent of n");
+        assert_eq!(
+            c_small, c_big,
+            "fixed cycles per operation, independent of n"
+        );
         assert!(c_small < 40, "a step is a couple dozen cycles");
     }
 

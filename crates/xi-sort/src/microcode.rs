@@ -273,7 +273,7 @@ pub fn init_bounds() -> Vec<MicroInstr> {
     vec![
         Set(Base, 0),
         Cell(SelectAll, OperandSel::default()),
-        TreeScanAssign, // every cell: lo = hi = its index
+        TreeScanAssign,       // every cell: lo = hi = its index
         AddConst(Tmp, K, -1), // Tmp = m - 1
         Cell(SelectAll, OperandSel::default()),
         Cell(MatchLowerBoundLe, sel_lo(Tmp)), // the first m cells

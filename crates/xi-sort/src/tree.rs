@@ -221,9 +221,14 @@ mod tests {
         assert!(comb_big > comb_small, "combinational depth grows with n");
         let reg_small = TreeNetwork::new(8, true).critical_path();
         let reg_big = TreeNetwork::new(1024, true).critical_path();
-        assert_eq!(reg_small, reg_big, "registered depth is per-level, flat in n");
-        assert!(TreeNetwork::new(1024, false).area().components()
-            > TreeNetwork::new(8, false).area().components());
+        assert_eq!(
+            reg_small, reg_big,
+            "registered depth is per-level, flat in n"
+        );
+        assert!(
+            TreeNetwork::new(1024, false).area().components()
+                > TreeNetwork::new(8, false).area().components()
+        );
     }
 
     #[test]

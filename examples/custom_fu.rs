@@ -120,6 +120,9 @@ fn main() {
 
     // The standard units still work beside it.
     dev.exec_asm("ADD r6, r1, r2, f2").expect("assembles");
-    println!("ADD beside it          = {}", dev.read_reg(6).unwrap().as_u64());
+    println!(
+        "ADD beside it          = {}",
+        dev.read_reg(6).unwrap().as_u64()
+    );
     println!("total FPGA cycles      = {}", dev.cycles());
 }

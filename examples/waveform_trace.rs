@@ -105,8 +105,15 @@ fn main() {
     let path = std::path::Path::new("target").join("coproc_trace.vcd");
     std::fs::create_dir_all("target").expect("target dir");
     std::fs::write(&path, &text).expect("write VCD");
-    println!("traced {cycles} cycles -> {} ({} bytes)", path.display(), text.len());
-    println!("open it with any VCD waveform viewer, e.g. `gtkwave {}`", path.display());
+    println!(
+        "traced {cycles} cycles -> {} ({} bytes)",
+        path.display(),
+        text.len()
+    );
+    println!(
+        "open it with any VCD waveform viewer, e.g. `gtkwave {}`",
+        path.display()
+    );
     println!("\nfirst lines:");
     for line in text.lines().take(16) {
         println!("  {line}");

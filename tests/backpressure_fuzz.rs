@@ -62,7 +62,10 @@ fn fuzz_run(seed: u64, stall_p: f64, n_ops: u32) {
             src2: 2,
             src3: 0,
         })));
-        msgs.push(HostMsg::ReadReg { reg: 3, tag: i as u16 });
+        msgs.push(HostMsg::ReadReg {
+            reg: 3,
+            tag: i as u16,
+        });
         expected.push(DevMsg::Data {
             tag: i as u16,
             value: Word::from_u64(expect, 32),

@@ -64,10 +64,7 @@ fn stream_crc(unit: Box<dyn FunctionalUnit>, message: &[u8]) -> u32 {
 #[test]
 fn streamed_crc_matches_reference_minimal_unit() {
     let message = b"The quick brown fox jumps over the lazy dog!....";
-    let got = stream_crc(
-        Box::new(MinimalFu::new(CrcKernel::new(32), false)),
-        message,
-    );
+    let got = stream_crc(Box::new(MinimalFu::new(CrcKernel::new(32), false)), message);
     assert_eq!(got, crc::crc32(message));
 }
 
@@ -90,10 +87,7 @@ fn known_check_value_through_hardware() {
     // canonical vector on the unpadded prefix by doing it in software
     // too (the test's real assertion is hw == sw on identical input).
     let message = b"123456789abc";
-    let got = stream_crc(
-        Box::new(MinimalFu::new(CrcKernel::new(32), true)),
-        message,
-    );
+    let got = stream_crc(Box::new(MinimalFu::new(CrcKernel::new(32), true)), message);
     assert_eq!(got, crc::crc32(message));
 }
 

@@ -86,7 +86,10 @@ fn random_system(link: LinkModel) -> Driver {
         flag_regs: 4,
         ..CoprocConfig::default()
     };
-    Driver::new(System::new(cfg, standard_units(32), link).unwrap(), 5_000_000)
+    Driver::new(
+        System::new(cfg, standard_units(32), link).unwrap(),
+        5_000_000,
+    )
 }
 
 fn run_differential(seed: u64, n_instrs: usize, link: LinkModel) {
@@ -153,7 +156,10 @@ fn run_differential(seed: u64, n_instrs: usize, link: LinkModel) {
     d.sync().unwrap();
     for r in 0..16u8 {
         let got = d.read_reg(r).unwrap().as_u64() as u32;
-        assert_eq!(got, g.regs[r as usize], "register r{r} diverged (seed {seed})");
+        assert_eq!(
+            got, g.regs[r as usize],
+            "register r{r} diverged (seed {seed})"
+        );
     }
     for f in 0..4u8 {
         let got = d.read_flags(f).unwrap();

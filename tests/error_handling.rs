@@ -102,7 +102,13 @@ fn errors_interleave_with_successes_in_order() {
     s.send(&HostMsg::Sync { tag: 2 }); // ack
     let out = drain(&mut s, 4);
     assert!(matches!(out[0], DevMsg::Data { tag: 0, .. }));
-    assert!(matches!(out[1], DevMsg::Error { code: ErrorCode::BadOpcode, .. }));
+    assert!(matches!(
+        out[1],
+        DevMsg::Error {
+            code: ErrorCode::BadOpcode,
+            ..
+        }
+    ));
     assert!(matches!(out[2], DevMsg::Data { tag: 1, .. }));
     assert_eq!(out[3], DevMsg::SyncAck { tag: 2 });
 }

@@ -78,7 +78,11 @@ fn dot_product_matches_host_fpu() {
         [fu_isa::DevMsg::Data { value, .. }] => f32::from_bits(value.as_u64() as u32),
         other => panic!("unexpected responses {other:?}"),
     };
-    assert_eq!(got.to_bits(), expect.to_bits(), "got {got}, expected {expect}");
+    assert_eq!(
+        got.to_bits(),
+        expect.to_bits(),
+        "got {got}, expected {expect}"
+    );
 }
 
 #[test]

@@ -100,13 +100,11 @@ fn wide_words_through_xi_adapter_transcode() {
 
 #[test]
 fn area_reports_scale_with_configuration() {
-    let small = fu_rtm::Coprocessor::new(
-        CoprocConfig::default(),
-        standard_units(32),
-    )
-    .unwrap();
+    let small = fu_rtm::Coprocessor::new(CoprocConfig::default(), standard_units(32)).unwrap();
     let big = fu_rtm::Coprocessor::new(
-        CoprocConfig::default().with_word_bits(128).with_data_regs(128),
+        CoprocConfig::default()
+            .with_word_bits(128)
+            .with_data_regs(128),
         standard_units(128),
     )
     .unwrap();

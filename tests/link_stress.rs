@@ -91,6 +91,11 @@ fn wide_words_with_narrow_fifos() {
 #[test]
 fn many_seeds_quick_sweep() {
     for seed in 10..20 {
-        stress(CoprocConfig::default(), LinkModel::tightly_coupled(), 60, seed);
+        stress(
+            CoprocConfig::default(),
+            LinkModel::tightly_coupled(),
+            60,
+            seed,
+        );
     }
 }

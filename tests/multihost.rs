@@ -73,7 +73,13 @@ fn hosts_share_architectural_state() {
         DevMsg::SyncAck { tag: sync_tag }
     );
     let read_tag = s.brand_tag(1, 2);
-    s.send(1, &HostMsg::ReadReg { reg: 5, tag: read_tag });
+    s.send(
+        1,
+        &HostMsg::ReadReg {
+            reg: 5,
+            tag: read_tag,
+        },
+    );
     assert_eq!(
         s.recv_blocking(1, 1_000_000).unwrap(),
         DevMsg::Data {
@@ -145,9 +151,18 @@ fn mis_branded_tag_is_rejected_early() {
     let mut s = sys(2);
     let foreign = s.brand_tag(1, 3);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        s.send(0, &HostMsg::ReadReg { reg: 1, tag: foreign });
+        s.send(
+            0,
+            &HostMsg::ReadReg {
+                reg: 1,
+                tag: foreign,
+            },
+        );
     }));
-    assert!(result.is_err(), "sending host 1's tag from host 0 must panic");
+    assert!(
+        result.is_err(),
+        "sending host 1's tag from host 0 must panic"
+    );
 }
 
 #[test]
@@ -160,7 +175,13 @@ fn single_host_degenerates_to_plain_system() {
             value: Word::from_u64(42, 32),
         },
     );
-    s.send(0, &HostMsg::ReadReg { reg: 1, tag: s.brand_tag(0, 9) });
+    s.send(
+        0,
+        &HostMsg::ReadReg {
+            reg: 1,
+            tag: s.brand_tag(0, 9),
+        },
+    );
     let resp = s.recv_blocking(0, 1_000_000).unwrap();
     assert!(matches!(resp, DevMsg::Data { .. }));
     let mut budget = 10_000;
@@ -173,11 +194,6 @@ fn single_host_degenerates_to_plain_system() {
 
 #[test]
 fn zero_hosts_rejected() {
-    let r = MultiHostSystem::new(
-        CoprocConfig::default(),
-        vec![],
-        LinkModel::ideal(),
-        0,
-    );
+    let r = MultiHostSystem::new(CoprocConfig::default(), vec![], LinkModel::ideal(), 0);
     assert!(r.is_err());
 }

@@ -39,13 +39,31 @@ fn prng_feeds_histogram_through_interlocks() {
     let mut d = full_driver();
     d.write_reg(1, 42);
     d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_SEED, 0, 1, 0));
-    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_CLEAR, 0, 0, 0));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_CLEAR,
+        0,
+        0,
+        0,
+    ));
     d.write_reg(3, 1);
     for _ in 0..32 {
         d.exec(instr(prng::PRNG_FUNC_CODE, prng::PRNG_NEXT, 2, 0, 0));
-        d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_ACCUM, 0, 2, 3));
+        d.exec(instr(
+            histogram::HIST_FUNC_CODE,
+            histogram::HIST_ACCUM,
+            0,
+            2,
+            3,
+        ));
     }
-    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_TOTAL, 4, 0, 0));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_TOTAL,
+        4,
+        0,
+        0,
+    ));
     let total = d.read_reg(4).unwrap().as_u64();
     assert_eq!(total, 32, "every draw must land in exactly one bin");
 }
@@ -97,11 +115,29 @@ fn histogram_read_waits_for_accumulate() {
     // HIST_READ after HIST_ACCUM to the same unit: unit-busy interlock
     // (not register locks) must order them.
     let mut d = full_driver();
-    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_CLEAR, 0, 0, 0));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_CLEAR,
+        0,
+        0,
+        0,
+    ));
     d.write_reg(1, 3);
     d.write_reg(2, 7);
-    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_ACCUM, 0, 1, 2));
-    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_READ, 4, 1, 0));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_ACCUM,
+        0,
+        1,
+        2,
+    ));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_READ,
+        4,
+        1,
+        0,
+    ));
     assert_eq!(d.read_reg(4).unwrap().as_u64(), 7);
 }
 
@@ -122,7 +158,13 @@ fn clock_domain_unit_in_full_system() {
         d.write_reg(1, 30);
         d.write_reg(2, 12);
         for i in 0..10u8 {
-            d.exec(instr(funit_codes::ARITH, fu_isa::ArithOp::Add.variety().0, 3 + (i % 4), 1, 2));
+            d.exec(instr(
+                funit_codes::ARITH,
+                fu_isa::ArithOp::Add.variety().0,
+                3 + (i % 4),
+                1,
+                2,
+            ));
         }
         d.sync().unwrap();
         let v = d.read_reg(3).unwrap().as_u64();
@@ -132,7 +174,10 @@ fn clock_domain_unit_in_full_system() {
     let (v4, c4) = run(make(4));
     assert_eq!(v1, 42);
     assert_eq!(v4, 42, "slow domain computes identical results");
-    assert!(c4 > c1, "clock/4 unit costs more system cycles ({c1} -> {c4})");
+    assert!(
+        c4 > c1,
+        "clock/4 unit costs more system cycles ({c1} -> {c4})"
+    );
 }
 
 #[test]
@@ -141,7 +186,13 @@ fn stateful_units_reset_with_the_machine() {
     d.write_reg(1, 5);
     d.write_reg(2, 50);
     d.exec(instr(cam::CAM_FUNC_CODE, cam::CAM_WRITE, 0, 1, 2));
-    d.exec(instr(histogram::HIST_FUNC_CODE, histogram::HIST_ACCUM, 0, 1, 2));
+    d.exec(instr(
+        histogram::HIST_FUNC_CODE,
+        histogram::HIST_ACCUM,
+        0,
+        1,
+        2,
+    ));
     d.sync().unwrap();
     // Machine-level reset clears unit-local persistent state too.
     let mut sys = d.into_system();

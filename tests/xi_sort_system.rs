@@ -118,7 +118,10 @@ fn per_op_cycles_are_constant_in_n_through_the_full_stack() {
     // the step itself adding a fixed tail.
     let total_small = step_cycles(8);
     let total_big = step_cycles(512);
-    assert!(total_big > total_small, "loading 512 elements costs more overall");
+    assert!(
+        total_big > total_small,
+        "loading 512 elements costs more overall"
+    );
 }
 
 #[test]
@@ -178,5 +181,8 @@ fn overflow_reports_error_flag() {
     }
     d.sync().unwrap();
     let flags = d.read_flags(0).unwrap();
-    assert!(flags.error(), "fifth push into 4 cells must set the error flag");
+    assert!(
+        flags.error(),
+        "fifth push into 4 cells must set the error flag"
+    );
 }
