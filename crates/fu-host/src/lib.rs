@@ -29,6 +29,6 @@ pub mod system;
 
 pub use baseline::CpuModel;
 pub use driver::{Driver, DriverError};
-pub use link::{Link, LinkModel};
+pub use link::{FaultModel, FaultStats, Link, LinkModel, LinkStats};
 pub use multihost::MultiHostSystem;
 pub use system::System;

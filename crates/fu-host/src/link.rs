@@ -10,6 +10,172 @@
 
 use std::collections::VecDeque;
 
+/// splitmix64 — the fault model's hash/PRNG. Statistically strong enough
+/// for fault sampling, trivially seedable, and stateless per frame index,
+/// which is what makes fault patterns reproducible and independent of
+/// simulation scheduling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic per-frame fault model for a [`Link`].
+///
+/// Every fault decision is a pure function of `(seed, frame index)` — the
+/// index counts `send` calls on the link — so a fault pattern replays
+/// bit-identically for a given seed regardless of how the simulation is
+/// scheduled. Faults are applied at *injection* time: a dropped frame never
+/// enters the in-flight queue, so delivery timestamps (and therefore
+/// [`Link::next_event_cycle`] fast-forwarding) stay deterministic.
+///
+/// Rates are in permille (1/1000) of frames, drawn without replacement in
+/// the order drop → corrupt → duplicate → burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultModel {
+    /// PRNG seed; two links should use different seeds.
+    pub seed: u64,
+    /// Probability (‰) a frame is silently dropped.
+    pub drop_permille: u32,
+    /// Probability (‰) a single bit of the frame is flipped.
+    pub corrupt_permille: u32,
+    /// Probability (‰) a frame is delivered twice.
+    pub duplicate_permille: u32,
+    /// Probability (‰) a frame starts a burst loss: this frame and the
+    /// next `burst_len - 1` frames are dropped.
+    pub burst_permille: u32,
+    /// Length of a burst loss in frames (≥ 1 when `burst_permille > 0`).
+    pub burst_len: u32,
+}
+
+enum Fault {
+    None,
+    Drop,
+    Corrupt(u32),
+    Duplicate,
+    Burst,
+}
+
+impl FaultModel {
+    /// A model that injects no faults (useful as a baseline that still
+    /// exercises the fault-model plumbing).
+    pub fn none(seed: u64) -> FaultModel {
+        FaultModel {
+            seed,
+            drop_permille: 0,
+            corrupt_permille: 0,
+            duplicate_permille: 0,
+            burst_permille: 0,
+            burst_len: 1,
+        }
+    }
+
+    /// Drop, corrupt and duplicate each at `permille`‰, plus bursts of 4 at
+    /// one tenth of that rate — a convenient single-knob severity dial.
+    pub fn uniform(seed: u64, permille: u32) -> FaultModel {
+        assert!(
+            permille * 3 + permille / 10 <= 1000,
+            "uniform fault rate too high: {permille}‰ per class"
+        );
+        FaultModel {
+            seed,
+            drop_permille: permille,
+            corrupt_permille: permille,
+            duplicate_permille: permille,
+            burst_permille: permille / 10,
+            burst_len: 4,
+        }
+    }
+
+    /// The same model keyed by a different seed (e.g. for the reverse
+    /// direction of a link pair).
+    pub fn with_seed(self, seed: u64) -> FaultModel {
+        FaultModel { seed, ..self }
+    }
+
+    fn decide(&self, index: u64) -> Fault {
+        let r = splitmix64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let roll = (r % 1000) as u32;
+        let mut threshold = self.drop_permille;
+        if roll < threshold {
+            return Fault::Drop;
+        }
+        threshold += self.corrupt_permille;
+        if roll < threshold {
+            return Fault::Corrupt((r >> 32) as u32 % 32);
+        }
+        threshold += self.duplicate_permille;
+        if roll < threshold {
+            return Fault::Duplicate;
+        }
+        threshold += self.burst_permille;
+        if roll < threshold {
+            return Fault::Burst;
+        }
+        Fault::None
+    }
+}
+
+/// Per-link fault counters, surfaced alongside `SimStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames dropped (individually or as part of a burst).
+    pub dropped: u64,
+    /// Frames delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+}
+
+/// Aggregate reliability statistics for one host↔device connection:
+/// injected faults summed over both link directions plus transport-layer
+/// counters summed over both endpoints. Surfaced alongside `SimStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames the fault model dropped (either direction).
+    pub frames_dropped: u64,
+    /// Frames delivered with a flipped bit.
+    pub frames_corrupted: u64,
+    /// Frames delivered twice.
+    pub frames_duplicated: u64,
+    /// Data segments transmitted (first transmissions + retransmits).
+    pub segments_sent: u64,
+    /// Go-back-N retransmissions.
+    pub retransmits: u64,
+    /// Ack segments transmitted.
+    pub acks_sent: u64,
+    /// Ack segments accepted.
+    pub acks_received: u64,
+    /// Payload frames delivered in order to an application.
+    pub delivered: u64,
+    /// Segments rejected (bad CRC, duplicate, out of order).
+    pub rejected: u64,
+    /// An endpoint exhausted its retries and stopped retransmitting.
+    pub gave_up: bool,
+}
+
+impl LinkStats {
+    /// Fold one link direction's fault counters in.
+    pub fn add_faults(&mut self, f: &FaultStats) {
+        self.frames_dropped += f.dropped;
+        self.frames_corrupted += f.corrupted;
+        self.frames_duplicated += f.duplicated;
+    }
+
+    /// Fold one endpoint's transport counters in.
+    pub fn add_transport(&mut self, t: &fu_isa::transport::TransportStats) {
+        self.segments_sent += t.segments_sent;
+        self.retransmits += t.retransmits;
+        self.acks_sent += t.acks_sent;
+        self.acks_received += t.acks_received;
+        self.delivered += t.delivered;
+        self.rejected += t.rejected;
+        self.gave_up |= t.gave_up;
+    }
+}
+
 /// Link timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkModel {
@@ -87,6 +253,10 @@ pub struct Link {
     in_flight: VecDeque<(u64, u32)>,
     next_injection: u64,
     frames_carried: u64,
+    faults: Option<FaultModel>,
+    fault_index: u64,
+    burst_remaining: u32,
+    fault_stats: FaultStats,
 }
 
 impl Link {
@@ -98,7 +268,32 @@ impl Link {
             in_flight: VecDeque::new(),
             next_injection: 0,
             frames_carried: 0,
+            faults: None,
+            fault_index: 0,
+            burst_remaining: 0,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// A link with a seeded fault model installed.
+    pub fn with_faults(model: LinkModel, faults: FaultModel) -> Link {
+        let mut l = Link::new(model);
+        l.install_faults(faults);
+        l
+    }
+
+    /// Install (or replace) the fault model. Fault decisions restart from
+    /// the current frame index, not from zero.
+    pub fn install_faults(&mut self, faults: FaultModel) {
+        if faults.burst_permille > 0 {
+            assert!(faults.burst_len >= 1, "burst length must be at least 1");
+        }
+        self.faults = Some(faults);
+    }
+
+    /// Fault counters (all zero when no fault model is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// The timing model.
@@ -119,9 +314,40 @@ impl Link {
     pub fn send(&mut self, now: u64, frame: u32) {
         assert!(self.can_send(now), "link send before bandwidth window");
         self.next_injection = now + self.model.cycles_per_frame;
+        self.frames_carried += 1;
+        let mut frame = frame;
+        if let Some(fm) = self.faults {
+            let idx = self.fault_index;
+            self.fault_index += 1;
+            if self.burst_remaining > 0 {
+                self.burst_remaining -= 1;
+                self.fault_stats.dropped += 1;
+                return;
+            }
+            match fm.decide(idx) {
+                Fault::None => {}
+                Fault::Drop => {
+                    self.fault_stats.dropped += 1;
+                    return;
+                }
+                Fault::Burst => {
+                    self.burst_remaining = fm.burst_len.saturating_sub(1);
+                    self.fault_stats.dropped += 1;
+                    return;
+                }
+                Fault::Corrupt(bit) => {
+                    frame ^= 1 << bit;
+                    self.fault_stats.corrupted += 1;
+                }
+                Fault::Duplicate => {
+                    self.fault_stats.duplicated += 1;
+                    self.in_flight
+                        .push_back((now + self.model.latency_cycles, frame));
+                }
+            }
+        }
         self.in_flight
             .push_back((now + self.model.latency_cycles, frame));
-        self.frames_carried += 1;
     }
 
     /// Take the next frame whose delivery time has arrived.
@@ -145,12 +371,12 @@ impl Link {
     }
 
     /// Cycle at which the head in-flight frame becomes deliverable, if
-    /// any frame is travelling. Delivery times are deterministic, so an
-    /// idle-system scheduler can jump straight to this cycle. A frame
-    /// re-queued by [`Link::unrecv`] carries its re-queue time, which may
-    /// be in the past relative to `now` — callers clamp.
-    pub fn next_event_cycle(&self) -> Option<u64> {
-        self.in_flight.front().map(|(t, _)| *t)
+    /// any frame is travelling, clamped to be no earlier than `now` (a
+    /// frame re-queued by [`Link::unrecv`] carries its re-queue time, which
+    /// may already have passed). Delivery times are deterministic, so an
+    /// idle-system scheduler can jump straight to this cycle.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        self.in_flight.front().map(|(t, _)| (*t).max(now))
     }
 
     /// Earliest cycle at which the bandwidth gate reopens. Only a future
@@ -241,5 +467,95 @@ mod tests {
         let mut l = Link::new(LinkModel::prototyping());
         l.send(0, 1);
         l.send(1, 2);
+    }
+
+    #[test]
+    fn next_event_cycle_clamps_after_unrecv() {
+        let mut l = Link::new(LinkModel::ideal());
+        l.send(0, 7);
+        let f = l.recv(5).unwrap();
+        l.unrecv(5, f);
+        // The re-queued frame carries t = 5; at now = 9 the link must not
+        // report an event in the past.
+        assert_eq!(l.next_event_cycle(9), Some(9));
+        assert_eq!(l.next_event_cycle(5), Some(5));
+        // A genuinely future delivery is reported untouched.
+        let mut l2 = Link::new(LinkModel::pcie_like());
+        l2.send(0, 1);
+        assert_eq!(l2.next_event_cycle(3), Some(64));
+    }
+
+    fn run_faulty(seed: u64, n: u64) -> (Vec<u32>, FaultStats) {
+        let mut l = Link::with_faults(
+            LinkModel::ideal(),
+            FaultModel {
+                seed,
+                drop_permille: 100,
+                corrupt_permille: 100,
+                duplicate_permille: 100,
+                burst_permille: 20,
+                burst_len: 3,
+            },
+        );
+        for (i, now) in (0..n).enumerate() {
+            l.send(now, i as u32);
+        }
+        let mut got = Vec::new();
+        while let Some(f) = l.recv(n) {
+            got.push(f);
+        }
+        (got, l.fault_stats())
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let (a1, s1) = run_faulty(0xFEED, 2_000);
+        let (a2, s2) = run_faulty(0xFEED, 2_000);
+        assert_eq!(a1, a2, "same seed must replay the same fault pattern");
+        assert_eq!(s1, s2);
+        let (b, _) = run_faulty(0xBEEF, 2_000);
+        assert_ne!(a1, b, "different seeds should differ");
+    }
+
+    #[test]
+    fn fault_rates_land_in_the_right_ballpark() {
+        let (got, stats) = run_faulty(42, 10_000);
+        // ~10% drop + ~2%·3 burst ≈ 1400–1800 dropped, ~10% each of the
+        // others; keep the bounds loose — this guards plumbing, not the
+        // PRNG's quality.
+        assert!(
+            stats.dropped > 800 && stats.dropped < 2500,
+            "dropped = {}",
+            stats.dropped
+        );
+        assert!(
+            stats.corrupted > 500 && stats.corrupted < 1800,
+            "corrupted = {}",
+            stats.corrupted
+        );
+        assert!(
+            stats.duplicated > 500 && stats.duplicated < 1800,
+            "duplicated = {}",
+            stats.duplicated
+        );
+        assert_eq!(
+            got.len() as u64,
+            10_000 - stats.dropped + stats.duplicated,
+            "conservation: delivered = sent - dropped + duplicated"
+        );
+    }
+
+    #[test]
+    fn fault_free_model_is_transparent() {
+        let mut l = Link::with_faults(LinkModel::ideal(), FaultModel::none(1));
+        for i in 0..100u32 {
+            l.send(i as u64, i);
+        }
+        let mut got = Vec::new();
+        while let Some(f) = l.recv(200) {
+            got.push(f);
+        }
+        assert_eq!(got, (0..100u32).collect::<Vec<_>>());
+        assert_eq!(l.fault_stats(), FaultStats::default());
     }
 }

@@ -17,8 +17,9 @@
 
 use std::collections::VecDeque;
 
-use crate::link::{Link, LinkModel};
+use crate::link::{FaultModel, Link, LinkModel, LinkStats};
 use fu_isa::msg::{DevDeframer, HostDeframer};
+use fu_isa::transport::{Endpoint, TransportConfig};
 use fu_isa::{DevMsg, HostMsg, Tag};
 use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit};
 use rtl_sim::area::log2_ceil;
@@ -40,6 +41,11 @@ struct HostPort {
     /// Frames routed to this host, awaiting link bandwidth on the
     /// device side.
     pending_out: VecDeque<u32>,
+    /// Reliable endpoints at either end of this port's link pair, `None`
+    /// for the bare link. The device-side endpoint lives at the
+    /// multi-port transceiver edge — the shared coprocessor stays bare.
+    host_ep: Option<Endpoint>,
+    dev_ep: Option<Endpoint>,
 }
 
 /// `m` host CPUs sharing one coprocessor.
@@ -89,6 +95,8 @@ impl MultiHostSystem {
                 rx: DevDeframer::new(word_bits),
                 responses: VecDeque::new(),
                 pending_out: VecDeque::new(),
+                host_ep: None,
+                dev_ep: None,
             })
             .collect();
         Ok(MultiHostSystem {
@@ -101,6 +109,38 @@ impl MultiHostSystem {
             word_bits,
             host_bits,
         })
+    }
+
+    /// Assemble a system with the reliable transport on every host port,
+    /// optionally with per-direction fault injection. Each port's two
+    /// directions derive distinct PRNG seeds from the model's seed, so
+    /// fault streams are independent across ports and directions. The
+    /// device-side endpoints sit at the multi-port transceiver edge; the
+    /// shared coprocessor keeps its bare frame port.
+    ///
+    /// # Errors
+    /// Same conditions as [`MultiHostSystem::new`].
+    pub fn new_reliable(
+        cfg: CoprocConfig,
+        units: Vec<Box<dyn FunctionalUnit>>,
+        link: LinkModel,
+        n_hosts: usize,
+        transport: TransportConfig,
+        faults: Option<FaultModel>,
+    ) -> Result<MultiHostSystem, SimError> {
+        let mut sys = MultiHostSystem::new(cfg, units, link, n_hosts)?;
+        for (i, p) in sys.ports.iter_mut().enumerate() {
+            if let Some(m) = faults {
+                let stream = |k: u64| {
+                    m.with_seed(m.seed ^ (2 * i as u64 + k).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                };
+                p.to_dev.install_faults(stream(1));
+                p.to_host.install_faults(stream(2));
+            }
+            p.host_ep = Some(Endpoint::new(transport));
+            p.dev_ep = Some(Endpoint::new(transport));
+        }
+        Ok(sys)
     }
 
     /// Number of attached hosts.
@@ -177,18 +217,45 @@ impl MultiHostSystem {
     /// Advance one FPGA clock cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
-        // Host side: inject queued frames into each host's link.
+        // Host side: inject queued frames into each host's link. A
+        // reliable port feeds its endpoint, which paces the wire.
         for p in &mut self.ports {
-            while !p.tx.is_empty() && p.to_dev.can_send(now) {
-                let f = p.tx.pop_front().expect("checked non-empty");
-                p.to_dev.send(now, f);
+            if let Some(ep) = p.host_ep.as_mut() {
+                ep.poll(now);
+                while let Some(f) = p.tx.pop_front() {
+                    ep.send(f);
+                }
+                while p.to_dev.can_send(now) {
+                    let Some(f) = ep.pull_frame(now) else {
+                        break;
+                    };
+                    p.to_dev.send(now, f);
+                }
+            } else {
+                while !p.tx.is_empty() && p.to_dev.can_send(now) {
+                    let f = p.tx.pop_front().expect("checked non-empty");
+                    p.to_dev.send(now, f);
+                }
             }
         }
-        // Device edge: reassemble per-host messages.
+        // Device edge: reassemble per-host messages (through the
+        // device-side endpoint when the port is reliable).
         for p in &mut self.ports {
-            while let Some(f) = p.to_dev.recv(now) {
-                if let Some(msg) = p.edge.push(f).expect("host frames well-formed") {
-                    p.inject.push_back(msg);
+            if let Some(ep) = p.dev_ep.as_mut() {
+                ep.poll(now);
+                while let Some(f) = p.to_dev.recv(now) {
+                    ep.on_frame(now, f);
+                }
+                while let Some(payload) = ep.deliver() {
+                    if let Some(msg) = p.edge.push(payload).expect("host frames well-formed") {
+                        p.inject.push_back(msg);
+                    }
+                }
+            } else {
+                while let Some(f) = p.to_dev.recv(now) {
+                    if let Some(msg) = p.edge.push(f).expect("host frames well-formed") {
+                        p.inject.push_back(msg);
+                    }
                 }
             }
         }
@@ -237,13 +304,36 @@ impl MultiHostSystem {
             }
         }
         for p in &mut self.ports {
-            while p.pending_out_front().is_some() && p.to_host.can_send(now) {
-                let f = p.pending_out_pop().expect("checked front");
-                p.to_host.send(now, f);
+            if let Some(ep) = p.dev_ep.as_mut() {
+                while let Some(f) = p.pending_out.pop_front() {
+                    ep.send(f);
+                }
+                while p.to_host.can_send(now) {
+                    let Some(f) = ep.pull_frame(now) else {
+                        break;
+                    };
+                    p.to_host.send(now, f);
+                }
+            } else {
+                while p.pending_out_front().is_some() && p.to_host.can_send(now) {
+                    let f = p.pending_out_pop().expect("checked front");
+                    p.to_host.send(now, f);
+                }
             }
-            while let Some(f) = p.to_host.recv(now) {
-                if let Some(msg) = p.rx.push(f).expect("device frames well-formed") {
-                    p.responses.push_back(msg);
+            if let Some(ep) = p.host_ep.as_mut() {
+                while let Some(f) = p.to_host.recv(now) {
+                    ep.on_frame(now, f);
+                }
+                while let Some(payload) = ep.deliver() {
+                    if let Some(msg) = p.rx.push(payload).expect("device frames well-formed") {
+                        p.responses.push_back(msg);
+                    }
+                }
+            } else {
+                while let Some(f) = p.to_host.recv(now) {
+                    if let Some(msg) = p.rx.push(f).expect("device frames well-formed") {
+                        p.responses.push_back(msg);
+                    }
                 }
             }
         }
@@ -282,6 +372,18 @@ impl MultiHostSystem {
         {
             return 0;
         }
+        // A reliable endpoint with frames to push or deliver means this
+        // cycle does work: step normally.
+        for p in &self.ports {
+            for ep in [p.host_ep.as_ref(), p.dev_ep.as_ref()]
+                .into_iter()
+                .flatten()
+            {
+                if ep.has_tx_work() || ep.has_deliverable() {
+                    return 0;
+                }
+            }
+        }
         let now = self.cycle;
         let mut next: Option<u64> = None;
         let mut consider = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
@@ -289,14 +391,22 @@ impl MultiHostSystem {
             if !p.tx.is_empty() {
                 consider(p.to_dev.next_send_cycle());
             }
-            if let Some(t) = p.to_dev.next_event_cycle() {
+            if let Some(t) = p.to_dev.next_event_cycle(now) {
                 consider(t);
             }
             if !p.pending_out.is_empty() {
                 consider(p.to_host.next_send_cycle());
             }
-            if let Some(t) = p.to_host.next_event_cycle() {
+            if let Some(t) = p.to_host.next_event_cycle(now) {
                 consider(t);
+            }
+            for ep in [p.host_ep.as_ref(), p.dev_ep.as_ref()]
+                .into_iter()
+                .flatten()
+            {
+                if let Some(t) = ep.next_event_cycle() {
+                    consider(t.max(now));
+                }
             }
         }
         let skip = match next {
@@ -311,7 +421,8 @@ impl MultiHostSystem {
         skip
     }
 
-    /// True when no work remains anywhere.
+    /// True when no work remains anywhere. Reliable ports must also be
+    /// quiescent (all traffic delivered and acknowledged) or dead.
     pub fn is_idle(&self) -> bool {
         self.injecting.is_empty()
             && self.coproc.is_idle()
@@ -321,7 +432,27 @@ impl MultiHostSystem {
                     && p.to_dev.in_flight() == 0
                     && p.to_host.in_flight() == 0
                     && p.pending_out_front().is_none()
+                    && [p.host_ep.as_ref(), p.dev_ep.as_ref()]
+                        .into_iter()
+                        .flatten()
+                        .all(|ep| ep.is_quiescent() || ep.is_dead())
             })
+    }
+
+    /// Aggregate reliability statistics for one port: injected faults on
+    /// both link directions plus transport counters from both endpoints.
+    pub fn link_stats(&self, host: usize) -> LinkStats {
+        let p = &self.ports[host];
+        let mut s = LinkStats::default();
+        s.add_faults(&p.to_dev.fault_stats());
+        s.add_faults(&p.to_host.fault_stats());
+        for ep in [p.host_ep.as_ref(), p.dev_ep.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            s.add_transport(ep.stats());
+        }
+        s
     }
 }
 

@@ -7,8 +7,9 @@
 
 use std::collections::VecDeque;
 
-use crate::link::{Link, LinkModel};
+use crate::link::{FaultModel, Link, LinkModel, LinkStats};
 use fu_isa::msg::DevDeframer;
+use fu_isa::transport::{Endpoint, TransportConfig};
 use fu_isa::{DevMsg, HostMsg};
 use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit};
 use rtl_sim::{SimError, SimStats};
@@ -18,8 +19,10 @@ pub struct System {
     coproc: Coprocessor,
     to_dev: Link,
     to_host: Link,
-    /// Frames queued on the host, waiting for link bandwidth.
+    /// Frames queued on the host, waiting for link bandwidth (bare mode).
     host_tx: VecDeque<u32>,
+    /// Host-side reliable endpoint; `None` means the bare frame link.
+    host_ep: Option<Endpoint>,
     /// Responses fully received by the host.
     responses: VecDeque<DevMsg>,
     deframer: DevDeframer,
@@ -43,6 +46,42 @@ impl System {
             to_dev: Link::new(link),
             to_host: Link::new(link),
             host_tx: VecDeque::new(),
+            host_ep: None,
+            responses: VecDeque::new(),
+            deframer: DevDeframer::new(word_bits),
+            cycle: 0,
+            word_bits,
+        })
+    }
+
+    /// Assemble a system with the reliable transport enabled on both ends
+    /// of the link, optionally with a fault model injecting errors into
+    /// each direction (the host→device direction uses the model's seed as
+    /// given; device→host derives a distinct seed so the two directions
+    /// see independent fault streams).
+    pub fn new_reliable(
+        mut cfg: CoprocConfig,
+        units: Vec<Box<dyn FunctionalUnit>>,
+        link: LinkModel,
+        transport: TransportConfig,
+        faults: Option<FaultModel>,
+    ) -> Result<System, SimError> {
+        cfg.rx_frames_per_cycle = link.port_frames_per_cycle;
+        cfg.tx_frames_per_cycle = link.port_frames_per_cycle;
+        cfg.transport = Some(transport);
+        let word_bits = cfg.word_bits;
+        let mut to_dev = Link::new(link);
+        let mut to_host = Link::new(link);
+        if let Some(m) = faults {
+            to_dev.install_faults(m);
+            to_host.install_faults(m.with_seed(m.seed.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15));
+        }
+        Ok(System {
+            coproc: Coprocessor::new(cfg, units)?,
+            to_dev,
+            to_host,
+            host_tx: VecDeque::new(),
+            host_ep: Some(Endpoint::new(transport)),
             responses: VecDeque::new(),
             deframer: DevDeframer::new(word_bits),
             cycle: 0,
@@ -67,7 +106,13 @@ impl System {
 
     /// Queue a message for transmission.
     pub fn send(&mut self, msg: &HostMsg) {
-        self.host_tx.extend(msg.frames(self.word_bits));
+        if let Some(ep) = self.host_ep.as_mut() {
+            for f in msg.frames(self.word_bits) {
+                ep.send(f);
+            }
+        } else {
+            self.host_tx.extend(msg.frames(self.word_bits));
+        }
     }
 
     /// Select the coprocessor's scheduling mode (see [`ActivityMode`]).
@@ -93,7 +138,18 @@ impl System {
     /// Advance one FPGA clock cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
-        // Host side: inject queued frames as bandwidth allows.
+        // Host side: inject queued frames as bandwidth allows. In
+        // reliable mode the endpoint paces transmission (window + timer);
+        // in bare mode the raw frame queue drains directly.
+        if let Some(ep) = self.host_ep.as_mut() {
+            ep.poll(now);
+            while self.to_dev.can_send(now) {
+                let Some(f) = ep.pull_frame(now) else {
+                    break;
+                };
+                self.to_dev.send(now, f);
+            }
+        }
         while !self.host_tx.is_empty() && self.to_dev.can_send(now) {
             let f = self.host_tx.pop_front().expect("checked non-empty");
             self.to_dev.send(now, f);
@@ -121,14 +177,29 @@ impl System {
             };
             self.to_host.send(now, f);
         }
-        // Host receives.
+        // Host receives. In reliable mode the wire carries transport
+        // segments: validate/ack them, then deframe whatever payload the
+        // endpoint releases in order.
         while let Some(f) = self.to_host.recv(now) {
-            if let Some(msg) = self
+            if let Some(ep) = self.host_ep.as_mut() {
+                ep.on_frame(now, f);
+            } else if let Some(msg) = self
                 .deframer
                 .push(f)
                 .expect("device frames are well-formed")
             {
                 self.responses.push_back(msg);
+            }
+        }
+        if let Some(ep) = self.host_ep.as_mut() {
+            while let Some(p) = ep.deliver() {
+                if let Some(msg) = self
+                    .deframer
+                    .push(p)
+                    .expect("validated payload frames are well-formed")
+                {
+                    self.responses.push_back(msg);
+                }
             }
         }
         self.cycle += 1;
@@ -179,17 +250,30 @@ impl System {
         if self.coproc.activity_mode() != ActivityMode::Gated || !self.coproc.is_idle() {
             return 0;
         }
+        if let Some(ep) = self.host_ep.as_ref() {
+            // The endpoint has frames to push or deliver right now.
+            if ep.has_tx_work() || ep.has_deliverable() {
+                return 0;
+            }
+        }
         let now = self.cycle;
         let mut next: Option<u64> = None;
         let mut consider = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
         if !self.host_tx.is_empty() {
             consider(self.to_dev.next_send_cycle());
         }
-        if let Some(t) = self.to_dev.next_event_cycle() {
+        if let Some(t) = self.to_dev.next_event_cycle(now) {
             consider(t);
         }
-        if let Some(t) = self.to_host.next_event_cycle() {
+        if let Some(t) = self.to_host.next_event_cycle(now) {
             consider(t);
+        }
+        // Retransmit deadlines on either reliable endpoint.
+        if let Some(t) = self.host_ep.as_ref().and_then(|ep| ep.next_event_cycle()) {
+            consider(t.max(now));
+        }
+        if let Some(t) = self.coproc.transport_next_event() {
+            consider(t.max(now));
         }
         let skip = match next {
             // The next event is due now (or overdue): step normally.
@@ -215,12 +299,47 @@ impl System {
         Ok(self.responses.pop_front().expect("predicate guaranteed"))
     }
 
-    /// True when no work remains anywhere (host queue, links, FPGA).
+    /// True when no work remains anywhere (host queue, links, FPGA). With
+    /// the reliable transport this additionally requires both endpoints to
+    /// be quiescent — all traffic delivered *and acknowledged* — or to
+    /// have exhausted their retries (a dead endpoint will never drain, so
+    /// waiting on it would hang every caller).
     pub fn is_idle(&self) -> bool {
         self.host_tx.is_empty()
             && self.to_dev.in_flight() == 0
             && self.to_host.in_flight() == 0
-            && self.coproc.is_idle()
+            && (self.coproc.is_idle()
+                // A sender that gave up mid-message leaves a partial
+                // message in the device's deframe buffer forever; with the
+                // link declared dead that is as settled as it gets.
+                || (self.transport_gave_up() && self.coproc.stalled_mid_message()))
+            && (self.coproc.transport_quiescent() || self.transport_gave_up())
+            && self
+                .host_ep
+                .as_ref()
+                .is_none_or(|ep| ep.is_quiescent() || ep.is_dead())
+    }
+
+    /// Did either endpoint exhaust its retransmit budget?
+    pub fn transport_gave_up(&self) -> bool {
+        self.host_ep.as_ref().is_some_and(|ep| ep.is_dead())
+            || self.coproc.transport_stats().is_some_and(|s| s.gave_up)
+    }
+
+    /// Aggregate reliability statistics: injected faults on both link
+    /// directions plus transport counters from both endpoints. All zeros
+    /// on a bare, fault-free system.
+    pub fn link_stats(&self) -> LinkStats {
+        let mut s = LinkStats::default();
+        s.add_faults(&self.to_dev.fault_stats());
+        s.add_faults(&self.to_host.fault_stats());
+        if let Some(ep) = self.host_ep.as_ref() {
+            s.add_transport(ep.stats());
+        }
+        if let Some(t) = self.coproc.transport_stats() {
+            s.add_transport(&t);
+        }
+        s
     }
 
     /// Total frames moved in each direction: `(to device, to host)`.
@@ -333,5 +452,89 @@ mod tests {
     #[test]
     fn cycles_to_us_at_50mhz() {
         assert_eq!(System::cycles_to_us(500, 50.0), 10.0);
+    }
+
+    fn reliable_sys(link: LinkModel, faults: Option<crate::link::FaultModel>) -> System {
+        let tcfg = fu_isa::transport::TransportConfig::for_link(
+            link.latency_cycles,
+            link.cycles_per_frame,
+        );
+        System::new_reliable(
+            CoprocConfig::default(),
+            vec![Box::new(LatencyFu::new("add", 1, 1))],
+            link,
+            tcfg,
+            faults,
+        )
+        .unwrap()
+    }
+
+    fn roundtrip_workload(s: &mut System) -> Vec<DevMsg> {
+        for i in 0..8u8 {
+            s.send(&HostMsg::WriteReg {
+                reg: i % 8,
+                value: Word::from_u64(100 + i as u64, 32),
+            });
+        }
+        s.send(&HostMsg::ReadReg { reg: 3, tag: 1 });
+        s.send(&HostMsg::ReadReg { reg: 7, tag: 2 });
+        s.send(&HostMsg::Sync { tag: 9 });
+        s.run_until(5_000_000, |s| s.pending_responses() >= 3 && s.is_idle())
+            .unwrap();
+        std::iter::from_fn(|| s.recv()).collect()
+    }
+
+    #[test]
+    fn reliable_link_roundtrips_without_faults() {
+        let mut s = reliable_sys(LinkModel::pcie_like(), None);
+        let out = roundtrip_workload(&mut s);
+        assert_eq!(
+            out,
+            vec![
+                DevMsg::Data {
+                    tag: 1,
+                    value: Word::from_u64(103, 32)
+                },
+                DevMsg::Data {
+                    tag: 2,
+                    value: Word::from_u64(107, 32)
+                },
+                DevMsg::SyncAck { tag: 9 },
+            ]
+        );
+        let ls = s.link_stats();
+        assert_eq!(ls.retransmits, 0, "healthy link must not retransmit");
+        assert_eq!(ls.frames_dropped, 0);
+        assert!(ls.delivered > 0 && ls.acks_received > 0);
+        assert!(!ls.gave_up);
+    }
+
+    #[test]
+    fn reliable_link_masks_injected_faults() {
+        let bare = {
+            let mut s = sys(LinkModel::pcie_like());
+            roundtrip_workload(&mut s)
+        };
+        let faults = crate::link::FaultModel::uniform(0xFA_175, 100);
+        let mut s = reliable_sys(LinkModel::pcie_like(), Some(faults));
+        let out = roundtrip_workload(&mut s);
+        assert_eq!(out, bare, "faulty reliable stream must match bare link");
+        let ls = s.link_stats();
+        assert!(
+            ls.frames_dropped > 0 || ls.frames_corrupted > 0 || ls.frames_duplicated > 0,
+            "the fault model must actually have fired: {ls:?}"
+        );
+        assert!(ls.retransmits > 0, "recovery requires retransmission");
+    }
+
+    #[test]
+    fn reliable_link_faults_are_deterministic() {
+        let run_once = || {
+            let faults = crate::link::FaultModel::uniform(77, 150);
+            let mut s = reliable_sys(LinkModel::tightly_coupled(), Some(faults));
+            let out = roundtrip_workload(&mut s);
+            (out, s.cycle(), s.link_stats())
+        };
+        assert_eq!(run_once(), run_once());
     }
 }

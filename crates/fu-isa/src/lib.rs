@@ -30,10 +30,12 @@
 //!   encoder.
 
 pub mod asm;
+pub mod crc;
 pub mod flags;
 pub mod instr;
 pub mod mgmt;
 pub mod msg;
+pub mod transport;
 pub mod variety;
 pub mod word;
 

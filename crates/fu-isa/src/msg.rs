@@ -111,6 +111,13 @@ pub enum ErrorCode {
     BadRegister = 3,
     /// Malformed frame stream.
     BadFrame = 4,
+    /// A functional unit exceeded its dispatch watchdog budget
+    /// (`max_busy_cycles`); its in-flight work was abandoned, its register
+    /// locks released, and the unit quarantined.
+    FuTimeout = 5,
+    /// Instruction named a functional unit that was previously quarantined
+    /// by the watchdog; it fails fast instead of wedging the dispatcher.
+    FuQuarantined = 6,
 }
 
 impl ErrorCode {
@@ -120,6 +127,8 @@ impl ErrorCode {
             2 => ErrorCode::NoSuchUnit,
             3 => ErrorCode::BadRegister,
             4 => ErrorCode::BadFrame,
+            5 => ErrorCode::FuTimeout,
+            6 => ErrorCode::FuQuarantined,
             _ => return None,
         })
     }

@@ -29,6 +29,10 @@ pub struct WriteArbiter {
     data_ports: u8,
     rr_ptr: usize,
     pending_release: Vec<LockTicket>,
+    /// `(unit index, ticket)` of each grant made by the most recent
+    /// `eval` — consumed by the dispatch watchdog to retire outstanding
+    /// work. Cleared at the start of every `eval`.
+    acked: Vec<(usize, LockTicket)>,
     completions: SatCounter,
     data_writes: SatCounter,
     flag_writes: SatCounter,
@@ -43,6 +47,7 @@ impl WriteArbiter {
             data_ports,
             rr_ptr: 0,
             pending_release: Vec::with_capacity(4),
+            acked: Vec::with_capacity(4),
             completions: SatCounter::default(),
             data_writes: SatCounter::default(),
             flag_writes: SatCounter::default(),
@@ -69,6 +74,7 @@ impl WriteArbiter {
         for t in self.pending_release.drain(..) {
             lock.release(&t);
         }
+        self.acked.clear();
         let n = fus.len();
         if n == 0 {
             return;
@@ -109,6 +115,7 @@ impl WriteArbiter {
                 self.flag_writes.bump();
             }
             self.pending_release.push(out.ticket);
+            self.acked.push((idx, out.ticket));
             self.completions.bump();
             granted_any = true;
             next_ptr = (idx + 1) % n;
@@ -126,6 +133,13 @@ impl WriteArbiter {
         self.pending_release.is_empty()
     }
 
+    /// Grants made by the most recent `eval`: `(unit index, ticket)`.
+    /// Only meaningful immediately after an `eval` — the list is rebuilt
+    /// each evaluation.
+    pub fn acked(&self) -> &[(usize, LockTicket)] {
+        &self.acked
+    }
+
     /// `(completions, data writes, flag writes, contended cycles)` since
     /// reset.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
@@ -141,6 +155,7 @@ impl WriteArbiter {
     pub fn reset(&mut self) {
         self.rr_ptr = 0;
         self.pending_release.clear();
+        self.acked.clear();
         self.completions = SatCounter::default();
         self.data_writes = SatCounter::default();
         self.flag_writes = SatCounter::default();

@@ -5,6 +5,7 @@
 //! interface can meet the requirements of the functional units while
 //! requiring as small a portion of the FPGA as possible."
 
+use fu_isa::transport::TransportConfig;
 use rtl_sim::SimError;
 
 /// Configuration of one coprocessor instance.
@@ -35,6 +36,17 @@ pub struct CoprocConfig {
     pub tx_fifo_depth: usize,
     /// Number of trace events retained (0 disables tracing).
     pub trace_depth: usize,
+    /// Dispatch watchdog: a functional unit that is busy for this many
+    /// cycles without making progress (no dispatch accepted, no output
+    /// produced) is declared hung — its register locks are force-released,
+    /// an in-band [`fu_isa::msg::ErrorCode::FuTimeout`] error is emitted,
+    /// and the unit is quarantined in the FU table so later dispatches fail
+    /// fast. `None` disables the watchdog (the default).
+    pub max_busy_cycles: Option<u64>,
+    /// Reliable-transport configuration for the device-side transceiver.
+    /// `None` (the default) keeps the bare frame port: every frame is
+    /// assumed delivered intact, as the paper's framing layer does.
+    pub transport: Option<TransportConfig>,
 }
 
 impl Default for CoprocConfig {
@@ -49,6 +61,8 @@ impl Default for CoprocConfig {
             rx_fifo_depth: 16,
             tx_fifo_depth: 16,
             trace_depth: 0,
+            max_busy_cycles: None,
+            transport: None,
         }
     }
 }
@@ -84,6 +98,14 @@ impl CoprocConfig {
         if self.rx_frames_per_cycle == 0 || self.tx_frames_per_cycle == 0 {
             return err("port widths must be at least one frame per cycle".into());
         }
+        if self.max_busy_cycles == Some(0) {
+            return err("max_busy_cycles must be at least 1 when enabled".into());
+        }
+        if let Some(t) = &self.transport {
+            if t.window == 0 || t.ack_timeout == 0 {
+                return err("transport window and ack_timeout must be at least 1".into());
+            }
+        }
         Ok(())
     }
 
@@ -115,6 +137,18 @@ impl CoprocConfig {
     /// Builder-style trace enable.
     pub fn with_trace(mut self, depth: usize) -> Self {
         self.trace_depth = depth;
+        self
+    }
+
+    /// Builder-style dispatch-watchdog enable.
+    pub fn with_watchdog(mut self, max_busy_cycles: u64) -> Self {
+        self.max_busy_cycles = Some(max_busy_cycles);
+        self
+    }
+
+    /// Builder-style reliable-transport enable for the device frame port.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = Some(transport);
         self
     }
 }
@@ -152,6 +186,10 @@ mod tests {
             },
             CoprocConfig {
                 rx_fifo_depth: 0,
+                ..CoprocConfig::default()
+            },
+            CoprocConfig {
+                max_busy_cycles: Some(0),
                 ..CoprocConfig::default()
             },
         ];

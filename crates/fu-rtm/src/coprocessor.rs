@@ -28,14 +28,18 @@ use crate::flagfile::FlagFile;
 use crate::futable::FuTable;
 use crate::lock::LockManager;
 use crate::msgbuf::{MessageBuffer, MsgBufOut};
-use crate::protocol::FunctionalUnit;
+use crate::protocol::{FunctionalUnit, LockTicket};
 use crate::regfile::RegFile;
 use crate::serializer::MessageSerializer;
+use crate::transceiver::DeviceTransceiver;
+use fu_isa::msg::ErrorCode;
+use fu_isa::transport::TransportStats;
 use fu_isa::{DevMsg, Flags, Word};
 use rtl_sim::area::log2_ceil;
 use rtl_sim::{
     AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, SimError, SimStats, TraceBuffer,
 };
+use std::collections::VecDeque;
 
 /// How the scheduler treats provably idle structure.
 ///
@@ -100,6 +104,8 @@ pub struct CoprocStats {
     pub responses: u64,
     /// Frames emitted into the transmit FIFO.
     pub frames_out: u64,
+    /// Functional units quarantined by the dispatch watchdog.
+    pub fu_timeouts: u64,
 }
 
 /// One-cycle snapshot of the machine's observable signals (see
@@ -165,6 +171,21 @@ pub struct Coprocessor {
     fu_always_clock: Vec<bool>,
     skipped_cycles: u64,
     stage_evals: StageEvals,
+    // reliable transport (None = bare frame port, the default)
+    transceiver: Option<DeviceTransceiver>,
+    // dispatch watchdog (active when cfg.max_busy_cycles is Some)
+    /// Last cycle each unit made observable progress (accepted a dispatch
+    /// or had a completion granted by the arbiter).
+    fu_last_progress: Vec<u64>,
+    /// Lock tickets of dispatches not yet retired by the arbiter, per
+    /// unit — what the watchdog force-releases on quarantine.
+    fu_outstanding: Vec<Vec<LockTicket>>,
+    /// Units quarantined by the watchdog (mirror of the FU table's flag,
+    /// consulted in the commit loop). A quarantined unit is never clocked.
+    fu_quarantined: Vec<bool>,
+    /// `FuTimeout` error responses awaiting a free execution slot.
+    watchdog_errors: VecDeque<DevMsg>,
+    fu_timeouts: u64,
 }
 
 impl Coprocessor {
@@ -208,6 +229,12 @@ impl Coprocessor {
             fu_always_clock: fus.iter().map(|f| f.needs_clock_when_idle()).collect(),
             skipped_cycles: 0,
             stage_evals: StageEvals::default(),
+            transceiver: cfg.transport.map(DeviceTransceiver::new),
+            fu_last_progress: vec![0; fus.len()],
+            fu_outstanding: vec![Vec::new(); fus.len()],
+            fu_quarantined: vec![false; fus.len()],
+            watchdog_errors: VecDeque::new(),
+            fu_timeouts: 0,
             fus,
             cfg,
         })
@@ -236,7 +263,16 @@ impl Coprocessor {
     /// Deliver one frame from the link (receiver → receive FIFO).
     /// Returns `false` (frame not accepted) when the FIFO is full — the
     /// link must retry, as real flow control would.
+    ///
+    /// With a reliable transceiver fitted the frame is a *wire* frame
+    /// (data segment or ack) and is always accepted: loss recovery is the
+    /// transport's job, and validated payloads trickle into the receive
+    /// FIFO as space frees up.
     pub fn push_frame(&mut self, frame: u32) -> bool {
+        if let Some(t) = self.transceiver.as_mut() {
+            t.on_wire_frame(self.cycle, frame);
+            return true;
+        }
         if self.rx_fifo.can_push() {
             self.rx_fifo.push(frame);
             true
@@ -246,7 +282,12 @@ impl Coprocessor {
     }
 
     /// Remove one frame from the transmit FIFO (transmitter → link).
+    /// With a reliable transceiver fitted this emits wire frames (data
+    /// segments and acks) instead of bare payload frames.
     pub fn pop_frame(&mut self) -> Option<u32> {
+        if let Some(t) = self.transceiver.as_mut() {
+            return t.pull_wire_frame(self.cycle);
+        }
         self.tx_fifo.pop()
     }
 
@@ -261,6 +302,19 @@ impl Coprocessor {
     /// identical in both modes, cycle for cycle.
     pub fn step(&mut self) {
         let gated = self.activity == ActivityMode::Gated;
+
+        // ---- reliable transceiver: timer + rx delivery ----
+        if let Some(t) = self.transceiver.as_mut() {
+            // Advance the retransmit timer, then move validated in-order
+            // payloads into the receive FIFO while it has space (staged;
+            // the message buffer sees them after the clock edge, exactly
+            // like frames pushed by a bare link).
+            t.poll(self.cycle);
+            while self.rx_fifo.can_push() && t.has_deliverable() {
+                let f = t.deliver().expect("has_deliverable implies a frame");
+                self.rx_fifo.push(f);
+            }
+        }
 
         // ---- evaluate, sink to source ----
         if !gated || self.dev_slot.has_data() || !self.serializer.is_idle() {
@@ -281,6 +335,17 @@ impl Coprocessor {
                 &mut self.lock,
                 mask,
             );
+            // Watchdog bookkeeping: a granted completion is progress, and
+            // its ticket is no longer outstanding. Processed only when the
+            // arbiter actually evaluated — the grant list is rebuilt each
+            // eval, so reading it outside this gate would replay stale
+            // grants.
+            for &(idx, ticket) in self.arbiter.acked() {
+                self.fu_last_progress[idx] = self.cycle;
+                if let Some(pos) = self.fu_outstanding[idx].iter().position(|&t| t == ticket) {
+                    self.fu_outstanding[idx].swap_remove(pos);
+                }
+            }
         }
         if !gated || self.exec_slot.has_data() || !self.execution.is_idle() {
             self.stage_evals.execution += 1;
@@ -292,6 +357,13 @@ impl Coprocessor {
                 &mut self.lock,
             );
         }
+        // In-band watchdog errors take the execution slot ahead of new
+        // dispatches: a quarantine must be reported even when the decode
+        // pipeline has gone quiet.
+        if !self.watchdog_errors.is_empty() && self.exec_slot.can_push() {
+            let msg = self.watchdog_errors.pop_front().expect("checked non-empty");
+            self.dispatcher.respond(&mut self.exec_slot, msg);
+        }
         if !gated || self.decoded_slot.has_data() {
             self.stage_evals.dispatcher += 1;
             let before_user = self.dispatcher.stats.user_dispatched;
@@ -302,12 +374,15 @@ impl Coprocessor {
                 &mut self.lock,
                 &mut self.regfile,
                 &mut self.flagfile,
+                &self.futable,
             );
-            if let Some(idx) = dispatched {
+            if let Some((idx, ticket)) = dispatched {
                 if !self.fu_active[idx] {
                     self.fu_active[idx] = true;
                     self.n_active_fus += 1;
                 }
+                self.fu_last_progress[idx] = self.cycle;
+                self.fu_outstanding[idx].push(ticket);
             }
             if self.trace.is_enabled() && self.dispatcher.stats.user_dispatched != before_user {
                 let cycle = self.cycle;
@@ -336,6 +411,12 @@ impl Coprocessor {
         self.regfile.commit();
         self.flagfile.commit();
         for (i, fu) in self.fus.iter_mut().enumerate() {
+            // Quarantined units lose their clock in *both* modes: a merely
+            // slow (not truly hung) unit must not complete after its locks
+            // were force-released, or the release would happen twice.
+            if self.fu_quarantined[i] {
+                continue;
+            }
             if !gated || self.fu_active[i] || self.fu_always_clock[i] {
                 fu.commit();
             }
@@ -349,7 +430,67 @@ impl Coprocessor {
                 }
             }
         }
+        // ---- dispatch watchdog ----
+        if let Some(max) = self.cfg.max_busy_cycles {
+            if self.n_active_fus > 0 {
+                for i in 0..self.fus.len() {
+                    // A unit with a completion waiting at the arbiter is
+                    // making progress even if contention delays the grant.
+                    if self.fu_active[i]
+                        && !self.fu_quarantined[i]
+                        && self.fus[i].peek_output().is_none()
+                        && self.cycle - self.fu_last_progress[i] >= max
+                    {
+                        self.quarantine_unit(i);
+                    }
+                }
+            }
+        }
+        // ---- reliable transceiver: collect serialised output ----
+        if let Some(t) = self.transceiver.as_mut() {
+            while let Some(f) = self.tx_fifo.pop() {
+                t.send_payload(f);
+            }
+        }
         self.cycle += 1;
+    }
+
+    /// Quarantine a hung unit: mark it failed in the FU table (later
+    /// dispatches are refused with `FuQuarantined`), stop clocking it,
+    /// force-release every lock its outstanding dispatches hold, and queue
+    /// one in-band `FuTimeout` error per abandoned dispatch so the host
+    /// learns which results will never arrive.
+    fn quarantine_unit(&mut self, i: usize) {
+        self.futable.quarantine(i);
+        self.fu_quarantined[i] = true;
+        if self.fu_active[i] {
+            self.fu_active[i] = false;
+            self.n_active_fus -= 1;
+        }
+        self.fu_timeouts += 1;
+        let tickets = std::mem::take(&mut self.fu_outstanding[i]);
+        let func = self
+            .futable
+            .entries()
+            .iter()
+            .find(|e| e.index == i)
+            .map_or(i as u32, |e| u32::from(e.func_code));
+        if tickets.is_empty() {
+            self.watchdog_errors.push_back(DevMsg::Error {
+                code: ErrorCode::FuTimeout,
+                info: func,
+            });
+        }
+        for t in tickets {
+            self.lock.release(&t);
+            self.watchdog_errors.push_back(DevMsg::Error {
+                code: ErrorCode::FuTimeout,
+                info: func,
+            });
+        }
+        let cycle = self.cycle;
+        self.trace
+            .record(cycle, "watchdog", || format!("unit {i} quarantined"));
     }
 
     /// Advance up to `n` cycles, stopping early when the machine drains.
@@ -423,9 +564,27 @@ impl Coprocessor {
 
     /// True when no work is anywhere in the machine (including unread
     /// transmit frames).
+    ///
+    /// A fitted transceiver that is merely waiting on its retransmit
+    /// timer *is* idle — nothing changes until the deadline, which
+    /// [`Coprocessor::transport_next_event`] exposes so hosts can bound
+    /// their fast-forwards. Pending deliveries, unsent wire frames and
+    /// queued watchdog errors are work and hold the machine awake.
     pub fn is_idle(&self) -> bool {
+        !self.msgbuf.mid_message() && self.pipeline_drained()
+    }
+
+    /// Every stage empty except possibly a partial message sitting in the
+    /// deframe buffer. With a live peer more frames will arrive and the
+    /// machine is merely between frames; if the sender gave up mid-message
+    /// the machine is permanently stalled here, which hosts with a dead
+    /// reliable link treat as settled (see `System::is_idle`).
+    pub fn stalled_mid_message(&self) -> bool {
+        self.msgbuf.mid_message() && self.pipeline_drained()
+    }
+
+    fn pipeline_drained(&self) -> bool {
         self.rx_fifo.is_idle()
-            && !self.msgbuf.mid_message()
             && self.msg_slot.is_idle()
             && self.decoded_slot.is_idle()
             && self.exec_slot.is_idle()
@@ -437,18 +596,46 @@ impl Coprocessor {
             && self.execution.is_idle()
             && self.arbiter.is_idle()
             && self.no_fu_activity()
+            && self.watchdog_errors.is_empty()
+            && self
+                .transceiver
+                .as_ref()
+                .is_none_or(|t| !t.has_deliverable() && !t.has_tx_work())
     }
 
     /// O(1) stand-in for scanning every unit: the active set is exact
     /// after each step (units are registered at dispatch and retired in
     /// the post-commit sweep), so an empty set means every unit is idle.
+    /// Quarantined units are exempt — a hung unit stays busy forever by
+    /// definition, but it is unclocked and off the scoreboard.
     fn no_fu_activity(&self) -> bool {
         debug_assert_eq!(
             self.n_active_fus == 0,
-            self.fus.iter().all(|f| f.is_idle()),
+            self.fus
+                .iter()
+                .enumerate()
+                .all(|(i, f)| f.is_idle() || self.fu_quarantined[i]),
             "active-unit bookkeeping diverged from unit state"
         );
         self.n_active_fus == 0
+    }
+
+    /// Transport statistics, when a reliable transceiver is fitted.
+    pub fn transport_stats(&self) -> Option<TransportStats> {
+        self.transceiver.as_ref().map(|t| t.stats())
+    }
+
+    /// True when the fitted transceiver (if any) has delivered and had
+    /// acknowledged all traffic. Distinct from [`Coprocessor::is_idle`]:
+    /// an endpoint waiting for a peer's ack is idle but not quiescent.
+    pub fn transport_quiescent(&self) -> bool {
+        self.transceiver.as_ref().is_none_or(|t| t.is_quiescent())
+    }
+
+    /// The transceiver's retransmit deadline, for event-driven hosts:
+    /// fast-forwarding past it would delay a retransmission.
+    pub fn transport_next_event(&self) -> Option<u64> {
+        self.transceiver.as_ref().and_then(|t| t.next_event_cycle())
     }
 
     /// Step until idle, with a cycle budget.
@@ -549,6 +736,7 @@ impl Coprocessor {
             exec_flag_writes,
             responses: d + f + s + e,
             frames_out,
+            fu_timeouts: self.fu_timeouts,
         }
     }
 
@@ -696,6 +884,17 @@ impl Coprocessor {
         self.n_active_fus = 0;
         self.skipped_cycles = 0;
         self.stage_evals = StageEvals::default();
+        if let Some(t) = self.transceiver.as_mut() {
+            t.reset();
+        }
+        self.futable.clear_quarantine();
+        self.fu_last_progress.fill(0);
+        for v in &mut self.fu_outstanding {
+            v.clear();
+        }
+        self.fu_quarantined.fill(false);
+        self.watchdog_errors.clear();
+        self.fu_timeouts = 0;
     }
 }
 
@@ -713,8 +912,9 @@ impl std::fmt::Debug for Coprocessor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testing::LatencyFu;
+    use crate::testing::{LatencyFu, StuckFu};
     use fu_isa::msg::DevDeframer;
+    use fu_isa::transport::{Endpoint, TransportConfig};
     use fu_isa::{HostMsg, InstrWord, MgmtOp, UserInstr};
 
     fn machine(units: Vec<Box<dyn FunctionalUnit>>) -> Coprocessor {
@@ -1155,6 +1355,178 @@ mod tests {
         // The pipelined controller should permit tens of MHz, the band the
         // paper's Cyclone prototype reports.
         assert!(m.critical_path().fmax_mhz() > 30.0);
+    }
+
+    fn stuck_instr(dst: u8) -> HostMsg {
+        HostMsg::Instr(InstrWord::user(UserInstr {
+            func: 9,
+            variety: 0,
+            dst_flag: 3,
+            dst_reg: dst,
+            aux_reg: 0,
+            src1: 0,
+            src2: 0,
+            src3: 0,
+        }))
+    }
+
+    fn watchdog_machine() -> Coprocessor {
+        let cfg = CoprocConfig {
+            data_regs: 16,
+            flag_regs: 4,
+            rx_frames_per_cycle: 4,
+            tx_frames_per_cycle: 4,
+            max_busy_cycles: Some(40),
+            ..CoprocConfig::default()
+        };
+        Coprocessor::new(
+            cfg,
+            vec![
+                Box::new(StuckFu::new("hang", 9)),
+                Box::new(LatencyFu::new("add", 1, 2)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn watchdog_workload() -> Vec<HostMsg> {
+        vec![
+            HostMsg::WriteReg {
+                reg: 1,
+                value: Word::from_u64(30, 32),
+            },
+            HostMsg::WriteReg {
+                reg: 2,
+                value: Word::from_u64(12, 32),
+            },
+            stuck_instr(5),
+            add_instr(3, 1, 2),
+            HostMsg::ReadReg { reg: 3, tag: 1 },
+            HostMsg::Sync { tag: 4 },
+        ]
+    }
+
+    #[test]
+    fn watchdog_quarantines_hung_unit_and_reports_in_band() {
+        let mut m = watchdog_machine();
+        let out = run(&mut m, watchdog_workload());
+        // The hung dispatch is reported in band; the healthy unit's
+        // result and the fence both still complete.
+        assert!(out.contains(&DevMsg::Error {
+            code: ErrorCode::FuTimeout,
+            info: 9
+        }));
+        assert!(out.contains(&DevMsg::Data {
+            tag: 1,
+            value: Word::from_u64(42, 32)
+        }));
+        assert!(out.contains(&DevMsg::SyncAck { tag: 4 }));
+        assert_eq!(m.stats().fu_timeouts, 1);
+        assert!(m.futable().is_quarantined(0));
+        // Later dispatches to the quarantined unit fail fast, and the
+        // rest of the machine keeps working.
+        let out2 = run(
+            &mut m,
+            vec![stuck_instr(6), HostMsg::ReadReg { reg: 3, tag: 7 }],
+        );
+        assert_eq!(
+            out2[0],
+            DevMsg::Error {
+                code: ErrorCode::FuQuarantined,
+                info: 9
+            }
+        );
+        assert!(matches!(out2[1], DevMsg::Data { tag: 7, .. }));
+        // Reset restores the quarantined unit.
+        m.reset();
+        assert!(!m.futable().is_quarantined(0));
+        assert_eq!(m.stats().fu_timeouts, 0);
+    }
+
+    #[test]
+    fn watchdog_releases_locks_of_the_hung_dispatch() {
+        let mut m = watchdog_machine();
+        // The read of the stuck instruction's destination stalls on its
+        // lock; the quarantine must release it so the read completes
+        // (with the stale register value) instead of wedging forever.
+        let out = run(
+            &mut m,
+            vec![stuck_instr(5), HostMsg::ReadReg { reg: 5, tag: 2 }],
+        );
+        assert!(out.contains(&DevMsg::Error {
+            code: ErrorCode::FuTimeout,
+            info: 9
+        }));
+        assert!(matches!(out[1], DevMsg::Data { tag: 2, .. }));
+    }
+
+    #[test]
+    fn watchdog_behaviour_is_identical_in_both_activity_modes() {
+        let run_mode = |mode: ActivityMode| {
+            let mut m = watchdog_machine();
+            m.set_activity_mode(mode);
+            let out = run(&mut m, watchdog_workload());
+            (out, m.cycle(), m.stats().fu_timeouts)
+        };
+        assert_eq!(
+            run_mode(ActivityMode::Gated),
+            run_mode(ActivityMode::Exhaustive)
+        );
+    }
+
+    #[test]
+    fn transceiver_port_carries_messages_over_wire_segments() {
+        let tcfg = TransportConfig::default();
+        let cfg = CoprocConfig {
+            rx_frames_per_cycle: 4,
+            tx_frames_per_cycle: 4,
+            transport: Some(tcfg),
+            ..CoprocConfig::default()
+        };
+        let mut m = Coprocessor::new(cfg, vec![]).unwrap();
+        let mut host = Endpoint::new(tcfg);
+        let msgs = [
+            HostMsg::WriteReg {
+                reg: 3,
+                value: Word::from_u64(42, 32),
+            },
+            HostMsg::ReadReg { reg: 3, tag: 7 },
+        ];
+        for msg in &msgs {
+            for f in msg.to_frames(32) {
+                host.send(f);
+            }
+        }
+        let mut deframer = DevDeframer::new(32);
+        let mut out = Vec::new();
+        for now in 0..5_000u64 {
+            host.poll(now);
+            while let Some(f) = host.pull_frame(now) {
+                assert!(m.push_frame(f), "wire frames are always accepted");
+            }
+            m.step();
+            while let Some(f) = m.pop_frame() {
+                host.on_frame(now, f);
+            }
+            while let Some(p) = host.deliver() {
+                if let Some(msg) = deframer.push(p).unwrap() {
+                    out.push(msg);
+                }
+            }
+            if !out.is_empty() && m.is_idle() && m.transport_quiescent() && host.is_quiescent() {
+                break;
+            }
+        }
+        assert_eq!(
+            out,
+            vec![DevMsg::Data {
+                tag: 7,
+                value: Word::from_u64(42, 32)
+            }]
+        );
+        let stats = m.transport_stats().expect("transceiver fitted");
+        assert!(stats.delivered > 0 && stats.acks_sent > 0);
+        assert!(!stats.gave_up);
     }
 
     #[test]

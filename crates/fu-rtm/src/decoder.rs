@@ -138,6 +138,14 @@ impl Decoder {
                         info: instr.func as u32,
                     };
                 };
+                if futable.is_quarantined(entry.index) {
+                    // The watchdog abandoned this unit; fail fast instead
+                    // of queueing work it will never accept.
+                    return DecodedOp::Error {
+                        code: ErrorCode::FuQuarantined,
+                        info: instr.func as u32,
+                    };
+                }
                 // All data-register fields must be in range (unused fields
                 // encode as 0, which is always in range); the aux field is
                 // checked against the file its role selects.

@@ -22,6 +22,7 @@ use crate::decoder::DecodedOp;
 use crate::encoder::SequencedResponse;
 use crate::execute::ExecOp;
 use crate::flagfile::FlagFile;
+use crate::futable::FuTable;
 use crate::lock::LockManager;
 use crate::protocol::{AuxRole, DispatchPacket, FunctionalUnit, LockTicket};
 use crate::regfile::RegFile;
@@ -67,7 +68,7 @@ impl Dispatcher {
         }
     }
 
-    fn respond(&mut self, exec_out: &mut HandshakeSlot<ExecOp>, msg: DevMsg) {
+    pub(crate) fn respond(&mut self, exec_out: &mut HandshakeSlot<ExecOp>, msg: DevMsg) {
         let seq = self.next_resp_seq;
         self.next_resp_seq += 1;
         self.stats.responses += 1;
@@ -75,14 +76,23 @@ impl Dispatcher {
     }
 
     /// True when every unit is idle and no instruction is in flight —
-    /// the FENCE/SYNC condition.
-    fn quiescent(lock: &LockManager, fus: &[Box<dyn FunctionalUnit>]) -> bool {
-        lock.quiescent() && fus.iter().all(|f| f.is_idle())
+    /// the FENCE/SYNC condition. Quarantined units are exempt: they will
+    /// never become idle again, and their in-flight work was already
+    /// abandoned (locks released, error reported) by the watchdog.
+    fn quiescent(lock: &LockManager, fus: &[Box<dyn FunctionalUnit>], futable: &FuTable) -> bool {
+        lock.quiescent()
+            && fus
+                .iter()
+                .enumerate()
+                .all(|(i, f)| f.is_idle() || futable.is_quarantined(i))
     }
 
     /// One evaluate phase: handle at most one decoded operation. Returns
-    /// the index of the functional unit that received a user dispatch, if
-    /// one did — the coprocessor's activity tracker marks that unit busy.
+    /// the index of the functional unit that received a user dispatch and
+    /// the lock ticket it carries, if a dispatch happened — the
+    /// coprocessor's activity tracker marks that unit busy and the
+    /// watchdog remembers the ticket so a hung unit's locks can be
+    /// force-released.
     #[allow(clippy::too_many_arguments)] // the stage's port list, as in hardware
     pub fn eval(
         &mut self,
@@ -92,10 +102,29 @@ impl Dispatcher {
         lock: &mut LockManager,
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
-    ) -> Option<usize> {
+        futable: &FuTable,
+    ) -> Option<(usize, LockTicket)> {
         let op = input.peek()?;
         match op.clone() {
             DecodedOp::User { instr, fu_index } => {
+                if futable.is_quarantined(fu_index) {
+                    // The unit was quarantined while this instruction was
+                    // in flight past the decoder; fail fast instead of
+                    // stalling on a unit that will never accept work again.
+                    if exec_out.can_push() {
+                        self.respond(
+                            exec_out,
+                            DevMsg::Error {
+                                code: ErrorCode::FuQuarantined,
+                                info: instr.func as u32,
+                            },
+                        );
+                        input.take();
+                    } else {
+                        self.stats.stall_exec_full += 1;
+                    }
+                    return None;
+                }
                 return self.try_dispatch_user(
                     instr, fu_index, input, exec_out, fus, lock, regfile, flagfile,
                 );
@@ -131,7 +160,7 @@ impl Dispatcher {
                 self.try_exec_write_flags(input, exec_out, lock, flagfile, reg, None, Some(flags));
             }
             DecodedOp::Mgmt(MgmtOp::Fence) => {
-                if Self::quiescent(lock, fus) {
+                if Self::quiescent(lock, fus, futable) {
                     input.take();
                     self.stats.mgmt_forwarded += 1;
                 } else {
@@ -165,7 +194,7 @@ impl Dispatcher {
             DecodedOp::Sync { tag } => {
                 if !exec_out.can_push() {
                     self.stats.stall_exec_full += 1;
-                } else if !Self::quiescent(lock, fus) {
+                } else if !Self::quiescent(lock, fus, futable) {
                     self.stats.stall_fence += 1;
                 } else {
                     self.respond(exec_out, DevMsg::SyncAck { tag });
@@ -197,7 +226,7 @@ impl Dispatcher {
         lock: &mut LockManager,
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
-    ) -> Option<usize> {
+    ) -> Option<(usize, LockTicket)> {
         let unit = &fus[fu_index];
         let v = instr.variety;
         let aux_role = unit.aux_role();
@@ -288,7 +317,7 @@ impl Dispatcher {
         });
         self.stats.user_dispatched += 1;
         input.take();
-        Some(fu_index)
+        Some((fu_index, ticket))
     }
 
     /// Shared path for data-register writes resolved in the pipeline

@@ -27,6 +27,10 @@ pub struct FuEntry {
 #[derive(Debug, Clone, Default)]
 pub struct FuTable {
     entries: Vec<FuEntry>,
+    /// Units quarantined by the dispatch watchdog, by unit index. A
+    /// quarantined unit is never clocked or dispatched to again; the
+    /// decoder answers instructions naming it with `FuQuarantined`.
+    quarantined: Vec<bool>,
 }
 
 impl FuTable {
@@ -54,7 +58,11 @@ impl FuTable {
                 name: u.name(),
             });
         }
-        Ok(FuTable { entries })
+        let quarantined = vec![false; units.len()];
+        Ok(FuTable {
+            entries,
+            quarantined,
+        })
     }
 
     /// Look up the unit for a function code.
@@ -76,6 +84,26 @@ impl FuTable {
     /// All entries, in unit order.
     pub fn entries(&self) -> &[FuEntry] {
         &self.entries
+    }
+
+    /// Mark a unit (by index into the unit vector) as quarantined.
+    pub fn quarantine(&mut self, index: usize) {
+        self.quarantined[index] = true;
+    }
+
+    /// True when the unit at `index` has been quarantined by the watchdog.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of quarantined units.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Lift all quarantines (used by `reset`).
+    pub fn clear_quarantine(&mut self) {
+        self.quarantined.fill(false);
     }
 }
 

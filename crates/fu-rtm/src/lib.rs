@@ -48,6 +48,7 @@ pub mod protocol;
 pub mod regfile;
 pub mod serializer;
 pub mod testing;
+pub mod transceiver;
 
 pub use config::CoprocConfig;
 pub use coprocessor::{ActivityMode, CoprocStats, Coprocessor};

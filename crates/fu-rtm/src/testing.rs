@@ -118,6 +118,83 @@ impl FunctionalUnit for LatencyFu {
     }
 }
 
+/// A unit that accepts one dispatch and never completes it — the hung-FU
+/// stimulus for the dispatch watchdog. It reports busy forever, produces
+/// no output, and only `reset` (or quarantine, which stops its clock)
+/// releases it.
+#[derive(Debug)]
+pub struct StuckFu {
+    name: &'static str,
+    func_code: u8,
+    stuck: bool,
+}
+
+impl StuckFu {
+    pub fn new(name: &'static str, func_code: u8) -> StuckFu {
+        StuckFu {
+            name,
+            func_code,
+            stuck: false,
+        }
+    }
+
+    /// Has the unit swallowed its dispatch?
+    pub fn is_stuck(&self) -> bool {
+        self.stuck
+    }
+}
+
+impl Clocked for StuckFu {
+    fn commit(&mut self) {}
+
+    fn reset(&mut self) {
+        self.stuck = false;
+    }
+}
+
+impl FunctionalUnit for StuckFu {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn func_code(&self) -> u8 {
+        self.func_code
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        !self.stuck
+    }
+
+    fn dispatch(&mut self, _pkt: DispatchPacket) {
+        assert!(!self.stuck, "dispatch to busy StuckFu");
+        self.stuck = true;
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        None
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        unreachable!("StuckFu never produces output")
+    }
+
+    fn is_idle(&self) -> bool {
+        !self.stuck
+    }
+
+    fn area(&self) -> AreaEstimate {
+        AreaEstimate::register(1)
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        CriticalPath::of(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,30 +29,11 @@ pub const CRC_INIT: u8 = 1 << 1;
 /// Default function code for the CRC unit.
 pub const CRC_FUNC_CODE: u8 = 22;
 
-/// Update a reflected CRC-32 with one byte.
-pub fn crc32_byte(crc: u32, byte: u8) -> u32 {
-    let mut crc = crc ^ byte as u32;
-    for _ in 0..8 {
-        crc = if crc & 1 == 1 {
-            (crc >> 1) ^ 0xEDB8_8320
-        } else {
-            crc >> 1
-        };
-    }
-    crc
-}
-
-/// Update a reflected CRC-32 with four little-endian bytes.
-pub fn crc32_word(crc: u32, word: u32) -> u32 {
-    word.to_le_bytes()
-        .iter()
-        .fold(crc, |c, &b| crc32_byte(c, b))
-}
-
-/// Reference CRC-32 (IEEE) of a byte slice.
-pub fn crc32(data: &[u8]) -> u32 {
-    !data.iter().fold(0xffff_ffff, |c, &b| crc32_byte(c, b))
-}
+// The polynomial network itself lives in `fu_isa::crc` so the reliable
+// link transport and this functional unit share one implementation — the
+// same reuse a real design gets by instantiating a single CRC core in both
+// the transceiver and the unit library.
+pub use fu_isa::crc::{crc32, crc32_byte, crc32_word};
 
 /// The CRC-32 update kernel.
 #[derive(Debug, Clone)]

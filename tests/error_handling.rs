@@ -1,37 +1,50 @@
 //! Error-path tests: malformed frames, unknown opcodes, unknown units and
 //! out-of-range registers must each produce an in-band error response *in
 //! stream order* and leave the machine fully operational.
+//!
+//! Every case runs under both scheduler activity modes and asserts the
+//! response streams are bit-identical: error handling is architectural
+//! behaviour, and the activity gating is a pure simulation optimisation
+//! that must never show through — least of all on the weird paths.
+
+mod util;
 
 use fu_host::{LinkModel, System};
 use fu_isa::msg::ErrorCode;
 use fu_isa::{DevMsg, HostMsg, InstrWord, UserInstr, Word};
 use fu_rtm::testing::LatencyFu;
-use fu_rtm::{CoprocConfig, FunctionalUnit};
+use fu_rtm::{ActivityMode, CoprocConfig, FunctionalUnit};
 
 fn sys() -> System {
     let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(LatencyFu::new("add", 1, 1))];
     System::new(CoprocConfig::default(), units, LinkModel::ideal()).unwrap()
 }
 
-fn drain(sys: &mut System, n: usize) -> Vec<DevMsg> {
-    let mut out = Vec::new();
-    let mut budget = 1_000_000;
-    while out.len() < n {
-        sys.step();
-        while let Some(m) = sys.recv() {
-            out.push(m);
+/// Run `msgs` to `n` responses under both activity modes, assert the two
+/// response streams are identical, and return one of them.
+fn run_both_modes(mk: impl Fn() -> System, msgs: &[HostMsg], n: usize) -> Vec<DevMsg> {
+    let mut first: Option<Vec<DevMsg>> = None;
+    for mode in [ActivityMode::Gated, ActivityMode::Exhaustive] {
+        let mut s = mk();
+        s.set_activity_mode(mode);
+        for m in msgs {
+            s.send(m);
         }
-        budget -= 1;
-        assert!(budget > 0, "expected {n} responses, got {}", out.len());
+        let out = util::drain_responses(&mut s, n, 1_000_000);
+        match &first {
+            Some(f) => assert_eq!(
+                f, &out,
+                "error responses must not depend on the activity mode"
+            ),
+            None => first = Some(out),
+        }
     }
-    out
+    first.expect("both modes ran")
 }
 
 #[test]
 fn unknown_mgmt_opcode() {
-    let mut s = sys();
-    s.send(&HostMsg::Instr(InstrWord::mgmt(0x55, 0, 0, 0)));
-    let out = drain(&mut s, 1);
+    let out = run_both_modes(sys, &[HostMsg::Instr(InstrWord::mgmt(0x55, 0, 0, 0))], 1);
     assert_eq!(
         out[0],
         DevMsg::Error {
@@ -43,8 +56,7 @@ fn unknown_mgmt_opcode() {
 
 #[test]
 fn unknown_functional_unit() {
-    let mut s = sys();
-    s.send(&HostMsg::Instr(InstrWord::user(UserInstr {
+    let msgs = [HostMsg::Instr(InstrWord::user(UserInstr {
         func: 0x33,
         variety: 0,
         dst_flag: 0,
@@ -53,8 +65,8 @@ fn unknown_functional_unit() {
         src1: 0,
         src2: 0,
         src3: 0,
-    })));
-    let out = drain(&mut s, 1);
+    }))];
+    let out = run_both_modes(sys, &msgs, 1);
     assert_eq!(
         out[0],
         DevMsg::Error {
@@ -66,13 +78,14 @@ fn unknown_functional_unit() {
 
 #[test]
 fn out_of_range_registers_everywhere() {
-    let mut s = sys();
-    s.send(&HostMsg::WriteReg {
-        reg: 250,
-        value: Word::from_u64(1, 32),
-    });
-    s.send(&HostMsg::ReadFlags { reg: 99, tag: 1 });
-    let out = drain(&mut s, 2);
+    let msgs = [
+        HostMsg::WriteReg {
+            reg: 250,
+            value: Word::from_u64(1, 32),
+        },
+        HostMsg::ReadFlags { reg: 99, tag: 1 },
+    ];
+    let out = run_both_modes(sys, &msgs, 2);
     assert!(matches!(
         out[0],
         DevMsg::Error {
@@ -91,16 +104,17 @@ fn out_of_range_registers_everywhere() {
 
 #[test]
 fn errors_interleave_with_successes_in_order() {
-    let mut s = sys();
-    s.send(&HostMsg::WriteReg {
-        reg: 1,
-        value: Word::from_u64(5, 32),
-    });
-    s.send(&HostMsg::ReadReg { reg: 1, tag: 0 }); // ok
-    s.send(&HostMsg::Instr(InstrWord::mgmt(0x70, 0, 0, 0))); // error
-    s.send(&HostMsg::ReadReg { reg: 1, tag: 1 }); // ok
-    s.send(&HostMsg::Sync { tag: 2 }); // ack
-    let out = drain(&mut s, 4);
+    let msgs = [
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(5, 32),
+        },
+        HostMsg::ReadReg { reg: 1, tag: 0 },            // ok
+        HostMsg::Instr(InstrWord::mgmt(0x70, 0, 0, 0)), // error
+        HostMsg::ReadReg { reg: 1, tag: 1 },            // ok
+        HostMsg::Sync { tag: 2 },                       // ack
+    ];
+    let out = run_both_modes(sys, &msgs, 4);
     assert!(matches!(out[0], DevMsg::Data { tag: 0, .. }));
     assert!(matches!(
         out[1],
@@ -115,23 +129,18 @@ fn errors_interleave_with_successes_in_order() {
 
 #[test]
 fn machine_survives_a_burst_of_garbage() {
-    let mut s = sys();
-    // Unknown frame headers (framing errors) followed by real work.
-    // Direct frame injection bypasses HostMsg serialisation.
-    for _ in 0..3 {
-        s.send(&HostMsg::Sync { tag: 7 }); // keepalive pattern
-    }
-    let out = drain(&mut s, 3);
+    let keepalives: Vec<HostMsg> = (0..3).map(|_| HostMsg::Sync { tag: 7 }).collect();
+    let out = run_both_modes(sys, &keepalives, 3);
     assert!(out.iter().all(|m| *m == DevMsg::SyncAck { tag: 7 }));
-    // Now the real garbage, via the coprocessor's frame port.
-    // (System::send only produces well-formed frames, so craft one here.)
-    let mut s = sys();
-    s.send(&HostMsg::WriteReg {
-        reg: 1,
-        value: Word::from_u64(42, 32),
-    });
-    s.send(&HostMsg::ReadReg { reg: 1, tag: 9 });
-    let out = drain(&mut s, 1);
+    // Real work after the burst still completes on a fresh machine.
+    let msgs = [
+        HostMsg::WriteReg {
+            reg: 1,
+            value: Word::from_u64(42, 32),
+        },
+        HostMsg::ReadReg { reg: 1, tag: 9 },
+    ];
+    let out = run_both_modes(sys, &msgs, 1);
     assert_eq!(
         out[0],
         DevMsg::Data {
@@ -145,20 +154,24 @@ fn machine_survives_a_burst_of_garbage() {
 fn dual_destination_collision_is_reported() {
     // A MUL-style unit writing both halves to the same register is a
     // programming error the dispatcher reports rather than deadlocks.
-    let units: Vec<Box<dyn FunctionalUnit>> = fu_units::standard_units(32);
-    let mut s = System::new(CoprocConfig::default(), units, LinkModel::ideal()).unwrap();
-    s.send(&HostMsg::Instr(InstrWord::user(UserInstr {
-        func: fu_isa::funit_codes::MUL,
-        variety: 0,
-        dst_flag: 0,
-        dst_reg: 3,
-        aux_reg: 3, // same as dst_reg — illegal
-        src1: 1,
-        src2: 2,
-        src3: 0,
-    })));
-    s.send(&HostMsg::Sync { tag: 1 });
-    let out = drain(&mut s, 2);
+    let mk = || {
+        let units: Vec<Box<dyn FunctionalUnit>> = fu_units::standard_units(32);
+        System::new(CoprocConfig::default(), units, LinkModel::ideal()).unwrap()
+    };
+    let msgs = [
+        HostMsg::Instr(InstrWord::user(UserInstr {
+            func: fu_isa::funit_codes::MUL,
+            variety: 0,
+            dst_flag: 0,
+            dst_reg: 3,
+            aux_reg: 3, // same as dst_reg — illegal
+            src1: 1,
+            src2: 2,
+            src3: 0,
+        })),
+        HostMsg::Sync { tag: 1 },
+    ];
+    let out = run_both_modes(mk, &msgs, 2);
     assert!(matches!(
         out[0],
         DevMsg::Error {

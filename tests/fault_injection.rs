@@ -1,0 +1,155 @@
+//! Acceptance properties for the reliability work: under arbitrary seeds
+//! and fault rates up to 20% per class, the reliable transport must hide
+//! every injected fault from the application, and the dispatch watchdog
+//! must convert a hung functional unit into an in-band error while the
+//! rest of the machine keeps executing.
+
+mod util;
+
+use bench::faults::fault_batch;
+use fu_host::{FaultModel, LinkModel, System};
+use fu_isa::msg::ErrorCode;
+use fu_isa::transport::TransportConfig;
+use fu_isa::{DevMsg, HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::testing::{LatencyFu, StuckFu};
+use fu_rtm::{ActivityMode, CoprocConfig, FunctionalUnit};
+use proptest::prelude::*;
+
+fn pick_link(index: usize) -> LinkModel {
+    match index {
+        0 => LinkModel::tightly_coupled(),
+        _ => LinkModel::pcie_like(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The reliable transport may cost cycles, never answers: for any
+    /// seed and any fault rate up to 200 permille per class, the faulty
+    /// run's response stream is bit-identical to the fault-free one.
+    #[test]
+    fn faulty_stream_is_bit_identical(
+        seed in any::<u64>(),
+        permille in 1u32..=200,
+        link_index in 0usize..2,
+        n in 1usize..8,
+    ) {
+        let clean = fault_batch(pick_link(link_index), 0, seed, n);
+        let faulty = fault_batch(pick_link(link_index), permille, seed, n);
+        prop_assert_eq!(
+            &clean.responses, &faulty.responses,
+            "stream diverged at {} permille, seed {:#x}", permille, seed
+        );
+        prop_assert!(!faulty.stats.gave_up);
+    }
+}
+
+fn stuck_instr(dst: u8) -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func: 9,
+        variety: 0,
+        dst_flag: 3,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: 1,
+        src2: 1,
+        src3: 0,
+    }))
+}
+
+fn dependent_add() -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func: 1,
+        variety: 0,
+        dst_flag: 1,
+        dst_reg: 2,
+        aux_reg: 0,
+        src1: 2,
+        src2: 1,
+        src3: 0,
+    }))
+}
+
+/// One stuck unit, one healthy unit, a lossy reliable link: run the
+/// watchdog workload to completion and return the full response stream
+/// (quarantine phase included).
+fn watchdog_run(seed: u64, permille: u32, max_busy: u64, mode: ActivityMode) -> Vec<DevMsg> {
+    let link = LinkModel::tightly_coupled();
+    let tcfg = TransportConfig::for_link(link.latency_cycles, link.cycles_per_frame);
+    let cfg = CoprocConfig {
+        max_busy_cycles: Some(max_busy),
+        ..CoprocConfig::default()
+    };
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(StuckFu::new("hang", 9)),
+        Box::new(LatencyFu::new("add", 1, 2)),
+    ];
+    let faults = (permille > 0).then(|| FaultModel::uniform(seed, permille));
+    let mut sys = System::new_reliable(cfg, units, link, tcfg, faults).expect("valid config");
+    sys.set_activity_mode(mode);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(3, 32),
+    });
+    sys.send(&HostMsg::WriteReg {
+        reg: 2,
+        value: Word::from_u64(0, 32),
+    });
+    sys.send(&stuck_instr(5));
+    for _ in 0..4 {
+        sys.send(&dependent_add());
+    }
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 1 });
+    // Register 5 is locked by the hung dispatch; this read can only
+    // answer once the watchdog releases the lock.
+    sys.send(&HostMsg::ReadReg { reg: 5, tag: 2 });
+    sys.send(&HostMsg::Sync { tag: 3 });
+    util::settle(&mut sys, 200_000_000);
+    let mut out: Vec<DevMsg> = std::iter::from_fn(|| sys.recv()).collect();
+    // The quarantined unit must now fail fast, and the machine must still
+    // serve the healthy path.
+    sys.send(&stuck_instr(6));
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 4 });
+    sys.send(&HostMsg::Sync { tag: 5 });
+    util::settle(&mut sys, 200_000_000);
+    out.extend(std::iter::from_fn(|| sys.recv()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A hung unit degrades gracefully under any fault rate: the workload
+    /// completes, the timeout is reported in band, healthy units keep
+    /// executing, and both activity modes agree bit for bit.
+    #[test]
+    fn hung_unit_degrades_gracefully(
+        seed in any::<u64>(),
+        permille in 0u32..=200,
+        max_busy in 40u64..200,
+    ) {
+        let gated = watchdog_run(seed, permille, max_busy, ActivityMode::Gated);
+        let exhaustive = watchdog_run(seed, permille, max_busy, ActivityMode::Exhaustive);
+        prop_assert_eq!(&gated, &exhaustive, "activity modes diverged");
+
+        let out = gated;
+        prop_assert!(
+            out.contains(&DevMsg::Error { code: ErrorCode::FuTimeout, info: 9 }),
+            "no in-band timeout in {:?}", out
+        );
+        // Healthy unit finished its adds despite the hang.
+        prop_assert!(out.contains(&DevMsg::Data { tag: 1, value: Word::from_u64(12, 32) }));
+        // The hung dispatch's register lock was released.
+        prop_assert!(out.contains(&DevMsg::Data { tag: 2, value: Word::from_u64(0, 32) }));
+        prop_assert!(out.contains(&DevMsg::SyncAck { tag: 3 }));
+        // Phase two: dispatching to the quarantined unit fails fast while
+        // the healthy unit still answers.
+        prop_assert!(
+            out.contains(&DevMsg::Error { code: ErrorCode::FuQuarantined, info: 9 }),
+            "no fail-fast error in {:?}", out
+        );
+        prop_assert!(out.contains(&DevMsg::Data { tag: 4, value: Word::from_u64(12, 32) }));
+        prop_assert_eq!(out.last(), Some(&DevMsg::SyncAck { tag: 5 }));
+    }
+}

@@ -2,6 +2,8 @@
 //! reordered regardless of link timing, FIFO sizing or port width — the
 //! paper's local-handshake correctness argument, exercised end to end.
 
+mod util;
+
 use fu_host::{LinkModel, System};
 use fu_isa::{DevMsg, HostMsg, Word};
 use fu_rtm::CoprocConfig;
@@ -37,18 +39,9 @@ fn stress(cfg: CoprocConfig, link: LinkModel, n_msgs: u32, seed: u64) {
     sys.send(&HostMsg::Sync { tag: 0xffff });
     expected.push(DevMsg::SyncAck { tag: 0xffff });
 
-    let mut got = Vec::new();
-    let mut budget: u64 = 60_000_000;
-    while got.len() < expected.len() {
-        sys.step();
-        while let Some(m) = sys.recv() {
-            got.push(m);
-        }
-        budget -= 1;
-        assert!(budget > 0, "responses never drained (seed {seed})");
-    }
+    let got = util::drain_responses(&mut sys, expected.len(), 60_000_000);
     assert_eq!(got, expected, "response stream corrupted (seed {seed})");
-    sys.run_until(10_000, |s| s.is_idle()).unwrap();
+    util::settle(&mut sys, 10_000);
 }
 
 #[test]

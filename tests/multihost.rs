@@ -2,6 +2,8 @@
 //! interface): response routing, message-granular arbitration, fairness
 //! and isolation.
 
+mod util;
+
 use fu_host::{LinkModel, MultiHostSystem};
 use fu_isa::{DevMsg, HostMsg, Word};
 use fu_rtm::testing::LatencyFu;
@@ -184,16 +186,74 @@ fn single_host_degenerates_to_plain_system() {
     );
     let resp = s.recv_blocking(0, 1_000_000).unwrap();
     assert!(matches!(resp, DevMsg::Data { .. }));
-    let mut budget = 10_000;
-    while !s.is_idle() {
-        s.step();
-        budget -= 1;
-        assert!(budget > 0);
-    }
+    util::settle_multihost(&mut s, 10_000);
 }
 
 #[test]
 fn zero_hosts_rejected() {
     let r = MultiHostSystem::new(CoprocConfig::default(), vec![], LinkModel::ideal(), 0);
     assert!(r.is_err());
+}
+
+#[test]
+fn reliable_ports_mask_faults_per_host() {
+    use fu_host::FaultModel;
+    use fu_isa::transport::TransportConfig;
+
+    let link = LinkModel::tightly_coupled();
+    let tcfg = TransportConfig::for_link(link.latency_cycles, link.cycles_per_frame);
+    let run = |faults: Option<FaultModel>| {
+        let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(LatencyFu::new("add", 1, 1))];
+        let mut s =
+            MultiHostSystem::new_reliable(CoprocConfig::default(), units, link, 2, tcfg, faults)
+                .unwrap();
+        // Each host owns one register and reads it back twice.
+        let mut streams: Vec<Vec<DevMsg>> = vec![Vec::new(); 2];
+        for host in 0..2usize {
+            s.send(
+                host,
+                &HostMsg::WriteReg {
+                    reg: host as u8 + 1,
+                    value: Word::from_u64(500 + host as u64, 32),
+                },
+            );
+            for t in 0..2u16 {
+                s.send(
+                    host,
+                    &HostMsg::ReadReg {
+                        reg: host as u8 + 1,
+                        tag: s.brand_tag(host, t),
+                    },
+                );
+            }
+        }
+        for _ in 0..20_000_000u64 {
+            if s.is_idle() {
+                break;
+            }
+            s.step();
+        }
+        assert!(s.is_idle(), "reliable multi-host system must drain");
+        for (host, stream) in streams.iter_mut().enumerate() {
+            while let Some(m) = s.recv(host) {
+                stream.push(m);
+            }
+        }
+        let stats: Vec<_> = (0..2).map(|h| s.link_stats(h)).collect();
+        (streams, stats)
+    };
+
+    let (clean, _) = run(None);
+    let (faulty, stats) = run(Some(FaultModel::uniform(0xBEEF, 60)));
+    assert_eq!(
+        clean, faulty,
+        "reliable ports must hide faults from every host"
+    );
+    for (host, st) in stats.iter().enumerate() {
+        assert!(
+            st.frames_dropped + st.frames_corrupted + st.frames_duplicated > 0,
+            "host {host} port saw no faults at 60 permille: {st:?}"
+        );
+        assert!(!st.gave_up, "host {host} port gave up: {st:?}");
+    }
 }

@@ -9,6 +9,8 @@
 //! (b) that architectural state and the response stream never betray it,
 //! and (c) that it buys throughput over a serialising barrier.
 
+mod util;
+
 use fu_host::{LinkModel, System};
 use fu_isa::{DevMsg, HostMsg, InstrWord, UserInstr, Word};
 use fu_rtm::testing::LatencyFu;
@@ -102,25 +104,8 @@ fn run_mix(serialise: bool, n: u32) -> u64 {
             msgs.push(HostMsg::Instr(fu_isa::MgmtOp::Fence.encode()));
         }
     }
-    let mut frames: std::collections::VecDeque<u32> =
-        msgs.iter().flat_map(|m| m.to_frames(32)).collect();
-    let mut budget = 10_000_000u64;
-    loop {
-        while let Some(&f) = frames.front() {
-            if coproc.push_frame(f) {
-                frames.pop_front();
-            } else {
-                break;
-            }
-        }
-        coproc.step();
-        if frames.is_empty() && coproc.is_idle() {
-            break;
-        }
-        budget -= 1;
-        assert!(budget > 0, "mix never drained");
-    }
-    coproc.cycle()
+    let frames = msgs.iter().flat_map(|m| m.to_frames(32));
+    util::feed_frames_until_idle(&mut coproc, frames, 10_000_000)
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Shared polling helpers for the root integration tests.
+//!
+//! Every test that pumps a simulation waits the same way — step, collect
+//! responses, and fail loudly when a cycle budget expires — so the loop
+//! lives here once instead of being re-invented (with subtly different
+//! panic messages) in every test file. Each test binary includes this
+//! module with `mod util;` and uses its own subset of the helpers.
+
+use fu_host::System;
+use fu_isa::DevMsg;
+
+/// Step `sys` until `n` responses have been received, returning them in
+/// arrival order.
+///
+/// # Panics
+/// After `budget` cycles without the `n`-th response, with a message
+/// naming the budget and what actually arrived.
+#[allow(dead_code)]
+pub fn drain_responses(sys: &mut System, n: usize, budget: u64) -> Vec<DevMsg> {
+    let mut out = Vec::new();
+    for _ in 0..budget {
+        if out.len() >= n {
+            return out;
+        }
+        sys.step();
+        while let Some(m) = sys.recv() {
+            out.push(m);
+        }
+    }
+    if out.len() >= n {
+        return out;
+    }
+    panic!(
+        "cycle budget of {budget} exhausted at cycle {}: expected {n} \
+         responses, got {} so far: {out:?}",
+        sys.cycle(),
+        out.len(),
+    );
+}
+
+/// Step `sys` until it reports fully idle (everything drained and, with a
+/// reliable transport, acknowledged).
+///
+/// # Panics
+/// After `budget` cycles without reaching idle.
+#[allow(dead_code)]
+pub fn settle(sys: &mut System, budget: u64) {
+    sys.run_until(budget, |s| s.is_idle())
+        .unwrap_or_else(|e| panic!("cycle budget of {budget} exhausted before idle: {e:?}"));
+}
+
+/// Step a [`fu_host::MultiHostSystem`] until it reports fully idle.
+///
+/// # Panics
+/// After `budget` cycles without reaching idle.
+#[allow(dead_code)]
+pub fn settle_multihost(sys: &mut fu_host::MultiHostSystem, budget: u64) {
+    for _ in 0..budget {
+        if sys.is_idle() {
+            return;
+        }
+        sys.step();
+    }
+    panic!("cycle budget of {budget} exhausted before the multi-host system went idle");
+}
+
+/// Feed `frames` into a bare [`fu_rtm::Coprocessor`] as flow control
+/// allows and step until both the frames and the machine have drained.
+/// Returns the cycle count at idle.
+///
+/// # Panics
+/// After `budget` cycles without draining.
+#[allow(dead_code)]
+pub fn feed_frames_until_idle(
+    coproc: &mut fu_rtm::Coprocessor,
+    frames: impl IntoIterator<Item = u32>,
+    budget: u64,
+) -> u64 {
+    let mut frames: std::collections::VecDeque<u32> = frames.into_iter().collect();
+    for _ in 0..budget {
+        while let Some(&f) = frames.front() {
+            if coproc.push_frame(f) {
+                frames.pop_front();
+            } else {
+                break;
+            }
+        }
+        coproc.step();
+        if frames.is_empty() && coproc.is_idle() {
+            return coproc.cycle();
+        }
+    }
+    panic!(
+        "cycle budget of {budget} exhausted with {} frames unfed and the machine still busy",
+        frames.len()
+    );
+}
