@@ -115,6 +115,14 @@ impl Driver {
         }
     }
 
+    /// Queue an arbitrary pre-built host message (fire-and-forget). The
+    /// caller owns tag allocation for tagged messages sent this way;
+    /// mixing raw tagged reads with the driver's own blocking calls will
+    /// confuse response matching.
+    pub fn send_raw(&mut self, msg: &HostMsg) {
+        self.sys.send(msg);
+    }
+
     /// Write a data register (fire-and-forget; ordering is guaranteed by
     /// the in-order pipeline).
     pub fn write_reg(&mut self, reg: u8, value: u64) {
@@ -160,6 +168,64 @@ impl Driver {
             self.exec(instr);
         }
         Ok(n)
+    }
+
+    // ---- pipelined batch issue ---------------------------------------
+    //
+    // A real host program never writes the device FIFO one register at a
+    // time and then sits down to wait: it streams a whole batch through
+    // the link while the device is already executing the front of it, and
+    // drains whatever responses appear along the way. `exec_batch` models
+    // exactly that: instruction messages are packed into the link as
+    // bandwidth allows and the system is clocked *while* issuing, so
+    // issue, execution and response draining overlap instead of paying a
+    // full host↔device round-trip per instruction.
+
+    /// Issue a batch of instructions, overlapping issue with execution.
+    ///
+    /// Every instruction is queued onto the link and the system is
+    /// stepped at link pace during issue, so by the time the last
+    /// instruction leaves the host the device is already deep into the
+    /// batch. Any responses produced meanwhile accumulate in the system's
+    /// response queue (see [`Driver::poll`] / [`Driver::wait_tag`]).
+    pub fn exec_batch(&mut self, instrs: &[InstrWord]) {
+        let wb = self.sys.word_bits();
+        let pace = self.sys.link_model().cycles_per_frame;
+        for &instr in instrs {
+            let msg = HostMsg::Instr(instr);
+            let wire_cycles = msg.frame_len(wb) as u64 * pace;
+            self.sys.send(&msg);
+            // Clock the co-simulation for as long as this message
+            // occupies the outbound link, draining responses as they
+            // appear — the "pipelined" part of batch issue.
+            for _ in 0..wire_cycles {
+                self.sys.step();
+            }
+        }
+    }
+
+    /// Assemble a whole program and issue it through the pipelined batch
+    /// path. Returns the number of instructions issued.
+    ///
+    /// # Errors
+    /// Returns [`DriverError::Asm`] on a source error.
+    pub fn submit_program(&mut self, source: &str) -> Result<usize, DriverError> {
+        let prog = fu_isa::asm::assemble(source).map_err(|e| DriverError::Asm(e.to_string()))?;
+        self.exec_batch(&prog);
+        Ok(prog.len())
+    }
+
+    /// Run the system until it is completely idle and return every
+    /// response received along the way (including any already pending).
+    ///
+    /// # Errors
+    /// [`DriverError::Timeout`] when the driver's cycle budget expires
+    /// before the system drains.
+    pub fn drain_idle(&mut self) -> Result<Vec<DevMsg>, DriverError> {
+        self.sys
+            .run_until(self.timeout, |s| s.is_idle())
+            .map_err(DriverError::Timeout)?;
+        Ok(std::iter::from_fn(|| self.sys.recv()).collect())
     }
 
     /// Blocking read of a data register.

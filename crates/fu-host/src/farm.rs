@@ -1,0 +1,587 @@
+//! A sharded coprocessor farm: many independent [`System`]s, one worker
+//! thread each, fed from a bounded work queue.
+//!
+//! The paper lets "one or more host CPUs" drive many functional units;
+//! the farm is the host-side scale-out of that picture — N simulated
+//! coprocessor boards, each with its own link, stepped concurrently on OS
+//! threads. Three properties make it production-shaped rather than a toy
+//! thread pool:
+//!
+//! * **Deterministic assignment.** Job *i* always runs on shard
+//!   `i % shards`, and each shard executes its jobs in submission order,
+//!   on a shard built from the same per-shard seed. Thread scheduling can
+//!   reorder *when* shards run, never *what* they compute.
+//! * **Bit-identical merging.** [`Farm::run_parallel`] returns exactly
+//!   the result vector [`Farm::run_serial`] returns — same responses,
+//!   same tags, same errors — because results are merged by job index,
+//!   not by arrival time. The `farm_determinism` proptest enforces this.
+//! * **Backpressure.** Every shard's queue is a bounded
+//!   [`std::sync::mpsc::sync_channel`]; a slow shard blocks the feeder
+//!   instead of ballooning memory.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::driver::{Driver, DriverError};
+use crate::link::{FaultModel, LinkModel, LinkStats};
+use crate::system::System;
+use fu_isa::{DevMsg, HostMsg};
+use fu_rtm::{ActivityMode, CoprocConfig};
+use fu_units::standard_units;
+use rtl_sim::{SimError, SimStats};
+
+// Compile-time audit that whole shards can migrate across threads; this
+// is what the `Send` bounds on `FunctionalUnit`/`Kernel` buy.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<Driver>();
+    assert_send::<Job>();
+    assert_send::<JobResult>();
+};
+
+/// splitmix64, used to derive independent per-shard seeds from the farm
+/// seed (same generator the link fault model uses).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Farm-level knobs. The shard *contents* come from the builder closure
+/// passed to [`Farm::new`]; this struct only shapes the orchestration.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmConfig {
+    /// Number of shards (and worker threads). Must be ≥ 1.
+    pub shards: usize,
+    /// Depth of each shard's bounded job queue. Feeding a full queue
+    /// blocks — that is the backpressure, not an error.
+    pub queue_depth: usize,
+    /// Per-blocking-call cycle budget for every shard's driver.
+    pub timeout: u64,
+    /// Base seed; shard `k` receives `splitmix64(seed ^ k·φ)` so fault
+    /// models (and any other seeded structure) differ across shards but
+    /// replay identically run to run.
+    pub seed: u64,
+    /// Scheduling mode applied to every shard.
+    pub activity_mode: ActivityMode,
+}
+
+impl Default for FarmConfig {
+    fn default() -> FarmConfig {
+        FarmConfig {
+            shards: 4,
+            queue_depth: 16,
+            timeout: 20_000_000,
+            seed: 0,
+            activity_mode: ActivityMode::default(),
+        }
+    }
+}
+
+/// Identity handed to the shard builder.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCtx {
+    /// Shard index in `0..shards`.
+    pub index: usize,
+    /// This shard's derived seed (stable across runs for a given farm
+    /// seed and shard count).
+    pub seed: u64,
+    /// Total shard count, for builders that partition resources.
+    pub shards: usize,
+}
+
+/// One unit of work. Jobs are self-contained: everything a shard needs
+/// travels in the job, so any shard with the right units can run it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Job {
+    /// Assemble `source`, issue it through the pipelined batch path,
+    /// barrier, then read back `reads` (queued, in order).
+    Program {
+        /// Assembly source text.
+        source: String,
+        /// Data registers to read back after the barrier.
+        reads: Vec<u8>,
+    },
+    /// Raw pre-tagged host messages; the shard sends them all, runs to
+    /// idle and returns every response.
+    Requests(Vec<HostMsg>),
+    /// Load the values into the shard's χ-sort unit, sort, and read the
+    /// sorted array back.
+    XiSort(Vec<u32>),
+}
+
+/// What a job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Response messages, in device order.
+    Msgs(Vec<DevMsg>),
+    /// χ-sort refinement-round count and the sorted array.
+    Sorted {
+        /// Refinement rounds the sort took.
+        rounds: u64,
+        /// The sorted values.
+        values: Vec<u32>,
+    },
+}
+
+/// One job's outcome, tagged with its index and the shard that ran it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Index of the job in the submitted slice.
+    pub job: usize,
+    /// Shard that executed it (always `job % shards`).
+    pub shard: usize,
+    /// Responses, or the driver error the job died with. Errors are data
+    /// here — a failing job must not take the farm down, and the error
+    /// itself must be bit-identical between serial and parallel runs.
+    pub output: Result<JobOutput, DriverError>,
+}
+
+/// Per-shard accounting from the most recent run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Jobs this shard executed.
+    pub jobs: u64,
+    /// Simulated cycles the shard's system consumed.
+    pub cycles: u64,
+    /// Scheduler statistics rollup source.
+    pub sim: SimStats,
+    /// Link/transport statistics rollup source.
+    pub link: LinkStats,
+}
+
+/// Orchestration-level failures. Per-job failures travel inside
+/// [`JobResult::output`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FarmError {
+    /// The shard builder failed.
+    Build(SimError),
+    /// A worker thread panicked (a bug in a unit or the framework, not a
+    /// device-visible error).
+    WorkerPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// `shards == 0`.
+    NoShards,
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::Build(e) => write!(f, "shard build failed: {e:?}"),
+            FarmError::WorkerPanicked { shard } => write!(f, "worker for shard {shard} panicked"),
+            FarmError::NoShards => write!(f, "a farm needs at least one shard"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+type ShardBuilder = Arc<dyn Fn(&ShardCtx) -> Result<System, SimError> + Send + Sync>;
+
+/// The farm itself. Shards are rebuilt from the builder at the start of
+/// every run, so `run_serial` and `run_parallel` observe identical
+/// initial state — that is what makes them comparable bit for bit.
+pub struct Farm {
+    cfg: FarmConfig,
+    builder: ShardBuilder,
+    reports: Vec<ShardReport>,
+}
+
+impl Farm {
+    /// A farm whose shards are produced by `builder`.
+    pub fn new(
+        cfg: FarmConfig,
+        builder: impl Fn(&ShardCtx) -> Result<System, SimError> + Send + Sync + 'static,
+    ) -> Farm {
+        Farm {
+            cfg,
+            builder: Arc::new(builder),
+            reports: Vec::new(),
+        }
+    }
+
+    /// A farm of standard-unit coprocessors on bare `link`s — the
+    /// arithmetic workhorse configuration.
+    pub fn standard(cfg: FarmConfig, coproc: CoprocConfig, link: LinkModel) -> Farm {
+        Farm::new(cfg, move |_ctx| {
+            System::new(coproc.clone(), standard_units(coproc.word_bits), link)
+        })
+    }
+
+    /// As [`Farm::standard`] but over the reliable transport with a fault
+    /// model whose seed is re-derived per shard: every shard sees an
+    /// independent — but reproducible — fault stream.
+    pub fn standard_reliable(
+        cfg: FarmConfig,
+        coproc: CoprocConfig,
+        link: LinkModel,
+        faults: Option<FaultModel>,
+    ) -> Farm {
+        Farm::new(cfg, move |ctx| {
+            let tcfg = fu_isa::transport::TransportConfig::for_link(
+                link.latency_cycles,
+                link.cycles_per_frame,
+            );
+            System::new_reliable(
+                coproc.clone(),
+                standard_units(coproc.word_bits),
+                link,
+                tcfg,
+                faults.map(|m| m.with_seed(ctx.seed)),
+            )
+        })
+    }
+
+    /// Farm configuration.
+    pub fn config(&self) -> &FarmConfig {
+        &self.cfg
+    }
+
+    /// The shard job `job_index` is (and will always be) assigned to.
+    pub fn assign(&self, job_index: usize) -> usize {
+        job_index % self.cfg.shards.max(1)
+    }
+
+    /// The derived seed shard `index` is built with.
+    pub fn shard_seed(&self, index: usize) -> u64 {
+        splitmix64(
+            self.cfg
+                .seed
+                .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    fn build_shard(&self, index: usize) -> Result<Driver, FarmError> {
+        let ctx = ShardCtx {
+            index,
+            seed: self.shard_seed(index),
+            shards: self.cfg.shards,
+        };
+        let mut sys = (self.builder)(&ctx).map_err(FarmError::Build)?;
+        sys.set_activity_mode(self.cfg.activity_mode);
+        Ok(Driver::new(sys, self.cfg.timeout))
+    }
+
+    fn report(drv: &Driver, jobs: u64) -> ShardReport {
+        let sys = drv.system();
+        ShardReport {
+            jobs,
+            cycles: sys.cycle(),
+            sim: sys.sim_stats(),
+            link: sys.link_stats(),
+        }
+    }
+
+    /// Run `jobs` on this thread: every shard is built exactly as in
+    /// [`Farm::run_parallel`] and executes the same jobs in the same
+    /// order, so this is the reference the parallel path is compared to
+    /// (and a useful zero-thread mode in its own right).
+    ///
+    /// # Errors
+    /// [`FarmError`] on orchestration failures; per-job errors are data
+    /// inside the returned results.
+    pub fn run_serial(&mut self, jobs: &[Job]) -> Result<Vec<JobResult>, FarmError> {
+        if self.cfg.shards == 0 {
+            return Err(FarmError::NoShards);
+        }
+        let mut drivers = (0..self.cfg.shards)
+            .map(|s| self.build_shard(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut counts = vec![0u64; self.cfg.shards];
+        let mut results = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let s = self.assign(i);
+            counts[s] += 1;
+            results.push(JobResult {
+                job: i,
+                shard: s,
+                output: run_job(&mut drivers[s], job),
+            });
+        }
+        self.reports = drivers
+            .iter()
+            .zip(&counts)
+            .map(|(d, &n)| Farm::report(d, n))
+            .collect();
+        Ok(results)
+    }
+
+    /// Run `jobs` across one worker thread per shard, merging results by
+    /// job index. The merged vector is **bit-identical** to
+    /// [`Farm::run_serial`] on the same jobs.
+    ///
+    /// # Errors
+    /// [`FarmError`] on orchestration failures (including worker panics);
+    /// per-job errors are data inside the returned results.
+    pub fn run_parallel(&mut self, jobs: &[Job]) -> Result<Vec<JobResult>, FarmError> {
+        if self.cfg.shards == 0 {
+            return Err(FarmError::NoShards);
+        }
+        let drivers = (0..self.cfg.shards)
+            .map(|s| self.build_shard(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let queue_depth = self.cfg.queue_depth.max(1);
+        let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+        let mut reports = vec![ShardReport::default(); self.cfg.shards];
+        let shards = self.cfg.shards;
+        let assign = |i: usize| i % shards;
+        std::thread::scope(|scope| -> Result<(), FarmError> {
+            let mut senders = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for (s, mut drv) in drivers.into_iter().enumerate() {
+                // Bounded: a feeder racing ahead of a slow shard parks on
+                // `send` instead of queueing unbounded work.
+                let (tx, rx) = mpsc::sync_channel::<(usize, &Job)>(queue_depth);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut n = 0u64;
+                    while let Ok((idx, job)) = rx.recv() {
+                        n += 1;
+                        out.push(JobResult {
+                            job: idx,
+                            shard: s,
+                            output: run_job(&mut drv, job),
+                        });
+                    }
+                    (out, Farm::report(&drv, n))
+                }));
+            }
+            // Feed in submission order. A send only fails when a worker
+            // died; surface that as the panic it is about to become.
+            for (i, job) in jobs.iter().enumerate() {
+                let s = assign(i);
+                if senders[s].send((i, job)).is_err() {
+                    break; // joined below; the panic is reported there
+                }
+            }
+            drop(senders);
+            for (s, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((out, rep)) => {
+                        for r in out {
+                            let slot = r.job;
+                            results[slot] = Some(r);
+                        }
+                        reports[s] = rep;
+                    }
+                    Err(_) => return Err(FarmError::WorkerPanicked { shard: s }),
+                }
+            }
+            Ok(())
+        })?;
+        self.reports = reports;
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every submitted job is assigned to exactly one worker"))
+            .collect())
+    }
+
+    /// Per-shard accounting from the most recent run.
+    pub fn shard_reports(&self) -> &[ShardReport] {
+        &self.reports
+    }
+
+    /// Scheduler statistics summed over all shards of the last run.
+    pub fn sim_stats(&self) -> SimStats {
+        self.reports.iter().map(|r| &r.sim).sum()
+    }
+
+    /// Link/transport statistics summed over all shards of the last run.
+    pub fn link_stats(&self) -> LinkStats {
+        self.reports.iter().map(|r| r.link).sum()
+    }
+
+    /// Simulated makespan of the last run: shards run concurrently in
+    /// simulated time, so the farm finishes when its slowest shard does.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.reports.iter().map(|r| r.cycles).max().unwrap_or(0)
+    }
+
+    /// Total simulated cycles summed over shards (the serial-equivalent
+    /// cost of the last run).
+    pub fn total_cycles(&self) -> u64 {
+        self.reports.iter().map(|r| r.cycles).sum()
+    }
+}
+
+/// Execute one job on a shard's driver. This function is the *only* code
+/// path jobs run through — serial and parallel runs share it, which is
+/// half of the determinism argument (the other half is identical shard
+/// construction and per-shard job order).
+fn run_job(drv: &mut Driver, job: &Job) -> Result<JobOutput, DriverError> {
+    match job {
+        Job::Program { source, reads } => {
+            drv.submit_program(source)?;
+            drv.sync()?;
+            if reads.is_empty() {
+                return Ok(JobOutput::Msgs(Vec::new()));
+            }
+            let mut last = 0;
+            for &r in reads {
+                last = drv.read_reg_async(r);
+            }
+            Ok(JobOutput::Msgs(drv.wait_tag(last)?))
+        }
+        Job::Requests(msgs) => {
+            for m in msgs {
+                drv.send_raw(m);
+            }
+            Ok(JobOutput::Msgs(drv.drain_idle()?))
+        }
+        Job::XiSort(values) => {
+            drv.xi_load(values, 1)?;
+            let rounds = drv.xi_sort(2)?;
+            let values = drv.xi_read_sorted(values.len(), 1, 2)?;
+            Ok(JobOutput::Sorted { rounds, values })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job::Program {
+                source: format!(
+                    "ADD r3, r1, r2, f1\n INC r4, r3, f2\n ; job {i}\n ADD r5, r4, r3, f3"
+                ),
+                reads: vec![3, 4, 5],
+            })
+            .collect()
+    }
+
+    fn farm(shards: usize) -> Farm {
+        Farm::standard(
+            FarmConfig {
+                shards,
+                ..FarmConfig::default()
+            },
+            CoprocConfig::default(),
+            LinkModel::pcie_like(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_small_batch() {
+        let jobs = add_jobs(10);
+        let mut f = farm(3);
+        let serial = f.run_serial(&jobs).unwrap();
+        let serial_reports: Vec<u64> = f.shard_reports().iter().map(|r| r.cycles).collect();
+        let parallel = f.run_parallel(&jobs).unwrap();
+        let parallel_reports: Vec<u64> = f.shard_reports().iter().map(|r| r.cycles).collect();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_reports, parallel_reports);
+    }
+
+    #[test]
+    fn assignment_is_round_robin_and_stable() {
+        let f = farm(4);
+        for i in 0..32 {
+            assert_eq!(f.assign(i), i % 4);
+        }
+        assert_eq!(f.shard_seed(2), f.shard_seed(2));
+        assert_ne!(f.shard_seed(0), f.shard_seed(1));
+    }
+
+    #[test]
+    fn job_errors_are_data_not_crashes() {
+        let jobs = vec![
+            Job::Program {
+                source: "ADD r1, r1, r1, f0".into(),
+                reads: vec![1],
+            },
+            Job::Requests(vec![HostMsg::ReadReg { reg: 200, tag: 7 }]),
+        ];
+        let mut f = farm(2);
+        let out = f.run_parallel(&jobs).unwrap();
+        assert!(out[0].output.is_ok());
+        // An in-band device error surfaces as the response stream, not a
+        // farm failure (drain_idle collects the Error message).
+        match &out[1].output {
+            Ok(JobOutput::Msgs(msgs)) => {
+                assert!(matches!(msgs[0], DevMsg::Error { .. }), "{msgs:?}");
+            }
+            other => panic!("expected in-band error response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rollups_sum_over_shards() {
+        let jobs = add_jobs(8);
+        let mut f = farm(4);
+        f.run_parallel(&jobs).unwrap();
+        let reports = f.shard_reports();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.iter().map(|r| r.jobs).sum::<u64>(), 8);
+        let sim = f.sim_stats();
+        assert_eq!(
+            sim.cycles_simulated,
+            reports.iter().map(|r| r.sim.cycles_simulated).sum::<u64>()
+        );
+        assert_eq!(f.total_cycles(), reports.iter().map(|r| r.cycles).sum());
+        assert!(f.makespan_cycles() <= f.total_cycles());
+        assert!(f.makespan_cycles() > 0);
+    }
+
+    #[test]
+    fn reliable_farm_shards_see_independent_fault_streams() {
+        let jobs = add_jobs(6);
+        let mut f = Farm::standard_reliable(
+            FarmConfig {
+                shards: 2,
+                seed: 0xFA12,
+                ..FarmConfig::default()
+            },
+            CoprocConfig::default(),
+            LinkModel::pcie_like(),
+            Some(FaultModel::uniform(0, 100)),
+        );
+        let a = f.run_parallel(&jobs).unwrap();
+        let ls = f.link_stats();
+        assert!(
+            ls.frames_dropped + ls.frames_corrupted + ls.frames_duplicated > 0,
+            "faults must fire: {ls:?}"
+        );
+        // Reproducible run to run…
+        let b = f.run_parallel(&jobs).unwrap();
+        assert_eq!(a, b);
+        // …and correct despite the faults.
+        for r in &a {
+            let msgs = match &r.output {
+                Ok(JobOutput::Msgs(m)) => m,
+                other => panic!("job failed under faults: {other:?}"),
+            };
+            // r3 = 0+0, r4 = r3+1, r5 = r4+r3.
+            let values: Vec<u64> = msgs
+                .iter()
+                .map(|m| match m {
+                    DevMsg::Data { value, .. } => value.as_u64(),
+                    other => panic!("expected Data, got {other:?}"),
+                })
+                .collect();
+            assert_eq!(values, vec![0, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_an_error() {
+        let mut f = Farm::standard(
+            FarmConfig {
+                shards: 0,
+                ..FarmConfig::default()
+            },
+            CoprocConfig::default(),
+            LinkModel::ideal(),
+        );
+        assert_eq!(f.run_serial(&[]), Err(FarmError::NoShards));
+        assert_eq!(f.run_parallel(&[]), Err(FarmError::NoShards));
+    }
+}

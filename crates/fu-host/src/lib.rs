@@ -23,12 +23,14 @@
 
 pub mod baseline;
 pub mod driver;
+pub mod farm;
 pub mod link;
 pub mod multihost;
 pub mod system;
 
 pub use baseline::CpuModel;
 pub use driver::{Driver, DriverError};
+pub use farm::{Farm, FarmConfig, FarmError, Job, JobOutput, JobResult, ShardCtx, ShardReport};
 pub use link::{FaultModel, FaultStats, Link, LinkModel, LinkStats};
 pub use multihost::MultiHostSystem;
 pub use system::System;

@@ -176,6 +176,38 @@ impl LinkStats {
     }
 }
 
+// Shard-level rollups: a farm sums the per-connection statistics of all
+// its shards. `gave_up` is sticky — one dead shard marks the rollup.
+impl std::ops::AddAssign for LinkStats {
+    fn add_assign(&mut self, rhs: LinkStats) {
+        self.frames_dropped += rhs.frames_dropped;
+        self.frames_corrupted += rhs.frames_corrupted;
+        self.frames_duplicated += rhs.frames_duplicated;
+        self.segments_sent += rhs.segments_sent;
+        self.retransmits += rhs.retransmits;
+        self.acks_sent += rhs.acks_sent;
+        self.acks_received += rhs.acks_received;
+        self.delivered += rhs.delivered;
+        self.rejected += rhs.rejected;
+        self.gave_up |= rhs.gave_up;
+    }
+}
+
+impl std::ops::Add for LinkStats {
+    type Output = LinkStats;
+
+    fn add(mut self, rhs: LinkStats) -> LinkStats {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for LinkStats {
+    fn sum<I: Iterator<Item = LinkStats>>(iter: I) -> LinkStats {
+        iter.fold(LinkStats::default(), |acc, s| acc + s)
+    }
+}
+
 /// Link timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkModel {

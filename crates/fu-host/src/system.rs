@@ -104,6 +104,11 @@ impl System {
         self.word_bits
     }
 
+    /// Timing model of the interconnect (both directions share one).
+    pub fn link_model(&self) -> &LinkModel {
+        self.to_dev.model()
+    }
+
     /// Queue a message for transmission.
     pub fn send(&mut self, msg: &HostMsg) {
         if let Some(ep) = self.host_ep.as_mut() {

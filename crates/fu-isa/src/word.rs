@@ -131,13 +131,62 @@ impl Word {
         self.limbs[self.n_limbs as usize - 1] & 0x8000_0000 != 0
     }
 
+    /// The word's value as one `u128`, read branch-free from all four
+    /// limbs — valid for every width because the construction invariant
+    /// keeps limbs beyond `n_limbs` zero.
+    #[inline]
+    fn as_u128_full(&self) -> u128 {
+        (self.limbs[0] as u128)
+            | ((self.limbs[1] as u128) << 32)
+            | ((self.limbs[2] as u128) << 64)
+            | ((self.limbs[3] as u128) << 96)
+    }
+
     /// Full-adder over the word: `self + other + carry_in`.
     ///
     /// Returns `(sum, carry_out, signed_overflow)` exactly as the
     /// arithmetic unit's adder produces them. This single primitive,
     /// combined with the variety bits (zeroing / complementing inputs,
     /// carry selection), yields the whole Table 3.1 instruction family.
+    ///
+    /// The hot path of every arithmetic workload: one `u128` carry chain
+    /// instead of a limb-serial ripple. [`Word::adc_ripple`] keeps the
+    /// hardware-shaped loop as the test oracle.
     pub fn adc(&self, other: &Word, carry_in: bool) -> (Word, bool, bool) {
+        assert_eq!(self.n_limbs, other.n_limbs, "word width mismatch");
+        let bits = self.bits();
+        let (partial, c1) = self.as_u128_full().overflowing_add(other.as_u128_full());
+        let (wide, c2) = partial.overflowing_add(carry_in as u128);
+        let (sum, carry) = if bits == 128 {
+            (wide, c1 | c2)
+        } else {
+            (wide & ((1u128 << bits) - 1), wide >> bits != 0)
+        };
+        // Masked high bits keep the zero-limb invariant for narrow widths.
+        let out = Word {
+            limbs: [
+                sum as u32,
+                (sum >> 32) as u32,
+                (sum >> 64) as u32,
+                (sum >> 96) as u32,
+            ],
+            n_limbs: self.n_limbs,
+        };
+        let overflow = {
+            // Signed overflow: operands share a sign that differs from the
+            // result's sign.
+            let a = self.msb();
+            let b = other.msb();
+            let r = out.msb();
+            a == b && a != r
+        };
+        (out, carry, overflow)
+    }
+
+    /// The original limb-serial adder, shaped like the VHDL ripple chain.
+    /// Kept as the differential oracle for [`Word::adc`].
+    #[cfg(test)]
+    fn adc_ripple(&self, other: &Word, carry_in: bool) -> (Word, bool, bool) {
         assert_eq!(self.n_limbs, other.n_limbs, "word width mismatch");
         let mut out = Word::zero(self.bits());
         let mut carry = carry_in as u64;
@@ -147,8 +196,6 @@ impl Word {
             carry = s >> 32;
         }
         let overflow = {
-            // Signed overflow: operands share a sign that differs from the
-            // result's sign.
             let a = self.msb();
             let b = other.msb();
             let r = out.msb();
@@ -412,6 +459,22 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_adc_matches_ripple_oracle_at_every_width(
+            a: u128,
+            b: u128,
+            cin: bool,
+            w in 1u32..=4,
+        ) {
+            // The u128 fast path must be indistinguishable from the
+            // hardware-shaped ripple loop on (sum, carry, overflow) for
+            // all four register-file widths.
+            let bits = w * 32;
+            let wa = Word::from_u128(a, bits);
+            let wb = Word::from_u128(b, bits);
+            prop_assert_eq!(wa.adc(&wb, cin), wa.adc_ripple(&wb, cin));
+        }
+
         #[test]
         fn prop_adc_matches_u64_arithmetic(a: u64, b: u64, cin: bool) {
             let wa = Word::from_u64(a, 64);

@@ -129,7 +129,12 @@ pub struct FuOutput {
 /// theoretically accept a new instruction every clock cycle"), at the cost
 /// of a longer combinational path — exactly the trade-off the thesis
 /// describes.
-pub trait FunctionalUnit: Clocked {
+///
+/// Units must be [`Send`]: a coprocessor (and the `System` wrapping it) is
+/// owned by exactly one simulation thread at a time, and the farm moves
+/// whole shards onto worker threads. Units are plain state machines, so
+/// this costs nothing; it only forbids `Rc`/raw-pointer internals.
+pub trait FunctionalUnit: Clocked + Send {
     /// Display name for traces and reports.
     fn name(&self) -> &'static str;
 

@@ -25,7 +25,11 @@ pub struct KernelOutput {
 }
 
 /// A combinational compute kernel.
-pub trait Kernel {
+///
+/// `Send` for the same reason as `FunctionalUnit`: the farm migrates whole
+/// coprocessor shards across worker threads, and a kernel rides inside its
+/// wrapping skeleton unit.
+pub trait Kernel: Send {
     /// Display name.
     fn name(&self) -> &'static str;
 

@@ -26,6 +26,7 @@ pub struct SlotStats {
 
 impl SlotStats {
     /// Fraction of cycles the slot held data, in `[0, 1]`.
+    #[must_use]
     pub fn occupancy(&self) -> f64 {
         if self.cycles == 0 {
             0.0
@@ -35,6 +36,7 @@ impl SlotStats {
     }
 
     /// Items per cycle actually delivered downstream.
+    #[must_use]
     pub fn throughput(&self) -> f64 {
         if self.cycles == 0 {
             0.0
@@ -44,6 +46,7 @@ impl SlotStats {
     }
 
     /// Items currently in flight (pushed but not yet taken).
+    #[must_use]
     pub fn in_flight(&self) -> u64 {
         self.pushes - self.takes
     }
@@ -75,6 +78,7 @@ pub struct SimStats {
 
 impl SimStats {
     /// Fraction of simulated cycles that were fast-forwarded, in `[0, 1]`.
+    #[must_use]
     pub fn skip_fraction(&self) -> f64 {
         if self.cycles_simulated == 0 {
             0.0
@@ -84,6 +88,7 @@ impl SimStats {
     }
 
     /// Simulated cycles per host-wall-clock second over `elapsed`.
+    #[must_use]
     pub fn cycles_per_second(&self, elapsed: Duration) -> f64 {
         let secs = elapsed.as_secs_f64();
         if secs == 0.0 {
@@ -91,6 +96,54 @@ impl SimStats {
         } else {
             self.cycles_simulated as f64 / secs
         }
+    }
+}
+
+// Shard-level rollups (e.g. a farm of coprocessors) sum per-shard stats.
+// Stage-eval counters are merged *by stage name*: homogeneous shards share
+// a pipeline and zip cleanly, while heterogeneous shards contribute their
+// extra stages at the end in first-seen order.
+impl std::ops::AddAssign<&SimStats> for SimStats {
+    fn add_assign(&mut self, rhs: &SimStats) {
+        self.cycles_simulated += rhs.cycles_simulated;
+        self.cycles_stepped += rhs.cycles_stepped;
+        self.cycles_skipped += rhs.cycles_skipped;
+        for &(name, n) in &rhs.stage_evals {
+            match self.stage_evals.iter_mut().find(|(s, _)| *s == name) {
+                Some((_, total)) => *total += n,
+                None => self.stage_evals.push((name, n)),
+            }
+        }
+    }
+}
+
+impl std::ops::AddAssign for SimStats {
+    fn add_assign(&mut self, rhs: SimStats) {
+        *self += &rhs;
+    }
+}
+
+impl std::ops::Add for SimStats {
+    type Output = SimStats;
+
+    fn add(mut self, rhs: SimStats) -> SimStats {
+        self += &rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for SimStats {
+    fn sum<I: Iterator<Item = SimStats>>(iter: I) -> SimStats {
+        iter.fold(SimStats::default(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a SimStats> for SimStats {
+    fn sum<I: Iterator<Item = &'a SimStats>>(iter: I) -> SimStats {
+        iter.fold(SimStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
     }
 }
 
@@ -131,6 +184,32 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("75.0% fast-forwarded"), "{text}");
         assert!(text.contains("decode=40"), "{text}");
+    }
+
+    #[test]
+    fn sim_stats_sum_merges_stages_by_name() {
+        let a = SimStats {
+            cycles_simulated: 100,
+            cycles_stepped: 60,
+            cycles_skipped: 40,
+            stage_evals: vec![("decode", 10), ("dispatch", 5)],
+        };
+        let b = SimStats {
+            cycles_simulated: 50,
+            cycles_stepped: 50,
+            cycles_skipped: 0,
+            stage_evals: vec![("decode", 3), ("encode", 7)],
+        };
+        let total: SimStats = [a.clone(), b].into_iter().sum();
+        assert_eq!(total.cycles_simulated, 150);
+        assert_eq!(total.cycles_stepped, 110);
+        assert_eq!(total.cycles_skipped, 40);
+        assert_eq!(
+            total.stage_evals,
+            vec![("decode", 13), ("dispatch", 5), ("encode", 7)]
+        );
+        // Identity element.
+        assert_eq!(a.clone() + SimStats::default(), a);
     }
 
     #[test]

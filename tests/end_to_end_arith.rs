@@ -8,6 +8,8 @@
 //! interlocks, dispatch, kernels, write arbitration and response
 //! ordering.
 
+mod util;
+
 use fu_host::{Driver, LinkModel, System};
 use fu_isa::variety::{ArithOp, LogicOp};
 use fu_isa::Flags;
@@ -88,7 +90,7 @@ fn random_system(link: LinkModel) -> Driver {
     };
     Driver::new(
         System::new(cfg, standard_units(32), link).unwrap(),
-        5_000_000,
+        util::DRIVER_TIMEOUT,
     )
 }
 
@@ -170,6 +172,7 @@ fn run_differential(seed: u64, n_instrs: usize, link: LinkModel) {
             "flag register f{f} diverged (seed {seed})"
         );
     }
+    util::assert_parks_clean(d);
 }
 
 #[test]
@@ -237,4 +240,41 @@ fn independent_stream_overlaps() {
         cycles < 96 * 6,
         "independent stream took {cycles} cycles for 96 instructions"
     );
+    util::assert_parks_clean(d);
+}
+
+#[test]
+fn pipelined_batch_issue_matches_one_at_a_time() {
+    // The same program must leave the machine in the same state whether
+    // each instruction waits for a sync (exec_asm) or the whole batch is
+    // streamed into the link back-to-back (submit_program) — pipelining
+    // changes timing only.
+    let program = "ADD r3, r1, r2, f1\n\
+                   SUB r4, r3, r1, f2\n\
+                   XOR r5, r4, r2, f3\n\
+                   INC r6, r5, f0\n\
+                   OR r7, r6, r3, f1";
+
+    let mut serial = random_system(LinkModel::pcie_like());
+    serial.write_reg(1, 40);
+    serial.write_reg(2, 2);
+    for line in program.lines() {
+        serial.exec_asm(line.trim()).unwrap();
+    }
+
+    let mut batched = random_system(LinkModel::pcie_like());
+    batched.write_reg(1, 40);
+    batched.write_reg(2, 2);
+    assert_eq!(batched.submit_program(program).unwrap(), 5);
+    batched.sync().unwrap();
+
+    for r in 0..16u8 {
+        assert_eq!(
+            serial.read_reg(r).unwrap(),
+            batched.read_reg(r).unwrap(),
+            "register r{r} diverged between serial and batched issue"
+        );
+    }
+    util::assert_parks_clean(serial);
+    util::assert_parks_clean(batched);
 }

@@ -39,9 +39,9 @@ fn stress(cfg: CoprocConfig, link: LinkModel, n_msgs: u32, seed: u64) {
     sys.send(&HostMsg::Sync { tag: 0xffff });
     expected.push(DevMsg::SyncAck { tag: 0xffff });
 
-    let got = util::drain_responses(&mut sys, expected.len(), 60_000_000);
+    let got = util::drain_responses(&mut sys, expected.len(), util::STREAM_BUDGET);
     assert_eq!(got, expected, "response stream corrupted (seed {seed})");
-    util::settle(&mut sys, 10_000);
+    util::settle(&mut sys, util::SETTLE_BUDGET);
 }
 
 #[test]

@@ -9,6 +9,36 @@
 use fu_host::System;
 use fu_isa::DevMsg;
 
+/// Cycle budget for every blocking [`fu_host::Driver`] call in the root
+/// tests. Generous: a budget expiry here means a hang, not a slow link.
+#[allow(dead_code)]
+pub const DRIVER_TIMEOUT: u64 = 5_000_000;
+
+/// Cycle budget for draining a long randomized response stream.
+#[allow(dead_code)]
+pub const STREAM_BUDGET: u64 = 60_000_000;
+
+/// Cycle budget for settling an already-drained system to idle.
+#[allow(dead_code)]
+pub const SETTLE_BUDGET: u64 = 10_000;
+
+/// Consume a driver and check the underlying system parks cleanly: no
+/// queued frames, no in-flight responses, within [`SETTLE_BUDGET`].
+///
+/// # Panics
+/// When the system fails to reach idle, or an unclaimed response is
+/// still sitting in the host queue — both mean a test left dangling
+/// traffic behind.
+#[allow(dead_code)]
+pub fn assert_parks_clean(driver: fu_host::Driver) {
+    let mut sys = driver.into_system();
+    settle(&mut sys, SETTLE_BUDGET);
+    assert!(
+        sys.recv().is_none(),
+        "driver left an unclaimed response in the host queue"
+    );
+}
+
 /// Step `sys` until `n` responses have been received, returning them in
 /// arrival order.
 ///
