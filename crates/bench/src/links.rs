@@ -38,9 +38,22 @@ pub fn arith_batch(link: LinkModel, n: usize) -> LinkRun {
 /// [`arith_batch`] with an explicit scheduling mode (the wall-clock
 /// benchmark compares the two; results are identical by construction).
 pub fn arith_batch_mode(link: LinkModel, n: usize, mode: ActivityMode) -> LinkRun {
+    arith_batch_mode_traced(link, n, mode, 0)
+}
+
+/// [`arith_batch_mode`] with event tracing enabled at `trace_depth`
+/// (`0` = off). The profiling experiment (E14) uses this to measure the
+/// overhead of a traced run against the identical untraced one.
+pub fn arith_batch_mode_traced(
+    link: LinkModel,
+    n: usize,
+    mode: ActivityMode,
+    trace_depth: usize,
+) -> LinkRun {
     let mut sys =
         System::new(CoprocConfig::default(), standard_units(32), link).expect("valid config");
     sys.set_activity_mode(mode);
+    sys.set_trace_depth(trace_depth);
     let mut d = Driver::new(sys, 1_000_000_000);
     d.write_reg(1, 3);
     d.write_reg(2, 0);

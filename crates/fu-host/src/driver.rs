@@ -91,6 +91,42 @@ impl Driver {
         &self.sys
     }
 
+    /// Enable typed event tracing on the coprocessor pipeline and the
+    /// link, retaining up to `depth` events in each ring. `0` disables.
+    /// Latency histograms (see [`Driver::latency_snapshot`]) are always
+    /// collected regardless of this setting.
+    pub fn enable_tracing(&mut self, depth: usize) {
+        self.sys.set_trace_depth(depth);
+    }
+
+    /// Per-instruction latency percentiles (issue→dispatch,
+    /// dispatch→retire, issue→retire) over everything executed so far.
+    pub fn latency_snapshot(&self) -> rtl_sim::LatencySnapshot {
+        self.sys.sim_stats().latency_snapshot()
+    }
+
+    /// Every retained trace event — coprocessor pipeline and host link —
+    /// merged into one stream ordered by cycle (ties keep pipeline events
+    /// first). Empty unless [`Driver::enable_tracing`] was called.
+    pub fn dump_trace(&self) -> Vec<rtl_sim::TraceEvent> {
+        let mut all: Vec<rtl_sim::TraceEvent> = self
+            .sys
+            .coproc()
+            .trace()
+            .events()
+            .chain(self.sys.link_trace().events())
+            .copied()
+            .collect();
+        all.sort_by_key(|e| e.cycle);
+        all
+    }
+
+    /// The merged trace serialized as a Chrome-trace (Perfetto) JSON
+    /// document — write it to a file and open it in `ui.perfetto.dev`.
+    pub fn perfetto_trace(&self) -> String {
+        rtl_sim::trace::perfetto::export(self.dump_trace().iter())
+    }
+
     /// Consume the driver, returning the system.
     pub fn into_system(self) -> System {
         self.sys

@@ -67,6 +67,9 @@ pub struct FarmConfig {
     pub seed: u64,
     /// Scheduling mode applied to every shard.
     pub activity_mode: ActivityMode,
+    /// Event-trace ring depth applied to every shard (`0` = tracing off,
+    /// the default). Latency histograms are collected either way.
+    pub trace_depth: usize,
 }
 
 impl Default for FarmConfig {
@@ -77,6 +80,7 @@ impl Default for FarmConfig {
             timeout: 20_000_000,
             seed: 0,
             activity_mode: ActivityMode::default(),
+            trace_depth: 0,
         }
     }
 }
@@ -151,6 +155,9 @@ pub struct ShardReport {
     pub sim: SimStats,
     /// Link/transport statistics rollup source.
     pub link: LinkStats,
+    /// The shard's retained trace events (pipeline + link, cycle order),
+    /// empty unless [`FarmConfig::trace_depth`] was set.
+    pub trace: Vec<rtl_sim::TraceEvent>,
 }
 
 /// Orchestration-level failures. Per-job failures travel inside
@@ -264,6 +271,9 @@ impl Farm {
         };
         let mut sys = (self.builder)(&ctx).map_err(FarmError::Build)?;
         sys.set_activity_mode(self.cfg.activity_mode);
+        if self.cfg.trace_depth > 0 {
+            sys.set_trace_depth(self.cfg.trace_depth);
+        }
         Ok(Driver::new(sys, self.cfg.timeout))
     }
 
@@ -274,6 +284,11 @@ impl Farm {
             cycles: sys.cycle(),
             sim: sys.sim_stats(),
             link: sys.link_stats(),
+            trace: if sys.coproc().trace().is_enabled() || sys.link_trace().is_enabled() {
+                drv.dump_trace()
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -407,6 +422,24 @@ impl Farm {
     /// cost of the last run).
     pub fn total_cycles(&self) -> u64 {
         self.reports.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Per-instruction latency percentiles aggregated over every shard of
+    /// the last run (the histograms merge exactly, so farm-level
+    /// percentiles are as precise as a single shard's).
+    pub fn latency_snapshot(&self) -> rtl_sim::LatencySnapshot {
+        self.sim_stats().latency_snapshot()
+    }
+
+    /// One shard's retained trace as a Chrome-trace (Perfetto) JSON
+    /// document. `None` when the shard index is out of range or tracing
+    /// was off for the last run.
+    pub fn shard_perfetto(&self, shard: usize) -> Option<String> {
+        let r = self.reports.get(shard)?;
+        if r.trace.is_empty() {
+            return None;
+        }
+        Some(rtl_sim::trace::perfetto::export(r.trace.iter()))
     }
 }
 

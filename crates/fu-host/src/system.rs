@@ -12,7 +12,7 @@ use fu_isa::msg::DevDeframer;
 use fu_isa::transport::{Endpoint, TransportConfig};
 use fu_isa::{DevMsg, HostMsg};
 use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit};
-use rtl_sim::{SimError, SimStats};
+use rtl_sim::{LinkDir, SimError, SimStats, TraceBuffer, TraceEventKind};
 
 /// Host + link + coprocessor.
 pub struct System {
@@ -28,6 +28,13 @@ pub struct System {
     deframer: DevDeframer,
     cycle: u64,
     word_bits: u32,
+    /// Host-side trace of link activity, kept separate from the
+    /// coprocessor's pipeline trace so a chatty pipeline cannot evict
+    /// link events from the ring.
+    link_trace: TraceBuffer,
+    /// Total transport retransmits observed through the previous step;
+    /// per-step deltas become [`TraceEventKind::LinkRetransmit`] events.
+    last_retransmits: u64,
 }
 
 impl System {
@@ -51,6 +58,8 @@ impl System {
             deframer: DevDeframer::new(word_bits),
             cycle: 0,
             word_bits,
+            link_trace: TraceBuffer::disabled(),
+            last_retransmits: 0,
         })
     }
 
@@ -86,6 +95,8 @@ impl System {
             deframer: DevDeframer::new(word_bits),
             cycle: 0,
             word_bits,
+            link_trace: TraceBuffer::disabled(),
+            last_retransmits: 0,
         })
     }
 
@@ -130,6 +141,23 @@ impl System {
         self.coproc.sim_stats()
     }
 
+    /// Enable (or resize) event tracing on both the coprocessor pipeline
+    /// and the host-side link; `0` disables both. The two traces are
+    /// separate ring buffers — see [`System::link_trace`].
+    pub fn set_trace_depth(&mut self, depth: usize) {
+        self.coproc.set_trace_depth(depth);
+        self.link_trace = if depth > 0 {
+            TraceBuffer::new(depth)
+        } else {
+            TraceBuffer::disabled()
+        };
+    }
+
+    /// The host-side link trace (frame tx/rx and retransmit deltas).
+    pub fn link_trace(&self) -> &TraceBuffer {
+        &self.link_trace
+    }
+
     /// Take the next fully-received response, if any.
     pub fn recv(&mut self) -> Option<DevMsg> {
         self.responses.pop_front()
@@ -153,11 +181,23 @@ impl System {
                     break;
                 };
                 self.to_dev.send(now, f);
+                self.link_trace.record(
+                    now,
+                    TraceEventKind::LinkTx {
+                        dir: LinkDir::ToDevice,
+                    },
+                );
             }
         }
         while !self.host_tx.is_empty() && self.to_dev.can_send(now) {
             let f = self.host_tx.pop_front().expect("checked non-empty");
             self.to_dev.send(now, f);
+            self.link_trace.record(
+                now,
+                TraceEventKind::LinkTx {
+                    dir: LinkDir::ToDevice,
+                },
+            );
         }
         // Deliver device-bound frames into the receive FIFO (respecting
         // the port width via rx_space and real flow control on overflow).
@@ -169,6 +209,12 @@ impl System {
                 self.to_dev.unrecv(now, f);
                 break;
             }
+            self.link_trace.record(
+                now,
+                TraceEventKind::LinkRx {
+                    dir: LinkDir::ToDevice,
+                },
+            );
         }
         // Clock the FPGA.
         self.coproc.step();
@@ -181,11 +227,23 @@ impl System {
                 break;
             };
             self.to_host.send(now, f);
+            self.link_trace.record(
+                now,
+                TraceEventKind::LinkTx {
+                    dir: LinkDir::ToHost,
+                },
+            );
         }
         // Host receives. In reliable mode the wire carries transport
         // segments: validate/ack them, then deframe whatever payload the
         // endpoint releases in order.
         while let Some(f) = self.to_host.recv(now) {
+            self.link_trace.record(
+                now,
+                TraceEventKind::LinkRx {
+                    dir: LinkDir::ToHost,
+                },
+            );
             if let Some(ep) = self.host_ep.as_mut() {
                 ep.on_frame(now, f);
             } else if let Some(msg) = self
@@ -206,6 +264,17 @@ impl System {
                     self.responses.push_back(msg);
                 }
             }
+        }
+        // Retransmissions happen inside the endpoints; surface each
+        // step's delta as one trace event so fault-injection tests can
+        // reconcile trace totals against `link_stats`.
+        let retx = self.host_ep.as_ref().map_or(0, |ep| ep.stats().retransmits)
+            + self.coproc.transport_stats().map_or(0, |t| t.retransmits);
+        if retx > self.last_retransmits {
+            let segments = (retx - self.last_retransmits) as u32;
+            self.link_trace
+                .record(now, TraceEventKind::LinkRetransmit { segments });
+            self.last_retransmits = retx;
         }
         self.cycle += 1;
     }

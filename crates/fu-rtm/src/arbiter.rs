@@ -21,7 +21,7 @@ use crate::flagfile::FlagFile;
 use crate::lock::LockManager;
 use crate::protocol::{FunctionalUnit, LockTicket};
 use crate::regfile::RegFile;
-use rtl_sim::SatCounter;
+use rtl_sim::{SatCounter, StallCause, TraceBuffer, TraceEventKind};
 
 /// The write-arbiter stage.
 #[derive(Debug)]
@@ -29,10 +29,11 @@ pub struct WriteArbiter {
     data_ports: u8,
     rr_ptr: usize,
     pending_release: Vec<LockTicket>,
-    /// `(unit index, ticket)` of each grant made by the most recent
-    /// `eval` — consumed by the dispatch watchdog to retire outstanding
-    /// work. Cleared at the start of every `eval`.
-    acked: Vec<(usize, LockTicket)>,
+    /// `(unit index, ticket, dispatch seq)` of each grant made by the
+    /// most recent `eval` — consumed by the dispatch watchdog to retire
+    /// outstanding work and by the latency profiler. Cleared at the start
+    /// of every `eval`.
+    acked: Vec<(usize, LockTicket, u64)>,
     completions: SatCounter,
     data_writes: SatCounter,
     flag_writes: SatCounter,
@@ -63,6 +64,7 @@ impl WriteArbiter {
     /// behaviour-identical to scanning, because an inactive unit is idle
     /// and an idle unit has no output to grant — the mask only saves the
     /// virtual `peek_output` calls on a large, mostly-idle unit roster.
+    #[allow(clippy::too_many_arguments)] // the stage's port list, as in hardware
     pub fn eval(
         &mut self,
         fus: &mut [Box<dyn FunctionalUnit>],
@@ -70,8 +72,17 @@ impl WriteArbiter {
         flagfile: &mut FlagFile,
         lock: &mut LockManager,
         active: Option<&[bool]>,
+        cycle: u64,
+        trace: &mut TraceBuffer,
     ) {
         for t in self.pending_release.drain(..) {
+            trace.record(
+                cycle,
+                TraceEventKind::LockRelease {
+                    data: t.data,
+                    flag: t.flag,
+                },
+            );
             lock.release(&t);
         }
         self.acked.clear();
@@ -102,6 +113,20 @@ impl WriteArbiter {
             }
             budget -= cost.max(1); // even a flag-only completion occupies a grant slot
             let out = fus[idx].ack_output();
+            trace.record(
+                cycle,
+                TraceEventKind::ArbGrant {
+                    unit: idx as u8,
+                    data_writes: cost as u8,
+                },
+            );
+            trace.record(
+                cycle,
+                TraceEventKind::FuRetire {
+                    unit: idx as u8,
+                    seq: out.seq,
+                },
+            );
             if let Some((r, v)) = out.data {
                 regfile.write(r, v);
                 self.data_writes.bump();
@@ -115,7 +140,7 @@ impl WriteArbiter {
                 self.flag_writes.bump();
             }
             self.pending_release.push(out.ticket);
-            self.acked.push((idx, out.ticket));
+            self.acked.push((idx, out.ticket, out.seq));
             self.completions.bump();
             granted_any = true;
             next_ptr = (idx + 1) % n;
@@ -125,6 +150,13 @@ impl WriteArbiter {
         }
         if denied_any {
             self.contended_cycles.bump();
+            trace.record(
+                cycle,
+                TraceEventKind::StageStall {
+                    stage: "arbiter",
+                    cause: StallCause::WritePort,
+                },
+            );
         }
     }
 
@@ -133,10 +165,10 @@ impl WriteArbiter {
         self.pending_release.is_empty()
     }
 
-    /// Grants made by the most recent `eval`: `(unit index, ticket)`.
-    /// Only meaningful immediately after an `eval` — the list is rebuilt
-    /// each evaluation.
-    pub fn acked(&self) -> &[(usize, LockTicket)] {
+    /// Grants made by the most recent `eval`: `(unit index, ticket,
+    /// dispatch seq)`. Only meaningful immediately after an `eval` — the
+    /// list is rebuilt each evaluation.
+    pub fn acked(&self) -> &[(usize, LockTicket, u64)] {
         &self.acked
     }
 
@@ -245,7 +277,15 @@ mod tests {
         let mut fus = vec![Scripted::boxed(vec![out(3, 99, Some(1))])];
         let mut arb = WriteArbiter::new(2);
 
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(
             lm.data_locked(3),
             "release must be registered, not combinational"
@@ -255,7 +295,15 @@ mod tests {
         assert_eq!(rf.peek(3).as_u64(), 99);
         assert_eq!(ff.peek(1), Flags::CARRY);
 
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(
             !lm.data_locked(3),
             "lock drops the cycle after the write commits"
@@ -281,7 +329,15 @@ mod tests {
         // After three single-grant cycles, round-robin must have served
         // each unit exactly once (one completion left per unit).
         for _ in 0..3 {
-            arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+            arb.eval(
+                &mut fus,
+                &mut rf,
+                &mut ff,
+                &mut lm,
+                None,
+                0,
+                &mut TraceBuffer::disabled(),
+            );
             rf.commit();
         }
         for f in &fus {
@@ -291,7 +347,15 @@ mod tests {
             );
         }
         for _ in 0..3 {
-            arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+            arb.eval(
+                &mut fus,
+                &mut rf,
+                &mut ff,
+                &mut lm,
+                None,
+                0,
+                &mut TraceBuffer::disabled(),
+            );
             rf.commit();
         }
         assert_eq!(arb.counters().0, 6, "all completions eventually drain");
@@ -308,10 +372,26 @@ mod tests {
             })
             .collect();
         let mut arb = WriteArbiter::new(2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert_eq!(arb.counters().0, 2, "only two grants fit the port budget");
         assert_eq!(arb.counters().3, 1, "contention recorded");
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert_eq!(arb.counters().0, 4);
     }
 
@@ -332,11 +412,27 @@ mod tests {
             Scripted::boxed(vec![out(3, 3, None)]),
         ];
         let mut arb = WriteArbiter::new(2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         // The dual-result completion uses both ports; the second unit waits.
         assert_eq!(arb.counters().0, 1);
         assert_eq!(arb.counters().1, 2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert_eq!(arb.counters().0, 2);
         rf.commit();
         assert_eq!(rf.peek(1).as_u64(), 1);
@@ -359,9 +455,25 @@ mod tests {
         lm.acquire(&cmp.ticket);
         let mut fus = vec![Scripted::boxed(vec![cmp])];
         let mut arb = WriteArbiter::new(2);
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         ff.commit();
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(lm.quiescent());
         assert_eq!(ff.peek(2), Flags::ZERO);
         assert_eq!(arb.counters(), (1, 0, 1, 0));
@@ -372,7 +484,15 @@ mod tests {
         let (mut rf, mut ff, mut lm) = setup(8);
         let mut arb = WriteArbiter::new(2);
         let mut fus: Vec<Box<dyn FunctionalUnit>> = vec![];
-        arb.eval(&mut fus, &mut rf, &mut ff, &mut lm, None);
+        arb.eval(
+            &mut fus,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            None,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(arb.is_idle());
     }
 }

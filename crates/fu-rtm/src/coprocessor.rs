@@ -37,7 +37,8 @@ use fu_isa::transport::TransportStats;
 use fu_isa::{DevMsg, Flags, Word};
 use rtl_sim::area::log2_ceil;
 use rtl_sim::{
-    AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, SimError, SimStats, TraceBuffer,
+    AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, LatencyHistogram, SimError, SimStats,
+    TraceBuffer, TraceEventKind,
 };
 use std::collections::VecDeque;
 
@@ -171,6 +172,20 @@ pub struct Coprocessor {
     fu_always_clock: Vec<bool>,
     skipped_cycles: u64,
     stage_evals: StageEvals,
+    /// Cycles each stage had work (pipeline utilization). Unlike
+    /// `stage_evals` this is counted identically in both scheduling
+    /// modes, so it is part of `SimStats` equality.
+    stage_busy: StageEvals,
+    // per-instruction latency profiling (always on; see `sim_stats`)
+    /// Cycle the current decoded head became visible to the dispatcher —
+    /// the instruction's issue time.
+    decoded_since: Option<u64>,
+    /// Dispatched-but-not-retired instructions:
+    /// `(seq, unit, issue_cycle, dispatch_cycle)`.
+    lat_inflight: Vec<(u64, usize, u64, u64)>,
+    lat_issue_dispatch: LatencyHistogram,
+    lat_dispatch_retire: LatencyHistogram,
+    lat_issue_retire: LatencyHistogram,
     // reliable transport (None = bare frame port, the default)
     transceiver: Option<DeviceTransceiver>,
     // dispatch watchdog (active when cfg.max_busy_cycles is Some)
@@ -229,6 +244,12 @@ impl Coprocessor {
             fu_always_clock: fus.iter().map(|f| f.needs_clock_when_idle()).collect(),
             skipped_cycles: 0,
             stage_evals: StageEvals::default(),
+            stage_busy: StageEvals::default(),
+            decoded_since: None,
+            lat_inflight: Vec::new(),
+            lat_issue_dispatch: LatencyHistogram::default(),
+            lat_dispatch_retire: LatencyHistogram::default(),
+            lat_issue_retire: LatencyHistogram::default(),
             transceiver: cfg.transport.map(DeviceTransceiver::new),
             fu_last_progress: vec![0; fus.len()],
             fu_outstanding: vec![Vec::new(); fus.len()],
@@ -316,16 +337,49 @@ impl Coprocessor {
             }
         }
 
+        // ---- per-instruction latency: a decoded head's issue time is the
+        // cycle it first becomes visible to the dispatcher ----
+        if self.decoded_since.is_none() && self.decoded_slot.has_data() {
+            self.decoded_since = Some(self.cycle);
+        }
+
         // ---- evaluate, sink to source ----
-        if !gated || self.dev_slot.has_data() || !self.serializer.is_idle() {
+        // Each stage's activity predicate is computed once: it feeds the
+        // busy-cycle counters unconditionally (so utilization is identical
+        // in both scheduling modes) and, in gated mode, decides whether
+        // the evaluate runs at all.
+        let cycle = self.cycle;
+        let serializer_busy = self.dev_slot.has_data() || !self.serializer.is_idle();
+        if serializer_busy {
+            self.stage_busy.serializer += 1;
+        }
+        if !gated || serializer_busy {
             self.stage_evals.serializer += 1;
-            self.serializer.eval(&mut self.dev_slot, &mut self.tx_fifo);
+            self.serializer.eval(
+                &mut self.dev_slot,
+                &mut self.tx_fifo,
+                cycle,
+                &mut self.trace,
+            );
         }
-        if !gated || self.resp_slot.has_data() {
+        let encoder_busy = self.resp_slot.has_data();
+        if encoder_busy {
+            self.stage_busy.encoder += 1;
+        }
+        if !gated || encoder_busy {
             self.stage_evals.encoder += 1;
-            self.encoder.eval(&mut self.resp_slot, &mut self.dev_slot);
+            self.encoder.eval(
+                &mut self.resp_slot,
+                &mut self.dev_slot,
+                cycle,
+                &mut self.trace,
+            );
         }
-        if !gated || self.n_active_fus > 0 || !self.arbiter.is_idle() {
+        let arbiter_busy = self.n_active_fus > 0 || !self.arbiter.is_idle();
+        if arbiter_busy {
+            self.stage_busy.arbiter += 1;
+        }
+        if !gated || arbiter_busy {
             self.stage_evals.arbiter += 1;
             let mask = gated.then_some(self.fu_active.as_slice());
             self.arbiter.eval(
@@ -334,20 +388,32 @@ impl Coprocessor {
                 &mut self.flagfile,
                 &mut self.lock,
                 mask,
+                cycle,
+                &mut self.trace,
             );
             // Watchdog bookkeeping: a granted completion is progress, and
             // its ticket is no longer outstanding. Processed only when the
             // arbiter actually evaluated — the grant list is rebuilt each
             // eval, so reading it outside this gate would replay stale
-            // grants.
-            for &(idx, ticket) in self.arbiter.acked() {
+            // grants. A grant also retires the instruction's latency
+            // record.
+            for &(idx, ticket, seq) in self.arbiter.acked() {
                 self.fu_last_progress[idx] = self.cycle;
                 if let Some(pos) = self.fu_outstanding[idx].iter().position(|&t| t == ticket) {
                     self.fu_outstanding[idx].swap_remove(pos);
                 }
+                if let Some(pos) = self.lat_inflight.iter().position(|e| e.0 == seq) {
+                    let (_, _, issue, disp) = self.lat_inflight.swap_remove(pos);
+                    self.lat_dispatch_retire.record(self.cycle - disp);
+                    self.lat_issue_retire.record(self.cycle - issue);
+                }
             }
         }
-        if !gated || self.exec_slot.has_data() || !self.execution.is_idle() {
+        let execution_busy = self.exec_slot.has_data() || !self.execution.is_idle();
+        if execution_busy {
+            self.stage_busy.execution += 1;
+        }
+        if !gated || execution_busy {
             self.stage_evals.execution += 1;
             self.execution.eval(
                 &mut self.exec_slot,
@@ -355,6 +421,8 @@ impl Coprocessor {
                 &mut self.regfile,
                 &mut self.flagfile,
                 &mut self.lock,
+                cycle,
+                &mut self.trace,
             );
         }
         // In-band watchdog errors take the execution slot ahead of new
@@ -364,9 +432,12 @@ impl Coprocessor {
             let msg = self.watchdog_errors.pop_front().expect("checked non-empty");
             self.dispatcher.respond(&mut self.exec_slot, msg);
         }
-        if !gated || self.decoded_slot.has_data() {
+        let dispatcher_busy = self.decoded_slot.has_data();
+        if dispatcher_busy {
+            self.stage_busy.dispatcher += 1;
+        }
+        if !gated || dispatcher_busy {
             self.stage_evals.dispatcher += 1;
-            let before_user = self.dispatcher.stats.user_dispatched;
             let dispatched = self.dispatcher.eval(
                 &mut self.decoded_slot,
                 &mut self.exec_slot,
@@ -375,29 +446,53 @@ impl Coprocessor {
                 &mut self.regfile,
                 &mut self.flagfile,
                 &self.futable,
+                cycle,
+                &mut self.trace,
             );
-            if let Some((idx, ticket)) = dispatched {
+            if let Some((idx, ticket, seq)) = dispatched {
                 if !self.fu_active[idx] {
                     self.fu_active[idx] = true;
                     self.n_active_fus += 1;
                 }
                 self.fu_last_progress[idx] = self.cycle;
                 self.fu_outstanding[idx].push(ticket);
+                let issue = self.decoded_since.take().unwrap_or(self.cycle);
+                self.lat_issue_dispatch.record(self.cycle - issue);
+                self.lat_inflight.push((seq, idx, issue, self.cycle));
             }
-            if self.trace.is_enabled() && self.dispatcher.stats.user_dispatched != before_user {
-                let cycle = self.cycle;
-                self.trace
-                    .record(cycle, "dispatch", || "user instruction dispatched".into());
+            if !self.decoded_slot.has_data() {
+                // Head consumed (dispatched, or a management op executed
+                // in place): the next head's issue clock starts when it
+                // becomes visible after a commit.
+                self.decoded_since = None;
             }
         }
-        if !gated || self.msg_slot.has_data() {
+        let decoder_busy = self.msg_slot.has_data();
+        if decoder_busy {
+            self.stage_busy.decoder += 1;
+        }
+        if !gated || decoder_busy {
             self.stage_evals.decoder += 1;
-            self.decoder
-                .eval(&mut self.msg_slot, &mut self.decoded_slot, &self.futable);
+            self.decoder.eval(
+                &mut self.msg_slot,
+                &mut self.decoded_slot,
+                &self.futable,
+                cycle,
+                &mut self.trace,
+            );
         }
-        if !gated || !self.rx_fifo.is_empty() {
+        let msgbuf_busy = !self.rx_fifo.is_empty();
+        if msgbuf_busy {
+            self.stage_busy.msgbuf += 1;
+        }
+        if !gated || msgbuf_busy {
             self.stage_evals.msgbuf += 1;
-            self.msgbuf.eval(&mut self.rx_fifo, &mut self.msg_slot);
+            self.msgbuf.eval(
+                &mut self.rx_fifo,
+                &mut self.msg_slot,
+                cycle,
+                &mut self.trace,
+            );
         }
 
         // ---- clock edge ----
@@ -481,16 +576,26 @@ impl Coprocessor {
                 info: func,
             });
         }
+        let cycle = self.cycle;
         for t in tickets {
             self.lock.release(&t);
+            self.trace.record(
+                cycle,
+                TraceEventKind::LockRelease {
+                    data: t.data,
+                    flag: t.flag,
+                },
+            );
             self.watchdog_errors.push_back(DevMsg::Error {
                 code: ErrorCode::FuTimeout,
                 info: func,
             });
         }
-        let cycle = self.cycle;
+        // Abandoned dispatches never retire; drop their latency records
+        // rather than let them linger as in-flight forever.
+        self.lat_inflight.retain(|e| e.1 != i);
         self.trace
-            .record(cycle, "watchdog", || format!("unit {i} quarantined"));
+            .record(cycle, TraceEventKind::FuQuarantined { unit: i as u8 });
     }
 
     /// Advance up to `n` cycles, stopping early when the machine drains.
@@ -546,6 +651,7 @@ impl Coprocessor {
     /// the simulated cycles so far.
     pub fn sim_stats(&self) -> SimStats {
         let e = &self.stage_evals;
+        let b = &self.stage_busy;
         SimStats {
             cycles_simulated: self.cycle,
             cycles_stepped: self.cycle - self.skipped_cycles,
@@ -559,6 +665,18 @@ impl Coprocessor {
                 ("encoder", e.encoder),
                 ("serializer", e.serializer),
             ],
+            stage_busy: vec![
+                ("msgbuf", b.msgbuf),
+                ("decoder", b.decoder),
+                ("dispatcher", b.dispatcher),
+                ("execution", b.execution),
+                ("arbiter", b.arbiter),
+                ("encoder", b.encoder),
+                ("serializer", b.serializer),
+            ],
+            lat_issue_dispatch: self.lat_issue_dispatch.clone(),
+            lat_dispatch_retire: self.lat_dispatch_retire.clone(),
+            lat_issue_retire: self.lat_issue_retire.clone(),
         }
     }
 
@@ -782,6 +900,21 @@ impl Coprocessor {
         &self.trace
     }
 
+    /// Resize (or enable/disable) the event trace at run time. `0`
+    /// disables tracing; any other value installs a fresh ring buffer of
+    /// that capacity, discarding previously retained events. Latency
+    /// histograms and busy counters are unaffected — they are always on,
+    /// which is what keeps [`Coprocessor::sim_stats`] identical whether
+    /// or not tracing is enabled.
+    pub fn set_trace_depth(&mut self, depth: usize) {
+        self.cfg.trace_depth = depth;
+        self.trace = if depth > 0 {
+            TraceBuffer::new(depth)
+        } else {
+            TraceBuffer::disabled()
+        };
+    }
+
     /// Total area estimate: framework plus attached units.
     pub fn area(&self) -> AreaEstimate {
         self.framework_area() + self.fus.iter().map(|f| f.area()).sum()
@@ -884,6 +1017,12 @@ impl Coprocessor {
         self.n_active_fus = 0;
         self.skipped_cycles = 0;
         self.stage_evals = StageEvals::default();
+        self.stage_busy = StageEvals::default();
+        self.decoded_since = None;
+        self.lat_inflight.clear();
+        self.lat_issue_dispatch = LatencyHistogram::default();
+        self.lat_dispatch_retire = LatencyHistogram::default();
+        self.lat_issue_retire = LatencyHistogram::default();
         if let Some(t) = self.transceiver.as_mut() {
             t.reset();
         }
@@ -1334,7 +1473,7 @@ mod tests {
         let dispatches = m
             .trace()
             .events()
-            .filter(|e| e.module == "dispatch")
+            .filter(|e| matches!(e.kind, TraceEventKind::FuDispatch { .. }))
             .count();
         assert_eq!(dispatches, 2, "one trace event per user dispatch");
         // Disabled tracing records nothing.

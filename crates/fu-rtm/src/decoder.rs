@@ -12,7 +12,7 @@ use crate::futable::FuTable;
 use crate::msgbuf::MsgBufOut;
 use fu_isa::msg::ErrorCode;
 use fu_isa::{Flags, HostMsg, MgmtOp, RegNum, Tag, UserInstr, Word};
-use rtl_sim::{HandshakeSlot, SatCounter};
+use rtl_sim::{HandshakeSlot, SatCounter, TraceBuffer, TraceEventKind};
 
 /// The decoder's control vector — one per host message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -200,6 +200,8 @@ impl Decoder {
         input: &mut HandshakeSlot<MsgBufOut>,
         output: &mut HandshakeSlot<DecodedOp>,
         futable: &FuTable,
+        cycle: u64,
+        trace: &mut TraceBuffer,
     ) {
         if !output.can_push() {
             return;
@@ -216,6 +218,7 @@ impl Decoder {
             self.errors.bump();
         }
         self.decoded.bump();
+        trace.record(cycle, TraceEventKind::StagePush { stage: "decoder" });
         output.push(op);
     }
 
@@ -291,7 +294,7 @@ mod tests {
         let mut output = HandshakeSlot::new();
         input.push(Ok(msg));
         input.commit();
-        d.eval(&mut input, &mut output, &t);
+        d.eval(&mut input, &mut output, &t, 0, &mut TraceBuffer::disabled());
         output.commit();
         output.take().expect("decoded op")
     }
@@ -423,7 +426,7 @@ mod tests {
             header: 0xbad0_0000,
         }));
         input.commit();
-        d.eval(&mut input, &mut output, &t);
+        d.eval(&mut input, &mut output, &t, 0, &mut TraceBuffer::disabled());
         output.commit();
         assert_eq!(
             output.take(),
@@ -445,7 +448,7 @@ mod tests {
         output.commit();
         input.push(Ok(HostMsg::Sync { tag: 1 }));
         input.commit();
-        d.eval(&mut input, &mut output, &t);
+        d.eval(&mut input, &mut output, &t, 0, &mut TraceBuffer::disabled());
         assert!(input.has_data(), "input must not be consumed while stalled");
     }
 

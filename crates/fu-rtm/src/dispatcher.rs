@@ -28,7 +28,7 @@ use crate::protocol::{AuxRole, DispatchPacket, FunctionalUnit, LockTicket};
 use crate::regfile::RegFile;
 use fu_isa::msg::ErrorCode;
 use fu_isa::{DevMsg, Flags, MgmtOp, UserInstr, Word};
-use rtl_sim::HandshakeSlot;
+use rtl_sim::{HandshakeSlot, StallCause, TraceBuffer, TraceEventKind};
 
 /// Stall-cause and throughput counters for the dispatcher.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,11 +88,11 @@ impl Dispatcher {
     }
 
     /// One evaluate phase: handle at most one decoded operation. Returns
-    /// the index of the functional unit that received a user dispatch and
-    /// the lock ticket it carries, if a dispatch happened — the
-    /// coprocessor's activity tracker marks that unit busy and the
-    /// watchdog remembers the ticket so a hung unit's locks can be
-    /// force-released.
+    /// the index of the functional unit that received a user dispatch, the
+    /// lock ticket it carries and its dispatch sequence number, if a
+    /// dispatch happened — the coprocessor's activity tracker marks that
+    /// unit busy, the watchdog remembers the ticket so a hung unit's locks
+    /// can be force-released, and the latency profiler keys on the seq.
     #[allow(clippy::too_many_arguments)] // the stage's port list, as in hardware
     pub fn eval(
         &mut self,
@@ -103,7 +103,9 @@ impl Dispatcher {
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
         futable: &FuTable,
-    ) -> Option<(usize, LockTicket)> {
+        cycle: u64,
+        trace: &mut TraceBuffer,
+    ) -> Option<(usize, LockTicket, u64)> {
         let op = input.peek()?;
         match op.clone() {
             DecodedOp::User { instr, fu_index } => {
@@ -122,28 +124,75 @@ impl Dispatcher {
                         input.take();
                     } else {
                         self.stats.stall_exec_full += 1;
+                        trace.record(
+                            cycle,
+                            TraceEventKind::StageStall {
+                                stage: "dispatcher",
+                                cause: StallCause::ExecFull,
+                            },
+                        );
                     }
                     return None;
                 }
                 return self.try_dispatch_user(
-                    instr, fu_index, input, exec_out, fus, lock, regfile, flagfile,
+                    instr, fu_index, input, exec_out, fus, lock, regfile, flagfile, cycle, trace,
                 );
             }
             DecodedOp::Mgmt(MgmtOp::Nop) => {
                 input.take();
             }
             DecodedOp::Mgmt(MgmtOp::Copy { dst, src }) => {
-                self.try_exec_write(input, exec_out, lock, regfile, dst, Some(src), None);
+                self.try_exec_write(
+                    input,
+                    exec_out,
+                    lock,
+                    regfile,
+                    dst,
+                    Some(src),
+                    None,
+                    cycle,
+                    trace,
+                );
             }
             DecodedOp::Mgmt(MgmtOp::LoadImm { dst, imm }) => {
                 let value = Word::from_u64(imm as u64, self.word_bits);
-                self.try_exec_write(input, exec_out, lock, regfile, dst, None, Some(value));
+                self.try_exec_write(
+                    input,
+                    exec_out,
+                    lock,
+                    regfile,
+                    dst,
+                    None,
+                    Some(value),
+                    cycle,
+                    trace,
+                );
             }
             DecodedOp::WriteReg { reg, value } => {
-                self.try_exec_write(input, exec_out, lock, regfile, reg, None, Some(value));
+                self.try_exec_write(
+                    input,
+                    exec_out,
+                    lock,
+                    regfile,
+                    reg,
+                    None,
+                    Some(value),
+                    cycle,
+                    trace,
+                );
             }
             DecodedOp::Mgmt(MgmtOp::CopyFlags { dst, src }) => {
-                self.try_exec_write_flags(input, exec_out, lock, flagfile, dst, Some(src), None);
+                self.try_exec_write_flags(
+                    input,
+                    exec_out,
+                    lock,
+                    flagfile,
+                    dst,
+                    Some(src),
+                    None,
+                    cycle,
+                    trace,
+                );
             }
             DecodedOp::Mgmt(MgmtOp::SetFlags { dst, imm }) => {
                 self.try_exec_write_flags(
@@ -154,10 +203,22 @@ impl Dispatcher {
                     dst,
                     None,
                     Some(Flags(imm)),
+                    cycle,
+                    trace,
                 );
             }
             DecodedOp::WriteFlags { reg, flags } => {
-                self.try_exec_write_flags(input, exec_out, lock, flagfile, reg, None, Some(flags));
+                self.try_exec_write_flags(
+                    input,
+                    exec_out,
+                    lock,
+                    flagfile,
+                    reg,
+                    None,
+                    Some(flags),
+                    cycle,
+                    trace,
+                );
             }
             DecodedOp::Mgmt(MgmtOp::Fence) => {
                 if Self::quiescent(lock, fus, futable) {
@@ -165,14 +226,35 @@ impl Dispatcher {
                     self.stats.mgmt_forwarded += 1;
                 } else {
                     self.stats.stall_fence += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::Fence,
+                        },
+                    );
                 }
             }
             DecodedOp::ReadReg { reg, tag } => {
                 if !exec_out.can_push() {
                     self.stats.stall_exec_full += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::ExecFull,
+                        },
+                    );
                 } else if lock.data_locked(reg) {
                     self.stats.stall_lock += 1;
                     lock.note_stall();
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::Lock,
+                        },
+                    );
                 } else {
                     let value = regfile.read(reg);
                     self.respond(exec_out, DevMsg::Data { tag, value });
@@ -182,9 +264,23 @@ impl Dispatcher {
             DecodedOp::ReadFlags { reg, tag } => {
                 if !exec_out.can_push() {
                     self.stats.stall_exec_full += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::ExecFull,
+                        },
+                    );
                 } else if lock.flag_locked(reg) {
                     self.stats.stall_lock += 1;
                     lock.note_stall();
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::Lock,
+                        },
+                    );
                 } else {
                     let flags = flagfile.read(reg);
                     self.respond(exec_out, DevMsg::Flags { tag, flags });
@@ -194,8 +290,22 @@ impl Dispatcher {
             DecodedOp::Sync { tag } => {
                 if !exec_out.can_push() {
                     self.stats.stall_exec_full += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::ExecFull,
+                        },
+                    );
                 } else if !Self::quiescent(lock, fus, futable) {
                     self.stats.stall_fence += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::Fence,
+                        },
+                    );
                 } else {
                     self.respond(exec_out, DevMsg::SyncAck { tag });
                     input.take();
@@ -207,6 +317,13 @@ impl Dispatcher {
                     input.take();
                 } else {
                     self.stats.stall_exec_full += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::ExecFull,
+                        },
+                    );
                 }
             }
         }
@@ -226,7 +343,9 @@ impl Dispatcher {
         lock: &mut LockManager,
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
-    ) -> Option<(usize, LockTicket)> {
+        cycle: u64,
+        trace: &mut TraceBuffer,
+    ) -> Option<(usize, LockTicket, u64)> {
         let unit = &fus[fu_index];
         let v = instr.variety;
         let aux_role = unit.aux_role();
@@ -251,6 +370,13 @@ impl Dispatcher {
                     input.take();
                 } else {
                     self.stats.stall_exec_full += 1;
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "dispatcher",
+                            cause: StallCause::ExecFull,
+                        },
+                    );
                 }
                 return None;
             }
@@ -271,10 +397,23 @@ impl Dispatcher {
         if raw_blocked || !lock.can_acquire(&ticket) {
             self.stats.stall_lock += 1;
             lock.note_stall();
+            trace.record(
+                cycle,
+                TraceEventKind::StageStall {
+                    stage: "dispatcher",
+                    cause: StallCause::Lock,
+                },
+            );
             return None;
         }
         if !fus[fu_index].can_dispatch() {
             self.stats.stall_fu_busy += 1;
+            trace.record(
+                cycle,
+                TraceEventKind::FuBusy {
+                    unit: fu_index as u8,
+                },
+            );
             return None;
         }
 
@@ -302,8 +441,22 @@ impl Dispatcher {
             Flags::NONE
         };
         lock.acquire(&ticket);
+        trace.record(
+            cycle,
+            TraceEventKind::LockAcquire {
+                data: ticket.data,
+                flag: ticket.flag,
+            },
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
+        trace.record(
+            cycle,
+            TraceEventKind::FuDispatch {
+                unit: fu_index as u8,
+                seq,
+            },
+        );
         fus[fu_index].dispatch(DispatchPacket {
             variety: v,
             ops,
@@ -317,7 +470,7 @@ impl Dispatcher {
         });
         self.stats.user_dispatched += 1;
         input.take();
-        Some((fu_index, ticket))
+        Some((fu_index, ticket, seq))
     }
 
     /// Shared path for data-register writes resolved in the pipeline
@@ -332,15 +485,31 @@ impl Dispatcher {
         dst: u8,
         src: Option<u8>,
         imm: Option<Word>,
+        cycle: u64,
+        trace: &mut TraceBuffer,
     ) {
         if !exec_out.can_push() {
             self.stats.stall_exec_full += 1;
+            trace.record(
+                cycle,
+                TraceEventKind::StageStall {
+                    stage: "dispatcher",
+                    cause: StallCause::ExecFull,
+                },
+            );
             return;
         }
         let ticket = LockTicket::new(Some(dst), None, None);
         if src.is_some_and(|s| lock.data_locked(s)) || !lock.can_acquire(&ticket) {
             self.stats.stall_lock += 1;
             lock.note_stall();
+            trace.record(
+                cycle,
+                TraceEventKind::StageStall {
+                    stage: "dispatcher",
+                    cause: StallCause::Lock,
+                },
+            );
             return;
         }
         let value = match (src, imm) {
@@ -349,6 +518,13 @@ impl Dispatcher {
             _ => unreachable!("exactly one of src/imm"),
         };
         lock.acquire(&ticket);
+        trace.record(
+            cycle,
+            TraceEventKind::LockAcquire {
+                data: ticket.data,
+                flag: ticket.flag,
+            },
+        );
         exec_out.push(ExecOp::WriteData {
             reg: dst,
             value,
@@ -370,15 +546,31 @@ impl Dispatcher {
         dst: u8,
         src: Option<u8>,
         imm: Option<Flags>,
+        cycle: u64,
+        trace: &mut TraceBuffer,
     ) {
         if !exec_out.can_push() {
             self.stats.stall_exec_full += 1;
+            trace.record(
+                cycle,
+                TraceEventKind::StageStall {
+                    stage: "dispatcher",
+                    cause: StallCause::ExecFull,
+                },
+            );
             return;
         }
         let ticket = LockTicket::new(None, None, Some(dst));
         if src.is_some_and(|s| lock.flag_locked(s)) || !lock.can_acquire(&ticket) {
             self.stats.stall_lock += 1;
             lock.note_stall();
+            trace.record(
+                cycle,
+                TraceEventKind::StageStall {
+                    stage: "dispatcher",
+                    cause: StallCause::Lock,
+                },
+            );
             return;
         }
         let flags = match (src, imm) {
@@ -387,6 +579,13 @@ impl Dispatcher {
             _ => unreachable!("exactly one of src/imm"),
         };
         lock.acquire(&ticket);
+        trace.record(
+            cycle,
+            TraceEventKind::LockAcquire {
+                data: ticket.data,
+                flag: ticket.flag,
+            },
+        );
         exec_out.push(ExecOp::WriteFlags {
             reg: dst,
             flags,

@@ -17,7 +17,7 @@ use crate::lock::LockManager;
 use crate::protocol::LockTicket;
 use crate::regfile::RegFile;
 use fu_isa::{Flags, RegNum, Word};
-use rtl_sim::{HandshakeSlot, SatCounter};
+use rtl_sim::{HandshakeSlot, SatCounter, StallCause, TraceBuffer, TraceEventKind};
 
 /// Micro-operations entering the execution stage from the dispatcher.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +62,7 @@ impl Execution {
 
     /// One evaluate phase: release last cycle's locks, then execute at
     /// most one micro-operation.
+    #[allow(clippy::too_many_arguments)] // the stage's port list, as in hardware
     pub fn eval(
         &mut self,
         input: &mut HandshakeSlot<ExecOp>,
@@ -69,8 +70,17 @@ impl Execution {
         regfile: &mut RegFile,
         flagfile: &mut FlagFile,
         lock: &mut LockManager,
+        cycle: u64,
+        trace: &mut TraceBuffer,
     ) {
         for t in self.pending_release.drain(..) {
+            trace.record(
+                cycle,
+                TraceEventKind::LockRelease {
+                    data: t.data,
+                    flag: t.flag,
+                },
+            );
             lock.release(&t);
         }
         let Some(op) = input.peek() else { return };
@@ -78,12 +88,20 @@ impl Execution {
             ExecOp::Respond(_) => {
                 if !resp_out.can_push() {
                     self.stall_cycles.bump();
+                    trace.record(
+                        cycle,
+                        TraceEventKind::StageStall {
+                            stage: "execution",
+                            cause: StallCause::RespFull,
+                        },
+                    );
                     return; // stall against a full encoder
                 }
                 let Some(ExecOp::Respond(r)) = input.take() else {
                     unreachable!("peeked Respond")
                 };
                 self.responses.bump();
+                trace.record(cycle, TraceEventKind::StagePush { stage: "execution" });
                 resp_out.push(r);
             }
             ExecOp::WriteData { .. } => {
@@ -92,6 +110,7 @@ impl Execution {
                 };
                 regfile.write(reg, value);
                 self.data_writes.bump();
+                trace.record(cycle, TraceEventKind::StagePush { stage: "execution" });
                 self.pending_release.push(ticket);
             }
             ExecOp::WriteFlags { .. } => {
@@ -100,6 +119,7 @@ impl Execution {
                 };
                 flagfile.write(reg, flags);
                 self.flag_writes.bump();
+                trace.record(cycle, TraceEventKind::StagePush { stage: "execution" });
                 self.pending_release.push(ticket);
             }
         }
@@ -161,11 +181,27 @@ mod tests {
             ticket,
         });
         input.commit();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(lm.data_locked(5), "release must wait one cycle");
         assert!(!ex.is_idle());
         rf.commit();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(lm.quiescent());
         assert!(ex.is_idle());
         assert_eq!(rf.peek(5).as_u64(), 123);
@@ -182,10 +218,26 @@ mod tests {
             ticket,
         });
         input.commit();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         ff.commit();
         assert_eq!(ff.peek(2), Flags::ERROR);
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(lm.quiescent());
     }
 
@@ -202,11 +254,27 @@ mod tests {
             msg: DevMsg::SyncAck { tag: 1 },
         }));
         input.commit();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(input.has_data(), "stalled response must stay queued");
         assert_eq!(ex.counters().3, 1);
         resp.take();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert!(!input.has_data());
         resp.commit();
         assert_eq!(resp.take().unwrap().msg, DevMsg::SyncAck { tag: 1 });
@@ -223,14 +291,30 @@ mod tests {
             ticket: t1,
         });
         input.commit();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         rf.commit();
         input.push(ExecOp::Respond(SequencedResponse {
             seq: 0,
             msg: DevMsg::SyncAck { tag: 0 },
         }));
         input.commit();
-        ex.eval(&mut input, &mut resp, &mut rf, &mut ff, &mut lm);
+        ex.eval(
+            &mut input,
+            &mut resp,
+            &mut rf,
+            &mut ff,
+            &mut lm,
+            0,
+            &mut TraceBuffer::disabled(),
+        );
         assert_eq!(ex.counters(), (1, 0, 1, 0));
     }
 }

@@ -14,7 +14,7 @@
 
 use fu_isa::msg::{FrameError, HostDeframer};
 use fu_isa::HostMsg;
-use rtl_sim::{Fifo, HandshakeSlot, SatCounter};
+use rtl_sim::{Fifo, HandshakeSlot, SatCounter, TraceBuffer, TraceEventKind};
 
 /// Output of the message buffer: a parsed message or a framing error
 /// (carrying the offending header frame).
@@ -49,7 +49,13 @@ impl MessageBuffer {
 
     /// One evaluate phase: pull frames from `rx`, push at most one
     /// complete message into `out`.
-    pub fn eval(&mut self, rx: &mut Fifo<u32>, out: &mut HandshakeSlot<MsgBufOut>) {
+    pub fn eval(
+        &mut self,
+        rx: &mut Fifo<u32>,
+        out: &mut HandshakeSlot<MsgBufOut>,
+        cycle: u64,
+        trace: &mut TraceBuffer,
+    ) {
         if !out.can_push() {
             return; // local stall: downstream register still occupied
         }
@@ -60,10 +66,12 @@ impl MessageBuffer {
                 Ok(None) => continue,
                 Ok(Some(msg)) => {
                     self.msgs_produced.bump();
+                    trace.record(cycle, TraceEventKind::StagePush { stage: "msgbuf" });
                     out.push(Ok(msg));
                     break; // one message per cycle
                 }
                 Err(e) => {
+                    trace.record(cycle, TraceEventKind::StagePush { stage: "msgbuf" });
                     out.push(Err(e));
                     // The deframer dropped its partial state with the
                     // error; resynchronise on the next frame.
@@ -99,7 +107,7 @@ mod tests {
     use rtl_sim::Clocked;
 
     fn run_cycle(mb: &mut MessageBuffer, rx: &mut Fifo<u32>, out: &mut HandshakeSlot<MsgBufOut>) {
-        mb.eval(rx, out);
+        mb.eval(rx, out, 0, &mut TraceBuffer::disabled());
         rx.commit();
         out.commit();
     }

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use fu_isa::DevMsg;
-use rtl_sim::{Fifo, HandshakeSlot, SatCounter};
+use rtl_sim::{Fifo, HandshakeSlot, SatCounter, TraceBuffer, TraceEventKind};
 
 /// The message-serialiser stage.
 #[derive(Debug, Clone)]
@@ -43,10 +43,22 @@ impl MessageSerializer {
 
     /// One evaluate phase: load the shift register when empty, then emit
     /// frames into `tx`.
-    pub fn eval(&mut self, input: &mut HandshakeSlot<DevMsg>, tx: &mut Fifo<u32>) {
+    pub fn eval(
+        &mut self,
+        input: &mut HandshakeSlot<DevMsg>,
+        tx: &mut Fifo<u32>,
+        cycle: u64,
+        trace: &mut TraceBuffer,
+    ) {
         if self.shift.is_empty() {
             if let Some(msg) = input.take() {
                 self.msgs_in.bump();
+                trace.record(
+                    cycle,
+                    TraceEventKind::StageTake {
+                        stage: "serializer",
+                    },
+                );
                 self.shift.extend(msg.frames(self.word_bits));
             }
         }
@@ -85,7 +97,7 @@ mod tests {
     use rtl_sim::Clocked;
 
     fn cycle(s: &mut MessageSerializer, input: &mut HandshakeSlot<DevMsg>, tx: &mut Fifo<u32>) {
-        s.eval(input, tx);
+        s.eval(input, tx, 0, &mut TraceBuffer::disabled());
         input.commit();
         tx.commit();
     }

@@ -1,0 +1,244 @@
+//! Scoreboard invariants asserted from the typed event trace.
+//!
+//! The observability layer records every lock grant/release, dispatch,
+//! retirement and response the machine makes. These proptests run random
+//! programs against units with random completion latencies and then
+//! *replay* the trace, checking the properties the scoreboard hardware
+//! must uphold:
+//!
+//! - a register is never granted while already locked (no double-grant),
+//! - every acquire is matched by exactly one release, and the machine
+//!   ends with zero locks held — including when the watchdog
+//!   force-releases a hung dispatch,
+//! - the encoder forwards responses in strictly increasing sequence
+//!   order (issue order), no matter how completions reorder,
+//! - every retirement corresponds to exactly one earlier dispatch.
+
+use std::collections::HashSet;
+
+use fu_isa::{HostMsg, InstrWord, UserInstr, Word};
+use fu_rtm::testing::{LatencyFu, StuckFu};
+use fu_rtm::{CoprocConfig, Coprocessor, FunctionalUnit};
+use proptest::prelude::*;
+use rtl_sim::TraceEventKind;
+
+fn traced_machine(units: Vec<Box<dyn FunctionalUnit>>, max_busy: Option<u64>) -> Coprocessor {
+    let cfg = CoprocConfig {
+        data_regs: 16,
+        flag_regs: 4,
+        rx_frames_per_cycle: 4,
+        tx_frames_per_cycle: 4,
+        trace_depth: 1 << 16,
+        max_busy_cycles: max_busy,
+        ..CoprocConfig::default()
+    };
+    Coprocessor::new(cfg, units).expect("valid config")
+}
+
+fn instr(func: u8, dst: u8, flag: u8, s1: u8, s2: u8) -> HostMsg {
+    HostMsg::Instr(InstrWord::user(UserInstr {
+        func,
+        variety: 0,
+        dst_flag: flag,
+        dst_reg: dst,
+        aux_reg: 0,
+        src1: s1,
+        src2: s2,
+        src3: 0,
+    }))
+}
+
+/// Replay the trace and assert the lock-lifecycle invariants. Returns
+/// `(acquires, releases)` so callers can also check population counts.
+fn replay_locks(m: &Coprocessor) -> (usize, usize) {
+    assert_eq!(m.trace().dropped(), 0, "trace ring too small for replay");
+    let mut data_held: HashSet<u8> = HashSet::new();
+    let mut flags_held: HashSet<u8> = HashSet::new();
+    let (mut acquires, mut releases) = (0, 0);
+    for e in m.trace().events() {
+        match e.kind {
+            TraceEventKind::LockAcquire { data, flag } => {
+                acquires += 1;
+                for r in data.into_iter().flatten() {
+                    assert!(
+                        data_held.insert(r),
+                        "double-grant of data register r{r} at cycle {}",
+                        e.cycle
+                    );
+                }
+                if let Some(f) = flag {
+                    assert!(
+                        flags_held.insert(f),
+                        "double-grant of flag register f{f} at cycle {}",
+                        e.cycle
+                    );
+                }
+            }
+            TraceEventKind::LockRelease { data, flag } => {
+                releases += 1;
+                for r in data.into_iter().flatten() {
+                    assert!(
+                        data_held.remove(&r),
+                        "release of unheld data register r{r} at cycle {}",
+                        e.cycle
+                    );
+                }
+                if let Some(f) = flag {
+                    assert!(
+                        flags_held.remove(&f),
+                        "release of unheld flag register f{f} at cycle {}",
+                        e.cycle
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        data_held.is_empty() && flags_held.is_empty(),
+        "stale locks at end of run: data {data_held:?}, flags {flags_held:?}"
+    );
+    (acquires, releases)
+}
+
+/// Cheap deterministic generator for per-instruction choices.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random program over two units with random latencies: replay the
+    /// trace and check lock lifecycle, issue-order responses, and
+    /// dispatch/retire pairing.
+    #[test]
+    fn scoreboard_invariants_hold_under_random_latencies(
+        lat1 in 1u32..24,
+        lat2 in 1u32..24,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut m = traced_machine(
+            vec![
+                Box::new(LatencyFu::new("a", 1, lat1)),
+                Box::new(LatencyFu::new("b", 2, lat2)),
+            ],
+            None,
+        );
+        let mut rng = seed;
+        let mut msgs = vec![
+            HostMsg::WriteReg { reg: 1, value: Word::from_u64(5, 32) },
+            HostMsg::WriteReg { reg: 2, value: Word::from_u64(9, 32) },
+        ];
+        for i in 0..n {
+            let r = splitmix(&mut rng);
+            let func = 1 + (r % 2) as u8;
+            // Destinations rotate over r3..r10, flags over f1..f3, both
+            // clear of the source registers so sources never stall.
+            let dst = 3 + (i % 8) as u8;
+            let flag = 1 + (i % 3) as u8;
+            msgs.push(instr(func, dst, flag, 1, 2));
+        }
+        msgs.push(HostMsg::Sync { tag: 99 });
+        let out = m.run_messages(&msgs, 200_000).expect("drains");
+        prop_assert!(out.iter().any(|d| matches!(d, fu_isa::DevMsg::SyncAck { tag: 99 })));
+
+        let (acquires, releases) = replay_locks(&m);
+        prop_assert_eq!(acquires, releases);
+        // Two mgmt writes + n user instructions, each exactly one grant.
+        prop_assert_eq!(acquires, n + 2);
+
+        // The encoder must emit in issue order: strictly increasing seqs.
+        let mut last: Option<u64> = None;
+        let mut forwards = 0usize;
+        for e in m.trace().events() {
+            if let TraceEventKind::RespForward { seq } = e.kind {
+                if let Some(prev) = last {
+                    prop_assert!(
+                        seq > prev,
+                        "response seq {} after {} breaks issue order", seq, prev
+                    );
+                }
+                last = Some(seq);
+                forwards += 1;
+            }
+        }
+        prop_assert!(forwards > 0, "sequenced responses must be traced");
+
+        // Every retire pairs with exactly one earlier dispatch of the
+        // same (unit, seq); all n dispatches retire.
+        let mut outstanding: HashSet<(u8, u64)> = HashSet::new();
+        let mut dispatches = 0usize;
+        for e in m.trace().events() {
+            match e.kind {
+                TraceEventKind::FuDispatch { unit, seq } => {
+                    dispatches += 1;
+                    prop_assert!(
+                        outstanding.insert((unit, seq)),
+                        "duplicate dispatch ({}, {})", unit, seq
+                    );
+                }
+                TraceEventKind::FuRetire { unit, seq } => {
+                    prop_assert!(
+                        outstanding.remove(&(unit, seq)),
+                        "retire ({}, {}) without a matching dispatch", unit, seq
+                    );
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(dispatches, n);
+        prop_assert!(outstanding.is_empty(), "unretired dispatches: {:?}", outstanding);
+
+        // The always-on latency histograms saw the same population.
+        let sim = m.sim_stats();
+        prop_assert_eq!(sim.lat_issue_dispatch.count(), n as u64);
+        prop_assert_eq!(sim.lat_issue_retire.count(), n as u64);
+    }
+
+    /// A hung unit next to a healthy one: the watchdog's force-release
+    /// must leave the lock state clean (no stale locks), visible in the
+    /// trace as a matching release for every acquire plus a quarantine
+    /// event.
+    #[test]
+    fn watchdog_force_release_leaves_no_stale_locks(
+        lat in 1u32..16,
+        extra in 0usize..6,
+        max_busy in 25u64..60,
+    ) {
+        let mut m = traced_machine(
+            vec![
+                Box::new(StuckFu::new("hang", 9)),
+                Box::new(LatencyFu::new("add", 1, lat)),
+            ],
+            Some(max_busy),
+        );
+        let mut msgs = vec![
+            HostMsg::WriteReg { reg: 1, value: Word::from_u64(30, 32) },
+            HostMsg::WriteReg { reg: 2, value: Word::from_u64(12, 32) },
+            instr(9, 5, 1, 1, 2), // hangs, then quarantined
+        ];
+        for i in 0..extra {
+            msgs.push(instr(1, 6 + (i % 4) as u8, 2, 1, 2));
+        }
+        msgs.push(HostMsg::ReadReg { reg: 5, tag: 1 });
+        msgs.push(HostMsg::Sync { tag: 4 });
+        let out = m.run_messages(&msgs, 200_000).expect("drains");
+        prop_assert!(out.iter().any(|d| matches!(d, fu_isa::DevMsg::SyncAck { tag: 4 })));
+
+        let (acquires, releases) = replay_locks(&m);
+        prop_assert_eq!(acquires, releases);
+        let quarantines = m
+            .trace()
+            .events()
+            .filter(|e| matches!(e.kind, TraceEventKind::FuQuarantined { unit: 0 }))
+            .count();
+        prop_assert_eq!(quarantines, 1);
+        prop_assert_eq!(m.stats().fu_timeouts, 1);
+    }
+}

@@ -49,5 +49,5 @@ pub use fifo::Fifo;
 pub use handshake::HandshakeSlot;
 pub use reg::{Reg, SatCounter};
 pub use stall::StallFuzzer;
-pub use stats::{SimStats, SlotStats};
-pub use trace::{TraceBuffer, TraceEvent, VcdWriter};
+pub use stats::{LatencyHistogram, LatencySnapshot, Percentiles, SimStats, SlotStats};
+pub use trace::{LinkDir, StallCause, TraceBuffer, TraceEvent, TraceEventKind, VcdWriter};

@@ -52,6 +52,140 @@ impl SlotStats {
     }
 }
 
+/// A fixed-size log2-bucket latency histogram.
+///
+/// Bucket 0 counts zero-cycle latencies; bucket `i` (for `i >= 1`) counts
+/// values in `[2^(i-1), 2^i)`. 32 buckets cover every latency below 2^31
+/// cycles, far beyond any bounded simulation, and the array is plain
+/// integers so the histogram is `Eq` (bit-identical across runs) and merges
+/// with element-wise addition for farm rollups.
+///
+/// Recording is a handful of integer ops with no allocation, cheap enough
+/// to stay enabled unconditionally — which keeps [`SimStats`] identical
+/// whether event tracing is on or off (the non-perturbation rule).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 32],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+/// The three headline percentiles of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median latency upper bound, in cycles.
+    pub p50: u64,
+    /// 95th-percentile latency upper bound, in cycles.
+    pub p95: u64,
+    /// 99th-percentile latency upper bound, in cycles.
+    pub p99: u64,
+}
+
+/// Percentile snapshot of the three per-instruction latency legs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Decoded-head arrival at the dispatcher → dispatch to a unit.
+    pub issue_to_dispatch: Percentiles,
+    /// Dispatch to a unit → retirement by the write arbiter.
+    pub dispatch_to_retire: Percentiles,
+    /// End-to-end: decoded-head arrival → retirement.
+    pub issue_to_retire: Percentiles,
+}
+
+impl LatencyHistogram {
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(31)
+        }
+    }
+
+    /// Bucket upper bound (inclusive) for index `i`.
+    fn upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one latency sample, in cycles.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (exact; the total is kept aside).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile sample
+    /// (`p` in `[0, 1]`), clamped to the observed maximum. 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The last bucket is open-ended; report the observed max.
+                if i == self.buckets.len() - 1 {
+                    return self.max;
+                }
+                return Self::upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p95/p99 in one call.
+    #[must_use]
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+impl std::ops::AddAssign<&LatencyHistogram> for LatencyHistogram {
+    fn add_assign(&mut self, rhs: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
+            *a += b;
+        }
+        self.count += rhs.count;
+        self.total = self.total.saturating_add(rhs.total);
+        self.max = self.max.max(rhs.max);
+    }
+}
+
 /// Scheduler-level counters for an activity-aware simulation.
 ///
 /// `cycles_simulated` is the authoritative simulated-time clock:
@@ -74,6 +208,17 @@ pub struct SimStats {
     pub cycles_skipped: u64,
     /// Per-stage evaluate counts, in pipeline order.
     pub stage_evals: Vec<(&'static str, u64)>,
+    /// Per-stage busy-cycle counts (cycles the stage had work), in
+    /// pipeline order. Busy-ness is judged from the same activity
+    /// predicates used for gating, so the counts are identical across
+    /// `Gated` and `Exhaustive` modes.
+    pub stage_busy: Vec<(&'static str, u64)>,
+    /// Issue (decoded head visible to the dispatcher) → dispatch latency.
+    pub lat_issue_dispatch: LatencyHistogram,
+    /// Dispatch → retire (write arbiter ack) latency.
+    pub lat_dispatch_retire: LatencyHistogram,
+    /// End-to-end issue → retire latency.
+    pub lat_issue_retire: LatencyHistogram,
 }
 
 impl SimStats {
@@ -97,6 +242,29 @@ impl SimStats {
             self.cycles_simulated as f64 / secs
         }
     }
+
+    /// Per-stage utilization: busy cycles over simulated cycles, in
+    /// pipeline order. Empty when no busy counters were collected.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<(&'static str, f64)> {
+        if self.cycles_simulated == 0 {
+            return Vec::new();
+        }
+        self.stage_busy
+            .iter()
+            .map(|&(name, busy)| (name, busy as f64 / self.cycles_simulated as f64))
+            .collect()
+    }
+
+    /// p50/p95/p99 of the three per-instruction latency legs.
+    #[must_use]
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            issue_to_dispatch: self.lat_issue_dispatch.percentiles(),
+            dispatch_to_retire: self.lat_dispatch_retire.percentiles(),
+            issue_to_retire: self.lat_issue_retire.percentiles(),
+        }
+    }
 }
 
 // Shard-level rollups (e.g. a farm of coprocessors) sum per-shard stats.
@@ -114,6 +282,15 @@ impl std::ops::AddAssign<&SimStats> for SimStats {
                 None => self.stage_evals.push((name, n)),
             }
         }
+        for &(name, n) in &rhs.stage_busy {
+            match self.stage_busy.iter_mut().find(|(s, _)| *s == name) {
+                Some((_, total)) => *total += n,
+                None => self.stage_busy.push((name, n)),
+            }
+        }
+        self.lat_issue_dispatch += &rhs.lat_issue_dispatch;
+        self.lat_dispatch_retire += &rhs.lat_dispatch_retire;
+        self.lat_issue_retire += &rhs.lat_issue_retire;
     }
 }
 
@@ -163,6 +340,17 @@ impl fmt::Display for SimStats {
                 write!(f, " {name}={n}")?;
             }
         }
+        if self.lat_issue_retire.count() > 0 {
+            let p = self.lat_issue_retire.percentiles();
+            write!(
+                f,
+                "; issue->retire p50<={} p95<={} p99<={} ({} instrs)",
+                p.p50,
+                p.p95,
+                p.p99,
+                self.lat_issue_retire.count()
+            )?;
+        }
         Ok(())
     }
 }
@@ -178,6 +366,7 @@ mod tests {
             cycles_stepped: 250,
             cycles_skipped: 750,
             stage_evals: vec![("decode", 40)],
+            ..SimStats::default()
         };
         assert_eq!(s.skip_fraction(), 0.75);
         assert_eq!(s.cycles_per_second(Duration::from_secs(2)), 500.0);
@@ -188,18 +377,24 @@ mod tests {
 
     #[test]
     fn sim_stats_sum_merges_stages_by_name() {
-        let a = SimStats {
+        let mut a = SimStats {
             cycles_simulated: 100,
             cycles_stepped: 60,
             cycles_skipped: 40,
             stage_evals: vec![("decode", 10), ("dispatch", 5)],
+            stage_busy: vec![("decode", 8), ("dispatch", 4)],
+            ..SimStats::default()
         };
-        let b = SimStats {
+        a.lat_issue_retire.record(5);
+        let mut b = SimStats {
             cycles_simulated: 50,
             cycles_stepped: 50,
             cycles_skipped: 0,
             stage_evals: vec![("decode", 3), ("encode", 7)],
+            stage_busy: vec![("decode", 2), ("encode", 6)],
+            ..SimStats::default()
         };
+        b.lat_issue_retire.record(9);
         let total: SimStats = [a.clone(), b].into_iter().sum();
         assert_eq!(total.cycles_simulated, 150);
         assert_eq!(total.cycles_stepped, 110);
@@ -208,8 +403,80 @@ mod tests {
             total.stage_evals,
             vec![("decode", 13), ("dispatch", 5), ("encode", 7)]
         );
+        assert_eq!(
+            total.stage_busy,
+            vec![("decode", 10), ("dispatch", 4), ("encode", 6)]
+        );
+        assert_eq!(total.lat_issue_retire.count(), 2);
+        assert_eq!(total.lat_issue_retire.max(), 9);
         // Identity element.
         assert_eq!(a.clone() + SimStats::default(), a);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentiles(), Percentiles::default());
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - (90.0 * 3.0 + 10.0 * 100.0) / 100.0).abs() < 1e-9);
+        // 3 lives in bucket [2,4) -> upper bound 3; 100 in [64,128) -> 127,
+        // clamped to the observed max of 100.
+        assert_eq!(h.percentile(0.50), 3);
+        assert_eq!(h.percentile(0.90), 3);
+        assert_eq!(h.percentile(0.95), 100);
+        assert_eq!(h.percentile(0.99), 100);
+        let p = h.percentiles();
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+
+    #[test]
+    fn latency_histogram_edge_values() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        // Zero lands in bucket 0; percentile of the first sample is 0.
+        assert_eq!(h.percentile(0.01), 0);
+        // The overflow bucket clamps to the observed max.
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        // Merge is element-wise and keeps the max.
+        let mut m = LatencyHistogram::default();
+        m += &h;
+        m += &h;
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.max(), u64::MAX);
+    }
+
+    #[test]
+    fn utilization_and_snapshot() {
+        let mut s = SimStats {
+            cycles_simulated: 100,
+            cycles_stepped: 100,
+            cycles_skipped: 0,
+            stage_busy: vec![("decode", 25), ("dispatch", 50)],
+            ..SimStats::default()
+        };
+        for v in [1u64, 2, 3, 4] {
+            s.lat_issue_retire.record(v);
+        }
+        let u = s.utilization();
+        assert_eq!(u, vec![("decode", 0.25), ("dispatch", 0.5)]);
+        let snap = s.latency_snapshot();
+        assert_eq!(snap.issue_to_dispatch, Percentiles::default());
+        assert!(snap.issue_to_retire.p99 >= snap.issue_to_retire.p50);
+        assert_eq!(SimStats::default().utilization(), Vec::new());
+        let text = s.to_string();
+        assert!(text.contains("issue->retire p50<="), "{text}");
     }
 
     #[test]

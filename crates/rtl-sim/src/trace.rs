@@ -5,26 +5,229 @@
 //! reproduction keeps an equivalent facility. [`TraceBuffer`] is a bounded
 //! in-memory event log any component can append to; [`VcdWriter`] emits a
 //! standard `.vcd` file that external waveform viewers (GTKWave et al.) can
-//! open.
+//! open, and [`perfetto`] renders a trace as Chrome-trace JSON that opens
+//! directly in `ui.perfetto.dev`.
+//!
+//! Events are a closed enum ([`TraceEventKind`]) of `Copy` payloads rather
+//! than free-text strings: recording is a branch plus a fixed-size move
+//! into a pre-sized ring, so an *enabled* trace never allocates on the hot
+//! path and a *disabled* trace costs a single predictable branch.
+//!
+//! **Non-perturbation rule:** tracing observes the simulation, it never
+//! steers it. No component may branch on trace state, and nothing recorded
+//! here feeds back into architecturally visible behaviour — a run with
+//! tracing enabled is bit-identical to the same run with tracing disabled
+//! (`tests/trace_identity.rs` holds this as a property test).
+
+pub mod perfetto;
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 
-/// One traced event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Direction of a host-link event, viewed from the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    /// Host → coprocessor.
+    ToDevice,
+    /// Coprocessor → host.
+    ToHost,
+}
+
+impl LinkDir {
+    /// Stable lower-case label, used by exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkDir::ToDevice => "to_device",
+            LinkDir::ToHost => "to_host",
+        }
+    }
+}
+
+/// Why a pipeline stage could not make progress this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// A destination (or source, RAW) register is locked in the scoreboard.
+    Lock,
+    /// The execution-op slot toward the encoder is full.
+    ExecFull,
+    /// A fence is waiting for the machine to drain.
+    Fence,
+    /// The response path toward the encoder/serialiser is full.
+    RespFull,
+    /// The write arbiter ran out of register-file ports this cycle.
+    WritePort,
+}
+
+impl StallCause {
+    /// Stable lower-case label, used by exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::Lock => "lock",
+            StallCause::ExecFull => "exec_full",
+            StallCause::Fence => "fence",
+            StallCause::RespFull => "resp_full",
+            StallCause::WritePort => "write_port",
+        }
+    }
+}
+
+/// What happened. Every variant is plain-old-data so a [`TraceEvent`] is
+/// `Copy` and recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A stage produced an item into its output register.
+    StagePush {
+        /// Stage name (static, matches `SimStats::stage_evals`).
+        stage: &'static str,
+    },
+    /// A stage consumed the item at its input register.
+    StageTake {
+        /// Stage name.
+        stage: &'static str,
+    },
+    /// A stage wanted to make progress but could not.
+    StageStall {
+        /// Stage name.
+        stage: &'static str,
+        /// Why it could not proceed.
+        cause: StallCause,
+    },
+    /// The dispatcher issued a user instruction to a functional unit.
+    FuDispatch {
+        /// Functional-unit index.
+        unit: u8,
+        /// Global dispatch sequence number.
+        seq: u64,
+    },
+    /// A dispatch was blocked because the target unit could not accept it.
+    FuBusy {
+        /// Functional-unit index.
+        unit: u8,
+    },
+    /// The write arbiter retired a completed instruction.
+    FuRetire {
+        /// Functional-unit index.
+        unit: u8,
+        /// Dispatch sequence number of the retired instruction.
+        seq: u64,
+    },
+    /// The watchdog quarantined a hung functional unit.
+    FuQuarantined {
+        /// Functional-unit index.
+        unit: u8,
+    },
+    /// The scoreboard granted a lock ticket (destination registers).
+    LockAcquire {
+        /// Up to two data-register destinations.
+        data: [Option<u8>; 2],
+        /// Flag-register destination.
+        flag: Option<u8>,
+    },
+    /// A lock ticket was released (results visible, registers free).
+    LockRelease {
+        /// Up to two data-register destinations.
+        data: [Option<u8>; 2],
+        /// Flag-register destination.
+        flag: Option<u8>,
+    },
+    /// The write arbiter granted write ports to a unit this cycle.
+    ArbGrant {
+        /// Functional-unit index.
+        unit: u8,
+        /// Data-register ports consumed by the grant (0, 1 or 2).
+        data_writes: u8,
+    },
+    /// The encoder forwarded a sequenced response toward the serialiser.
+    RespForward {
+        /// Response sequence number (must be monotone).
+        seq: u64,
+    },
+    /// A frame was presented to the link for transmission.
+    LinkTx {
+        /// Direction of travel.
+        dir: LinkDir,
+    },
+    /// A frame arrived from the link.
+    LinkRx {
+        /// Direction of travel.
+        dir: LinkDir,
+    },
+    /// The reliable transport retransmitted `segments` segments.
+    LinkRetransmit {
+        /// Segments re-sent since the previous retransmit event.
+        segments: u32,
+    },
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ticket(
+            f: &mut fmt::Formatter<'_>,
+            verb: &str,
+            data: &[Option<u8>; 2],
+            flag: &Option<u8>,
+        ) -> fmt::Result {
+            write!(f, "{verb}")?;
+            for r in data.iter().flatten() {
+                write!(f, " r{r}")?;
+            }
+            if let Some(r) = flag {
+                write!(f, " f{r}")?;
+            }
+            Ok(())
+        }
+        match self {
+            TraceEventKind::StagePush { stage } => write!(f, "{stage}: push"),
+            TraceEventKind::StageTake { stage } => write!(f, "{stage}: take"),
+            TraceEventKind::StageStall { stage, cause } => {
+                write!(f, "{stage}: stall ({})", cause.label())
+            }
+            TraceEventKind::FuDispatch { unit, seq } => {
+                write!(f, "fu{unit}: dispatch seq {seq}")
+            }
+            TraceEventKind::FuBusy { unit } => write!(f, "fu{unit}: busy"),
+            TraceEventKind::FuRetire { unit, seq } => write!(f, "fu{unit}: retire seq {seq}"),
+            TraceEventKind::FuQuarantined { unit } => write!(f, "fu{unit}: quarantined"),
+            TraceEventKind::LockAcquire { data, flag } => ticket(f, "lock: acquire", data, flag),
+            TraceEventKind::LockRelease { data, flag } => ticket(f, "lock: release", data, flag),
+            TraceEventKind::ArbGrant { unit, data_writes } => {
+                write!(f, "arbiter: grant fu{unit} ({data_writes} data ports)")
+            }
+            TraceEventKind::RespForward { seq } => write!(f, "encoder: forward seq {seq}"),
+            TraceEventKind::LinkTx { dir } => write!(f, "link {}: tx", dir.label()),
+            TraceEventKind::LinkRx { dir } => write!(f, "link {}: rx", dir.label()),
+            TraceEventKind::LinkRetransmit { segments } => {
+                write!(f, "link: retransmit {segments} segment(s)")
+            }
+        }
+    }
+}
+
+/// One traced event: a cycle stamp plus a typed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulation cycle at which the event occurred.
     pub cycle: u64,
-    /// Originating module (static so tracing stays allocation-light).
-    pub module: &'static str,
-    /// Human-readable description.
-    pub detail: String,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {}", self.cycle, self.kind)
+    }
 }
 
 /// A bounded ring buffer of [`TraceEvent`]s.
 ///
-/// When full, the oldest events are discarded: the interesting part of a
-/// failed simulation is almost always its tail.
+/// When full, the oldest events are discarded and counted in
+/// [`TraceBuffer::dropped`]: the interesting part of a failed simulation is
+/// almost always its tail. A disabled buffer (capacity 0) rejects every
+/// record with a single branch, so components can call [`TraceBuffer::record`]
+/// unconditionally.
 #[derive(Debug, Clone)]
 pub struct TraceBuffer {
     events: std::collections::VecDeque<TraceEvent>,
@@ -37,7 +240,7 @@ impl TraceBuffer {
     /// A trace buffer retaining at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         TraceBuffer {
-            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            events: std::collections::VecDeque::with_capacity(capacity.min(65_536)),
             capacity,
             enabled: capacity > 0,
             dropped: 0,
@@ -55,9 +258,11 @@ impl TraceBuffer {
         self.enabled
     }
 
-    /// Append an event (drops the oldest when at capacity). `detail` is
-    /// built lazily so disabled tracing does not format strings.
-    pub fn record(&mut self, cycle: u64, module: &'static str, detail: impl FnOnce() -> String) {
+    /// Append an event, dropping the oldest when at capacity. The payload
+    /// is `Copy` and the ring is pre-sized, so an enabled record is a
+    /// branch plus a fixed-size move — no allocation, no formatting.
+    #[inline]
+    pub fn record(&mut self, cycle: u64, kind: TraceEventKind) {
         if !self.enabled {
             return;
         }
@@ -65,11 +270,7 @@ impl TraceBuffer {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(TraceEvent {
-            cycle,
-            module,
-            detail: detail(),
-        });
+        self.events.push_back(TraceEvent { cycle, kind });
     }
 
     /// Retained events, oldest first.
@@ -86,7 +287,7 @@ impl TraceBuffer {
     pub fn dump(&self) -> String {
         let mut s = String::new();
         for e in &self.events {
-            let _ = writeln!(s, "[{:>8}] {:<12} {}", e.cycle, e.module, e.detail);
+            let _ = writeln!(s, "{e}");
         }
         s
     }
@@ -209,24 +410,61 @@ mod tests {
     fn trace_buffer_retains_tail() {
         let mut t = TraceBuffer::new(3);
         for i in 0..5u64 {
-            t.record(i, "dispatch", || format!("op {i}"));
+            t.record(i, TraceEventKind::StagePush { stage: "decoder" });
         }
         let kept: Vec<u64> = t.events().map(|e| e.cycle).collect();
         assert_eq!(kept, vec![2, 3, 4]);
         assert_eq!(t.dropped(), 2);
-        assert!(t.dump().contains("op 4"));
+        assert!(t.dump().contains("decoder: push"));
         t.clear();
         assert_eq!(t.events().count(), 0);
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
     fn disabled_buffer_records_nothing() {
         let mut t = TraceBuffer::disabled();
         assert!(!t.is_enabled());
-        t.record(1, "x", || {
-            panic!("detail closure must not run when disabled")
-        });
+        t.record(1, TraceEventKind::FuDispatch { unit: 0, seq: 0 });
         assert_eq!(t.events().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_dropped_accounting_is_exact() {
+        // Multi-wrap: dropped must equal exactly (recorded - capacity) and
+        // the retained window must be the contiguous tail.
+        let mut t = TraceBuffer::new(8);
+        let total = 1000u64;
+        for i in 0..total {
+            t.record(i, TraceEventKind::RespForward { seq: i });
+        }
+        assert_eq!(t.dropped(), total - 8);
+        assert_eq!(t.events().count(), 8);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, (total - 8..total).collect::<Vec<_>>());
+        // Totals reconcile: retained + dropped == recorded.
+        assert_eq!(t.events().count() as u64 + t.dropped(), total);
+    }
+
+    #[test]
+    fn event_display_is_stable() {
+        let e = TraceEvent {
+            cycle: 7,
+            kind: TraceEventKind::LockAcquire {
+                data: [Some(3), None],
+                flag: Some(1),
+            },
+        };
+        assert_eq!(e.to_string(), "[       7] lock: acquire r3 f1");
+        let s = TraceEvent {
+            cycle: 12,
+            kind: TraceEventKind::StageStall {
+                stage: "dispatcher",
+                cause: StallCause::Lock,
+            },
+        };
+        assert_eq!(s.to_string(), "[      12] dispatcher: stall (lock)");
     }
 
     #[test]
@@ -249,6 +487,32 @@ mod tests {
             "unchanged values must not emit time marks"
         );
         assert!(text.contains("b1101111010101101"));
+    }
+
+    #[test]
+    fn vcd_golden_output_is_stable() {
+        // Byte-exact golden file for a fixed 3-change trace. If this test
+        // fails the VCD emitter changed observably — update deliberately.
+        let mut v = VcdWriter::new("top");
+        v.declare("valid", 1);
+        v.declare("data", 8);
+        v.change(0, "valid", 1);
+        v.change(0, "data", 0xa5);
+        v.change(3, "valid", 0);
+        let expect = "$date reproduction run $end\n\
+                      $version rtl-sim 0.1 $end\n\
+                      $timescale 1ns $end\n\
+                      $scope module top $end\n\
+                      $var wire 1 ! valid $end\n\
+                      $var reg 8 \" data $end\n\
+                      $upscope $end\n\
+                      $enddefinitions $end\n\
+                      #0\n\
+                      1!\n\
+                      b10100101 \"\n\
+                      #3\n\
+                      0!\n";
+        assert_eq!(v.finish(), expect);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Chrome-trace (Perfetto) JSON export for [`TraceEvent`] streams.
+//!
+//! The emitted document follows the Chrome Trace Event format ("JSON trace")
+//! that `ui.perfetto.dev` and `chrome://tracing` open directly: one thread
+//! ("track") per pipeline stage and per functional unit, instant events for
+//! handshake activity, and complete ("X") spans for every dispatch→retire
+//! pair so per-instruction occupancy is visible at a glance. A running
+//! `locks_held` counter track shows scoreboard pressure.
+//!
+//! Output is fully deterministic: tracks are numbered in first-seen order
+//! and events are emitted in input order, so identical traces serialize to
+//! identical bytes (the golden test below pins this).
+//!
+//! Timestamps: one simulated cycle is exported as one microsecond (the
+//! format's native unit), so "1 µs" in the UI reads as "1 cycle".
+
+use std::fmt::Write as _;
+
+use super::{TraceEvent, TraceEventKind};
+
+/// Track registry: first-seen order, linear scan (track counts are tiny).
+struct Tracks {
+    names: Vec<String>,
+}
+
+impl Tracks {
+    fn tid(&mut self, name: &str) -> usize {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i + 1;
+        }
+        self.names.push(name.to_string());
+        self.names.len()
+    }
+}
+
+fn track_name(kind: &TraceEventKind) -> String {
+    match kind {
+        TraceEventKind::StagePush { stage }
+        | TraceEventKind::StageTake { stage }
+        | TraceEventKind::StageStall { stage, .. } => (*stage).to_string(),
+        TraceEventKind::FuDispatch { unit, .. }
+        | TraceEventKind::FuBusy { unit }
+        | TraceEventKind::FuRetire { unit, .. }
+        | TraceEventKind::FuQuarantined { unit }
+        | TraceEventKind::ArbGrant { unit, .. } => format!("fu{unit}"),
+        TraceEventKind::LockAcquire { .. } | TraceEventKind::LockRelease { .. } => {
+            "locks".to_string()
+        }
+        TraceEventKind::RespForward { .. } => "encoder".to_string(),
+        TraceEventKind::LinkTx { dir } | TraceEventKind::LinkRx { dir } => {
+            format!("link {}", dir.label())
+        }
+        TraceEventKind::LinkRetransmit { .. } => "link retransmit".to_string(),
+    }
+}
+
+fn instant_name(kind: &TraceEventKind) -> String {
+    match kind {
+        TraceEventKind::StagePush { .. } => "push".to_string(),
+        TraceEventKind::StageTake { .. } => "take".to_string(),
+        TraceEventKind::StageStall { cause, .. } => format!("stall {}", cause.label()),
+        TraceEventKind::FuDispatch { seq, .. } => format!("dispatch seq {seq}"),
+        TraceEventKind::FuBusy { .. } => "busy".to_string(),
+        TraceEventKind::ArbGrant { data_writes, .. } => format!("grant {data_writes} ports"),
+        TraceEventKind::FuRetire { seq, .. } => format!("retire seq {seq}"),
+        TraceEventKind::FuQuarantined { .. } => "quarantined".to_string(),
+        TraceEventKind::LockAcquire { .. } | TraceEventKind::LockRelease { .. } => {
+            // Rendered via the counter track; instants reuse the display form.
+            format!("{kind}")
+        }
+        TraceEventKind::RespForward { seq } => format!("forward seq {seq}"),
+        TraceEventKind::LinkTx { .. } => "tx".to_string(),
+        TraceEventKind::LinkRx { .. } => "rx".to_string(),
+        TraceEventKind::LinkRetransmit { segments } => format!("retransmit {segments}"),
+    }
+}
+
+/// Serialize a trace as a Chrome-trace JSON document.
+///
+/// Dispatch→retire pairs (matched by functional unit and sequence number)
+/// become duration ("X") spans on the unit's track, emitted at the retire
+/// event's position; everything else becomes an instant ("i") event. Lock
+/// acquire/release additionally drive a `locks_held` counter track.
+#[must_use]
+pub fn export<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    let mut tracks = Tracks { names: Vec::new() };
+    let mut body = String::new();
+    // Outstanding dispatches awaiting their retire: (unit, seq, cycle).
+    let mut pending: Vec<(u8, u64, u64)> = Vec::new();
+    let mut locks_held: i64 = 0;
+
+    for e in events {
+        let tid = tracks.tid(&track_name(&e.kind));
+        match e.kind {
+            TraceEventKind::FuDispatch { unit, seq } => {
+                pending.push((unit, seq, e.cycle));
+            }
+            TraceEventKind::FuRetire { unit, seq } => {
+                if let Some(i) = pending.iter().position(|&(u, s, _)| u == unit && s == seq) {
+                    let (_, _, start) = pending.swap_remove(i);
+                    let _ = write!(
+                        body,
+                        ",\n{{\"name\":\"seq {seq}\",\"ph\":\"X\",\"ts\":{start},\
+                         \"dur\":{},\"pid\":1,\"tid\":{tid}}}",
+                        e.cycle - start
+                    );
+                } else {
+                    let _ = write!(
+                        body,
+                        ",\n{{\"name\":\"retire seq {seq}\",\"ph\":\"i\",\"ts\":{},\
+                         \"pid\":1,\"tid\":{tid},\"s\":\"t\"}}",
+                        e.cycle
+                    );
+                }
+            }
+            TraceEventKind::LockAcquire { .. } | TraceEventKind::LockRelease { .. } => {
+                if matches!(e.kind, TraceEventKind::LockAcquire { .. }) {
+                    locks_held += 1;
+                } else {
+                    locks_held -= 1;
+                }
+                let _ = write!(
+                    body,
+                    ",\n{{\"name\":\"locks_held\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                     \"tid\":{tid},\"args\":{{\"held\":{locks_held}}}}}",
+                    e.cycle
+                );
+            }
+            _ => {
+                let _ = write!(
+                    body,
+                    ",\n{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\
+                     \"tid\":{tid},\"s\":\"t\"}}",
+                    instant_name(&e.kind),
+                    e.cycle
+                );
+            }
+        }
+    }
+    // Dispatches that never retired (e.g. a quarantined unit) still show up.
+    for (unit, seq, cycle) in pending {
+        let tid = tracks.tid(&format!("fu{unit}"));
+        let _ = write!(
+            body,
+            ",\n{{\"name\":\"unretired seq {seq}\",\"ph\":\"i\",\"ts\":{cycle},\
+             \"pid\":1,\"tid\":{tid},\"s\":\"t\"}}"
+        );
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(
+        "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rtl-sim\"}}",
+    );
+    for (i, name) in tracks.names.iter().enumerate() {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{name}\"}}}}",
+            i + 1
+        );
+    }
+    out.push_str(&body);
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{StallCause, TraceBuffer, TraceEventKind};
+
+    fn ev(cycle: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { cycle, kind }
+    }
+
+    #[test]
+    fn golden_three_event_trace() {
+        // Byte-exact golden output for a fixed 3-event trace. A failure
+        // here means the exporter's wire format changed — update the
+        // expectation deliberately, then re-check in ui.perfetto.dev.
+        let events = [
+            ev(1, TraceEventKind::StagePush { stage: "decoder" }),
+            ev(2, TraceEventKind::FuDispatch { unit: 0, seq: 0 }),
+            ev(5, TraceEventKind::FuRetire { unit: 0, seq: 0 }),
+        ];
+        let expect = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+            {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rtl-sim\"}},\n\
+            {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"decoder\"}},\n\
+            {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"fu0\"}},\n\
+            {\"name\":\"push\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":1,\"s\":\"t\"},\n\
+            {\"name\":\"seq 0\",\"ph\":\"X\",\"ts\":2,\"dur\":3,\"pid\":1,\"tid\":2}\n\
+            ]}\n";
+        assert_eq!(export(events.iter()), expect);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_parsable_shaped() {
+        let mut t = TraceBuffer::new(64);
+        t.record(0, TraceEventKind::StagePush { stage: "msgbuf" });
+        t.record(
+            1,
+            TraceEventKind::StageStall {
+                stage: "dispatcher",
+                cause: StallCause::Lock,
+            },
+        );
+        t.record(
+            1,
+            TraceEventKind::LockAcquire {
+                data: [Some(2), None],
+                flag: Some(0),
+            },
+        );
+        t.record(2, TraceEventKind::FuDispatch { unit: 1, seq: 7 });
+        t.record(
+            4,
+            TraceEventKind::LockRelease {
+                data: [Some(2), None],
+                flag: Some(0),
+            },
+        );
+        t.record(6, TraceEventKind::FuRetire { unit: 1, seq: 7 });
+        let a = export(t.events());
+        let b = export(t.events());
+        assert_eq!(a, b, "same trace must serialize identically");
+        // Structural sanity: balanced braces/brackets, one span, a counter.
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "unbalanced braces:\n{a}"
+        );
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.contains("\"ph\":\"X\""), "missing span event:\n{a}");
+        assert!(a.contains("\"locks_held\""), "missing counter track:\n{a}");
+        assert!(a.contains("\"name\":\"dispatcher\""));
+        assert!(a.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn unmatched_dispatch_is_reported_not_lost() {
+        let events = [ev(3, TraceEventKind::FuDispatch { unit: 2, seq: 9 })];
+        let out = export(events.iter());
+        assert!(out.contains("unretired seq 9"), "{out}");
+    }
+}

@@ -153,3 +153,92 @@ proptest! {
         prop_assert_eq!(out.last(), Some(&DevMsg::SyncAck { tag: 5 }));
     }
 }
+
+/// Run the arithmetic round trip on a reliable, traced system with the
+/// given fault model; return the response stream and the system for
+/// trace/stats inspection.
+fn traced_faulty_run(faults: Option<FaultModel>, n: usize) -> (Vec<DevMsg>, System) {
+    let link = LinkModel::pcie_like();
+    let tcfg = TransportConfig::for_link(link.latency_cycles, link.cycles_per_frame);
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(LatencyFu::new("add", 1, 2))];
+    let mut sys =
+        System::new_reliable(CoprocConfig::default(), units, link, tcfg, faults).expect("config");
+    sys.set_trace_depth(1 << 16);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(3, 32),
+    });
+    sys.send(&HostMsg::WriteReg {
+        reg: 2,
+        value: Word::from_u64(0, 32),
+    });
+    for _ in 0..n {
+        sys.send(&dependent_add());
+    }
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 1 });
+    sys.send(&HostMsg::Sync { tag: 2 });
+    util::settle(&mut sys, 200_000_000);
+    let out: Vec<DevMsg> = std::iter::from_fn(|| sys.recv()).collect();
+    (out, sys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// All three fault classes at once: go-back-N still hides every fault
+    /// from the application, and the link trace's retransmission events
+    /// account for exactly the retransmissions the transport counted —
+    /// Σ `LinkRetransmit.segments` == `link_stats().retransmits`.
+    #[test]
+    fn combined_faults_recover_and_trace_accounts_retransmits(
+        seed in any::<u64>(),
+        drop in 0u32..=120,
+        corrupt in 0u32..=120,
+        duplicate in 0u32..=120,
+        n in 1usize..6,
+    ) {
+        let faults = FaultModel {
+            seed,
+            drop_permille: drop,
+            corrupt_permille: corrupt,
+            duplicate_permille: duplicate,
+            burst_permille: 0,
+            burst_len: 1,
+        };
+        let (clean_out, _clean_sys) = traced_faulty_run(None, n);
+        let (faulty_out, faulty_sys) = traced_faulty_run(Some(faults), n);
+        prop_assert_eq!(
+            &clean_out, &faulty_out,
+            "stream diverged under drop={} corrupt={} dup={} seed={:#x}",
+            drop, corrupt, duplicate, seed
+        );
+        prop_assert!(faulty_out.contains(&DevMsg::Data {
+            tag: 1,
+            value: Word::from_u64(3 * n as u64, 32),
+        }));
+
+        let stats = faulty_sys.link_stats();
+        prop_assert!(!stats.gave_up);
+        let traced_retx: u64 = faulty_sys
+            .link_trace()
+            .events()
+            .map(|e| match e.kind {
+                rtl_sim::TraceEventKind::LinkRetransmit { segments } => u64::from(segments),
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(
+            faulty_sys.link_trace().dropped(), 0,
+            "link trace ring overflowed; the accounting below would be partial"
+        );
+        prop_assert_eq!(
+            traced_retx, stats.retransmits,
+            "trace accounting diverged from transport counters"
+        );
+        if drop > 0 || corrupt > 0 {
+            // With faults injected on both directions the transport almost
+            // surely retransmitted; if it did, the trace must show it.
+            prop_assert_eq!(traced_retx > 0, stats.retransmits > 0);
+        }
+    }
+}
