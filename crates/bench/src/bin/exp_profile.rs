@@ -20,7 +20,7 @@
 //! cargo run --release -p bench --bin exp_profile -- --write-baseline
 //! ```
 
-use bench::profile::{overhead_wall_ms, profile_workload, sim_speed_smoke, ProfileRun, WorkCounts};
+use bench::profile::{overhead_wall_ms, profile_workload, ProfileRun, SmokeBaseline};
 use bench::Table;
 use fu_rtm::ActivityMode;
 
@@ -72,7 +72,7 @@ fn main() {
     println!("every traced run verified bit-identical to its untraced twin\n");
 
     // ---- the deterministic overhead gate -----------------------------
-    let current = WorkCounts::of(&sim_speed_smoke(ActivityMode::Gated));
+    let current = SmokeBaseline::measure();
     if write_baseline {
         std::fs::write(BASELINE_PATH, current.to_json()).expect("write baseline");
         println!("wrote {BASELINE_PATH}: {current:?}");
@@ -81,18 +81,25 @@ fn main() {
     let baseline_text = std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
         panic!("missing {BASELINE_PATH} ({e}); run with --write-baseline to create it")
     });
-    let baseline = WorkCounts::from_json(&baseline_text).expect("parse baseline");
+    let baseline = SmokeBaseline::from_json(&baseline_text).expect("parse baseline");
     current
         .check_against(&baseline)
         .expect("sim-speed smoke regressed against ci/sim_speed_baseline.json");
     println!(
         "gate: sim-speed smoke within 5% of baseline \
-         (cycles {}, stepped {} <= {}, stage evals {} <= {})",
-        current.cycles_simulated,
-        current.cycles_stepped,
-        baseline.cycles_stepped,
-        current.stage_evals_total,
-        baseline.stage_evals_total
+         (cycles {}; gated stepped {} <= {}, evals {} <= {}; \
+         scheduled stepped {} <= {}, wakes {}/{} <= {}/{})",
+        current.gated.cycles_simulated,
+        current.gated.cycles_stepped,
+        baseline.gated.cycles_stepped,
+        current.gated.stage_evals_total,
+        baseline.gated.stage_evals_total,
+        current.scheduled.cycles_stepped,
+        baseline.scheduled.cycles_stepped,
+        current.scheduled.wheel_wakes_scheduled,
+        current.scheduled.wheel_wakes_fired,
+        baseline.scheduled.wheel_wakes_scheduled,
+        baseline.scheduled.wheel_wakes_fired
     );
 
     let (untraced_ms, traced_ms) = overhead_wall_ms(ActivityMode::Gated);
@@ -194,10 +201,15 @@ fn main() {
          \"clock_mhz\": 50.0,\n  \"overhead_wall\": {{\"untraced_ms\": {untraced_ms:.3}, \
          \"traced_ms\": {traced_ms:.3}, \"ratio\": {ratio:.3}}},\n  \
          \"work_counts\": {{\"cycles_simulated\": {}, \"cycles_stepped\": {}, \
-         \"stage_evals_total\": {}}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
-        current.cycles_simulated,
-        current.cycles_stepped,
-        current.stage_evals_total,
+         \"stage_evals_total\": {}, \"scheduled_cycles_stepped\": {}, \
+         \"wheel_wakes_scheduled\": {}, \"wheel_wakes_fired\": {}}},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        current.gated.cycles_simulated,
+        current.gated.cycles_stepped,
+        current.gated.stage_evals_total,
+        current.scheduled.cycles_stepped,
+        current.scheduled.wheel_wakes_scheduled,
+        current.scheduled.wheel_wakes_fired,
         scenarios.join(",\n")
     );
     std::fs::write(BENCH_PATH, &json).expect("write BENCH_pipeline_profile.json");

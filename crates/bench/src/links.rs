@@ -11,7 +11,9 @@
 
 use fu_host::baseline::workload;
 use fu_host::{Driver, LinkModel, System};
-use fu_rtm::{ActivityMode, CoprocConfig};
+use fu_isa::{DevMsg, HostMsg, Word};
+use fu_rtm::testing::LatencyFu;
+use fu_rtm::{ActivityMode, CoprocConfig, FunctionalUnit};
 use fu_units::standard_units;
 use rtl_sim::SimStats;
 use xi_sort::{XiConfig, XiSortAdapter};
@@ -104,6 +106,57 @@ pub fn xi_batch_mode(link: LinkModel, n: usize, mode: ActivityMode) -> LinkRun {
     }
 }
 
+/// Workload 3: a latency burn — `n` synchronous round trips to a unit
+/// with a `latency`-cycle fixed execution time, over `link`. The host
+/// waits out each burn before issuing the next instruction (the
+/// synchronous offload pattern of the paper's E8 discussion).
+///
+/// This is the scenario the event wheel exists for. While the unit burns
+/// its latency the coprocessor is *quiet* but never *idle*, so
+/// [`ActivityMode::Gated`] must step every single cycle of every burn
+/// (`≈ n × latency` steps). [`ActivityMode::Scheduled`] registers the
+/// unit's completion cycle on the wheel and jumps straight to it, paying
+/// a handful of steps per round trip instead.
+pub fn latency_burn_mode(link: LinkModel, n: usize, latency: u32, mode: ActivityMode) -> LinkRun {
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(LatencyFu::new("burn", 1, latency))];
+    let mut sys = System::new(CoprocConfig::default(), units, link).expect("valid config");
+    sys.set_activity_mode(mode);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(21, 32),
+    });
+    for _ in 0..n {
+        sys.send(&HostMsg::Instr(fu_isa::InstrWord::user(fu_isa::UserInstr {
+            func: 1,
+            variety: 0,
+            dst_flag: 1,
+            dst_reg: 2,
+            aux_reg: 0,
+            src1: 1,
+            src2: 1,
+            src3: 0,
+        })));
+        sys.run_until(4_000_000_000, |s| s.is_idle())
+            .expect("burn completes");
+    }
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 3 });
+    sys.send(&HostMsg::Sync { tag: 4 });
+    sys.run_until(4_000_000_000, |s| s.pending_responses() >= 2 && s.is_idle())
+        .expect("readback completes");
+    let responses: Vec<DevMsg> = std::iter::from_fn(|| sys.recv()).collect();
+    assert!(
+        matches!(responses.as_slice(), [DevMsg::Data { .. }, DevMsg::SyncAck { .. }]),
+        "unexpected burn responses: {responses:?}"
+    );
+    let (to_dev, to_host) = sys.frames_carried();
+    LinkRun {
+        cycles: sys.cycle(),
+        frames_to_dev: to_dev,
+        frames_to_host: to_host,
+        sim: sys.sim_stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +193,31 @@ mod tests {
             r.sim.cycles_skipped,
             r.sim.cycles_simulated
         );
+    }
+
+    #[test]
+    fn latency_burn_agrees_across_modes_and_scheduled_skips_the_burn() {
+        let g = latency_burn_mode(LinkModel::prototyping(), 3, 2_000, ActivityMode::Gated);
+        let e = latency_burn_mode(LinkModel::prototyping(), 3, 2_000, ActivityMode::Exhaustive);
+        let s = latency_burn_mode(LinkModel::prototyping(), 3, 2_000, ActivityMode::Scheduled);
+        assert_eq!(g.cycles, e.cycles, "gated vs exhaustive diverged");
+        assert_eq!(g.cycles, s.cycles, "gated vs scheduled diverged");
+        assert_eq!(g.frames_to_dev, s.frames_to_dev);
+        assert_eq!(g.frames_to_host, s.frames_to_host);
+        // Gated steps through every cycle of every burn; the wheel jumps
+        // them, so scheduled work is at least an order of magnitude less.
+        assert!(
+            g.sim.cycles_stepped >= 3 * 2_000,
+            "gated stepped only {} cycles",
+            g.sim.cycles_stepped
+        );
+        assert!(
+            s.sim.cycles_stepped * 10 < g.sim.cycles_stepped,
+            "scheduled stepped {} vs gated {}",
+            s.sim.cycles_stepped,
+            g.sim.cycles_stepped
+        );
+        assert!(s.sim.wheel.wakes_fired() > 0, "no wheel wakes fired");
     }
 
     #[test]

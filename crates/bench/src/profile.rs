@@ -139,35 +139,48 @@ pub fn sim_speed_smoke(mode: ActivityMode) -> SimStats {
 pub struct WorkCounts {
     /// Simulated cycles (must match the baseline exactly).
     pub cycles_simulated: u64,
-    /// Cycles actually stepped (gated mode skips idle stretches).
+    /// Cycles actually stepped (gated/scheduled modes skip idle and
+    /// quiet stretches respectively).
     pub cycles_stepped: u64,
     /// Stage evaluations summed over all stages.
     pub stage_evals_total: u64,
+    /// Event-wheel wakes registered (0 outside scheduled mode).
+    pub wheel_wakes_scheduled: u64,
+    /// Event-wheel wakes actually fired (0 outside scheduled mode).
+    pub wheel_wakes_fired: u64,
 }
 
 impl WorkCounts {
-    /// Distil the gated counters from a stats snapshot.
+    /// Distil the work counters from a stats snapshot.
     pub fn of(sim: &SimStats) -> WorkCounts {
         WorkCounts {
             cycles_simulated: sim.cycles_simulated,
             cycles_stepped: sim.cycles_stepped,
             stage_evals_total: sim.stage_evals.iter().map(|&(_, n)| n).sum(),
+            wheel_wakes_scheduled: sim.wheel.wakes_scheduled(),
+            wheel_wakes_fired: sim.wheel.wakes_fired(),
         }
     }
 
-    /// Serialize as the baseline JSON document.
-    pub fn to_json(&self) -> String {
+    /// Serialize as one baseline JSON object (no surrounding document).
+    fn to_json_fields(&self, indent: &str) -> String {
         format!(
-            "{{\n  \"bench\": \"sim_speed_smoke\",\n  \
-             \"cycles_simulated\": {},\n  \
-             \"cycles_stepped\": {},\n  \
-             \"stage_evals_total\": {}\n}}\n",
-            self.cycles_simulated, self.cycles_stepped, self.stage_evals_total
+            "{{\n{indent}  \"cycles_simulated\": {},\n\
+             {indent}  \"cycles_stepped\": {},\n\
+             {indent}  \"stage_evals_total\": {},\n\
+             {indent}  \"wheel_wakes_scheduled\": {},\n\
+             {indent}  \"wheel_wakes_fired\": {}\n{indent}}}",
+            self.cycles_simulated,
+            self.cycles_stepped,
+            self.stage_evals_total,
+            self.wheel_wakes_scheduled,
+            self.wheel_wakes_fired
         )
     }
 
-    /// Parse the baseline JSON (hand-rolled: the document is three
-    /// integer fields we wrote ourselves; no JSON dependency needed).
+    /// Parse one mode's counters out of a JSON fragment (hand-rolled:
+    /// the document is integer fields we wrote ourselves; no JSON
+    /// dependency needed).
     ///
     /// # Errors
     /// Returns a description of the missing/malformed field.
@@ -187,6 +200,8 @@ impl WorkCounts {
             cycles_simulated: field("cycles_simulated")?,
             cycles_stepped: field("cycles_stepped")?,
             stage_evals_total: field("stage_evals_total")?,
+            wheel_wakes_scheduled: field("wheel_wakes_scheduled")?,
+            wheel_wakes_fired: field("wheel_wakes_fired")?,
         })
     }
 
@@ -221,7 +236,91 @@ impl WorkCounts {
             "stage_evals_total",
             self.stage_evals_total,
             baseline.stage_evals_total,
+        )?;
+        within(
+            "wheel_wakes_scheduled",
+            self.wheel_wakes_scheduled,
+            baseline.wheel_wakes_scheduled,
+        )?;
+        within(
+            "wheel_wakes_fired",
+            self.wheel_wakes_fired,
+            baseline.wheel_wakes_fired,
         )
+    }
+}
+
+/// The CI baseline document: the smoke workload's work counters in both
+/// skip-capable modes. Gated pins the fast-forward machinery, scheduled
+/// pins the event wheel (stepped cycles *and* wake counts — a wheel that
+/// silently starts waking too often is a perf regression even when the
+/// results stay bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmokeBaseline {
+    /// Counters from the gated-mode smoke run.
+    pub gated: WorkCounts,
+    /// Counters from the scheduled-mode smoke run.
+    pub scheduled: WorkCounts,
+}
+
+impl SmokeBaseline {
+    /// Measure the current smoke counters in both modes.
+    pub fn measure() -> SmokeBaseline {
+        SmokeBaseline {
+            gated: WorkCounts::of(&sim_speed_smoke(ActivityMode::Gated)),
+            scheduled: WorkCounts::of(&sim_speed_smoke(ActivityMode::Scheduled)),
+        }
+    }
+
+    /// Serialize as the baseline JSON document (gated section first —
+    /// the parser relies on the order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"sim_speed_smoke\",\n  \"gated\": {},\n  \"scheduled\": {}\n}}\n",
+            self.gated.to_json_fields("  "),
+            self.scheduled.to_json_fields("  ")
+        )
+    }
+
+    /// Parse the baseline JSON document.
+    ///
+    /// # Errors
+    /// Returns a description of the missing/malformed section or field.
+    pub fn from_json(text: &str) -> Result<SmokeBaseline, String> {
+        let g_at = text
+            .find("\"gated\":")
+            .ok_or("baseline is missing the gated section")?;
+        let s_at = text
+            .find("\"scheduled\":")
+            .ok_or("baseline is missing the scheduled section")?;
+        if s_at < g_at {
+            return Err("baseline sections out of order (gated must come first)".into());
+        }
+        Ok(SmokeBaseline {
+            gated: WorkCounts::from_json(&text[g_at..s_at])?,
+            scheduled: WorkCounts::from_json(&text[s_at..])?,
+        })
+    }
+
+    /// Gate both modes against the baseline, plus the cross-mode
+    /// invariant that gated and scheduled simulate identical cycle
+    /// counts (the bit-equivalence contract, checked cheaply here).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated bound.
+    pub fn check_against(&self, baseline: &SmokeBaseline) -> Result<(), String> {
+        if self.gated.cycles_simulated != self.scheduled.cycles_simulated {
+            return Err(format!(
+                "gated and scheduled smoke runs diverged: {} vs {} simulated cycles",
+                self.gated.cycles_simulated, self.scheduled.cycles_simulated
+            ));
+        }
+        self.gated
+            .check_against(&baseline.gated)
+            .map_err(|e| format!("gated: {e}"))?;
+        self.scheduled
+            .check_against(&baseline.scheduled)
+            .map_err(|e| format!("scheduled: {e}"))
     }
 }
 
@@ -248,23 +347,34 @@ pub fn overhead_wall_ms(mode: ActivityMode) -> (f64, f64) {
 mod tests {
     use super::*;
 
+    fn counts(cycles_stepped: u64, stage_evals_total: u64) -> WorkCounts {
+        WorkCounts {
+            cycles_simulated: 1000,
+            cycles_stepped,
+            stage_evals_total,
+            wheel_wakes_scheduled: 40,
+            wheel_wakes_fired: 30,
+        }
+    }
+
     #[test]
-    fn work_counts_roundtrip_through_json() {
-        let w = WorkCounts {
-            cycles_simulated: 123_456,
-            cycles_stepped: 2345,
-            stage_evals_total: 9876,
+    fn smoke_baseline_roundtrips_through_json() {
+        let b = SmokeBaseline {
+            gated: WorkCounts {
+                cycles_simulated: 123_456,
+                cycles_stepped: 2345,
+                stage_evals_total: 9876,
+                wheel_wakes_scheduled: 0,
+                wheel_wakes_fired: 0,
+            },
+            scheduled: counts(1234, 8765),
         };
-        assert_eq!(WorkCounts::from_json(&w.to_json()), Ok(w));
+        assert_eq!(SmokeBaseline::from_json(&b.to_json()), Ok(b));
     }
 
     #[test]
     fn gate_accepts_identical_and_rejects_regressions() {
-        let base = WorkCounts {
-            cycles_simulated: 1000,
-            cycles_stepped: 100,
-            stage_evals_total: 400,
-        };
+        let base = counts(100, 400);
         assert!(base.check_against(&base).is_ok());
         // 5% over is allowed, more is not.
         let ok = WorkCounts {
@@ -282,6 +392,42 @@ mod tests {
             ..base
         };
         assert!(drift.check_against(&base).is_err());
+        // A wheel that wakes too often is a regression too.
+        let chatty = WorkCounts {
+            wheel_wakes_fired: 32,
+            ..base
+        };
+        assert!(chatty.check_against(&base).is_err());
+    }
+
+    #[test]
+    fn smoke_gate_requires_cross_mode_cycle_agreement() {
+        let b = SmokeBaseline {
+            gated: counts(100, 400),
+            scheduled: counts(50, 200),
+        };
+        assert!(b.check_against(&b).is_ok());
+        let diverged = SmokeBaseline {
+            scheduled: WorkCounts {
+                cycles_simulated: 1001,
+                ..b.scheduled
+            },
+            ..b
+        };
+        assert!(diverged.check_against(&b).is_err());
+    }
+
+    #[test]
+    fn measured_smoke_counters_show_the_wheel_working() {
+        let m = SmokeBaseline::measure();
+        assert_eq!(m.gated.cycles_simulated, m.scheduled.cycles_simulated);
+        assert_eq!(m.gated.wheel_wakes_scheduled, 0, "gated never uses the wheel");
+        assert!(
+            m.scheduled.cycles_stepped <= m.gated.cycles_stepped,
+            "the wheel may only reduce stepping: {} vs {}",
+            m.scheduled.cycles_stepped,
+            m.gated.cycles_stepped
+        );
     }
 
     #[test]

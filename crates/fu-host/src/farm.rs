@@ -605,6 +605,34 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_mode_agrees_with_gated_across_shard_counts() {
+        // Reliable links with injected faults: idle shards wait on
+        // retransmit deadlines, which the event wheel must fast-forward
+        // to without changing a single response or cycle count.
+        let jobs = add_jobs(6);
+        let run = |mode: ActivityMode, shards: usize| {
+            let mut f = Farm::standard_reliable(
+                FarmConfig {
+                    shards,
+                    seed: 0x51ED,
+                    activity_mode: mode,
+                    ..FarmConfig::default()
+                },
+                CoprocConfig::default(),
+                LinkModel::pcie_like(),
+                Some(FaultModel::uniform(3, 120)),
+            );
+            let out = f.run_parallel(&jobs).unwrap();
+            (out, f.total_cycles(), f.link_stats())
+        };
+        for shards in [1usize, 2, 3] {
+            let gated = run(ActivityMode::Gated, shards);
+            let sched = run(ActivityMode::Scheduled, shards);
+            assert_eq!(gated, sched, "modes diverge at {shards} shards");
+        }
+    }
+
+    #[test]
     fn zero_shards_is_an_error() {
         let mut f = Farm::standard(
             FarmConfig {

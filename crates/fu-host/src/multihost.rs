@@ -21,7 +21,7 @@ use crate::link::{FaultModel, Link, LinkModel, LinkStats};
 use fu_isa::msg::{DevDeframer, HostDeframer};
 use fu_isa::transport::{Endpoint, TransportConfig};
 use fu_isa::{DevMsg, HostMsg, Tag};
-use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit};
+use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit, QuietVerdict};
 use rtl_sim::area::log2_ceil;
 use rtl_sim::{SimError, SimStats};
 
@@ -364,14 +364,34 @@ impl MultiHostSystem {
     /// Jump over cycles in which nothing can happen (see
     /// [`crate::System`] — same idea, with per-port event sources).
     /// Returns the number of cycles skipped (0 means: step normally).
+    ///
+    /// [`ActivityMode::Gated`] skips only when the shared coprocessor is
+    /// completely idle; [`ActivityMode::Scheduled`] additionally skips
+    /// *quiet* stretches (units burning known latencies, a provably
+    /// stalled dispatch head) by asking the coprocessor's event wheel
+    /// for its next internal wake.
     fn idle_skip(&mut self, budget: u64) -> u64 {
-        if self.coproc.activity_mode() != ActivityMode::Gated
-            || !self.coproc.is_idle()
-            || !self.injecting.is_empty()
-            || self.ports.iter().any(|p| !p.inject.is_empty())
-        {
+        // Pending injection work means the device edge does something
+        // every cycle — never skip over it.
+        if !self.injecting.is_empty() || self.ports.iter().any(|p| !p.inject.is_empty()) {
             return 0;
         }
+        // The coprocessor's own earliest wake, per mode. `None` means
+        // quiet indefinitely as far as the FPGA is concerned.
+        let coproc_next: Option<u64> = match self.coproc.activity_mode() {
+            ActivityMode::Exhaustive => return 0,
+            ActivityMode::Gated => {
+                if !self.coproc.is_idle() {
+                    return 0;
+                }
+                self.coproc.transport_next_event()
+            }
+            ActivityMode::Scheduled => match self.coproc.quiet_verdict() {
+                QuietVerdict::Busy => return 0,
+                QuietVerdict::Until(t) => Some(t),
+                QuietVerdict::Indefinite => None,
+            },
+        };
         // A reliable endpoint with frames to push or deliver means this
         // cycle does work: step normally.
         for p in &self.ports {
@@ -385,7 +405,7 @@ impl MultiHostSystem {
             }
         }
         let now = self.cycle;
-        let mut next: Option<u64> = None;
+        let mut next: Option<u64> = coproc_next.map(|t| t.max(now));
         let mut consider = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
         for p in &self.ports {
             if !p.tx.is_empty() {
@@ -415,7 +435,10 @@ impl MultiHostSystem {
             None => budget,
         };
         if skip > 0 {
-            self.coproc.fast_forward(skip);
+            match self.coproc.activity_mode() {
+                ActivityMode::Scheduled => self.coproc.skip_quiet(skip),
+                _ => self.coproc.fast_forward(skip),
+            }
             self.cycle += skip;
         }
         skip

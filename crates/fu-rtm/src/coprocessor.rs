@@ -21,7 +21,7 @@
 use crate::arbiter::WriteArbiter;
 use crate::config::CoprocConfig;
 use crate::decoder::{DecodedOp, Decoder};
-use crate::dispatcher::{DispatchStats, Dispatcher};
+use crate::dispatcher::{DispatchStats, Dispatcher, StallClass};
 use crate::encoder::{MessageEncoder, SequencedResponse};
 use crate::execute::{ExecOp, Execution};
 use crate::flagfile::FlagFile;
@@ -38,17 +38,21 @@ use fu_isa::{DevMsg, Flags, Word};
 use rtl_sim::area::log2_ceil;
 use rtl_sim::{
     AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, LatencyHistogram, SimError, SimStats,
-    TraceBuffer, TraceEventKind,
+    TimingWheel, TraceBuffer, TraceEventKind,
 };
 use std::collections::VecDeque;
 
-/// How the scheduler treats provably idle structure.
+/// How the scheduler treats provably inactive structure.
 ///
-/// Both modes produce **bit-identical architectural behaviour** — the same
+/// All modes produce **bit-identical architectural behaviour** — the same
 /// simulated cycle counts, the same response streams, the same statistics.
-/// `Gated` only changes which host work the simulator performs to get
-/// there: stages whose inputs are empty are not evaluated, idle functional
-/// units are not clocked, and whole idle spans can be fast-forwarded.
+/// They only change which host work the simulator performs to get there.
+/// `Gated` skips evaluation of stages whose inputs are empty and does not
+/// clock idle functional units; whole idle spans can be fast-forwarded.
+/// `Scheduled` goes further: every source of future activity registers an
+/// explicit wake on an event wheel, and the kernel jumps the clock
+/// directly to the next wake even while units are *busy* (a fixed-latency
+/// burn, a link retransmit wait, a stalled dispatcher head).
 /// `Exhaustive` is the original evaluate-everything-every-cycle loop, kept
 /// as the reference the equivalence tests compare against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +62,39 @@ pub enum ActivityMode {
     Gated,
     /// Evaluate every stage and clock every unit every cycle.
     Exhaustive,
+    /// Event-wheel kernel: advance directly to the next registered wake.
+    Scheduled,
+}
+
+/// Scheduling verdict for the event-wheel kernel — can the machine's
+/// observable state change this cycle, and if not, when can it next
+/// change? Produced by [`Coprocessor::quiet_verdict`], consumed by hosts
+/// that drive the machine (`System::run_until` and the farm's shard
+/// workers), which combine it with their own event set (link arrival
+/// times, endpoint retransmit deadlines) before calling
+/// [`Coprocessor::skip_quiet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuietVerdict {
+    /// Observable work exists this cycle; the machine must step.
+    Busy,
+    /// Provably quiet strictly before the given absolute cycle — the
+    /// earliest registered wake. Skipping any number of cycles that
+    /// lands at or before it is bit-identical to stepping them.
+    Until(u64),
+    /// Quiet with no internal wake registered (e.g. only a hung unit and
+    /// no watchdog configured): external events alone bound the skip.
+    Indefinite,
+}
+
+/// What registered a wake on the event wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeSource {
+    /// A busy functional unit's next observable interface change.
+    Fu(usize),
+    /// The dispatch watchdog's deadline for a unit.
+    Watchdog(usize),
+    /// The transceiver's retransmit deadline.
+    Transport,
 }
 
 /// Per-stage evaluate counters (how often each evaluate function ran).
@@ -201,6 +238,12 @@ pub struct Coprocessor {
     /// `FuTimeout` error responses awaiting a free execution slot.
     watchdog_errors: VecDeque<DevMsg>,
     fu_timeouts: u64,
+    /// The event wheel (`Scheduled` mode): each scheduling decision
+    /// registers the machine's pending wakes — FU hints, watchdog
+    /// deadlines, the transceiver's retransmit deadline — and the kernel
+    /// jumps to the earliest. Its counters accumulate across decisions
+    /// and surface in [`Coprocessor::sim_stats`].
+    wheel: TimingWheel<WakeSource>,
 }
 
 impl Coprocessor {
@@ -256,6 +299,7 @@ impl Coprocessor {
             fu_quarantined: vec![false; fus.len()],
             watchdog_errors: VecDeque::new(),
             fu_timeouts: 0,
+            wheel: TimingWheel::new(0, 64),
             fus,
             cfg,
         })
@@ -322,7 +366,9 @@ impl Coprocessor {
     /// units that demand a free-running clock. Architectural behaviour is
     /// identical in both modes, cycle for cycle.
     pub fn step(&mut self) {
-        let gated = self.activity == ActivityMode::Gated;
+        // A stepped cycle in Scheduled mode is exactly a gated cycle —
+        // the event wheel only changes *which* cycles are stepped.
+        let gated = self.activity != ActivityMode::Exhaustive;
 
         // ---- reliable transceiver: timer + rx delivery ----
         if let Some(t) = self.transceiver.as_mut() {
@@ -636,6 +682,165 @@ impl Coprocessor {
         self.skipped_cycles += cycles;
     }
 
+    /// Event-wheel scheduling decision: is the machine provably quiet
+    /// this cycle, and if so, when is its next internal wake?
+    ///
+    /// "Quiet" is weaker than [`Coprocessor::is_idle`]: units may be
+    /// busy and the dispatcher head may be resident, as long as nothing
+    /// *observable* can happen. Concretely, every inter-stage register
+    /// except the decoded slot is empty, no unit holds an unretired
+    /// completion, every active unit can bound its next change with a
+    /// [`FunctionalUnit::wake_hint`], and a resident decoded head
+    /// provably stalls on a cause that cannot change during the span
+    /// (locks, quiescence and unit occupancy only change through arbiter
+    /// or execution activity, which quietness excludes).
+    ///
+    /// On a quiet verdict the pending wakes — one per active unit, the
+    /// watchdog deadline per active unit, the transceiver's retransmit
+    /// deadline — are registered on the event wheel, and the earliest
+    /// becomes the verdict. The caller combines it with its own external
+    /// events and then either steps (something is due now) or calls
+    /// [`Coprocessor::skip_quiet`].
+    pub fn quiet_verdict(&mut self) -> QuietVerdict {
+        // Stage inputs and outputs must be empty: any resident item makes
+        // a stage do observable work on the next step. A partial message
+        // in the deframe buffer is frozen while the receive FIFO is
+        // empty; the decoded head is dry-run classified below.
+        if !(self.rx_fifo.is_idle()
+            && self.msg_slot.is_idle()
+            && self.exec_slot.is_idle()
+            && self.resp_slot.is_idle()
+            && self.dev_slot.is_idle()
+            && self.tx_fifo.is_idle()
+            && self.serializer.is_idle()
+            && self.execution.is_idle()
+            && self.arbiter.is_idle()
+            && self.watchdog_errors.is_empty()
+            && self
+                .transceiver
+                .as_ref()
+                .is_none_or(|t| !t.has_deliverable() && !t.has_tx_work()))
+        {
+            return QuietVerdict::Busy;
+        }
+        // A unit holding a completion gives the write arbiter work.
+        for (i, fu) in self.fus.iter().enumerate() {
+            if self.fu_active[i] && !self.fu_quarantined[i] && fu.peek_output().is_some() {
+                return QuietVerdict::Busy;
+            }
+        }
+        // The decoded head must provably stall; a head that would advance
+        // is work.
+        if let Some(op) = self.decoded_slot.peek() {
+            if Dispatcher::classify_head(op, &self.fus, &self.lock, &self.futable)
+                == StallClass::Progress
+            {
+                return QuietVerdict::Busy;
+            }
+        }
+        // Register the machine's wakes and take the earliest.
+        self.wheel.clear();
+        self.wheel.seek(self.cycle);
+        for i in 0..self.fus.len() {
+            if !self.fu_active[i] || self.fu_quarantined[i] {
+                continue;
+            }
+            let Some(hint) = self.fus[i].wake_hint() else {
+                // The unit cannot bound its next change: step it.
+                self.wheel.clear();
+                return QuietVerdict::Busy;
+            };
+            self.wheel
+                .schedule(self.cycle.saturating_add(hint.max(1)), WakeSource::Fu(i));
+            if let Some(max) = self.cfg.max_busy_cycles {
+                // The watchdog fires at the end of the step whose cycle
+                // reaches the deadline; that step must run for real.
+                self.wheel.schedule(
+                    self.fu_last_progress[i].saturating_add(max),
+                    WakeSource::Watchdog(i),
+                );
+            }
+        }
+        if let Some(t) = self.transport_next_event() {
+            self.wheel.schedule(t, WakeSource::Transport);
+        }
+        match self.wheel.next_wake() {
+            Some(t) if t <= self.cycle => QuietVerdict::Busy,
+            Some(u64::MAX) | None => QuietVerdict::Indefinite,
+            Some(t) => QuietVerdict::Until(t),
+        }
+    }
+
+    /// Jump the clock forward `cycles` through a span the last
+    /// [`Coprocessor::quiet_verdict`] proved quiet, replaying exactly the
+    /// bookkeeping the stepped cycles would have produced: storage
+    /// lifetime statistics, busy-cycle counters, the dispatcher's
+    /// per-cycle stall accounting (stats, lock counters and trace
+    /// events), and each unit's internal progress
+    /// ([`FunctionalUnit::advance_busy`] for active units,
+    /// [`FunctionalUnit::advance_idle`] otherwise).
+    ///
+    /// `cycles` must not pass the verdict's wake (nor any external event
+    /// the caller tracks); the caller picks the minimum.
+    pub fn skip_quiet(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let k = cycles;
+        let start = self.cycle;
+        self.rx_fifo.note_idle_cycles(k);
+        self.msg_slot.note_idle_cycles(k);
+        if self.decoded_slot.has_data() {
+            // A waiting head's issue clock starts when it first becomes
+            // visible — the first cycle of the span if not already set.
+            if self.decoded_since.is_none() {
+                self.decoded_since = Some(start);
+            }
+            self.decoded_slot.note_held_cycles(k);
+            self.stage_busy.dispatcher += k;
+            let class = Dispatcher::classify_head(
+                self.decoded_slot.peek().expect("head checked above"),
+                &self.fus,
+                &self.lock,
+                &self.futable,
+            );
+            self.dispatcher
+                .note_stalled_span(class, start, k, &mut self.lock, &mut self.trace);
+        } else {
+            self.decoded_slot.note_idle_cycles(k);
+        }
+        self.exec_slot.note_idle_cycles(k);
+        self.resp_slot.note_idle_cycles(k);
+        self.dev_slot.note_idle_cycles(k);
+        self.tx_fifo.note_idle_cycles(k);
+        if self.n_active_fus > 0 {
+            // The arbiter's busy predicate holds whenever units are
+            // active, even though its eval is a no-op with no completion
+            // pending — identical accounting to the stepped path.
+            self.stage_busy.arbiter += k;
+        }
+        for (i, fu) in self.fus.iter_mut().enumerate() {
+            if self.fu_quarantined[i] {
+                continue;
+            }
+            if self.fu_active[i] {
+                fu.advance_busy(k);
+            } else {
+                fu.advance_idle(k);
+            }
+        }
+        // Fire the wakes the span reaches (work-count accounting).
+        if self.wheel.now() < self.cycle {
+            // No verdict preceded this skip (direct call): nothing is
+            // registered for this span.
+            self.wheel.clear();
+            self.wheel.seek(self.cycle);
+        }
+        let _ = self.wheel.advance_to(start + k);
+        self.cycle += k;
+        self.skipped_cycles += k;
+    }
+
     /// The current scheduling mode.
     pub fn activity_mode(&self) -> ActivityMode {
         self.activity
@@ -677,6 +882,7 @@ impl Coprocessor {
             lat_issue_dispatch: self.lat_issue_dispatch.clone(),
             lat_dispatch_retire: self.lat_dispatch_retire.clone(),
             lat_issue_retire: self.lat_issue_retire.clone(),
+            wheel: self.wheel.stats(),
         }
     }
 
@@ -1027,6 +1233,7 @@ impl Coprocessor {
             t.reset();
         }
         self.futable.clear_quarantine();
+        self.wheel.reset(0);
         self.fu_last_progress.fill(0);
         for v in &mut self.fu_outstanding {
             v.clear();
@@ -1600,17 +1807,142 @@ mod tests {
     }
 
     #[test]
-    fn watchdog_behaviour_is_identical_in_both_activity_modes() {
+    fn watchdog_behaviour_is_identical_in_all_activity_modes() {
         let run_mode = |mode: ActivityMode| {
             let mut m = watchdog_machine();
             m.set_activity_mode(mode);
             let out = run(&mut m, watchdog_workload());
             (out, m.cycle(), m.stats().fu_timeouts)
         };
-        assert_eq!(
-            run_mode(ActivityMode::Gated),
-            run_mode(ActivityMode::Exhaustive)
+        let gated = run_mode(ActivityMode::Gated);
+        assert_eq!(gated, run_mode(ActivityMode::Exhaustive));
+        assert_eq!(gated, run_mode(ActivityMode::Scheduled));
+    }
+
+    /// Drive a coprocessor the way the event-scheduled kernel does:
+    /// consult [`Coprocessor::quiet_verdict`] whenever no input is
+    /// pending and jump quiet spans with [`Coprocessor::skip_quiet`],
+    /// stepping everything else cycle by cycle.
+    fn run_scheduled(coproc: &mut Coprocessor, msgs: Vec<HostMsg>) -> Vec<DevMsg> {
+        let word_bits = coproc.config().word_bits;
+        let mut frames: std::collections::VecDeque<u32> =
+            msgs.iter().flat_map(|m| m.to_frames(word_bits)).collect();
+        let mut deframer = DevDeframer::new(word_bits);
+        let mut out = Vec::new();
+        let mut budget = 100_000;
+        loop {
+            while let Some(&f) = frames.front() {
+                if coproc.push_frame(f) {
+                    frames.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let skip = if frames.is_empty() {
+                match coproc.quiet_verdict() {
+                    QuietVerdict::Until(t) => t - coproc.cycle(),
+                    QuietVerdict::Busy | QuietVerdict::Indefinite => 0,
+                }
+            } else {
+                0
+            };
+            if skip > 0 {
+                coproc.skip_quiet(skip);
+            } else {
+                coproc.step();
+            }
+            while let Some(f) = coproc.pop_frame() {
+                if let Some(m) = deframer.push(f).unwrap() {
+                    out.push(m);
+                }
+            }
+            if frames.is_empty() && coproc.is_idle() {
+                break;
+            }
+            budget -= 1;
+            assert!(budget > 0, "machine failed to drain");
+        }
+        out
+    }
+
+    #[test]
+    fn scheduled_kernel_matches_stepped_gated_execution() {
+        // A long-latency unit plus a RAW-dependent follow-up: the skip
+        // path must cross both a plain busy span and a span in which the
+        // dispatcher head stalls on a lock, replaying stall statistics
+        // and trace events identically.
+        let mk = || {
+            let cfg = CoprocConfig {
+                data_regs: 16,
+                flag_regs: 4,
+                rx_frames_per_cycle: 4,
+                tx_frames_per_cycle: 4,
+                trace_depth: 512,
+                ..CoprocConfig::default()
+            };
+            Coprocessor::new(cfg, vec![Box::new(LatencyFu::new("slow", 1, 37)) as _]).unwrap()
+        };
+        // Two phases: the compute batch first (so nothing queues up
+        // behind the stalled head and spoils quietness — a message
+        // waiting in the pipe is work), then the readback.
+        let compute = || {
+            vec![
+                HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(30, 32),
+                },
+                HostMsg::WriteReg {
+                    reg: 2,
+                    value: Word::from_u64(12, 32),
+                },
+                add_instr(3, 1, 2),
+                add_instr(4, 3, 3),
+            ]
+        };
+        let readback = || vec![HostMsg::ReadReg { reg: 4, tag: 9 }, HostMsg::Sync { tag: 5 }];
+        let mut gated = mk();
+        gated.set_activity_mode(ActivityMode::Gated);
+        let mut out_g = run(&mut gated, compute());
+        out_g.extend(run(&mut gated, readback()));
+        let mut sched = mk();
+        sched.set_activity_mode(ActivityMode::Scheduled);
+        let mut out_s = run_scheduled(&mut sched, compute());
+        out_s.extend(run_scheduled(&mut sched, readback()));
+
+        assert_eq!(out_g, out_s);
+        assert_eq!(gated.cycle(), sched.cycle());
+        assert_eq!(gated.stats(), sched.stats(), "CoprocStats incl. stalls");
+        let (sg, ss) = (gated.sim_stats(), sched.sim_stats());
+        assert_eq!(sg.stage_busy, ss.stage_busy);
+        assert_eq!(sg.lat_issue_dispatch, ss.lat_issue_dispatch);
+        assert_eq!(sg.lat_dispatch_retire, ss.lat_dispatch_retire);
+        assert_eq!(sg.lat_issue_retire, ss.lat_issue_retire);
+        let tg: Vec<_> = gated.trace().events().collect();
+        let ts: Vec<_> = sched.trace().events().collect();
+        assert_eq!(tg, ts, "trace streams identical across kernels");
+        assert!(
+            ss.cycles_skipped > 30,
+            "the busy span was actually skipped (skipped {})",
+            ss.cycles_skipped
         );
+        assert!(ss.wheel.wakes_scheduled > 0 && ss.wheel.wakes_fired > 0);
+    }
+
+    #[test]
+    fn scheduled_kernel_handles_watchdog_deadline() {
+        // The hung unit hints "forever"; only the watchdog deadline
+        // bounds the skip, and the deadline cycle itself must be stepped
+        // so quarantine fires exactly as in the gated kernel.
+        let mut gated = watchdog_machine();
+        gated.set_activity_mode(ActivityMode::Gated);
+        let out_g = run(&mut gated, watchdog_workload());
+        let mut sched = watchdog_machine();
+        sched.set_activity_mode(ActivityMode::Scheduled);
+        let out_s = run_scheduled(&mut sched, watchdog_workload());
+        assert_eq!(out_g, out_s);
+        assert_eq!(gated.cycle(), sched.cycle());
+        assert_eq!(gated.stats(), sched.stats());
+        assert_eq!(gated.stats().fu_timeouts, 1, "watchdog actually fired");
     }
 
     #[test]

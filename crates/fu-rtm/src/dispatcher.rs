@@ -49,6 +49,25 @@ pub struct DispatchStats {
     pub stall_fence: u64,
 }
 
+/// What the decoded head at the dispatcher would do this cycle, judged
+/// without side effects — the event-scheduled kernel's dry run. A head
+/// that would advance means the machine is *not* quiet; a head that
+/// stalls pins the stall cause for the whole quiet span (nothing that
+/// could change the verdict — an arbiter release, an execution-slot
+/// drain, an FU completion — happens during a span the scheduler deemed
+/// quiet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StallClass {
+    /// The head would make progress (dispatch, forward, respond, retire).
+    Progress,
+    /// Stalled on a register lock (RAW/WAW hazard).
+    Lock,
+    /// Stalled waiting for quiescence (FENCE/SYNC).
+    Fence,
+    /// Stalled on a busy functional unit (the unit's index).
+    FuBusy(usize),
+}
+
 /// The dispatcher stage.
 #[derive(Debug, Clone, Default)]
 pub struct Dispatcher {
@@ -328,6 +347,156 @@ impl Dispatcher {
             }
         }
         None
+    }
+
+    /// Dry-run classification of the decoded head: what would `eval` do
+    /// this cycle? Mirrors `eval`'s decision order exactly but mutates
+    /// nothing. Callers must only rely on the verdict while the
+    /// execution-stage slot can accept a push (the event-scheduled
+    /// kernel's quiet-span precondition); with `exec_out` full the real
+    /// `eval` takes ExecFull branches this dry run does not model.
+    pub(crate) fn classify_head(
+        op: &DecodedOp,
+        fus: &[Box<dyn FunctionalUnit>],
+        lock: &LockManager,
+        futable: &FuTable,
+    ) -> StallClass {
+        match op {
+            DecodedOp::User { instr, fu_index } => {
+                let fu_index = *fu_index;
+                if futable.is_quarantined(fu_index) {
+                    return StallClass::Progress; // fails fast with an error response
+                }
+                let unit = &fus[fu_index];
+                let v = instr.variety;
+                let aux_role = unit.aux_role();
+                let reads = unit.variety_reads_srcs(v);
+                let reads_flags = aux_role == AuxRole::FlagSource && unit.variety_reads_flags(v);
+                let writes_data = unit.variety_writes_data(v);
+                let writes_flags = unit.variety_writes_flags(v);
+                let dst2 =
+                    (aux_role == AuxRole::SecondDest && writes_data).then_some(instr.aux_reg);
+                if dst2.is_some_and(|d2| d2 == instr.dst_reg) {
+                    return StallClass::Progress; // error response, not a stall
+                }
+                let ticket = LockTicket::new(
+                    writes_data.then_some(instr.dst_reg),
+                    dst2,
+                    writes_flags.then_some(instr.dst_flag),
+                );
+                let srcs = [instr.src1, instr.src2, instr.src3];
+                let raw_blocked = srcs
+                    .iter()
+                    .zip(reads)
+                    .any(|(r, used)| used && lock.data_locked(*r))
+                    || (reads_flags && lock.flag_locked(instr.aux_reg));
+                if raw_blocked || !lock.can_acquire(&ticket) {
+                    return StallClass::Lock;
+                }
+                if !fus[fu_index].can_dispatch() {
+                    return StallClass::FuBusy(fu_index);
+                }
+                StallClass::Progress
+            }
+            DecodedOp::Mgmt(MgmtOp::Nop) => StallClass::Progress,
+            DecodedOp::Mgmt(MgmtOp::Copy { dst, src }) => {
+                Self::classify_exec_write(lock, *dst, Some(*src))
+            }
+            DecodedOp::Mgmt(MgmtOp::LoadImm { dst, .. }) => {
+                Self::classify_exec_write(lock, *dst, None)
+            }
+            DecodedOp::WriteReg { reg, .. } => Self::classify_exec_write(lock, *reg, None),
+            DecodedOp::Mgmt(MgmtOp::CopyFlags { dst, src }) => {
+                Self::classify_exec_write_flags(lock, *dst, Some(*src))
+            }
+            DecodedOp::Mgmt(MgmtOp::SetFlags { dst, .. }) => {
+                Self::classify_exec_write_flags(lock, *dst, None)
+            }
+            DecodedOp::WriteFlags { reg, .. } => Self::classify_exec_write_flags(lock, *reg, None),
+            DecodedOp::Mgmt(MgmtOp::Fence) | DecodedOp::Sync { .. } => {
+                if Self::quiescent(lock, fus, futable) {
+                    StallClass::Progress
+                } else {
+                    StallClass::Fence
+                }
+            }
+            DecodedOp::ReadReg { reg, .. } => {
+                if lock.data_locked(*reg) {
+                    StallClass::Lock
+                } else {
+                    StallClass::Progress
+                }
+            }
+            DecodedOp::ReadFlags { reg, .. } => {
+                if lock.flag_locked(*reg) {
+                    StallClass::Lock
+                } else {
+                    StallClass::Progress
+                }
+            }
+            DecodedOp::Error { .. } => StallClass::Progress,
+        }
+    }
+
+    fn classify_exec_write(lock: &LockManager, dst: u8, src: Option<u8>) -> StallClass {
+        let ticket = LockTicket::new(Some(dst), None, None);
+        if src.is_some_and(|s| lock.data_locked(s)) || !lock.can_acquire(&ticket) {
+            StallClass::Lock
+        } else {
+            StallClass::Progress
+        }
+    }
+
+    fn classify_exec_write_flags(lock: &LockManager, dst: u8, src: Option<u8>) -> StallClass {
+        let ticket = LockTicket::new(None, None, Some(dst));
+        if src.is_some_and(|s| lock.flag_locked(s)) || !lock.can_acquire(&ticket) {
+            StallClass::Lock
+        } else {
+            StallClass::Progress
+        }
+    }
+
+    /// Replay `n` fast-forwarded stall cycles of class `class` starting
+    /// at `start_cycle`: identical counter and trace effects to `eval`
+    /// stalling once per cycle over the span.
+    pub(crate) fn note_stalled_span(
+        &mut self,
+        class: StallClass,
+        start_cycle: u64,
+        n: u64,
+        lock: &mut LockManager,
+        trace: &mut TraceBuffer,
+    ) {
+        let (kind, bump): (TraceEventKind, &mut u64) = match class {
+            StallClass::Progress => unreachable!("no stall span for a progressing head"),
+            StallClass::Lock => {
+                lock.note_stalls(n);
+                (
+                    TraceEventKind::StageStall {
+                        stage: "dispatcher",
+                        cause: StallCause::Lock,
+                    },
+                    &mut self.stats.stall_lock,
+                )
+            }
+            StallClass::Fence => (
+                TraceEventKind::StageStall {
+                    stage: "dispatcher",
+                    cause: StallCause::Fence,
+                },
+                &mut self.stats.stall_fence,
+            ),
+            StallClass::FuBusy(unit) => (
+                TraceEventKind::FuBusy { unit: unit as u8 },
+                &mut self.stats.stall_fu_busy,
+            ),
+        };
+        *bump += n;
+        if trace.is_enabled() {
+            for i in 0..n {
+                trace.record(start_cycle + i, kind);
+            }
+        }
     }
 
     /// Dispatch path for user instructions. Returns the target unit's

@@ -51,5 +51,5 @@ pub mod testing;
 pub mod transceiver;
 
 pub use config::CoprocConfig;
-pub use coprocessor::{ActivityMode, CoprocStats, Coprocessor};
+pub use coprocessor::{ActivityMode, CoprocStats, Coprocessor, QuietVerdict};
 pub use protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit, LockTicket};

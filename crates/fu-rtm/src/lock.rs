@@ -112,6 +112,14 @@ impl LockManager {
         self.stall_checks.bump();
     }
 
+    /// Record `n` fast-forwarded stall cycles at once. Equivalent to `n`
+    /// calls of [`LockManager::note_stall`]; used by the event-scheduled
+    /// kernel when it skips a span in which the dispatcher head provably
+    /// stalls on the same lock every cycle.
+    pub fn note_stalls(&mut self, n: u64) {
+        self.stall_checks.add(n);
+    }
+
     /// Number of instructions dispatched but not yet completed.
     pub fn in_flight(&self) -> usize {
         self.in_flight

@@ -190,6 +190,42 @@ pub trait FunctionalUnit: Clocked + Send {
     /// an idle `commit` changes nothing.
     fn advance_idle(&mut self, _cycles: u64) {}
 
+    // ----- event-wheel scheduling -----------------------------------
+    // The event-scheduled kernel (`ActivityMode::Scheduled`) skips whole
+    // spans while units are *busy*, not just idle — a unit burning a
+    // fixed latency is the canonical case. The contract is phrased in
+    // terms of the interface the pipeline observes.
+
+    /// A lower bound on the unit's next observable change, in cycles.
+    ///
+    /// `Some(h)` promises that for the next `h` commits the unit's
+    /// *observable interface* is constant: `peek_output` stays `None`
+    /// (no new output appears), `can_dispatch` keeps its current value,
+    /// and `is_idle` keeps its current value. The scheduler may then
+    /// replace up to `h` commits with one [`FunctionalUnit::advance_busy`]
+    /// call. `None` means the unit cannot bound its next change and must
+    /// be clocked every cycle (always safe).
+    ///
+    /// Only queried while the unit is active with no pending output; an
+    /// output already waiting for the write arbiter pins the scheduler to
+    /// per-cycle stepping regardless of the hint.
+    fn wake_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advance the unit's internal state by `cycles` commits at once.
+    ///
+    /// Must be bit-identical to calling `commit` `cycles` times. The
+    /// scheduler only calls this with `cycles` no larger than the last
+    /// [`FunctionalUnit::wake_hint`]. The default literally runs the
+    /// commits; units with cheap closed-form state (a latency counter, a
+    /// divider phase) override it to make long skips O(1).
+    fn advance_busy(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.commit();
+        }
+    }
+
     // ----- decode lookup tables -------------------------------------
     // "Lookup tables are implicitly synthesised into Decoder" (Fig. 4):
     // per-variety facts the dispatcher needs to form lock tickets and

@@ -109,6 +109,27 @@ impl FunctionalUnit for LatencyFu {
         self.busy.is_none() && self.out.is_none()
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // While burning latency the remaining count is exactly the number
+        // of commits until the output appears; nothing observable changes
+        // earlier. With output pending the hint is irrelevant (the
+        // scheduler never skips past a waiting output).
+        match (&self.busy, &self.out) {
+            (Some((remaining, _)), None) => Some(u64::from(*remaining)),
+            _ => None,
+        }
+    }
+
+    fn advance_busy(&mut self, cycles: u64) {
+        if let Some((remaining, _)) = &mut self.busy {
+            *remaining -= u32::try_from(cycles.min(u64::from(*remaining))).expect("bounded");
+            if *remaining == 0 && self.out.is_none() {
+                let (_, pkt) = self.busy.take().expect("checked busy");
+                self.out = Some(Self::compute(&pkt));
+            }
+        }
+    }
+
     fn area(&self) -> AreaEstimate {
         AreaEstimate::adder(32) + AreaEstimate::register(64)
     }
@@ -186,6 +207,14 @@ impl FunctionalUnit for StuckFu {
         !self.stuck
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // A hung unit never changes again; only the watchdog deadline
+        // (tracked by the coprocessor, not the unit) bounds the skip.
+        Some(u64::MAX)
+    }
+
+    fn advance_busy(&mut self, _cycles: u64) {}
+
     fn area(&self) -> AreaEstimate {
         AreaEstimate::register(1)
     }
@@ -260,6 +289,32 @@ mod tests {
         fu.reset();
         assert!(fu.is_idle());
         assert!(fu.peek_output().is_none());
+    }
+
+    #[test]
+    fn wake_hint_and_advance_busy_match_commits() {
+        let mk = || {
+            let mut fu = LatencyFu::new("u", 1, 7);
+            fu.dispatch(pkt(3, 4, 2));
+            fu
+        };
+        let (mut skipped, mut stepped) = (mk(), mk());
+        let h = skipped.wake_hint().expect("busy unit hints");
+        assert_eq!(h, 7);
+        skipped.advance_busy(h);
+        for _ in 0..h {
+            assert!(stepped.peek_output().is_none());
+            stepped.commit();
+        }
+        assert!(skipped.peek_output().is_some());
+        assert_eq!(skipped.ack_output().data, stepped.ack_output().data);
+        assert!(skipped.wake_hint().is_none(), "idle unit has no hint");
+        // A stuck unit hints "forever" and a bulk advance is a no-op.
+        let mut stuck = StuckFu::new("s", 9);
+        stuck.dispatch(pkt(0, 0, 0));
+        assert_eq!(stuck.wake_hint(), Some(u64::MAX));
+        stuck.advance_busy(1 << 20);
+        assert!(stuck.is_stuck());
     }
 
     #[test]

@@ -132,6 +132,55 @@ impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
         self.phase = (total % self.divider as u64) as u32;
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // Observable changes only surface at slow-domain edges. The next
+        // edge is `divider - phase` fast cycles out; an inner unit that
+        // bounds its own change at `h` slow commits pushes the bound to
+        // the `h`-th edge. A synchronised dispatch or an unbounded inner
+        // unit pins the hint to the next edge, which is still exact: the
+        // fast cycles in between cannot change the interface.
+        if self.pending_out.is_some() {
+            return None;
+        }
+        let to_edge = u64::from(self.divider - self.phase);
+        if self.pending_in.is_some() {
+            return Some(to_edge);
+        }
+        match self.inner.wake_hint() {
+            Some(h) if h >= 1 => Some(
+                to_edge.saturating_add((h - 1).saturating_mul(u64::from(self.divider))),
+            ),
+            _ => Some(to_edge),
+        }
+    }
+
+    fn advance_busy(&mut self, cycles: u64) {
+        // Closed form for `cycles` fast commits: the phase wraps
+        // (phase + cycles) / divider times; each wrap is one slow edge.
+        // The hint guarantees at most one edge while a dispatch waits at
+        // the crossing (it is bounded by the next edge), so the bulk of
+        // the edges can be forwarded to the inner unit's own bulk hook.
+        let div = u64::from(self.divider);
+        let total = u64::from(self.phase) + cycles;
+        let mut edges = total / div;
+        self.phase = (total % div) as u32;
+        if edges == 0 {
+            return;
+        }
+        if let Some(pkt) = self.pending_in.take() {
+            debug_assert!(self.inner.can_dispatch(), "admission checked at dispatch");
+            self.inner.dispatch(pkt);
+            self.inner.commit();
+            edges -= 1;
+        }
+        if edges > 0 {
+            self.inner.advance_busy(edges);
+        }
+        if self.pending_out.is_none() && self.inner.peek_output().is_some() {
+            self.pending_out = Some(self.inner.ack_output());
+        }
+    }
+
     fn variety_writes_data(&self, v: u8) -> bool {
         self.inner.variety_writes_data(v)
     }
@@ -258,5 +307,44 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_divider_rejected() {
         wrapped(0);
+    }
+
+    #[test]
+    fn wake_hint_and_advance_busy_match_commits() {
+        use fu_rtm::testing::LatencyFu;
+        // Wrap a unit with an exact hint; the wrapper must translate
+        // slow-domain hints into fast cycles and bulk-advance
+        // bit-identically to stepping, across every phase alignment.
+        for divider in [1u32, 3, 4] {
+            for lead_in in 0..divider {
+                let mk = || {
+                    let mut fu = ClockDomainFu::new(LatencyFu::new("slow", 1, 5), divider);
+                    for _ in 0..lead_in {
+                        fu.commit(); // stagger the phase before dispatch
+                    }
+                    fu.dispatch(pkt(0, 7, 0, 32));
+                    fu
+                };
+                let (mut skipped, mut stepped) = (mk(), mk());
+                let mut guard = 0;
+                while skipped.peek_output().is_none() {
+                    let h = skipped.wake_hint().expect("busy wrapper hints");
+                    assert!(h >= 1);
+                    skipped.advance_busy(h);
+                    for _ in 0..h {
+                        assert_eq!(stepped.peek_output().is_none(), true);
+                        stepped.commit();
+                    }
+                    guard += 1;
+                    assert!(guard < 100, "wrapper never completed");
+                }
+                assert!(stepped.peek_output().is_some(), "same completion cycle");
+                assert_eq!(
+                    skipped.ack_output().data,
+                    stepped.ack_output().data,
+                    "divider {divider} lead-in {lead_in}"
+                );
+            }
+        }
     }
 }

@@ -141,6 +141,28 @@ impl<K: Kernel> FunctionalUnit for FsmFu<K> {
         self.state == FsmState::Idle && self.next_state.is_none() && self.result.is_none()
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // The FSM walk is fully deterministic once dispatched: the
+        // output appears after the remaining execute cycles plus the
+        // send chain, so the distance to `Output` is exact.
+        let sends = self
+            .result
+            .as_ref()
+            .map_or(0, |o| u64::from(Self::send_states(o)));
+        match (self.next_state, self.state) {
+            // Freshly dispatched: one edge into Execute, then the walk.
+            (Some(FsmState::Execute(e)), _) => Some(1 + u64::from(e) + sends),
+            // Freshly acknowledged (or any other forced transition): one
+            // edge to settle.
+            (Some(_), _) => Some(1),
+            (None, FsmState::Execute(n)) => Some(u64::from(n) + sends),
+            (None, FsmState::Send(n)) => Some(u64::from(n)),
+            (None, FsmState::Idle) => Some(1),
+            // Output pending: the scheduler is pinned regardless.
+            (None, FsmState::Output) => None,
+        }
+    }
+
     fn variety_writes_data(&self, v: u8) -> bool {
         self.kernel.writes_data(v)
     }

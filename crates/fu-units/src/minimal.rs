@@ -116,6 +116,16 @@ impl<K: Kernel> FunctionalUnit for MinimalFu<K> {
         self.staged.is_none() && self.out.is_none()
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // A staged result registers (and a fresh acknowledge clears) at
+        // the very next edge; the unit is never quiet for longer.
+        if self.out.is_some() {
+            None
+        } else {
+            Some(1)
+        }
+    }
+
     fn variety_writes_data(&self, v: u8) -> bool {
         self.kernel.writes_data(v)
     }

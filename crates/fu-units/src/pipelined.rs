@@ -148,6 +148,21 @@ impl<K: Kernel> FunctionalUnit for PipelinedFu<K> {
         self.occupancy() == 0
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // With the result FIFO empty the oldest in-flight instruction
+        // emerges after its remaining stage count; nothing observable
+        // happens earlier (admission capacity only shrinks on dispatch,
+        // which a quiet span excludes). A staged dispatch latches at the
+        // next edge.
+        if !self.fifo.is_empty() {
+            return None;
+        }
+        if self.staged.is_some() {
+            return Some(1);
+        }
+        self.pipe.front().map(|&(c, _)| u64::from(c.max(1)))
+    }
+
     fn variety_writes_data(&self, v: u8) -> bool {
         self.kernel.writes_data(v)
     }

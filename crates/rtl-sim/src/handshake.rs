@@ -144,6 +144,21 @@ impl<T> HandshakeSlot<T> {
         );
         self.stats.cycles += n;
     }
+
+    /// Account for `n` fast-forwarded cycles during which the slot held
+    /// an item that its consumer provably could not take (a stalled
+    /// head). Equivalent to `n` commits with an occupied register and no
+    /// staged value: `cycles` and `occupied_cycles` both advance.
+    /// Callers must only invoke this while the slot holds data and
+    /// nothing is staged.
+    pub fn note_held_cycles(&mut self, n: u64) {
+        debug_assert!(
+            self.cur.is_some() && self.incoming.is_none(),
+            "note_held_cycles needs a held item and no staged push"
+        );
+        self.stats.cycles += n;
+        self.stats.occupied_cycles += n;
+    }
 }
 
 impl<T> Clocked for HandshakeSlot<T> {

@@ -42,6 +42,7 @@ pub mod reg;
 pub mod stall;
 pub mod stats;
 pub mod trace;
+pub mod wheel;
 
 pub use area::{AreaEstimate, CriticalPath};
 pub use component::{Clocked, SimError};
@@ -51,3 +52,4 @@ pub use reg::{Reg, SatCounter};
 pub use stall::StallFuzzer;
 pub use stats::{LatencyHistogram, LatencySnapshot, Percentiles, SimStats, SlotStats};
 pub use trace::{LinkDir, StallCause, TraceBuffer, TraceEvent, TraceEventKind, VcdWriter};
+pub use wheel::{TimingWheel, WheelStats};

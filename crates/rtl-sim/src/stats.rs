@@ -5,6 +5,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::wheel::WheelStats;
+
 /// Counters maintained by [`crate::HandshakeSlot`] and [`crate::Fifo`].
 ///
 /// `stall_cycles` is only meaningful when the owning design calls
@@ -219,6 +221,12 @@ pub struct SimStats {
     pub lat_dispatch_retire: LatencyHistogram,
     /// End-to-end issue → retire latency.
     pub lat_issue_retire: LatencyHistogram,
+    /// Event-wheel work counters (zero unless the design ran with an
+    /// event-scheduled kernel). Like `stage_evals`, these describe *how*
+    /// the simulation was driven, not what it computed, so they may
+    /// legitimately differ across scheduling modes — but they are exact
+    /// deterministic functions of the workload within one mode.
+    pub wheel: WheelStats,
 }
 
 impl SimStats {
@@ -256,6 +264,12 @@ impl SimStats {
             .collect()
     }
 
+    /// Event-wheel work counters (wakes scheduled/fired, slots skipped).
+    #[must_use]
+    pub fn wheel(&self) -> WheelStats {
+        self.wheel
+    }
+
     /// p50/p95/p99 of the three per-instruction latency legs.
     #[must_use]
     pub fn latency_snapshot(&self) -> LatencySnapshot {
@@ -291,6 +305,7 @@ impl std::ops::AddAssign<&SimStats> for SimStats {
         self.lat_issue_dispatch += &rhs.lat_issue_dispatch;
         self.lat_dispatch_retire += &rhs.lat_dispatch_retire;
         self.lat_issue_retire += &rhs.lat_issue_retire;
+        self.wheel += &rhs.wheel;
     }
 }
 
@@ -339,6 +354,13 @@ impl fmt::Display for SimStats {
             for (name, n) in &self.stage_evals {
                 write!(f, " {name}={n}")?;
             }
+        }
+        if self.wheel.wakes_scheduled > 0 {
+            write!(
+                f,
+                "; wheel: {} wakes scheduled, {} fired, {} slots skipped",
+                self.wheel.wakes_scheduled, self.wheel.wakes_fired, self.wheel.slots_skipped
+            )?;
         }
         if self.lat_issue_retire.count() > 0 {
             let p = self.lat_issue_retire.percentiles();
@@ -477,6 +499,35 @@ mod tests {
         assert_eq!(SimStats::default().utilization(), Vec::new());
         let text = s.to_string();
         assert!(text.contains("issue->retire p50<="), "{text}");
+    }
+
+    #[test]
+    fn wheel_counters_roll_up_and_display() {
+        let mut a = SimStats {
+            cycles_simulated: 10,
+            wheel: WheelStats {
+                wakes_scheduled: 4,
+                wakes_fired: 3,
+                slots_skipped: 100,
+            },
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            wheel: WheelStats {
+                wakes_scheduled: 1,
+                wakes_fired: 1,
+                slots_skipped: 5,
+            },
+            ..SimStats::default()
+        };
+        a += &b;
+        assert_eq!(a.wheel().wakes_scheduled(), 5);
+        assert_eq!(a.wheel().wakes_fired(), 4);
+        assert_eq!(a.wheel().slots_skipped(), 105);
+        let text = a.to_string();
+        assert!(text.contains("5 wakes scheduled"), "{text}");
+        // Modes that never schedule stay silent.
+        assert!(!SimStats::default().to_string().contains("wheel"));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! A hierarchical timing wheel for event-scheduled simulation.
+//!
+//! Activity gating (the `Gated` mode of a design) still *walks* every
+//! component each simulated cycle to ask "are you busy?". An
+//! event-scheduled kernel inverts the relationship: every source of
+//! future activity — a pipeline stage with buffered work, a functional
+//! unit in a fixed-latency burn, a watchdog deadline, a link-layer
+//! retransmit timer — *registers a wake* at the cycle where its state can
+//! next change observably, and the scheduler advances the clock directly
+//! to the earliest registered wake.
+//!
+//! [`TimingWheel`] is the classic two-level structure (Varghese & Lauck):
+//! a dense ring of near slots, one per cycle within the horizon, plus a
+//! min-heap for wakes beyond it. Near wakes cost O(1) to register and
+//! fire; far wakes pay the heap's O(log n) but are rare (retransmit
+//! deadlines, worst-case watchdog bounds).
+//!
+//! # Determinism
+//!
+//! Simulation results must be bit-identical across scheduling modes, so
+//! the wheel is rigidly deterministic: wakes due at the same cycle fire
+//! in registration order (each entry carries a sequence number; the heap
+//! orders by `(cycle, seq)` and ring slots are FIFO vectors). Nothing
+//! about firing order depends on the heap's internal layout or on pointer
+//! identity.
+//!
+//! The wheel also keeps [`WheelStats`] — wakes scheduled, wakes fired,
+//! and dense slots skipped over — so a speedup is explainable from
+//! counters alone, and so CI can gate on deterministic *work counts*
+//! rather than flaky wall-clock numbers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministic work counters maintained by a [`TimingWheel`].
+///
+/// All three are pure functions of the schedule/advance call sequence —
+/// no wall clock, no allocation behaviour — so they are safe to compare
+/// bit-for-bit in CI and across traced/untraced runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Wakes registered via [`TimingWheel::schedule`].
+    pub wakes_scheduled: u64,
+    /// Wakes popped by [`TimingWheel::advance_to`].
+    pub wakes_fired: u64,
+    /// Empty dense slots the cursor jumped over while advancing.
+    pub slots_skipped: u64,
+}
+
+impl WheelStats {
+    /// Wakes registered.
+    #[must_use]
+    pub fn wakes_scheduled(&self) -> u64 {
+        self.wakes_scheduled
+    }
+
+    /// Wakes fired.
+    #[must_use]
+    pub fn wakes_fired(&self) -> u64 {
+        self.wakes_fired
+    }
+
+    /// Empty dense slots skipped.
+    #[must_use]
+    pub fn slots_skipped(&self) -> u64 {
+        self.slots_skipped
+    }
+
+    /// Fraction of registered wakes that actually fired (the rest were
+    /// superseded by an earlier event or cleared), in `[0, 1]`.
+    #[must_use]
+    pub fn fire_fraction(&self) -> f64 {
+        if self.wakes_scheduled == 0 {
+            0.0
+        } else {
+            self.wakes_fired as f64 / self.wakes_scheduled as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign<&WheelStats> for WheelStats {
+    fn add_assign(&mut self, rhs: &WheelStats) {
+        self.wakes_scheduled += rhs.wakes_scheduled;
+        self.wakes_fired += rhs.wakes_fired;
+        self.slots_skipped += rhs.slots_skipped;
+    }
+}
+
+impl std::ops::AddAssign for WheelStats {
+    fn add_assign(&mut self, rhs: WheelStats) {
+        *self += &rhs;
+    }
+}
+
+/// One registered wake: due cycle, registration sequence, payload.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    payload: T,
+}
+
+/// Two-level timing wheel: dense near-slot ring + overflow min-heap.
+///
+/// `T` is the wake payload — typically a small enum naming the component
+/// that asked to be woken. The wheel never interprets it.
+///
+/// ```
+/// use rtl_sim::TimingWheel;
+///
+/// let mut w: TimingWheel<&'static str> = TimingWheel::new(0, 16);
+/// w.schedule(3, "fu0");
+/// w.schedule(3, "watchdog");
+/// w.schedule(40, "retransmit"); // beyond the horizon -> overflow heap
+/// assert_eq!(w.next_wake(), Some(3));
+/// assert_eq!(w.advance_to(3), vec!["fu0", "watchdog"]); // FIFO in slot
+/// assert_eq!(w.next_wake(), Some(40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingWheel<T> {
+    /// Current cycle; wakes strictly before `now` are illegal.
+    now: u64,
+    /// Dense ring, one slot per cycle in `[now, now + horizon)`.
+    ring: Vec<Vec<Entry<T>>>,
+    /// Wakes at or beyond `now + horizon`, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Payload store for overflow entries, keyed by seq.
+    overflow_payloads: Vec<(u64, T)>,
+    /// Monotone registration counter (FIFO tiebreak).
+    seq: u64,
+    /// Number of live entries (ring + overflow).
+    len: usize,
+    stats: WheelStats,
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel at cycle `now` with `horizon` dense slots
+    /// (`horizon >= 1`; values beyond a few hundred buy nothing).
+    pub fn new(now: u64, horizon: usize) -> TimingWheel<T> {
+        assert!(horizon >= 1, "timing wheel needs at least one dense slot");
+        TimingWheel {
+            now,
+            ring: (0..horizon).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            overflow_payloads: Vec::new(),
+            seq: 0,
+            len: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of dense slots.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no wakes are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Live wake count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Deterministic work counters.
+    #[must_use]
+    pub fn stats(&self) -> WheelStats {
+        self.stats
+    }
+
+    fn slot_of(&self, at: u64) -> usize {
+        (at % self.ring.len() as u64) as usize
+    }
+
+    /// Register a wake at cycle `at` (clamped to `now`; the past is not
+    /// addressable). Entries due at the same cycle fire in registration
+    /// order.
+    pub fn schedule(&mut self, at: u64, payload: T) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.wakes_scheduled += 1;
+        self.len += 1;
+        if at - self.now < self.ring.len() as u64 {
+            let slot = self.slot_of(at);
+            self.ring[slot].push(Entry { at, seq, payload });
+        } else {
+            self.overflow.push(Reverse((at, seq)));
+            self.overflow_payloads.push((seq, payload));
+        }
+    }
+
+    /// Earliest registered wake cycle, if any.
+    #[must_use]
+    pub fn next_wake(&self) -> Option<u64> {
+        let mut best: Option<u64> = self.overflow.peek().map(|Reverse((at, _))| *at);
+        let horizon = self.ring.len() as u64;
+        for dt in 0..horizon {
+            let t = self.now + dt;
+            if best.is_some_and(|b| b <= t) {
+                break;
+            }
+            let slot = self.slot_of(t);
+            if self.ring[slot].iter().any(|e| e.at == t) {
+                best = Some(t);
+                break;
+            }
+        }
+        best
+    }
+
+    /// Advance the cursor to cycle `t` (`t >= now`) and pop every wake
+    /// due at or before `t`, in `(cycle, registration)` order. Dense
+    /// slots crossed without firing anything count as `slots_skipped`.
+    pub fn advance_to(&mut self, t: u64) -> Vec<T> {
+        assert!(t >= self.now, "timing wheel cannot advance backwards");
+        let mut fired: Vec<Entry<T>> = Vec::new();
+        let horizon = self.ring.len() as u64;
+        // Walk dense slots from now to min(t, end-of-ring coverage); any
+        // slot index is revisited at most once because t - now may exceed
+        // the horizon (then every ring entry is due).
+        let span = t - self.now;
+        if span >= horizon {
+            for slot in self.ring.iter_mut() {
+                fired.append(slot);
+            }
+        } else {
+            for dt in 0..=span {
+                let slot = self.slot_of(self.now + dt);
+                let cur = self.now + dt;
+                let v = &mut self.ring[slot];
+                let mut i = 0;
+                while i < v.len() {
+                    if v[i].at <= cur {
+                        fired.push(v.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Drain due overflow entries, migrating none (they fire directly).
+        while let Some(&Reverse((at, seq))) = self.overflow.peek() {
+            if at > t {
+                break;
+            }
+            self.overflow.pop();
+            let idx = self
+                .overflow_payloads
+                .iter()
+                .position(|(s, _)| *s == seq)
+                .expect("overflow payload for popped seq");
+            let (_, payload) = self.overflow_payloads.swap_remove(idx);
+            fired.push(Entry { at, seq, payload });
+        }
+        fired.sort_by_key(|e| (e.at, e.seq));
+        self.len -= fired.len();
+        self.stats.wakes_fired += fired.len() as u64;
+        // Slots the cursor jumped over without firing anything there.
+        let crossed = span.min(horizon);
+        let occupied: u64 = {
+            let mut times: Vec<u64> = fired.iter().map(|e| e.at).collect();
+            times.dedup();
+            times.iter().filter(|&&at| at < t).count() as u64
+        };
+        self.stats.slots_skipped += crossed.saturating_sub(occupied);
+        self.now = t;
+        fired.into_iter().map(|e| e.payload).collect()
+    }
+
+    /// Drop every registered wake without firing it (the scheduler
+    /// recomputes its event set). `now` is unchanged.
+    pub fn clear(&mut self) {
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+        self.overflow.clear();
+        self.overflow_payloads.clear();
+        self.len = 0;
+    }
+
+    /// Reposition the cursor of an **empty** wheel to cycle `now`
+    /// without touching the counters.
+    ///
+    /// [`TimingWheel::advance_to`] charges every crossed quiet slot to
+    /// `slots_skipped`; a scheduler that stepped cycles one by one (no
+    /// wheel decision involved) uses `seek` to catch the cursor up so
+    /// those stepped cycles are not misreported as skipped.
+    ///
+    /// # Panics
+    /// Panics when wakes are still registered (they would silently land
+    /// in the past) or when `now` moves backwards.
+    pub fn seek(&mut self, now: u64) {
+        assert!(self.is_empty(), "seek requires an empty wheel");
+        assert!(now >= self.now, "timing wheel cannot seek backwards");
+        self.now = now;
+    }
+
+    /// Reset to cycle `now` with empty slots and zeroed counters.
+    pub fn reset(&mut self, now: u64) {
+        self.clear();
+        self.now = now;
+        self.seq = 0;
+        self.stats = WheelStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_cycle_fifo_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(0, 8);
+        w.schedule(2, 10);
+        w.schedule(2, 11);
+        w.schedule(2, 12);
+        assert_eq!(w.next_wake(), Some(2));
+        assert_eq!(w.advance_to(2), vec![10, 11, 12]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_heap_orders_with_ring() {
+        let mut w: TimingWheel<&'static str> = TimingWheel::new(0, 4);
+        w.schedule(100, "far");
+        w.schedule(1, "near");
+        w.schedule(100, "far2");
+        assert_eq!(w.next_wake(), Some(1));
+        assert_eq!(w.advance_to(1), vec!["near"]);
+        assert_eq!(w.next_wake(), Some(100));
+        assert_eq!(w.advance_to(100), vec!["far", "far2"], "FIFO across heap");
+    }
+
+    #[test]
+    fn advance_beyond_horizon_fires_everything_in_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(0, 4);
+        w.schedule(3, 3);
+        w.schedule(1, 1);
+        w.schedule(9, 9);
+        w.schedule(1, 100);
+        assert_eq!(w.advance_to(50), vec![1, 100, 3, 9]);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(10, 4);
+        w.schedule(3, 7);
+        assert_eq!(w.next_wake(), Some(10));
+        assert_eq!(w.advance_to(10), vec![7]);
+    }
+
+    #[test]
+    fn stats_count_work_deterministically() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(0, 8);
+        w.schedule(5, 1);
+        w.schedule(5, 2);
+        w.schedule(20, 3);
+        let fired = w.advance_to(5);
+        assert_eq!(fired.len(), 2);
+        let s = w.stats();
+        assert_eq!(s.wakes_scheduled, 3);
+        assert_eq!(s.wakes_fired, 2);
+        // Cycles 0..5 crossed, one slot (5) occupied... slot 5 is the
+        // target itself, so 5 empty slots were jumped.
+        assert_eq!(s.slots_skipped, 5);
+        assert!(s.fire_fraction() > 0.6 && s.fire_fraction() < 0.7);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(0, 4);
+        w.schedule(1, 1);
+        w.schedule(50, 2);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.next_wake(), None);
+        assert_eq!(w.stats().wakes_scheduled, 2);
+        w.reset(7);
+        assert_eq!(w.now(), 7);
+        assert_eq!(w.stats(), WheelStats::default());
+    }
+
+    #[test]
+    fn wheel_stats_roll_up() {
+        let a = WheelStats {
+            wakes_scheduled: 4,
+            wakes_fired: 3,
+            slots_skipped: 10,
+        };
+        let mut b = WheelStats::default();
+        b += &a;
+        b += a;
+        assert_eq!(b.wakes_scheduled(), 8);
+        assert_eq!(b.wakes_fired(), 6);
+        assert_eq!(b.slots_skipped(), 20);
+        assert_eq!(WheelStats::default().fire_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance backwards")]
+    fn backwards_advance_panics() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(5, 4);
+        w.advance_to(4);
+    }
+}

@@ -162,6 +162,34 @@ impl FunctionalUnit for XiSortAdapter {
         self.state == AdapterState::Idle && self.out.is_none()
     }
 
+    fn wake_hint(&self) -> Option<u64> {
+        // While the core is parked in a registered-tree wait stretch the
+        // adapter's interface cannot change for that many cycles; at an
+        // instruction boundary the very next commit may complete the
+        // program (Halt → finish), so the bound degrades to one cycle.
+        if self.state != AdapterState::Busy {
+            return None;
+        }
+        Some(u64::from(self.core.wait_cycles().max(1)))
+    }
+
+    fn advance_busy(&mut self, cycles: u64) {
+        // A hint larger than one cycle is always a wait stretch, which
+        // the controller collapses in bulk with identical counters; any
+        // remainder (the instruction-boundary case) steps normally.
+        let bulk = if self.state == AdapterState::Busy && self.core.is_running() {
+            cycles.min(u64::from(self.core.wait_cycles()))
+        } else {
+            0
+        };
+        if bulk > 0 {
+            self.core.step_n(bulk);
+        }
+        for _ in bulk..cycles {
+            self.commit();
+        }
+    }
+
     fn variety_writes_data(&self, variety: u8) -> bool {
         XiOp::from_variety(variety).is_some_and(|op| op.returns_data())
     }
@@ -292,6 +320,41 @@ mod tests {
         assert!(!fu.variety_writes_data(XiOp::Reset.variety()));
         assert!(fu.variety_writes_data(XiOp::Sort.variety()));
         assert!(fu.variety_writes_data(XiOp::ReadAt.variety()));
+    }
+
+    #[test]
+    fn wake_hint_and_advance_busy_match_commits() {
+        // A registered tree parks the controller in multi-cycle wait
+        // states; hint-driven bulk advancing must complete on the same
+        // cycle with the same result and operation cycle count.
+        let mk = || {
+            let mut fu = XiSortAdapter::new(XiConfig::new(16).with_registered_tree(true), 32);
+            run_op(&mut fu, XiOp::Reset, 0);
+            for v in [5u32, 9, 1, 7] {
+                run_op(&mut fu, XiOp::Push, v);
+            }
+            run_op(&mut fu, XiOp::InitBounds, 0);
+            fu.dispatch(pkt(XiOp::Sort, 0));
+            fu
+        };
+        let (mut skipped, mut stepped) = (mk(), mk());
+        let mut saw_long = false;
+        let mut guard = 0;
+        while skipped.peek_output().is_none() {
+            let h = skipped.wake_hint().expect("busy adapter hints");
+            saw_long |= h > 1;
+            skipped.advance_busy(h);
+            for _ in 0..h {
+                assert!(stepped.peek_output().is_none(), "no early completion");
+                stepped.commit();
+            }
+            guard += 1;
+            assert!(guard < 10_000, "sort never completed");
+        }
+        assert!(stepped.peek_output().is_some(), "same completion cycle");
+        assert!(saw_long, "registered tree produced multi-cycle hints");
+        assert_eq!(skipped.ack_output(), stepped.ack_output());
+        assert_eq!(skipped.core().op_cycles(), stepped.core().op_cycles());
     }
 
     #[test]

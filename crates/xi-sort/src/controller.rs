@@ -14,7 +14,7 @@
 //! [`XiSortCore::op_cycles`] are therefore the numbers experiment E6
 //! tabulates.
 
-use crate::cell::{Broadcast, CellCmd, SimdCell};
+use crate::cell::{Broadcast, CellArena, CellCmd, SimdCell};
 use crate::interval::IndexInterval;
 use crate::microcode::{self, MicroInstr, OperandSel, Scratch, N_SCRATCH};
 use crate::tree::TreeNetwork;
@@ -127,7 +127,7 @@ enum CoreState {
 #[derive(Debug, Clone)]
 pub struct XiSortCore {
     cfg: XiConfig,
-    cells: Vec<SimdCell>,
+    cells: CellArena,
     tree: TreeNetwork,
     scratch: [u32; N_SCRATCH],
     program: Vec<MicroInstr>,
@@ -150,7 +150,7 @@ impl XiSortCore {
     pub fn new(cfg: XiConfig) -> XiSortCore {
         let inert = SimdCell::new(0, IndexInterval::precise(u32::MAX));
         XiSortCore {
-            cells: vec![inert; cfg.n_cells as usize],
+            cells: CellArena::new(cfg.n_cells as usize, inert),
             tree: TreeNetwork::new(cfg.n_cells, cfg.registered_tree),
             scratch: [0; N_SCRATCH],
             program: Vec::new(),
@@ -206,13 +206,33 @@ impl XiSortCore {
         self.last_op_cycles
     }
 
+    /// Remaining registered-tree wait cycles when the controller is
+    /// parked in a `Run` wait state; `0` when it will execute a
+    /// microinstruction on its next step (or is idle). During a wait
+    /// stretch nothing outside the controller can observe a change, so
+    /// this bounds how far an event-scheduled wrapper may skip.
+    pub fn wait_cycles(&self) -> u32 {
+        match self.state {
+            CoreState::Run { wait, .. } => wait,
+            CoreState::Idle => 0,
+        }
+    }
+
     /// `(microinstructions, tree operations)` executed since creation.
     pub fn counters(&self) -> (u64, u64) {
         (self.micro_executed.get(), self.tree_ops.get())
     }
 
-    /// Direct view of the cells (tests and diagnostics).
-    pub fn cells(&self) -> &[SimdCell] {
+    /// Materialised view of the cells (tests and diagnostics). The
+    /// arena keeps inert cells as a uniform-tail summary; this expands
+    /// them back into the cell-by-cell picture.
+    pub fn cells(&self) -> Vec<SimdCell> {
+        self.cells.cells()
+    }
+
+    /// The struct-of-arrays arena itself (diagnostics; `live()` reports
+    /// how many cells have diverged from the inert tail).
+    pub fn arena(&self) -> &CellArena {
         &self.cells
     }
 
@@ -238,14 +258,14 @@ impl XiSortCore {
             }
             XiOp::Push => {
                 // Shift chain: each cell takes its left neighbour; cell 0
-                // takes the input. One cycle, no program.
+                // takes the input. One cycle, no program. The arena only
+                // moves the live prefix — inert cells shift onto
+                // themselves.
                 if self.loaded == self.cfg.n_cells {
                     self.overflow = true;
                 } else {
-                    for i in (1..self.cells.len()).rev() {
-                        self.cells[i] = self.cells[i - 1];
-                    }
-                    self.cells[0] = SimdCell::new(operand, IndexInterval::precise(u32::MAX));
+                    self.cells
+                        .push_front(SimdCell::new(operand, IndexInterval::precise(u32::MAX)));
                     self.loaded += 1;
                 }
                 self.last_op_cycles = 1;
@@ -313,19 +333,17 @@ impl XiSortCore {
             MicroInstr::Cell(cmd, sel) => {
                 let b = self.broadcast(sel);
                 debug_assert!(cmd != CellCmd::Load, "Load is not a program instruction");
-                for c in &mut self.cells {
-                    c.apply(cmd, b, 0);
-                }
+                self.cells.apply_all(cmd, b);
             }
             MicroInstr::TreeCount(dst) => {
-                self.scratch[dst as usize] = self.tree.count_selected(&self.cells);
+                self.scratch[dst as usize] = self.tree.count_selected_arena(&self.cells);
                 self.tree_ops.bump();
                 tree_wait = self.tree.op_latency();
             }
             MicroInstr::TreeLeftmost => {
                 self.tree_ops.bump();
                 tree_wait = self.tree.op_latency();
-                match self.tree.leftmost_selected(&self.cells) {
+                match self.tree.leftmost_selected_arena(&self.cells) {
                     Some(l) => {
                         self.scratch[Scratch::PivotData as usize] = l.data;
                         self.scratch[Scratch::PivotLo as usize] = l.lo;
@@ -336,26 +354,15 @@ impl XiSortCore {
                 }
             }
             MicroInstr::TreeRetrieve(dst) => {
-                self.scratch[dst as usize] = self.tree.retrieve(&self.cells);
+                self.scratch[dst as usize] = self.tree.retrieve_arena(&self.cells);
                 self.tree_ops.bump();
                 tree_wait = self.tree.op_latency();
             }
             MicroInstr::TreeScanAssign => {
                 self.tree_ops.bump();
                 tree_wait = self.tree.op_latency();
-                let prefixes = self.tree.prefix_count(&self.cells);
                 let base = self.scratch[Scratch::Base as usize];
-                for (c, p) in self.cells.iter_mut().zip(prefixes) {
-                    c.apply(
-                        CellCmd::AssignScanPosition,
-                        Broadcast {
-                            data: 0,
-                            lo: base,
-                            hi: 0,
-                        },
-                        p,
-                    );
-                }
+                self.tree.scan_assign_arena(&mut self.cells, base);
             }
             MicroInstr::Add(dst, a, b) => {
                 self.scratch[dst as usize] =
@@ -691,6 +698,23 @@ mod tests {
         let mut core = loaded_core(&[3, 1, 2]);
         core.dispatch(XiOp::Sort, 0);
         core.dispatch(XiOp::SortStep, 0);
+    }
+
+    #[test]
+    fn arena_tail_stays_summarised_through_a_full_sort() {
+        // The scheduling claim behind the SoA arena: with a lightly
+        // loaded array, the controller's per-microinstruction work is
+        // bounded by the live prefix, not the configured capacity — the
+        // 16k inert cells are never materialised.
+        let mut core = XiSortCore::new(XiConfig::new(1 << 14));
+        load(&mut core, &[9, 3, 7, 1]);
+        op(&mut core, XiOp::Sort, 0);
+        assert_eq!(read_all(&mut core, 4), vec![1, 3, 7, 9]);
+        assert!(
+            core.arena().live() <= 4,
+            "inert tail was materialised: live = {}",
+            core.arena().live()
+        );
     }
 
     #[test]

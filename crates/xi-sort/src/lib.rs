@@ -50,7 +50,7 @@ pub mod reference;
 pub mod tree;
 
 pub use adapter::XiSortAdapter;
-pub use cell::{CellCmd, SimdCell};
+pub use cell::{CellArena, CellCmd, SimdCell};
 pub use controller::{XiConfig, XiOp, XiSortCore};
 pub use interval::IndexInterval;
 pub use reference::SoftwareXiSort;

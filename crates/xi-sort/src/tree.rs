@@ -16,7 +16,7 @@
 //! registered trees (ablation A4) add `⌈log2 n⌉` cycles of latency per
 //! operation but keep the per-level depth to one node.
 
-use crate::cell::SimdCell;
+use crate::cell::{CellArena, SimdCell};
 use rtl_sim::area::log2_ceil;
 use rtl_sim::{AreaEstimate, CriticalPath};
 
@@ -131,6 +131,49 @@ impl TreeNetwork {
         );
     }
 
+    /// Fold over the struct-of-arrays arena: selected-cell count. The
+    /// live prefix is counted directly and the uniform tail contributes
+    /// analytically — identical to [`TreeNetwork::count_selected`] over
+    /// the materialised array, without touching the inert cells.
+    pub fn count_selected_arena(&self, cells: &CellArena) -> u32 {
+        self.check_arena(cells);
+        cells.count_selected()
+    }
+
+    /// Fold over the arena: leftmost selected cell, if any.
+    pub fn leftmost_selected_arena(&self, cells: &CellArena) -> Option<Leftmost> {
+        self.check_arena(cells);
+        cells.leftmost_selected().map(|(index, c)| Leftmost {
+            index,
+            data: c.data,
+            lo: c.interval.lo,
+            hi: c.interval.hi,
+        })
+    }
+
+    /// Fold over the arena: OR-retrieve of the selected cells' data.
+    pub fn retrieve_arena(&self, cells: &CellArena) -> u32 {
+        self.check_arena(cells);
+        cells.retrieve()
+    }
+
+    /// Scan over the arena: the prefix-count network drives the
+    /// per-cell scan assignment (`lo ← hi ← base + prefix` for selected
+    /// cells). Fused into the arena so a deselected uniform tail is
+    /// never walked.
+    pub fn scan_assign_arena(&self, cells: &mut CellArena, base: u32) {
+        self.check_arena(cells);
+        cells.scan_assign(base);
+    }
+
+    fn check_arena(&self, cells: &CellArena) {
+        assert_eq!(
+            cells.len() as u32,
+            self.n_leaves,
+            "cell array size does not match the tree's leaf count"
+        );
+    }
+
     /// Area of the interior nodes: `n-1` nodes, each holding a count
     /// adder, leftmost mux and OR stage (plus level registers when
     /// pipelined).
@@ -229,6 +272,41 @@ mod tests {
             TreeNetwork::new(1024, false).area().components()
                 > TreeNetwork::new(8, false).area().components()
         );
+    }
+
+    #[test]
+    fn arena_folds_match_slice_folds() {
+        use crate::cell::{Broadcast, CellArena, CellCmd};
+        let t = TreeNetwork::new(8, false);
+        let inert = SimdCell::new(0, IndexInterval::precise(u32::MAX));
+        let mut arena = CellArena::new(8, inert);
+        for v in [0b100u32, 0b010, 0b001] {
+            arena.push_front(SimdCell::new(v, IndexInterval::new(0, 2)));
+        }
+        arena.apply_all(CellCmd::SelectImprecise, Broadcast::default());
+        let slice = arena.cells();
+        assert_eq!(t.count_selected_arena(&arena), t.count_selected(&slice));
+        assert_eq!(
+            t.leftmost_selected_arena(&arena),
+            t.leftmost_selected(&slice)
+        );
+        assert_eq!(t.retrieve_arena(&arena), t.retrieve(&slice));
+        // The fused scan matches the prefix-count + per-cell path.
+        let mut reference = slice.clone();
+        let prefixes = t.prefix_count(&reference);
+        for (c, p) in reference.iter_mut().zip(prefixes) {
+            c.apply(
+                CellCmd::AssignScanPosition,
+                Broadcast {
+                    data: 0,
+                    lo: 3,
+                    hi: 0,
+                },
+                p,
+            );
+        }
+        t.scan_assign_arena(&mut arena, 3);
+        assert_eq!(arena.cells(), reference);
     }
 
     #[test]

@@ -257,3 +257,84 @@ fn reliable_ports_mask_faults_per_host() {
         assert!(!st.gave_up, "host {host} port gave up: {st:?}");
     }
 }
+
+#[test]
+fn activity_modes_agree_on_a_multihost_burn() {
+    // Two hosts over the slow prototyping link sharing one long-latency
+    // unit: host 0 runs synchronous burn round trips (the coprocessor is
+    // quiet but busy for 800 cycles per instruction), host 1 interleaves
+    // plain register round trips. All three scheduling modes must agree
+    // on every observable; the event wheel must do strictly less
+    // stepping work than gated.
+    use fu_rtm::ActivityMode;
+    let run = |mode: ActivityMode| {
+        let units: Vec<Box<dyn FunctionalUnit>> = vec![Box::new(LatencyFu::new("burn", 1, 800))];
+        let mut s =
+            MultiHostSystem::new(CoprocConfig::default(), units, LinkModel::prototyping(), 2)
+                .unwrap();
+        s.set_activity_mode(mode);
+        let mut responses = Vec::new();
+        for round in 0..3u16 {
+            s.send(
+                0,
+                &HostMsg::WriteReg {
+                    reg: 1,
+                    value: Word::from_u64(u64::from(round) + 1, 32),
+                },
+            );
+            s.send(
+                0,
+                &HostMsg::Instr(fu_isa::InstrWord::user(fu_isa::UserInstr {
+                    func: 1,
+                    variety: 0,
+                    dst_flag: 1,
+                    dst_reg: 2,
+                    aux_reg: 0,
+                    src1: 1,
+                    src2: 1,
+                    src3: 0,
+                })),
+            );
+            s.send(
+                0,
+                &HostMsg::ReadReg {
+                    reg: 2,
+                    tag: s.brand_tag(0, round),
+                },
+            );
+            s.send(
+                1,
+                &HostMsg::WriteReg {
+                    reg: 3,
+                    value: Word::from_u64(u64::from(round), 32),
+                },
+            );
+            s.send(
+                1,
+                &HostMsg::ReadReg {
+                    reg: 3,
+                    tag: s.brand_tag(1, round),
+                },
+            );
+            responses.push(s.recv_blocking(0, 10_000_000).unwrap());
+            responses.push(s.recv_blocking(1, 10_000_000).unwrap());
+        }
+        (responses, s.cycle(), s.sim_stats())
+    };
+    let g = run(ActivityMode::Gated);
+    let e = run(ActivityMode::Exhaustive);
+    let w = run(ActivityMode::Scheduled);
+    assert_eq!(g.0, e.0, "gated vs exhaustive responses diverged");
+    assert_eq!(g.0, w.0, "gated vs scheduled responses diverged");
+    assert_eq!(g.1, e.1, "gated vs exhaustive cycle counts diverged");
+    assert_eq!(g.1, w.1, "gated vs scheduled cycle counts diverged");
+    assert_eq!(g.2.cycles_simulated, w.2.cycles_simulated);
+    assert_eq!(g.2.stage_busy, w.2.stage_busy, "busy accounting diverged");
+    assert!(
+        w.2.cycles_stepped < g.2.cycles_stepped,
+        "scheduled stepped {} vs gated {}",
+        w.2.cycles_stepped,
+        g.2.cycles_stepped
+    );
+    assert!(w.2.wheel.wakes_fired() > 0, "no wheel wakes fired");
+}

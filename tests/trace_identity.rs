@@ -6,7 +6,7 @@
 //! steers it.
 //!
 //! The property is checked over random programs, shard counts, batch
-//! sizes and both activity-scheduling modes, because a perturbation bug
+//! sizes and all three activity-scheduling modes, because a perturbation bug
 //! would most likely hide in an interaction (e.g. a trace-gated branch
 //! that also feeds the gating predicate of a stage).
 
@@ -53,12 +53,12 @@ proptest! {
         shards in 1usize..=3,
         total in 4usize..24,
         batch in 1usize..8,
-        mode_idx in 0usize..2,
+        mode_idx in 0usize..3,
     ) {
-        let mode = if mode_idx == 0 {
-            ActivityMode::Gated
-        } else {
-            ActivityMode::Exhaustive
+        let mode = match mode_idx {
+            0 => ActivityMode::Gated,
+            1 => ActivityMode::Exhaustive,
+            _ => ActivityMode::Scheduled,
         };
         let jobs = arith_jobs(total, batch, seed);
         let (plain_res, plain_sim, plain_cycles) = observe(&jobs, shards, seed, mode, 0);
@@ -87,11 +87,15 @@ proptest! {
 }
 
 /// The same property through the single-`System` path (no farm), pinned
-/// on one deterministic workload in both modes — a fast regression
+/// on one deterministic workload in every mode — a fast regression
 /// tripwire that does not depend on the proptest shim's case budget.
 #[test]
-fn traced_system_matches_untraced_system_in_both_modes() {
-    for mode in [ActivityMode::Gated, ActivityMode::Exhaustive] {
+fn traced_system_matches_untraced_system_in_all_modes() {
+    for mode in [
+        ActivityMode::Gated,
+        ActivityMode::Exhaustive,
+        ActivityMode::Scheduled,
+    ] {
         let run = |depth: usize| {
             let jobs = arith_jobs(16, 4, 7);
             observe(&jobs, 1, 7, mode, depth)
