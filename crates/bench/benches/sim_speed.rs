@@ -178,9 +178,11 @@ fn bench_modes(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("e8_slow_link", label), &mode, |b, &m| {
             b.iter(|| black_box(e8_slow_link(m)))
         });
-        g.bench_with_input(BenchmarkId::new("fu_latency_burn", label), &mode, |b, &m| {
-            b.iter(|| black_box(fu_latency_burn(m)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fu_latency_burn", label),
+            &mode,
+            |b, &m| b.iter(|| black_box(fu_latency_burn(m))),
+        );
         g.bench_with_input(BenchmarkId::new("multihost_idle", label), &mode, |b, &m| {
             b.iter(|| black_box(multihost_idle(m)))
         });

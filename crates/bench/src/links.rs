@@ -126,16 +126,18 @@ pub fn latency_burn_mode(link: LinkModel, n: usize, latency: u32, mode: Activity
         value: Word::from_u64(21, 32),
     });
     for _ in 0..n {
-        sys.send(&HostMsg::Instr(fu_isa::InstrWord::user(fu_isa::UserInstr {
-            func: 1,
-            variety: 0,
-            dst_flag: 1,
-            dst_reg: 2,
-            aux_reg: 0,
-            src1: 1,
-            src2: 1,
-            src3: 0,
-        })));
+        sys.send(&HostMsg::Instr(fu_isa::InstrWord::user(
+            fu_isa::UserInstr {
+                func: 1,
+                variety: 0,
+                dst_flag: 1,
+                dst_reg: 2,
+                aux_reg: 0,
+                src1: 1,
+                src2: 1,
+                src3: 0,
+            },
+        )));
         sys.run_until(4_000_000_000, |s| s.is_idle())
             .expect("burn completes");
     }
@@ -145,7 +147,10 @@ pub fn latency_burn_mode(link: LinkModel, n: usize, latency: u32, mode: Activity
         .expect("readback completes");
     let responses: Vec<DevMsg> = std::iter::from_fn(|| sys.recv()).collect();
     assert!(
-        matches!(responses.as_slice(), [DevMsg::Data { .. }, DevMsg::SyncAck { .. }]),
+        matches!(
+            responses.as_slice(),
+            [DevMsg::Data { .. }, DevMsg::SyncAck { .. }]
+        ),
         "unexpected burn responses: {responses:?}"
     );
     let (to_dev, to_host) = sys.frames_carried();

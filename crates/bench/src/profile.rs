@@ -20,6 +20,7 @@ use fu_rtm::{ActivityMode, CoprocConfig};
 use rtl_sim::{LatencySnapshot, SimStats};
 
 use crate::links::arith_batch_mode;
+use crate::soft_errors::{soft_error_smoke, SoftCounts};
 use crate::throughput::{arith_jobs, xi_jobs};
 
 /// Trace ring depth used for profiled runs — deep enough that an E14
@@ -163,7 +164,7 @@ impl WorkCounts {
     }
 
     /// Serialize as one baseline JSON object (no surrounding document).
-    fn to_json_fields(&self, indent: &str) -> String {
+    fn json_fields(&self, indent: &str) -> String {
         format!(
             "{{\n{indent}  \"cycles_simulated\": {},\n\
              {indent}  \"cycles_stepped\": {},\n\
@@ -261,6 +262,10 @@ pub struct SmokeBaseline {
     pub gated: WorkCounts,
     /// Counters from the scheduled-mode smoke run.
     pub scheduled: WorkCounts,
+    /// Deterministic counters from the E16 soft-error smoke (a protected
+    /// run that must stay bit-identical to its fault-free reference,
+    /// plus a farm-failover run).
+    pub soft: SoftCounts,
 }
 
 impl SmokeBaseline {
@@ -269,6 +274,7 @@ impl SmokeBaseline {
         SmokeBaseline {
             gated: WorkCounts::of(&sim_speed_smoke(ActivityMode::Gated)),
             scheduled: WorkCounts::of(&sim_speed_smoke(ActivityMode::Scheduled)),
+            soft: soft_error_smoke(),
         }
     }
 
@@ -276,9 +282,10 @@ impl SmokeBaseline {
     /// the parser relies on the order).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"bench\": \"sim_speed_smoke\",\n  \"gated\": {},\n  \"scheduled\": {}\n}}\n",
-            self.gated.to_json_fields("  "),
-            self.scheduled.to_json_fields("  ")
+            "{{\n  \"bench\": \"sim_speed_smoke\",\n  \"gated\": {},\n  \"scheduled\": {},\n  \"soft_errors\": {}\n}}\n",
+            self.gated.json_fields("  "),
+            self.scheduled.json_fields("  "),
+            self.soft.json_fields("  ")
         )
     }
 
@@ -293,12 +300,16 @@ impl SmokeBaseline {
         let s_at = text
             .find("\"scheduled\":")
             .ok_or("baseline is missing the scheduled section")?;
-        if s_at < g_at {
-            return Err("baseline sections out of order (gated must come first)".into());
+        let soft_at = text
+            .find("\"soft_errors\":")
+            .ok_or("baseline is missing the soft_errors section")?;
+        if s_at < g_at || soft_at < s_at {
+            return Err("baseline sections out of order (gated, scheduled, soft_errors)".into());
         }
         Ok(SmokeBaseline {
             gated: WorkCounts::from_json(&text[g_at..s_at])?,
-            scheduled: WorkCounts::from_json(&text[s_at..])?,
+            scheduled: WorkCounts::from_json(&text[s_at..soft_at])?,
+            soft: SoftCounts::from_json(&text[soft_at..])?,
         })
     }
 
@@ -320,7 +331,10 @@ impl SmokeBaseline {
             .map_err(|e| format!("gated: {e}"))?;
         self.scheduled
             .check_against(&baseline.scheduled)
-            .map_err(|e| format!("scheduled: {e}"))
+            .map_err(|e| format!("scheduled: {e}"))?;
+        self.soft
+            .check_against(&baseline.soft)
+            .map_err(|e| format!("soft_errors: {e}"))
     }
 }
 
@@ -347,6 +361,16 @@ pub fn overhead_wall_ms(mode: ActivityMode) -> (f64, f64) {
 mod tests {
     use super::*;
 
+    fn soft() -> SoftCounts {
+        SoftCounts {
+            seus_injected: 33,
+            seus_detected: 7,
+            seus_corrected: 6,
+            rollbacks: 1,
+            jobs_failed_over: 3,
+        }
+    }
+
     fn counts(cycles_stepped: u64, stage_evals_total: u64) -> WorkCounts {
         WorkCounts {
             cycles_simulated: 1000,
@@ -368,6 +392,7 @@ mod tests {
                 wheel_wakes_fired: 0,
             },
             scheduled: counts(1234, 8765),
+            soft: soft(),
         };
         assert_eq!(SmokeBaseline::from_json(&b.to_json()), Ok(b));
     }
@@ -405,6 +430,7 @@ mod tests {
         let b = SmokeBaseline {
             gated: counts(100, 400),
             scheduled: counts(50, 200),
+            soft: soft(),
         };
         assert!(b.check_against(&b).is_ok());
         let diverged = SmokeBaseline {
@@ -421,7 +447,10 @@ mod tests {
     fn measured_smoke_counters_show_the_wheel_working() {
         let m = SmokeBaseline::measure();
         assert_eq!(m.gated.cycles_simulated, m.scheduled.cycles_simulated);
-        assert_eq!(m.gated.wheel_wakes_scheduled, 0, "gated never uses the wheel");
+        assert_eq!(
+            m.gated.wheel_wakes_scheduled, 0,
+            "gated never uses the wheel"
+        );
         assert!(
             m.scheduled.cycles_stepped <= m.gated.cycles_stepped,
             "the wheel may only reduce stepping: {} vs {}",

@@ -33,6 +33,11 @@ pub enum DriverError {
     Protocol(String),
     /// Assembly-source error (from [`Driver::exec_asm`]).
     Asm(String),
+    /// The shard panicked while executing the job (a poisoned
+    /// simulation — e.g. an upset in unprotected control state). The
+    /// shard is rebuilt afterwards; the farm's failover pass may retry
+    /// the job on a healthy shard.
+    Panicked(String),
 }
 
 impl std::fmt::Display for DriverError {
@@ -44,6 +49,7 @@ impl std::fmt::Display for DriverError {
             }
             DriverError::Protocol(m) => write!(f, "protocol violation: {m}"),
             DriverError::Asm(m) => write!(f, "assembly error: {m}"),
+            DriverError::Panicked(m) => write!(f, "shard panicked: {m}"),
         }
     }
 }

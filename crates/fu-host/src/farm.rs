@@ -25,6 +25,7 @@ use std::sync::Arc;
 use crate::driver::{Driver, DriverError};
 use crate::link::{FaultModel, LinkModel, LinkStats};
 use crate::system::System;
+use fu_isa::msg::ErrorCode;
 use fu_isa::{DevMsg, HostMsg};
 use fu_rtm::{ActivityMode, CoprocConfig};
 use fu_units::standard_units;
@@ -70,6 +71,13 @@ pub struct FarmConfig {
     /// Event-trace ring depth applied to every shard (`0` = tracing off,
     /// the default). Latency histograms are collected either way.
     pub trace_depth: usize,
+    /// Failover retry budget per failed job. A job whose shard panicked,
+    /// timed out, or returned an unrecovered soft error is re-executed on
+    /// the other shards in round-robin order, up to this many attempts,
+    /// by a deterministic second pass shared by the serial and parallel
+    /// paths. `0` (the default) disables failover — failures stay data in
+    /// the results; panicked shards are still rebuilt either way.
+    pub max_job_retries: u32,
 }
 
 impl Default for FarmConfig {
@@ -81,6 +89,7 @@ impl Default for FarmConfig {
             seed: 0,
             activity_mode: ActivityMode::default(),
             trace_depth: 0,
+            max_job_retries: 0,
         }
     }
 }
@@ -136,7 +145,8 @@ pub enum JobOutput {
 pub struct JobResult {
     /// Index of the job in the submitted slice.
     pub job: usize,
-    /// Shard that executed it (always `job % shards`).
+    /// Shard that produced this output: `job % shards` on first
+    /// execution, the retry shard when the failover pass re-ran the job.
     pub shard: usize,
     /// Responses, or the driver error the job died with. Errors are data
     /// here — a failing job must not take the farm down, and the error
@@ -197,6 +207,10 @@ pub struct Farm {
     cfg: FarmConfig,
     builder: ShardBuilder,
     reports: Vec<ShardReport>,
+    /// Jobs the failover pass re-executed in the last run.
+    failed_over: u64,
+    /// Retry attempts the failover pass consumed in the last run.
+    job_retries: u64,
 }
 
 impl Farm {
@@ -209,6 +223,8 @@ impl Farm {
             cfg,
             builder: Arc::new(builder),
             reports: Vec::new(),
+            failed_over: 0,
+            job_retries: 0,
         }
     }
 
@@ -256,25 +272,11 @@ impl Farm {
 
     /// The derived seed shard `index` is built with.
     pub fn shard_seed(&self, index: usize) -> u64 {
-        splitmix64(
-            self.cfg
-                .seed
-                .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        )
+        shard_seed_for(self.cfg.seed, index)
     }
 
     fn build_shard(&self, index: usize) -> Result<Driver, FarmError> {
-        let ctx = ShardCtx {
-            index,
-            seed: self.shard_seed(index),
-            shards: self.cfg.shards,
-        };
-        let mut sys = (self.builder)(&ctx).map_err(FarmError::Build)?;
-        sys.set_activity_mode(self.cfg.activity_mode);
-        if self.cfg.trace_depth > 0 {
-            sys.set_trace_depth(self.cfg.trace_depth);
-        }
-        Ok(Driver::new(sys, self.cfg.timeout))
+        build_shard_from(&self.builder, &self.cfg, index)
     }
 
     fn report(drv: &Driver, jobs: u64) -> ShardReport {
@@ -312,12 +314,27 @@ impl Farm {
         for (i, job) in jobs.iter().enumerate() {
             let s = self.assign(i);
             counts[s] += 1;
+            let output = run_job_guarded(&mut drivers[s], job);
+            if matches!(output, Err(DriverError::Panicked(_))) {
+                drivers[s] = build_shard_from(&self.builder, &self.cfg, s)
+                    .expect("shard builder already succeeded for this index");
+            }
             results.push(JobResult {
                 job: i,
                 shard: s,
-                output: run_job(&mut drivers[s], job),
+                output,
             });
         }
+        let (failed_over, retries) = failover_pass(
+            &self.cfg,
+            &self.builder,
+            &mut drivers,
+            &mut counts,
+            &mut results,
+            jobs,
+        );
+        self.failed_over = failed_over;
+        self.job_retries = retries;
         self.reports = drivers
             .iter()
             .zip(&counts)
@@ -342,7 +359,8 @@ impl Farm {
             .collect::<Result<Vec<_>, _>>()?;
         let queue_depth = self.cfg.queue_depth.max(1);
         let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
-        let mut reports = vec![ShardReport::default(); self.cfg.shards];
+        let mut drivers_back: Vec<Option<Driver>> = (0..self.cfg.shards).map(|_| None).collect();
+        let mut counts = vec![0u64; self.cfg.shards];
         let shards = self.cfg.shards;
         let assign = |i: usize| i % shards;
         std::thread::scope(|scope| -> Result<(), FarmError> {
@@ -353,18 +371,28 @@ impl Farm {
                 // `send` instead of queueing unbounded work.
                 let (tx, rx) = mpsc::sync_channel::<(usize, &Job)>(queue_depth);
                 senders.push(tx);
+                let builder = Arc::clone(&self.builder);
+                let cfg = self.cfg;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut n = 0u64;
                     while let Ok((idx, job)) = rx.recv() {
                         n += 1;
+                        let output = run_job_guarded(&mut drv, job);
+                        if matches!(output, Err(DriverError::Panicked(_))) {
+                            // The panicked simulation is unusable; later
+                            // jobs of this shard run on a fresh build,
+                            // exactly as in `run_serial`.
+                            drv = build_shard_from(&builder, &cfg, s)
+                                .expect("shard builder already succeeded for this index");
+                        }
                         out.push(JobResult {
                             job: idx,
                             shard: s,
-                            output: run_job(&mut drv, job),
+                            output,
                         });
                     }
-                    (out, Farm::report(&drv, n))
+                    (out, n, drv)
                 }));
             }
             // Feed in submission order. A send only fails when a worker
@@ -378,23 +406,43 @@ impl Farm {
             drop(senders);
             for (s, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((out, rep)) => {
+                    Ok((out, n, drv)) => {
                         for r in out {
                             let slot = r.job;
                             results[slot] = Some(r);
                         }
-                        reports[s] = rep;
+                        counts[s] = n;
+                        drivers_back[s] = Some(drv);
                     }
                     Err(_) => return Err(FarmError::WorkerPanicked { shard: s }),
                 }
             }
             Ok(())
         })?;
-        self.reports = reports;
-        Ok(results
+        let mut drivers: Vec<Driver> = drivers_back
+            .into_iter()
+            .map(|d| d.expect("every worker returned its driver"))
+            .collect();
+        let mut results: Vec<JobResult> = results
             .into_iter()
             .map(|r| r.expect("every submitted job is assigned to exactly one worker"))
-            .collect())
+            .collect();
+        let (failed_over, retries) = failover_pass(
+            &self.cfg,
+            &self.builder,
+            &mut drivers,
+            &mut counts,
+            &mut results,
+            jobs,
+        );
+        self.failed_over = failed_over;
+        self.job_retries = retries;
+        self.reports = drivers
+            .iter()
+            .zip(&counts)
+            .map(|(d, &n)| Farm::report(d, n))
+            .collect();
+        Ok(results)
     }
 
     /// Per-shard accounting from the most recent run.
@@ -402,9 +450,13 @@ impl Farm {
         &self.reports
     }
 
-    /// Scheduler statistics summed over all shards of the last run.
+    /// Scheduler statistics summed over all shards of the last run, with
+    /// the failover pass's job accounting folded into the recovery block.
     pub fn sim_stats(&self) -> SimStats {
-        self.reports.iter().map(|r| &r.sim).sum()
+        let mut s: SimStats = self.reports.iter().map(|r| &r.sim).sum();
+        s.recovery.jobs_failed_over += self.failed_over;
+        s.recovery.job_retries += self.job_retries;
+        s
     }
 
     /// Link/transport statistics summed over all shards of the last run.
@@ -441,6 +493,117 @@ impl Farm {
         }
         Some(rtl_sim::trace::perfetto::export(r.trace.iter()))
     }
+}
+
+/// Derive shard `index`'s seed from the farm seed (splitmix64 over a
+/// golden-ratio stride, the scheme [`FarmConfig::seed`] documents).
+fn shard_seed_for(farm_seed: u64, index: usize) -> u64 {
+    splitmix64(farm_seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Build (or rebuild) shard `index` exactly as the farm first built it —
+/// same derived seed, same activity mode, same trace depth — so a shard
+/// replaced after a panic is indistinguishable from a fresh one.
+fn build_shard_from(
+    builder: &ShardBuilder,
+    cfg: &FarmConfig,
+    index: usize,
+) -> Result<Driver, FarmError> {
+    let ctx = ShardCtx {
+        index,
+        seed: shard_seed_for(cfg.seed, index),
+        shards: cfg.shards,
+    };
+    let mut sys = builder(&ctx).map_err(FarmError::Build)?;
+    sys.set_activity_mode(cfg.activity_mode);
+    if cfg.trace_depth > 0 {
+        sys.set_trace_depth(cfg.trace_depth);
+    }
+    Ok(Driver::new(sys, cfg.timeout))
+}
+
+/// [`run_job`] behind a panic guard: a panic inside the shard (a
+/// poisoned simulation — e.g. an upset that corrupted control state into
+/// an impossible configuration) becomes [`DriverError::Panicked`] data
+/// instead of killing the worker. The caller must treat the driver as
+/// lost and rebuild the shard.
+fn run_job_guarded(drv: &mut Driver, job: &Job) -> Result<JobOutput, DriverError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(drv, job)))
+        .unwrap_or_else(|p| Err(DriverError::Panicked(panic_message(p.as_ref()))))
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Failures the failover pass may re-execute elsewhere: the shard died
+/// under the job, hung past its budget, or reported a soft error no
+/// protection level could repair. Deterministic outcomes (protocol or
+/// assembly errors, other device errors) would fail identically on every
+/// shard and are not retried.
+fn retryable(out: &Result<JobOutput, DriverError>) -> bool {
+    matches!(
+        out,
+        Err(DriverError::Panicked(_))
+            | Err(DriverError::Timeout(_))
+            | Err(DriverError::Device {
+                code: ErrorCode::SoftError,
+                ..
+            })
+    )
+}
+
+/// Pass 2 of both run paths: re-execute failed jobs on the surviving
+/// shards. Runs on the calling thread in job-index order with a
+/// round-robin shard choice starting after the job's home shard, so the
+/// serial and parallel paths take bit-identical failover decisions.
+/// Returns `(jobs re-executed, retry attempts consumed)`.
+fn failover_pass(
+    cfg: &FarmConfig,
+    builder: &ShardBuilder,
+    drivers: &mut [Driver],
+    counts: &mut [u64],
+    results: &mut [JobResult],
+    jobs: &[Job],
+) -> (u64, u64) {
+    if cfg.max_job_retries == 0 {
+        return (0, 0);
+    }
+    let shards = drivers.len();
+    let (mut failed_over, mut retries) = (0u64, 0u64);
+    for i in 0..results.len() {
+        if !retryable(&results[i].output) {
+            continue;
+        }
+        failed_over += 1;
+        let home = results[i].job % shards;
+        for attempt in 0..cfg.max_job_retries as usize {
+            retries += 1;
+            let s = (home + 1 + attempt) % shards;
+            counts[s] += 1;
+            let output = run_job_guarded(&mut drivers[s], &jobs[results[i].job]);
+            if matches!(output, Err(DriverError::Panicked(_))) {
+                drivers[s] = build_shard_from(builder, cfg, s)
+                    .expect("shard builder already succeeded for this index");
+            }
+            let done = !retryable(&output);
+            results[i] = JobResult {
+                job: results[i].job,
+                shard: s,
+                output,
+            };
+            if done {
+                break;
+            }
+        }
+    }
+    (failed_over, retries)
 }
 
 /// Execute one job on a shard's driver. This function is the *only* code
@@ -630,6 +793,183 @@ mod tests {
             let sched = run(ActivityMode::Scheduled, shards);
             assert_eq!(gated, sched, "modes diverge at {shards} shards");
         }
+    }
+
+    /// A farm whose shard 1 hosts an armed [`PoisonFu`]: any job that
+    /// dispatches with `0xDEAD` as its first operand kills that shard.
+    /// Every other shard runs the identical unit unarmed.
+    fn poisoned_farm(shards: usize, max_job_retries: u32) -> Farm {
+        Farm::new(
+            FarmConfig {
+                shards,
+                max_job_retries,
+                ..FarmConfig::default()
+            },
+            |ctx| {
+                let trigger = (ctx.index == 1).then_some(0xDEAD);
+                System::new(
+                    CoprocConfig::default(),
+                    vec![Box::new(fu_rtm::testing::PoisonFu::new(
+                        "poison", 1, 1, trigger,
+                    ))],
+                    LinkModel::ideal(),
+                )
+            },
+        )
+    }
+
+    fn poison_jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| {
+                Job::Requests(vec![
+                    HostMsg::WriteReg {
+                        reg: 1,
+                        value: fu_isa::Word::from_u64(0xDEAD, 32),
+                    },
+                    HostMsg::Instr(fu_isa::InstrWord::user(fu_isa::UserInstr {
+                        func: 1,
+                        variety: 0,
+                        dst_flag: 1,
+                        dst_reg: 3,
+                        aux_reg: 0,
+                        src1: 1,
+                        src2: 1,
+                        src3: 0,
+                    })),
+                    HostMsg::ReadReg {
+                        reg: 3,
+                        tag: i as u16,
+                    },
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicked_shard_is_contained_and_rebuilt() {
+        // No retry budget: the poisoned jobs fail as data, the farm
+        // survives, and later jobs on the rebuilt shard still die to the
+        // same trigger (the rebuild re-arms the poison) while every other
+        // shard's jobs succeed.
+        let jobs = poison_jobs(9);
+        let mut f = poisoned_farm(3, 0);
+        let out = f.run_parallel(&jobs).unwrap();
+        for r in &out {
+            if r.job % 3 == 1 {
+                assert!(
+                    matches!(r.output, Err(DriverError::Panicked(_))),
+                    "job {} should have died on the poisoned shard: {:?}",
+                    r.job,
+                    r.output
+                );
+            } else {
+                assert!(r.output.is_ok(), "job {} failed: {:?}", r.job, r.output);
+            }
+        }
+        assert_eq!(f.sim_stats().recovery.jobs_failed_over, 0);
+    }
+
+    #[test]
+    fn failover_reruns_poisoned_jobs_on_healthy_shards() {
+        let jobs = poison_jobs(9);
+        let mut f = poisoned_farm(3, 2);
+        let out = f.run_parallel(&jobs).unwrap();
+        for r in &out {
+            assert!(r.output.is_ok(), "job {} failed: {:?}", r.job, r.output);
+            if r.job % 3 == 1 {
+                assert_eq!(r.shard, 2, "retry goes to the next shard round-robin");
+            } else {
+                assert_eq!(r.shard, r.job % 3);
+            }
+            match &r.output {
+                Ok(JobOutput::Msgs(msgs)) => {
+                    // r3 = 0xDEAD + 0xDEAD, computed wherever the job ran.
+                    let last = msgs.last().expect("read response present");
+                    assert!(
+                        matches!(last, DevMsg::Data { value, .. } if value.as_u64() == 2 * 0xDEAD),
+                        "job {}: {last:?}",
+                        r.job
+                    );
+                }
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+        let rec = f.sim_stats().recovery;
+        assert_eq!(rec.jobs_failed_over, 3, "jobs 1, 4, 7 were re-executed");
+        assert_eq!(rec.job_retries, 3, "each needed exactly one retry");
+    }
+
+    #[test]
+    fn failover_keeps_parallel_bit_identical_to_serial() {
+        let jobs = poison_jobs(10);
+        let mut f = poisoned_farm(3, 2);
+        let serial = f.run_serial(&jobs).unwrap();
+        let serial_rec = f.sim_stats().recovery;
+        let serial_cycles: Vec<u64> = f.shard_reports().iter().map(|r| r.cycles).collect();
+        let parallel = f.run_parallel(&jobs).unwrap();
+        let parallel_rec = f.sim_stats().recovery;
+        let parallel_cycles: Vec<u64> = f.shard_reports().iter().map(|r| r.cycles).collect();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_rec, parallel_rec);
+        assert_eq!(serial_cycles, parallel_cycles);
+    }
+
+    #[test]
+    fn retry_budget_bounds_attempts_on_persistent_failures() {
+        // A single poisoned shard: every retry lands back on the rebuilt
+        // (still armed) home shard and re-dies, so the job fails after
+        // consuming its whole budget.
+        let jobs = poison_jobs(2);
+        let mut f = Farm::new(
+            FarmConfig {
+                shards: 1,
+                max_job_retries: 3,
+                ..FarmConfig::default()
+            },
+            |_ctx| {
+                System::new(
+                    CoprocConfig::default(),
+                    vec![Box::new(fu_rtm::testing::PoisonFu::new(
+                        "poison",
+                        1,
+                        1,
+                        Some(0xDEAD),
+                    ))],
+                    LinkModel::ideal(),
+                )
+            },
+        );
+        let out = f.run_serial(&jobs).unwrap();
+        for r in &out {
+            assert!(
+                matches!(r.output, Err(DriverError::Panicked(_))),
+                "{:?}",
+                r.output
+            );
+        }
+        let rec = f.sim_stats().recovery;
+        assert_eq!(rec.jobs_failed_over, 2);
+        assert_eq!(rec.job_retries, 6, "every attempt of the budget consumed");
+    }
+
+    #[test]
+    fn retryable_classification() {
+        use rtl_sim::SimError;
+        assert!(retryable(&Err(DriverError::Panicked("boom".into()))));
+        assert!(retryable(&Err(DriverError::Timeout(SimError::Timeout {
+            cycles: 1,
+            waiting_for: "x".into()
+        }))));
+        assert!(retryable(&Err(DriverError::Device {
+            code: ErrorCode::SoftError,
+            info: 0
+        })));
+        assert!(!retryable(&Err(DriverError::Device {
+            code: ErrorCode::FuTimeout,
+            info: 0
+        })));
+        assert!(!retryable(&Err(DriverError::Protocol("p".into()))));
+        assert!(!retryable(&Ok(JobOutput::Msgs(Vec::new()))));
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub use driver::{Driver, DriverError};
 pub use farm::{Farm, FarmConfig, FarmError, Job, JobOutput, JobResult, ShardCtx, ShardReport};
 pub use link::{FaultModel, FaultStats, Link, LinkModel, LinkStats};
 pub use multihost::MultiHostSystem;
-pub use system::System;
+pub use system::{System, SystemSnapshot};

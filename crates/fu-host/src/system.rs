@@ -8,11 +8,60 @@
 use std::collections::VecDeque;
 
 use crate::link::{FaultModel, Link, LinkModel, LinkStats};
-use fu_isa::msg::DevDeframer;
+use fu_isa::msg::{DevDeframer, ErrorCode};
 use fu_isa::transport::{Endpoint, TransportConfig};
 use fu_isa::{DevMsg, HostMsg};
-use fu_rtm::{ActivityMode, CoprocConfig, Coprocessor, FunctionalUnit, QuietVerdict};
-use rtl_sim::{LinkDir, SimError, SimStats, TraceBuffer, TraceEventKind};
+use fu_rtm::{
+    ActivityMode, CoprocConfig, CoprocSnapshot, Coprocessor, FunctionalUnit, QuietVerdict,
+};
+use rtl_sim::{LinkDir, RecoveryStats, SimError, SimStats, TraceBuffer, TraceEventKind};
+
+/// A complete host+link+device state capture, taken by
+/// [`System::checkpoint`] and rewound by [`System::restore`]. The SEU
+/// strike schedule and the soft-error counters deliberately live outside
+/// the snapshot, so restoring never replays a strike already applied (a
+/// rollback would otherwise rediscover the same fault forever).
+#[derive(Clone)]
+pub struct SystemSnapshot {
+    coproc: CoprocSnapshot,
+    to_dev: Link,
+    to_host: Link,
+    host_tx: VecDeque<u32>,
+    host_ep: Option<Endpoint>,
+    responses: VecDeque<DevMsg>,
+    deframer: DevDeframer,
+    cycle: u64,
+    link_trace: TraceBuffer,
+    last_retransmits: u64,
+    /// Lifetime responses enqueued at capture time (replay dedup basis).
+    resp_seq: u64,
+    /// Lifetime responses the consumer had taken at capture time.
+    delivered: u64,
+    /// Decoded-instruction count at capture time (checkpoint cadence).
+    decoded: u64,
+}
+
+impl SystemSnapshot {
+    /// Cycle the snapshot was taken at.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// Automatic checkpoint/rollback state (see [`System::enable_recovery`]).
+struct RecoveryState {
+    /// Re-checkpoint after this many further decoded instructions.
+    interval: u64,
+    ckpt: SystemSnapshot,
+    /// Host messages sent since the checkpoint, replayed after a rollback.
+    journal: Vec<HostMsg>,
+    /// Uncorrected soft-error detections already answered by a rollback.
+    /// Checkpointing pauses while the device's counter is ahead of this —
+    /// a detected fault is in flight and the state is suspect.
+    soft_handled: u64,
+    rollbacks: u64,
+    cycles_lost: u64,
+}
 
 /// Host + link + coprocessor.
 pub struct System {
@@ -35,6 +84,21 @@ pub struct System {
     /// Total transport retransmits observed through the previous step;
     /// per-step deltas become [`TraceEventKind::LinkRetransmit`] events.
     last_retransmits: u64,
+    /// Lifetime count of responses enqueued toward the consumer. Rewound
+    /// by [`System::restore`], so a replayed response carries the same
+    /// sequence number as its first delivery.
+    resp_seq: u64,
+    /// Lifetime count of responses the consumer actually took via
+    /// [`System::recv`]. Never rewound: it is the consumer's knowledge,
+    /// which no rollback can undo. Replayed responses with a sequence
+    /// number below this are suppressed.
+    resp_delivered: u64,
+    /// Automatic rollback recovery; `None` means soft errors surface to
+    /// the consumer in band (parity-only / detection-only operation).
+    recovery: Option<RecoveryState>,
+    /// A soft error arrived this step; rollback fires at the end of
+    /// [`System::step`], after the pipeline finishes the cycle.
+    pending_rollback: bool,
 }
 
 impl System {
@@ -60,6 +124,10 @@ impl System {
             word_bits,
             link_trace: TraceBuffer::disabled(),
             last_retransmits: 0,
+            resp_seq: 0,
+            resp_delivered: 0,
+            recovery: None,
+            pending_rollback: false,
         })
     }
 
@@ -97,6 +165,10 @@ impl System {
             word_bits,
             link_trace: TraceBuffer::disabled(),
             last_retransmits: 0,
+            resp_seq: 0,
+            resp_delivered: 0,
+            recovery: None,
+            pending_rollback: false,
         })
     }
 
@@ -122,6 +194,9 @@ impl System {
 
     /// Queue a message for transmission.
     pub fn send(&mut self, msg: &HostMsg) {
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.journal.push(msg.clone());
+        }
         if let Some(ep) = self.host_ep.as_mut() {
             for f in msg.frames(self.word_bits) {
                 ep.send(f);
@@ -136,9 +211,23 @@ impl System {
         self.coproc.set_activity_mode(mode);
     }
 
-    /// Scheduler statistics for the embedded coprocessor.
+    /// Scheduler statistics for the embedded coprocessor, with the host's
+    /// rollback counters folded into the recovery block.
     pub fn sim_stats(&self) -> SimStats {
-        self.coproc.sim_stats()
+        let mut s = self.coproc.sim_stats();
+        s.recovery = self.recovery_stats();
+        s
+    }
+
+    /// Soft-error bookkeeping: the device's strike counters plus the
+    /// host's rollback counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut r = self.coproc.recovery_stats();
+        if let Some(rec) = &self.recovery {
+            r.rollbacks += rec.rollbacks;
+            r.cycles_lost += rec.cycles_lost;
+        }
+        r
     }
 
     /// Enable (or resize) event tracing on both the coprocessor pipeline
@@ -160,7 +249,11 @@ impl System {
 
     /// Take the next fully-received response, if any.
     pub fn recv(&mut self) -> Option<DevMsg> {
-        self.responses.pop_front()
+        let msg = self.responses.pop_front();
+        if msg.is_some() {
+            self.resp_delivered += 1;
+        }
+        msg
     }
 
     /// Responses waiting to be taken.
@@ -251,18 +344,16 @@ impl System {
                 .push(f)
                 .expect("device frames are well-formed")
             {
-                self.responses.push_back(msg);
+                self.enqueue_response(msg);
             }
         }
-        if let Some(ep) = self.host_ep.as_mut() {
-            while let Some(p) = ep.deliver() {
-                if let Some(msg) = self
-                    .deframer
-                    .push(p)
-                    .expect("validated payload frames are well-formed")
-                {
-                    self.responses.push_back(msg);
-                }
+        while let Some(p) = self.host_ep.as_mut().and_then(Endpoint::deliver) {
+            if let Some(msg) = self
+                .deframer
+                .push(p)
+                .expect("validated payload frames are well-formed")
+            {
+                self.enqueue_response(msg);
             }
         }
         // Retransmissions happen inside the endpoints; surface each
@@ -277,6 +368,168 @@ impl System {
             self.last_retransmits = retx;
         }
         self.cycle += 1;
+        if self.pending_rollback {
+            self.rollback();
+        } else if self.recovery.is_some() {
+            self.maybe_checkpoint();
+        }
+    }
+
+    /// Deliver a deframed response toward the consumer, applying the
+    /// recovery policy: with rollback enabled an in-band soft error is
+    /// consumed as the rollback trigger (it never surfaces), and replayed
+    /// responses the consumer already took before a rollback are
+    /// suppressed, so the observable stream carries no duplicates.
+    fn enqueue_response(&mut self, msg: DevMsg) {
+        if self.recovery.is_some() {
+            if let DevMsg::Error {
+                code: ErrorCode::SoftError,
+                ..
+            } = msg
+            {
+                self.pending_rollback = true;
+                return;
+            }
+        }
+        let seq = self.resp_seq;
+        self.resp_seq += 1;
+        if seq < self.resp_delivered {
+            return;
+        }
+        self.responses.push_back(msg);
+    }
+
+    /// Capture the complete host+link+device state. `None` when an
+    /// attached functional unit does not support state cloning (see
+    /// [`FunctionalUnit::clone_unit`]).
+    pub fn checkpoint(&self) -> Option<SystemSnapshot> {
+        Some(SystemSnapshot {
+            coproc: self.coproc.snapshot()?,
+            to_dev: self.to_dev.clone(),
+            to_host: self.to_host.clone(),
+            host_tx: self.host_tx.clone(),
+            host_ep: self.host_ep.clone(),
+            responses: self.responses.clone(),
+            deframer: self.deframer.clone(),
+            cycle: self.cycle,
+            link_trace: self.link_trace.clone(),
+            last_retransmits: self.last_retransmits,
+            resp_seq: self.resp_seq,
+            delivered: self.resp_delivered,
+            decoded: self.coproc.stats().decoded,
+        })
+    }
+
+    /// Rewind the system to `snap`. The SEU strike schedule and the
+    /// soft-error counters survive the rewind (a strike already applied
+    /// is never replayed), as does the consumer's position in the
+    /// response stream: responses taken since the snapshot are dropped
+    /// from the restored queue and suppressed on regeneration.
+    pub fn restore(&mut self, snap: &SystemSnapshot) {
+        self.coproc.restore(&snap.coproc);
+        self.to_dev = snap.to_dev.clone();
+        self.to_host = snap.to_host.clone();
+        self.host_tx = snap.host_tx.clone();
+        self.host_ep = snap.host_ep.clone();
+        self.deframer = snap.deframer.clone();
+        self.cycle = snap.cycle;
+        self.link_trace = snap.link_trace.clone();
+        self.last_retransmits = snap.last_retransmits;
+        self.resp_seq = snap.resp_seq;
+        self.pending_rollback = false;
+        let mut q = snap.responses.clone();
+        let consumed = self.resp_delivered.saturating_sub(snap.delivered);
+        for _ in 0..consumed.min(q.len() as u64) {
+            q.pop_front();
+        }
+        self.responses = q;
+    }
+
+    /// Enable automatic rollback recovery: take a checkpoint now and a
+    /// fresh one every `interval_instrs` further decoded instructions
+    /// (deferred while the captured state would be suspect — a latent
+    /// parity violation or a detected fault still in flight). From then
+    /// on an in-band [`ErrorCode::SoftError`] triggers a rewind to the
+    /// last checkpoint and a replay of every host message sent since;
+    /// replayed responses the consumer already took are suppressed, so at
+    /// survivable fault rates the observable stream is exactly the
+    /// fault-free one.
+    ///
+    /// # Errors
+    /// [`SimError::Config`] when an attached functional unit does not
+    /// support state cloning ([`FunctionalUnit::clone_unit`]).
+    pub fn enable_recovery(&mut self, interval_instrs: u64) -> Result<(), SimError> {
+        let ckpt = self.checkpoint().ok_or_else(|| {
+            SimError::Config("checkpoint/rollback needs clone-capable functional units".into())
+        })?;
+        let r = self.coproc.recovery_stats();
+        self.recovery = Some(RecoveryState {
+            interval: interval_instrs.max(1),
+            ckpt,
+            journal: Vec::new(),
+            soft_handled: r.seus_detected - r.seus_corrected,
+            rollbacks: 0,
+            cycles_lost: 0,
+        });
+        Ok(())
+    }
+
+    /// True when automatic rollback recovery is active.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    fn rollback(&mut self) {
+        self.pending_rollback = false;
+        let mut rec = self.recovery.take().expect("rollback requires recovery");
+        let to_cycle = rec.ckpt.cycle;
+        let lost = self.cycle.saturating_sub(to_cycle);
+        self.restore(&rec.ckpt);
+        rec.rollbacks += 1;
+        rec.cycles_lost += lost;
+        // Every uncorrected detection so far is answered by this rewind;
+        // checkpointing may resume once the counters agree again.
+        let r = self.coproc.recovery_stats();
+        rec.soft_handled = r.seus_detected - r.seus_corrected;
+        self.link_trace.record(
+            self.cycle,
+            TraceEventKind::Rollback {
+                to_cycle,
+                lost_cycles: lost,
+            },
+        );
+        // Replay the host traffic sent since the checkpoint. `recovery`
+        // is still `None` here, so the replay is not re-journaled; the
+        // journal is put back afterwards, ready for a further rollback to
+        // the same checkpoint.
+        let journal = std::mem::take(&mut rec.journal);
+        for m in &journal {
+            self.send(m);
+        }
+        rec.journal = journal;
+        self.recovery = Some(rec);
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let Some(rec) = self.recovery.as_ref() else {
+            return;
+        };
+        if self.coproc.stats().decoded < rec.ckpt.decoded + rec.interval {
+            return;
+        }
+        // Never capture suspect state: a latent parity violation or a
+        // detected-but-not-yet-rolled-back fault baked into the snapshot
+        // would make every rollback rediscover the same fault forever.
+        let r = self.coproc.recovery_stats();
+        if r.seus_detected - r.seus_corrected != rec.soft_handled || !self.coproc.parity_clean() {
+            return;
+        }
+        let Some(snap) = self.checkpoint() else {
+            return;
+        };
+        let rec = self.recovery.as_mut().expect("checked above");
+        rec.ckpt = snap;
+        rec.journal.clear();
     }
 
     /// Step until `pred` holds, with a cycle budget.
@@ -302,7 +555,9 @@ impl System {
     ) -> Result<u64, SimError> {
         let start = self.cycle;
         while !pred(self) {
-            let elapsed = self.cycle - start;
+            // A rollback may rewind `cycle` below `start`; saturating
+            // keeps the budget arithmetic (and the return value) sane.
+            let elapsed = self.cycle.saturating_sub(start);
             if elapsed >= max_cycles {
                 return Err(SimError::Timeout {
                     cycles: max_cycles,
@@ -313,7 +568,7 @@ impl System {
                 self.step();
             }
         }
-        Ok(self.cycle - start)
+        Ok(self.cycle.saturating_sub(start))
     }
 
     /// Jump over cycles in which nothing can happen. Returns the number
@@ -420,7 +675,7 @@ impl System {
     /// [`SimError::Timeout`] when the budget runs out first.
     pub fn recv_blocking(&mut self, max_cycles: u64) -> Result<DevMsg, SimError> {
         self.run_until(max_cycles, |s| !s.responses.is_empty())?;
-        Ok(self.responses.pop_front().expect("predicate guaranteed"))
+        Ok(self.recv().expect("predicate guaranteed"))
     }
 
     /// True when no work remains anywhere (host queue, links, FPGA). With
@@ -679,16 +934,18 @@ mod tests {
                 reg: 1,
                 value: Word::from_u64(21, 32),
             });
-            s.send(&HostMsg::Instr(fu_isa::InstrWord::user(fu_isa::UserInstr {
-                func: 1,
-                variety: 0,
-                dst_flag: 1,
-                dst_reg: 2,
-                aux_reg: 0,
-                src1: 1,
-                src2: 1,
-                src3: 0,
-            })));
+            s.send(&HostMsg::Instr(fu_isa::InstrWord::user(
+                fu_isa::UserInstr {
+                    func: 1,
+                    variety: 0,
+                    dst_flag: 1,
+                    dst_reg: 2,
+                    aux_reg: 0,
+                    src1: 1,
+                    src2: 1,
+                    src3: 0,
+                },
+            )));
             // Wait out the 500-cycle burn before sending the readback so
             // nothing queues up behind it — the span is then quiet and
             // the event wheel can jump it.
@@ -717,6 +974,175 @@ mod tests {
         );
     }
 
+    fn seu_workload(s: &mut System) -> (Vec<DevMsg>, u64) {
+        for i in 0..8u8 {
+            s.send(&HostMsg::WriteReg {
+                reg: i % 8,
+                value: Word::from_u64(100 + u64::from(i), 32),
+            });
+        }
+        // A couple of user instructions so result latches carry live
+        // in-flight work (the latch strike class needs a target).
+        for (dst, src) in [(2u8, 1u8), (4, 3)] {
+            s.send(&HostMsg::Instr(fu_isa::InstrWord::user(
+                fu_isa::UserInstr {
+                    func: 1,
+                    variety: 0,
+                    dst_flag: 1,
+                    dst_reg: dst,
+                    aux_reg: 0,
+                    src1: src,
+                    src2: src,
+                    src3: 0,
+                },
+            )));
+        }
+        for t in 0..16u8 {
+            s.send(&HostMsg::ReadReg {
+                reg: t % 8,
+                tag: u16::from(t),
+            });
+        }
+        s.send(&HostMsg::Sync { tag: 99 });
+        s.run_until(10_000_000, |s| s.pending_responses() >= 17 && s.is_idle())
+            .unwrap();
+        (std::iter::from_fn(|| s.recv()).collect(), s.cycle())
+    }
+
+    fn protected_sys(mean_interval: u64, seed: u64) -> System {
+        let cfg = CoprocConfig::default()
+            .with_parity()
+            .with_redundancy(fu_rtm::Redundancy::Dmr)
+            .with_seu(fu_rtm::SeuConfig::all(seed, mean_interval));
+        System::new(
+            cfg,
+            vec![Box::new(LatencyFu::new("add", 1, 3))],
+            LinkModel::pcie_like(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rollback_recovery_masks_device_seus() {
+        // Fault-free reference: same machine, radiation off.
+        let clean = {
+            let mut s = System::new(
+                CoprocConfig::default()
+                    .with_parity()
+                    .with_redundancy(fu_rtm::Redundancy::Dmr),
+                vec![Box::new(LatencyFu::new("add", 1, 3))],
+                LinkModel::pcie_like(),
+            )
+            .unwrap();
+            seu_workload(&mut s)
+        };
+        let mut s = protected_sys(300, 0xBEEF);
+        s.enable_recovery(4).unwrap();
+        let protected = seu_workload(&mut s);
+        assert_eq!(
+            protected, clean,
+            "rollback recovery must reproduce the fault-free stream and timing"
+        );
+        let r = s.recovery_stats();
+        assert!(
+            r.seus_injected > 0,
+            "strikes must actually have landed: {r:?}"
+        );
+    }
+
+    #[test]
+    fn parity_only_surfaces_soft_errors_in_band() {
+        // Detection without recovery: the consumer sees the soft error.
+        let mut hit = false;
+        for seed in 0..20u64 {
+            let mut s = protected_sys(150, seed);
+            for i in 0..8u8 {
+                s.send(&HostMsg::WriteReg {
+                    reg: i,
+                    value: Word::from_u64(u64::from(i), 32),
+                });
+            }
+            for t in 0..32u8 {
+                s.send(&HostMsg::ReadReg {
+                    reg: t % 8,
+                    tag: u16::from(t),
+                });
+            }
+            s.send(&HostMsg::Sync { tag: 7 });
+            s.run_until(10_000_000, |s| s.is_idle()).unwrap();
+            let out: Vec<DevMsg> = std::iter::from_fn(|| s.recv()).collect();
+            if out.iter().any(|m| {
+                matches!(
+                    m,
+                    DevMsg::Error {
+                        code: ErrorCode::SoftError,
+                        ..
+                    }
+                )
+            }) {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "no seed produced an in-band soft error");
+    }
+
+    #[test]
+    fn manual_restore_suppresses_replayed_responses() {
+        let mut s = sys(LinkModel::ideal());
+        s.send(&HostMsg::Sync { tag: 1 });
+        s.recv_blocking(10_000).unwrap();
+        let snap = s.checkpoint().expect("LatencyFu is clone-capable");
+        s.send(&HostMsg::Sync { tag: 2 });
+        assert_eq!(s.recv_blocking(10_000).unwrap(), DevMsg::SyncAck { tag: 2 });
+        s.restore(&snap);
+        // Manual replay of the consumed message: its response must be
+        // suppressed — the consumer already holds it.
+        s.send(&HostMsg::Sync { tag: 2 });
+        s.run_until(10_000, |s| s.is_idle()).unwrap();
+        assert_eq!(s.pending_responses(), 0, "replayed SyncAck must dedup");
+        // New traffic flows normally again.
+        s.send(&HostMsg::Sync { tag: 3 });
+        assert_eq!(s.recv_blocking(10_000).unwrap(), DevMsg::SyncAck { tag: 3 });
+    }
+
+    #[test]
+    fn recovery_composes_with_reliable_transport_and_link_faults() {
+        let link = LinkModel::pcie_like();
+        let tcfg = fu_isa::transport::TransportConfig::for_link(
+            link.latency_cycles,
+            link.cycles_per_frame,
+        );
+        let base = CoprocConfig::default()
+            .with_parity()
+            .with_redundancy(fu_rtm::Redundancy::Dmr);
+        let build = |cfg: CoprocConfig, faults: Option<crate::link::FaultModel>| {
+            System::new_reliable(
+                cfg,
+                vec![Box::new(LatencyFu::new("add", 1, 3))],
+                link,
+                tcfg,
+                faults,
+            )
+            .unwrap()
+        };
+        let clean = {
+            let mut s = build(base.clone(), None);
+            seu_workload(&mut s)
+        };
+        let faults = crate::link::FaultModel::uniform(0xFA_175, 100);
+        let mut s = build(
+            base.with_seu(fu_rtm::SeuConfig::all(0xD00D, 500)),
+            Some(faults),
+        );
+        s.enable_recovery(4).unwrap();
+        let protected = seu_workload(&mut s);
+        assert_eq!(
+            protected.0, clean.0,
+            "device SEUs + wire faults must both be masked"
+        );
+    }
+
     #[test]
     fn scheduled_mode_agrees_under_transport_faults() {
         let run_mode = |mode: ActivityMode| {
@@ -726,6 +1152,9 @@ mod tests {
             let out = roundtrip_workload(&mut s);
             (out, s.cycle(), s.link_stats())
         };
-        assert_eq!(run_mode(ActivityMode::Gated), run_mode(ActivityMode::Scheduled));
+        assert_eq!(
+            run_mode(ActivityMode::Gated),
+            run_mode(ActivityMode::Scheduled)
+        );
     }
 }

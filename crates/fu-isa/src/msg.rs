@@ -118,6 +118,12 @@ pub enum ErrorCode {
     /// Instruction named a functional unit that was previously quarantined
     /// by the watchdog; it fails fast instead of wedging the dispatcher.
     FuQuarantined = 6,
+    /// A soft error (single-event upset) was detected in device state —
+    /// a parity mismatch on a register/flag file read or a redundant
+    /// execution (DMR) disagreement. `info` carries the register number or
+    /// function code involved. When recovery is enabled the host rolls the
+    /// system back to the last checkpoint instead of surfacing this.
+    SoftError = 7,
 }
 
 impl ErrorCode {
@@ -129,6 +135,7 @@ impl ErrorCode {
             4 => ErrorCode::BadFrame,
             5 => ErrorCode::FuTimeout,
             6 => ErrorCode::FuQuarantined,
+            7 => ErrorCode::SoftError,
             _ => return None,
         })
     }

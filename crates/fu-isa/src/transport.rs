@@ -200,7 +200,7 @@ impl Endpoint {
                 } else {
                     self.send_cursor = 0;
                     self.backoff_exp = (self.backoff_exp + 1).min(self.cfg.max_backoff_exp);
-                    self.deadline = Some(now + (self.cfg.ack_timeout << self.backoff_exp));
+                    self.deadline = Some(now.saturating_add(self.backoff_timeout()));
                 }
             }
         }
@@ -240,9 +240,20 @@ impl Endpoint {
             self.out_buf.push_back(crc);
             self.send_cursor += 1;
             if self.deadline.is_none() {
-                self.deadline = Some(now + (self.cfg.ack_timeout << self.backoff_exp));
+                self.deadline = Some(now.saturating_add(self.backoff_timeout()));
             }
         }
+    }
+
+    /// The current ack timeout with exponential backoff applied. A shift
+    /// would overflow once `backoff_exp` (bounded only by the configured
+    /// `max_backoff_exp`) reaches 64 minus the timeout's bit width, so the
+    /// doubling saturates instead: past that point the deadline clamps to
+    /// "never", which is indistinguishable from an astronomically long
+    /// backoff and keeps `poll` monotone.
+    fn backoff_timeout(&self) -> u64 {
+        let scale = 1u64.checked_shl(self.backoff_exp).unwrap_or(u64::MAX);
+        self.cfg.ack_timeout.saturating_mul(scale)
     }
 
     /// Highest sequence number ever transmitted, plus one (i.e. the first
@@ -502,6 +513,50 @@ mod tests {
         assert!(a.is_dead());
         assert!(a.stats().gave_up);
         assert!(!a.is_quiescent(), "undelivered data is not quiescence");
+    }
+
+    #[test]
+    fn backoff_saturates_past_32_doublings() {
+        // With the backoff cap lifted past 64 the shift `ack_timeout <<
+        // backoff_exp` used to overflow (and in release builds wrap to a
+        // deadline in the past, retransmitting every cycle). Drive the
+        // retry loop far beyond 32 doublings on a black-hole wire and
+        // check the deadline stays monotone and saturates instead.
+        let cfg = TransportConfig {
+            window: 1,
+            ack_timeout: 16,
+            max_backoff_exp: 90,
+            max_retries: u32::MAX,
+        };
+        let mut a = Endpoint::new(cfg);
+        a.send(7);
+        let _ = (a.pull_frame(0), a.pull_frame(0), a.pull_frame(0));
+        let mut doublings = 0u32;
+        let mut last_deadline = a.next_event_cycle().expect("armed");
+        while doublings < 70 {
+            let d = a.next_event_cycle().expect("still armed");
+            assert!(
+                d >= last_deadline,
+                "deadline went backwards: {last_deadline} -> {d}"
+            );
+            last_deadline = d;
+            a.poll(d); // expire the timer: rewind window, double backoff
+            while a.pull_frame(d).is_some() {}
+            doublings += 1;
+        }
+        // 16 << 59 fits in u64; 16 << 60 does not. Past saturation the
+        // deadline pins at u64::MAX and the endpoint stays alive.
+        assert_eq!(a.next_event_cycle(), Some(u64::MAX));
+        assert!(!a.is_dead());
+        assert!(a.stats().retransmits >= 32);
+        // A late ack still revives the exchange after saturation.
+        let header = ACK_MAGIC << 24;
+        a.on_frame(last_deadline, header);
+        a.on_frame(last_deadline, crc32_frames(&[header]));
+        assert!(
+            a.is_quiescent(),
+            "saturated endpoint must still accept acks"
+        );
     }
 
     #[test]

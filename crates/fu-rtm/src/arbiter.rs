@@ -24,7 +24,7 @@ use crate::regfile::RegFile;
 use rtl_sim::{SatCounter, StallCause, TraceBuffer, TraceEventKind};
 
 /// The write-arbiter stage.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WriteArbiter {
     data_ports: u8,
     rr_ptr: usize,

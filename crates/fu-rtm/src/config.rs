@@ -5,6 +5,8 @@
 //! interface can meet the requirements of the functional units while
 //! requiring as small a portion of the FPGA as possible."
 
+use crate::redundant::Redundancy;
+use crate::seu::SeuConfig;
 use fu_isa::transport::TransportConfig;
 use rtl_sim::SimError;
 
@@ -47,6 +49,19 @@ pub struct CoprocConfig {
     /// `None` (the default) keeps the bare frame port: every frame is
     /// assumed delivered intact, as the paper's framing layer does.
     pub transport: Option<TransportConfig>,
+    /// Seeded single-event-upset injection into device state (register/
+    /// flag file cells, result latches, scoreboard bits). `None` (the
+    /// default) models radiation-free hardware.
+    pub seu: Option<SeuConfig>,
+    /// Per-entry parity on the register and flag files, checked on read.
+    /// Detects memory-cell upsets (reported as in-band
+    /// [`fu_isa::msg::ErrorCode::SoftError`]); cannot see datapath
+    /// upsets, which need redundant execution.
+    pub parity: bool,
+    /// Redundant execution: every clone-capable functional unit runs as
+    /// 2 (DMR, detect) or 3 (TMR, detect + majority-correct) lock-step
+    /// replicas with a vote at retire.
+    pub redundancy: Redundancy,
 }
 
 impl Default for CoprocConfig {
@@ -63,6 +78,9 @@ impl Default for CoprocConfig {
             trace_depth: 0,
             max_busy_cycles: None,
             transport: None,
+            seu: None,
+            parity: false,
+            redundancy: Redundancy::None,
         }
     }
 }
@@ -104,6 +122,14 @@ impl CoprocConfig {
         if let Some(t) = &self.transport {
             if t.window == 0 || t.ack_timeout == 0 {
                 return err("transport window and ack_timeout must be at least 1".into());
+            }
+        }
+        if let Some(s) = &self.seu {
+            if s.mean_interval_cycles == 0 {
+                return err("seu mean_interval_cycles must be at least 1".into());
+            }
+            if !(s.regfile || s.flagfile || s.result_latch || s.scoreboard) {
+                return err("seu injection enabled with no target class".into());
             }
         }
         Ok(())
@@ -151,6 +177,24 @@ impl CoprocConfig {
         self.transport = Some(transport);
         self
     }
+
+    /// Builder-style SEU injection enable.
+    pub fn with_seu(mut self, seu: SeuConfig) -> Self {
+        self.seu = Some(seu);
+        self
+    }
+
+    /// Builder-style register/flag file parity enable.
+    pub fn with_parity(mut self) -> Self {
+        self.parity = true;
+        self
+    }
+
+    /// Builder-style redundant execution mode.
+    pub fn with_redundancy(mut self, redundancy: Redundancy) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +234,23 @@ mod tests {
             },
             CoprocConfig {
                 max_busy_cycles: Some(0),
+                ..CoprocConfig::default()
+            },
+            CoprocConfig {
+                seu: Some(SeuConfig {
+                    mean_interval_cycles: 0,
+                    ..SeuConfig::all(1, 1)
+                }),
+                ..CoprocConfig::default()
+            },
+            CoprocConfig {
+                seu: Some(SeuConfig {
+                    regfile: false,
+                    flagfile: false,
+                    result_latch: false,
+                    scoreboard: false,
+                    ..SeuConfig::all(1, 100)
+                }),
                 ..CoprocConfig::default()
             },
         ];

@@ -28,17 +28,19 @@ use crate::flagfile::FlagFile;
 use crate::futable::FuTable;
 use crate::lock::LockManager;
 use crate::msgbuf::{MessageBuffer, MsgBufOut};
-use crate::protocol::{FunctionalUnit, LockTicket};
+use crate::protocol::{FunctionalUnit, LockTicket, SoftEvent};
+use crate::redundant::{protect_units, Redundancy};
 use crate::regfile::RegFile;
 use crate::serializer::MessageSerializer;
+use crate::seu::{SeuModel, SeuTarget, Strike};
 use crate::transceiver::DeviceTransceiver;
 use fu_isa::msg::ErrorCode;
 use fu_isa::transport::TransportStats;
 use fu_isa::{DevMsg, Flags, Word};
 use rtl_sim::area::log2_ceil;
 use rtl_sim::{
-    AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, LatencyHistogram, SimError, SimStats,
-    TimingWheel, TraceBuffer, TraceEventKind,
+    AreaEstimate, Clocked, CriticalPath, Fifo, HandshakeSlot, LatencyHistogram, RecoveryStats,
+    SimError, SimStats, TimingWheel, TraceBuffer, TraceEventKind,
 };
 use std::collections::VecDeque;
 
@@ -244,6 +246,13 @@ pub struct Coprocessor {
     /// jumps to the earliest. Its counters accumulate across decisions
     /// and surface in [`Coprocessor::sim_stats`].
     wheel: TimingWheel<WakeSource>,
+    /// Seeded SEU strike schedule (`cfg.seu`). Deliberately excluded from
+    /// checkpoints: the schedule position must survive a rollback, or the
+    /// replay would take the identical strikes and never converge.
+    seu: Option<SeuModel>,
+    /// Soft-error bookkeeping (strike outcomes); the rollback and farm
+    /// counters are filled in by the host layers.
+    recovery: RecoveryStats,
 }
 
 impl Coprocessor {
@@ -255,7 +264,17 @@ impl Coprocessor {
     /// units claim the same function code.
     pub fn new(cfg: CoprocConfig, fus: Vec<Box<dyn FunctionalUnit>>) -> Result<Self, SimError> {
         cfg.validate()?;
+        // Redundant execution wraps each clone-capable unit in lock-step
+        // replicas *before* the FU table is built, so the table sees one
+        // entry per function code exactly as in the unprotected machine.
+        let fus = protect_units(fus, cfg.redundancy);
         let futable = FuTable::build(&fus)?;
+        let mut regfile = RegFile::new(cfg.data_regs, cfg.word_bits);
+        let mut flagfile = FlagFile::new(cfg.flag_regs);
+        if cfg.parity {
+            regfile.set_parity_enabled(true);
+            flagfile.set_parity_enabled(true);
+        }
         Ok(Coprocessor {
             msgbuf: MessageBuffer::new(cfg.word_bits, cfg.rx_frames_per_cycle),
             decoder: Decoder::new(cfg.data_regs, cfg.flag_regs, cfg.word_bits),
@@ -264,8 +283,8 @@ impl Coprocessor {
             arbiter: WriteArbiter::new(cfg.write_ports),
             encoder: MessageEncoder::new(),
             serializer: MessageSerializer::new(cfg.word_bits, cfg.tx_frames_per_cycle),
-            regfile: RegFile::new(cfg.data_regs, cfg.word_bits),
-            flagfile: FlagFile::new(cfg.flag_regs),
+            regfile,
+            flagfile,
             lock: LockManager::new(cfg.data_regs, cfg.flag_regs),
             futable,
             rx_fifo: Fifo::new(cfg.rx_fifo_depth),
@@ -300,6 +319,8 @@ impl Coprocessor {
             watchdog_errors: VecDeque::new(),
             fu_timeouts: 0,
             wheel: TimingWheel::new(0, 64),
+            seu: cfg.seu.map(SeuModel::new),
+            recovery: RecoveryStats::default(),
             fus,
             cfg,
         })
@@ -453,6 +474,29 @@ impl Coprocessor {
                     self.lat_dispatch_retire.record(self.cycle - disp);
                     self.lat_issue_retire.record(self.cycle - issue);
                 }
+                // A redundant unit votes at the grant; collect the verdict.
+                // TMR out-votes the upset silently (corrected); a DMR
+                // disagreement means the retired result is suspect — report
+                // it in band so the host can roll back.
+                match self.fus[idx].take_soft_event() {
+                    Some(SoftEvent::Corrected) => {
+                        self.recovery.seus_detected += 1;
+                        self.recovery.seus_corrected += 1;
+                        self.trace
+                            .record(cycle, TraceEventKind::SeuCorrected { unit: idx as u8 });
+                    }
+                    Some(SoftEvent::Detected) => {
+                        self.recovery.seus_detected += 1;
+                        let func = u32::from(self.fus[idx].func_code());
+                        self.trace
+                            .record(cycle, TraceEventKind::SeuDetected { reg: idx as u8 });
+                        self.watchdog_errors.push_back(DevMsg::Error {
+                            code: ErrorCode::SoftError,
+                            info: func,
+                        });
+                    }
+                    None => {}
+                }
             }
         }
         let execution_busy = self.exec_slot.has_data() || !self.execution.is_idle();
@@ -541,6 +585,23 @@ impl Coprocessor {
             );
         }
 
+        // ---- SEU strikes due this cycle ----
+        // Latch and scoreboard strikes land before the clock edge (they
+        // hit datapath/control state); register/flag cell strikes are
+        // deferred until after the commit so the parity bits — computed
+        // from the staged value at the edge — go stale, which is exactly
+        // how a memory-cell upset escapes a write-time check.
+        let mut cell_strikes: Vec<Strike> = Vec::new();
+        while let Some(s) = self.seu.as_mut().and_then(|m| m.take(cycle)) {
+            if let Some(cell) = self.apply_strike_pre_commit(s) {
+                cell_strikes.push(cell);
+            }
+        }
+        // ---- parity checks tripped by this cycle's reads ----
+        if self.cfg.parity {
+            self.drain_parity_errors();
+        }
+
         // ---- clock edge ----
         self.rx_fifo.commit();
         self.msg_slot.commit();
@@ -551,6 +612,9 @@ impl Coprocessor {
         self.tx_fifo.commit();
         self.regfile.commit();
         self.flagfile.commit();
+        for s in cell_strikes {
+            self.apply_cell_strike(s);
+        }
         for (i, fu) in self.fus.iter_mut().enumerate() {
             // Quarantined units lose their clock in *both* modes: a merely
             // slow (not truly hung) unit must not complete after its locks
@@ -644,6 +708,139 @@ impl Coprocessor {
             .record(cycle, TraceEventKind::FuQuarantined { unit: i as u8 });
     }
 
+    /// Record one strike and apply it if it lands before the clock edge.
+    /// Stored-cell strikes are returned to flip after the commit instead.
+    fn apply_strike_pre_commit(&mut self, s: Strike) -> Option<Strike> {
+        self.recovery.seus_injected += 1;
+        self.trace.record(
+            self.cycle,
+            TraceEventKind::SeuInjected {
+                target: s.target.label(),
+                index: s.index,
+                bit: s.bit,
+            },
+        );
+        match s.target {
+            SeuTarget::RegFile | SeuTarget::FlagFile => Some(s),
+            SeuTarget::ResultLatch => {
+                self.apply_latch_strike(s);
+                None
+            }
+            SeuTarget::Scoreboard => {
+                // The scoreboard is duplicated with comparison: the flip
+                // is caught against the shadow copy and repaired in place
+                // before any interlock decision can observe it.
+                let slot = self.lock.seu_strike(s.index as usize);
+                self.recovery.seus_detected += 1;
+                self.recovery.seus_corrected += 1;
+                self.trace
+                    .record(self.cycle, TraceEventKind::SeuCorrected { unit: slot });
+                None
+            }
+        }
+    }
+
+    /// A result-latch strike: prefer an in-flight unit result (where a
+    /// redundancy vote can judge it at retire), then a write staged
+    /// toward the register file this cycle. The staged path is the write
+    /// datapath: a triplicated machine out-votes the flip, a duplicated
+    /// one detects it and reports in band (the rollback recovers), and a
+    /// bare machine commits the corruption silently — parity cannot see
+    /// it because the parity bit is computed from the corrupted value.
+    fn apply_latch_strike(&mut self, s: Strike) {
+        if !self.fus.is_empty() {
+            let i = s.index as usize % self.fus.len();
+            if !self.fu_quarantined[i] && self.fus[i].seu_flip_result(s.bit) {
+                return;
+            }
+        }
+        if !self.regfile.has_staged_write() {
+            self.recovery.seus_absorbed += 1;
+            return;
+        }
+        match self.cfg.redundancy {
+            Redundancy::Tmr => {
+                self.recovery.seus_detected += 1;
+                self.recovery.seus_corrected += 1;
+                self.trace
+                    .record(self.cycle, TraceEventKind::SeuCorrected { unit: s.index });
+            }
+            Redundancy::Dmr => {
+                self.regfile.seu_flip_staged(s.bit);
+                self.recovery.seus_detected += 1;
+                self.trace
+                    .record(self.cycle, TraceEventKind::SeuDetected { reg: s.index });
+                self.watchdog_errors.push_back(DevMsg::Error {
+                    code: ErrorCode::SoftError,
+                    info: u32::from(s.index),
+                });
+            }
+            Redundancy::None => {
+                self.regfile.seu_flip_staged(s.bit);
+            }
+        }
+    }
+
+    /// Flip a stored register/flag cell after the clock edge. Parity
+    /// (when fitted) was computed from the committed value, so the flip
+    /// leaves it stale and the next read of the entry trips the check.
+    fn apply_cell_strike(&mut self, s: Strike) {
+        match s.target {
+            SeuTarget::RegFile => {
+                let r = (u16::from(s.index) % self.cfg.data_regs) as u8;
+                self.regfile.seu_flip(r, s.bit);
+            }
+            SeuTarget::FlagFile => {
+                let r = (u16::from(s.index) % self.cfg.flag_regs) as u8;
+                self.flagfile.seu_flip(r, s.bit);
+            }
+            SeuTarget::ResultLatch | SeuTarget::Scoreboard => {
+                unreachable!("pre-commit strike classes are applied in place")
+            }
+        }
+    }
+
+    /// Move parity mismatches caught by this cycle's reads into the
+    /// in-band error queue (one `SoftError` per corrupted entry; the
+    /// check scrubs the parity bit so each upset reports once).
+    fn drain_parity_errors(&mut self) {
+        for r in self.regfile.take_parity_errors() {
+            self.recovery.seus_detected += 1;
+            self.trace
+                .record(self.cycle, TraceEventKind::SeuDetected { reg: r });
+            self.watchdog_errors.push_back(DevMsg::Error {
+                code: ErrorCode::SoftError,
+                info: u32::from(r),
+            });
+        }
+        for r in self.flagfile.take_parity_errors() {
+            self.recovery.seus_detected += 1;
+            self.trace
+                .record(self.cycle, TraceEventKind::SeuDetected { reg: r });
+            self.watchdog_errors.push_back(DevMsg::Error {
+                code: ErrorCode::SoftError,
+                info: u32::from(r),
+            });
+        }
+    }
+
+    /// Apply every strike that fell inside a just-skipped span (due at or
+    /// before `self.cycle - 1`). Cell strikes flip directly — nothing
+    /// read the entry during the provably-quiet span, so span-end
+    /// application is bit-identical to per-cycle stepping. Latch strikes
+    /// hit any unit still holding in-flight work (the pending flip is
+    /// judged at the next retire, exactly as in the stepped path); a
+    /// quiet span stages no register writes, so the fallback only ever
+    /// absorbs.
+    fn apply_span_strikes(&mut self) {
+        let end = self.cycle - 1;
+        while let Some(s) = self.seu.as_mut().and_then(|m| m.take(end)) {
+            if let Some(cell) = self.apply_strike_pre_commit(s) {
+                self.apply_cell_strike(cell);
+            }
+        }
+    }
+
     /// Advance up to `n` cycles, stopping early when the machine drains.
     /// Returns the number of cycles actually stepped. Never skips cycles;
     /// pair with [`Coprocessor::fast_forward`] for that.
@@ -680,6 +877,9 @@ impl Coprocessor {
         }
         self.cycle += cycles;
         self.skipped_cycles += cycles;
+        if self.seu.is_some() {
+            self.apply_span_strikes();
+        }
     }
 
     /// Event-wheel scheduling decision: is the machine provably quiet
@@ -839,6 +1039,9 @@ impl Coprocessor {
         let _ = self.wheel.advance_to(start + k);
         self.cycle += k;
         self.skipped_cycles += k;
+        if self.seu.is_some() {
+            self.apply_span_strikes();
+        }
     }
 
     /// The current scheduling mode.
@@ -883,7 +1086,23 @@ impl Coprocessor {
             lat_dispatch_retire: self.lat_dispatch_retire.clone(),
             lat_issue_retire: self.lat_issue_retire.clone(),
             wheel: self.wheel.stats(),
+            recovery: self.recovery,
         }
+    }
+
+    /// Soft-error bookkeeping so far (strike outcomes; the rollback and
+    /// farm counters stay zero at this layer — the host fills them in).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// True when neither register file holds a latent (not yet read)
+    /// parity violation. Checkpoint logic uses this to refuse capturing a
+    /// state with a silently corrupted memory cell — rolling back to such
+    /// a checkpoint could never converge, because the replay would
+    /// rediscover the same corruption. Trivially true with parity off.
+    pub fn parity_clean(&self) -> bool {
+        self.regfile.parity_clean() && self.flagfile.parity_clean()
     }
 
     /// True when no work is anywhere in the machine (including unread
@@ -1241,6 +1460,101 @@ impl Coprocessor {
         self.fu_quarantined.fill(false);
         self.watchdog_errors.clear();
         self.fu_timeouts = 0;
+        self.seu = self.cfg.seu.map(SeuModel::new);
+        self.recovery = RecoveryStats::default();
+    }
+
+    /// Deep-copy the whole machine. `None` when an attached unit does not
+    /// implement [`FunctionalUnit::clone_unit`].
+    fn clone_state(&self) -> Option<Coprocessor> {
+        let mut fus = Vec::with_capacity(self.fus.len());
+        for f in &self.fus {
+            fus.push(f.clone_unit()?);
+        }
+        Some(Coprocessor {
+            cfg: self.cfg.clone(),
+            msgbuf: self.msgbuf.clone(),
+            decoder: self.decoder.clone(),
+            dispatcher: self.dispatcher.clone(),
+            execution: self.execution.clone(),
+            arbiter: self.arbiter.clone(),
+            encoder: self.encoder.clone(),
+            serializer: self.serializer.clone(),
+            regfile: self.regfile.clone(),
+            flagfile: self.flagfile.clone(),
+            lock: self.lock.clone(),
+            futable: self.futable.clone(),
+            fus,
+            rx_fifo: self.rx_fifo.clone(),
+            msg_slot: self.msg_slot.clone(),
+            decoded_slot: self.decoded_slot.clone(),
+            exec_slot: self.exec_slot.clone(),
+            resp_slot: self.resp_slot.clone(),
+            dev_slot: self.dev_slot.clone(),
+            tx_fifo: self.tx_fifo.clone(),
+            cycle: self.cycle,
+            trace: self.trace.clone(),
+            activity: self.activity,
+            fu_active: self.fu_active.clone(),
+            n_active_fus: self.n_active_fus,
+            fu_always_clock: self.fu_always_clock.clone(),
+            skipped_cycles: self.skipped_cycles,
+            stage_evals: self.stage_evals,
+            stage_busy: self.stage_busy,
+            decoded_since: self.decoded_since,
+            lat_inflight: self.lat_inflight.clone(),
+            lat_issue_dispatch: self.lat_issue_dispatch.clone(),
+            lat_dispatch_retire: self.lat_dispatch_retire.clone(),
+            lat_issue_retire: self.lat_issue_retire.clone(),
+            transceiver: self.transceiver.clone(),
+            fu_last_progress: self.fu_last_progress.clone(),
+            fu_outstanding: self.fu_outstanding.clone(),
+            fu_quarantined: self.fu_quarantined.clone(),
+            watchdog_errors: self.watchdog_errors.clone(),
+            fu_timeouts: self.fu_timeouts,
+            wheel: self.wheel.clone(),
+            seu: self.seu.clone(),
+            recovery: self.recovery,
+        })
+    }
+
+    /// Capture a restorable checkpoint of the full device state —
+    /// architectural registers, every pipeline latch, in-flight unit
+    /// work, the transceiver and the scheduler bookkeeping. `None` when
+    /// an attached unit cannot be cloned (see
+    /// [`FunctionalUnit::clone_unit`]).
+    pub fn snapshot(&self) -> Option<CoprocSnapshot> {
+        self.clone_state().map(|c| CoprocSnapshot(Box::new(c)))
+    }
+
+    /// Roll the machine back to `snap`. The SEU strike schedule and the
+    /// recovery counters deliberately survive the restore: rewinding the
+    /// schedule would replay the identical strikes into every retry and
+    /// the rollback loop would never converge, and the counters describe
+    /// history, not machine state.
+    pub fn restore(&mut self, snap: &CoprocSnapshot) {
+        let mut fresh = snap
+            .0
+            .clone_state()
+            .expect("snapshot was built from clonable units");
+        fresh.seu = self.seu.take();
+        fresh.recovery = self.recovery;
+        *self = fresh;
+    }
+}
+
+/// A restorable deep copy of a [`Coprocessor`] (see
+/// [`Coprocessor::snapshot`]). Opaque: it can only be fed back to
+/// [`Coprocessor::restore`], any number of times.
+pub struct CoprocSnapshot(Box<Coprocessor>);
+
+impl Clone for CoprocSnapshot {
+    fn clone(&self) -> Self {
+        CoprocSnapshot(Box::new(
+            self.0
+                .clone_state()
+                .expect("snapshot was built from clonable units"),
+        ))
     }
 }
 
@@ -1899,7 +2213,12 @@ mod tests {
                 add_instr(4, 3, 3),
             ]
         };
-        let readback = || vec![HostMsg::ReadReg { reg: 4, tag: 9 }, HostMsg::Sync { tag: 5 }];
+        let readback = || {
+            vec![
+                HostMsg::ReadReg { reg: 4, tag: 9 },
+                HostMsg::Sync { tag: 5 },
+            ]
+        };
         let mut gated = mk();
         gated.set_activity_mode(ActivityMode::Gated);
         let mut out_g = run(&mut gated, compute());

@@ -15,6 +15,11 @@ pub struct FlagFile {
     staged: Vec<(u8, Flags)>,
     reads: SatCounter,
     writes: SatCounter,
+    /// Per-entry even-parity bit, maintained at commit time (see
+    /// [`crate::regfile::RegFile`] for the detection model).
+    parity: Vec<bool>,
+    parity_enabled: bool,
+    parity_errors: Vec<u8>,
 }
 
 impl FlagFile {
@@ -29,7 +34,40 @@ impl FlagFile {
             staged: Vec::with_capacity(4),
             reads: SatCounter::default(),
             writes: SatCounter::default(),
+            parity: vec![false; n as usize],
+            parity_enabled: false,
+            parity_errors: Vec::new(),
         }
+    }
+
+    /// Enable or disable parity protection, recomputing stored parity.
+    pub fn set_parity_enabled(&mut self, enabled: bool) {
+        self.parity_enabled = enabled;
+        for (i, r) in self.regs.iter().enumerate() {
+            self.parity[i] = r.0.count_ones() & 1 == 1;
+        }
+    }
+
+    /// Flip bit `bit % 8` of flag register `r`, leaving parity stale.
+    pub fn seu_flip(&mut self, r: u8, bit: u8) {
+        self.regs[r as usize].0 ^= 1 << (bit % 8);
+    }
+
+    /// Drain flag registers that failed their parity check.
+    pub fn take_parity_errors(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.parity_errors)
+    }
+
+    /// True when every flag register agrees with its parity bit (no
+    /// latent upset); trivially true with parity disabled.
+    pub fn parity_clean(&self) -> bool {
+        if !self.parity_enabled {
+            return true;
+        }
+        self.regs
+            .iter()
+            .zip(&self.parity)
+            .all(|(r, p)| (r.0.count_ones() & 1 == 1) == *p)
     }
 
     /// Number of flag registers.
@@ -50,6 +88,13 @@ impl FlagFile {
     /// Combinational read port.
     pub fn read(&mut self, r: u8) -> Flags {
         self.reads.bump();
+        if self.parity_enabled {
+            let got = self.regs[r as usize].0.count_ones() & 1 == 1;
+            if got != self.parity[r as usize] {
+                self.parity_errors.push(r);
+                self.parity[r as usize] = got;
+            }
+        }
         self.regs[r as usize]
     }
 
@@ -86,6 +131,9 @@ impl FlagFile {
 impl Clocked for FlagFile {
     fn commit(&mut self) {
         for (r, v) in self.staged.drain(..) {
+            if self.parity_enabled {
+                self.parity[r as usize] = v.0.count_ones() & 1 == 1;
+            }
             self.regs[r as usize] = v;
         }
     }
@@ -97,6 +145,8 @@ impl Clocked for FlagFile {
         self.staged.clear();
         self.reads = SatCounter::default();
         self.writes = SatCounter::default();
+        self.parity.fill(false);
+        self.parity_errors.clear();
     }
 }
 
@@ -138,6 +188,21 @@ mod tests {
         ff.reset();
         assert_eq!(ff.peek(0), Flags::NONE);
         assert_eq!(ff.port_counts(), (0, 0));
+    }
+
+    #[test]
+    fn parity_catches_flag_flip() {
+        let mut ff = FlagFile::new(4);
+        ff.set_parity_enabled(true);
+        ff.write(2, Flags::CARRY);
+        ff.commit();
+        let _ = ff.read(2);
+        assert!(ff.take_parity_errors().is_empty());
+        ff.seu_flip(2, 3);
+        let _ = ff.read(2);
+        assert_eq!(ff.take_parity_errors(), vec![2]);
+        let _ = ff.read(2);
+        assert!(ff.take_parity_errors().is_empty(), "scrubbed: reports once");
     }
 
     #[test]

@@ -45,11 +45,15 @@ pub mod futable;
 pub mod lock;
 pub mod msgbuf;
 pub mod protocol;
+pub mod redundant;
 pub mod regfile;
 pub mod serializer;
+pub mod seu;
 pub mod testing;
 pub mod transceiver;
 
 pub use config::CoprocConfig;
-pub use coprocessor::{ActivityMode, CoprocStats, Coprocessor, QuietVerdict};
-pub use protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit, LockTicket};
+pub use coprocessor::{ActivityMode, CoprocSnapshot, CoprocStats, Coprocessor, QuietVerdict};
+pub use protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit, LockTicket, SoftEvent};
+pub use redundant::{protect_units, Redundancy, RedundantFu};
+pub use seu::{SeuConfig, SeuModel, SeuTarget};

@@ -20,10 +20,19 @@ use crate::protocol::LockTicket;
 use rtl_sim::SatCounter;
 
 /// Scoreboard over the two register files.
+///
+/// The lock bits are duplicated (`shadow_*`): the scoreboard is the one
+/// piece of device state where a silent upset wedges the whole machine
+/// (a phantom lock stalls the dispatcher forever; a dropped lock breaks
+/// the release invariants), so it is protected by duplication-with-
+/// comparison rather than parity — an SEU strike is detected *and*
+/// repaired in place by [`LockManager::seu_strike`].
 #[derive(Debug, Clone)]
 pub struct LockManager {
     data: Vec<bool>,
     flags: Vec<bool>,
+    shadow_data: Vec<bool>,
+    shadow_flags: Vec<bool>,
     in_flight: usize,
     acquires: SatCounter,
     stall_checks: SatCounter,
@@ -36,9 +45,32 @@ impl LockManager {
         LockManager {
             data: vec![false; data_regs as usize],
             flags: vec![false; flag_regs as usize],
+            shadow_data: vec![false; data_regs as usize],
+            shadow_flags: vec![false; flag_regs as usize],
             in_flight: 0,
             acquires: SatCounter::default(),
             stall_checks: SatCounter::default(),
+        }
+    }
+
+    /// An SEU strike on lock bit `idx` of the combined (data ++ flags)
+    /// bit space: the primary copy flips, the duplicate comparison fires
+    /// immediately, and the primary is restored from the shadow. Returns
+    /// the register index struck (for the trace). Always corrected —
+    /// that is the point of duplicating the scoreboard.
+    pub fn seu_strike(&mut self, idx: usize) -> u8 {
+        let n_data = self.data.len();
+        let idx = idx % (n_data + self.flags.len());
+        if idx < n_data {
+            self.data[idx] = !self.data[idx];
+            debug_assert_ne!(self.data[idx], self.shadow_data[idx]);
+            self.data[idx] = self.shadow_data[idx];
+            idx as u8
+        } else {
+            let f = idx - n_data;
+            self.flags[f] = !self.flags[f];
+            self.flags[f] = self.shadow_flags[f];
+            f as u8
         }
     }
 
@@ -73,10 +105,12 @@ impl LockManager {
         for &r in t.data.iter().flatten() {
             assert!(!self.data[r as usize], "data register r{r} already locked");
             self.data[r as usize] = true;
+            self.shadow_data[r as usize] = true;
         }
         if let Some(r) = t.flag {
             assert!(!self.flags[r as usize], "flag register f{r} already locked");
             self.flags[r as usize] = true;
+            self.shadow_flags[r as usize] = true;
         }
         self.in_flight += 1;
         self.acquires.bump();
@@ -95,6 +129,7 @@ impl LockManager {
                 "release of unlocked data register r{r}"
             );
             self.data[r as usize] = false;
+            self.shadow_data[r as usize] = false;
         }
         if let Some(r) = t.flag {
             assert!(
@@ -102,6 +137,7 @@ impl LockManager {
                 "release of unlocked flag register f{r}"
             );
             self.flags[r as usize] = false;
+            self.shadow_flags[r as usize] = false;
         }
         assert!(self.in_flight > 0, "release with no instruction in flight");
         self.in_flight -= 1;
@@ -140,6 +176,8 @@ impl LockManager {
     pub fn reset(&mut self) {
         self.data.iter_mut().for_each(|b| *b = false);
         self.flags.iter_mut().for_each(|b| *b = false);
+        self.shadow_data.iter_mut().for_each(|b| *b = false);
+        self.shadow_flags.iter_mut().for_each(|b| *b = false);
         self.in_flight = 0;
         self.acquires = SatCounter::default();
         self.stall_checks = SatCounter::default();
@@ -225,6 +263,22 @@ mod tests {
         lm.acquire(&LockTicket::default());
         assert!(!lm.quiescent());
         lm.release(&LockTicket::default());
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    fn seu_strike_is_always_repaired() {
+        let mut lm = LockManager::new(8, 4);
+        lm.acquire(&t(Some(3), None, Some(1)));
+        // Strike a held lock, a free lock, and a flag lock: each flip is
+        // caught by the duplicate comparison and restored, so the
+        // scoreboard's observable state never changes.
+        for idx in [3usize, 5, 8 + 1, 8 + 2] {
+            lm.seu_strike(idx);
+        }
+        assert!(lm.data_locked(3) && !lm.data_locked(5));
+        assert!(lm.flag_locked(1) && !lm.flag_locked(2));
+        lm.release(&t(Some(3), None, Some(1)));
         assert!(lm.quiescent());
     }
 

@@ -112,6 +112,19 @@ pub struct FuOutput {
     pub seq: u64,
 }
 
+/// A soft-error event latched by a redundancy wrapper, polled by the
+/// coprocessor after the write arbiter retires the affected instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoftEvent {
+    /// A majority vote repaired a replica disagreement (TMR): the retired
+    /// output is correct, no architectural damage.
+    Corrected,
+    /// Dual replicas disagreed (DMR): the error is detected but the
+    /// retired output may be corrupt. The coprocessor reports an in-band
+    /// `SoftError` so the host can roll back.
+    Detected,
+}
+
 /// The framework-side view of a functional unit.
 ///
 /// Call discipline within one evaluate phase (the coprocessor evaluates
@@ -253,6 +266,33 @@ pub trait FunctionalUnit: Clocked + Send {
     /// reads (unread fields must not create false RAW dependencies).
     fn variety_reads_srcs(&self, _variety: u8) -> [bool; 3] {
         [true, true, false]
+    }
+
+    // ----- soft-error resilience ------------------------------------
+    // The SEU model strikes functional-unit result latches, redundancy
+    // wrappers replicate whole units, and checkpointing clones the
+    // architectural state. All three hooks default to "unsupported" so
+    // existing units keep working unchanged.
+
+    /// A deep copy of this unit, state included. `None` (the default)
+    /// means the unit cannot be replicated: it is skipped by redundancy
+    /// wrapping and makes the enclosing coprocessor non-checkpointable.
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        None
+    }
+
+    /// Flip bit `bit` of the unit's pending result latch, if it holds
+    /// one. Returns `true` when a flip landed; `false` (the default)
+    /// when the unit has no live result state to corrupt, letting the
+    /// SEU model fall back to another target.
+    fn seu_flip_result(&mut self, _bit: u8) -> bool {
+        false
+    }
+
+    /// Drain the unit's latched soft-error event, if any. Only
+    /// redundancy wrappers ever report one; the default is `None`.
+    fn take_soft_event(&mut self) -> Option<SoftEvent> {
+        None
     }
 
     /// Resource estimate for area reports.

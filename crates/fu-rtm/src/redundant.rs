@@ -1,0 +1,381 @@
+//! Redundant execution: dual/triple modular redundancy over whole
+//! functional units, with voting at retire time.
+//!
+//! The paper leaves the unit's internals to the designer; the framework
+//! can therefore replicate any unit that knows how to clone itself
+//! ([`FunctionalUnit::clone_unit`]) and run N copies in lock-step. Every
+//! dispatch fans out to all replicas and every clock edge advances them
+//! together, so in a fault-free run the replicas are bit-identical state
+//! machines. At acknowledgement time the wrapper compares the replica
+//! outputs:
+//!
+//! * **DMR** (2 replicas) *detects*: a disagreement latches a
+//!   [`SoftEvent::Detected`], which the coprocessor reports as an in-band
+//!   `SoftError` so the host can roll back to a checkpoint.
+//! * **TMR** (3 replicas) *corrects*: the majority output retires, a
+//!   [`SoftEvent::Corrected`] is latched, and execution continues with no
+//!   architectural damage.
+//!
+//! SEU strikes on a wrapped unit's result latch ([`FunctionalUnit::
+//! seu_flip_result`]) are latched here and applied to replica 0's output
+//! when it is acknowledged — modelling an upset in one physical copy of
+//! the datapath.
+
+use crate::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit, SoftEvent};
+use fu_isa::Word;
+use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
+
+/// How many copies of each functional unit execute every instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Redundancy {
+    /// Single copy, no voting (the baseline machine).
+    #[default]
+    None,
+    /// Two copies; disagreement is detected but not correctable.
+    Dmr,
+    /// Three copies; a single faulty replica is outvoted.
+    Tmr,
+}
+
+impl Redundancy {
+    /// Number of replicas executing each instruction.
+    #[must_use]
+    pub fn replicas(self) -> usize {
+        match self {
+            Redundancy::None => 1,
+            Redundancy::Dmr => 2,
+            Redundancy::Tmr => 3,
+        }
+    }
+}
+
+/// N replicas of one functional unit, voting at retire.
+pub struct RedundantFu {
+    replicas: Vec<Box<dyn FunctionalUnit>>,
+    mode: Redundancy,
+    /// Bit flip pending against replica 0's next acknowledged output.
+    pending_flip: Option<u8>,
+    /// Vote outcome awaiting collection by the coprocessor.
+    event: Option<SoftEvent>,
+}
+
+fn flip_output_bit(out: &mut FuOutput, bit: u8) {
+    // Route the flip to whichever result field exists: data first, then
+    // the second result, then flags. A result latch holds exactly the
+    // fields the unit produced.
+    if let Some((_, w)) = &mut out.data {
+        let bit = u32::from(bit) % w.bits();
+        let mut limbs: Vec<u32> = w.limbs().to_vec();
+        limbs[(bit / 32) as usize] ^= 1 << (bit % 32);
+        *w = Word::from_limbs(&limbs);
+    } else if let Some((_, w)) = &mut out.data2 {
+        let bit = u32::from(bit) % w.bits();
+        let mut limbs: Vec<u32> = w.limbs().to_vec();
+        limbs[(bit / 32) as usize] ^= 1 << (bit % 32);
+        *w = Word::from_limbs(&limbs);
+    } else if let Some((_, f)) = &mut out.flags {
+        f.0 ^= 1 << (bit % 8);
+    }
+}
+
+impl RedundantFu {
+    /// Wrap `unit` in `mode.replicas()` lock-step copies.
+    ///
+    /// Returns `None` when the unit cannot clone itself (see
+    /// [`FunctionalUnit::clone_unit`]) — the caller keeps the original,
+    /// unprotected.
+    pub fn wrap(
+        unit: Box<dyn FunctionalUnit>,
+        mode: Redundancy,
+    ) -> Option<Box<dyn FunctionalUnit>> {
+        assert!(
+            !matches!(mode, Redundancy::None),
+            "wrapping with Redundancy::None is the identity; keep the unit"
+        );
+        let mut replicas = Vec::with_capacity(mode.replicas());
+        for _ in 1..mode.replicas() {
+            replicas.push(unit.clone_unit()?);
+        }
+        replicas.insert(0, unit);
+        Some(Box::new(RedundantFu {
+            replicas,
+            mode,
+            pending_flip: None,
+            event: None,
+        }))
+    }
+}
+
+impl Clocked for RedundantFu {
+    fn commit(&mut self) {
+        for r in &mut self.replicas {
+            r.commit();
+        }
+    }
+
+    fn reset(&mut self) {
+        for r in &mut self.replicas {
+            r.reset();
+        }
+        self.pending_flip = None;
+        self.event = None;
+    }
+}
+
+impl FunctionalUnit for RedundantFu {
+    fn name(&self) -> &'static str {
+        self.replicas[0].name()
+    }
+
+    fn func_code(&self) -> u8 {
+        self.replicas[0].func_code()
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        self.replicas[0].aux_role()
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.replicas[0].can_dispatch()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        for r in &mut self.replicas {
+            r.dispatch(pkt.clone());
+        }
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.replicas[0].peek_output()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        let mut first = self.replicas[0].ack_output();
+        let mut others: Vec<FuOutput> = self.replicas[1..]
+            .iter_mut()
+            .map(|r| r.ack_output())
+            .collect();
+        if let Some(bit) = self.pending_flip.take() {
+            flip_output_bit(&mut first, bit);
+        }
+        match self.mode {
+            Redundancy::None => first,
+            Redundancy::Dmr => {
+                if first != others[0] {
+                    self.event = Some(SoftEvent::Detected);
+                }
+                // Detection without correction: the (possibly corrupt)
+                // primary output retires; recovery is the host's rollback.
+                first
+            }
+            Redundancy::Tmr => {
+                let (b, c) = (others.remove(0), others.remove(0));
+                if first == b || first == c {
+                    first
+                } else if b == c {
+                    self.event = Some(SoftEvent::Corrected);
+                    b
+                } else {
+                    // Three-way split: more than one upset in flight.
+                    // Detect (uncorrectable), retire the primary.
+                    self.event = Some(SoftEvent::Detected);
+                    first
+                }
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.replicas[0].is_idle()
+    }
+
+    fn needs_clock_when_idle(&self) -> bool {
+        self.replicas[0].needs_clock_when_idle()
+    }
+
+    fn advance_idle(&mut self, cycles: u64) {
+        for r in &mut self.replicas {
+            r.advance_idle(cycles);
+        }
+    }
+
+    fn wake_hint(&self) -> Option<u64> {
+        self.replicas[0].wake_hint()
+    }
+
+    fn advance_busy(&mut self, cycles: u64) {
+        for r in &mut self.replicas {
+            r.advance_busy(cycles);
+        }
+    }
+
+    fn variety_writes_data(&self, variety: u8) -> bool {
+        self.replicas[0].variety_writes_data(variety)
+    }
+
+    fn variety_writes_flags(&self, variety: u8) -> bool {
+        self.replicas[0].variety_writes_flags(variety)
+    }
+
+    fn variety_reads_flags(&self, variety: u8) -> bool {
+        self.replicas[0].variety_reads_flags(variety)
+    }
+
+    fn variety_reads_srcs(&self, variety: u8) -> [bool; 3] {
+        self.replicas[0].variety_reads_srcs(variety)
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        let mut replicas = Vec::with_capacity(self.replicas.len());
+        for r in &self.replicas {
+            replicas.push(r.clone_unit()?);
+        }
+        Some(Box::new(RedundantFu {
+            replicas,
+            mode: self.mode,
+            // A latched-but-not-yet-voted strike is an SEU artefact, not
+            // architectural state: a checkpoint taken from this clone must
+            // not re-apply the flip after every rollback (which would make
+            // the rollback loop forever on its own checkpoint).
+            pending_flip: None,
+            event: None,
+        }))
+    }
+
+    fn seu_flip_result(&mut self, bit: u8) -> bool {
+        // A flip lands only when replica 0 holds live work whose result
+        // will still be acknowledged; an idle unit has no latch to hit.
+        if self.replicas[0].is_idle() {
+            return false;
+        }
+        self.pending_flip = Some(bit);
+        true
+    }
+
+    fn take_soft_event(&mut self) -> Option<SoftEvent> {
+        self.event.take()
+    }
+
+    fn area(&self) -> AreaEstimate {
+        let mut a = AreaEstimate::ZERO;
+        for r in &self.replicas {
+            a += r.area();
+        }
+        // The voter itself: a word-wide comparator per extra replica.
+        a
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        self.replicas[0].critical_path()
+    }
+}
+
+/// Wrap every clone-capable unit in the list with the given redundancy.
+/// Units that cannot clone themselves are kept unwrapped (unprotected);
+/// `Redundancy::None` is the identity.
+pub fn protect_units(
+    units: Vec<Box<dyn FunctionalUnit>>,
+    mode: Redundancy,
+) -> Vec<Box<dyn FunctionalUnit>> {
+    if matches!(mode, Redundancy::None) {
+        return units;
+    }
+    units
+        .into_iter()
+        .map(|u| match u.clone_unit().is_some() {
+            true => RedundantFu::wrap(u, mode).expect("clone_unit succeeded above"),
+            false => u,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LockTicket;
+    use crate::testing::LatencyFu;
+    use fu_isa::Flags;
+
+    fn pkt(a: u64, b: u64, dst: u8) -> DispatchPacket {
+        DispatchPacket {
+            variety: 0,
+            ops: [Word::from_u64(a, 32), Word::from_u64(b, 32), Word::zero(32)],
+            flags_in: Flags::NONE,
+            dst_reg: dst,
+            dst2_reg: None,
+            dst_flag: 0,
+            imm8: 0,
+            ticket: LockTicket::new(Some(dst), None, Some(0)),
+            seq: 0,
+        }
+    }
+
+    fn tmr_adder() -> Box<dyn FunctionalUnit> {
+        RedundantFu::wrap(Box::new(LatencyFu::new("add", 1, 2)), Redundancy::Tmr)
+            .expect("LatencyFu clones")
+    }
+
+    #[test]
+    fn lockstep_replicas_agree_when_fault_free() {
+        let mut fu = tmr_adder();
+        fu.dispatch(pkt(5, 7, 3));
+        fu.commit();
+        fu.commit();
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 12);
+        assert!(fu.take_soft_event().is_none());
+        assert!(fu.is_idle());
+    }
+
+    #[test]
+    fn tmr_outvotes_a_flipped_primary() {
+        let mut fu = tmr_adder();
+        fu.dispatch(pkt(5, 7, 3));
+        assert!(fu.seu_flip_result(0), "busy unit accepts the strike");
+        fu.commit();
+        fu.commit();
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 12, "majority wins");
+        assert_eq!(fu.take_soft_event(), Some(SoftEvent::Corrected));
+        assert!(fu.take_soft_event().is_none(), "event reported once");
+    }
+
+    #[test]
+    fn dmr_detects_but_does_not_correct() {
+        let mut fu = RedundantFu::wrap(Box::new(LatencyFu::new("add", 1, 2)), Redundancy::Dmr)
+            .expect("clones");
+        fu.dispatch(pkt(5, 7, 3));
+        assert!(fu.seu_flip_result(0));
+        fu.commit();
+        fu.commit();
+        let out = fu.ack_output();
+        assert_eq!(out.data.unwrap().1.as_u64(), 13, "corrupt primary retires");
+        assert_eq!(fu.take_soft_event(), Some(SoftEvent::Detected));
+    }
+
+    #[test]
+    fn idle_unit_absorbs_result_strikes() {
+        let mut fu = tmr_adder();
+        assert!(!fu.seu_flip_result(4), "no work in flight, no latch");
+        fu.dispatch(pkt(1, 2, 0));
+        fu.commit();
+        fu.commit();
+        assert_eq!(fu.ack_output().data.unwrap().1.as_u64(), 3);
+        assert!(fu.take_soft_event().is_none());
+    }
+
+    #[test]
+    fn protect_units_wraps_cloneable_units() {
+        let units: Vec<Box<dyn FunctionalUnit>> = vec![
+            Box::new(LatencyFu::new("a", 1, 1)),
+            Box::new(LatencyFu::new("b", 2, 4)),
+        ];
+        let wrapped = protect_units(units, Redundancy::Tmr);
+        assert_eq!(wrapped.len(), 2);
+        assert_eq!(wrapped[0].func_code(), 1);
+        assert_eq!(wrapped[1].func_code(), 2);
+        // Triple the register area of a bare unit (voter adds none here).
+        let bare = LatencyFu::new("a", 1, 1).area();
+        assert_eq!(wrapped[0].area().ffs, 3 * bare.ffs);
+    }
+}

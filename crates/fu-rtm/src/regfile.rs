@@ -22,6 +22,14 @@ pub struct RegFile {
     word_bits: u32,
     reads: SatCounter,
     writes: SatCounter,
+    /// Per-entry even-parity bit, maintained at commit time. Only checked
+    /// on read when `parity_enabled`; an SEU cell flip leaves it stale,
+    /// which is exactly how the mismatch is detected.
+    parity: Vec<bool>,
+    parity_enabled: bool,
+    /// Registers whose parity check failed, awaiting collection by the
+    /// coprocessor (which reports them as in-band soft errors).
+    parity_errors: Vec<u8>,
 }
 
 impl RegFile {
@@ -34,7 +42,72 @@ impl RegFile {
             word_bits,
             reads: SatCounter::default(),
             writes: SatCounter::default(),
+            parity: vec![false; n as usize],
+            parity_enabled: false,
+            parity_errors: Vec::new(),
         }
+    }
+
+    /// Enable or disable the per-entry parity protection. Parity bits are
+    /// recomputed from the current contents, so enabling never reports
+    /// pre-existing state as corrupt.
+    pub fn set_parity_enabled(&mut self, enabled: bool) {
+        self.parity_enabled = enabled;
+        for (i, r) in self.regs.iter().enumerate() {
+            self.parity[i] = r.popcount() & 1 == 1;
+        }
+    }
+
+    /// Flip bit `bit % word_bits` of register `r` in place, leaving the
+    /// parity bit stale — the SEU model's memory-cell strike.
+    pub fn seu_flip(&mut self, r: u8, bit: u8) {
+        let w = &mut self.regs[r as usize];
+        let bit = u32::from(bit) % w.bits();
+        let mut limbs: Vec<u32> = w.limbs().to_vec();
+        limbs[(bit / 32) as usize] ^= 1 << (bit % 32);
+        *w = Word::from_limbs(&limbs);
+    }
+
+    /// Flip bit `bit` of a staged (not yet committed) write, if one
+    /// exists — the SEU model's datapath-latch strike. The corrupted
+    /// value flows into the parity computation at commit, so parity
+    /// cannot catch it; only redundant execution can. Returns whether a
+    /// staged write was hit.
+    pub fn seu_flip_staged(&mut self, bit: u8) -> bool {
+        let Some((_, w)) = self.staged.first_mut() else {
+            return false;
+        };
+        let bit = u32::from(bit) % w.bits();
+        let mut limbs: Vec<u32> = w.limbs().to_vec();
+        limbs[(bit / 32) as usize] ^= 1 << (bit % 32);
+        *w = Word::from_limbs(&limbs);
+        true
+    }
+
+    /// Drain the registers that failed their parity check since the last
+    /// call. Each scrubbed entry reports once.
+    pub fn take_parity_errors(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.parity_errors)
+    }
+
+    /// True when at least one write is staged toward this cycle's commit
+    /// — whether a datapath-latch strike has anything to corrupt.
+    pub fn has_staged_write(&self) -> bool {
+        !self.staged.is_empty()
+    }
+
+    /// True when every stored word agrees with its parity bit, i.e. no
+    /// latent (not yet read) memory-cell upset is present. Checkpoint
+    /// logic refuses to snapshot while this is false; trivially true with
+    /// parity disabled.
+    pub fn parity_clean(&self) -> bool {
+        if !self.parity_enabled {
+            return true;
+        }
+        self.regs
+            .iter()
+            .zip(&self.parity)
+            .all(|(r, p)| (r.popcount() & 1 == 1) == *p)
     }
 
     /// Number of registers.
@@ -65,6 +138,14 @@ impl RegFile {
     /// numbers before they reach a read port.
     pub fn read(&mut self, r: u8) -> Word {
         self.reads.bump();
+        if self.parity_enabled {
+            let got = self.regs[r as usize].popcount() & 1 == 1;
+            if got != self.parity[r as usize] {
+                self.parity_errors.push(r);
+                // Scrub: a single upset reports once, not on every read.
+                self.parity[r as usize] = got;
+            }
+        }
         self.regs[r as usize]
     }
 
@@ -105,6 +186,9 @@ impl RegFile {
 impl Clocked for RegFile {
     fn commit(&mut self) {
         for (r, v) in self.staged.drain(..) {
+            if self.parity_enabled {
+                self.parity[r as usize] = v.popcount() & 1 == 1;
+            }
             self.regs[r as usize] = v;
         }
     }
@@ -116,6 +200,8 @@ impl Clocked for RegFile {
         self.staged.clear();
         self.reads = SatCounter::default();
         self.writes = SatCounter::default();
+        self.parity.fill(false);
+        self.parity_errors.clear();
     }
 }
 
@@ -194,6 +280,46 @@ mod tests {
         rf.commit();
         assert_eq!(rf.peek(2), v);
         assert_eq!(rf.word_bits(), 128);
+    }
+
+    #[test]
+    fn parity_catches_cell_flip_and_reports_once() {
+        let mut rf = RegFile::new(8, 32);
+        rf.set_parity_enabled(true);
+        rf.write(3, Word::from_u64(0b1011, 32));
+        rf.commit();
+        assert_eq!(rf.read(3).as_u64(), 0b1011);
+        assert!(rf.take_parity_errors().is_empty(), "clean read, no error");
+        rf.seu_flip(3, 1);
+        assert_eq!(rf.read(3).as_u64(), 0b1001, "corrupt value still served");
+        assert_eq!(rf.take_parity_errors(), vec![3]);
+        let _ = rf.read(3);
+        assert!(rf.take_parity_errors().is_empty(), "scrubbed: reports once");
+    }
+
+    #[test]
+    fn parity_misses_staged_flip() {
+        // A strike on the write datapath corrupts the value *before* the
+        // parity bit is computed, so the stored word is self-consistent:
+        // detection requires redundant execution, not parity.
+        let mut rf = RegFile::new(8, 32);
+        rf.set_parity_enabled(true);
+        rf.write(2, Word::from_u64(0xF0, 32));
+        assert!(rf.seu_flip_staged(0));
+        rf.commit();
+        assert_eq!(rf.read(2).as_u64(), 0xF1);
+        assert!(rf.take_parity_errors().is_empty());
+        assert!(!rf.seu_flip_staged(5), "no staged write to hit");
+    }
+
+    #[test]
+    fn parity_disabled_is_free() {
+        let mut rf = RegFile::new(8, 32);
+        rf.write(1, Word::from_u64(7, 32));
+        rf.commit();
+        rf.seu_flip(1, 0);
+        let _ = rf.read(1);
+        assert!(rf.take_parity_errors().is_empty());
     }
 
     #[test]

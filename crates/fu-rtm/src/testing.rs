@@ -13,7 +13,7 @@ use fu_isa::Flags;
 use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
 
 /// A single-occupancy unit with a fixed compute latency.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LatencyFu {
     name: &'static str,
     func_code: u8,
@@ -130,6 +130,10 @@ impl FunctionalUnit for LatencyFu {
         }
     }
 
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn area(&self) -> AreaEstimate {
         AreaEstimate::adder(32) + AreaEstimate::register(64)
     }
@@ -143,7 +147,7 @@ impl FunctionalUnit for LatencyFu {
 /// stimulus for the dispatch watchdog. It reports busy forever, produces
 /// no output, and only `reset` (or quarantine, which stops its clock)
 /// releases it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StuckFu {
     name: &'static str,
     func_code: u8,
@@ -215,12 +219,106 @@ impl FunctionalUnit for StuckFu {
 
     fn advance_busy(&mut self, _cycles: u64) {}
 
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn area(&self) -> AreaEstimate {
         AreaEstimate::register(1)
     }
 
     fn critical_path(&self) -> CriticalPath {
         CriticalPath::of(1)
+    }
+}
+
+/// A [`LatencyFu`] that panics when dispatched with `src1 == trigger` —
+/// the stimulus for shard-failover tests, modelling control state
+/// corrupted beyond in-band recovery (the simulation equivalent of a
+/// wedged board). An unarmed unit (`trigger: None`) behaves exactly like
+/// its inner [`LatencyFu`], so one farm builder can poison a single
+/// shard and leave the rest healthy.
+#[derive(Debug, Clone)]
+pub struct PoisonFu {
+    inner: LatencyFu,
+    trigger: Option<u64>,
+}
+
+impl PoisonFu {
+    /// A latency-`latency` unit answering to `func_code` that dies when
+    /// it sees `trigger` as its first operand.
+    pub fn new(name: &'static str, func_code: u8, latency: u32, trigger: Option<u64>) -> PoisonFu {
+        PoisonFu {
+            inner: LatencyFu::new(name, func_code, latency),
+            trigger,
+        }
+    }
+}
+
+impl Clocked for PoisonFu {
+    fn commit(&mut self) {
+        self.inner.commit();
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+impl FunctionalUnit for PoisonFu {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn func_code(&self) -> u8 {
+        self.inner.func_code()
+    }
+
+    fn aux_role(&self) -> AuxRole {
+        AuxRole::Unused
+    }
+
+    fn can_dispatch(&self) -> bool {
+        self.inner.can_dispatch()
+    }
+
+    fn dispatch(&mut self, pkt: DispatchPacket) {
+        if self.trigger.is_some_and(|t| pkt.ops[0].as_u64() == t) {
+            panic!("PoisonFu struck: shard control state is corrupt");
+        }
+        self.inner.dispatch(pkt);
+    }
+
+    fn peek_output(&self) -> Option<&FuOutput> {
+        self.inner.peek_output()
+    }
+
+    fn ack_output(&mut self) -> FuOutput {
+        self.inner.ack_output()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inner.is_idle()
+    }
+
+    fn wake_hint(&self) -> Option<u64> {
+        self.inner.wake_hint()
+    }
+
+    fn advance_busy(&mut self, cycles: u64) {
+        self.inner.advance_busy(cycles);
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn area(&self) -> AreaEstimate {
+        self.inner.area()
+    }
+
+    fn critical_path(&self) -> CriticalPath {
+        self.inner.critical_path()
     }
 }
 

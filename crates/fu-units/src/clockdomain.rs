@@ -18,7 +18,7 @@ use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
 use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
 
 /// A unit clocked at `1/divider` of the system clock.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClockDomainFu<U: FunctionalUnit> {
     inner: U,
     divider: u32,
@@ -80,7 +80,7 @@ impl<U: FunctionalUnit> Clocked for ClockDomainFu<U> {
     }
 }
 
-impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
+impl<U: FunctionalUnit + Clone + 'static> FunctionalUnit for ClockDomainFu<U> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -147,9 +147,9 @@ impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
             return Some(to_edge);
         }
         match self.inner.wake_hint() {
-            Some(h) if h >= 1 => Some(
-                to_edge.saturating_add((h - 1).saturating_mul(u64::from(self.divider))),
-            ),
+            Some(h) if h >= 1 => {
+                Some(to_edge.saturating_add((h - 1).saturating_mul(u64::from(self.divider))))
+            }
             _ => Some(to_edge),
         }
     }
@@ -195,6 +195,10 @@ impl<U: FunctionalUnit> FunctionalUnit for ClockDomainFu<U> {
 
     fn variety_reads_srcs(&self, v: u8) -> [bool; 3] {
         self.inner.variety_reads_srcs(v)
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
     }
 
     fn area(&self) -> AreaEstimate {
@@ -332,7 +336,7 @@ mod tests {
                     assert!(h >= 1);
                     skipped.advance_busy(h);
                     for _ in 0..h {
-                        assert_eq!(stepped.peek_output().is_none(), true);
+                        assert!(stepped.peek_output().is_none());
                         stepped.commit();
                     }
                     guard += 1;

@@ -31,7 +31,7 @@ pub enum FsmState {
 }
 
 /// FSM-skeleton wrapper around a combinational kernel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FsmFu<K: Kernel> {
     kernel: K,
     exec_cycles: u32,
@@ -179,6 +179,10 @@ impl<K: Kernel> FunctionalUnit for FsmFu<K> {
         self.kernel.reads_srcs(v)
     }
 
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn area(&self) -> AreaEstimate {
         // Kernel + state register + result buffer; the FSM trades control
         // area against the pipelined skeleton's FIFOs.
@@ -287,6 +291,7 @@ mod tests {
     fn longer_execute_lowers_per_cycle_depth() {
         // Spreading a deep kernel across more cycles shortens the
         // per-cycle critical path (the area/speed dial the FSM offers).
+        #[derive(Clone)]
         struct DeepKernel;
         impl Kernel for DeepKernel {
             fn name(&self) -> &'static str {

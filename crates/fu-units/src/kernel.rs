@@ -29,7 +29,7 @@ pub struct KernelOutput {
 /// `Send` for the same reason as `FunctionalUnit`: the farm migrates whole
 /// coprocessor shards across worker threads, and a kernel rides inside its
 /// wrapping skeleton unit.
-pub trait Kernel: Send {
+pub trait Kernel: Clone + Send + 'static {
     /// Display name.
     fn name(&self) -> &'static str;
 
@@ -113,6 +113,7 @@ pub(crate) mod testutil {
 
     /// A trivial identity kernel for skeleton tests: `dst = src1`, zero
     /// flag only.
+    #[derive(Clone)]
     pub struct IdKernel {
         pub bits: u32,
     }

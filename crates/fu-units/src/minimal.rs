@@ -23,7 +23,7 @@ use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
 use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
 
 /// Minimal-skeleton wrapper around a combinational kernel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MinimalFu<K: Kernel> {
     kernel: K,
     forward_ack: bool,
@@ -140,6 +140,10 @@ impl<K: Kernel> FunctionalUnit for MinimalFu<K> {
 
     fn variety_reads_srcs(&self, v: u8) -> [bool; 3] {
         self.kernel.reads_srcs(v)
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
     }
 
     fn area(&self) -> AreaEstimate {

@@ -25,7 +25,7 @@ use fu_rtm::protocol::{AuxRole, DispatchPacket, FuOutput, FunctionalUnit};
 use rtl_sim::{AreaEstimate, Clocked, CriticalPath};
 
 /// Pipelined-skeleton wrapper around a combinational kernel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PipelinedFu<K: Kernel> {
     kernel: K,
     stages: u32,
@@ -179,6 +179,10 @@ impl<K: Kernel> FunctionalUnit for PipelinedFu<K> {
         self.kernel.reads_srcs(v)
     }
 
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn area(&self) -> AreaEstimate {
         // Kernel spread over pipeline registers plus the result FIFOs —
         // "uses a lot of FPGA resources and especially on-chip SRAM
@@ -299,6 +303,7 @@ mod tests {
 
     #[test]
     fn deeper_pipeline_shortens_per_stage_path() {
+        #[derive(Clone)]
         struct DeepKernel;
         impl Kernel for DeepKernel {
             fn name(&self) -> &'static str {

@@ -39,7 +39,7 @@ enum Work {
 }
 
 /// The associative-memory functional unit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CamFu {
     entries: Vec<Option<(u32, u32)>>,
     live: u32,
@@ -237,6 +237,10 @@ impl FunctionalUnit for CamFu {
             CAM_SEARCH | CAM_INVALIDATE => [true, false, false],
             _ => [false, false, false],
         }
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
     }
 
     fn area(&self) -> AreaEstimate {

@@ -34,7 +34,7 @@ enum Work {
 }
 
 /// The histogram functional unit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HistogramFu {
     func_code: u8,
     bins: Vec<u32>,
@@ -216,6 +216,10 @@ impl FunctionalUnit for HistogramFu {
             HIST_READ => [true, false, false],
             _ => [false, false, false],
         }
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
     }
 
     fn area(&self) -> AreaEstimate {

@@ -39,7 +39,7 @@ pub fn lfsr_step(state: u32) -> u32 {
 }
 
 /// The PRNG functional unit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrngFu {
     state: u32,
     busy: Option<(u32, DispatchPacket)>, // remaining steps
@@ -155,6 +155,10 @@ impl FunctionalUnit for PrngFu {
             PRNG_SEED | PRNG_SKIP => [true, false, false],
             _ => [false, false, false],
         }
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
     }
 
     fn area(&self) -> AreaEstimate {

@@ -50,6 +50,8 @@ pub use fifo::Fifo;
 pub use handshake::HandshakeSlot;
 pub use reg::{Reg, SatCounter};
 pub use stall::StallFuzzer;
-pub use stats::{LatencyHistogram, LatencySnapshot, Percentiles, SimStats, SlotStats};
+pub use stats::{
+    LatencyHistogram, LatencySnapshot, Percentiles, RecoveryStats, SimStats, SlotStats,
+};
 pub use trace::{LinkDir, StallCause, TraceBuffer, TraceEvent, TraceEventKind, VcdWriter};
 pub use wheel::{TimingWheel, WheelStats};

@@ -227,6 +227,62 @@ pub struct SimStats {
     /// legitimately differ across scheduling modes — but they are exact
     /// deterministic functions of the workload within one mode.
     pub wheel: WheelStats,
+    /// Soft-error resilience counters (zero unless SEU injection or
+    /// recovery ran). Like `wheel`, these describe the fault history of
+    /// the run, not what it computed: a faulty protected run and its
+    /// fault-free twin produce identical results and latency histograms
+    /// but legitimately differ here. Deterministic within one (seed,
+    /// mode) configuration.
+    pub recovery: RecoveryStats,
+}
+
+/// Counters for the soft-error resilience layer: SEU injection, parity /
+/// voting detection, checkpoint rollback and farm-level job failover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Bit flips the SEU model applied to device state.
+    pub seus_injected: u64,
+    /// Strikes that landed on state with no live target (e.g. a result
+    /// latch with nothing in flight) and vanished without effect.
+    pub seus_absorbed: u64,
+    /// Upsets caught by a parity check or a DMR vote disagreement.
+    pub seus_detected: u64,
+    /// Upsets repaired in place (TMR majority vote, scoreboard shadow).
+    pub seus_corrected: u64,
+    /// Checkpoint restores triggered by uncorrected soft errors.
+    pub rollbacks: u64,
+    /// Cycles of work discarded across all rollbacks (work lost).
+    pub cycles_lost: u64,
+    /// Jobs re-executed on a healthy shard after their home shard
+    /// panicked or reported an unrecovered soft error.
+    pub jobs_failed_over: u64,
+    /// Total job retry attempts consumed by the farm's failover pass.
+    pub job_retries: u64,
+}
+
+impl RecoveryStats {
+    /// Mean cycles of work lost per rollback (0 when none occurred).
+    #[must_use]
+    pub fn mean_cycles_lost(&self) -> f64 {
+        if self.rollbacks == 0 {
+            0.0
+        } else {
+            self.cycles_lost as f64 / self.rollbacks as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign<&RecoveryStats> for RecoveryStats {
+    fn add_assign(&mut self, rhs: &RecoveryStats) {
+        self.seus_injected += rhs.seus_injected;
+        self.seus_absorbed += rhs.seus_absorbed;
+        self.seus_detected += rhs.seus_detected;
+        self.seus_corrected += rhs.seus_corrected;
+        self.rollbacks += rhs.rollbacks;
+        self.cycles_lost += rhs.cycles_lost;
+        self.jobs_failed_over += rhs.jobs_failed_over;
+        self.job_retries += rhs.job_retries;
+    }
 }
 
 impl SimStats {
@@ -270,6 +326,12 @@ impl SimStats {
         self.wheel
     }
 
+    /// Soft-error resilience counters (injection/detection/recovery).
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
     /// p50/p95/p99 of the three per-instruction latency legs.
     #[must_use]
     pub fn latency_snapshot(&self) -> LatencySnapshot {
@@ -306,6 +368,7 @@ impl std::ops::AddAssign<&SimStats> for SimStats {
         self.lat_dispatch_retire += &rhs.lat_dispatch_retire;
         self.lat_issue_retire += &rhs.lat_issue_retire;
         self.wheel += &rhs.wheel;
+        self.recovery += &rhs.recovery;
     }
 }
 
@@ -360,6 +423,17 @@ impl fmt::Display for SimStats {
                 f,
                 "; wheel: {} wakes scheduled, {} fired, {} slots skipped",
                 self.wheel.wakes_scheduled, self.wheel.wakes_fired, self.wheel.slots_skipped
+            )?;
+        }
+        if self.recovery.seus_injected > 0 || self.recovery.rollbacks > 0 {
+            write!(
+                f,
+                "; seu: {} injected, {} detected, {} corrected, {} rollbacks ({} cycles lost)",
+                self.recovery.seus_injected,
+                self.recovery.seus_detected,
+                self.recovery.seus_corrected,
+                self.recovery.rollbacks,
+                self.recovery.cycles_lost
             )?;
         }
         if self.lat_issue_retire.count() > 0 {

@@ -160,6 +160,35 @@ pub enum TraceEventKind {
         /// Segments re-sent since the previous retransmit event.
         segments: u32,
     },
+    /// The SEU model flipped one bit of device state.
+    SeuInjected {
+        /// Target class label (static: `"regfile"`, `"flagfile"`,
+        /// `"latch"`, `"scoreboard"`).
+        target: &'static str,
+        /// Register / unit index within the target class.
+        index: u8,
+        /// Bit position flipped.
+        bit: u8,
+    },
+    /// A parity check caught a corrupted register/flag file entry on read.
+    SeuDetected {
+        /// Register number that failed its parity check.
+        reg: u8,
+    },
+    /// Redundant state repaired a soft error in place (TMR majority vote
+    /// or scoreboard shadow restore) — no rollback needed.
+    SeuCorrected {
+        /// Functional-unit index (voting) or scoreboard slot (shadow).
+        unit: u8,
+    },
+    /// The host rolled the system back to its last checkpoint after an
+    /// uncorrected soft error.
+    Rollback {
+        /// Cycle the restored checkpoint was taken at.
+        to_cycle: u64,
+        /// Cycles of work discarded by the rollback.
+        lost_cycles: u64,
+    },
 }
 
 impl fmt::Display for TraceEventKind {
@@ -202,6 +231,15 @@ impl fmt::Display for TraceEventKind {
             TraceEventKind::LinkRetransmit { segments } => {
                 write!(f, "link: retransmit {segments} segment(s)")
             }
+            TraceEventKind::SeuInjected { target, index, bit } => {
+                write!(f, "seu: flip {target}[{index}] bit {bit}")
+            }
+            TraceEventKind::SeuDetected { reg } => write!(f, "seu: parity mismatch r{reg}"),
+            TraceEventKind::SeuCorrected { unit } => write!(f, "seu: corrected at {unit}"),
+            TraceEventKind::Rollback {
+                to_cycle,
+                lost_cycles,
+            } => write!(f, "rollback: to cycle {to_cycle} ({lost_cycles} lost)"),
         }
     }
 }

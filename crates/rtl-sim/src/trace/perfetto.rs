@@ -51,6 +51,11 @@ fn track_name(kind: &TraceEventKind) -> String {
             format!("link {}", dir.label())
         }
         TraceEventKind::LinkRetransmit { .. } => "link retransmit".to_string(),
+        TraceEventKind::SeuInjected { target, .. } => format!("seu {target}"),
+        TraceEventKind::SeuDetected { .. } | TraceEventKind::SeuCorrected { .. } => {
+            "seu".to_string()
+        }
+        TraceEventKind::Rollback { .. } => "recovery".to_string(),
     }
 }
 
@@ -72,6 +77,13 @@ fn instant_name(kind: &TraceEventKind) -> String {
         TraceEventKind::LinkTx { .. } => "tx".to_string(),
         TraceEventKind::LinkRx { .. } => "rx".to_string(),
         TraceEventKind::LinkRetransmit { segments } => format!("retransmit {segments}"),
+        TraceEventKind::SeuInjected { index, bit, .. } => format!("flip [{index}] bit {bit}"),
+        TraceEventKind::SeuDetected { reg } => format!("parity mismatch r{reg}"),
+        TraceEventKind::SeuCorrected { unit } => format!("corrected at {unit}"),
+        TraceEventKind::Rollback {
+            to_cycle,
+            lost_cycles,
+        } => format!("rollback to {to_cycle} ({lost_cycles} lost)"),
     }
 }
 

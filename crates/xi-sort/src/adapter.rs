@@ -35,7 +35,7 @@ enum AdapterState {
 }
 
 /// The χ-sort functional unit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct XiSortAdapter {
     core: XiSortCore,
     word_bits: u32,
@@ -196,6 +196,10 @@ impl FunctionalUnit for XiSortAdapter {
 
     fn variety_reads_srcs(&self, _variety: u8) -> [bool; 3] {
         [true, false, false]
+    }
+
+    fn clone_unit(&self) -> Option<Box<dyn FunctionalUnit>> {
+        Some(Box::new(self.clone()))
     }
 
     fn area(&self) -> AreaEstimate {

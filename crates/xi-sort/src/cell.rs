@@ -216,7 +216,9 @@ impl TailState {
     fn interval_at(&self, i: usize) -> IndexInterval {
         match self.interval {
             TailInterval::Uniform(iv) => iv,
-            TailInterval::Affine { offset } => IndexInterval::precise(offset.wrapping_add(i as u32)),
+            TailInterval::Affine { offset } => {
+                IndexInterval::precise(offset.wrapping_add(i as u32))
+            }
         }
     }
 
@@ -352,8 +354,13 @@ impl CellArena {
     /// passing either here panics, mirroring [`SimdCell::apply`].
     pub fn apply_all(&mut self, cmd: CellCmd, b: Broadcast) {
         if self.data.len() < self.n {
-            match Self::plan_tail(self.tail, cmd, b, self.data.len() as u32, (self.n - 1) as u32)
-            {
+            match Self::plan_tail(
+                self.tail,
+                cmd,
+                b,
+                self.data.len() as u32,
+                (self.n - 1) as u32,
+            ) {
                 TailPlan::Set(t) => self.tail = t,
                 TailPlan::Materialize => self.materialize_tail(),
             }
@@ -594,10 +601,7 @@ impl CellArena {
             return Some((i as u32, self.get(i)));
         }
         if self.tail.selected && self.data.len() < self.n {
-            return Some((
-                self.data.len() as u32,
-                self.tail.cell_at(self.data.len()),
-            ));
+            return Some((self.data.len() as u32, self.tail.cell_at(self.data.len())));
         }
         None
     }

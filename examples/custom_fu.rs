@@ -25,6 +25,7 @@ use fu_units::{Kernel, KernelOutput, MinimalFu};
 use rtl_sim::{AreaEstimate, CriticalPath};
 
 /// Saturating multiply-accumulate over one register word.
+#[derive(Clone)]
 struct SatMacKernel;
 
 impl Kernel for SatMacKernel {

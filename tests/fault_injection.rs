@@ -154,6 +154,79 @@ proptest! {
     }
 }
 
+/// As [`watchdog_run`] but in `Scheduled` mode and paced by the drain
+/// helpers instead of one settle: each phase pulls its exact response
+/// count with [`util::drain_responses`] while faults are still being
+/// injected, then the system must park fully idle with nothing left in
+/// the host queue.
+fn watchdog_drain_scheduled(seed: u64, permille: u32, max_busy: u64) -> Vec<DevMsg> {
+    let link = LinkModel::tightly_coupled();
+    let tcfg = TransportConfig::for_link(link.latency_cycles, link.cycles_per_frame);
+    let cfg = CoprocConfig {
+        max_busy_cycles: Some(max_busy),
+        ..CoprocConfig::default()
+    };
+    let units: Vec<Box<dyn FunctionalUnit>> = vec![
+        Box::new(StuckFu::new("hang", 9)),
+        Box::new(LatencyFu::new("add", 1, 2)),
+    ];
+    let faults = (permille > 0).then(|| FaultModel::uniform(seed, permille));
+    let mut sys = System::new_reliable(cfg, units, link, tcfg, faults).expect("valid config");
+    sys.set_activity_mode(ActivityMode::Scheduled);
+    sys.send(&HostMsg::WriteReg {
+        reg: 1,
+        value: Word::from_u64(3, 32),
+    });
+    sys.send(&HostMsg::WriteReg {
+        reg: 2,
+        value: Word::from_u64(0, 32),
+    });
+    sys.send(&stuck_instr(5));
+    for _ in 0..4 {
+        sys.send(&dependent_add());
+    }
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 1 });
+    sys.send(&HostMsg::ReadReg { reg: 5, tag: 2 });
+    sys.send(&HostMsg::Sync { tag: 3 });
+    // Phase 1 answers with exactly four messages: the in-band timeout,
+    // both reads, and the sync ack.
+    let mut out = util::drain_responses(&mut sys, 4, util::STREAM_BUDGET);
+    sys.send(&stuck_instr(6));
+    sys.send(&HostMsg::ReadReg { reg: 2, tag: 4 });
+    sys.send(&HostMsg::Sync { tag: 5 });
+    // Phase 2: the quarantine fail-fast, the healthy read, the ack.
+    out.extend(util::drain_responses(&mut sys, 3, util::STREAM_BUDGET));
+    // With the stream fully claimed the system must park: idle within
+    // the settle budget (acks included) and no dangling response.
+    util::settle(&mut sys, util::STREAM_BUDGET);
+    assert!(sys.is_idle(), "settle returned before idle");
+    assert!(
+        sys.recv().is_none(),
+        "drained system still had a queued response"
+    );
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The event-wheel mode under the combined stress — link faults plus
+    /// a hung unit driven through watchdog quarantine — agrees bit for
+    /// bit with gated stepping, and `is_idle`/the drain helpers behave:
+    /// each phase's responses can be pulled exactly while faults are
+    /// live, after which the system parks clean.
+    #[test]
+    fn scheduled_mode_quarantine_drains_and_parks_idle(
+        seed in any::<u64>(),
+        permille in 0u32..=200,
+        max_busy in 40u64..200,
+    ) {
+        let gated = watchdog_run(seed, permille, max_busy, ActivityMode::Gated);
+        let scheduled = watchdog_drain_scheduled(seed, permille, max_busy);
+        prop_assert_eq!(&gated, &scheduled, "scheduled mode diverged under faults");
+    }
+}
+
 /// Run the arithmetic round trip on a reliable, traced system with the
 /// given fault model; return the response stream and the system for
 /// trace/stats inspection.

@@ -35,13 +35,7 @@ struct Observed {
 /// time, stage busy-ness and the always-on latency histograms. The
 /// stepped/skipped/eval/wheel counters are deliberately excluded — they
 /// describe simulator effort, not machine behaviour.
-fn invariant_slice(
-    s: &SimStats,
-) -> (
-    u64,
-    &Vec<(&'static str, u64)>,
-    [&LatencyHistogram; 3],
-) {
+fn invariant_slice(s: &SimStats) -> (u64, &Vec<(&'static str, u64)>, [&LatencyHistogram; 3]) {
     (
         s.cycles_simulated,
         &s.stage_busy,
@@ -71,7 +65,7 @@ fn observe(
             },
             CoprocConfig::default(),
             LinkModel::pcie_like(),
-            faults.clone(),
+            faults,
         )
     };
     let mut farm = build();
@@ -145,9 +139,9 @@ proptest! {
             }
         };
         let faults = fault_model(fault, seed);
-        let gated = observe(&jobs, shards, seed, ActivityMode::Gated, faults.clone());
+        let gated = observe(&jobs, shards, seed, ActivityMode::Gated, faults);
         let exhaustive =
-            observe(&jobs, shards, seed, ActivityMode::Exhaustive, faults.clone());
+            observe(&jobs, shards, seed, ActivityMode::Exhaustive, faults);
         let scheduled =
             observe(&jobs, shards, seed, ActivityMode::Scheduled, faults);
 
@@ -179,11 +173,9 @@ fn pinned_mixed_workload_agrees_in_all_modes() {
     jobs.extend(xi_jobs(4, 2, 0x18));
     for shards in [1usize, 3] {
         for fault in [None, Some(FaultModel::uniform(7, 96))] {
-            let gated = observe(&jobs, shards, 0x17, ActivityMode::Gated, fault.clone());
-            let scheduled =
-                observe(&jobs, shards, 0x17, ActivityMode::Scheduled, fault.clone());
-            let exhaustive =
-                observe(&jobs, shards, 0x17, ActivityMode::Exhaustive, fault);
+            let gated = observe(&jobs, shards, 0x17, ActivityMode::Gated, fault);
+            let scheduled = observe(&jobs, shards, 0x17, ActivityMode::Scheduled, fault);
+            let exhaustive = observe(&jobs, shards, 0x17, ActivityMode::Exhaustive, fault);
             assert_equivalent(&gated, &exhaustive, "exhaustive (pinned)");
             assert_equivalent(&gated, &scheduled, "scheduled (pinned)");
             assert!(scheduled.sim.wheel.wakes_scheduled() > 0);
