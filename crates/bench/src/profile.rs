@@ -20,6 +20,7 @@ use fu_rtm::{ActivityMode, CoprocConfig};
 use rtl_sim::{LatencySnapshot, SimStats};
 
 use crate::links::arith_batch_mode;
+use crate::serving::{serving_smoke, ServeCounts};
 use crate::soft_errors::{soft_error_smoke, SoftCounts};
 use crate::throughput::{arith_jobs, xi_jobs};
 
@@ -266,6 +267,10 @@ pub struct SmokeBaseline {
     /// run that must stay bit-identical to its fault-free reference,
     /// plus a farm-failover run).
     pub soft: SoftCounts,
+    /// Deterministic counters from the E17 serving smoke (a saturated
+    /// multi-tenant run whose admission and completion behaviour is
+    /// pinned exactly, with 5% headroom on scheduler efficiency).
+    pub serving: ServeCounts,
 }
 
 impl SmokeBaseline {
@@ -275,6 +280,7 @@ impl SmokeBaseline {
             gated: WorkCounts::of(&sim_speed_smoke(ActivityMode::Gated)),
             scheduled: WorkCounts::of(&sim_speed_smoke(ActivityMode::Scheduled)),
             soft: soft_error_smoke(),
+            serving: serving_smoke(),
         }
     }
 
@@ -282,10 +288,11 @@ impl SmokeBaseline {
     /// the parser relies on the order).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"bench\": \"sim_speed_smoke\",\n  \"gated\": {},\n  \"scheduled\": {},\n  \"soft_errors\": {}\n}}\n",
+            "{{\n  \"bench\": \"sim_speed_smoke\",\n  \"gated\": {},\n  \"scheduled\": {},\n  \"soft_errors\": {},\n  \"serving\": {}\n}}\n",
             self.gated.json_fields("  "),
             self.scheduled.json_fields("  "),
-            self.soft.json_fields("  ")
+            self.soft.json_fields("  "),
+            self.serving.json_fields("  ")
         )
     }
 
@@ -303,13 +310,19 @@ impl SmokeBaseline {
         let soft_at = text
             .find("\"soft_errors\":")
             .ok_or("baseline is missing the soft_errors section")?;
-        if s_at < g_at || soft_at < s_at {
-            return Err("baseline sections out of order (gated, scheduled, soft_errors)".into());
+        let serving_at = text
+            .find("\"serving\":")
+            .ok_or("baseline is missing the serving section")?;
+        if s_at < g_at || soft_at < s_at || serving_at < soft_at {
+            return Err(
+                "baseline sections out of order (gated, scheduled, soft_errors, serving)".into(),
+            );
         }
         Ok(SmokeBaseline {
             gated: WorkCounts::from_json(&text[g_at..s_at])?,
             scheduled: WorkCounts::from_json(&text[s_at..soft_at])?,
-            soft: SoftCounts::from_json(&text[soft_at..])?,
+            soft: SoftCounts::from_json(&text[soft_at..serving_at])?,
+            serving: ServeCounts::from_json(&text[serving_at..])?,
         })
     }
 
@@ -334,7 +347,10 @@ impl SmokeBaseline {
             .map_err(|e| format!("scheduled: {e}"))?;
         self.soft
             .check_against(&baseline.soft)
-            .map_err(|e| format!("soft_errors: {e}"))
+            .map_err(|e| format!("soft_errors: {e}"))?;
+        self.serving
+            .check_against(&baseline.serving)
+            .map_err(|e| format!("serving: {e}"))
     }
 }
 
@@ -371,6 +387,15 @@ mod tests {
         }
     }
 
+    fn serving() -> ServeCounts {
+        ServeCounts {
+            jobs_completed: 500,
+            jobs_shed: 100,
+            rounds: 40,
+            clock_cycles: 900_000,
+        }
+    }
+
     fn counts(cycles_stepped: u64, stage_evals_total: u64) -> WorkCounts {
         WorkCounts {
             cycles_simulated: 1000,
@@ -393,6 +418,7 @@ mod tests {
             },
             scheduled: counts(1234, 8765),
             soft: soft(),
+            serving: serving(),
         };
         assert_eq!(SmokeBaseline::from_json(&b.to_json()), Ok(b));
     }
@@ -431,6 +457,7 @@ mod tests {
             gated: counts(100, 400),
             scheduled: counts(50, 200),
             soft: soft(),
+            serving: serving(),
         };
         assert!(b.check_against(&b).is_ok());
         let diverged = SmokeBaseline {

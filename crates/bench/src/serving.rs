@@ -1,0 +1,424 @@
+//! Multi-tenant serving measurement (experiment E17).
+//!
+//! The farm experiments (E13/E15) measure the shard pool under batch
+//! submission: all jobs present at t=0. E17 measures the serving layer
+//! (`fu_host::serve`) the way a deployment would see it — an open-loop
+//! population of clients, Zipf-skewed across tenants, submitting against
+//! per-tenant bounded queues with deficit-round-robin scheduling. The
+//! sweep varies shard count, tenant count and offered load, and reports
+//! sustained throughput, per-tenant-tier latency percentiles and the
+//! shed fraction; every delivered completion is verified against the
+//! workload generator's ground-truth expected value.
+//!
+//! The CI smoke (`serving_smoke`) pins the fully deterministic counters
+//! of one saturated configuration in `ci/sim_speed_baseline.json`: the
+//! completion and shed counts are behaviour (gated exactly), the round
+//! and virtual-clock counts are scheduler efficiency (gated at ≤5%).
+
+use std::collections::HashMap;
+
+use fu_host::serve::workload::{open_loop, WorkloadSpec};
+use fu_host::{
+    Admission, Farm, FarmConfig, JobOutput, LinkModel, Placement, ServeConfig, Service, TenantSlo,
+    TenantSpec,
+};
+use fu_isa::DevMsg;
+use fu_rtm::CoprocConfig;
+use rtl_sim::TenantCounters;
+
+use crate::FPGA_MHZ;
+
+/// Tenant weight tiers: the first tenant is "gold" (weight 4), the next
+/// three "silver" (weight 2), the rest "bronze" (weight 1). Zipf rank
+/// order means the heavy tenants are also the big ones — the cruel case
+/// for fairness, since the bronze tail must keep its share under a gold
+/// flood.
+#[must_use]
+pub fn tenant_specs(tenants: u32) -> Vec<TenantSpec> {
+    (0..tenants)
+        .map(|t| {
+            let (tier, weight) = tier_of(t);
+            TenantSpec::new(format!("{tier}-{t}"), weight)
+        })
+        .collect()
+}
+
+/// `(tier label, DRR weight)` for a tenant rank.
+#[must_use]
+pub fn tier_of(tenant: u32) -> (&'static str, u32) {
+    match tenant {
+        0 => ("gold", 4),
+        1..=3 => ("silver", 2),
+        _ => ("bronze", 1),
+    }
+}
+
+/// Aggregate SLO for one weight tier of a run.
+#[derive(Debug, Clone)]
+pub struct TierSlo {
+    /// Tier label (`gold` / `silver` / `bronze`).
+    pub tier: &'static str,
+    /// DRR weight of the tier's tenants.
+    pub weight: u32,
+    /// Tenants in the tier.
+    pub tenants: u32,
+    /// Merged counters (histograms merged element-wise).
+    pub counters: TenantCounters,
+}
+
+/// One sweep point's outcome.
+#[derive(Debug, Clone)]
+pub struct ServingRun {
+    /// Shards in the farm.
+    pub shards: usize,
+    /// Tenants in the service.
+    pub tenants: u32,
+    /// Simulated client sessions.
+    pub clients: usize,
+    /// Mean per-client inter-arrival gap, cycles (offered load knob).
+    pub mean_gap: u64,
+    /// Jobs offered / admitted / shed / completed / failed.
+    pub offered: u64,
+    /// Jobs accepted into queues.
+    pub admitted: u64,
+    /// Jobs rejected in-band at admission.
+    pub shed: u64,
+    /// Jobs that completed successfully (all verified).
+    pub completed: u64,
+    /// Jobs that completed with an error.
+    pub failed: u64,
+    /// Virtual cycles from first arrival to the last round's end.
+    pub clock_cycles: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Sustained successful operations per second at [`FPGA_MHZ`].
+    pub ops_per_sec: f64,
+    /// `shed / offered`, in `[0, 1]`.
+    pub shed_fraction: f64,
+    /// Per-tenant SLO snapshots.
+    pub slo: Vec<TenantSlo>,
+    /// Per-tier aggregate SLO.
+    pub tiers: Vec<TierSlo>,
+}
+
+/// Run one E17 sweep point: generate the open-loop arrival sequence,
+/// serve it to completion, verify every delivered result against the
+/// generator's expected value, and distil the statistics.
+///
+/// # Panics
+/// On a farm orchestration failure, a lost/duplicated completion, or a
+/// completion whose payload differs from ground truth — all harness
+/// bugs, not measured outcomes.
+#[must_use]
+pub fn serving_run(
+    shards: usize,
+    tenants: u32,
+    clients: usize,
+    mean_gap: u64,
+    queue_depth: usize,
+    seed: u64,
+    parallel: bool,
+) -> ServingRun {
+    let spec = WorkloadSpec {
+        clients,
+        tenants,
+        jobs_per_client: 2,
+        mean_gap,
+        seed,
+    };
+    let arrivals = open_loop(&spec);
+    let farm = Farm::standard(
+        FarmConfig {
+            shards,
+            seed,
+            placement: Placement::LeastLoaded,
+            ..FarmConfig::default()
+        },
+        CoprocConfig::default(),
+        LinkModel::ideal(),
+    );
+    let mut svc = Service::new(
+        ServeConfig {
+            queue_depth,
+            quantum: 8,
+            round_jobs: 64,
+            parallel,
+        },
+        tenant_specs(tenants),
+        farm,
+    )
+    .expect("valid E17 service");
+
+    let mut expected: HashMap<u64, u64> = HashMap::with_capacity(arrivals.len());
+    let mut done = Vec::with_capacity(arrivals.len());
+    for a in &arrivals {
+        match svc
+            .submit(a.tenant, a.tick, a.job.clone())
+            .expect("E17 submit")
+        {
+            Admission::Admitted { seq } => {
+                expected.insert(seq, a.expect);
+            }
+            Admission::Overloaded { .. } => {}
+        }
+        // Poll as a real front-end would; correctness does not depend on
+        // the cadence (the serving test battery proves it).
+        done.extend(svc.poll());
+    }
+    done.extend(svc.drain().expect("E17 drain"));
+
+    for c in &done {
+        let want = expected
+            .remove(&c.seq)
+            .expect("completion for an unadmitted or duplicated seq");
+        match &c.output {
+            Ok(JobOutput::Msgs(msgs)) => match &msgs[..] {
+                [DevMsg::Data { value, .. }] => {
+                    assert_eq!(value.as_u64(), want, "seq {} wrong payload", c.seq);
+                }
+                other => panic!("seq {}: unexpected responses {other:?}", c.seq),
+            },
+            other => panic!("seq {}: job failed: {other:?}", c.seq),
+        }
+    }
+    assert!(
+        expected.is_empty(),
+        "{} admitted jobs never completed",
+        expected.len()
+    );
+
+    let totals = svc.stats().totals();
+    let clock = svc.clock();
+    let slo = svc.slo(FPGA_MHZ);
+    let tiers = tier_slos(&svc, tenants);
+    ServingRun {
+        shards,
+        tenants,
+        clients,
+        mean_gap,
+        offered: totals.submitted,
+        admitted: totals.admitted,
+        shed: totals.shed,
+        completed: totals.completed,
+        failed: totals.failed,
+        clock_cycles: clock,
+        rounds: svc.stats().rounds,
+        ops_per_sec: if clock == 0 {
+            0.0
+        } else {
+            totals.completed as f64 / (clock as f64 / (FPGA_MHZ * 1e6))
+        },
+        shed_fraction: totals.shed_rate(),
+        slo,
+        tiers,
+    }
+}
+
+fn tier_slos(svc: &Service, tenants: u32) -> Vec<TierSlo> {
+    let mut out: Vec<TierSlo> = Vec::new();
+    for t in 0..tenants {
+        let (tier, weight) = tier_of(t);
+        let Some(c) = svc.stats().tenant(t) else {
+            continue;
+        };
+        match out.iter_mut().find(|x| x.tier == tier) {
+            Some(x) => {
+                x.tenants += 1;
+                x.counters += c;
+            }
+            None => out.push(TierSlo {
+                tier,
+                weight,
+                tenants: 1,
+                counters: c.clone(),
+            }),
+        }
+    }
+    out
+}
+
+/// Deterministic counters from the serving smoke the CI baseline pins.
+/// Everything downstream of the seed is a pure function of it, so any
+/// drift in `jobs_completed`/`jobs_shed` is an admission or scheduling
+/// behaviour change; `rounds` and `clock_cycles` are scheduler
+/// efficiency and get the usual 5% headroom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCounts {
+    /// Jobs that completed successfully (and verified).
+    pub jobs_completed: u64,
+    /// Jobs shed in-band at admission.
+    pub jobs_shed: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Virtual cycles to drain the smoke workload.
+    pub clock_cycles: u64,
+}
+
+impl ServeCounts {
+    /// Serialize as one baseline JSON object (no surrounding document),
+    /// matching the `WorkCounts` baseline idiom.
+    #[must_use]
+    pub fn json_fields(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"jobs_completed\": {},\n\
+             {indent}  \"jobs_shed\": {},\n\
+             {indent}  \"rounds\": {},\n\
+             {indent}  \"clock_cycles\": {}\n{indent}}}",
+            self.jobs_completed, self.jobs_shed, self.rounds, self.clock_cycles
+        )
+    }
+
+    /// Parse the counters out of a JSON fragment.
+    ///
+    /// # Errors
+    /// Returns a description of the missing/malformed field.
+    pub fn from_json(text: &str) -> Result<ServeCounts, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            let key = format!("\"{name}\":");
+            let at = text
+                .find(&key)
+                .ok_or_else(|| format!("baseline is missing {name}"))?;
+            let rest = text[at + key.len()..].trim_start();
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits
+                .parse()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        Ok(ServeCounts {
+            jobs_completed: field("jobs_completed")?,
+            jobs_shed: field("jobs_shed")?,
+            rounds: field("rounds")?,
+            clock_cycles: field("clock_cycles")?,
+        })
+    }
+
+    /// The serving gate: completion and shed counts are pinned exactly
+    /// (the smoke is deterministic — a change is an admission/scheduling
+    /// behaviour change, not noise); rounds and the virtual clock get
+    /// the same ≤5% headroom as the work counters.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated bound.
+    pub fn check_against(&self, baseline: &ServeCounts) -> Result<(), String> {
+        if self.jobs_completed != baseline.jobs_completed {
+            return Err(format!(
+                "jobs_completed changed: {} vs baseline {} (behaviour change, re-baseline deliberately)",
+                self.jobs_completed, baseline.jobs_completed
+            ));
+        }
+        if self.jobs_shed != baseline.jobs_shed {
+            return Err(format!(
+                "jobs_shed changed: {} vs baseline {} (admission behaviour drifted)",
+                self.jobs_shed, baseline.jobs_shed
+            ));
+        }
+        let within = |name: &str, got: u64, base: u64| -> Result<(), String> {
+            if got * 20 > base * 21 {
+                Err(format!("{name} regressed >5%: {got} vs baseline {base}"))
+            } else {
+                Ok(())
+            }
+        };
+        within("rounds", self.rounds, baseline.rounds)?;
+        within("clock_cycles", self.clock_cycles, baseline.clock_cycles)
+    }
+}
+
+/// Fixed seed for the CI serving smoke.
+pub const SMOKE_SEED: u64 = 0x0E17_5EED;
+/// Clients in the smoke (kept small; the full sweep runs 10k).
+pub const SMOKE_CLIENTS: usize = 300;
+/// Mean inter-arrival gap for the smoke: hot enough to saturate the
+/// two-shard farm and force shedding through the bounded queues.
+pub const SMOKE_GAP: u64 = 2_000;
+/// Queue bound for the smoke.
+pub const SMOKE_DEPTH: usize = 8;
+
+/// Run the CI serving smoke and distil its counters.
+///
+/// # Panics
+/// When the smoke loses a job, duplicates a completion, returns a wrong
+/// payload, or fails to exercise shedding — each fails the build
+/// outright rather than drifting a counter.
+#[must_use]
+pub fn serving_smoke() -> ServeCounts {
+    let run = serving_run(
+        2,
+        4,
+        SMOKE_CLIENTS,
+        SMOKE_GAP,
+        SMOKE_DEPTH,
+        SMOKE_SEED,
+        false,
+    );
+    assert!(run.shed > 0, "E17 smoke must exercise load shedding");
+    assert!(run.failed == 0, "E17 smoke must not fail jobs");
+    assert_eq!(
+        run.offered,
+        (SMOKE_CLIENTS * 2) as u64,
+        "E17 smoke offered-load mismatch"
+    );
+    ServeCounts {
+        jobs_completed: run.completed,
+        jobs_shed: run.shed,
+        rounds: run.rounds,
+        clock_cycles: run.clock_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_counters_are_deterministic() {
+        let a = serving_smoke();
+        let b = serving_smoke();
+        assert_eq!(a, b);
+        assert!(a.jobs_completed > 0 && a.jobs_shed > 0);
+    }
+
+    #[test]
+    fn serve_counter_gate_roundtrips_and_rejects_drift() {
+        let base = ServeCounts {
+            jobs_completed: 500,
+            jobs_shed: 100,
+            rounds: 40,
+            clock_cycles: 900_000,
+        };
+        assert_eq!(ServeCounts::from_json(&base.json_fields("")), Ok(base));
+        assert!(base.check_against(&base).is_ok());
+        // Behaviour counters are pinned exactly.
+        let drifted = ServeCounts {
+            jobs_completed: 501,
+            ..base
+        };
+        assert!(drifted.check_against(&base).is_err());
+        let admission = ServeCounts {
+            jobs_shed: 99,
+            ..base
+        };
+        assert!(admission.check_against(&base).is_err());
+        // Efficiency counters get the 5% headroom, no more.
+        let ok = ServeCounts { rounds: 42, ..base };
+        assert!(ok.check_against(&base).is_ok());
+        let slow = ServeCounts {
+            clock_cycles: 946_000,
+            ..base
+        };
+        assert!(slow.check_against(&base).is_err());
+    }
+
+    #[test]
+    fn tiers_cover_all_tenants() {
+        let specs = tenant_specs(8);
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].weight, 4);
+        assert_eq!(specs[1].weight, 2);
+        assert_eq!(specs[4].weight, 1);
+        let run = serving_run(1, 8, 40, 4_000, 16, 7, false);
+        let tier_total: u64 = run.tiers.iter().map(|t| t.counters.submitted).sum();
+        assert_eq!(tier_total, run.offered);
+        assert_eq!(run.completed + run.shed + run.failed, run.offered);
+    }
+}

@@ -51,6 +51,23 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How jobs are assigned to shards. Both policies are pure functions of
+/// the job list, computed up front on the calling thread, so serial and
+/// parallel runs take bit-identical placement decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Job `i` runs on shard `i % shards`. Simple and stable, but blind
+    /// to job weight: one heavy job convoys every lighter job that
+    /// round-robin lands behind it on the same shard.
+    #[default]
+    RoundRobin,
+    /// Each job (in submission order) goes to the shard with the least
+    /// accumulated estimated cost ([`Job::cost`]), ties to the lowest
+    /// index. A heavy job claims a shard and subsequent light jobs route
+    /// around it instead of queueing behind it.
+    LeastLoaded,
+}
+
 /// Farm-level knobs. The shard *contents* come from the builder closure
 /// passed to [`Farm::new`]; this struct only shapes the orchestration.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +95,9 @@ pub struct FarmConfig {
     /// paths. `0` (the default) disables failover — failures stay data in
     /// the results; panicked shards are still rebuilt either way.
     pub max_job_retries: u32,
+    /// Job→shard assignment policy. Both run paths use the same
+    /// precomputed plan, so placement never breaks serial ≡ parallel.
+    pub placement: Placement,
 }
 
 impl Default for FarmConfig {
@@ -90,6 +110,7 @@ impl Default for FarmConfig {
             activity_mode: ActivityMode::default(),
             trace_depth: 0,
             max_job_retries: 0,
+            placement: Placement::RoundRobin,
         }
     }
 }
@@ -126,6 +147,34 @@ pub enum Job {
     XiSort(Vec<u32>),
 }
 
+impl Job {
+    /// Estimated cost of the job in abstract work units, used by
+    /// [`Placement::LeastLoaded`] and by the serving layer's
+    /// deficit-round-robin scheduler. A pure function of the job payload
+    /// (instruction/message counts, element counts), never of runtime
+    /// state — placement planned from it is deterministic.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        let c = match self {
+            // One unit per instruction line plus the readback traffic.
+            Job::Program { source, reads } => {
+                let instrs = source
+                    .lines()
+                    .filter(|l| {
+                        let t = l.trim();
+                        !t.is_empty() && !t.starts_with(';')
+                    })
+                    .count();
+                (instrs + reads.len()) as u64
+            }
+            Job::Requests(msgs) => msgs.len() as u64,
+            // A sort costs load + sort rounds + element-wise readback.
+            Job::XiSort(values) => 4 * values.len() as u64,
+        };
+        c.max(1)
+    }
+}
+
 /// What a job produced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutput {
@@ -145,9 +194,14 @@ pub enum JobOutput {
 pub struct JobResult {
     /// Index of the job in the submitted slice.
     pub job: usize,
-    /// Shard that produced this output: `job % shards` on first
+    /// Shard that produced this output: the planned shard on first
     /// execution, the retry shard when the failover pass re-ran the job.
     pub shard: usize,
+    /// Simulated cycles the shard spent executing this job (the delta of
+    /// the shard's cycle counter across the job; `0` when the shard
+    /// panicked under it). Bit-identical between serial and parallel
+    /// runs, like the output itself.
+    pub cycles: u64,
     /// Responses, or the driver error the job died with. Errors are data
     /// here — a failing job must not take the farm down, and the error
     /// itself must be bit-identical between serial and parallel runs.
@@ -265,9 +319,17 @@ impl Farm {
         &self.cfg
     }
 
-    /// The shard job `job_index` is (and will always be) assigned to.
+    /// The shard job `job_index` maps to under round-robin placement.
+    /// For weight-aware policies use [`Farm::plan`], which needs the
+    /// whole job list.
     pub fn assign(&self, job_index: usize) -> usize {
         job_index % self.cfg.shards.max(1)
+    }
+
+    /// The job→shard plan for `jobs` under the configured placement
+    /// policy — the exact assignment both run paths will use.
+    pub fn plan(&self, jobs: &[Job]) -> Vec<usize> {
+        plan_assignment(&self.cfg, jobs)
     }
 
     /// The derived seed shard `index` is built with.
@@ -309,19 +371,25 @@ impl Farm {
         let mut drivers = (0..self.cfg.shards)
             .map(|s| self.build_shard(s))
             .collect::<Result<Vec<_>, _>>()?;
+        let plan = plan_assignment(&self.cfg, jobs);
         let mut counts = vec![0u64; self.cfg.shards];
         let mut results = Vec::with_capacity(jobs.len());
         for (i, job) in jobs.iter().enumerate() {
-            let s = self.assign(i);
+            let s = plan[i];
             counts[s] += 1;
+            let before = drivers[s].cycles();
             let output = run_job_guarded(&mut drivers[s], job);
-            if matches!(output, Err(DriverError::Panicked(_))) {
+            let cycles = if matches!(output, Err(DriverError::Panicked(_))) {
                 drivers[s] = build_shard_from(&self.builder, &self.cfg, s)
                     .expect("shard builder already succeeded for this index");
-            }
+                0
+            } else {
+                drivers[s].cycles() - before
+            };
             results.push(JobResult {
                 job: i,
                 shard: s,
+                cycles,
                 output,
             });
         }
@@ -332,6 +400,7 @@ impl Farm {
             &mut counts,
             &mut results,
             jobs,
+            &plan,
         );
         self.failed_over = failed_over;
         self.job_retries = retries;
@@ -358,11 +427,11 @@ impl Farm {
             .map(|s| self.build_shard(s))
             .collect::<Result<Vec<_>, _>>()?;
         let queue_depth = self.cfg.queue_depth.max(1);
+        let plan = plan_assignment(&self.cfg, jobs);
         let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
         let mut drivers_back: Vec<Option<Driver>> = (0..self.cfg.shards).map(|_| None).collect();
         let mut counts = vec![0u64; self.cfg.shards];
         let shards = self.cfg.shards;
-        let assign = |i: usize| i % shards;
         std::thread::scope(|scope| -> Result<(), FarmError> {
             let mut senders = Vec::with_capacity(shards);
             let mut handles = Vec::with_capacity(shards);
@@ -378,17 +447,22 @@ impl Farm {
                     let mut n = 0u64;
                     while let Ok((idx, job)) = rx.recv() {
                         n += 1;
+                        let before = drv.cycles();
                         let output = run_job_guarded(&mut drv, job);
-                        if matches!(output, Err(DriverError::Panicked(_))) {
+                        let cycles = if matches!(output, Err(DriverError::Panicked(_))) {
                             // The panicked simulation is unusable; later
                             // jobs of this shard run on a fresh build,
                             // exactly as in `run_serial`.
                             drv = build_shard_from(&builder, &cfg, s)
                                 .expect("shard builder already succeeded for this index");
-                        }
+                            0
+                        } else {
+                            drv.cycles() - before
+                        };
                         out.push(JobResult {
                             job: idx,
                             shard: s,
+                            cycles,
                             output,
                         });
                     }
@@ -398,7 +472,7 @@ impl Farm {
             // Feed in submission order. A send only fails when a worker
             // died; surface that as the panic it is about to become.
             for (i, job) in jobs.iter().enumerate() {
-                let s = assign(i);
+                let s = plan[i];
                 if senders[s].send((i, job)).is_err() {
                     break; // joined below; the panic is reported there
                 }
@@ -434,6 +508,7 @@ impl Farm {
             &mut counts,
             &mut results,
             jobs,
+            &plan,
         );
         self.failed_over = failed_over;
         self.job_retries = retries;
@@ -492,6 +567,32 @@ impl Farm {
             return None;
         }
         Some(rtl_sim::trace::perfetto::export(r.trace.iter()))
+    }
+}
+
+/// Compute the job→shard assignment for `jobs` under `cfg.placement`.
+/// A pure function of the job list (never of runtime state), shared by
+/// `run_serial`, `run_parallel` and the failover pass — the placement
+/// half of the serial ≡ parallel determinism argument.
+fn plan_assignment(cfg: &FarmConfig, jobs: &[Job]) -> Vec<usize> {
+    let shards = cfg.shards.max(1);
+    match cfg.placement {
+        Placement::RoundRobin => (0..jobs.len()).map(|i| i % shards).collect(),
+        Placement::LeastLoaded => {
+            let mut load = vec![0u64; shards];
+            jobs.iter()
+                .map(|job| {
+                    let s = load
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &l)| (l, i))
+                        .map(|(i, _)| i)
+                        .expect("shards >= 1");
+                    load[s] += job.cost();
+                    s
+                })
+                .collect()
+        }
     }
 }
 
@@ -564,6 +665,7 @@ fn retryable(out: &Result<JobOutput, DriverError>) -> bool {
 /// round-robin shard choice starting after the job's home shard, so the
 /// serial and parallel paths take bit-identical failover decisions.
 /// Returns `(jobs re-executed, retry attempts consumed)`.
+#[allow(clippy::too_many_arguments)]
 fn failover_pass(
     cfg: &FarmConfig,
     builder: &ShardBuilder,
@@ -571,6 +673,7 @@ fn failover_pass(
     counts: &mut [u64],
     results: &mut [JobResult],
     jobs: &[Job],
+    plan: &[usize],
 ) -> (u64, u64) {
     if cfg.max_job_retries == 0 {
         return (0, 0);
@@ -582,20 +685,25 @@ fn failover_pass(
             continue;
         }
         failed_over += 1;
-        let home = results[i].job % shards;
+        let home = plan[results[i].job];
         for attempt in 0..cfg.max_job_retries as usize {
             retries += 1;
             let s = (home + 1 + attempt) % shards;
             counts[s] += 1;
+            let before = drivers[s].cycles();
             let output = run_job_guarded(&mut drivers[s], &jobs[results[i].job]);
-            if matches!(output, Err(DriverError::Panicked(_))) {
+            let cycles = if matches!(output, Err(DriverError::Panicked(_))) {
                 drivers[s] = build_shard_from(builder, cfg, s)
                     .expect("shard builder already succeeded for this index");
-            }
+                0
+            } else {
+                drivers[s].cycles() - before
+            };
             let done = !retryable(&output);
             results[i] = JobResult {
                 job: results[i].job,
                 shard: s,
+                cycles,
                 output,
             };
             if done {
@@ -970,6 +1078,126 @@ mod tests {
         })));
         assert!(!retryable(&Err(DriverError::Protocol("p".into()))));
         assert!(!retryable(&Ok(JobOutput::Msgs(Vec::new()))));
+    }
+
+    /// One heavy program plus a stream of light ones. Under round-robin
+    /// the heavy job's shard also receives every `shards`-th light job
+    /// and convoys them; least-loaded placement parks the heavy job on
+    /// its own shard and spreads the light jobs across the rest.
+    fn convoy_jobs() -> Vec<Job> {
+        let heavy: String = (0..240)
+            .map(|i| format!("ADD r{}, r4, r5, f{}\n", i % 4, i % 4))
+            .collect();
+        let mut jobs = vec![Job::Program {
+            source: heavy,
+            reads: vec![0],
+        }];
+        for _ in 0..12 {
+            jobs.push(Job::Program {
+                source: "ADD r0, r4, r5, f0\n ADD r1, r4, r5, f1".into(),
+                reads: vec![0],
+            });
+        }
+        jobs
+    }
+
+    #[test]
+    fn job_cost_tracks_payload_size() {
+        assert_eq!(convoy_jobs()[0].cost(), 241);
+        assert_eq!(convoy_jobs()[1].cost(), 3);
+        assert_eq!(Job::Requests(vec![]).cost(), 1, "cost is never zero");
+        assert_eq!(Job::XiSort(vec![1, 2, 3]).cost(), 12);
+        // Comment and blank lines don't count as work.
+        let j = Job::Program {
+            source: "; comment\n\nADD r0, r1, r2, f0".into(),
+            reads: Vec::new(),
+        };
+        assert_eq!(j.cost(), 1);
+    }
+
+    #[test]
+    fn least_loaded_plan_isolates_the_heavy_job() {
+        let jobs = convoy_jobs();
+        let f = Farm::standard(
+            FarmConfig {
+                shards: 3,
+                placement: Placement::LeastLoaded,
+                ..FarmConfig::default()
+            },
+            CoprocConfig::default(),
+            LinkModel::pcie_like(),
+        );
+        let plan = f.plan(&jobs);
+        assert_eq!(plan[0], 0, "first job claims the least-loaded shard");
+        // The heavy job outweighs all light jobs together, so no light
+        // job may be queued behind it.
+        assert!(
+            plan[1..].iter().all(|&s| s != 0),
+            "light jobs routed onto the heavy shard: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn least_loaded_breaks_the_round_robin_convoy() {
+        let jobs = convoy_jobs();
+        let mut makespans = Vec::new();
+        for placement in [Placement::RoundRobin, Placement::LeastLoaded] {
+            let mut f = Farm::standard(
+                FarmConfig {
+                    shards: 3,
+                    placement,
+                    ..FarmConfig::default()
+                },
+                CoprocConfig::default(),
+                LinkModel::pcie_like(),
+            );
+            let out = f.run_parallel(&jobs).unwrap();
+            for r in &out {
+                assert!(r.output.is_ok(), "job {} failed: {:?}", r.job, r.output);
+                assert!(r.cycles > 0, "per-job cycle accounting missing");
+            }
+            makespans.push(f.makespan_cycles());
+        }
+        assert!(
+            makespans[1] < makespans[0],
+            "least-loaded {} should beat round-robin {} on a convoyed batch",
+            makespans[1],
+            makespans[0]
+        );
+    }
+
+    #[test]
+    fn least_loaded_parallel_matches_serial() {
+        let jobs = convoy_jobs();
+        let mut f = Farm::standard(
+            FarmConfig {
+                shards: 3,
+                placement: Placement::LeastLoaded,
+                ..FarmConfig::default()
+            },
+            CoprocConfig::default(),
+            LinkModel::pcie_like(),
+        );
+        let serial = f.run_serial(&jobs).unwrap();
+        let parallel = f.run_parallel(&jobs).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn per_job_cycles_sum_to_shard_cycles() {
+        let jobs = add_jobs(9);
+        let mut f = farm(3);
+        let out = f.run_parallel(&jobs).unwrap();
+        let mut per_shard = vec![0u64; 3];
+        for r in &out {
+            per_shard[r.shard] += r.cycles;
+        }
+        for (report, expect) in f.shard_reports().iter().zip(&per_shard) {
+            assert_eq!(
+                report.cycles, *expect,
+                "shard cycle counter must equal the sum of its job deltas"
+            );
+        }
     }
 
     #[test]

@@ -26,11 +26,15 @@ pub mod driver;
 pub mod farm;
 pub mod link;
 pub mod multihost;
+pub mod serve;
 pub mod system;
 
 pub use baseline::CpuModel;
 pub use driver::{Driver, DriverError};
-pub use farm::{Farm, FarmConfig, FarmError, Job, JobOutput, JobResult, ShardCtx, ShardReport};
+pub use farm::{
+    Farm, FarmConfig, FarmError, Job, JobOutput, JobResult, Placement, ShardCtx, ShardReport,
+};
 pub use link::{FaultModel, FaultStats, Link, LinkModel, LinkStats};
 pub use multihost::MultiHostSystem;
+pub use serve::{Admission, Completion, ServeConfig, Service, TenantId, TenantSlo, TenantSpec};
 pub use system::{System, SystemSnapshot};

@@ -51,7 +51,8 @@ pub use handshake::HandshakeSlot;
 pub use reg::{Reg, SatCounter};
 pub use stall::StallFuzzer;
 pub use stats::{
-    LatencyHistogram, LatencySnapshot, Percentiles, RecoveryStats, SimStats, SlotStats,
+    LatencyHistogram, LatencySnapshot, Percentiles, RecoveryStats, ServeStats, SimStats, SlotStats,
+    TenantCounters,
 };
 pub use trace::{LinkDir, StallCause, TraceBuffer, TraceEvent, TraceEventKind, VcdWriter};
 pub use wheel::{TimingWheel, WheelStats};

@@ -188,6 +188,154 @@ impl std::ops::AddAssign<&LatencyHistogram> for LatencyHistogram {
     }
 }
 
+/// Per-tenant serving counters: admission, shedding, completion and the
+/// arrival→completion latency histogram for one tenant of a multi-tenant
+/// serving front-end.
+///
+/// Everything here is integer state (the histogram is log2-bucketed), so
+/// the struct is `Eq` — bit-identical across runs — and merges with
+/// element-wise addition, exactly like [`SimStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Jobs the tenant offered to the service.
+    pub submitted: u64,
+    /// Jobs accepted into the tenant's queue.
+    pub admitted: u64,
+    /// Jobs rejected in-band at admission (queue full — load shedding).
+    pub shed: u64,
+    /// Admitted jobs discarded because the tenant disconnected before
+    /// they were dispatched.
+    pub cancelled: u64,
+    /// Admitted jobs that completed successfully.
+    pub completed: u64,
+    /// Admitted jobs that completed with a driver error (the error is
+    /// data in the completion record, not a lost job).
+    pub failed: u64,
+    /// Shard cycles consumed executing this tenant's jobs.
+    pub work_cycles: u64,
+    /// Cost units (job weight) dispatched for this tenant — the quantity
+    /// deficit-round-robin fairness is defined over.
+    pub work_cost: u64,
+    /// Submission→completion latency, in virtual service cycles.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantCounters {
+    /// Fraction of submitted jobs rejected at admission, in `[0, 1]`.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Jobs still accounted as queued (admitted but not yet resolved).
+    #[must_use]
+    pub fn in_queue(&self) -> u64 {
+        self.admitted - self.completed - self.failed - self.cancelled
+    }
+}
+
+impl std::ops::AddAssign<&TenantCounters> for TenantCounters {
+    fn add_assign(&mut self, rhs: &TenantCounters) {
+        self.submitted += rhs.submitted;
+        self.admitted += rhs.admitted;
+        self.shed += rhs.shed;
+        self.cancelled += rhs.cancelled;
+        self.completed += rhs.completed;
+        self.failed += rhs.failed;
+        self.work_cycles += rhs.work_cycles;
+        self.work_cost += rhs.work_cost;
+        self.latency += &rhs.latency;
+    }
+}
+
+/// Tenant-keyed serving statistics: one [`TenantCounters`] per tenant id
+/// plus service-wide round/dispatch counters.
+///
+/// Like `SimStats::stage_evals`, the per-tenant entries merge *by key*:
+/// summing two `ServeStats` adds counters for tenants present in both and
+/// appends tenants seen only on one side, so rollups across service
+/// instances (or time slices) work exactly like farm shard rollups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Per-tenant counters, keyed by tenant id, in first-seen order.
+    pub tenants: Vec<(u32, TenantCounters)>,
+    /// Scheduling rounds the service ran.
+    pub rounds: u64,
+    /// Jobs handed to the farm across all rounds.
+    pub dispatched: u64,
+}
+
+impl ServeStats {
+    /// The counters for tenant `id`, if it has any.
+    #[must_use]
+    pub fn tenant(&self, id: u32) -> Option<&TenantCounters> {
+        self.tenants.iter().find(|(t, _)| *t == id).map(|(_, c)| c)
+    }
+
+    /// Mutable counters for tenant `id`, created on first touch.
+    pub fn tenant_mut(&mut self, id: u32) -> &mut TenantCounters {
+        if let Some(at) = self.tenants.iter().position(|(t, _)| *t == id) {
+            return &mut self.tenants[at].1;
+        }
+        self.tenants.push((id, TenantCounters::default()));
+        &mut self.tenants.last_mut().expect("just pushed").1
+    }
+
+    /// Counters summed over every tenant.
+    #[must_use]
+    pub fn totals(&self) -> TenantCounters {
+        let mut all = TenantCounters::default();
+        for (_, c) in &self.tenants {
+            all += c;
+        }
+        all
+    }
+}
+
+impl std::ops::AddAssign<&ServeStats> for ServeStats {
+    fn add_assign(&mut self, rhs: &ServeStats) {
+        for (id, c) in &rhs.tenants {
+            *self.tenant_mut(*id) += c;
+        }
+        self.rounds += rhs.rounds;
+        self.dispatched += rhs.dispatched;
+    }
+}
+
+impl std::ops::AddAssign for ServeStats {
+    fn add_assign(&mut self, rhs: ServeStats) {
+        *self += &rhs;
+    }
+}
+
+impl std::ops::Add for ServeStats {
+    type Output = ServeStats;
+
+    fn add(mut self, rhs: ServeStats) -> ServeStats {
+        self += &rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for ServeStats {
+    fn sum<I: Iterator<Item = ServeStats>>(iter: I) -> ServeStats {
+        iter.fold(ServeStats::default(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a ServeStats> for ServeStats {
+    fn sum<I: Iterator<Item = &'a ServeStats>>(iter: I) -> ServeStats {
+        iter.fold(ServeStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 /// Scheduler-level counters for an activity-aware simulation.
 ///
 /// `cycles_simulated` is the authoritative simulated-time clock:
@@ -602,6 +750,50 @@ mod tests {
         assert!(text.contains("5 wakes scheduled"), "{text}");
         // Modes that never schedule stay silent.
         assert!(!SimStats::default().to_string().contains("wheel"));
+    }
+
+    #[test]
+    fn serve_stats_merge_by_tenant_id() {
+        let mut a = ServeStats::default();
+        a.tenant_mut(0).submitted = 10;
+        a.tenant_mut(0).shed = 2;
+        a.tenant_mut(3).submitted = 4;
+        a.tenant_mut(3).latency.record(8);
+        a.rounds = 2;
+        a.dispatched = 12;
+        let mut b = ServeStats::default();
+        b.tenant_mut(3).submitted = 6;
+        b.tenant_mut(3).latency.record(16);
+        b.tenant_mut(7).submitted = 1;
+        b.rounds = 1;
+        b.dispatched = 7;
+        let total: ServeStats = [a.clone(), b].iter().sum();
+        assert_eq!(total.rounds, 3);
+        assert_eq!(total.dispatched, 19);
+        assert_eq!(total.tenant(0).unwrap().submitted, 10);
+        assert_eq!(total.tenant(3).unwrap().submitted, 10);
+        assert_eq!(total.tenant(3).unwrap().latency.count(), 2);
+        assert_eq!(total.tenant(7).unwrap().submitted, 1);
+        assert_eq!(total.totals().submitted, 21);
+        // Identity element.
+        assert_eq!(a.clone() + ServeStats::default(), a);
+    }
+
+    #[test]
+    fn tenant_counters_ratios() {
+        let mut c = TenantCounters {
+            submitted: 10,
+            admitted: 8,
+            shed: 2,
+            completed: 5,
+            failed: 1,
+            cancelled: 1,
+            ..TenantCounters::default()
+        };
+        c.latency.record(4);
+        assert_eq!(c.shed_rate(), 0.2);
+        assert_eq!(c.in_queue(), 1);
+        assert_eq!(TenantCounters::default().shed_rate(), 0.0);
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! duplicating or reordering work. The host randomly withholds frame
 //! delivery and randomly refuses to drain the transmit FIFO; tiny FIFOs
 //! make the backpressure propagate all the way up the pipeline.
+//!
+//! The second half fuzzes the *serving front-end* the same way: random
+//! bursts into bounded tenant queues (admission shedding), one shard an
+//! order of magnitude slower than the rest (a stalled shard must convoy
+//! jobs, never lose them), random poll cadence, and random mid-session
+//! disconnects — after which the service must settle to idle with every
+//! job accounted for, and replay bit-identically from the same seed.
 
 use fu_isa::msg::DevDeframer;
 use fu_isa::{DevMsg, HostMsg, InstrWord, UserInstr, Word};
@@ -137,4 +144,144 @@ fn pathological_backpressure() {
 #[test]
 fn no_backpressure_baseline() {
     fuzz_run(7, 0.0, 60);
+}
+
+// ---------------------------------------------------------------------
+// Serving front-end fuzz: the same philosophy one layer up. Queue-full
+// shedding, a crawling shard and disconnects are all "stalls" the
+// front-end must absorb without losing or duplicating work.
+// ---------------------------------------------------------------------
+
+use fu_host::serve::workload::client_job;
+use fu_host::{
+    Admission, Completion, Farm, FarmConfig, JobOutput, LinkModel, Placement, ServeConfig, Service,
+    System, TenantSpec,
+};
+/// A farm whose shard 0 runs over the paper's slow prototyping link
+/// while the others get the ideal link: the serving layer's version of a
+/// stalled pipeline stage.
+fn lopsided_farm(shards: usize, seed: u64) -> Farm {
+    Farm::new(
+        FarmConfig {
+            shards,
+            seed,
+            placement: Placement::LeastLoaded,
+            ..FarmConfig::default()
+        },
+        |ctx| {
+            let link = if ctx.index == 0 {
+                LinkModel::prototyping()
+            } else {
+                LinkModel::ideal()
+            };
+            System::new(CoprocConfig::default(), standard_units(32), link)
+        },
+    )
+}
+
+/// One fuzzed serving session. Returns the full observable outcome so
+/// the caller can check determinism by replaying the seed.
+fn serve_fuzz(seed: u64) -> (Vec<Completion>, rtl_sim::ServeStats, u64) {
+    let tenants = 3u32;
+    let mut svc = Service::new(
+        ServeConfig {
+            queue_depth: 4, // tiny: admission shedding fires constantly
+            quantum: 8,
+            round_jobs: 8,
+            parallel: true,
+        },
+        (0..tenants)
+            .map(|t| TenantSpec::new(format!("t{t}"), t + 1))
+            .collect(),
+        lopsided_farm(3, seed),
+    )
+    .expect("valid service");
+
+    let mut fz = StallFuzzer::new(seed ^ 0x5EB_F00D, 0.0);
+    let mut tick = 0u64;
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    let mut expected: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut done: Vec<Completion> = Vec::new();
+    for i in 0..250u32 {
+        // Bursty arrivals: usually a tiny gap, sometimes a long pause.
+        tick += if fz.below(8) == 0 {
+            2_000 + fz.below(4_000)
+        } else {
+            fz.below(120)
+        };
+        let tenant = (fz.below(u64::from(tenants))) as u32;
+        let (job, want) = client_job((i * 3) % 1000, (fz.below(512)) as u32, (i % 200) as u16);
+        match svc.submit(tenant, tick, job).expect("submit") {
+            Admission::Admitted { seq } => {
+                admitted += 1;
+                expected.insert(seq, want);
+            }
+            Admission::Overloaded { .. } => shed += 1,
+        }
+        // A client occasionally hangs up mid-session…
+        if fz.below(60) == 0 {
+            svc.disconnect(tenant);
+        }
+        // …and the front-end polls on its own erratic schedule.
+        if fz.below(3) == 0 {
+            done.extend(svc.poll());
+        }
+    }
+    done.extend(svc.drain().expect("drain"));
+
+    // Settle check — the serving analogue of `assert_parks_clean`: no
+    // queued work, no unclaimed completions, every admitted job resolved.
+    assert!(svc.is_idle(), "service failed to settle (seed {seed})");
+    assert_eq!(svc.pending_completions(), 0);
+    let t = svc.stats().totals();
+    assert_eq!(t.submitted, 250);
+    assert_eq!((t.admitted, t.shed), (admitted, shed));
+    assert!(t.shed > 0, "queue-full shedding never fired (seed {seed})");
+    assert!(
+        t.cancelled > 0,
+        "disconnects never caught queued work (seed {seed})"
+    );
+    assert_eq!(t.in_queue(), 0, "jobs left in limbo (seed {seed})");
+    assert_eq!(
+        t.failed, 0,
+        "a slow shard must convoy, not fail (seed {seed})"
+    );
+    assert_eq!(t.completed, done.len() as u64);
+    assert_eq!(t.completed + t.cancelled, admitted);
+
+    // Every delivered completion is unique, was admitted, and carries
+    // the bit-exact expected payload.
+    for c in &done {
+        let want = expected
+            .remove(&c.seq)
+            .expect("completion for an unadmitted or duplicated seq");
+        match &c.output {
+            Ok(JobOutput::Msgs(msgs)) => match &msgs[..] {
+                [DevMsg::Data { value, .. }] => {
+                    assert_eq!(value.as_u64(), want, "seq {} corrupted", c.seq)
+                }
+                other => panic!("seq {}: unexpected responses {other:?}", c.seq),
+            },
+            other => panic!("seq {}: failed: {other:?}", c.seq),
+        }
+    }
+    assert_eq!(
+        expected.len() as u64,
+        t.cancelled,
+        "every unresolved seq must be an accounted cancellation (seed {seed})"
+    );
+    (done, svc.stats().clone(), svc.clock())
+}
+
+#[test]
+fn serving_front_end_absorbs_fuzzed_load() {
+    for seed in 0..3 {
+        serve_fuzz(seed);
+    }
+}
+
+#[test]
+fn serving_fuzz_replays_bit_identically() {
+    assert_eq!(serve_fuzz(11), serve_fuzz(11));
 }
